@@ -1,0 +1,250 @@
+//! Positive Boolean formulas `B⁺(X)` over a set of atoms (the transition
+//! conditions of alternating automata).
+
+use std::fmt;
+
+/// A positive Boolean formula with atoms of type `A`.
+///
+/// No negation — alternating-automaton transitions are monotone, which is
+/// what makes their acceptance games determined by simple fixpoints.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Bf<A> {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// An atom.
+    Lit(A),
+    /// Conjunction (empty = true).
+    And(Vec<Bf<A>>),
+    /// Disjunction (empty = false).
+    Or(Vec<Bf<A>>),
+}
+
+impl<A> Bf<A> {
+    /// Conjunction of two formulas with light simplification.
+    pub fn and(self, other: Bf<A>) -> Bf<A> {
+        match (self, other) {
+            (Bf::True, x) | (x, Bf::True) => x,
+            (Bf::False, _) | (_, Bf::False) => Bf::False,
+            (Bf::And(mut xs), Bf::And(ys)) => {
+                xs.extend(ys);
+                Bf::And(xs)
+            }
+            (Bf::And(mut xs), y) => {
+                xs.push(y);
+                Bf::And(xs)
+            }
+            (x, Bf::And(mut ys)) => {
+                ys.insert(0, x);
+                Bf::And(ys)
+            }
+            (x, y) => Bf::And(vec![x, y]),
+        }
+    }
+
+    /// Disjunction of two formulas with light simplification.
+    pub fn or(self, other: Bf<A>) -> Bf<A> {
+        match (self, other) {
+            (Bf::False, x) | (x, Bf::False) => x,
+            (Bf::True, _) | (_, Bf::True) => Bf::True,
+            (Bf::Or(mut xs), Bf::Or(ys)) => {
+                xs.extend(ys);
+                Bf::Or(xs)
+            }
+            (Bf::Or(mut xs), y) => {
+                xs.push(y);
+                Bf::Or(xs)
+            }
+            (x, Bf::Or(mut ys)) => {
+                ys.insert(0, x);
+                Bf::Or(ys)
+            }
+            (x, y) => Bf::Or(vec![x, y]),
+        }
+    }
+
+    /// Conjunction of many formulas.
+    pub fn all(items: impl IntoIterator<Item = Bf<A>>) -> Bf<A> {
+        items.into_iter().fold(Bf::True, Bf::and)
+    }
+
+    /// Disjunction of many formulas.
+    pub fn any(items: impl IntoIterator<Item = Bf<A>>) -> Bf<A> {
+        items.into_iter().fold(Bf::False, Bf::or)
+    }
+
+    /// Evaluates the formula under a valuation of atoms.
+    pub fn eval(&self, val: &mut impl FnMut(&A) -> bool) -> bool {
+        match self {
+            Bf::True => true,
+            Bf::False => false,
+            Bf::Lit(a) => val(a),
+            Bf::And(xs) => xs.iter().all(|x| x.eval(val)),
+            Bf::Or(xs) => xs.iter().any(|x| x.eval(val)),
+        }
+    }
+
+    /// Visits every atom.
+    pub fn for_each_lit(&self, f: &mut impl FnMut(&A)) {
+        match self {
+            Bf::True | Bf::False => {}
+            Bf::Lit(a) => f(a),
+            Bf::And(xs) | Bf::Or(xs) => {
+                for x in xs {
+                    x.for_each_lit(f);
+                }
+            }
+        }
+    }
+
+    /// Maps atoms to another type.
+    pub fn map<B>(&self, f: &mut impl FnMut(&A) -> B) -> Bf<B> {
+        match self {
+            Bf::True => Bf::True,
+            Bf::False => Bf::False,
+            Bf::Lit(a) => Bf::Lit(f(a)),
+            Bf::And(xs) => Bf::And(xs.iter().map(|x| x.map(f)).collect()),
+            Bf::Or(xs) => Bf::Or(xs.iter().map(|x| x.map(f)).collect()),
+        }
+    }
+}
+
+impl<A: Clone + Ord> Bf<A> {
+    /// Enumerates the *minimal models* of the formula: the ⊆-minimal sets of
+    /// atoms whose truth makes the formula true. Used by the alternating→
+    /// nondeterministic translation.
+    pub fn minimal_models(&self) -> Vec<Vec<A>> {
+        fn models<A: Clone + Ord>(f: &Bf<A>) -> Vec<Vec<A>> {
+            match f {
+                Bf::True => vec![vec![]],
+                Bf::False => vec![],
+                Bf::Lit(a) => vec![vec![a.clone()]],
+                Bf::Or(xs) => {
+                    let mut out = Vec::new();
+                    for x in xs {
+                        out.extend(models(x));
+                    }
+                    out
+                }
+                Bf::And(xs) => {
+                    let mut out: Vec<Vec<A>> = vec![vec![]];
+                    for x in xs {
+                        let ms = models(x);
+                        let mut next = Vec::new();
+                        for base in &out {
+                            for m in &ms {
+                                let mut u = base.clone();
+                                u.extend(m.iter().cloned());
+                                u.sort();
+                                u.dedup();
+                                next.push(u);
+                            }
+                        }
+                        out = next;
+                    }
+                    out
+                }
+            }
+        }
+        // Prune non-minimal models.
+        let mut ms = models(self);
+        ms.sort_by_key(Vec::len);
+        let mut out: Vec<Vec<A>> = Vec::new();
+        'outer: for m in ms {
+            for kept in &out {
+                if kept.iter().all(|a| m.contains(a)) {
+                    continue 'outer;
+                }
+            }
+            out.push(m);
+        }
+        out
+    }
+}
+
+impl<A: fmt::Display> fmt::Display for Bf<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bf::True => write!(f, "⊤"),
+            Bf::False => write!(f, "⊥"),
+            Bf::Lit(a) => write!(f, "{a}"),
+            Bf::And(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Bf::Or(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let t: Bf<u32> = Bf::True;
+        assert_eq!(t.clone().and(Bf::Lit(1)), Bf::Lit(1));
+        assert_eq!(Bf::<u32>::False.and(Bf::Lit(1)), Bf::False);
+        assert_eq!(Bf::<u32>::False.or(Bf::Lit(2)), Bf::Lit(2));
+        assert_eq!(t.or(Bf::Lit(2)), Bf::True);
+    }
+
+    #[test]
+    fn eval_respects_structure() {
+        let f = Bf::Lit(1).and(Bf::Lit(2).or(Bf::Lit(3)));
+        assert!(f.eval(&mut |&a| a == 1 || a == 2));
+        assert!(f.eval(&mut |&a| a == 1 || a == 3));
+        assert!(!f.eval(&mut |&a| a == 2 || a == 3));
+    }
+
+    #[test]
+    fn minimal_models_of_dnf() {
+        let f = (Bf::Lit(1).and(Bf::Lit(2))).or(Bf::Lit(3));
+        let ms = f.minimal_models();
+        assert_eq!(ms.len(), 2);
+        assert!(ms.contains(&vec![3]));
+        assert!(ms.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn minimal_models_prune_supersets() {
+        // (1 ∨ (1 ∧ 2)) has minimal model {1} only.
+        let f = Bf::Lit(1).or(Bf::Lit(1).and(Bf::Lit(2)));
+        assert_eq!(f.minimal_models(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Bf::<u32>::And(vec![]).eval(&mut |_| false));
+        assert!(!Bf::<u32>::Or(vec![]).eval(&mut |_| true));
+        assert_eq!(Bf::<u32>::And(vec![]).minimal_models(), vec![Vec::<u32>::new()]);
+        assert!(Bf::<u32>::Or(vec![]).minimal_models().is_empty());
+    }
+
+    #[test]
+    fn map_and_collect_lits() {
+        let f = Bf::Lit(1).and(Bf::Lit(2).or(Bf::Lit(3)));
+        let g = f.map(&mut |&a| a * 10);
+        let mut lits = Vec::new();
+        g.for_each_lit(&mut |&a| lits.push(a));
+        lits.sort();
+        assert_eq!(lits, vec![10, 20, 30]);
+    }
+}

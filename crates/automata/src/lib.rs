@@ -1,0 +1,26 @@
+//! # omq-automata
+//!
+//! Tree-automata machinery for the guarded containment and UCQ-rewritability
+//! procedures (paper §5.3 and §7.2): positive Boolean formulas `B⁺(X)`,
+//! finite labeled trees, two-way alternating parity automata (**2WAPA**,
+//! Defs. 10–11 of the paper's appendix), and nondeterministic top-down tree
+//! automata (**NTA**) with emptiness, membership, and *infinity* tests (the
+//! infinity problem is what decides UCQ rewritability, Prop. 31).
+//!
+//! The paper's constructions only ever use the *finite-acceptance* fragment
+//! of 2WAPA: every state has odd priority 1, so accepting runs are exactly
+//! the finite ones (see "The parity condition. We set Ω(s) := 1 for all
+//! s ∈ S. This means that only finite trees are accepted" in the proof of
+//! Lemma 24). Membership for this fragment is a least fixpoint; the dual
+//! all-even fragment is a greatest fixpoint; mixed priorities are rejected
+//! with an explicit error rather than silently mis-decided.
+
+pub mod bformula;
+pub mod nta;
+pub mod tree;
+pub mod twapa;
+
+pub use bformula::Bf;
+pub use nta::{Nta, NtaTransition};
+pub use tree::LTree;
+pub use twapa::{Dir, PriorityKind, Transition, Twapa, TwapaError};

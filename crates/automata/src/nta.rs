@@ -1,0 +1,275 @@
+//! Nondeterministic top-down tree automata (NTA) on finite labeled trees
+//! with bounded branching, with emptiness, membership, and the *infinity*
+//! test used by the UCQ-rewritability decision (Prop. 31: "checking whether
+//! L(A) is infinite is feasible in exponential time in the number of states
+//! and polynomial time in the size of the alphabet").
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::tree::LTree;
+
+/// One transition: a node in state `state` with label `label` may have
+/// exactly `children.len()` children, carrying the listed states in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NtaTransition<L> {
+    /// State of the node.
+    pub state: usize,
+    /// Required node label.
+    pub label: L,
+    /// States of the children (empty for leaves).
+    pub children: Vec<usize>,
+}
+
+/// A nondeterministic tree automaton.
+#[derive(Clone, Debug)]
+pub struct Nta<L> {
+    /// Number of states (`0..num_states`).
+    pub num_states: usize,
+    /// States allowed at the root.
+    pub roots: Vec<usize>,
+    /// The transition relation.
+    pub transitions: Vec<NtaTransition<L>>,
+}
+
+impl<L: Eq + Hash + Clone> Nta<L> {
+    /// Does the automaton accept the tree?
+    pub fn accepts(&self, tree: &LTree<L>) -> bool {
+        // Bottom-up: possible states per node.
+        let n = tree.len();
+        let mut poss: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        // Process nodes in reverse creation order only works if children
+        // have larger ids; LTree guarantees that (children are created after
+        // parents).
+        for node in (0..n).rev() {
+            let kids = tree.children(node);
+            for t in &self.transitions {
+                if &t.label != tree.label(node) || t.children.len() != kids.len() {
+                    continue;
+                }
+                if t
+                    .children
+                    .iter()
+                    .zip(kids)
+                    .all(|(&q, &k)| poss[k].contains(&q))
+                {
+                    poss[node].insert(t.state);
+                }
+            }
+        }
+        self.roots.iter().any(|r| poss[0].contains(r))
+    }
+
+    /// The set of *realizable* states: those from which some finite tree can
+    /// be derived (least fixpoint).
+    fn realizable(&self) -> Vec<bool> {
+        let mut real = vec![false; self.num_states];
+        loop {
+            let mut changed = false;
+            for t in &self.transitions {
+                if !real[t.state] && t.children.iter().all(|&c| real[c]) {
+                    real[t.state] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return real;
+            }
+        }
+    }
+
+    /// Is the language empty?
+    pub fn is_empty(&self) -> bool {
+        let real = self.realizable();
+        !self.roots.iter().any(|&r| real[r])
+    }
+
+    /// The set of *useful* states: realizable and reachable from a
+    /// realizable root through transitions whose siblings are realizable.
+    fn useful(&self) -> Vec<bool> {
+        let real = self.realizable();
+        let mut useful = vec![false; self.num_states];
+        let mut stack: Vec<usize> = self
+            .roots
+            .iter()
+            .copied()
+            .filter(|&r| real[r])
+            .collect();
+        for &r in &stack {
+            useful[r] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for t in &self.transitions {
+                if t.state != q || !t.children.iter().all(|&c| real[c]) {
+                    continue;
+                }
+                for &c in &t.children {
+                    if !useful[c] {
+                        useful[c] = true;
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        useful
+    }
+
+    /// Is the language infinite?
+    ///
+    /// With a finite alphabet and bounded rank, `L(A)` is infinite iff some
+    /// useful state lies on a cycle of the parent→child derivation graph
+    /// restricted to useful states (pumping that cycle yields arbitrarily
+    /// deep accepted trees; conversely unbounded depth forces a repeated
+    /// state on a root-to-leaf path).
+    pub fn is_infinite(&self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let real = self.realizable();
+        let useful = self.useful();
+        // Edge q -> c for transitions with all-realizable children.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for t in &self.transitions {
+            if useful[t.state] && t.children.iter().all(|&c| real[c]) {
+                for &c in &t.children {
+                    if useful[c] {
+                        edges.push((t.state, c));
+                    }
+                }
+            }
+        }
+        // Cycle detection among useful states.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let mut mark = vec![Mark::White; self.num_states];
+        fn dfs(q: usize, edges: &[(usize, usize)], mark: &mut [Mark]) -> bool {
+            mark[q] = Mark::Gray;
+            for &(a, b) in edges {
+                if a == q {
+                    match mark[b] {
+                        Mark::Gray => return true,
+                        Mark::White => {
+                            if dfs(b, edges, mark) {
+                                return true;
+                            }
+                        }
+                        Mark::Black => {}
+                    }
+                }
+            }
+            mark[q] = Mark::Black;
+            false
+        }
+        for q in 0..self.num_states {
+            if useful[q] && mark[q] == Mark::White && dfs(q, &edges, &mut mark) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Automaton accepting trees labeled 'a' everywhere, any shape up to
+    /// binary branching.
+    fn all_a() -> Nta<char> {
+        Nta {
+            num_states: 1,
+            roots: vec![0],
+            transitions: vec![
+                NtaTransition { state: 0, label: 'a', children: vec![] },
+                NtaTransition { state: 0, label: 'a', children: vec![0] },
+                NtaTransition { state: 0, label: 'a', children: vec![0, 0] },
+            ],
+        }
+    }
+
+    #[test]
+    fn accepts_matching_tree() {
+        let aut = all_a();
+        let mut t = LTree::new('a');
+        let c = t.add_child(0, 'a');
+        t.add_child(c, 'a');
+        t.add_child(0, 'a');
+        assert!(aut.accepts(&t));
+        let mut bad = LTree::new('a');
+        bad.add_child(0, 'b');
+        assert!(!aut.accepts(&bad));
+    }
+
+    #[test]
+    fn emptiness_and_infinity() {
+        let aut = all_a();
+        assert!(!aut.is_empty());
+        assert!(aut.is_infinite());
+    }
+
+    /// Accepts exactly one tree: a single 'b' leaf.
+    #[test]
+    fn finite_language() {
+        let aut = Nta {
+            num_states: 1,
+            roots: vec![0],
+            transitions: vec![NtaTransition { state: 0, label: 'b', children: vec![] }],
+        };
+        assert!(!aut.is_empty());
+        assert!(!aut.is_infinite());
+        assert!(aut.accepts(&LTree::new('b')));
+        let mut two = LTree::new('b');
+        two.add_child(0, 'b');
+        assert!(!two.is_empty());
+        assert!(!aut.accepts(&two));
+    }
+
+    /// A state that can only recurse forever is not realizable.
+    #[test]
+    fn unrealizable_state_means_empty() {
+        let aut = Nta {
+            num_states: 1,
+            roots: vec![0],
+            transitions: vec![NtaTransition { state: 0, label: 'a', children: vec![0] }],
+        };
+        assert!(aut.is_empty());
+        assert!(!aut.is_infinite());
+    }
+
+    /// Chain of fixed length: finite language even with multiple states.
+    #[test]
+    fn bounded_depth_language_is_finite() {
+        // root state 0 -> child 1 -> leaf; no cycles.
+        let aut = Nta {
+            num_states: 2,
+            roots: vec![0],
+            transitions: vec![
+                NtaTransition { state: 0, label: 'a', children: vec![1] },
+                NtaTransition { state: 1, label: 'a', children: vec![] },
+            ],
+        };
+        assert!(!aut.is_empty());
+        assert!(!aut.is_infinite());
+    }
+
+    /// A cycle unreachable from the root does not make the language
+    /// infinite.
+    #[test]
+    fn unreachable_cycle_ignored() {
+        let aut = Nta {
+            num_states: 2,
+            roots: vec![0],
+            transitions: vec![
+                NtaTransition { state: 0, label: 'a', children: vec![] },
+                NtaTransition { state: 1, label: 'a', children: vec![1] },
+                NtaTransition { state: 1, label: 'a', children: vec![] },
+            ],
+        };
+        assert!(!aut.is_empty());
+        assert!(!aut.is_infinite());
+    }
+}

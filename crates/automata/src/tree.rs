@@ -1,0 +1,119 @@
+//! Finite labeled trees (the `Γ-labeled trees` of §5.2).
+
+/// A finite rooted tree with node labels of type `L`. Node `0` is the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LTree<L> {
+    labels: Vec<L>,
+    children: Vec<Vec<usize>>,
+    parent: Vec<Option<usize>>,
+}
+
+impl<L> LTree<L> {
+    /// A tree with just a root.
+    pub fn new(root_label: L) -> Self {
+        LTree {
+            labels: vec![root_label],
+            children: vec![vec![]],
+            parent: vec![None],
+        }
+    }
+
+    /// Adds a child of `parent`, returning the new node id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is out of range.
+    pub fn add_child(&mut self, parent: usize, label: L) -> usize {
+        assert!(parent < self.labels.len(), "no such node");
+        let id = self.labels.len();
+        self.labels.push(label);
+        self.children.push(vec![]);
+        self.parent.push(Some(parent));
+        self.children[parent].push(id);
+        id
+    }
+
+    /// The label of `node`.
+    pub fn label(&self, node: usize) -> &L {
+        &self.labels[node]
+    }
+
+    /// Mutable label access.
+    pub fn label_mut(&mut self, node: usize) -> &mut L {
+        &mut self.labels[node]
+    }
+
+    /// Children of `node`, in insertion order.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Parent of `node` (`None` for the root).
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        self.parent[node]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Always false — a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All node ids, root first (ids are in BFS-compatible creation order
+    /// only if built that way; this is just `0..len`).
+    pub fn nodes(&self) -> impl Iterator<Item = usize> {
+        0..self.labels.len()
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: usize) -> usize {
+        let mut d = 0;
+        let mut n = node;
+        while let Some(p) = self.parent[n] {
+            d += 1;
+            n = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> usize {
+        self.nodes().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// Maximum branching degree.
+    pub fn branching_degree(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_navigate() {
+        let mut t = LTree::new("root");
+        let a = t.add_child(0, "a");
+        let b = t.add_child(0, "b");
+        let c = t.add_child(a, "c");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.children(0), &[a, b]);
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.parent(0), None);
+        assert_eq!(*t.label(c), "c");
+        assert_eq!(t.depth(c), 2);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.branching_degree(), 2);
+    }
+
+    #[test]
+    fn label_mutation() {
+        let mut t = LTree::new(1);
+        *t.label_mut(0) = 42;
+        assert_eq!(*t.label(0), 42);
+    }
+}

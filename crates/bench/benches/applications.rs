@@ -1,0 +1,79 @@
+//! E11 — §7 applications: distribution over components (Thm. 28) and UCQ
+//! rewritability, as static-analysis workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_core::apps::DistributionResult;
+use omq_core::{distributes_over_components, is_ucq_rewritable, ContainmentConfig};
+use omq_model::{parse_program, Omq, Schema, Vocabulary};
+
+fn parse(text: &str, data: &[&str], q: &str) -> (Omq, Vocabulary) {
+    let prog = parse_program(text).unwrap();
+    let voc = prog.voc.clone();
+    let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+    (
+        Omq::new(schema, prog.tgds.clone(), prog.query(q).unwrap().clone()),
+        voc,
+    )
+}
+
+fn distribution_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11/distribution");
+    g.sample_size(10);
+    let cases = [
+        (
+            "connected",
+            "q :- E(X,Y), E(Y,Z)\n",
+            vec!["E"],
+            true,
+        ),
+        (
+            "disconnected",
+            "q :- P(X), T(Y)\n",
+            vec!["P", "T"],
+            false,
+        ),
+        (
+            "rescued-by-ontology",
+            "P(X) -> exists Y . T(Y)\nq :- P(X), T(Y)\n",
+            vec!["P", "T"],
+            true,
+        ),
+    ];
+    for (label, text, data, expected) in cases {
+        let (q, voc) = parse(text, &data, "q");
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default())
+                    .unwrap();
+                match (r, expected) {
+                    (DistributionResult::Distributes, true)
+                    | (DistributionResult::DoesNotDistribute, false) => {}
+                    (other, _) => panic!("{label}: {other:?}"),
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn rewritability_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11/ucq_rewritability");
+    g.sample_size(10);
+    let (lin, voc) = parse(
+        "P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nT(X) -> P(X)\nq(X) :- R(X,Y), P(Y)\n",
+        &["P", "T"],
+        "q",
+    );
+    g.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut voc = voc.clone();
+            is_ucq_rewritable(&lin, &mut voc, &ContainmentConfig::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, distribution_checks, rewritability_checks);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E6 — Figure 1: the stickiness marking procedure. We scale the chain of
+//! Figure-1 gadgets and measure the inductive marking fixpoint; the sticky
+//! and non-sticky variants must classify correctly at every size, and the
+//! cost should grow polynomially in `||Σ||`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_bench::workloads::marking_chain;
+use omq_classes::{is_sticky, marked_variables};
+
+fn marking_fixpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6/marking_chain");
+    g.sample_size(10);
+    for k in [4usize, 16, 64, 128] {
+        let (sticky_sigma, _) = marking_chain(k, true);
+        let (nonsticky_sigma, _) = marking_chain(k, false);
+        g.bench_function(format!("sticky/k={k}"), |b| {
+            b.iter(|| {
+                let m = marked_variables(&sticky_sigma);
+                assert!(is_sticky(&sticky_sigma));
+                m.rounds
+            })
+        });
+        g.bench_function(format!("non-sticky/k={k}"), |b| {
+            b.iter(|| {
+                let m = marked_variables(&nonsticky_sigma);
+                assert!(!is_sticky(&nonsticky_sigma));
+                m.rounds
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, marking_fixpoint);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 — Figure 2 / Theorem 16: end-to-end containment on the Extended
+//! Tiling Problem reduction. The ontology contains the inductive
+//! 2ⁱ×2ⁱ-tiling rules of Figure 2; the containment verdict must equal the
+//! brute-force ETP answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_core::{contains, ContainmentConfig};
+use omq_reductions::{etp_to_containment, tiling::all_pairs, Etp};
+
+fn etp_containment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7/etp_containment");
+    g.sample_size(10);
+    let alt = vec![(1u8, 2u8), (2, 1)];
+    let cases = [
+        (
+            "yes-instance",
+            Etp {
+                k: 1,
+                n: 1,
+                m: 2,
+                h1: all_pairs(2),
+                v1: all_pairs(2),
+                h2: alt.clone(),
+                v2: alt.clone(),
+            },
+        ),
+        (
+            "no-instance",
+            Etp {
+                k: 2,
+                n: 1,
+                m: 2,
+                h1: all_pairs(2),
+                v1: all_pairs(2),
+                h2: alt.clone(),
+                v2: alt,
+            },
+        ),
+    ];
+    for (label, etp) in cases {
+        let expected = etp.has_solution();
+        let omqs = etp_to_containment(&etp);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut voc = omqs.voc.clone();
+                let out =
+                    contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default())
+                        .unwrap();
+                assert_eq!(out.result.is_contained(), expected);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, etp_containment);
+criterion_main!(benches);

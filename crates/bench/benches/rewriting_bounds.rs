@@ -1,0 +1,57 @@
+//! E8 — Props. 12 / 14 / 17: the measured maximum disjunct size of the
+//! XRewrite output stays within the theoretical bound functions `f_O`, and
+//! the bench reports how tight the bounds are per family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_bench::workloads::{linear_workload, nr_workload, sticky_workload};
+use omq_rewrite::{bound_linear, bound_nonrecursive, bound_sticky, xrewrite, XRewriteConfig};
+
+fn bounds_hold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8/rewriting_vs_bounds");
+    g.sample_size(10);
+
+    for qlen in [2usize, 3] {
+        let (q, voc) = linear_workload(3, qlen);
+        let bound = bound_linear(&q);
+        g.bench_function(format!("linear/qlen={qlen}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+                assert!(out.ucq.max_disjunct_size() as u64 <= bound);
+                out.ucq.disjuncts.len()
+            })
+        });
+    }
+
+    for strata in [2usize, 3] {
+        let (q, voc) = nr_workload(strata);
+        let bound = bound_nonrecursive(&q);
+        g.bench_function(format!("nr/strata={strata}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+                assert!(out.ucq.max_disjunct_size() as u64 <= bound);
+                out.ucq.max_disjunct_size()
+            })
+        });
+    }
+
+    for n in [1usize, 2] {
+        let (q, voc) = sticky_workload(n);
+        let bound = bound_sticky(&q, &voc);
+        g.bench_function(format!("sticky/n={n}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+                assert!(out.ucq.max_disjunct_size() as u64 <= bound);
+                out.ucq.max_disjunct_size()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bounds_hold);
+criterion_main!(benches);

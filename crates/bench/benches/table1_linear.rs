@@ -1,0 +1,67 @@
+//! E1 — Table 1, row "Linear": `Cont((L,CQ))` is PSPACE-complete, but the
+//! runtime is single-exponential only in the query size and arity; for the
+//! ontology-size knob it should scale mildly. We sweep both knobs and also
+//! measure evaluation (NP/PSPACE row in small font) on the same inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_bench::workloads::{linear_workload, random_db};
+use omq_core::{contains, evaluate, ContainmentConfig, EvalConfig};
+
+fn containment_vs_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/cont_linear_chain");
+    g.sample_size(10);
+    for chain in [2usize, 4, 8, 16] {
+        let (q, voc) = linear_workload(chain, 2);
+        g.bench_function(format!("chain={chain}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out =
+                    contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
+                assert!(out.result.is_contained());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn containment_vs_query_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/cont_linear_qsize");
+    g.sample_size(10);
+    for qlen in [1usize, 2, 3, 4] {
+        let (q, voc) = linear_workload(4, qlen);
+        g.bench_function(format!("qlen={qlen}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out =
+                    contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
+                assert!(out.result.is_contained());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn evaluation_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/eval_linear");
+    g.sample_size(10);
+    for size in [20usize, 50, 100] {
+        let (q, mut voc) = linear_workload(4, 2);
+        let db = random_db(&q, &mut voc, size, 8, 42);
+        g.bench_function(format!("|D|={size}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                evaluate(&q, &db, &mut voc, &EvalConfig::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    containment_vs_chain,
+    containment_vs_query_size,
+    evaluation_baseline
+);
+criterion_main!(benches);

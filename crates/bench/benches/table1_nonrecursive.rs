@@ -1,0 +1,47 @@
+//! E3 — Table 1, row "Non-recursive": the rewriting (and hence the
+//! containment witness) grows as `(max |body|)^{strata}` (Prop. 14);
+//! containment time should grow exponentially in the number of strata.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_bench::workloads::nr_workload;
+use omq_core::{contains, ContainmentConfig};
+use omq_rewrite::{bound_nonrecursive, xrewrite, XRewriteConfig};
+
+fn rewriting_blowup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3/rewrite_nr_strata");
+    g.sample_size(10);
+    for strata in [1usize, 2, 3] {
+        let (q, voc) = nr_workload(strata);
+        g.bench_function(format!("strata={strata}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+                // The single data-schema disjunct has 2^strata atoms,
+                // within the Prop. 14 bound.
+                assert_eq!(out.ucq.max_disjunct_size(), 1 << strata);
+                assert!(out.ucq.max_disjunct_size() as u64 <= bound_nonrecursive(&q));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn containment_self(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3/cont_nr_strata");
+    g.sample_size(10);
+    for strata in [1usize, 2, 3] {
+        let (q, voc) = nr_workload(strata);
+        g.bench_function(format!("strata={strata}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out = contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
+                assert!(out.result.is_contained());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rewriting_blowup, containment_self);
+criterion_main!(benches);

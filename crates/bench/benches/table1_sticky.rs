@@ -1,0 +1,43 @@
+//! E2 — Table 1, row "Sticky": `Cont((S,CQ))` is coNEXPTIME-complete, with
+//! runtime double-exponential only in the arity (Prop. 17). The Prop. 18
+//! counter family grows the arity with `n`; containment time and witness
+//! size should both blow up exponentially in `n`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_bench::workloads::sticky_workload;
+use omq_core::{contains, ContainmentConfig, ContainmentResult};
+use omq_model::{Atom, Cq, Omq, Term, Ucq};
+
+fn containment_blowup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2/cont_sticky_counter");
+    g.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let (q1, voc) = sticky_workload(n);
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                // Right-hand side: an unsatisfiable OMQ over the same
+                // schema; the decision must discover the 2^n witness.
+                let z = voc.fresh_pred("Zb", 1);
+                let x = voc.var("Xb");
+                let q2 = Omq::new(
+                    q1.data_schema.clone(),
+                    vec![],
+                    Ucq::from_cq(Cq::boolean(vec![Atom::new(z, vec![Term::Var(x)])])),
+                );
+                let out = contains(&q1, &q2, &mut voc, &ContainmentConfig::default()).unwrap();
+                match out.result {
+                    ContainmentResult::NotContained(w) => {
+                        assert_eq!(w.database.len(), 1 << n)
+                    }
+                    other => panic!("{other:?}"),
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, containment_blowup);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E9 — Props. 15 / 18: minimal non-containment witnesses grow as `2ⁿ`.
+//! The containment engine must actually *find* the exponential witness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omq_core::{contains, ContainmentConfig, ContainmentResult};
+use omq_reductions::prop15_family;
+
+fn witness_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9/witness_size");
+    g.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let (q1, q2, voc) = prop15_family(n);
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| {
+                let mut voc = voc.clone();
+                let out =
+                    contains(&q1, &q2, &mut voc, &ContainmentConfig::default()).unwrap();
+                match out.result {
+                    ContainmentResult::NotContained(w) => {
+                        assert_eq!(w.database.len(), 1usize << n);
+                        w.database.len()
+                    }
+                    other => panic!("{other:?}"),
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, witness_growth);
+criterion_main!(benches);

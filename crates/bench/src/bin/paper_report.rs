@@ -1,0 +1,462 @@
+//! Regenerates every table/figure row of the paper reproduction and prints
+//! it next to the paper's predicted shape; `--markdown` emits the body of
+//! `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run -p omq-bench --release --bin paper_report [--markdown]`
+
+use omq_bench::report::{ms, timed, Row, Section};
+use omq_bench::workloads::{
+    guarded_seed_db, guarded_workload, linear_workload, marking_chain, nr_workload, random_db,
+    sticky_workload,
+};
+use omq_chase::{certain_answers_via_chase, ChaseConfig};
+use omq_classes::{is_sticky, marked_variables};
+use omq_core::{
+    contains, distributes_over_components, evaluate, is_ucq_rewritable, ContainmentConfig,
+    ContainmentResult, EvalConfig,
+};
+use omq_model::{parse_program, Atom, Cq, Omq, Schema, Term, Ucq};
+use omq_reductions::{etp_to_containment, prop15_family, tiling::all_pairs, Etp};
+use omq_rewrite::{
+    bound_linear, bound_nonrecursive, bound_sticky, ucq_omq_to_cq_omq, xrewrite, XRewriteConfig,
+};
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let builders: Vec<(&str, fn() -> Section)> = vec![
+        ("E1", e1_linear),
+        ("E2", e2_sticky),
+        ("E3", e3_nonrecursive),
+        ("E4", e4_guarded),
+        ("E5", e5_evaluation),
+        ("E6", e6_marking),
+        ("E7", e7_tiling),
+        ("E8", e8_bounds),
+        ("E9", e9_witnesses),
+        ("E10", e10_ucq_to_cq),
+        ("E11", e11_applications),
+    ];
+    for (id, build) in builders {
+        eprintln!("[paper_report] running {id}…");
+        let s = build();
+        if markdown {
+            println!("{}", s.to_markdown());
+        } else {
+            s.print();
+        }
+    }
+}
+
+fn row(id: &'static str, param: String, value: String, note: String) -> Row {
+    Row {
+        id,
+        param,
+        value,
+        note,
+    }
+}
+
+fn e1_linear() -> Section {
+    let mut rows = Vec::new();
+    for chain in [2usize, 8, 32] {
+        let (q, voc) = linear_workload(chain, 2);
+        let mut voc = voc.clone();
+        let (out, t) = timed(|| contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap());
+        rows.push(row(
+            "E1",
+            format!("chain={chain},|q|=2"),
+            ms(t),
+            format!(
+                "contained={}, witnesses={}, max|D|={}",
+                out.result.is_contained(),
+                out.witnesses_checked,
+                out.max_witness_size
+            ),
+        ));
+    }
+    for qlen in [1usize, 2, 3, 4] {
+        let (q, voc) = linear_workload(4, qlen);
+        let mut voc = voc.clone();
+        let (out, t) = timed(|| contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap());
+        rows.push(row(
+            "E1",
+            format!("chain=4,|q|={qlen}"),
+            ms(t),
+            format!("witnesses={}", out.witnesses_checked),
+        ));
+    }
+    Section {
+        id: "E1",
+        title: "Table 1 — linear row (PSPACE-c; mild in ontology size)",
+        expectation: "runtime grows mildly with the ontology chain and sharply only with |q| (Prop. 12: witnesses ≤ |q|)",
+        rows,
+    }
+}
+
+fn e2_sticky() -> Section {
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 3] {
+        let (q1, voc) = sticky_workload(n);
+        let mut voc = voc.clone();
+        let z = voc.fresh_pred("Zb", 1);
+        let x = voc.var("Xb");
+        let q2 = Omq::new(
+            q1.data_schema.clone(),
+            vec![],
+            Ucq::from_cq(Cq::boolean(vec![Atom::new(z, vec![Term::Var(x)])])),
+        );
+        let (out, t) =
+            timed(|| contains(&q1, &q2, &mut voc, &ContainmentConfig::default()).unwrap());
+        let wsize = match &out.result {
+            ContainmentResult::NotContained(w) => w.database.len(),
+            _ => 0,
+        };
+        rows.push(row(
+            "E2",
+            format!("n={n} (arity {})", n + 2),
+            ms(t),
+            format!("witness size {wsize} = 2^{n}"),
+        ));
+    }
+    Section {
+        id: "E2",
+        title: "Table 1 — sticky row (coNEXPTIME-c)",
+        expectation: "witness size and runtime blow up exponentially as the arity grows (Prop. 17/18)",
+        rows,
+    }
+}
+
+fn e3_nonrecursive() -> Section {
+    let mut rows = Vec::new();
+    for strata in [1usize, 2, 3, 4] {
+        let (q, voc) = nr_workload(strata);
+        let mut voc = voc.clone();
+        let bound = bound_nonrecursive(&q);
+        let (out, t) = timed(|| xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap());
+        rows.push(row(
+            "E3",
+            format!("strata={strata}"),
+            ms(t),
+            format!(
+                "max disjunct {} (bound {}), disjuncts {}",
+                out.ucq.max_disjunct_size(),
+                bound,
+                out.ucq.disjuncts.len()
+            ),
+        ));
+    }
+    Section {
+        id: "E3",
+        title: "Table 1 — non-recursive row (PNEXP-hard, in EXPSPACE)",
+        expectation: "rewriting (hence witness) size doubles per stratum: |q|·(max body)^{|sch|} (Prop. 14)",
+        rows,
+    }
+}
+
+fn e4_guarded() -> Section {
+    let mut rows = Vec::new();
+    for qlen in [1usize, 2, 3, 4] {
+        let (q, mut voc) = guarded_workload(qlen);
+        let db = guarded_seed_db(&mut voc);
+        let (out, t) = timed(|| {
+            omq_guarded::guarded_certain_answers(
+                &q,
+                &db,
+                &mut voc,
+                &omq_guarded::GuardedConfig::default(),
+            )
+        });
+        rows.push(row(
+            "E4",
+            format!("|q|={qlen}"),
+            ms(t),
+            format!(
+                "depth {} ({:?}), holds={}",
+                out.depth_used,
+                out.completeness,
+                !out.answers.is_empty()
+            ),
+        ));
+    }
+    Section {
+        id: "E4",
+        title: "Table 1 — guarded row (2EXPTIME-c)",
+        expectation: "stabilization depth (and cost) driven by |q|; double-exponential only in |q| and arity",
+        rows,
+    }
+}
+
+fn e5_evaluation() -> Section {
+    let mut rows = Vec::new();
+    {
+        let (lin, mut voc) = linear_workload(4, 2);
+        let db = random_db(&lin, &mut voc, 100, 8, 1);
+        let (out, t) = timed(|| evaluate(&lin, &db, &mut voc, &EvalConfig::default()));
+        rows.push(row(
+            "E5",
+            "linear,|D|=100".into(),
+            ms(t),
+            format!("{} answers via {}", out.answers.len(), out.language),
+        ));
+    }
+    {
+        let (nr, mut voc) = nr_workload(3);
+        let db = random_db(&nr, &mut voc, 40, 10, 2);
+        let (out, t) = timed(|| evaluate(&nr, &db, &mut voc, &EvalConfig::default()));
+        rows.push(row(
+            "E5",
+            "non-recursive,|D|=40".into(),
+            ms(t),
+            format!("{} answers via {}", out.answers.len(), out.language),
+        ));
+    }
+    {
+        let (gu, mut voc) = guarded_workload(2);
+        let db = guarded_seed_db(&mut voc);
+        let (out, t) = timed(|| evaluate(&gu, &db, &mut voc, &EvalConfig::default()));
+        rows.push(row(
+            "E5",
+            "guarded,seed".into(),
+            ms(t),
+            format!("{} answers via {}", out.answers.len(), out.language),
+        ));
+    }
+    Section {
+        id: "E5",
+        title: "Table 1 — evaluation (small-font rows)",
+        expectation: "evaluation is cheaper than containment on the same family (containment ≥ evaluation, Prop. 5)",
+        rows,
+    }
+}
+
+fn e6_marking() -> Section {
+    let mut rows = Vec::new();
+    for k in [4usize, 32, 128] {
+        for keep in [true, false] {
+            let (sigma, _) = marking_chain(k, keep);
+            let (sticky, t) = timed(|| is_sticky(&sigma));
+            let m = marked_variables(&sigma);
+            rows.push(row(
+                "E6",
+                format!("k={k},{}", if keep { "keep-join" } else { "drop-join" }),
+                ms(t),
+                format!(
+                    "sticky={sticky}, marked={}, rounds={}",
+                    m.marked.len(),
+                    m.rounds
+                ),
+            ));
+        }
+    }
+    Section {
+        id: "E6",
+        title: "Figure 1 — stickiness & the marking procedure",
+        expectation: "keep-join variant sticky at every size; drop-join variant rejected; cost polynomial in ||Σ||",
+        rows,
+    }
+}
+
+fn e7_tiling() -> Section {
+    let alt = vec![(1u8, 2u8), (2, 1)];
+    let cases = [
+        (
+            "yes (T2 checkerboard, k=1)",
+            Etp {
+                k: 1,
+                n: 1,
+                m: 2,
+                h1: all_pairs(2),
+                v1: all_pairs(2),
+                h2: alt.clone(),
+                v2: alt.clone(),
+            },
+        ),
+        (
+            "no (T1 solves s=[1,1], T2 cannot)",
+            Etp {
+                k: 2,
+                n: 1,
+                m: 2,
+                h1: all_pairs(2),
+                v1: all_pairs(2),
+                h2: alt.clone(),
+                v2: alt,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, etp) in cases {
+        let expected = etp.has_solution();
+        let omqs = etp_to_containment(&etp);
+        let mut voc = omqs.voc.clone();
+        let (out, t) =
+            timed(|| contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap());
+        rows.push(row(
+            "E7",
+            label.into(),
+            ms(t),
+            format!(
+                "contained={} (brute force {}), witnesses={}",
+                out.result.is_contained(),
+                expected,
+                out.witnesses_checked
+            ),
+        ));
+    }
+    Section {
+        id: "E7",
+        title: "Figure 2 / Theorem 16 — ETP → Cont(NR,CQ)",
+        expectation: "containment verdict ⟺ brute-force ETP answer on every instance",
+        rows,
+    }
+}
+
+fn e8_bounds() -> Section {
+    let mut rows = Vec::new();
+    {
+        let (q, voc) = linear_workload(3, 3);
+        let mut voc = voc.clone();
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        rows.push(row(
+            "E8",
+            "linear,|q|=3".into(),
+            format!("measured {}", out.ucq.max_disjunct_size()),
+            format!("bound {} (Prop. 12)", bound_linear(&q)),
+        ));
+    }
+    {
+        let (q, voc) = nr_workload(3);
+        let mut voc = voc.clone();
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        rows.push(row(
+            "E8",
+            "non-recursive,strata=3".into(),
+            format!("measured {}", out.ucq.max_disjunct_size()),
+            format!("bound {} (Prop. 14)", bound_nonrecursive(&q)),
+        ));
+    }
+    {
+        let (q, voc) = sticky_workload(2);
+        let mut voc2 = voc.clone();
+        let out = xrewrite(&q, &mut voc2, &XRewriteConfig::default()).unwrap();
+        rows.push(row(
+            "E8",
+            "sticky,n=2".into(),
+            format!("measured {}", out.ucq.max_disjunct_size()),
+            format!("bound {} (Prop. 17)", bound_sticky(&q, &voc)),
+        ));
+    }
+    Section {
+        id: "E8",
+        title: "Props. 12/14/17 — rewriting-size bounds",
+        expectation: "measured max disjunct ≤ f_O(Q) for every family",
+        rows,
+    }
+}
+
+fn e9_witnesses() -> Section {
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 3] {
+        let (q1, q2, voc) = prop15_family(n);
+        let mut voc = voc.clone();
+        let (out, t) =
+            timed(|| contains(&q1, &q2, &mut voc, &ContainmentConfig::default()).unwrap());
+        let wsize = match &out.result {
+            ContainmentResult::NotContained(w) => w.database.len(),
+            _ => 0,
+        };
+        rows.push(row(
+            "E9",
+            format!("n={n}"),
+            format!("witness {wsize}"),
+            format!("expected 2^{n} = {}; {}", 1 << n, ms(t)),
+        ));
+    }
+    Section {
+        id: "E9",
+        title: "Props. 15/18 — exponential witness lower bounds",
+        expectation: "minimal counterexample databases have exactly 2^n atoms",
+        rows,
+    }
+}
+
+fn e10_ucq_to_cq() -> Section {
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8] {
+        let mut text = String::new();
+        for i in 0..k {
+            text.push_str(&format!("A{i}(X) -> P{i}(X)\nq :- P{i}(X)\n"));
+        }
+        let prog = parse_program(&text).unwrap();
+        let mut voc = prog.voc.clone();
+        let schema =
+            Schema::from_preds((0..k).map(|i| voc.pred_id(&format!("A{i}")).unwrap()));
+        let q = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
+        let (compiled, t) = timed(|| ucq_omq_to_cq_omq(&q, &mut voc).unwrap());
+        // Sanity: same emptiness on a one-fact db.
+        let mut db = omq_model::Instance::new();
+        let a0 = voc.pred_id("A0").unwrap();
+        let c = voc.constant("a");
+        db.insert(Atom::new(a0, vec![Term::Const(c)]));
+        let ans = certain_answers_via_chase(&compiled, &db, &mut voc, &ChaseConfig::default())
+            .unwrap();
+        rows.push(row(
+            "E10",
+            format!("disjuncts={k}"),
+            ms(t),
+            format!(
+                "|Σ'|={} tgds, query {} atoms, semantics ok={}",
+                compiled.sigma.len(),
+                compiled.query.disjuncts[0].body.len(),
+                !ans.is_empty()
+            ),
+        ));
+    }
+    Section {
+        id: "E10",
+        title: "Prop. 9 — UCQ→CQ compilation",
+        expectation: "output polynomial in the input; certain answers preserved",
+        rows,
+    }
+}
+
+fn e11_applications() -> Section {
+    let mut rows = Vec::new();
+    let cases = [
+        ("connected", "q :- E(X,Y), E(Y,Z)\n", vec!["E"]),
+        ("disconnected", "q :- P(X), T(Y)\n", vec!["P", "T"]),
+        (
+            "rescued-by-ontology",
+            "P(X) -> exists Y . T(Y)\nq :- P(X), T(Y)\n",
+            vec!["P", "T"],
+        ),
+    ];
+    for (label, text, data) in cases {
+        let prog = parse_program(text).unwrap();
+        let mut voc = prog.voc.clone();
+        let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+        let q = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
+        let (r, t) = timed(|| {
+            distributes_over_components(&q, &mut voc, &ContainmentConfig::default()).unwrap()
+        });
+        rows.push(row("E11", format!("dist/{label}"), ms(t), format!("{r:?}")));
+    }
+    {
+        let (lin, voc) = linear_workload(4, 2);
+        let mut voc = voc.clone();
+        let (r, t) = timed(|| is_ucq_rewritable(&lin, &mut voc, &ContainmentConfig::default()));
+        let desc = match r {
+            omq_core::RewritabilityResult::Rewritable(u) => {
+                format!("rewritable, {} disjuncts", u.disjuncts.len())
+            }
+            omq_core::RewritabilityResult::Unknown { .. } => "unknown".into(),
+        };
+        rows.push(row("E11", "ucq-rewritability/linear".into(), ms(t), desc));
+    }
+    Section {
+        id: "E11",
+        title: "Thm. 28 & §7.2 — distribution over components, UCQ rewritability",
+        expectation: "verdicts match the Prop. 27 characterization; decisions are fast on small OMQs",
+        rows,
+    }
+}

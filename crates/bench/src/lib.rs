@@ -1,0 +1,13 @@
+//! # omq-bench
+//!
+//! Workload generators and the reporting harness behind the paper's
+//! experiment reproduction (see `DESIGN.md`, experiment index E1–E11).
+//!
+//! The paper defines no datasets; its quantitative content is the
+//! complexity landscape of Table 1, the constructions of Figures 1–2, and
+//! the size bounds of Props. 12–18. The workloads here are parameterized
+//! families derived from those constructions, so every benchmark sweep
+//! exercises exactly the code path the corresponding theorem talks about.
+
+pub mod report;
+pub mod workloads;

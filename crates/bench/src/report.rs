@@ -1,0 +1,107 @@
+//! Row-oriented reporting for the `paper_report` harness: every table and
+//! figure of the paper gets a set of measured rows printed next to the
+//! paper's predicted shape, and the same rows feed `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured row of an experiment.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Experiment id from DESIGN.md (e.g. "E1").
+    pub id: &'static str,
+    /// The swept parameter, rendered (e.g. "chain=8,|q|=4").
+    pub param: String,
+    /// The measured quantity, rendered (e.g. "1.3ms", "witness=16").
+    pub value: String,
+    /// Extra context.
+    pub note: String,
+}
+
+/// A report section: one experiment with its paper-side expectation.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Experiment id.
+    pub id: &'static str,
+    /// Title, e.g. "Table 1 — linear row".
+    pub title: &'static str,
+    /// What the paper predicts (the *shape* to reproduce).
+    pub expectation: &'static str,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl Section {
+    /// Renders the section as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "*Paper:* {}\n", self.expectation);
+        let _ = writeln!(out, "| parameters | measured | note |");
+        let _ = writeln!(out, "|---|---|---|");
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} | {} | {} |", r.param, r.value, r.note);
+        }
+        out
+    }
+
+    /// Renders the section for the terminal.
+    pub fn print(&self) {
+        println!("\n=== {} — {}", self.id, self.title);
+        println!("    paper: {}", self.expectation);
+        for r in &self.rows {
+            println!("    {:<28} {:<20} {}", r.param, r.value, r.note);
+        }
+    }
+}
+
+/// Times a closure, returning (result, milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Formats milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    if v < 1.0 {
+        format!("{:.0}µs", v * 1e3)
+    } else if v < 1_000.0 {
+        format!("{v:.1}ms")
+    } else {
+        format!("{:.2}s", v / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let s = Section {
+            id: "E0",
+            title: "smoke",
+            expectation: "flat",
+            rows: vec![Row {
+                id: "E0",
+                param: "n=1".into(),
+                value: "1ms".into(),
+                note: "ok".into(),
+            }],
+        };
+        let md = s.to_markdown();
+        assert!(md.contains("### E0"));
+        assert!(md.contains("| n=1 | 1ms | ok |"));
+    }
+
+    #[test]
+    fn timing_and_formatting() {
+        let (v, t) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+        assert_eq!(ms(0.5), "500µs");
+        assert_eq!(ms(12.34), "12.3ms");
+        assert_eq!(ms(2500.0), "2.50s");
+    }
+}

@@ -1,0 +1,418 @@
+//! The chase procedure (paper §2).
+//!
+//! A chase step fires a tgd `τ = φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)` on a trigger (a
+//! homomorphism from `φ` into the instance), extending the instance with
+//! `ψ(ā, ⊥̄)` for fresh nulls `⊥̄`. We provide the **restricted** variant
+//! (fire only when the head is not already satisfied by an extension of the
+//! trigger) and the **oblivious** variant (fire every trigger once).
+//!
+//! The chase need not terminate (e.g. under guarded or sticky sets), so all
+//! entry points take step and null-depth budgets and report honestly whether
+//! a fixpoint was reached. For non-recursive sets, [`stratified_chase`]
+//! always terminates (§2, "Non-recursiveness").
+
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+use omq_classes::stratify;
+use omq_model::{Instance, NullId, Term, Tgd, VarId, Vocabulary};
+
+use crate::hom::{find_hom, for_each_hom, Assignment};
+
+/// Which chase variant to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ChaseVariant {
+    /// Fire a trigger only if its head has no extension in the instance.
+    #[default]
+    Restricted,
+    /// Fire every trigger exactly once (larger, but order-independent).
+    Oblivious,
+}
+
+/// Budgets and variant selection for a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Restricted or oblivious.
+    pub variant: ChaseVariant,
+    /// Maximum number of chase steps (fired triggers).
+    pub max_steps: usize,
+    /// Maximum null depth: a null created by a trigger whose body image only
+    /// involves terms of depth `< d` has depth `d`. `None` = unbounded.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            max_steps: 200_000,
+            max_depth: None,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A config with the given step budget.
+    pub fn with_steps(max_steps: usize) -> Self {
+        ChaseConfig {
+            max_steps,
+            ..Default::default()
+        }
+    }
+
+    /// A config with the given null-depth budget.
+    pub fn with_depth(max_depth: usize) -> Self {
+        ChaseConfig {
+            max_depth: Some(max_depth),
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseOutcome {
+    /// The (partial) chase result.
+    pub instance: Instance,
+    /// `true` iff a fixpoint was reached: the instance satisfies `Σ`.
+    /// When `false`, a budget was exhausted and the result is a sound but
+    /// possibly incomplete under-approximation of `chase(D, Σ)`.
+    pub complete: bool,
+    /// Number of fired triggers.
+    pub steps: usize,
+    /// Depth of the deepest null created.
+    pub deepest: usize,
+}
+
+struct Runner<'a> {
+    sigma: &'a [Tgd],
+    voc: &'a mut Vocabulary,
+    cfg: &'a ChaseConfig,
+    instance: Instance,
+    depth: HashMap<NullId, usize>,
+    fired: HashSet<(usize, Vec<Term>)>,
+    steps: usize,
+    deepest: usize,
+    /// Set when a trigger was skipped due to the depth budget.
+    truncated: bool,
+}
+
+impl<'a> Runner<'a> {
+    fn term_depth(&self, t: Term) -> usize {
+        match t {
+            Term::Null(n) => self.depth.get(&n).copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Fires `tgd` on trigger `h` if the variant's condition allows; returns
+    /// whether the instance grew.
+    fn fire(&mut self, ti: usize, tgd: &Tgd, h: &Assignment, body_vars: &[VarId]) -> bool {
+        let key: Vec<Term> = body_vars
+            .iter()
+            .map(|v| h.get(v).copied().unwrap_or(Term::Var(*v)))
+            .collect();
+        match self.cfg.variant {
+            ChaseVariant::Oblivious => {
+                if self.fired.contains(&(ti, key.clone())) {
+                    return false;
+                }
+            }
+            ChaseVariant::Restricted => {
+                // Applicable iff there is no extension of h|frontier mapping
+                // the head into the instance.
+                let mut seed = Assignment::new();
+                for v in tgd.frontier() {
+                    if let Some(&t) = h.get(&v) {
+                        seed.insert(v, t);
+                    }
+                }
+                if find_hom(&tgd.head, &self.instance, &seed).is_some() {
+                    return false;
+                }
+            }
+        }
+
+        // Depth of nulls this step would create.
+        let base_depth = key.iter().map(|&t| self.term_depth(t)).max().unwrap_or(0);
+        let new_depth = base_depth + 1;
+        if !tgd.existential_vars().is_empty() {
+            if let Some(max) = self.cfg.max_depth {
+                if new_depth > max {
+                    self.truncated = true;
+                    return false;
+                }
+            }
+        }
+
+        let mut ext = h.clone();
+        for z in tgd.existential_vars() {
+            let n = self.voc.fresh_null();
+            self.depth.insert(n, new_depth);
+            self.deepest = self.deepest.max(new_depth);
+            ext.insert(z, Term::Null(n));
+        }
+        let mut grew = false;
+        for atom in &tgd.head {
+            let img = atom.map_terms(|t| match t {
+                Term::Var(v) => ext.get(&v).copied().unwrap_or(t),
+                other => other,
+            });
+            grew |= self.instance.insert(img);
+        }
+        self.fired.insert((ti, key));
+        self.steps += 1;
+        grew
+    }
+
+    /// Runs rounds until fixpoint or budget exhaustion over the tgds whose
+    /// indices are in `active`.
+    fn run(&mut self, active: &[usize]) -> bool {
+        loop {
+            let mut grew = false;
+            for &ti in active {
+                let tgd = self.sigma[ti].clone();
+                let body_vars = tgd.body_vars();
+                // Collect triggers against the current instance first, then
+                // fire, so the enumeration is not invalidated by inserts.
+                let mut triggers: Vec<Assignment> = Vec::new();
+                if tgd.body.is_empty() {
+                    triggers.push(Assignment::new());
+                } else {
+                    let _ = for_each_hom(
+                        &tgd.body,
+                        &self.instance,
+                        &Assignment::new(),
+                        |h| {
+                            triggers.push(h.clone());
+                            ControlFlow::<()>::Continue(())
+                        },
+                    );
+                }
+                for h in triggers {
+                    if self.steps >= self.cfg.max_steps {
+                        return false;
+                    }
+                    grew |= self.fire(ti, &tgd, &h, &body_vars);
+                }
+            }
+            if !grew {
+                // Fixpoint, unless depth truncation hid some work.
+                return !self.truncated;
+            }
+        }
+    }
+}
+
+/// Runs the chase of `db` under `sigma` with the given budgets.
+pub fn chase(
+    db: &Instance,
+    sigma: &[Tgd],
+    voc: &mut Vocabulary,
+    cfg: &ChaseConfig,
+) -> ChaseOutcome {
+    let mut runner = Runner {
+        sigma,
+        voc,
+        cfg,
+        instance: db.clone(),
+        depth: HashMap::new(),
+        fired: HashSet::new(),
+        steps: 0,
+        deepest: 0,
+        truncated: false,
+    };
+    let active: Vec<usize> = (0..sigma.len()).collect();
+    let complete = runner.run(&active);
+    ChaseOutcome {
+        instance: runner.instance,
+        complete,
+        steps: runner.steps,
+        deepest: runner.deepest,
+    }
+}
+
+/// Runs the stratified chase for a non-recursive `sigma` (Lemma 32):
+/// saturates each stratum bottom-up. Returns `None` when `sigma` is
+/// recursive.
+///
+/// Always terminates and always returns a complete chase, so the outcome's
+/// `complete` flag is `true` (the step budget of `cfg` still applies as a
+/// safety net; exceeding it yields `complete == false`).
+pub fn stratified_chase(
+    db: &Instance,
+    sigma: &[Tgd],
+    voc: &mut Vocabulary,
+    cfg: &ChaseConfig,
+) -> Option<ChaseOutcome> {
+    let strata = stratify(sigma)?;
+    let mut runner = Runner {
+        sigma,
+        voc,
+        cfg,
+        instance: db.clone(),
+        depth: HashMap::new(),
+        fired: HashSet::new(),
+        steps: 0,
+        deepest: 0,
+        truncated: false,
+    };
+    let mut complete = true;
+    for stratum in &strata {
+        complete &= runner.run(stratum);
+    }
+    Some(ChaseOutcome {
+        instance: runner.instance,
+        complete,
+        steps: runner.steps,
+        deepest: runner.deepest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::holds_cq;
+    use omq_model::{parse_query, parse_tgd};
+
+    fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            let t = parse_tgd(voc, &format!("true -> {f}")).unwrap();
+            for a in t.head {
+                inst.insert(a);
+            }
+        }
+        inst
+    }
+
+    #[test]
+    fn full_tgds_reach_fixpoint() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "E(X,Y) -> T(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "E(X,Y), T(Y,Z) -> T(X,Z)").unwrap(),
+        ];
+        let d = db(&mut voc, &["E(a,b)", "E(b,c)", "E(c,d)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::default());
+        assert!(out.complete);
+        // Transitive closure: T has 3+2+1 = 6 atoms.
+        let t = voc.pred_id("T").unwrap();
+        assert_eq!(out.instance.atoms_with_pred(t).len(), 6);
+    }
+
+    #[test]
+    fn restricted_chase_reuses_witnesses() {
+        let mut voc = Vocabulary::new();
+        // Every P-node has an R-successor; b already has one.
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y)").unwrap()];
+        let d = db(&mut voc, &["P(a)", "P(b)", "R(b,c)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::default());
+        assert!(out.complete);
+        let r = voc.pred_id("R").unwrap();
+        // Only one new R-atom (for a); b's obligation was already satisfied.
+        assert_eq!(out.instance.atoms_with_pred(r).len(), 2);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn oblivious_chase_fires_everything() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y)").unwrap()];
+        let d = db(&mut voc, &["P(a)", "P(b)", "R(b,c)"]);
+        let cfg = ChaseConfig {
+            variant: ChaseVariant::Oblivious,
+            ..Default::default()
+        };
+        let out = chase(&d, &sigma, &mut voc, &cfg);
+        assert!(out.complete);
+        let r = voc.pred_id("R").unwrap();
+        assert_eq!(out.instance.atoms_with_pred(r).len(), 3); // b gets a fresh one too
+    }
+
+    #[test]
+    fn nonterminating_chase_hits_budget() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . Q(X,Y), P(Y)").unwrap()];
+        let d = db(&mut voc, &["P(a)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::with_steps(50));
+        assert!(!out.complete);
+        assert_eq!(out.steps, 50);
+    }
+
+    #[test]
+    fn depth_budget_truncates() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . Q(X,Y), P(Y)").unwrap()];
+        let d = db(&mut voc, &["P(a)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::with_depth(3));
+        assert!(!out.complete);
+        assert_eq!(out.deepest, 3);
+        let q = voc.pred_id("Q").unwrap();
+        assert_eq!(out.instance.atoms_with_pred(q).len(), 3);
+    }
+
+    #[test]
+    fn certain_atoms_via_chase_result() {
+        let mut voc = Vocabulary::new();
+        // Example 1 of the paper (linear set).
+        let sigma = vec![
+            parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "R(X,Y) -> P(Y)").unwrap(),
+            parse_tgd(&mut voc, "T(X) -> P(X)").unwrap(),
+        ];
+        let d = db(&mut voc, &["T(a)"]);
+        // Infinite chase: budget by depth.
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::with_depth(4));
+        let (_, q) = parse_query(&mut voc, "q :- R(X,Y), P(Y)").unwrap();
+        assert!(holds_cq(&q, &out.instance));
+    }
+
+    #[test]
+    fn stratified_chase_terminates_and_matches() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> exists Y . B(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "B(X,Y) -> C(Y)").unwrap(),
+            parse_tgd(&mut voc, "C(X) -> D(X)").unwrap(),
+        ];
+        let d = db(&mut voc, &["A(a)", "A(b)"]);
+        let out = stratified_chase(&d, &sigma, &mut voc, &ChaseConfig::default()).unwrap();
+        assert!(out.complete);
+        let dpred = voc.pred_id("D").unwrap();
+        assert_eq!(out.instance.atoms_with_pred(dpred).len(), 2);
+        // Same atoms as the plain restricted chase.
+        let out2 = chase(&d, &sigma, &mut voc, &ChaseConfig::default());
+        assert_eq!(out.instance.len(), out2.instance.len());
+    }
+
+    #[test]
+    fn stratified_chase_rejects_recursion() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . P(Y)").unwrap()];
+        let d = db(&mut voc, &["P(a)"]);
+        assert!(stratified_chase(&d, &sigma, &mut voc, &ChaseConfig::default()).is_none());
+    }
+
+    #[test]
+    fn fact_tgds_fire_on_empty_database() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "true -> Bit(0), Bit(1)").unwrap(),
+            parse_tgd(&mut voc, "Bit(X) -> Num(X)").unwrap(),
+        ];
+        let out = chase(&Instance::new(), &sigma, &mut voc, &ChaseConfig::default());
+        assert!(out.complete);
+        assert_eq!(out.instance.len(), 4);
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> R(X, marker)").unwrap()];
+        let d = db(&mut voc, &["P(a)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::default());
+        let (_, q) = parse_query(&mut voc, "q :- R(a, marker)").unwrap();
+        assert!(holds_cq(&q, &out.instance));
+    }
+}

@@ -1,0 +1,356 @@
+//! Classical CQ statics: Chandra–Merlin containment, cores (minimization),
+//! and isomorphism modulo variable renaming (the `≃` check XRewrite uses to
+//! deduplicate rewritings).
+
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+use omq_model::{Atom, Cq, Instance, NullId, Term, Ucq, VarId};
+
+use crate::hom::{find_hom, for_each_hom, Assignment};
+
+/// Freezes the body of `q` into an instance, mapping each variable `v` to
+/// the null `⊥v` (constants stay). Returns the instance and the head image.
+fn freeze_to_nulls(q: &Cq) -> (Instance, Vec<Term>) {
+    let inst = Instance::from_atoms(q.body.iter().map(|a| {
+        a.map_terms(|t| match t {
+            Term::Var(v) => Term::Null(NullId(v.0)),
+            other => other,
+        })
+    }));
+    let head = q.head.iter().map(|&v| Term::Null(NullId(v.0))).collect();
+    (inst, head)
+}
+
+/// Chandra–Merlin: `q1 ⊆ q2` iff there is a homomorphism from `q2` to the
+/// canonical (frozen) instance of `q1` mapping head to head.
+pub fn cq_contained(q1: &Cq, q2: &Cq) -> bool {
+    if q1.head.len() != q2.head.len() {
+        return false;
+    }
+    let (frozen, head1) = freeze_to_nulls(q1);
+    let mut seed = Assignment::new();
+    for (&v2, &t1) in q2.head.iter().zip(&head1) {
+        match seed.get(&v2) {
+            Some(&t) if t != t1 => return false,
+            _ => {
+                seed.insert(v2, t1);
+            }
+        }
+    }
+    find_hom(&q2.body, &frozen, &seed).is_some()
+}
+
+/// UCQ containment (Sagiv–Yannakakis): `∨ᵢ pᵢ ⊆ ∨ⱼ qⱼ` iff every `pᵢ` is
+/// contained in some `qⱼ`.
+pub fn ucq_contained(p: &Ucq, q: &Ucq) -> bool {
+    p.disjuncts
+        .iter()
+        .all(|pi| q.disjuncts.iter().any(|qj| cq_contained(pi, qj)))
+}
+
+/// CQ equivalence: mutual containment.
+pub fn cq_equivalent(q1: &Cq, q2: &Cq) -> bool {
+    cq_contained(q1, q2) && cq_contained(q2, q1)
+}
+
+/// Computes the core of `q`: an equivalent subquery with a minimal number of
+/// atoms. Head variables are kept fixed. Exponential in the worst case (the
+/// problem is NP-hard) but fast on the small queries arising in rewritings.
+pub fn cq_core(q: &Cq) -> Cq {
+    cq_core_budgeted(q, usize::MAX)
+}
+
+/// Like [`cq_core`] but gives up after examining `max_homs` endomorphisms
+/// per folding round, returning the (equivalent) partially-minimized query.
+/// Queries with many loosely-joined same-predicate atoms have exponentially
+/// many endomorphisms, and an exhaustive no-fold proof is pointless when
+/// coring is used only as a canonicalization heuristic.
+pub fn cq_core_budgeted(q: &Cq, max_homs: usize) -> Cq {
+    let mut current = q.clone();
+    loop {
+        let (frozen, _) = freeze_to_nulls(&current);
+        // Seed: head variables map to their own frozen images (retraction).
+        let mut seed = Assignment::new();
+        for &v in &current.head {
+            seed.insert(v, Term::Null(NullId(v.0)));
+        }
+        let n = current.body.len();
+        // Look for an endomorphism whose image has strictly fewer atoms.
+        let mut examined = 0usize;
+        let mut smaller: Option<Assignment> = None;
+        let _ = for_each_hom(&current.body, &frozen, &seed, |h| {
+            examined += 1;
+            if examined > max_homs {
+                return ControlFlow::Break(());
+            }
+            let image: HashSet<Atom> = current
+                .body
+                .iter()
+                .map(|a| {
+                    a.map_terms(|t| match t {
+                        Term::Var(v) => h.get(&v).copied().unwrap_or(t),
+                        other => other,
+                    })
+                })
+                .collect();
+            if image.len() < n {
+                smaller = Some(h.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        match smaller {
+            None => return current,
+            Some(h) => {
+                // Rebuild the query from the image, un-freezing nulls back
+                // to variables.
+                let mut body: Vec<Atom> = Vec::new();
+                let mut seen = HashSet::new();
+                for a in &current.body {
+                    let img = a.map_terms(|t| match t {
+                        Term::Var(v) => match h.get(&v) {
+                            Some(Term::Null(n)) => Term::Var(VarId(n.0)),
+                            Some(&other) => other,
+                            None => t,
+                        },
+                        other => other,
+                    });
+                    if seen.insert(img.clone()) {
+                        body.push(img);
+                    }
+                }
+                current = Cq::new(current.head.clone(), body);
+            }
+        }
+    }
+}
+
+/// Are two CQs isomorphic: equal up to a bijective variable renaming that is
+/// the identity on head positions (`q' ≃ q''` in Algorithm 1)?
+pub fn cq_isomorphic(q1: &Cq, q2: &Cq) -> bool {
+    if q1.head.len() != q2.head.len() || q1.body.len() != q2.body.len() {
+        return false;
+    }
+    // Invariant prefilter: multiset of predicates.
+    let mut p1: Vec<_> = q1.body.iter().map(|a| a.pred).collect();
+    let mut p2: Vec<_> = q2.body.iter().map(|a| a.pred).collect();
+    p1.sort_unstable();
+    p2.sort_unstable();
+    if p1 != p2 {
+        return false;
+    }
+
+    fn extend(
+        map: &mut HashMap<VarId, VarId>,
+        inv: &mut HashMap<VarId, VarId>,
+        a: &Atom,
+        b: &Atom,
+    ) -> Option<Vec<VarId>> {
+        if a.pred != b.pred {
+            return None;
+        }
+        let mut newly = Vec::new();
+        for (&x, &y) in a.args.iter().zip(&b.args) {
+            match (x, y) {
+                (Term::Var(vx), Term::Var(vy)) => {
+                    match (map.get(&vx).copied(), inv.get(&vy).copied()) {
+                        (Some(m), _) if m != vy => {
+                            undo(map, inv, &newly);
+                            return None;
+                        }
+                        (_, Some(i)) if i != vx => {
+                            undo(map, inv, &newly);
+                            return None;
+                        }
+                        (None, None) => {
+                            map.insert(vx, vy);
+                            inv.insert(vy, vx);
+                            newly.push(vx);
+                        }
+                        _ => {}
+                    }
+                }
+                (tx, ty) if tx == ty => {}
+                _ => {
+                    undo(map, inv, &newly);
+                    return None;
+                }
+            }
+        }
+        Some(newly)
+    }
+
+    fn undo(map: &mut HashMap<VarId, VarId>, inv: &mut HashMap<VarId, VarId>, newly: &[VarId]) {
+        for v in newly {
+            if let Some(w) = map.remove(v) {
+                inv.remove(&w);
+            }
+        }
+    }
+
+    fn rec(
+        q1: &Cq,
+        q2: &Cq,
+        i: usize,
+        used: &mut Vec<bool>,
+        map: &mut HashMap<VarId, VarId>,
+        inv: &mut HashMap<VarId, VarId>,
+    ) -> bool {
+        if i == q1.body.len() {
+            return true;
+        }
+        for j in 0..q2.body.len() {
+            if used[j] {
+                continue;
+            }
+            if let Some(newly) = extend(map, inv, &q1.body[i], &q2.body[j]) {
+                used[j] = true;
+                if rec(q1, q2, i + 1, used, map, inv) {
+                    return true;
+                }
+                used[j] = false;
+                undo(map, inv, &newly);
+            }
+        }
+        false
+    }
+
+    let mut map = HashMap::new();
+    let mut inv = HashMap::new();
+    // The renaming must respect head positions pairwise.
+    for (&h1, &h2) in q1.head.iter().zip(&q2.head) {
+        match (map.get(&h1).copied(), inv.get(&h2).copied()) {
+            (Some(m), _) if m != h2 => return false,
+            (_, Some(i)) if i != h1 => return false,
+            (None, None) => {
+                map.insert(h1, h2);
+                inv.insert(h2, h1);
+            }
+            _ => {}
+        }
+    }
+    let mut used = vec![false; q2.body.len()];
+    rec(q1, q2, 0, &mut used, &mut map, &mut inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_query, Vocabulary};
+
+    fn q(voc: &mut Vocabulary, s: &str) -> Cq {
+        parse_query(voc, s).unwrap().1
+    }
+
+    #[test]
+    fn chandra_merlin_chain() {
+        let mut voc = Vocabulary::new();
+        // path of length 2 ⊆ path of length 1 (as Boolean queries over edges).
+        let p2 = q(&mut voc, "q :- E(X,Y), E(Y,Z)");
+        let p1 = q(&mut voc, "q :- E(U,V)");
+        assert!(cq_contained(&p2, &p1));
+        assert!(!cq_contained(&p1, &p2));
+        assert!(!cq_equivalent(&p1, &p2));
+    }
+
+    #[test]
+    fn containment_respects_head() {
+        let mut voc = Vocabulary::new();
+        let qa = q(&mut voc, "q(X) :- E(X,Y)");
+        let qb = q(&mut voc, "q(Y) :- E(X,Y)");
+        assert!(!cq_contained(&qa, &qb));
+        assert!(!cq_contained(&qb, &qa));
+        assert!(cq_contained(&qa, &qa));
+    }
+
+    #[test]
+    fn containment_with_constants() {
+        let mut voc = Vocabulary::new();
+        let qa = q(&mut voc, "q :- E(a,Y)");
+        let qb = q(&mut voc, "q :- E(X,Y)");
+        assert!(cq_contained(&qa, &qb));
+        assert!(!cq_contained(&qb, &qa));
+    }
+
+    #[test]
+    fn ucq_containment() {
+        let prog = omq_model::parse_program(
+            "p(X) :- A(X)\np(X) :- B(X)\n\
+             r(X) :- B(X)\nr(X) :- A(X)\nr(X) :- C(X)\n",
+        )
+        .unwrap();
+        let p = prog.query("p").unwrap();
+        let r = prog.query("r").unwrap();
+        assert!(ucq_contained(p, r));
+        assert!(!ucq_contained(r, p));
+    }
+
+    #[test]
+    fn core_collapses_redundant_atoms() {
+        let mut voc = Vocabulary::new();
+        // E(X,Y) ∧ E(X,Z) folds to E(X,Y).
+        let redundant = q(&mut voc, "q(X) :- E(X,Y), E(X,Z)");
+        let core = cq_core(&redundant);
+        assert_eq!(core.body.len(), 1);
+        assert!(cq_equivalent(&redundant, &core));
+    }
+
+    #[test]
+    fn core_keeps_triangle() {
+        let mut voc = Vocabulary::new();
+        let triangle = q(&mut voc, "q :- E(X,Y), E(Y,Z), E(Z,X)");
+        let core = cq_core(&triangle);
+        assert_eq!(core.body.len(), 3);
+    }
+
+    #[test]
+    fn core_folds_path_into_loop() {
+        let mut voc = Vocabulary::new();
+        // E(X,X) ∧ E(X,Y): Y can fold onto X.
+        let qq = q(&mut voc, "q :- E(X,X), E(X,Y)");
+        let core = cq_core(&qq);
+        assert_eq!(core.body.len(), 1);
+    }
+
+    #[test]
+    fn isomorphism_modulo_renaming() {
+        let mut voc = Vocabulary::new();
+        let qa = q(&mut voc, "q(X) :- E(X,Y), P(Y)");
+        let qb = q(&mut voc, "q(X) :- E(X,Z), P(Z)");
+        assert!(cq_isomorphic(&qa, &qb));
+        let qc = q(&mut voc, "q(X) :- E(Y,X), P(Y)");
+        assert!(!cq_isomorphic(&qa, &qc));
+    }
+
+    #[test]
+    fn isomorphism_head_identity() {
+        let mut voc = Vocabulary::new();
+        // Same shape, but head picks a different variable: not isomorphic in
+        // the ≃ sense even though the bodies match.
+        let qa = q(&mut voc, "q(X) :- E(X,Y)");
+        let qb = q(&mut voc, "q(Y2) :- E(X2,Y2)");
+        assert!(!cq_isomorphic(&qa, &qb));
+    }
+
+    #[test]
+    fn isomorphism_distinguishes_shape_from_equivalence() {
+        let mut voc = Vocabulary::new();
+        // Equivalent but not isomorphic (different atom counts).
+        let qa = q(&mut voc, "q :- E(X,Y)");
+        let qb = q(&mut voc, "q :- E(U,V), E(U,W)");
+        assert!(cq_equivalent(&qa, &qb));
+        assert!(!cq_isomorphic(&qa, &qb));
+    }
+
+    #[test]
+    fn isomorphism_repeated_vars() {
+        let mut voc = Vocabulary::new();
+        let qa = q(&mut voc, "q :- E(X,X)");
+        let qb = q(&mut voc, "q :- E(Y,Y)");
+        let qc = q(&mut voc, "q :- E(Y,Z)");
+        assert!(cq_isomorphic(&qa, &qb));
+        assert!(!cq_isomorphic(&qa, &qc));
+    }
+}

@@ -1,0 +1,160 @@
+//! (U)CQ evaluation over instances (paper §2).
+//!
+//! `q(I)` is the set of tuples `h(x̄)` **of constants** for homomorphisms `h`
+//! from `q` to `I`. Following the paper's definition, answer tuples
+//! containing nulls are excluded (this matters when evaluating over chase
+//! results); Boolean queries are satisfied by any homomorphism.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+use omq_model::{ConstId, Cq, Instance, Term, Ucq};
+
+use crate::hom::{for_each_hom, Assignment};
+
+/// Evaluates a CQ: all constant answer tuples `h(x̄)`.
+pub fn eval_cq(q: &Cq, inst: &Instance) -> HashSet<Vec<ConstId>> {
+    let mut out = HashSet::new();
+    let _ = for_each_hom(&q.body, inst, &Assignment::new(), |h| {
+        let mut tuple = Vec::with_capacity(q.head.len());
+        for &v in &q.head {
+            match h.get(&v) {
+                Some(Term::Const(c)) => tuple.push(*c),
+                _ => return ControlFlow::<()>::Continue(()), // null answer: skip
+            }
+        }
+        out.insert(tuple);
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Evaluates a UCQ: the union of its disjuncts' answers.
+pub fn eval_ucq(q: &Ucq, inst: &Instance) -> HashSet<Vec<ConstId>> {
+    let mut out = HashSet::new();
+    for d in &q.disjuncts {
+        out.extend(eval_cq(d, inst));
+    }
+    out
+}
+
+/// Does the Boolean CQ hold in the instance (∃ homomorphism)?
+///
+/// Unlike [`eval_cq`], works for non-Boolean queries too: it asks whether
+/// the answer set would be non-empty *ignoring* the constants-only filter,
+/// i.e. whether some homomorphism exists at all.
+pub fn holds_cq(q: &Cq, inst: &Instance) -> bool {
+    crate::hom::find_hom(&q.body, inst, &Assignment::new()).is_some()
+}
+
+/// Does some disjunct of the UCQ hold in the instance?
+pub fn holds_ucq(q: &Ucq, inst: &Instance) -> bool {
+    q.disjuncts.iter().any(|d| holds_cq(d, inst))
+}
+
+/// Is the fixed tuple `c̄` an answer of `q` on `inst`?
+pub fn is_answer(q: &Cq, inst: &Instance, tuple: &[ConstId]) -> bool {
+    if tuple.len() != q.head.len() {
+        return false;
+    }
+    let mut seed = Assignment::new();
+    for (&v, &c) in q.head.iter().zip(tuple) {
+        match seed.get(&v) {
+            Some(&t) if t != Term::Const(c) => return false,
+            _ => {
+                seed.insert(v, Term::Const(c));
+            }
+        }
+    }
+    crate::hom::find_hom(&q.body, inst, &seed).is_some()
+}
+
+/// Is the fixed tuple `c̄` an answer of some disjunct of `q` on `inst`?
+pub fn is_answer_ucq(q: &Ucq, inst: &Instance, tuple: &[ConstId]) -> bool {
+    q.disjuncts.iter().any(|d| is_answer(d, inst, tuple))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_query, parse_tgd, Atom, Vocabulary};
+
+    fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            let t = parse_tgd(voc, &format!("true -> {f}")).unwrap();
+            for a in t.head {
+                inst.insert(a);
+            }
+        }
+        inst
+    }
+
+    #[test]
+    fn unary_projection() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)", "R(a,c)", "R(b,c)"]);
+        let (_, q) = parse_query(&mut voc, "q(X) :- R(X,Y)").unwrap();
+        let ans = eval_cq(&q, &d);
+        assert_eq!(ans.len(), 2); // a and b
+    }
+
+    #[test]
+    fn boolean_query() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)"]);
+        let (_, q) = parse_query(&mut voc, "q :- R(X,Y)").unwrap();
+        let ans = eval_cq(&q, &d);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![]));
+        assert!(holds_cq(&q, &d));
+    }
+
+    #[test]
+    fn null_answers_are_filtered() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let a = voc.constant("a");
+        let n = voc.fresh_null();
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(r, vec![Term::Const(a), Term::Null(n)]));
+        let (_, q) = parse_query(&mut voc, "q(Y) :- R(X,Y)").unwrap();
+        // The only witness maps Y to a null: no certain answer tuple.
+        assert!(eval_cq(&q, &inst).is_empty());
+        // But the Boolean version holds.
+        assert!(holds_cq(&q, &inst));
+    }
+
+    #[test]
+    fn ucq_unions_answers() {
+        let prog = omq_model::parse_program("q(X) :- P(X)\nq(X) :- T(X)\n").unwrap();
+        let mut voc = prog.voc.clone();
+        let d = db(&mut voc, &["P(a)", "T(b)"]);
+        let ans = eval_ucq(prog.query("q").unwrap(), &d);
+        assert_eq!(ans.len(), 2);
+        assert!(holds_ucq(prog.query("q").unwrap(), &d));
+    }
+
+    #[test]
+    fn fixed_tuple_check() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)", "P(b)"]);
+        let (_, q) = parse_query(&mut voc, "q(X) :- R(X,Y), P(Y)").unwrap();
+        let a = voc.const_id("a").unwrap();
+        let b = voc.const_id("b").unwrap();
+        assert!(is_answer(&q, &d, &[a]));
+        assert!(!is_answer(&q, &d, &[b]));
+        assert!(!is_answer(&q, &d, &[a, b])); // arity mismatch
+    }
+
+    #[test]
+    fn repeated_head_variable() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,a)", "R(a,b)"]);
+        let (_, q) = parse_query(&mut voc, "q(X,X) :- R(X,X)").unwrap();
+        let a = voc.const_id("a").unwrap();
+        let b = voc.const_id("b").unwrap();
+        assert!(is_answer(&q, &d, &[a, a]));
+        assert!(!is_answer(&q, &d, &[a, b]));
+    }
+}

@@ -1,0 +1,285 @@
+//! Homomorphism search: mapping a set of atoms with variables into an
+//! instance, the workhorse behind CQ evaluation (paper §2), chase triggers,
+//! and Chandra–Merlin containment.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use omq_model::{Atom, Instance, Term, VarId};
+
+/// A variable assignment: the mapping `h` restricted to variables. Constants
+/// are always mapped to themselves (homomorphisms are the identity on `C`).
+pub type Assignment = HashMap<VarId, Term>;
+
+/// Applies an assignment to a term (identity on constants and nulls;
+/// unbound variables stay put).
+fn image(h: &Assignment, t: Term) -> Term {
+    match t {
+        Term::Var(v) => h.get(&v).copied().unwrap_or(t),
+        other => other,
+    }
+}
+
+/// Orders atoms so that atoms sharing variables with already-placed atoms
+/// come early (greedy join ordering); reduces backtracking dramatically on
+/// chain/star queries.
+fn join_order(atoms: &[Atom], seed: &Assignment) -> Vec<usize> {
+    let n = atoms.len();
+    let mut placed = vec![false; n];
+    let mut bound: Vec<VarId> = seed.keys().copied().collect();
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Pick the unplaced atom with the most bound terms (constants and
+        // bound variables), tie-breaking on fewer unbound variables.
+        let mut best: Option<(usize, usize, usize)> = None; // (idx, bound#, unbound#)
+        for (i, a) in atoms.iter().enumerate() {
+            if placed[i] {
+                continue;
+            }
+            let mut b = 0usize;
+            let mut u = 0usize;
+            for &t in &a.args {
+                match t {
+                    Term::Var(v) => {
+                        if bound.contains(&v) {
+                            b += 1;
+                        } else {
+                            u += 1;
+                        }
+                    }
+                    _ => b += 1,
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((_, bb, bu)) => b > bb || (b == bb && u < bu),
+            };
+            if better {
+                best = Some((i, b, u));
+            }
+        }
+        let (i, _, _) = best.unwrap();
+        placed[i] = true;
+        order.push(i);
+        for v in atoms[i].vars() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Enumerates homomorphisms from `atoms` into `inst` extending `seed`,
+/// invoking `f` for each; stop early by returning [`ControlFlow::Break`].
+///
+/// Returns `Break(x)` when `f` broke with `x`, `Continue(())` when the
+/// enumeration was exhausted.
+pub fn for_each_hom<B>(
+    atoms: &[Atom],
+    inst: &Instance,
+    seed: &Assignment,
+    mut f: impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    let order = join_order(atoms, seed);
+    let mut h = seed.clone();
+    fn rec<B>(
+        atoms: &[Atom],
+        order: &[usize],
+        depth: usize,
+        inst: &Instance,
+        h: &mut Assignment,
+        f: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if depth == order.len() {
+            return f(h);
+        }
+        let a = &atoms[order[depth]];
+        // Candidate instance atoms: use the most selective index available.
+        let mut best: Option<&[usize]> = None;
+        for (pos, &t) in a.args.iter().enumerate() {
+            let ti = image(h, t);
+            if !ti.is_var() {
+                let c = inst.atoms_with_pred_term(a.pred, pos, ti);
+                if best.map_or(true, |b| c.len() < b.len()) {
+                    best = Some(c);
+                }
+            }
+        }
+        let candidates = best.unwrap_or_else(|| inst.atoms_with_pred(a.pred));
+        'cands: for &ci in candidates {
+            let cand = inst.atom(ci);
+            let mut newly: Vec<VarId> = Vec::new();
+            for (&pat, &val) in a.args.iter().zip(&cand.args) {
+                match pat {
+                    Term::Var(v) => match h.get(&v) {
+                        Some(&bound) => {
+                            if bound != val {
+                                for w in newly.drain(..) {
+                                    h.remove(&w);
+                                }
+                                continue 'cands;
+                            }
+                        }
+                        None => {
+                            h.insert(v, val);
+                            newly.push(v);
+                        }
+                    },
+                    t => {
+                        if t != val {
+                            for w in newly.drain(..) {
+                                h.remove(&w);
+                            }
+                            continue 'cands;
+                        }
+                    }
+                }
+            }
+            let res = rec(atoms, order, depth + 1, inst, h, f);
+            for w in newly.drain(..) {
+                h.remove(&w);
+            }
+            res?;
+        }
+        ControlFlow::Continue(())
+    }
+    rec(atoms, &order, 0, inst, &mut h, &mut f)
+}
+
+/// Finds one homomorphism from `atoms` into `inst` extending `seed`.
+pub fn find_hom(atoms: &[Atom], inst: &Instance, seed: &Assignment) -> Option<Assignment> {
+    match for_each_hom(atoms, inst, seed, |h| ControlFlow::Break(h.clone())) {
+        ControlFlow::Break(h) => Some(h),
+        ControlFlow::Continue(()) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_program, parse_query, Vocabulary};
+
+    fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            // Parse each fact as a fact tgd head.
+            let t = omq_model::parse_tgd(voc, &format!("true -> {f}")).unwrap();
+            for a in t.head {
+                inst.insert(a);
+            }
+        }
+        inst
+    }
+
+    #[test]
+    fn finds_simple_hom() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)", "R(b,c)", "P(c)"]);
+        let (_, q) = parse_query(&mut voc, "q :- R(X,Y), R(Y,Z), P(Z)").unwrap();
+        let h = find_hom(&q.body, &d, &Assignment::new()).expect("hom exists");
+        let a = voc.const_id("a").unwrap();
+        assert_eq!(h[&voc.var_id("X").unwrap()], Term::Const(a));
+    }
+
+    #[test]
+    fn no_hom_when_pattern_absent() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)", "P(a)"]);
+        let (_, q) = parse_query(&mut voc, "q :- R(X,Y), P(Y)").unwrap();
+        assert!(find_hom(&q.body, &d, &Assignment::new()).is_none());
+    }
+
+    #[test]
+    fn respects_seed() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)", "R(c,b)"]);
+        let (_, q) = parse_query(&mut voc, "q(X) :- R(X,Y)").unwrap();
+        let x = voc.var_id("X").unwrap();
+        let c = voc.const_id("c").unwrap();
+        let mut seed = Assignment::new();
+        seed.insert(x, Term::Const(c));
+        let h = find_hom(&q.body, &d, &seed).unwrap();
+        assert_eq!(h[&x], Term::Const(c));
+        let a = voc.const_id("a").unwrap();
+        let mut bad = Assignment::new();
+        bad.insert(x, Term::Const(voc.constant("zz")));
+        assert!(find_hom(&q.body, &d, &bad).is_none());
+        let _ = a;
+    }
+
+    #[test]
+    fn repeated_variables_must_agree() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)"]);
+        let (_, q) = parse_query(&mut voc, "q :- R(X,X)").unwrap();
+        assert!(find_hom(&q.body, &d, &Assignment::new()).is_none());
+        let d2 = db(&mut voc, &["R(a,a)"]);
+        assert!(find_hom(&q.body, &d2, &Assignment::new()).is_some());
+    }
+
+    #[test]
+    fn constants_in_query_must_match() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)"]);
+        let (_, q) = parse_query(&mut voc, "q :- R(a,X)").unwrap();
+        assert!(find_hom(&q.body, &d, &Assignment::new()).is_some());
+        let (_, q2) = parse_query(&mut voc, "q :- R(b,X)").unwrap();
+        assert!(find_hom(&q2.body, &d, &Assignment::new()).is_none());
+    }
+
+    #[test]
+    fn enumerates_all_homs() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)", "R(a,c)", "R(b,c)"]);
+        let (_, q) = parse_query(&mut voc, "q(X,Y) :- R(X,Y)").unwrap();
+        let mut count = 0;
+        let _ = for_each_hom(&q.body, &d, &Assignment::new(), |_| {
+            count += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn early_break_stops_enumeration() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["P(a)", "P(b)", "P(c)"]);
+        let (_, q) = parse_query(&mut voc, "q(X) :- P(X)").unwrap();
+        let mut count = 0;
+        let r = for_each_hom(&q.body, &d, &Assignment::new(), |_| {
+            count += 1;
+            if count == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(r, ControlFlow::Break(()));
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn larger_join_uses_program_parser() {
+        let prog = parse_program(
+            "q(X,Z) :- E(X,Y), E(Y,Z), Color(X, red), Color(Z, red)\n",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let d = db(
+            &mut voc,
+            &[
+                "E(n1,n2)",
+                "E(n2,n3)",
+                "E(n3,n4)",
+                "Color(n1, red)",
+                "Color(n3, red)",
+                "Color(n4, blue)",
+            ],
+        );
+        let q = prog.query("q").unwrap().as_cq().unwrap();
+        let h = find_hom(&q.body, &d, &Assignment::new()).expect("n1 -E-> n2 -E-> n3");
+        let n1 = voc.const_id("n1").unwrap();
+        assert_eq!(h[&q.head[0]], Term::Const(n1));
+    }
+}

@@ -1,0 +1,87 @@
+//! Guarded and linear tgds (paper §2, "Guardedness").
+
+use omq_model::Tgd;
+
+/// Index of a *guard* atom in the body of `t`: an atom containing every body
+/// variable. Returns `None` when no body atom is a guard.
+///
+/// Fact tgds (empty body) are vacuously guarded; we report guard index `0`
+/// only for non-empty bodies, so callers must treat `None` + empty body as
+/// guarded (use [`is_guarded_tgd`] for the plain membership test).
+pub fn guard_index(t: &Tgd) -> Option<usize> {
+    let vars = t.body_vars();
+    t.body
+        .iter()
+        .position(|a| vars.iter().all(|&v| a.mentions_var(v)))
+}
+
+/// Is the tgd guarded: does its body contain an atom with all body variables?
+/// Fact tgds are guarded (every class of the paper is closed under fact-tgd
+/// extension, §3.1).
+pub fn is_guarded_tgd(t: &Tgd) -> bool {
+    t.body.is_empty() || guard_index(t).is_some()
+}
+
+/// Is every tgd guarded (class `G`)?
+pub fn is_guarded(sigma: &[Tgd]) -> bool {
+    sigma.iter().all(is_guarded_tgd)
+}
+
+/// Is the tgd linear: at most one body atom (class `L ⊆ G`)?
+pub fn is_linear_tgd(t: &Tgd) -> bool {
+    t.body.len() <= 1
+}
+
+/// Is every tgd linear (class `L`)?
+pub fn is_linear(sigma: &[Tgd]) -> bool {
+    sigma.iter().all(is_linear_tgd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_tgd, Vocabulary};
+
+    fn t(voc: &mut Vocabulary, s: &str) -> Tgd {
+        parse_tgd(voc, s).unwrap()
+    }
+
+    #[test]
+    fn guard_detection() {
+        let mut voc = Vocabulary::new();
+        let g = t(&mut voc, "G(X,Y,Z), R(X,Y) -> exists W . H(X,W)");
+        assert_eq!(guard_index(&g), Some(0));
+        assert!(is_guarded_tgd(&g));
+        let ng = t(&mut voc, "R(X,Y), R(Y,Z) -> H(X,Z)");
+        assert_eq!(guard_index(&ng), None);
+        assert!(!is_guarded_tgd(&ng));
+    }
+
+    #[test]
+    fn guard_not_first_atom() {
+        let mut voc = Vocabulary::new();
+        let g = t(&mut voc, "R(X,Y), G(Y,X,Z), P(Z) -> H(X)");
+        assert_eq!(guard_index(&g), Some(1));
+    }
+
+    #[test]
+    fn linear_and_fact_tgds() {
+        let mut voc = Vocabulary::new();
+        let lin = t(&mut voc, "P(X) -> exists Y . R(X,Y)");
+        assert!(is_linear_tgd(&lin) && is_guarded_tgd(&lin));
+        let fact = t(&mut voc, "true -> P(a)");
+        assert!(is_linear_tgd(&fact) && is_guarded_tgd(&fact));
+        assert!(is_linear(&[lin.clone(), fact]));
+        let joined = t(&mut voc, "P(X), R(X,Y) -> H(Y)");
+        assert!(!is_linear_tgd(&joined));
+        assert!(!is_linear(&[lin, joined.clone()]));
+        assert!(is_guarded(&[joined])); // R(X,Y) guards {X, Y}
+    }
+
+    #[test]
+    fn inclusion_dependencies_are_linear() {
+        let mut voc = Vocabulary::new();
+        let id = t(&mut voc, "Emp(X,Y) -> exists Z . Dept(Y,Z)");
+        assert!(is_linear(&[id]));
+    }
+}

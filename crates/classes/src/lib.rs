@@ -1,0 +1,127 @@
+//! # omq-classes
+//!
+//! Syntactic recognizers for the classes of tgds studied in the paper, and a
+//! head-normalization pass.
+//!
+//! The paper's decidability landscape (§2) rests on three paradigms:
+//!
+//! * **guardedness** — class `G` (and its subclass `L` of *linear* tgds),
+//! * **non-recursiveness** — class `NR` (acyclic predicate graph,
+//!   equivalently stratifiability, Def. 3 / Lemma 32),
+//! * **stickiness** — class `S`, defined via the inductive variable-marking
+//!   procedure of Def. 4/5 (illustrated by Figure 1 of the paper).
+//!
+//! Also provided: the class `F` of full tgds (Datalog, Prop. 8), *lossless*
+//! tgds (used in the proof of Prop. 35 — every lossless set is sticky), and
+//! weak acyclicity (the classic data-exchange condition, mentioned in §3.1 as
+//! a class whose containment problem is undecidable because it extends `F`).
+
+pub mod guarded;
+pub mod nonrecursive;
+pub mod normalize;
+pub mod sticky;
+pub mod weakly_acyclic;
+
+pub use guarded::{guard_index, is_guarded, is_guarded_tgd, is_linear, is_linear_tgd};
+pub use nonrecursive::{is_non_recursive, predicate_graph, stratify};
+pub use normalize::normalize_heads;
+pub use sticky::{is_sticky, marked_variables, Marking};
+pub use weakly_acyclic::is_weakly_acyclic;
+
+use omq_model::Tgd;
+
+/// A summary of which syntactic classes a set of tgds belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Every tgd has a guard atom (class `G`).
+    pub guarded: bool,
+    /// Every tgd has at most one body atom (class `L ⊆ G`).
+    pub linear: bool,
+    /// No tgd has existential variables (class `F`, Datalog).
+    pub full: bool,
+    /// The predicate graph is acyclic (class `NR`).
+    pub non_recursive: bool,
+    /// The marking condition holds (class `S`).
+    pub sticky: bool,
+    /// No special-edge cycle in the position graph.
+    pub weakly_acyclic: bool,
+    /// Every body variable also occurs in the head (implies sticky).
+    pub lossless: bool,
+}
+
+impl ClassReport {
+    /// Does the set fall in at least one of the paper's decidable classes
+    /// (`G`, `L`, `NR`, `S`)?
+    pub fn decidable_fragment(&self) -> bool {
+        self.guarded || self.linear || self.non_recursive || self.sticky
+    }
+}
+
+/// Is every body variable of `t` also a head variable?
+pub fn is_lossless_tgd(t: &Tgd) -> bool {
+    let hv = t.head_vars();
+    t.body_vars().iter().all(|v| hv.contains(v))
+}
+
+/// Is every tgd lossless? Lossless sets with single-occurrence marked
+/// variables are sticky; this is the key fact behind the full→sticky
+/// transformation of Prop. 35.
+pub fn is_lossless(sigma: &[Tgd]) -> bool {
+    sigma.iter().all(is_lossless_tgd)
+}
+
+/// Classifies a set of tgds against every recognizer at once.
+pub fn classify(sigma: &[Tgd]) -> ClassReport {
+    ClassReport {
+        guarded: is_guarded(sigma),
+        linear: is_linear(sigma),
+        full: sigma.iter().all(Tgd::is_full),
+        non_recursive: is_non_recursive(sigma),
+        sticky: is_sticky(sigma),
+        weakly_acyclic: is_weakly_acyclic(sigma),
+        lossless: is_lossless(sigma),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_tgd, Vocabulary};
+
+    #[test]
+    fn classify_datalog_transitive() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "E(X,Y) -> T(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "E(X,Y), T(Y,Z) -> T(X,Z)").unwrap(),
+        ];
+        let r = classify(&sigma);
+        assert!(r.full);
+        assert!(!r.non_recursive); // T depends on T
+        assert!(r.weakly_acyclic); // no existentials at all
+        assert!(!r.linear);
+        assert!(!r.guarded); // no body atom contains X, Y and Z
+    }
+
+    #[test]
+    fn classify_tc_single_rule() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "T(X,Y), T(Y,Z) -> T(X,Z)").unwrap()];
+        let r = classify(&sigma);
+        assert!(!r.guarded);
+        assert!(!r.sticky); // Y is marked (missing from head) and occurs twice
+        assert!(r.full);
+        assert!(!r.lossless);
+    }
+
+    #[test]
+    fn lossless_head_superset_is_sticky() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> T(X,Y,Z)").unwrap(),
+            parse_tgd(&mut voc, "T(X,Y,Z) -> S(X,Y,Z)").unwrap(),
+        ];
+        assert!(is_lossless(&sigma));
+        assert!(classify(&sigma).sticky);
+    }
+}

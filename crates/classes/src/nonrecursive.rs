@@ -1,0 +1,214 @@
+//! Non-recursive sets of tgds (paper §2 "Non-recursiveness", Def. 3,
+//! Lemma 32): acyclicity of the predicate graph, equivalently
+//! stratifiability.
+
+use std::collections::HashMap;
+
+use omq_model::{PredId, Tgd};
+
+/// The predicate graph of `Σ`: an edge `R → P` whenever some tgd has `R` in
+/// its body and `P` in its head. Returned as an adjacency map.
+pub fn predicate_graph(sigma: &[Tgd]) -> HashMap<PredId, Vec<PredId>> {
+    let mut g: HashMap<PredId, Vec<PredId>> = HashMap::new();
+    for t in sigma {
+        for b in &t.body {
+            for h in &t.head {
+                let entry = g.entry(b.pred).or_default();
+                if !entry.contains(&h.pred) {
+                    entry.push(h.pred);
+                }
+            }
+        }
+        for a in t.body.iter().chain(&t.head) {
+            g.entry(a.pred).or_default();
+        }
+    }
+    g
+}
+
+/// Is `Σ` non-recursive, i.e. is its predicate graph acyclic (class `NR`)?
+pub fn is_non_recursive(sigma: &[Tgd]) -> bool {
+    stratum_of_preds(sigma).is_some()
+}
+
+/// Assigns each predicate its *stratum*: the length of the longest path
+/// reaching it in the predicate graph. Returns `None` on a cycle.
+fn stratum_of_preds(sigma: &[Tgd]) -> Option<HashMap<PredId, usize>> {
+    let g = predicate_graph(sigma);
+    // Longest-path layering via DFS with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut mark: HashMap<PredId, Mark> = g.keys().map(|&p| (p, Mark::White)).collect();
+    let mut depth: HashMap<PredId, usize> = HashMap::new();
+
+    fn visit(
+        p: PredId,
+        g: &HashMap<PredId, Vec<PredId>>,
+        mark: &mut HashMap<PredId, Mark>,
+        depth: &mut HashMap<PredId, usize>,
+    ) -> bool {
+        match mark[&p] {
+            Mark::Gray => return false, // cycle
+            Mark::Black => return true,
+            Mark::White => {}
+        }
+        mark.insert(p, Mark::Gray);
+        let mut d = 0usize;
+        for &succ in &g[&p] {
+            if !visit(succ, g, mark, depth) {
+                return false;
+            }
+            d = d.max(depth[&succ] + 1);
+        }
+        mark.insert(p, Mark::Black);
+        // Depth counts from the sinks; invert below.
+        depth.insert(p, d);
+        true
+    }
+
+    let preds: Vec<PredId> = g.keys().copied().collect();
+    for p in preds {
+        if !visit(p, &g, &mut mark, &mut depth) {
+            return None;
+        }
+    }
+    // Convert "height above sinks" into "stratum from the sources": predicates
+    // with the greatest height are the lowest strata. Def. 3 only needs a
+    // consistent µ with body-strata < head-strata, which inverted height
+    // provides.
+    let maxh = depth.values().copied().max().unwrap_or(0);
+    Some(
+        depth
+            .into_iter()
+            .map(|(p, h)| (p, maxh - h))
+            .collect(),
+    )
+}
+
+/// Computes a stratification `{Σ₁, …, Σₙ}` of `Σ` (Def. 3 / Lemma 32): a
+/// partition of the tgds, returned bottom-up as lists of tgd indices, such
+/// that whenever a tgd produces a predicate consumed by another, the producer
+/// lies in a strictly earlier stratum. Returns `None` when `Σ` is recursive.
+///
+/// This is the layering used by the stratified chase: processing strata in
+/// order and saturating each one visits every derivable atom exactly once.
+pub fn stratify(sigma: &[Tgd]) -> Option<Vec<Vec<usize>>> {
+    if stratum_of_preds(sigma).is_none() {
+        return None;
+    }
+    // Tgd-dependency graph: i → j when a head predicate of i is a body
+    // predicate of j. Acyclic iff the predicate graph is (each tgd edge
+    // corresponds to a predicate-graph edge and vice versa).
+    let n = sigma.len();
+    let mut level = vec![0usize; n];
+    // Longest-path layering by simple relaxation; at most n rounds since the
+    // graph is acyclic (checked above).
+    for _ in 0..n {
+        let mut changed = false;
+        for i in 0..n {
+            for j in 0..n {
+                let feeds = sigma[i]
+                    .head
+                    .iter()
+                    .any(|h| sigma[j].body.iter().any(|b| b.pred == h.pred));
+                if feeds && level[j] <= level[i] {
+                    level[j] = level[i] + 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let max = level.iter().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); max + 1];
+    for (i, &l) in level.iter().enumerate() {
+        strata[l].push(i);
+    }
+    strata.retain(|s| !s.is_empty());
+    Some(strata)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_tgd, Vocabulary};
+
+    #[test]
+    fn acyclic_layers() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> B(X)").unwrap(),
+            parse_tgd(&mut voc, "B(X) -> exists Y . C(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "C(X,Y) -> D(Y)").unwrap(),
+        ];
+        assert!(is_non_recursive(&sigma));
+        let strata = stratify(&sigma).unwrap();
+        assert_eq!(strata.len(), 3);
+        // Bottom-up order: A->B first, then B->C, then C->D.
+        assert_eq!(strata[0], vec![0]);
+        assert_eq!(strata[1], vec![1]);
+        assert_eq!(strata[2], vec![2]);
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . P(Y)").unwrap()];
+        assert!(!is_non_recursive(&sigma));
+        assert!(stratify(&sigma).is_none());
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> B(X)").unwrap(),
+            parse_tgd(&mut voc, "B(X) -> A(X)").unwrap(),
+        ];
+        assert!(!is_non_recursive(&sigma));
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> B(X)").unwrap(),
+            parse_tgd(&mut voc, "A(X) -> C(X)").unwrap(),
+            parse_tgd(&mut voc, "B(X), C(X) -> D(X)").unwrap(),
+        ];
+        assert!(is_non_recursive(&sigma));
+        let strata = stratify(&sigma).unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0].len(), 2);
+    }
+
+    #[test]
+    fn fact_tgds_allowed() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "true -> Bit(0), Bit(1)").unwrap(),
+            parse_tgd(&mut voc, "Bit(X) -> Num(X)").unwrap(),
+        ];
+        assert!(is_non_recursive(&sigma));
+        let strata = stratify(&sigma).unwrap();
+        assert_eq!(strata.len(), 2);
+    }
+
+    #[test]
+    fn predicate_graph_edges() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "A(X), B(X) -> C(X), D(X)").unwrap()];
+        let g = predicate_graph(&sigma);
+        let a = voc.pred_id("A").unwrap();
+        let c = voc.pred_id("C").unwrap();
+        let d = voc.pred_id("D").unwrap();
+        assert!(g[&a].contains(&c) && g[&a].contains(&d));
+        assert_eq!(g.len(), 4);
+    }
+}

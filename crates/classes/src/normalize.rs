@@ -1,0 +1,124 @@
+//! Head normalization: rewriting every tgd into *normal form* with a single
+//! head atom, as assumed w.l.o.g. throughout §5 of the paper and by the
+//! XRewrite algorithm.
+//!
+//! A tgd `φ(x̄,ȳ) → ∃z̄ (α₁ ∧ … ∧ αₖ)` with `k > 1` becomes
+//!
+//! ```text
+//! φ(x̄,ȳ) → ∃z̄ Auxτ(x̄,z̄)
+//! Auxτ(x̄,z̄) → αᵢ          (for each i)
+//! ```
+//!
+//! where `Auxτ` is a fresh predicate collecting all head variables (and the
+//! constants of the head are pushed into the `αᵢ`-rules unchanged). The
+//! transformation preserves certain answers over the original schema and
+//! keeps every class of the paper: the `Auxτ`-atom guards its rule (G), the
+//! new bodies are single atoms (L), the fresh predicate sits between the old
+//! strata (NR), and the head of the first rule keeps every body variable
+//! that was kept before while the unfolding rules are lossless (S).
+
+use omq_model::{Atom, Term, Tgd, Vocabulary};
+
+/// Rewrites `Σ` so that every tgd has exactly one head atom.
+///
+/// Fresh auxiliary predicates are interned in `voc` with names starting with
+/// `_aux`. Tgds already in normal form are passed through unchanged.
+pub fn normalize_heads(voc: &mut Vocabulary, sigma: &[Tgd]) -> Vec<Tgd> {
+    let mut out = Vec::with_capacity(sigma.len());
+    for t in sigma {
+        if t.head.len() == 1 {
+            out.push(t.clone());
+            continue;
+        }
+        let head_vars = t.head_vars();
+        let aux = voc.fresh_pred("_aux", head_vars.len());
+        let aux_args: Vec<Term> = head_vars.iter().map(|&v| Term::Var(v)).collect();
+        let aux_atom = Atom::new(aux, aux_args);
+        out.push(Tgd::new(t.body.clone(), vec![aux_atom.clone()]));
+        for h in &t.head {
+            out.push(Tgd::new(vec![aux_atom.clone()], vec![h.clone()]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{classify, is_guarded, is_linear, is_non_recursive, is_sticky};
+    use omq_model::{parse_tgd, tgd::sch};
+
+    #[test]
+    fn single_head_untouched() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y)").unwrap()];
+        let n = normalize_heads(&mut voc, &sigma);
+        assert_eq!(n, sigma);
+    }
+
+    #[test]
+    fn multi_head_split() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y), S(Y)").unwrap()];
+        let n = normalize_heads(&mut voc, &sigma);
+        assert_eq!(n.len(), 3);
+        assert!(n.iter().all(|t| t.head.len() == 1));
+        // First rule introduces the existential; unfolding rules are full.
+        assert_eq!(n[0].existential_vars().len(), 1);
+        assert!(n[1].is_full() && n[2].is_full());
+    }
+
+    #[test]
+    fn preserves_linear() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y), S(Y), P(Y)").unwrap()];
+        assert!(is_linear(&sigma));
+        let n = normalize_heads(&mut voc, &sigma);
+        assert!(is_linear(&n));
+    }
+
+    #[test]
+    fn preserves_guarded() {
+        let mut voc = Vocabulary::new();
+        let sigma =
+            vec![parse_tgd(&mut voc, "G(X,Y), P(X) -> exists Z . R(X,Z), S(Z,Y)").unwrap()];
+        assert!(is_guarded(&sigma));
+        let n = normalize_heads(&mut voc, &sigma);
+        assert!(is_guarded(&n));
+    }
+
+    #[test]
+    fn preserves_non_recursive() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> B(X), C(X)").unwrap(),
+            parse_tgd(&mut voc, "B(X), C(X) -> D(X)").unwrap(),
+        ];
+        assert!(is_non_recursive(&sigma));
+        let n = normalize_heads(&mut voc, &sigma);
+        assert!(is_non_recursive(&n));
+    }
+
+    #[test]
+    fn preserves_sticky() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "T(X,Y,Z) -> exists W . S(Y,W), U(Y)").unwrap(),
+            parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)").unwrap(),
+        ];
+        assert!(is_sticky(&sigma));
+        let n = normalize_heads(&mut voc, &sigma);
+        assert!(is_sticky(&n));
+    }
+
+    #[test]
+    fn fresh_predicates_extend_schema() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> Q(X), R(X,X)").unwrap()];
+        let before = sch(&sigma).len();
+        let n = normalize_heads(&mut voc, &sigma);
+        assert_eq!(sch(&n).len(), before + 1);
+        let report = classify(&n);
+        assert!(report.linear && report.non_recursive);
+    }
+}

@@ -1,0 +1,239 @@
+//! Sticky sets of tgds: the inductive marking procedure (paper Defs. 4–5,
+//! illustrated by Figure 1).
+//!
+//! A body variable is *marked* when it may violate the semantic stickiness
+//! property of the chase (join values must "stick" to all inferred atoms):
+//!
+//! 1. (base) `x` is marked in `σ` if some head atom of `σ` omits `x`;
+//! 2. (propagation) if `x` occurs in head atom `α` of `σ`, and some tgd `σ'`
+//!    has a body atom `β` with the same predicate as `α` such that every
+//!    variable of `β` at a position of `pos(α, x)` is marked in `σ'`, then
+//!    `x` is marked in `σ`.
+//!
+//! `Σ` is **sticky** when no marked variable occurs twice in a body.
+
+use std::collections::HashSet;
+
+use omq_model::{Term, Tgd, VarId};
+
+/// The result of running the marking procedure on a set of tgds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Marking {
+    /// `(tgd index, variable)` pairs marked in `Σ`.
+    pub marked: HashSet<(usize, VarId)>,
+    /// Number of fixpoint rounds the propagation took (base round excluded);
+    /// exposed so the Figure-1 benchmark can report convergence behaviour.
+    pub rounds: usize,
+}
+
+impl Marking {
+    /// Is `x` marked in tgd `i`?
+    pub fn is_marked(&self, tgd: usize, x: VarId) -> bool {
+        self.marked.contains(&(tgd, x))
+    }
+}
+
+/// Runs the inductive marking procedure of Def. 4 to fixpoint.
+pub fn marked_variables(sigma: &[Tgd]) -> Marking {
+    let mut marked: HashSet<(usize, VarId)> = HashSet::new();
+
+    // Base step: x marked in σ if some head atom omits x.
+    for (i, t) in sigma.iter().enumerate() {
+        for x in t.body_vars() {
+            if t.head.iter().any(|h| !h.mentions_var(x)) {
+                marked.insert((i, x));
+            }
+        }
+    }
+
+    // Propagation to fixpoint.
+    let mut rounds = 0usize;
+    loop {
+        let mut changed = false;
+        for (i, t) in sigma.iter().enumerate() {
+            for x in t.body_vars() {
+                if marked.contains(&(i, x)) {
+                    continue;
+                }
+                // x occurs in every head atom here (else base step marked it).
+                'heads: for alpha in &t.head {
+                    let pos = alpha.positions_of(Term::Var(x));
+                    if pos.is_empty() {
+                        continue;
+                    }
+                    for (j, t2) in sigma.iter().enumerate() {
+                        for beta in &t2.body {
+                            if beta.pred != alpha.pred {
+                                continue;
+                            }
+                            // A term at a propagation position must be a
+                            // *marked variable*. A constant blocks the
+                            // propagation: the formal definition assumes
+                            // constant-free tgds, and treating constants as
+                            // vacuously marked would wrongly flag lossless
+                            // sets (breaking Prop. 35, where lossless sets
+                            // with constant-padded bodies must be sticky).
+                            let all_marked = pos.iter().all(|&p| match beta.args[p] {
+                                Term::Var(v) => marked.contains(&(j, v)),
+                                _ => false,
+                            });
+                            if all_marked {
+                                marked.insert((i, x));
+                                changed = true;
+                                break 'heads;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        rounds += 1;
+    }
+    Marking { marked, rounds }
+}
+
+/// Is `Σ` sticky (Def. 5): no tgd contains two occurrences of a variable
+/// marked in it?
+pub fn is_sticky(sigma: &[Tgd]) -> bool {
+    let marking = marked_variables(sigma);
+    for (i, t) in sigma.iter().enumerate() {
+        for x in t.body_vars() {
+            if marking.is_marked(i, x) {
+                let occurrences: usize = t
+                    .body
+                    .iter()
+                    .map(|a| a.vars().filter(|&v| v == x).count())
+                    .sum();
+                if occurrences > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_tgd, Vocabulary};
+
+    /// Figure 1 variant keeping the join value: sticky.
+    ///   T(x,y,z) → ∃w S(y,w)
+    ///   R(x,y), P(y,z) → ∃w T(x,y,w)
+    ///
+    /// During the chase, `T(a,b,⊥)` (from the join on `y = b`) derives
+    /// `S(b,⊥')` — the join value sticks to every inferred atom.
+    #[test]
+    fn figure1_keeping_join_value_is_sticky() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "T(X,Y,Z) -> exists W . S(Y,W)").unwrap(),
+            parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)").unwrap(),
+        ];
+        let m = marked_variables(&sigma);
+        let x = voc.var_id("X").unwrap();
+        let y = voc.var_id("Y").unwrap();
+        // X is marked in σ0 (missing from S(Y,W)) and propagates to X in σ1
+        // via position T[1] — but X occurs only once there, so Σ is sticky.
+        assert!(m.is_marked(0, x));
+        assert!(m.is_marked(1, x));
+        assert!(!m.is_marked(1, y));
+        assert!(is_sticky(&sigma));
+    }
+
+    /// Figure 1 variant dropping the join value: not sticky.
+    ///   T(x,y,z) → ∃w S(x,w)
+    ///   R(x,y), P(y,z) → ∃w T(x,y,w)
+    ///
+    /// `T(a,b,⊥)` now derives `S(a,⊥')`, losing the join value `b`; the
+    /// marking procedure detects this: `y` is marked in σ0 (missing from the
+    /// head), propagates to the join variable `y` of σ1 through position
+    /// T[2], and `y` occurs twice in σ1's body.
+    #[test]
+    fn figure1_dropping_join_value_is_not_sticky() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "T(X,Y,Z) -> exists W . S(X,W)").unwrap(),
+            parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)").unwrap(),
+        ];
+        let m = marked_variables(&sigma);
+        let y = voc.var_id("Y").unwrap();
+        assert!(m.is_marked(0, y));
+        assert!(m.is_marked(1, y));
+        assert!(!is_sticky(&sigma));
+    }
+
+    #[test]
+    fn base_marking_only() {
+        let mut voc = Vocabulary::new();
+        // Y missing from head → marked; occurs once → still sticky.
+        let sigma = vec![parse_tgd(&mut voc, "R(X,Y) -> P(X)").unwrap()];
+        let m = marked_variables(&sigma);
+        assert!(m.is_marked(0, voc.var_id("Y").unwrap()));
+        assert!(!m.is_marked(0, voc.var_id("X").unwrap()));
+        assert!(is_sticky(&sigma));
+    }
+
+    #[test]
+    fn marked_join_variable_breaks_stickiness() {
+        let mut voc = Vocabulary::new();
+        // Y is a join variable and is dropped from the head.
+        let sigma = vec![parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> S(X,Z)").unwrap()];
+        assert!(!is_sticky(&sigma));
+    }
+
+    #[test]
+    fn linear_single_occurrence_always_sticky() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "R(X,Y) -> P(Y)").unwrap(),
+            parse_tgd(&mut voc, "T(X) -> P(X)").unwrap(),
+        ];
+        assert!(is_sticky(&sigma));
+    }
+
+    #[test]
+    fn repeated_body_variable_in_one_atom() {
+        let mut voc = Vocabulary::new();
+        // X occurs twice (both in one atom) and is dropped from the head.
+        let sigma = vec![parse_tgd(&mut voc, "R(X,X) -> exists Z . P(Z)").unwrap()];
+        assert!(!is_sticky(&sigma));
+    }
+
+    #[test]
+    fn propagation_through_two_steps() {
+        let mut voc = Vocabulary::new();
+        // σ0 drops X2 → X2 marked; σ1's head feeds σ0's body at the marked
+        // position, propagating back through S.
+        let sigma = vec![
+            parse_tgd(&mut voc, "S(X1,X2) -> P(X1)").unwrap(),
+            parse_tgd(&mut voc, "R(Y1,Y2) -> S(Y1,Y2)").unwrap(),
+        ];
+        let m = marked_variables(&sigma);
+        assert!(m.is_marked(0, voc.var_id("X2").unwrap()));
+        assert!(m.is_marked(1, voc.var_id("Y2").unwrap()));
+        assert!(is_sticky(&sigma)); // no marked variable occurs twice
+    }
+
+    #[test]
+    fn marking_respects_constants() {
+        let mut voc = Vocabulary::new();
+        // Constant at the propagation position: no constraint, so the head
+        // variable of σ1 at that position is marked.
+        let sigma = vec![
+            parse_tgd(&mut voc, "S(X1,X2) -> P(X1)").unwrap(),
+            parse_tgd(&mut voc, "S(a,Y2), S(Y2,b) -> T(Y2)").unwrap(),
+        ];
+        let m = marked_variables(&sigma);
+        // In σ1, Y2 appears twice; is it marked? Y2 appears in head T(Y2);
+        // propagation: T never occurs in a body, so no rule-2 marking; base:
+        // head T(Y2) contains Y2, so not marked. Sticky holds.
+        assert!(!m.is_marked(1, voc.var_id("Y2").unwrap()));
+        assert!(is_sticky(&sigma));
+    }
+}

@@ -1,0 +1,122 @@
+//! Weak acyclicity (Fagin et al., data exchange), mentioned in §3.1: the
+//! "weak" relaxations of the paper's classes extend full tgds and therefore
+//! have an undecidable containment problem (Prop. 8). We implement the
+//! recognizer so the library can warn about such sets.
+
+use std::collections::{HashMap, HashSet};
+
+use omq_model::{PredId, Term, Tgd};
+
+/// A position `P[i]` of a predicate.
+type Position = (PredId, usize);
+
+/// Is `Σ` weakly acyclic?
+///
+/// Build the position graph: for each tgd and each body variable `x` at
+/// position `π` that also occurs in the head, add a *normal* edge from `π`
+/// to every head position of `x`, and a *special* edge from `π` to every
+/// head position of every existential variable of that tgd. `Σ` is weakly
+/// acyclic iff no cycle goes through a special edge.
+pub fn is_weakly_acyclic(sigma: &[Tgd]) -> bool {
+    let mut normal: HashMap<Position, HashSet<Position>> = HashMap::new();
+    let mut special: HashMap<Position, HashSet<Position>> = HashMap::new();
+    let mut positions: HashSet<Position> = HashSet::new();
+
+    for t in sigma {
+        let existentials = t.existential_vars();
+        for b in &t.body {
+            for (i, &arg) in b.args.iter().enumerate() {
+                let Term::Var(x) = arg else { continue };
+                let from = (b.pred, i);
+                positions.insert(from);
+                for h in &t.head {
+                    for (j, &harg) in h.args.iter().enumerate() {
+                        let to = (h.pred, j);
+                        positions.insert(to);
+                        match harg {
+                            Term::Var(y) if y == x => {
+                                normal.entry(from).or_default().insert(to);
+                            }
+                            Term::Var(y) if existentials.contains(&y) => {
+                                special.entry(from).or_default().insert(to);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // A cycle through a special edge exists iff some special edge (u, v) has
+    // a path from v back to u in the combined graph.
+    let succ = |p: Position| -> Vec<Position> {
+        let mut out = Vec::new();
+        if let Some(s) = normal.get(&p) {
+            out.extend(s.iter().copied());
+        }
+        if let Some(s) = special.get(&p) {
+            out.extend(s.iter().copied());
+        }
+        out
+    };
+    for (&u, targets) in &special {
+        for &v in targets {
+            // BFS from v looking for u.
+            let mut seen = HashSet::new();
+            let mut stack = vec![v];
+            while let Some(p) = stack.pop() {
+                if p == u {
+                    return false;
+                }
+                if seen.insert(p) {
+                    stack.extend(succ(p));
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_tgd, Vocabulary};
+
+    #[test]
+    fn full_tgds_are_weakly_acyclic() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "T(X,Y), T(Y,Z) -> T(X,Z)").unwrap()];
+        assert!(is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn self_feeding_existential_cycle() {
+        let mut voc = Vocabulary::new();
+        // P[1] --special--> P[1]: not weakly acyclic.
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . P(Y)").unwrap()];
+        assert!(!is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn employee_manager_example() {
+        let mut voc = Vocabulary::new();
+        // Classic weakly-acyclic example: every employee has a manager who
+        // is an employee — cycle through a special edge.
+        let sigma = vec![
+            parse_tgd(&mut voc, "Emp(X) -> exists Y . Mgr(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "Mgr(X,Y) -> Emp(Y)").unwrap(),
+        ];
+        assert!(!is_weakly_acyclic(&sigma));
+    }
+
+    #[test]
+    fn terminating_existential_chain() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> exists Y . B(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "B(X,Y) -> C(Y)").unwrap(),
+        ];
+        assert!(is_weakly_acyclic(&sigma));
+    }
+}

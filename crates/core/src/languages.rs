@@ -1,0 +1,154 @@
+//! The OMQ languages of the paper and their automatic detection.
+
+use std::fmt;
+
+use omq_classes::classify;
+use omq_model::Omq;
+
+/// The classes of tgds giving rise to the paper's OMQ languages, ordered
+/// roughly by how much structure they give the algorithms.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OmqLanguage {
+    /// `O_∅`: the empty ontology — plain (U)CQs (used by Props. 5–6).
+    Empty,
+    /// `(L, ·)`: linear tgds (single body atom). UCQ rewritable;
+    /// containment is PSPACE-complete (Thm. 13).
+    Linear,
+    /// `(NR, ·)`: non-recursive sets. UCQ rewritable; containment is in
+    /// EXPSPACE and PNEXP-hard (Thm. 16).
+    NonRecursive,
+    /// `(S, ·)`: sticky sets. UCQ rewritable; containment is
+    /// coNEXPTIME-complete (Thm. 19).
+    Sticky,
+    /// `(G, ·)`: guarded sets. Not UCQ rewritable; containment is
+    /// 2EXPTIME-complete (Thm. 20).
+    Guarded,
+    /// `(F, ·)`: full tgds (Datalog). Containment undecidable (Prop. 8);
+    /// only the sound anytime machinery applies.
+    Full,
+    /// Arbitrary tgds: evaluation itself is undecidable ([12]); only
+    /// budgeted, sound approximations apply.
+    General,
+}
+
+impl OmqLanguage {
+    /// Is the language UCQ rewritable (Def. 1)? These are the languages the
+    /// small-witness algorithm of §4 decides exactly.
+    pub fn is_ucq_rewritable(self) -> bool {
+        matches!(
+            self,
+            OmqLanguage::Empty
+                | OmqLanguage::Linear
+                | OmqLanguage::NonRecursive
+                | OmqLanguage::Sticky
+        )
+    }
+
+    /// Does the language have decidable evaluation?
+    pub fn has_decidable_evaluation(self) -> bool {
+        !matches!(self, OmqLanguage::General)
+    }
+}
+
+impl fmt::Display for OmqLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OmqLanguage::Empty => "(∅,CQ)",
+            OmqLanguage::Linear => "(L,CQ)",
+            OmqLanguage::NonRecursive => "(NR,CQ)",
+            OmqLanguage::Sticky => "(S,CQ)",
+            OmqLanguage::Guarded => "(G,CQ)",
+            OmqLanguage::Full => "(F,CQ)",
+            OmqLanguage::General => "(TGD,CQ)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Detects the most specific language of the paper that `omq` falls in.
+///
+/// Preference order among the decidable classes: `∅`, then `L` (PSPACE),
+/// `NR`, `S`, `G` — UCQ-rewritable classes are preferred because they give
+/// the exact containment algorithm; among them, the ones with cheaper
+/// containment come first.
+pub fn detect_language(omq: &Omq) -> OmqLanguage {
+    if omq.sigma.is_empty() {
+        return OmqLanguage::Empty;
+    }
+    let r = classify(&omq.sigma);
+    if r.linear {
+        OmqLanguage::Linear
+    } else if r.non_recursive {
+        OmqLanguage::NonRecursive
+    } else if r.sticky {
+        OmqLanguage::Sticky
+    } else if r.guarded {
+        OmqLanguage::Guarded
+    } else if r.full {
+        OmqLanguage::Full
+    } else {
+        OmqLanguage::General
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_program, Schema, Ucq};
+
+    fn omq_of(text: &str) -> Omq {
+        let prog = parse_program(text).unwrap();
+        Omq::new(
+            Schema::new(),
+            prog.tgds.clone(),
+            prog.queries
+                .values()
+                .next()
+                .cloned()
+                .unwrap_or_else(|| Ucq::new(0, vec![])),
+        )
+    }
+
+    #[test]
+    fn detection_prefers_specific_classes() {
+        assert_eq!(detect_language(&omq_of("q :- P(X)\n")), OmqLanguage::Empty);
+        assert_eq!(
+            detect_language(&omq_of("P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq :- P(X)\n")),
+            OmqLanguage::Linear
+        );
+        assert_eq!(
+            detect_language(&omq_of("A(X), B(X) -> C(X)\nq :- C(X)\n")),
+            OmqLanguage::NonRecursive
+        );
+        // Sticky but recursive and unguarded.
+        assert_eq!(
+            detect_language(&omq_of(
+                "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)\nT(X,Y,W) -> R(Y,X)\nq :- R(X,Y)\n"
+            )),
+            OmqLanguage::Sticky
+        );
+        // Guarded, recursive, not sticky.
+        assert_eq!(
+            detect_language(&omq_of(
+                "G(X,Y,Z), R(X,Y) -> exists W . G(Y,Z,W), R(Y,Z)\nq :- R(X,Y)\n"
+            )),
+            OmqLanguage::Guarded
+        );
+        // Datalog transitive closure: full, none of the above.
+        assert_eq!(
+            detect_language(&omq_of("T(X,Y), T(Y,Z) -> T(X,Z)\nq :- T(X,Y)\n")),
+            OmqLanguage::Full
+        );
+    }
+
+    #[test]
+    fn language_properties() {
+        assert!(OmqLanguage::Linear.is_ucq_rewritable());
+        assert!(OmqLanguage::Sticky.is_ucq_rewritable());
+        assert!(OmqLanguage::NonRecursive.is_ucq_rewritable());
+        assert!(!OmqLanguage::Guarded.is_ucq_rewritable());
+        assert!(OmqLanguage::Guarded.has_decidable_evaluation());
+        assert!(!OmqLanguage::General.has_decidable_evaluation());
+        assert_eq!(OmqLanguage::Guarded.to_string(), "(G,CQ)");
+    }
+}

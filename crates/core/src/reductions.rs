@@ -1,0 +1,223 @@
+//! The evaluation ⇄ containment reductions of §3.1 (Props. 5 and 6).
+//!
+//! These underpin the paper's lower bounds: every hardness result for
+//! evaluation transfers to containment (Prop. 5) and to its complement
+//! (Prop. 6), which is why decidable evaluation on both sides is a
+//! necessary condition for decidable containment (Cor. 7).
+
+use std::collections::HashMap;
+
+use omq_model::{Atom, ConstId, Cq, Omq, PredId, Term, Tgd, Ucq, Vocabulary};
+
+/// Prop. 5: builds `(Q₁, Q₂)` with `c̄ ∈ Q(D)  ⟺  Q₁ ⊆ Q₂`, where
+/// `Q₁ = (sch(Σ) ∪ S, ∅, q_{D,c̄})` freezes the database into a CQ and
+/// `Q₂ = (sch(Σ) ∪ S, Σ, q)`.
+///
+/// `q_{D,c̄}` replaces each constant `c` of `D` by a variable `x_c`; its
+/// head lists the variables of the queried tuple.
+pub fn eval_as_containment(
+    omq: &Omq,
+    db: &omq_model::Instance,
+    tuple: &[ConstId],
+    voc: &mut Vocabulary,
+) -> (Omq, Omq) {
+    let schema = omq.full_schema();
+    let mut var_of: HashMap<ConstId, omq_model::VarId> = HashMap::new();
+    let mut atoms = Vec::with_capacity(db.len());
+    for a in db.atoms() {
+        atoms.push(a.map_terms(|t| match t {
+            Term::Const(c) => {
+                let v = *var_of
+                    .entry(c)
+                    .or_insert_with(|| voc.fresh_var(&format!("xc{}_", c.0)));
+                Term::Var(v)
+            }
+            other => other,
+        }));
+    }
+    let head: Vec<omq_model::VarId> = tuple
+        .iter()
+        .map(|c| {
+            *var_of
+                .entry(*c)
+                .or_insert_with(|| voc.fresh_var(&format!("xc{}_", c.0)))
+        })
+        .collect();
+    let q1 = Omq::new(
+        schema.clone(),
+        vec![],
+        Ucq::from_cq(Cq::new(head, atoms)),
+    );
+    let q2 = Omq::new(schema, omq.sigma.clone(), omq.query.clone());
+    (q1, q2)
+}
+
+/// Prop. 6: builds `(Q₁, Q₂)` with `c̄ ∈ Q(D)  ⟺  Q₁ ⊄ Q₂`, where `Q₁`
+/// carries `Σ` with predicates renamed to starred copies plus fact tgds
+/// loading `D`, its query is `q(c̄)` starred, and `Q₂ = (S, ∅, ∃x P(x))`
+/// for a fresh predicate `P ∉ S` (so `Q₂` is unsatisfiable over `S`).
+///
+/// Requires the OMQ's query to be a CQ (as in the paper's statement).
+pub fn eval_as_noncontainment(
+    omq: &Omq,
+    db: &omq_model::Instance,
+    tuple: &[ConstId],
+    voc: &mut Vocabulary,
+) -> Option<(Omq, Omq)> {
+    let q = omq.query.as_cq()?;
+    if tuple.len() != q.head.len() {
+        return None;
+    }
+    // Star-rename every predicate of Σ and q.
+    let mut star: HashMap<PredId, PredId> = HashMap::new();
+    let star_of = |p: PredId, voc: &mut Vocabulary, star: &mut HashMap<PredId, PredId>| {
+        *star.entry(p).or_insert_with(|| {
+            let name = format!("{}_star", voc.pred_name(p));
+            voc.fresh_pred(&name, voc.arity(p))
+        })
+    };
+    let star_atom = |a: &Atom, voc: &mut Vocabulary, star: &mut HashMap<PredId, PredId>| {
+        Atom::new(star_of(a.pred, voc, star), a.args.clone())
+    };
+    let mut sigma: Vec<Tgd> = Vec::new();
+    for t in &omq.sigma {
+        let body = t.body.iter().map(|a| star_atom(a, voc, &mut star)).collect();
+        let head = t.head.iter().map(|a| star_atom(a, voc, &mut star)).collect();
+        sigma.push(Tgd::new(body, head));
+    }
+    // Fact tgds loading the starred database.
+    for a in db.atoms() {
+        sigma.push(Tgd::new(vec![], vec![star_atom(a, voc, &mut star)]));
+    }
+    // q(c̄), starred: substitute the head variables by the queried
+    // constants and drop the head.
+    let subst: HashMap<omq_model::VarId, Term> = q
+        .head
+        .iter()
+        .zip(tuple)
+        .map(|(&v, &c)| (v, Term::Const(c)))
+        .collect();
+    let body: Vec<Atom> = q
+        .body
+        .iter()
+        .map(|a| {
+            let grounded = a.map_terms(|t| match t {
+                Term::Var(v) => subst.get(&v).copied().unwrap_or(t),
+                other => other,
+            });
+            star_atom(&grounded, voc, &mut star)
+        })
+        .collect();
+    let q1 = Omq::new(
+        omq.data_schema.clone(),
+        sigma,
+        Ucq::from_cq(Cq::boolean(body)),
+    );
+    // Q₂: ∃x P(x) for fresh P — unsatisfiable over S.
+    let p = voc.fresh_pred("Punsat", 1);
+    let x = voc.fresh_var("xp_");
+    let q2 = Omq::new(
+        omq.data_schema.clone(),
+        vec![],
+        Ucq::from_cq(Cq::boolean(vec![Atom::new(p, vec![Term::Var(x)])])),
+    );
+    Some((q1, q2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::{contains, ContainmentConfig};
+    use crate::evaluate::{is_certain_answer, EvalConfig, Trool};
+    use omq_model::{parse_program, parse_tgd, Instance, Schema};
+
+    fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            let t = parse_tgd(voc, &format!("true -> {f}")).unwrap();
+            for a in t.head {
+                inst.insert(a);
+            }
+        }
+        inst
+    }
+
+    fn omq(text: &str, data: &[&str], q: &str) -> (Omq, Vocabulary) {
+        let prog = parse_program(text).unwrap();
+        let voc = prog.voc.clone();
+        let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+        (
+            Omq::new(schema, prog.tgds.clone(), prog.query(q).unwrap().clone()),
+            voc,
+        )
+    }
+
+    /// Prop. 5 round-trip: evaluation answers match the containment
+    /// verdicts of the constructed pair, on positive and negative tuples.
+    #[test]
+    fn prop5_roundtrip() {
+        let (q, mut voc) = omq(
+            "T(X) -> P(X)\nP(X) -> exists Y . R(X,Y)\nq(X) :- R(X,Y)\ndummy :- U(X)\n",
+            &["T", "P", "U"],
+            "q",
+        );
+        // `b` is in the database (via the inert predicate U) but never an
+        // answer.
+        let d = db(&mut voc, &["T(a)", "U(b)"]);
+        let a = voc.const_id("a").unwrap();
+        let b = voc.const_id("b").unwrap();
+        let cfg = ContainmentConfig::default();
+        for (tuple, expected) in [(vec![a], true), (vec![b], false)] {
+            let direct = is_certain_answer(&q, &d, &tuple, &mut voc, &EvalConfig::default());
+            assert_eq!(direct == Trool::True, expected);
+            let (q1, q2) = eval_as_containment(&q, &d, &tuple, &mut voc);
+            let out = contains(&q1, &q2, &mut voc, &cfg).unwrap();
+            assert_eq!(out.result.is_contained(), expected, "tuple {tuple:?}");
+        }
+    }
+
+    /// Prop. 6 round-trip: `c̄ ∈ Q(D)` iff the constructed pair is NOT
+    /// contained.
+    #[test]
+    fn prop6_roundtrip() {
+        let (q, mut voc) = omq(
+            "T(X) -> P(X)\nq(X) :- P(X)\n",
+            &["T"],
+            "q",
+        );
+        let d = db(&mut voc, &["T(a)", "T(c)"]);
+        let a = voc.const_id("a").unwrap();
+        let other = voc.constant("zz");
+        let cfg = ContainmentConfig::default();
+        for (tuple, expected_in) in [(vec![a], true), (vec![other], false)] {
+            let (q1, q2) = eval_as_noncontainment(&q, &d, &tuple, &mut voc).unwrap();
+            let out = contains(&q1, &q2, &mut voc, &cfg).unwrap();
+            assert_eq!(
+                out.result.is_not_contained(),
+                expected_in,
+                "tuple {tuple:?}: {:?}",
+                out.result
+            );
+        }
+    }
+
+    /// The Prop. 6 construction preserves class membership via fact-tgd
+    /// extension: a linear Σ stays linear.
+    #[test]
+    fn prop6_preserves_linearity() {
+        let (q, mut voc) = omq("T(X) -> P(X)\nq(X) :- P(X)\n", &["T"], "q");
+        let d = db(&mut voc, &["T(a)"]);
+        let a = voc.const_id("a").unwrap();
+        let (q1, _) = eval_as_noncontainment(&q, &d, &[a], &mut voc).unwrap();
+        assert!(omq_classes::is_linear(&q1.sigma));
+    }
+
+    #[test]
+    fn prop6_requires_cq() {
+        let (mut q, mut voc) = omq("T(X) -> P(X)\nq(X) :- P(X)\n", &["T"], "q");
+        q.query.disjuncts.push(q.query.disjuncts[0].clone());
+        let d = db(&mut voc, &["T(a)"]);
+        let a = voc.const_id("a").unwrap();
+        assert!(eval_as_noncontainment(&q, &d, &[a], &mut voc).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! C-trees (Def. 2/Def. 9): databases that are tree-like except for a
+//! distinguished cyclic core `C`.
+//!
+//! Non-containment of guarded OMQs is always witnessed by a C-tree whose
+//! core has at most `ar(S ∪ sch(Σ₁)) · |q₁|` elements (Prop. 21); this
+//! module provides the data structure, a builder that maintains the
+//! witnessing decomposition, and validity checking.
+
+use omq_model::{Atom, Instance, Term};
+
+use crate::tree_decomposition::TreeDecomposition;
+
+/// A database together with a tree decomposition witnessing that it is a
+/// `C`-tree: the root bag induces the core `C`, and every non-root bag is
+/// guarded by an atom.
+#[derive(Clone, Debug)]
+pub struct CTree {
+    /// The whole database.
+    pub instance: Instance,
+    /// The witnessing decomposition; the root bag spans `dom(C)`.
+    pub decomposition: TreeDecomposition,
+}
+
+impl CTree {
+    /// Starts a C-tree from its core.
+    pub fn from_core(core: Instance) -> Self {
+        let dom = core.active_domain();
+        CTree {
+            instance: core,
+            decomposition: TreeDecomposition::new(dom),
+        }
+    }
+
+    /// Adds a guarded atom below the decomposition node `parent`: the atom's
+    /// terms form the new bag, so the atom guards it by construction.
+    /// Returns the new node id.
+    ///
+    /// For the decomposition to remain valid, terms shared with the rest of
+    /// the database must already occur in the parent bag (connectedness);
+    /// this is checked and panics otherwise, since it is a construction bug.
+    pub fn add_guarded_atom(&mut self, parent: usize, atom: Atom) -> usize {
+        let bag: Vec<Term> = {
+            let mut seen = Vec::new();
+            for &t in &atom.args {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            seen
+        };
+        let parent_bag = self.decomposition.tree.label(parent).clone();
+        for &t in &bag {
+            let occurs_elsewhere = self
+                .instance
+                .active_domain()
+                .contains(&t);
+            assert!(
+                !occurs_elsewhere || parent_bag.contains(&t),
+                "shared term must come from the parent bag"
+            );
+        }
+        self.instance.insert(atom);
+        self.decomposition.add_bag(parent, bag)
+    }
+
+    /// The core `C`: the subinstance induced by the root bag.
+    pub fn core(&self) -> Instance {
+        let root_bag = self.decomposition.tree.label(0);
+        Instance::from_atoms(
+            self.instance
+                .atoms()
+                .iter()
+                .filter(|a| a.args.iter().all(|t| root_bag.contains(t)))
+                .cloned(),
+        )
+    }
+
+    /// `|dom(C)|`, the diameter.
+    pub fn diameter(&self) -> usize {
+        self.decomposition.tree.label(0).len()
+    }
+
+    /// Checks the C-tree conditions of Def. 9: the decomposition is valid
+    /// for the instance and guarded except for the root.
+    pub fn validate(&self) -> bool {
+        self.decomposition.is_valid_for(&self.instance)
+            && self.decomposition.guarded_except(&self.instance, &[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::Vocabulary;
+
+    fn c(voc: &mut Vocabulary, n: &str) -> Term {
+        Term::Const(voc.constant(n))
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (a, b) = (c(&mut voc, "a"), c(&mut voc, "b"));
+        // Core: a cycle R(a,b), R(b,a).
+        let core = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![b, a]),
+        ]);
+        let mut t = CTree::from_core(core.clone());
+        // Tree part: a path hanging off b.
+        let (x, y) = (c(&mut voc, "x"), c(&mut voc, "y"));
+        let n1 = t.add_guarded_atom(0, Atom::new(r, vec![b, x]));
+        t.add_guarded_atom(n1, Atom::new(r, vec![x, y]));
+        assert!(t.validate());
+        assert_eq!(t.core(), core);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.instance.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared term")]
+    fn disconnected_attachment_panics() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (a, b) = (c(&mut voc, "a"), c(&mut voc, "b"));
+        let core = Instance::from_atoms([Atom::new(r, vec![a, b])]);
+        let mut t = CTree::from_core(core);
+        let x = c(&mut voc, "x");
+        let n1 = t.add_guarded_atom(0, Atom::new(r, vec![b, x]));
+        // Attaching an atom over `a` below n1 breaks connectedness: `a` is
+        // not in n1's bag.
+        t.add_guarded_atom(n1, Atom::new(r, vec![a, x]));
+    }
+
+    #[test]
+    fn empty_core_is_a_plain_tree() {
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", 1);
+        let a = c(&mut voc, "a");
+        let mut t = CTree::from_core(Instance::new());
+        // With an empty core the root bag is empty; children are fresh.
+        let n = t.decomposition.add_bag(0, vec![a]);
+        t.instance.insert(Atom::new(p, vec![a]));
+        let _ = n;
+        assert!(t.validate());
+        assert_eq!(t.diameter(), 0);
+    }
+}

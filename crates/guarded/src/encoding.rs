@@ -1,0 +1,514 @@
+//! Encoding C-trees as `Γ_{S,l}`-labeled trees (§5.2 and Lemma 41).
+//!
+//! A node label records which *names* are in use (`Da`), which of them
+//! denote core elements (`Ca`), and which atoms hold over the named
+//! elements (`Ra̅`). Names come from a pool `U_{S,l}` with `l` core names
+//! and `2·ar(S)` tree names, so that neighboring bags can always give
+//! distinct elements distinct names.
+//!
+//! [`is_consistent`] checks the five consistency conditions of the paper;
+//! [`decode`] turns a consistent labeled tree back into a C-tree database
+//! (Lemma 41); [`consistency_automaton_downward`] builds the 2WAPA of
+//! Lemma 23 for the downward-checkable conditions (1)–(4), usable with the
+//! alternating→nondeterministic translation; condition (5) (guardedness of
+//! every bag, a genuinely two-way reachability property) is checked
+//! procedurally.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use omq_automata::{Bf, Dir, LTree, Transition, Twapa};
+use omq_model::{Atom, Instance, PredId, Term, Vocabulary};
+
+use crate::ctree::CTree;
+
+/// A name from the pool `U_{S,l}`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Name {
+    /// One of the `l` core names (`C_l` in the paper).
+    Core(u8),
+    /// One of the `2·ar(S)` tree names (`T_S`).
+    Tree(u8),
+}
+
+/// A symbol of the alphabet `Γ_{S,l}`: the set of `K_{S,l}`-flags of one
+/// node.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct NodeLabel {
+    /// `Da` flags: names in use at this node.
+    pub names: BTreeSet<Name>,
+    /// `Ca` flags: names denoting core elements (always core names).
+    pub core_names: BTreeSet<Name>,
+    /// `Ra̅` flags: atoms over the named elements.
+    pub atoms: BTreeSet<(PredId, Vec<Name>)>,
+}
+
+/// Encodes a C-tree (with its witnessing decomposition) as a labeled tree.
+///
+/// Returns `None` when the core has more than `l` elements or some bag
+/// exceeds the arity bound `ar` (non-root bags must have ≤ `ar` elements).
+pub fn encode(ctree: &CTree, l: usize, ar: usize) -> Option<LTree<NodeLabel>> {
+    let dec = &ctree.decomposition.tree;
+    let root_bag = dec.label(0);
+    if root_bag.len() > l || l > u8::MAX as usize || 2 * ar > u8::MAX as usize {
+        return None;
+    }
+    // Name assignment per node: term -> name.
+    let mut naming: Vec<HashMap<Term, Name>> = Vec::with_capacity(dec.len());
+    let mut core_assignment: HashMap<Term, Name> = HashMap::new();
+    for (i, &t) in root_bag.iter().enumerate() {
+        core_assignment.insert(t, Name::Core(i as u8));
+    }
+    let mut out: Option<LTree<NodeLabel>> = None;
+    for node in dec.nodes() {
+        let bag = dec.label(node);
+        if node != 0 && bag.len() > ar {
+            return None;
+        }
+        let mut map: HashMap<Term, Name> = HashMap::new();
+        if node == 0 {
+            map = core_assignment.clone();
+        } else {
+            let parent = dec.parent(node).expect("non-root has a parent");
+            let pmap = naming[parent].clone();
+            // Inherited elements keep their names; fresh elements get tree
+            // names unused by the parent.
+            let used_by_parent: HashSet<Name> = pmap.values().copied().collect();
+            let mut pool = (0..2 * ar as u8).map(Name::Tree).filter(|n| !used_by_parent.contains(n));
+            for &t in bag {
+                if let Some(&cn) = core_assignment.get(&t) {
+                    map.insert(t, cn);
+                } else if let Some(&pn) = pmap.get(&t) {
+                    map.insert(t, pn);
+                } else {
+                    map.insert(t, pool.next()?);
+                }
+            }
+        }
+        // Build the label.
+        let mut label = NodeLabel::default();
+        for (&t, &n) in &map {
+            label.names.insert(n);
+            if core_assignment.contains_key(&t) {
+                label.core_names.insert(n);
+            }
+            let _ = t;
+        }
+        for a in ctree.instance.atoms() {
+            if a.args.iter().all(|t| map.contains_key(t)) {
+                let named: Vec<Name> = a.args.iter().map(|t| map[t]).collect();
+                label.atoms.insert((a.pred, named));
+            }
+        }
+        match (&mut out, dec.parent(node)) {
+            (None, _) => {
+                out = Some(LTree::new(label));
+            }
+            (Some(tree), Some(parent)) => {
+                // Decomposition node ids equal labeled-tree node ids because
+                // both are created in the same order.
+                let id = tree.add_child(parent, label);
+                debug_assert_eq!(id, node);
+            }
+            _ => unreachable!(),
+        }
+        naming.push(map);
+    }
+    out
+}
+
+/// `names(v)` of a label.
+fn names(label: &NodeLabel) -> &BTreeSet<Name> {
+    &label.names
+}
+
+/// Checks the five consistency conditions of §5.2.
+pub fn is_consistent(tree: &LTree<NodeLabel>, l: usize, ar: usize) -> bool {
+    for v in tree.nodes() {
+        let lab = tree.label(v);
+        // (1) Name-count bounds; root uses core names only.
+        if v == 0 {
+            if lab.names.len() > l || lab.names.iter().any(|n| matches!(n, Name::Tree(_))) {
+                return false;
+            }
+        } else if lab.names.len() > ar {
+            return false;
+        }
+        // (3) Da ⟺ Ca for core names; Ca only on core names.
+        for n in &lab.core_names {
+            if matches!(n, Name::Tree(_)) || !lab.names.contains(n) {
+                return false;
+            }
+        }
+        for n in &lab.names {
+            if matches!(n, Name::Core(_)) && !lab.core_names.contains(n) {
+                return false;
+            }
+        }
+        // (2) Atom names are declared.
+        for (_, args) in &lab.atoms {
+            if args.iter().any(|n| !lab.names.contains(n)) {
+                return false;
+            }
+        }
+        // (4) Ca propagates towards the root.
+        if let Some(p) = tree.parent(v) {
+            for n in &lab.core_names {
+                if !tree.label(p).core_names.contains(n) {
+                    return false;
+                }
+            }
+        }
+        // (5) Guardedness: some node w, b-connected to v for every
+        // b ∈ names(v), has an atom covering names(v).
+        if v != 0 && !lab.names.is_empty() {
+            if !find_guard(tree, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Condition (5): BFS through nodes whose labels retain all of `names(v)`,
+/// looking for an atom covering `names(v)`.
+fn find_guard(tree: &LTree<NodeLabel>, v: usize) -> bool {
+    let need = names(tree.label(v)).clone();
+    let mut seen = HashSet::new();
+    let mut stack = vec![v];
+    seen.insert(v);
+    while let Some(u) = stack.pop() {
+        let lab = tree.label(u);
+        if lab
+            .atoms
+            .iter()
+            .any(|(_, args)| need.iter().all(|n| args.contains(n)))
+        {
+            return true;
+        }
+        let mut neigh: Vec<usize> = tree.children(u).to_vec();
+        if let Some(p) = tree.parent(u) {
+            neigh.push(p);
+        }
+        for w in neigh {
+            if !seen.contains(&w) && need.iter().all(|n| tree.label(w).names.contains(n)) {
+                seen.insert(w);
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Decodes a consistent labeled tree into a database (Lemma 41): elements
+/// are the a-equivalence classes `[v]_a`, realized as fresh constants.
+pub fn decode(tree: &LTree<NodeLabel>, voc: &mut Vocabulary) -> Instance {
+    // Union-find over (node, name): (v, a) ~ (parent(v), a) when both carry
+    // Da.
+    let mut class: HashMap<(usize, Name), (usize, Name)> = HashMap::new();
+    fn find(
+        class: &mut HashMap<(usize, Name), (usize, Name)>,
+        x: (usize, Name),
+    ) -> (usize, Name) {
+        let p = *class.get(&x).unwrap_or(&x);
+        if p == x {
+            return x;
+        }
+        let r = find(class, p);
+        class.insert(x, r);
+        r
+    }
+    for v in tree.nodes() {
+        if let Some(p) = tree.parent(v) {
+            for &n in names(tree.label(v)) {
+                if tree.label(p).names.contains(&n) {
+                    let (rv, rp) = (find(&mut class, (v, n)), find(&mut class, (p, n)));
+                    if rv != rp {
+                        class.insert(rv, rp);
+                    }
+                }
+            }
+        }
+    }
+    let mut consts: HashMap<(usize, Name), Term> = HashMap::new();
+    let mut inst = Instance::new();
+    let term_of = |class_rep: (usize, Name), voc: &mut Vocabulary,
+                       consts: &mut HashMap<(usize, Name), Term>| {
+        *consts
+            .entry(class_rep)
+            .or_insert_with(|| Term::Const(voc.fresh_const("d")))
+    };
+    for v in tree.nodes() {
+        for (pred, args) in &tree.label(v).atoms {
+            let terms: Vec<Term> = args
+                .iter()
+                .map(|&n| {
+                    let rep = find(&mut class, (v, n));
+                    term_of(rep, voc, &mut consts)
+                })
+                .collect();
+            inst.insert(Atom::new(*pred, terms));
+        }
+    }
+    inst
+}
+
+/// The 2WAPA of Lemma 23 restricted to the *downward* consistency
+/// conditions (1)–(4), over an explicitly given finite alphabet.
+///
+/// States are "forbidden core-name sets": after visiting a node whose label
+/// lacks `Ca`, no descendant may carry `Ca` (condition 4). Conditions
+/// (1)–(3) are checked locally. The automaton is downward and all-odd, so
+/// it composes with [`omq_automata::Twapa::to_nta`]; condition (5) is
+/// checked procedurally by [`is_consistent`].
+pub fn consistency_automaton_downward(
+    alphabet: &[NodeLabel],
+    l: usize,
+    ar: usize,
+) -> Twapa<NodeLabel> {
+    // Collect all core names mentioned in the alphabet.
+    let mut core_names: BTreeSet<Name> = BTreeSet::new();
+    for lab in alphabet {
+        for &n in &lab.names {
+            if matches!(n, Name::Core(_)) {
+                core_names.insert(n);
+            }
+        }
+    }
+    // States: 0 = root check; then one state per forbidden set (interned).
+    let mut sets: Vec<BTreeSet<Name>> = Vec::new();
+    let mut index: HashMap<BTreeSet<Name>, usize> = HashMap::new();
+    let intern = |s: BTreeSet<Name>,
+                      sets: &mut Vec<BTreeSet<Name>>,
+                      index: &mut HashMap<BTreeSet<Name>, usize>| {
+        *index.entry(s.clone()).or_insert_with(|| {
+            sets.push(s);
+            sets.len() // state ids start at 1
+        })
+    };
+
+    let local_ok = |lab: &NodeLabel, root: bool| -> bool {
+        if root {
+            if lab.names.len() > l || lab.names.iter().any(|n| matches!(n, Name::Tree(_))) {
+                return false;
+            }
+        } else if lab.names.len() > ar {
+            return false;
+        }
+        lab.core_names
+            .iter()
+            .all(|n| matches!(n, Name::Core(_)) && lab.names.contains(n))
+            && lab
+                .names
+                .iter()
+                .all(|n| matches!(n, Name::Tree(_)) || lab.core_names.contains(n))
+            && lab
+                .atoms
+                .iter()
+                .all(|(_, args)| args.iter().all(|n| lab.names.contains(n)))
+    };
+
+    let mut delta: HashMap<(usize, NodeLabel), Bf<Transition>> = HashMap::new();
+    // We enumerate transitions lazily over the finite alphabet; state space
+    // is built by need starting from the root state.
+    let mut work: Vec<(usize, Option<BTreeSet<Name>>)> = vec![(0, None)];
+    let mut done: HashSet<usize> = HashSet::new();
+    let mut forbidden_of: HashMap<usize, BTreeSet<Name>> = HashMap::new();
+    while let Some((state, forb)) = work.pop() {
+        if !done.insert(state) {
+            continue;
+        }
+        for lab in alphabet {
+            let root = state == 0;
+            let mut ok = local_ok(lab, root);
+            if let Some(f) = &forb {
+                if lab.core_names.iter().any(|n| f.contains(n)) {
+                    ok = false;
+                }
+            }
+            if !ok {
+                delta.insert((state, lab.clone()), Bf::False);
+                continue;
+            }
+            let next_forbidden: BTreeSet<Name> = core_names
+                .iter()
+                .copied()
+                .filter(|n| !lab.core_names.contains(n))
+                .collect();
+            let next_state = intern(next_forbidden.clone(), &mut sets, &mut index);
+            forbidden_of.insert(next_state, next_forbidden.clone());
+            work.push((next_state, Some(next_forbidden)));
+            delta.insert(
+                (state, lab.clone()),
+                Bf::Lit(Transition::boxed(Dir::Down, next_state)),
+            );
+        }
+    }
+    let num_states = sets.len() + 1;
+    Twapa {
+        num_states,
+        initial: 0,
+        priorities: vec![1; num_states],
+        alphabet: alphabet.to_vec(),
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::Instance;
+
+    fn sample_ctree(voc: &mut Vocabulary) -> CTree {
+        let r = voc.pred("R", 2);
+        let p = voc.pred("P", 1);
+        let a = Term::Const(voc.constant("a"));
+        let b = Term::Const(voc.constant("b"));
+        let x = Term::Const(voc.constant("x"));
+        let y = Term::Const(voc.constant("y"));
+        let core = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![b, a]),
+        ]);
+        let mut t = CTree::from_core(core);
+        let n1 = t.add_guarded_atom(0, Atom::new(r, vec![b, x]));
+        let n2 = t.add_guarded_atom(n1, Atom::new(r, vec![x, y]));
+        t.instance.insert(Atom::new(p, vec![y]));
+        let _ = n2;
+        t
+    }
+
+    #[test]
+    fn encode_produces_consistent_tree() {
+        let mut voc = Vocabulary::new();
+        let t = sample_ctree(&mut voc);
+        assert!(t.validate());
+        let enc = encode(&t, 4, 2).expect("encodes");
+        assert_eq!(enc.len(), 3);
+        assert!(is_consistent(&enc, 4, 2));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_core() {
+        let mut voc = Vocabulary::new();
+        let t = sample_ctree(&mut voc);
+        assert!(encode(&t, 1, 2).is_none());
+    }
+
+    #[test]
+    fn decode_roundtrip_preserves_structure() {
+        let mut voc = Vocabulary::new();
+        let t = sample_ctree(&mut voc);
+        let enc = encode(&t, 4, 2).unwrap();
+        let dec = decode(&enc, &mut voc);
+        assert_eq!(dec.len(), t.instance.len());
+        // Same shape up to renaming: freeze both into Boolean CQs and check
+        // isomorphism.
+        let to_cq = |i: &Instance| {
+            let body: Vec<Atom> = i
+                .atoms()
+                .iter()
+                .map(|a| {
+                    a.map_terms(|term| match term {
+                        Term::Const(c) => Term::Var(omq_model::VarId(c.0)),
+                        other => other,
+                    })
+                })
+                .collect();
+            omq_model::Cq::boolean(body)
+        };
+        assert!(omq_chase::cq_isomorphic(&to_cq(&dec), &to_cq(&t.instance)));
+    }
+
+    #[test]
+    fn inconsistency_detected_on_dangling_atom_name() {
+        let mut lab = NodeLabel::default();
+        lab.atoms.insert((PredId(0), vec![Name::Core(0)]));
+        let tree = LTree::new(lab);
+        assert!(!is_consistent(&tree, 2, 2)); // condition (2) violated
+    }
+
+    #[test]
+    fn inconsistency_detected_on_core_flag_mismatch() {
+        let mut lab = NodeLabel::default();
+        lab.names.insert(Name::Core(0)); // Da without Ca: violates (3)
+        let tree = LTree::new(lab);
+        assert!(!is_consistent(&tree, 2, 2));
+    }
+
+    #[test]
+    fn inconsistency_detected_on_core_resurrection() {
+        // Root with core name, child without it, grandchild with it again:
+        // violates condition (4).
+        let mut root = NodeLabel::default();
+        root.names.insert(Name::Core(0));
+        root.core_names.insert(Name::Core(0));
+        root.atoms.insert((PredId(0), vec![Name::Core(0)]));
+        let mut mid = NodeLabel::default();
+        mid.names.insert(Name::Tree(0));
+        mid.atoms.insert((PredId(0), vec![Name::Tree(0)]));
+        let mut deep = NodeLabel::default();
+        deep.names.insert(Name::Core(0));
+        deep.core_names.insert(Name::Core(0));
+        deep.atoms.insert((PredId(0), vec![Name::Core(0)]));
+        let mut tree = LTree::new(root);
+        let m = tree.add_child(0, mid);
+        tree.add_child(m, deep);
+        assert!(!is_consistent(&tree, 2, 2));
+    }
+
+    #[test]
+    fn unguarded_node_detected() {
+        // A child whose names have no covering atom anywhere b-connected:
+        // violates condition (5).
+        let mut root = NodeLabel::default();
+        root.names.insert(Name::Core(0));
+        root.core_names.insert(Name::Core(0));
+        root.atoms.insert((PredId(0), vec![Name::Core(0)]));
+        let mut child = NodeLabel::default();
+        child.names.insert(Name::Tree(0));
+        child.names.insert(Name::Tree(1));
+        // No atom covering {Tree(0), Tree(1)}.
+        let mut tree = LTree::new(root);
+        tree.add_child(0, child);
+        assert!(!is_consistent(&tree, 2, 2));
+    }
+
+    #[test]
+    fn downward_automaton_agrees_with_checker() {
+        let mut voc = Vocabulary::new();
+        let t = sample_ctree(&mut voc);
+        let good = encode(&t, 4, 2).unwrap();
+        // A bad tree: resurrected core name (condition 4).
+        let mut root = NodeLabel::default();
+        root.names.insert(Name::Core(0));
+        root.core_names.insert(Name::Core(0));
+        root.atoms.insert((PredId(0), vec![Name::Core(0)]));
+        let mut mid = NodeLabel::default();
+        mid.names.insert(Name::Tree(0));
+        mid.atoms.insert((PredId(0), vec![Name::Tree(0)]));
+        let mut deep = NodeLabel::default();
+        deep.names.insert(Name::Core(0));
+        deep.core_names.insert(Name::Core(0));
+        deep.atoms.insert((PredId(0), vec![Name::Core(0)]));
+        let mut bad = LTree::new(root);
+        let m = bad.add_child(0, mid);
+        bad.add_child(m, deep);
+
+        let mut alphabet: Vec<NodeLabel> = Vec::new();
+        for n in good.nodes() {
+            if !alphabet.contains(good.label(n)) {
+                alphabet.push(good.label(n).clone());
+            }
+        }
+        for n in bad.nodes() {
+            if !alphabet.contains(bad.label(n)) {
+                alphabet.push(bad.label(n).clone());
+            }
+        }
+        let aut = consistency_automaton_downward(&alphabet, 4, 2);
+        assert!(aut.accepts(&good).unwrap());
+        assert!(!aut.accepts(&bad).unwrap());
+        // The automaton is downward: the NTA translation is available.
+        assert!(!aut.is_empty(2).unwrap());
+    }
+}

@@ -1,0 +1,27 @@
+//! # omq-guarded
+//!
+//! The guarded-tgd substrate of §5: tree decompositions and **C-trees**
+//! (Def. 2/9), their encoding as `Γ_{S,l}`-labeled trees with the
+//! consistency conditions of Lemma 41, the consistency automaton of
+//! Lemma 23, and a guarded evaluation engine.
+//!
+//! Under guarded tgds the chase has bounded treewidth but need not
+//! terminate, so evaluation works with a depth-budgeted chase plus a
+//! *type-stabilization* criterion in the spirit of Calì–Gottlob–Kifer's
+//! "Taming the infinite chase": once the set of isomorphism types of derived
+//! atoms stops growing for a window of `|q| + 1` consecutive depth levels,
+//! deeper levels only repeat existing patterns up to isomorphism and cannot
+//! create new query matches. The engine reports exactly which guarantee the
+//! returned answer carries ([`guarded_eval::Completeness`]).
+
+pub mod ctree;
+pub mod encoding;
+pub mod guarded_eval;
+pub mod tree_decomposition;
+pub mod unravel;
+
+pub use ctree::CTree;
+pub use encoding::{consistency_automaton_downward, decode, encode, is_consistent, Name, NodeLabel};
+pub use guarded_eval::{guarded_certain_answers, Completeness, GuardedAnswers, GuardedConfig};
+pub use tree_decomposition::TreeDecomposition;
+pub use unravel::{unravel, Unraveling};

@@ -1,0 +1,169 @@
+//! Tree decompositions of instances (Def. 8 of the paper's appendix) and
+//! the `[U]`-guardedness condition underlying C-trees.
+
+use std::collections::HashSet;
+
+use omq_automata::LTree;
+use omq_model::{Instance, Term};
+
+/// A tree decomposition of an instance: a tree whose nodes carry *bags* of
+/// terms.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The tree of bags.
+    pub tree: LTree<Vec<Term>>,
+}
+
+impl TreeDecomposition {
+    /// A decomposition with the given root bag.
+    pub fn new(root_bag: Vec<Term>) -> Self {
+        TreeDecomposition {
+            tree: LTree::new(root_bag),
+        }
+    }
+
+    /// Adds a bag under `parent`; returns its node id.
+    pub fn add_bag(&mut self, parent: usize, bag: Vec<Term>) -> usize {
+        self.tree.add_child(parent, bag)
+    }
+
+    /// The width: `max |bag| − 1`.
+    pub fn width(&self) -> usize {
+        self.tree
+            .nodes()
+            .map(|n| self.tree.label(n).len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// Condition (1) of Def. 8: every atom of `inst` fits in some bag.
+    pub fn covers_atoms(&self, inst: &Instance) -> bool {
+        inst.atoms().iter().all(|a| {
+            self.tree.nodes().any(|n| {
+                let bag = self.tree.label(n);
+                a.args.iter().all(|t| bag.contains(t))
+            })
+        })
+    }
+
+    /// Condition (2) of Def. 8: for every term, the bags containing it form
+    /// a connected subtree.
+    pub fn connected(&self, inst: &Instance) -> bool {
+        for t in inst.active_domain() {
+            let holders: Vec<usize> = self
+                .tree
+                .nodes()
+                .filter(|&n| self.tree.label(n).contains(&t))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // All holders must be connected: walk each holder to the
+            // shallowest holder; every node on the way must also hold `t`.
+            // Equivalently: each holder except the unique shallowest one has
+            // a parent that holds `t`.
+            let mut roots = 0usize;
+            for &n in &holders {
+                match self.tree.parent(n) {
+                    Some(p) if self.tree.label(p).contains(&t) => {}
+                    _ => roots += 1,
+                }
+            }
+            if roots != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is this a valid tree decomposition of `inst`?
+    pub fn is_valid_for(&self, inst: &Instance) -> bool {
+        self.covers_atoms(inst) && self.connected(inst)
+    }
+
+    /// Is the decomposition guarded except for the given nodes (`[U]`-
+    /// guarded): every other bag is covered by some atom of `inst`?
+    pub fn guarded_except(&self, inst: &Instance, except: &[usize]) -> bool {
+        self.tree.nodes().all(|n| {
+            if except.contains(&n) {
+                return true;
+            }
+            let bag: HashSet<Term> = self.tree.label(n).iter().copied().collect();
+            inst.atoms()
+                .iter()
+                .any(|a| bag.iter().all(|t| a.args.contains(t)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{Atom, Vocabulary};
+
+    fn term(voc: &mut Vocabulary, name: &str) -> Term {
+        Term::Const(voc.constant(name))
+    }
+
+    #[test]
+    fn valid_path_decomposition() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
+        let inst = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![b, c]),
+        ]);
+        let mut td = TreeDecomposition::new(vec![a, b]);
+        td.add_bag(0, vec![b, c]);
+        assert!(td.is_valid_for(&inst));
+        assert_eq!(td.width(), 1);
+        assert!(td.guarded_except(&inst, &[]));
+    }
+
+    #[test]
+    fn missing_atom_detected() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
+        let inst = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![a, c]),
+        ]);
+        let td = TreeDecomposition::new(vec![a, b]);
+        assert!(!td.covers_atoms(&inst));
+    }
+
+    #[test]
+    fn disconnected_term_detected() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
+        let inst = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![b, c]),
+        ]);
+        // b appears in two bags separated by a b-free bag: invalid.
+        let mut td = TreeDecomposition::new(vec![a, b]);
+        let mid = td.add_bag(0, vec![a, c]);
+        td.add_bag(mid, vec![b, c]);
+        assert!(!td.connected(&inst));
+    }
+
+    #[test]
+    fn unguarded_bag_detected() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
+        let inst = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![b, c]),
+        ]);
+        // Bag {a, c} is not covered by any atom.
+        let mut td = TreeDecomposition::new(vec![a, b, c]);
+        td.add_bag(0, vec![a, c]);
+        assert!(!td.guarded_except(&inst, &[]));
+        assert!(td.guarded_except(&inst, &[0, 1]));
+    }
+}

@@ -1,0 +1,220 @@
+//! Guarded unraveling (Lemma 37): every instance unravels, around a chosen
+//! set `X₀`, into a C-tree that maps homomorphically back into the
+//! original — the construction behind the tree-witness property
+//! (Prop. 21).
+//!
+//! The full unraveling is infinite; we materialize it breadth-first up to a
+//! configurable depth. Nodes of the unraveling are sequences
+//! `X₀X₁⋯Xₙ` of guarded sets; an element `a` is *represented* at a node
+//! when it belongs to the node's set, and two occurrences denote the same
+//! element of the unraveling iff the element is represented everywhere on
+//! the connecting path (a-equivalence).
+
+use std::collections::HashMap;
+
+use omq_model::{Instance, Term, Vocabulary};
+
+use crate::ctree::CTree;
+
+/// The result of a (depth-bounded) guarded unraveling.
+#[derive(Clone, Debug)]
+pub struct Unraveling {
+    /// The unraveled database, as a C-tree with core induced by `X₀`.
+    pub ctree: CTree,
+    /// The homomorphism back into the original instance: unraveled term →
+    /// original term.
+    pub hom: HashMap<Term, Term>,
+}
+
+/// All guarded sets of `inst`: the term sets of its atoms (deduplicated).
+fn guarded_sets(inst: &Instance) -> Vec<Vec<Term>> {
+    let mut out: Vec<Vec<Term>> = Vec::new();
+    for a in inst.atoms() {
+        let mut set: Vec<Term> = Vec::new();
+        for &t in &a.args {
+            if !set.contains(&t) {
+                set.push(t);
+            }
+        }
+        set.sort();
+        if !out.contains(&set) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// Unravels `inst` around the terms `x0` up to the given tree depth.
+///
+/// Returns the C-tree (whose core is the subinstance on `x0`'s copies) and
+/// the witnessing homomorphism. Every atom of `inst` whose terms lie in a
+/// guarded set reachable within `depth` steps is represented.
+pub fn unravel(
+    inst: &Instance,
+    x0: &[Term],
+    depth: usize,
+    voc: &mut Vocabulary,
+) -> Unraveling {
+    let gsets = guarded_sets(inst);
+    // Each unraveling node: (parent, local map original-term -> fresh term).
+    struct Node {
+        parent: Option<usize>,
+        map: HashMap<Term, Term>,
+        depth: usize,
+    }
+    let mut hom: HashMap<Term, Term> = HashMap::new();
+    let fresh = |orig: Term, voc: &mut Vocabulary, hom: &mut HashMap<Term, Term>| {
+        let t = Term::Const(voc.fresh_const("u"));
+        hom.insert(t, orig);
+        t
+    };
+
+    // Root node: fresh copies of x0.
+    let mut root_map = HashMap::new();
+    for &t in x0 {
+        if !root_map.contains_key(&t) {
+            let f = fresh(t, voc, &mut hom);
+            root_map.insert(t, f);
+        }
+    }
+    let mut nodes = vec![Node {
+        parent: None,
+        map: root_map,
+        depth: 0,
+    }];
+
+    // Breadth-first expansion: a child per guarded set overlapping the
+    // node's represented set (elements shared keep their copies; new
+    // elements get fresh copies).
+    let mut frontier = vec![0usize];
+    while let Some(ni) = frontier.pop() {
+        if nodes[ni].depth >= depth {
+            continue;
+        }
+        for gs in &gsets {
+            let parent_map = nodes[ni].map.clone();
+            // Only expand into guarded sets sharing at least one element
+            // (others belong to different components of the unraveling).
+            if !gs.iter().any(|t| parent_map.contains_key(t)) && nodes[ni].parent.is_some() {
+                continue;
+            }
+            // Skip the trivial re-expansion into a subset of the parent.
+            if gs.iter().all(|t| parent_map.contains_key(t)) {
+                continue;
+            }
+            let mut map = HashMap::new();
+            for &t in gs {
+                let copy = match parent_map.get(&t) {
+                    Some(&c) => c,
+                    None => fresh(t, voc, &mut hom),
+                };
+                map.insert(t, copy);
+            }
+            nodes.push(Node {
+                parent: Some(ni),
+                map,
+                depth: nodes[ni].depth + 1,
+            });
+            frontier.push(nodes.len() - 1);
+        }
+    }
+
+    // Materialize: for each node, copy all original atoms over its set.
+    let mut core = Instance::new();
+    for a in inst.atoms() {
+        if a.args.iter().all(|t| nodes[0].map.contains_key(t)) {
+            core.insert(a.map_terms(|t| nodes[0].map[&t]));
+        }
+    }
+    let mut ctree = CTree::from_core(core);
+    let mut dec_id: Vec<usize> = vec![0];
+    for (i, node) in nodes.iter().enumerate().skip(1) {
+        let bag: Vec<Term> = {
+            let mut b: Vec<Term> = node.map.values().copied().collect();
+            b.sort();
+            b
+        };
+        let parent_dec = dec_id[node.parent.expect("non-root")];
+        let id = ctree.decomposition.add_bag(parent_dec, bag);
+        dec_id.push(id);
+        let _ = i;
+        for a in inst.atoms() {
+            if a.args.iter().all(|t| node.map.contains_key(t)) {
+                ctree.instance.insert(a.map_terms(|t| node.map[&t]));
+            }
+        }
+    }
+
+    Unraveling { ctree, hom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::hom::{find_hom, Assignment};
+    use omq_model::{Atom, Cq, VarId};
+
+    fn cycle_instance(voc: &mut Vocabulary) -> (Instance, Vec<Term>) {
+        let r = voc.pred("R", 2);
+        let (a, b, c) = (
+            Term::Const(voc.constant("a")),
+            Term::Const(voc.constant("b")),
+            Term::Const(voc.constant("c")),
+        );
+        let inst = Instance::from_atoms([
+            Atom::new(r, vec![a, b]),
+            Atom::new(r, vec![b, c]),
+            Atom::new(r, vec![c, a]),
+        ]);
+        (inst, vec![a, b])
+    }
+
+    #[test]
+    fn unraveling_is_a_valid_ctree() {
+        let mut voc = Vocabulary::new();
+        let (inst, x0) = cycle_instance(&mut voc);
+        let u = unravel(&inst, &x0, 3, &mut voc);
+        assert!(u.ctree.validate(), "decomposition conditions hold");
+        assert_eq!(u.ctree.diameter(), 2);
+    }
+
+    #[test]
+    fn unraveling_maps_homomorphically_back() {
+        let mut voc = Vocabulary::new();
+        let (inst, x0) = cycle_instance(&mut voc);
+        let u = unravel(&inst, &x0, 4, &mut voc);
+        for atom in u.ctree.instance.atoms() {
+            let back = atom.map_terms(|t| u.hom[&t]);
+            assert!(inst.contains(&back), "image atom must exist in original");
+        }
+    }
+
+    #[test]
+    fn unraveling_breaks_cycles() {
+        let mut voc = Vocabulary::new();
+        let (inst, x0) = cycle_instance(&mut voc);
+        let u = unravel(&inst, &x0, 6, &mut voc);
+        // The 3-cycle query matches the original…
+        let r = voc.pred_id("R").unwrap();
+        let (x, y, z) = (VarId(900), VarId(901), VarId(902));
+        let tri = Cq::boolean(vec![
+            Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(r, vec![Term::Var(y), Term::Var(z)]),
+            Atom::new(r, vec![Term::Var(z), Term::Var(x)]),
+        ]);
+        assert!(find_hom(&tri.body, &inst, &Assignment::new()).is_some());
+        // …but any triangle in the unraveling must sit inside one bag; the
+        // tree part only has 2-element bags, so the triangle can only map
+        // into the core if at all. With core {a,b} there is no triangle.
+        assert!(find_hom(&tri.body, &u.ctree.instance, &Assignment::new()).is_none());
+    }
+
+    #[test]
+    fn depth_zero_keeps_only_the_core() {
+        let mut voc = Vocabulary::new();
+        let (inst, x0) = cycle_instance(&mut voc);
+        let u = unravel(&inst, &x0, 0, &mut voc);
+        // Core over copies of {a, b}: just R(a,b).
+        assert_eq!(u.ctree.instance.len(), 1);
+    }
+}

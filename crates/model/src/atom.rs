@@ -1,0 +1,156 @@
+//! Atoms: a predicate applied to a tuple of terms.
+
+use crate::symbols::{ConstId, NullId, PredId, VarId};
+use crate::term::Term;
+
+/// An atom `R(t₁, …, tₙ)`.
+///
+/// A *fact* is an atom whose arguments are all constants; atoms in instances
+/// may also contain nulls; atoms in queries and tgds contain variables and
+/// constants.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub pred: PredId,
+    /// The argument tuple.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Constructs an atom.
+    pub fn new(pred: PredId, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// The arity of this atom (length of its argument tuple).
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Is every argument a constant (i.e. is this a fact)?
+    pub fn is_fact(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Is the atom ground (no variables; nulls allowed)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Iterates over the variables occurring in the atom (with repeats).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Iterates over the constants occurring in the atom (with repeats).
+    pub fn consts(&self) -> impl Iterator<Item = ConstId> + '_ {
+        self.args.iter().filter_map(|t| t.as_const())
+    }
+
+    /// Iterates over the nulls occurring in the atom (with repeats).
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.args.iter().filter_map(|t| t.as_null())
+    }
+
+    /// Does the atom mention variable `v`?
+    pub fn mentions_var(&self, v: VarId) -> bool {
+        self.args.contains(&Term::Var(v))
+    }
+
+    /// The positions (0-based) at which `t` occurs — `pos(α, x)` in the
+    /// paper's definition of stickiness.
+    pub fn positions_of(&self, t: Term) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == t).then_some(i))
+            .collect()
+    }
+
+    /// Applies `f` to every argument, producing a new atom.
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|&t| f(t)).collect(),
+        }
+    }
+}
+
+/// Collects the set of distinct variables mentioned by a slice of atoms, in
+/// first-occurrence order.
+pub fn vars_of_atoms(atoms: &[Atom]) -> Vec<VarId> {
+    let mut seen = Vec::new();
+    for a in atoms {
+        for v in a.vars() {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Collects the set of distinct terms mentioned by a slice of atoms, in
+/// first-occurrence order (the *active domain* when the atoms are ground).
+pub fn terms_of_atoms(atoms: &[Atom]) -> Vec<Term> {
+    let mut seen = Vec::new();
+    for a in atoms {
+        for &t in &a.args {
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocabulary;
+
+    fn setup() -> (Vocabulary, Atom) {
+        let mut v = Vocabulary::new();
+        let r = v.pred("R", 3);
+        let x = v.var("X");
+        let c = v.constant("a");
+        let atom = Atom::new(r, vec![Term::Var(x), Term::Const(c), Term::Var(x)]);
+        (v, atom)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let (mut v, atom) = setup();
+        assert_eq!(atom.arity(), 3);
+        assert!(!atom.is_fact());
+        assert!(!atom.is_ground());
+        assert_eq!(atom.vars().count(), 2);
+        assert_eq!(atom.consts().count(), 1);
+        let x = v.var("X");
+        assert!(atom.mentions_var(x));
+        assert_eq!(atom.positions_of(Term::Var(x)), vec![0, 2]);
+    }
+
+    #[test]
+    fn map_terms_replaces() {
+        let (mut v, atom) = setup();
+        let x = v.var("X");
+        let b = v.constant("b");
+        let g = atom.map_terms(|t| if t == Term::Var(x) { Term::Const(b) } else { t });
+        assert!(g.is_fact());
+        assert_eq!(g.args[0], Term::Const(b));
+        assert_eq!(g.args[2], Term::Const(b));
+    }
+
+    #[test]
+    fn vars_and_terms_of_atoms() {
+        let (mut v, atom) = setup();
+        let p = v.pred("P", 1);
+        let y = v.var("Y");
+        let atoms = vec![atom, Atom::new(p, vec![Term::Var(y)])];
+        let vars = vars_of_atoms(&atoms);
+        assert_eq!(vars.len(), 2);
+        let terms = terms_of_atoms(&atoms);
+        assert_eq!(terms.len(), 3); // X, a, Y
+    }
+}

@@ -1,0 +1,135 @@
+//! Human-readable rendering of atoms, queries, tgds, and instances.
+//!
+//! All rendering needs a [`Vocabulary`] to resolve names, so the API is
+//! function-based (`render_*`) rather than `Display` impls.
+
+use std::fmt::Write;
+
+use crate::atom::Atom;
+use crate::instance::Instance;
+use crate::query::{Cq, Ucq};
+use crate::symbols::Vocabulary;
+use crate::term::Term;
+use crate::tgd::Tgd;
+
+/// Renders a term.
+pub fn render_term(voc: &Vocabulary, t: Term) -> String {
+    match t {
+        Term::Const(c) => voc.const_name(c).to_owned(),
+        Term::Var(v) => voc.var_name(v).to_owned(),
+        Term::Null(n) => format!("⊥{}", n.0),
+    }
+}
+
+/// Renders an atom, e.g. `R(X,a)`.
+pub fn render_atom(voc: &Vocabulary, a: &Atom) -> String {
+    let mut s = voc.pred_name(a.pred).to_owned();
+    if !a.args.is_empty() {
+        s.push('(');
+        for (i, &t) in a.args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&render_term(voc, t));
+        }
+        s.push(')');
+    }
+    s
+}
+
+fn render_atom_list(voc: &Vocabulary, atoms: &[Atom]) -> String {
+    atoms
+        .iter()
+        .map(|a| render_atom(voc, a))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a tgd in the parser's syntax.
+pub fn render_tgd(voc: &Vocabulary, t: &Tgd) -> String {
+    let body = if t.body.is_empty() {
+        "true".to_owned()
+    } else {
+        render_atom_list(voc, &t.body)
+    };
+    let ex = t.existential_vars();
+    let mut s = format!("{body} -> ");
+    if !ex.is_empty() {
+        let names: Vec<&str> = ex.iter().map(|&v| voc.var_name(v)).collect();
+        let _ = write!(s, "exists {} . ", names.join(", "));
+    }
+    s.push_str(&render_atom_list(voc, &t.head));
+    s
+}
+
+/// Renders a CQ in the parser's syntax, with the given query name.
+pub fn render_cq(voc: &Vocabulary, name: &str, q: &Cq) -> String {
+    let mut s = name.to_owned();
+    if !q.head.is_empty() {
+        let names: Vec<&str> = q.head.iter().map(|&v| voc.var_name(v)).collect();
+        let _ = write!(s, "({})", names.join(","));
+    }
+    let _ = write!(s, " :- {}", render_atom_list(voc, &q.body));
+    s
+}
+
+/// Renders a UCQ as one line per disjunct.
+pub fn render_ucq(voc: &Vocabulary, name: &str, u: &Ucq) -> String {
+    u.disjuncts
+        .iter()
+        .map(|d| render_cq(voc, name, d))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders an instance as a sorted list of atoms, one per line.
+pub fn render_instance(voc: &Vocabulary, i: &Instance) -> String {
+    let mut lines: Vec<String> = i.atoms().iter().map(|a| render_atom(voc, a)).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_tgd};
+
+    #[test]
+    fn tgd_roundtrip() {
+        let mut voc = Vocabulary::new();
+        let t = parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)").unwrap();
+        let s = render_tgd(&voc, &t);
+        let t2 = parse_tgd(&mut voc, &s).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn fact_tgd_roundtrip() {
+        let mut voc = Vocabulary::new();
+        let t = parse_tgd(&mut voc, "true -> P(a)").unwrap();
+        let s = render_tgd(&voc, &t);
+        assert!(s.starts_with("true ->"));
+        assert_eq!(parse_tgd(&mut voc, &s).unwrap(), t);
+    }
+
+    #[test]
+    fn cq_roundtrip() {
+        let mut voc = Vocabulary::new();
+        let (_, q) = parse_query(&mut voc, "q(X) :- R(X,Y), P(Y)").unwrap();
+        let s = render_cq(&voc, "q", &q);
+        let (_, q2) = parse_query(&mut voc, &s).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn render_instance_sorted() {
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", 1);
+        let (a, b) = (voc.constant("a"), voc.constant("b"));
+        let i = Instance::from_atoms([
+            Atom::new(p, vec![Term::Const(b)]),
+            Atom::new(p, vec![Term::Const(a)]),
+        ]);
+        assert_eq!(render_instance(&voc, &i), "P(a)\nP(b)");
+    }
+}

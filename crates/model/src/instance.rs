@@ -1,0 +1,284 @@
+//! Instances and databases: indexed sets of ground atoms.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::atom::Atom;
+use crate::symbols::{PredId, Schema};
+use crate::term::Term;
+
+/// An instance: a finite set of ground atoms over constants and nulls, with
+/// per-predicate and per-(predicate, position, term) indexes to support fast
+/// homomorphism search.
+///
+/// A *database* in the paper's sense is an instance containing only facts
+/// (see [`Instance::is_database`]). Instances additionally arise as chase
+/// results, where nulls appear.
+#[derive(Clone, Debug, Default)]
+pub struct Instance {
+    atoms: Vec<Atom>,
+    set: HashSet<Atom>,
+    by_pred: HashMap<PredId, Vec<usize>>,
+    /// (pred, position, term) -> atom indices having `term` at `position`.
+    by_pos: HashMap<(PredId, usize, Term), Vec<usize>>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Builds an instance from atoms (deduplicating).
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let mut i = Instance::new();
+        for a in atoms {
+            i.insert(a);
+        }
+        i
+    }
+
+    /// Inserts an atom; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the atom contains a variable — instances
+    /// are ground by definition.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        debug_assert!(atom.is_ground(), "instances contain only ground atoms");
+        if self.set.contains(&atom) {
+            return false;
+        }
+        let idx = self.atoms.len();
+        self.by_pred.entry(atom.pred).or_default().push(idx);
+        for (pos, &t) in atom.args.iter().enumerate() {
+            self.by_pos.entry((atom.pred, pos, t)).or_default().push(idx);
+        }
+        self.set.insert(atom.clone());
+        self.atoms.push(atom);
+        true
+    }
+
+    /// Does the instance contain this exact atom?
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.set.contains(atom)
+    }
+
+    /// All atoms, in insertion order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms (`|D|` in the paper).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Indices of atoms with predicate `p`.
+    pub fn atoms_with_pred(&self, p: PredId) -> &[usize] {
+        self.by_pred.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Indices of atoms with predicate `p` and term `t` at position `pos`.
+    pub fn atoms_with_pred_term(&self, p: PredId, pos: usize, t: Term) -> &[usize] {
+        self.by_pos
+            .get(&(p, pos, t))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The atom at index `i`.
+    pub fn atom(&self, i: usize) -> &Atom {
+        &self.atoms[i]
+    }
+
+    /// The active domain `dom(I)`: all terms occurring in the instance, in
+    /// first-occurrence order.
+    pub fn active_domain(&self) -> Vec<Term> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for &t in &a.args {
+                if seen.insert(t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is this a database, i.e. does it contain only facts (no nulls)?
+    pub fn is_database(&self) -> bool {
+        self.atoms.iter().all(Atom::is_fact)
+    }
+
+    /// The set of predicates that actually occur.
+    pub fn schema(&self) -> Schema {
+        Schema::from_preds(self.atoms.iter().map(|a| a.pred))
+    }
+
+    /// Restricts the instance to atoms whose predicate lies in `s`.
+    pub fn restrict_to_schema(&self, s: &Schema) -> Instance {
+        Instance::from_atoms(
+            self.atoms
+                .iter()
+                .filter(|a| s.contains(a.pred))
+                .cloned(),
+        )
+    }
+
+    /// Splits the instance into its maximally connected components (§7.1).
+    ///
+    /// Two atoms are connected when they share a term; a component is a
+    /// maximal connected subset. Atoms of arity 0 are excluded, following the
+    /// paper's convention (footnote 5).
+    pub fn components(&self) -> Vec<Instance> {
+        // Union-find over atom indices, merging atoms that share a term.
+        let n = self.atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+            }
+            parent[i]
+        }
+        let mut by_term: HashMap<Term, usize> = HashMap::new();
+        for (i, a) in self.atoms.iter().enumerate() {
+            for &t in &a.args {
+                match by_term.get(&t) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                    None => {
+                        by_term.insert(t, i);
+                    }
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            if self.atoms[i].arity() == 0 {
+                continue;
+            }
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        let mut roots: Vec<usize> = groups.keys().copied().collect();
+        roots.sort_unstable();
+        roots
+            .into_iter()
+            .map(|r| Instance::from_atoms(groups[&r].iter().map(|&i| self.atoms[i].clone())))
+            .collect()
+    }
+
+    /// Union of two instances.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut u = self.clone();
+        for a in other.atoms() {
+            u.insert(a.clone());
+        }
+        u
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.set == other.set
+    }
+}
+impl Eq for Instance {}
+
+impl FromIterator<Atom> for Instance {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        Instance::from_atoms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocabulary;
+
+    fn fact(v: &mut Vocabulary, p: &str, cs: &[&str]) -> Atom {
+        let pid = v.pred(p, cs.len());
+        let args = cs.iter().map(|c| Term::Const(v.constant(c))).collect();
+        Atom::new(pid, args)
+    }
+
+    #[test]
+    fn insert_dedup_and_indexes() {
+        let mut v = Vocabulary::new();
+        let a1 = fact(&mut v, "R", &["a", "b"]);
+        let a2 = fact(&mut v, "R", &["b", "c"]);
+        let mut d = Instance::new();
+        assert!(d.insert(a1.clone()));
+        assert!(!d.insert(a1.clone()));
+        assert!(d.insert(a2.clone()));
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&a1));
+        let r = v.pred("R", 2);
+        assert_eq!(d.atoms_with_pred(r).len(), 2);
+        let b = Term::Const(v.constant("b"));
+        assert_eq!(d.atoms_with_pred_term(r, 0, b), &[1]);
+        assert_eq!(d.atoms_with_pred_term(r, 1, b), &[0]);
+    }
+
+    #[test]
+    fn active_domain_order() {
+        let mut v = Vocabulary::new();
+        let d = Instance::from_atoms([
+            fact(&mut v, "R", &["a", "b"]),
+            fact(&mut v, "P", &["a"]),
+            fact(&mut v, "P", &["c"]),
+        ]);
+        let dom = d.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(d.is_database());
+    }
+
+    #[test]
+    fn components_split() {
+        let mut v = Vocabulary::new();
+        let d = Instance::from_atoms([
+            fact(&mut v, "R", &["a", "b"]),
+            fact(&mut v, "R", &["b", "c"]),
+            fact(&mut v, "R", &["x", "y"]),
+            fact(&mut v, "P", &["z"]),
+        ]);
+        let comps = d.components();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(Instance::len).collect();
+        assert!(sizes.contains(&2) && sizes.iter().filter(|&&s| s == 1).count() == 2);
+    }
+
+    #[test]
+    fn components_exclude_nullary() {
+        let mut v = Vocabulary::new();
+        let g = v.pred("Goal", 0);
+        let mut d = Instance::new();
+        d.insert(Atom::new(g, vec![]));
+        d.insert(fact(&mut v, "P", &["a"]));
+        assert_eq!(d.components().len(), 1);
+    }
+
+    #[test]
+    fn restrict_and_union() {
+        let mut v = Vocabulary::new();
+        let a1 = fact(&mut v, "R", &["a", "b"]);
+        let a2 = fact(&mut v, "P", &["a"]);
+        let d = Instance::from_atoms([a1.clone(), a2.clone()]);
+        let r = v.pred("R", 2);
+        let s = Schema::from_preds([r]);
+        let dr = d.restrict_to_schema(&s);
+        assert_eq!(dr.len(), 1);
+        let u = dr.union(&Instance::from_atoms([a2]));
+        assert_eq!(u, d);
+    }
+}

@@ -1,0 +1,40 @@
+//! # omq-model
+//!
+//! The relational data model underlying ontology-mediated queries (OMQs):
+//! interned vocabularies, terms (constants, labeled nulls, variables), atoms,
+//! instances and databases, conjunctive queries (CQs) and unions thereof
+//! (UCQs), tuple-generating dependencies (tgds), and the OMQ triple
+//! `(S, Σ, q)` itself.
+//!
+//! The types here follow Section 2 of *Containment for Rule-Based
+//! Ontology-Mediated Queries* (Barceló, Berger, Pieris; PODS 2018):
+//!
+//! * a **schema** is a finite set of relation symbols with arities,
+//! * an **instance** is a (possibly large) set of atoms over constants and
+//!   nulls, while a **database** is a finite set of facts (constants only),
+//! * a **CQ** is an existentially quantified conjunction of atoms,
+//! * a **tgd** is a rule `φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)`,
+//! * an **OMQ** is a triple `(S, Σ, q)` evaluated under certain-answer
+//!   semantics.
+//!
+//! A small text syntax for rules and queries is provided by [`parser`], and
+//! human-readable rendering by [`display`].
+
+pub mod atom;
+pub mod display;
+pub mod instance;
+pub mod parser;
+pub mod query;
+pub mod subst;
+pub mod symbols;
+pub mod term;
+pub mod tgd;
+
+pub use atom::Atom;
+pub use instance::Instance;
+pub use parser::{parse_program, parse_query, parse_tgd, ParseError, Program};
+pub use query::{Cq, Ucq};
+pub use subst::{mgu_atoms, mgu_many, Substitution};
+pub use symbols::{ConstId, NullId, PredId, Schema, VarId, Vocabulary};
+pub use term::Term;
+pub use tgd::{Omq, Tgd};

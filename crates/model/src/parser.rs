@@ -1,0 +1,497 @@
+//! A small text syntax for tgds, queries, and facts.
+//!
+//! Conventions (Prolog-style):
+//! * identifiers starting with an uppercase letter or `_` are **variables**;
+//! * other identifiers (and numbers) are **constants**;
+//! * predicates are whatever appears before `(`.
+//!
+//! Grammar, one statement per line (`#` and `%` start comments):
+//!
+//! ```text
+//! R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)     # a tgd (exists clause optional)
+//! true -> P(a)                              # a fact tgd
+//! q(X) :- R(X,Y), P(Y)                      # a CQ named q
+//! q(X) :- T(X,X,Z)                          # a second disjunct => q is a UCQ
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::query::{Cq, Ucq};
+use crate::symbols::{VarId, Vocabulary};
+use crate::term::Term;
+use crate::tgd::Tgd;
+
+/// A parse error with a human-readable message and the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 when parsing a standalone fragment).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The result of parsing a program: a vocabulary, the tgds in order of
+/// appearance, and the named (U)CQs.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The vocabulary interning every symbol of the program.
+    pub voc: Vocabulary,
+    /// The tgds, in source order.
+    pub tgds: Vec<Tgd>,
+    /// Named queries; several lines with the same name form a UCQ.
+    pub queries: HashMap<String, Ucq>,
+}
+
+impl Program {
+    /// The query named `name`, if present.
+    pub fn query(&self, name: &str) -> Option<&Ucq> {
+        self.queries.get(name)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,   // ->
+    ColonDash, // :-
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '#' | '%' => break,
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push(Tok::Arrow);
+                i += 2;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                toks.push(Tok::ColonDash);
+                i += 2;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(line[start..i].to_owned()));
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if &got == t => Ok(()),
+            got => Err(self.err(format!("expected {t:?}, found {got:?}"))),
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            line: self.line,
+            message,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+fn is_variable_name(name: &str) -> bool {
+    name.starts_with(|c: char| c.is_uppercase() || c == '_')
+}
+
+fn parse_term(voc: &mut Vocabulary, name: &str) -> Term {
+    if is_variable_name(name) {
+        Term::Var(voc.var(name))
+    } else {
+        Term::Const(voc.constant(name))
+    }
+}
+
+fn parse_atom(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<Atom, ParseError> {
+    let name = match cur.next() {
+        Some(Tok::Ident(n)) => n.clone(),
+        got => return Err(cur.err(format!("expected predicate, found {got:?}"))),
+    };
+    let mut args = Vec::new();
+    if cur.peek() == Some(&Tok::LParen) {
+        cur.next();
+        if cur.peek() != Some(&Tok::RParen) {
+            loop {
+                match cur.next() {
+                    Some(Tok::Ident(t)) => args.push(parse_term(voc, &t)),
+                    got => return Err(cur.err(format!("expected term, found {got:?}"))),
+                }
+                match cur.peek() {
+                    Some(Tok::Comma) => {
+                        cur.next();
+                    }
+                    Some(Tok::RParen) => break,
+                    got => return Err(cur.err(format!("expected , or ), found {got:?}"))),
+                }
+            }
+        }
+        cur.expect(&Tok::RParen)?;
+    }
+    let pred = if let Some(p) = voc.pred_id(&name) {
+        if voc.arity(p) != args.len() {
+            return Err(cur.err(format!(
+                "predicate {name} used with arity {} but declared with arity {}",
+                args.len(),
+                voc.arity(p)
+            )));
+        }
+        p
+    } else {
+        voc.pred(&name, args.len())
+    };
+    Ok(Atom::new(pred, args))
+}
+
+fn parse_atom_list(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<Vec<Atom>, ParseError> {
+    let mut atoms = vec![parse_atom(cur, voc)?];
+    while cur.peek() == Some(&Tok::Comma) {
+        cur.next();
+        atoms.push(parse_atom(cur, voc)?);
+    }
+    Ok(atoms)
+}
+
+/// Parses a single tgd such as `R(X,Y) -> exists Z . T(X,Z)` or
+/// `true -> P(a)`, interning symbols into `voc`.
+pub fn parse_tgd(voc: &mut Vocabulary, line: &str) -> Result<Tgd, ParseError> {
+    let toks = tokenize(line, 0)?;
+    let mut cur = Cursor {
+        toks: &toks,
+        pos: 0,
+        line: 0,
+    };
+    let tgd = parse_tgd_inner(&mut cur, voc)?;
+    if !cur.done() {
+        return Err(cur.err("trailing tokens after tgd".into()));
+    }
+    Ok(tgd)
+}
+
+fn parse_tgd_inner(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<Tgd, ParseError> {
+    // Body: either the keyword `true` (fact tgd) or an atom list.
+    let body = if matches!(cur.peek(), Some(Tok::Ident(n)) if n == "true")
+        && cur.toks.get(cur.pos + 1) == Some(&Tok::Arrow)
+    {
+        cur.next();
+        Vec::new()
+    } else {
+        parse_atom_list(cur, voc)?
+    };
+    cur.expect(&Tok::Arrow)?;
+    // Optional `exists V1, V2 .` prefix before the head.
+    let mut declared_exists: Vec<VarId> = Vec::new();
+    if matches!(cur.peek(), Some(Tok::Ident(n)) if n == "exists") {
+        cur.next();
+        loop {
+            match cur.next() {
+                Some(Tok::Ident(n)) if is_variable_name(&n) => {
+                    declared_exists.push(voc.var(&n));
+                }
+                got => return Err(cur.err(format!("expected variable after exists, found {got:?}"))),
+            }
+            match cur.peek() {
+                Some(Tok::Comma) => {
+                    cur.next();
+                }
+                Some(Tok::Dot) => {
+                    cur.next();
+                    break;
+                }
+                got => return Err(cur.err(format!("expected , or . in exists clause, found {got:?}"))),
+            }
+        }
+    }
+    let head = parse_atom_list(cur, voc)?;
+    let tgd = Tgd::new(body, head);
+    // Validate the declared existentials against the implicit ones.
+    let implicit = tgd.existential_vars();
+    for v in &declared_exists {
+        if !implicit.contains(v) {
+            return Err(cur.err(format!(
+                "variable {} declared existential but occurs in the body",
+                voc.var_name(*v)
+            )));
+        }
+    }
+    Ok(tgd)
+}
+
+/// Parses a single query line such as `q(X) :- R(X,Y), P(Y)`, returning the
+/// query name and the CQ.
+pub fn parse_query(voc: &mut Vocabulary, line: &str) -> Result<(String, Cq), ParseError> {
+    let toks = tokenize(line, 0)?;
+    let mut cur = Cursor {
+        toks: &toks,
+        pos: 0,
+        line: 0,
+    };
+    let out = parse_query_inner(&mut cur, voc)?;
+    if !cur.done() {
+        return Err(cur.err("trailing tokens after query".into()));
+    }
+    Ok(out)
+}
+
+fn parse_query_inner(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<(String, Cq), ParseError> {
+    let name = match cur.next() {
+        Some(Tok::Ident(n)) => n.clone(),
+        got => return Err(cur.err(format!("expected query name, found {got:?}"))),
+    };
+    let mut head = Vec::new();
+    if cur.peek() == Some(&Tok::LParen) {
+        cur.next();
+        if cur.peek() != Some(&Tok::RParen) {
+            loop {
+                match cur.next() {
+                    Some(Tok::Ident(n)) if is_variable_name(&n) => head.push(voc.var(&n)),
+                    got => {
+                        return Err(
+                            cur.err(format!("expected head variable, found {got:?}"))
+                        )
+                    }
+                }
+                match cur.peek() {
+                    Some(Tok::Comma) => {
+                        cur.next();
+                    }
+                    Some(Tok::RParen) => break,
+                    got => return Err(cur.err(format!("expected , or ), found {got:?}"))),
+                }
+            }
+        }
+        cur.expect(&Tok::RParen)?;
+    }
+    cur.expect(&Tok::ColonDash)?;
+    let body = parse_atom_list(cur, voc)?;
+    for &v in &head {
+        if !body.iter().any(|a| a.mentions_var(v)) {
+            return Err(cur.err(format!(
+                "head variable {} does not occur in the body",
+                voc.var_name(v)
+            )));
+        }
+    }
+    Ok((name, Cq::new(head, body)))
+}
+
+/// Parses a whole program: tgds and named queries, one per line.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut prog = Program::default();
+    let mut order: Vec<String> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let toks = tokenize(raw, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        let is_query = toks.iter().any(|t| *t == Tok::ColonDash);
+        let mut cur = Cursor {
+            toks: &toks,
+            pos: 0,
+            line: lineno,
+        };
+        if is_query {
+            let (name, cq) = parse_query_inner(&mut cur, &mut prog.voc)?;
+            if !cur.done() {
+                return Err(cur.err("trailing tokens after query".into()));
+            }
+            match prog.queries.get_mut(&name) {
+                Some(ucq) => {
+                    if ucq.arity != cq.head.len() {
+                        return Err(ParseError {
+                            line: lineno,
+                            message: format!(
+                                "query {name} redeclared with different arity"
+                            ),
+                        });
+                    }
+                    ucq.disjuncts.push(cq);
+                }
+                None => {
+                    order.push(name.clone());
+                    prog.queries.insert(name, Ucq::from_cq(cq));
+                }
+            }
+        } else {
+            let tgd = parse_tgd_inner(&mut cur, &mut prog.voc)?;
+            if !cur.done() {
+                return Err(cur.err("trailing tokens after tgd".into()));
+            }
+            prog.tgds.push(tgd);
+        }
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_tgd() {
+        let mut voc = Vocabulary::new();
+        let t = parse_tgd(&mut voc, "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)").unwrap();
+        assert_eq!(t.body.len(), 2);
+        assert_eq!(t.head.len(), 1);
+        assert_eq!(t.existential_vars().len(), 1);
+        assert_eq!(voc.arity(voc.pred_id("T").unwrap()), 3);
+    }
+
+    #[test]
+    fn parse_fact_tgd() {
+        let mut voc = Vocabulary::new();
+        let t = parse_tgd(&mut voc, "true -> Bit(0), Bit(1)").unwrap();
+        assert!(t.is_fact_tgd());
+        assert_eq!(t.head.len(), 2);
+        assert_eq!(t.constants().len(), 2);
+    }
+
+    #[test]
+    fn parse_tgd_without_exists_clause() {
+        let mut voc = Vocabulary::new();
+        let t = parse_tgd(&mut voc, "P(X) -> R(X,Y)").unwrap();
+        assert_eq!(t.existential_vars().len(), 1); // Y implicit
+    }
+
+    #[test]
+    fn reject_bad_exists() {
+        let mut voc = Vocabulary::new();
+        assert!(parse_tgd(&mut voc, "P(X) -> exists X . R(X,X)").is_err());
+    }
+
+    #[test]
+    fn reject_arity_mismatch() {
+        let mut voc = Vocabulary::new();
+        parse_tgd(&mut voc, "P(X) -> R(X,X)").unwrap();
+        assert!(parse_tgd(&mut voc, "R(X) -> P(X)").is_err());
+    }
+
+    #[test]
+    fn parse_query_line() {
+        let mut voc = Vocabulary::new();
+        let (name, q) = parse_query(&mut voc, "q(X) :- R(X,Y), P(Y)").unwrap();
+        assert_eq!(name, "q");
+        assert_eq!(q.head.len(), 1);
+        assert_eq!(q.body.len(), 2);
+    }
+
+    #[test]
+    fn reject_unsafe_head() {
+        let mut voc = Vocabulary::new();
+        assert!(parse_query(&mut voc, "q(Z) :- R(X,Y)").is_err());
+    }
+
+    #[test]
+    fn parse_whole_program_with_ucq() {
+        let prog = parse_program(
+            "# Example 1 from the paper\n\
+             P(X) -> exists Y . R(X,Y)\n\
+             R(X,Y) -> P(Y)\n\
+             T(X) -> P(X)\n\
+             \n\
+             q(X) :- R(X,Y), P(Y)\n\
+             q(X) :- T(X)\n",
+        )
+        .unwrap();
+        assert_eq!(prog.tgds.len(), 3);
+        let q = prog.query("q").unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+        assert_eq!(q.arity, 1);
+    }
+
+    #[test]
+    fn constants_vs_variables() {
+        let mut voc = Vocabulary::new();
+        let (_, q) = parse_query(&mut voc, "q :- R(X, a), P(1)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.constants().len(), 2);
+        assert_eq!(q.vars().len(), 1);
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let mut voc = Vocabulary::new();
+        let t = parse_tgd(&mut voc, "Existence, Tiling -> Goal").unwrap();
+        assert_eq!(t.body.len(), 2);
+        assert_eq!(t.body[0].arity(), 0);
+    }
+
+    #[test]
+    fn query_arity_clash_rejected() {
+        assert!(parse_program("q(X) :- P(X)\nq(X,Y) :- R(X,Y)\n").is_err());
+    }
+}

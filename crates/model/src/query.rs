@@ -1,0 +1,366 @@
+//! Conjunctive queries (CQs) and unions of conjunctive queries (UCQs).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::atom::{vars_of_atoms, Atom};
+use crate::instance::Instance;
+use crate::symbols::{ConstId, Schema, VarId, Vocabulary};
+use crate::term::Term;
+
+/// A conjunctive query `q(x̄) := ∃ȳ (R₁(v̄₁) ∧ … ∧ Rₘ(v̄ₘ))`.
+///
+/// `head` lists the free (answer) variables `x̄`; every other variable in
+/// `body` is implicitly existentially quantified. A Boolean CQ has an empty
+/// head. Atoms may contain constants but never nulls.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cq {
+    /// The free variables `x̄` (possibly with repeats, as in `q(x, x)`).
+    pub head: Vec<VarId>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl Cq {
+    /// Constructs a CQ.
+    ///
+    /// # Panics
+    /// Panics (debug) if a head variable does not occur in the body or if a
+    /// body atom contains a null.
+    pub fn new(head: Vec<VarId>, body: Vec<Atom>) -> Self {
+        debug_assert!(
+            head.iter().all(|&v| body.iter().any(|a| a.mentions_var(v))),
+            "every head variable must occur in the body"
+        );
+        debug_assert!(
+            body.iter().all(|a| a.nulls().next().is_none()),
+            "CQ bodies contain no nulls"
+        );
+        Cq { head, body }
+    }
+
+    /// A Boolean CQ with the given body.
+    pub fn boolean(body: Vec<Atom>) -> Self {
+        Cq::new(Vec::new(), body)
+    }
+
+    /// Is this a Boolean CQ?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Number of body atoms (`|q|` in the paper).
+    pub fn num_atoms(&self) -> usize {
+        self.body.len()
+    }
+
+    /// All variables of the query, in first-occurrence order over the body.
+    pub fn vars(&self) -> Vec<VarId> {
+        vars_of_atoms(&self.body)
+    }
+
+    /// The existential variables: body variables not in the head.
+    pub fn existential_vars(&self) -> Vec<VarId> {
+        self.vars()
+            .into_iter()
+            .filter(|v| !self.head.contains(v))
+            .collect()
+    }
+
+    /// Constants occurring in the body (`C(q)`), deduplicated.
+    pub fn constants(&self) -> Vec<ConstId> {
+        let mut seen = Vec::new();
+        for a in &self.body {
+            for c in a.consts() {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The distinct terms of the query (`T(q)` in Prop. 17): variables and
+    /// constants.
+    pub fn terms(&self) -> Vec<Term> {
+        crate::atom::terms_of_atoms(&self.body)
+    }
+
+    /// Is `v` *shared* in the query (free, or occurring more than once)?
+    /// This is the notion used by XRewrite's applicability condition.
+    pub fn is_shared(&self, v: VarId) -> bool {
+        if self.head.contains(&v) {
+            return true;
+        }
+        let mut count = 0usize;
+        for a in &self.body {
+            count += a.vars().filter(|&w| w == v).count();
+            if count > 1 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Variables occurring in **more than one atom** (`var≥2(q)` in §6.2).
+    pub fn vars_in_multiple_atoms(&self) -> Vec<VarId> {
+        self.vars()
+            .into_iter()
+            .filter(|&v| self.body.iter().filter(|a| a.mentions_var(v)).count() >= 2)
+            .collect()
+    }
+
+    /// The set of predicates mentioned by the query.
+    pub fn schema(&self) -> Schema {
+        Schema::from_preds(self.body.iter().map(|a| a.pred))
+    }
+
+    /// Splits the query body into connected components (`co(q)`, §7.1).
+    ///
+    /// Each component keeps the head variables that occur in it. Following
+    /// the paper, 0-ary atoms are excluded from the connectivity relation and
+    /// grouped into their own singleton components.
+    pub fn components(&self) -> Vec<Cq> {
+        let inst = Instance::from_atoms(self.body.iter().map(|a| {
+            // Temporarily treat variables as nulls so `Instance` accepts them.
+            a.map_terms(|t| match t {
+                Term::Var(v) => Term::Null(crate::symbols::NullId(v.0)),
+                other => other,
+            })
+        }));
+        let comps = inst.components();
+        let mut out: Vec<Cq> = comps
+            .into_iter()
+            .map(|c| {
+                let body: Vec<Atom> = c
+                    .atoms()
+                    .iter()
+                    .map(|a| {
+                        a.map_terms(|t| match t {
+                            Term::Null(n) => Term::Var(VarId(n.0)),
+                            other => other,
+                        })
+                    })
+                    .collect();
+                let head = self
+                    .head
+                    .iter()
+                    .copied()
+                    .filter(|&v| body.iter().any(|a| a.mentions_var(v)))
+                    .collect();
+                Cq::new(head, body)
+            })
+            .collect();
+        for a in &self.body {
+            if a.arity() == 0 {
+                out.push(Cq::boolean(vec![a.clone()]));
+            }
+        }
+        out
+    }
+
+    /// Is the query connected (single component)?
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Applies a term mapping to the body (head variables must be mapped to
+    /// variables; use [`Cq::substitute`] via a [`crate::subst::Substitution`]
+    /// for the checked variant used by the rewriting engine).
+    pub fn map_terms(&self, mut f: impl FnMut(Term) -> Term) -> Cq {
+        let body = self.body.iter().map(|a| a.map_terms(&mut f)).collect();
+        let head = self
+            .head
+            .iter()
+            .map(|&v| match f(Term::Var(v)) {
+                Term::Var(w) => w,
+                _ => panic!("head variable mapped to a non-variable"),
+            })
+            .collect();
+        Cq { head, body }
+    }
+
+    /// Freezes the query into a canonical database: each variable becomes a
+    /// fresh constant. Returns the database and the image `c(x̄)` of the head.
+    ///
+    /// This is the construction `D_{q}` used in the proof of Prop. 10 and
+    /// throughout the small-witness containment algorithm.
+    pub fn freeze(&self, voc: &mut Vocabulary) -> (Instance, Vec<ConstId>) {
+        let mut map: HashMap<VarId, ConstId> = HashMap::new();
+        let mut db = Instance::new();
+        for a in &self.body {
+            let ga = a.map_terms(|t| match t {
+                Term::Var(v) => {
+                    let c = *map.entry(v).or_insert_with(|| voc.fresh_const("f"));
+                    Term::Const(c)
+                }
+                other => other,
+            });
+            db.insert(ga);
+        }
+        let head = self
+            .head
+            .iter()
+            .map(|v| *map.entry(*v).or_insert_with(|| voc.fresh_const("f")))
+            .collect();
+        (db, head)
+    }
+}
+
+/// A union of conjunctive queries `q(x̄) := q₁(x̄) ∨ … ∨ qₙ(x̄)`.
+///
+/// All disjuncts share the head arity. The empty UCQ (no disjuncts) is the
+/// unsatisfiable query `⊥`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ucq {
+    /// Arity of the answer tuple.
+    pub arity: usize,
+    /// The disjuncts.
+    pub disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// A UCQ from disjuncts.
+    ///
+    /// # Panics
+    /// Panics if disjunct head arities disagree.
+    pub fn new(arity: usize, disjuncts: Vec<Cq>) -> Self {
+        assert!(
+            disjuncts.iter().all(|d| d.head.len() == arity),
+            "all disjuncts of a UCQ must share the head arity"
+        );
+        Ucq { arity, disjuncts }
+    }
+
+    /// Wraps a single CQ.
+    pub fn from_cq(cq: Cq) -> Self {
+        Ucq {
+            arity: cq.head.len(),
+            disjuncts: vec![cq],
+        }
+    }
+
+    /// The single CQ, if this UCQ has exactly one disjunct.
+    pub fn as_cq(&self) -> Option<&Cq> {
+        match self.disjuncts.as_slice() {
+            [d] => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Is this the unsatisfiable empty union?
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Is the UCQ Boolean?
+    pub fn is_boolean(&self) -> bool {
+        self.arity == 0
+    }
+
+    /// Predicates mentioned across all disjuncts.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for d in &self.disjuncts {
+            s = s.union(&d.schema());
+        }
+        s
+    }
+
+    /// Maximum number of atoms over the disjuncts (the quantity bounded by
+    /// the functions `f_O` of §4).
+    pub fn max_disjunct_size(&self) -> usize {
+        self.disjuncts.iter().map(Cq::num_atoms).max().unwrap_or(0)
+    }
+
+    /// The set of variables used anywhere in the UCQ.
+    pub fn all_vars(&self) -> HashSet<VarId> {
+        self.disjuncts.iter().flat_map(|d| d.vars()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocabulary;
+
+    fn q_rxy_py(v: &mut Vocabulary) -> Cq {
+        let r = v.pred("R", 2);
+        let p = v.pred("P", 1);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        Cq::new(
+            vec![x],
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(p, vec![Term::Var(y)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn vars_and_sharing() {
+        let mut v = Vocabulary::new();
+        let q = q_rxy_py(&mut v);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        assert_eq!(q.vars(), vec![x, y]);
+        assert_eq!(q.existential_vars(), vec![y]);
+        assert!(q.is_shared(x)); // free
+        assert!(q.is_shared(y)); // occurs twice
+        assert_eq!(q.vars_in_multiple_atoms(), vec![y]);
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn non_shared_variable() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("R", 2);
+        let (x, y) = (v.var("X"), v.var("Y"));
+        let q = Cq::new(vec![x], vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])]);
+        assert!(!q.is_shared(y));
+    }
+
+    #[test]
+    fn components_of_query() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("R", 2);
+        let p = v.pred("P", 1);
+        let (x, y, z) = (v.var("X"), v.var("Y"), v.var("Z"));
+        let q = Cq::new(
+            vec![x, z],
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(p, vec![Term::Var(z)]),
+            ],
+        );
+        let comps = q.components();
+        assert_eq!(comps.len(), 2);
+        assert!(!q.is_connected());
+        // Heads are projected per component.
+        let heads: Vec<usize> = comps.iter().map(|c| c.head.len()).collect();
+        assert_eq!(heads, vec![1, 1]);
+    }
+
+    #[test]
+    fn freeze_produces_database() {
+        let mut v = Vocabulary::new();
+        let q = q_rxy_py(&mut v);
+        let (db, head) = q.freeze(&mut v);
+        assert!(db.is_database());
+        assert_eq!(db.len(), 2);
+        assert_eq!(head.len(), 1);
+        // X and Y map to distinct constants.
+        assert_eq!(db.active_domain().len(), 2);
+    }
+
+    #[test]
+    fn ucq_invariants() {
+        let mut v = Vocabulary::new();
+        let q = q_rxy_py(&mut v);
+        let u = Ucq::from_cq(q.clone());
+        assert_eq!(u.arity, 1);
+        assert_eq!(u.as_cq(), Some(&q));
+        assert_eq!(u.max_disjunct_size(), 2);
+        assert!(!u.is_empty());
+        let empty = Ucq::new(0, vec![]);
+        assert!(empty.is_empty() && empty.is_boolean());
+    }
+}

@@ -1,0 +1,274 @@
+//! Substitutions and most general unifiers (MGUs).
+//!
+//! A substitution maps variables to terms; unification here is over flat
+//! terms (variables and constants — no function symbols), so an MGU either
+//! exists and is computed by union-find, or fails on a constant clash.
+
+use std::collections::HashMap;
+
+use crate::atom::Atom;
+use crate::query::Cq;
+use crate::symbols::VarId;
+use crate::term::Term;
+
+/// A substitution: a finite map from variables to terms.
+///
+/// Application is *simultaneous* (not iterated), matching the convention for
+/// MGUs in the XRewrite algorithm; compose substitutions explicitly with
+/// [`Substitution::compose`] when sequencing is needed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: HashMap<VarId, Term>,
+}
+
+impl Substitution {
+    /// The identity substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Binds `v ↦ t`, replacing any previous binding.
+    pub fn bind(&mut self, v: VarId, t: Term) {
+        self.map.insert(v, t);
+    }
+
+    /// The image of `v`, if bound.
+    pub fn get(&self, v: VarId) -> Option<Term> {
+        self.map.get(&v).copied()
+    }
+
+    /// Applies the substitution to a term.
+    pub fn apply_term(&self, t: Term) -> Term {
+        match t {
+            Term::Var(v) => self.map.get(&v).copied().unwrap_or(t),
+            other => other,
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        a.map_terms(|t| self.apply_term(t))
+    }
+
+    /// Applies the substitution to every atom of a slice.
+    pub fn apply_atoms(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.apply_atom(a)).collect()
+    }
+
+    /// Applies the substitution to a CQ.
+    ///
+    /// # Panics
+    /// Panics if a head variable is mapped to a non-variable term; the
+    /// rewriting engine guarantees this never happens for the MGUs it builds
+    /// (free variables are never unified with constants thanks to the
+    /// applicability condition).
+    pub fn apply_cq(&self, q: &Cq) -> Cq {
+        q.map_terms(|t| self.apply_term(t))
+    }
+
+    /// Sequential composition: `(self ∘ other)(x) = self(other(x))`.
+    pub fn compose(&self, other: &Substitution) -> Substitution {
+        let mut out = Substitution::new();
+        for (&v, &t) in &other.map {
+            out.bind(v, self.apply_term(t));
+        }
+        for (&v, &t) in &self.map {
+            out.map.entry(v).or_insert(t);
+        }
+        out
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Term)> + '_ {
+        self.map.iter().map(|(&v, &t)| (v, t))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is this the identity?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl FromIterator<(VarId, Term)> for Substitution {
+    fn from_iter<T: IntoIterator<Item = (VarId, Term)>>(iter: T) -> Self {
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Union-find over terms used for unification.
+struct Uf {
+    parent: HashMap<Term, Term>,
+}
+
+impl Uf {
+    fn new() -> Self {
+        Uf {
+            parent: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, t: Term) -> Term {
+        let p = *self.parent.get(&t).unwrap_or(&t);
+        if p == t {
+            return t;
+        }
+        let r = self.find(p);
+        self.parent.insert(t, r);
+        r
+    }
+
+    /// Unifies two terms. Constants become class representatives; two
+    /// distinct constants clash. Returns `false` on clash.
+    fn union(&mut self, a: Term, b: Term) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return true;
+        }
+        match (ra.is_var(), rb.is_var()) {
+            (true, _) => {
+                self.parent.insert(ra, rb);
+                true
+            }
+            (false, true) => {
+                self.parent.insert(rb, ra);
+                true
+            }
+            (false, false) => false, // two distinct non-variables
+        }
+    }
+}
+
+/// Computes the MGU of two atoms, if one exists.
+///
+/// Returns `None` when the predicates differ or a constant clash occurs.
+pub fn mgu_atoms(a: &Atom, b: &Atom) -> Option<Substitution> {
+    mgu_many(&[a.clone(), b.clone()])
+}
+
+/// Computes the MGU of a set of atoms (all must become equal), if one exists.
+///
+/// This is the notion the paper uses for XRewrite: a unifier `γ` with
+/// `γ(α₁) = … = γ(αₙ)`, most general among all such.
+pub fn mgu_many(atoms: &[Atom]) -> Option<Substitution> {
+    let first = atoms.first()?;
+    let mut uf = Uf::new();
+    for a in &atoms[1..] {
+        if a.pred != first.pred || a.arity() != first.arity() {
+            return None;
+        }
+        for (x, y) in first.args.iter().zip(&a.args) {
+            if !uf.union(*x, *y) {
+                return None;
+            }
+        }
+    }
+    // Extract the substitution: every variable maps to its representative.
+    let mut sub = Substitution::new();
+    let mut vars: Vec<Term> = uf.parent.keys().copied().collect();
+    for a in atoms {
+        for &t in &a.args {
+            if t.is_var() && !vars.contains(&t) {
+                vars.push(t);
+            }
+        }
+    }
+    for t in vars {
+        if let Term::Var(v) = t {
+            let r = uf.find(t);
+            if r != t {
+                sub.bind(v, r);
+            }
+        }
+    }
+    Some(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocabulary;
+
+    #[test]
+    fn apply_and_compose() {
+        let mut voc = Vocabulary::new();
+        let (x, y, z) = (voc.var("X"), voc.var("Y"), voc.var("Z"));
+        let c = voc.constant("a");
+        let mut s1 = Substitution::new();
+        s1.bind(x, Term::Var(y));
+        let mut s2 = Substitution::new();
+        s2.bind(y, Term::Const(c));
+        // (s2 ∘ s1)(x) = s2(s1(x)) = s2(y) = a
+        let s = s2.compose(&s1);
+        assert_eq!(s.apply_term(Term::Var(x)), Term::Const(c));
+        assert_eq!(s.apply_term(Term::Var(y)), Term::Const(c));
+        assert_eq!(s.apply_term(Term::Var(z)), Term::Var(z));
+    }
+
+    #[test]
+    fn mgu_basic() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (x, y, z) = (voc.var("X"), voc.var("Y"), voc.var("Z"));
+        let a = Atom::new(r, vec![Term::Var(x), Term::Var(y)]);
+        let b = Atom::new(r, vec![Term::Var(z), Term::Var(z)]);
+        let g = mgu_many(&[a.clone(), b.clone()]).expect("unifies");
+        assert_eq!(g.apply_atom(&a), g.apply_atom(&b));
+    }
+
+    #[test]
+    fn mgu_constant_clash() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 1);
+        let (a, b) = (voc.constant("a"), voc.constant("b"));
+        let aa = Atom::new(r, vec![Term::Const(a)]);
+        let ab = Atom::new(r, vec![Term::Const(b)]);
+        assert!(mgu_many(&[aa, ab]).is_none());
+    }
+
+    #[test]
+    fn mgu_with_constant_binds_var() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (x, y) = (voc.var("X"), voc.var("Y"));
+        let c = voc.constant("a");
+        let a1 = Atom::new(r, vec![Term::Var(x), Term::Var(y)]);
+        let a2 = Atom::new(r, vec![Term::Const(c), Term::Var(y)]);
+        let g = mgu_many(&[a1.clone(), a2.clone()]).unwrap();
+        assert_eq!(g.apply_term(Term::Var(x)), Term::Const(c));
+        assert_eq!(g.apply_atom(&a1), g.apply_atom(&a2));
+    }
+
+    #[test]
+    fn mgu_different_predicates_fails() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 1);
+        let p = voc.pred("P", 1);
+        let x = voc.var("X");
+        let a1 = Atom::new(r, vec![Term::Var(x)]);
+        let a2 = Atom::new(p, vec![Term::Var(x)]);
+        assert!(mgu_atoms(&a1, &a2).is_none());
+    }
+
+    #[test]
+    fn mgu_three_atoms() {
+        let mut voc = Vocabulary::new();
+        let r = voc.pred("R", 2);
+        let (x, y, z, w) = (voc.var("X"), voc.var("Y"), voc.var("Z"), voc.var("W"));
+        let atoms = [
+            Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(r, vec![Term::Var(y), Term::Var(z)]),
+            Atom::new(r, vec![Term::Var(z), Term::Var(w)]),
+        ];
+        let g = mgu_many(&atoms).unwrap();
+        let imgs: Vec<Atom> = atoms.iter().map(|a| g.apply_atom(a)).collect();
+        assert_eq!(imgs[0], imgs[1]);
+        assert_eq!(imgs[1], imgs[2]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Interned symbols: predicates, constants, variables, and the vocabulary
+//! that owns their names.
+//!
+//! All algorithmic code works with lightweight copyable ids; names exist only
+//! for parsing and display. A [`Vocabulary`] is shared by every object that
+//! takes part in one reasoning task (ontology, queries, databases), which is
+//! what the paper implicitly assumes when it speaks of "the schema
+//! `S ∪ sch(Σ)`".
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a relation symbol (predicate).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredId(pub u32);
+
+/// Identifier of a constant from the countably infinite set `C`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConstId(pub u32);
+
+/// Identifier of a (regular) variable from `V`, used in queries and tgds.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// Identifier of a labeled null from `N`, invented by the chase.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NullId(pub u32);
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Display for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+/// A schema: a finite set of predicates, each with an arity.
+///
+/// In an OMQ `(S, Σ, q)` the *data schema* `S` is the sub-schema over which
+/// input databases range; `Σ` and `q` may mention additional predicates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    preds: Vec<PredId>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Schema { preds: Vec::new() }
+    }
+
+    /// A schema over the given predicates (deduplicated, order preserved).
+    pub fn from_preds(preds: impl IntoIterator<Item = PredId>) -> Self {
+        let mut s = Schema::new();
+        for p in preds {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Adds a predicate; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: PredId) -> bool {
+        if self.preds.contains(&p) {
+            false
+        } else {
+            self.preds.push(p);
+            true
+        }
+    }
+
+    /// Does the schema contain `p`?
+    pub fn contains(&self, p: PredId) -> bool {
+        self.preds.contains(&p)
+    }
+
+    /// The predicates of the schema, in insertion order.
+    pub fn preds(&self) -> &[PredId] {
+        &self.preds
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Union of two schemas.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut s = self.clone();
+        for &p in other.preds() {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Maximum arity over the schema's predicates (`ar(S)` in the paper).
+    pub fn max_arity(&self, voc: &Vocabulary) -> usize {
+        self.preds.iter().map(|&p| voc.arity(p)).max().unwrap_or(0)
+    }
+}
+
+impl FromIterator<PredId> for Schema {
+    fn from_iter<T: IntoIterator<Item = PredId>>(iter: T) -> Self {
+        Schema::from_preds(iter)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Interner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), i);
+        i
+    }
+
+    fn fresh(&mut self, prefix: &str) -> u32 {
+        let mut n = self.names.len();
+        loop {
+            let cand = format!("{prefix}{n}");
+            if !self.by_name.contains_key(&cand) {
+                return self.intern(&cand);
+            }
+            n += 1;
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// The symbol table shared by all objects in one reasoning task.
+///
+/// Owns the names and arities of predicates and the names of constants and
+/// variables. Nulls are anonymous — they are only ever invented by the chase
+/// and carry no name beyond their id.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    preds: Interner,
+    arities: Vec<usize>,
+    consts: Interner,
+    vars: Interner,
+    next_null: u32,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Interns a predicate with the given arity.
+    ///
+    /// # Panics
+    /// Panics if the predicate was already interned with a different arity;
+    /// arity mismatches are always programming errors in this library.
+    pub fn pred(&mut self, name: &str, arity: usize) -> PredId {
+        let i = self.preds.intern(name);
+        if (i as usize) == self.arities.len() {
+            self.arities.push(arity);
+        } else {
+            assert_eq!(
+                self.arities[i as usize], arity,
+                "predicate {name} re-interned with different arity"
+            );
+        }
+        PredId(i)
+    }
+
+    /// A fresh predicate whose name starts with `prefix`.
+    pub fn fresh_pred(&mut self, prefix: &str, arity: usize) -> PredId {
+        let i = self.preds.fresh(prefix);
+        debug_assert_eq!(i as usize, self.arities.len());
+        self.arities.push(arity);
+        PredId(i)
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred_id(&self, name: &str) -> Option<PredId> {
+        self.preds.get(name).map(PredId)
+    }
+
+    /// The arity of `p`.
+    pub fn arity(&self, p: PredId) -> usize {
+        self.arities[p.0 as usize]
+    }
+
+    /// The name of `p`.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        self.preds.name(p.0)
+    }
+
+    /// All interned predicates.
+    pub fn all_preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Number of interned predicates.
+    pub fn num_preds(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, name: &str) -> ConstId {
+        ConstId(self.consts.intern(name))
+    }
+
+    /// A fresh constant whose name starts with `prefix`.
+    pub fn fresh_const(&mut self, prefix: &str) -> ConstId {
+        ConstId(self.consts.fresh(prefix))
+    }
+
+    /// Looks up a constant by name.
+    pub fn const_id(&self, name: &str) -> Option<ConstId> {
+        self.consts.get(name).map(ConstId)
+    }
+
+    /// The name of constant `c`.
+    pub fn const_name(&self, c: ConstId) -> &str {
+        self.consts.name(c.0)
+    }
+
+    /// Number of interned constants.
+    pub fn num_consts(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Interns a variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        VarId(self.vars.intern(name))
+    }
+
+    /// A fresh variable whose name starts with `prefix`.
+    pub fn fresh_var(&mut self, prefix: &str) -> VarId {
+        VarId(self.vars.fresh(prefix))
+    }
+
+    /// Looks up a variable by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.get(name).map(VarId)
+    }
+
+    /// The name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.vars.name(v.0)
+    }
+
+    /// Number of interned variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// A fresh labeled null (used by the chase).
+    pub fn fresh_null(&mut self) -> NullId {
+        let n = NullId(self.next_null);
+        self.next_null += 1;
+        n
+    }
+
+    /// Number of nulls invented so far.
+    pub fn num_nulls(&self) -> usize {
+        self.next_null as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_roundtrip() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("R", 2);
+        let p = v.pred("P", 1);
+        assert_eq!(v.pred("R", 2), r);
+        assert_ne!(r, p);
+        assert_eq!(v.arity(r), 2);
+        assert_eq!(v.pred_name(p), "P");
+        assert_eq!(v.pred_id("R"), Some(r));
+        assert_eq!(v.pred_id("Q"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn arity_mismatch_panics() {
+        let mut v = Vocabulary::new();
+        v.pred("R", 2);
+        v.pred("R", 3);
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let mut v = Vocabulary::new();
+        let a = v.fresh_var("u");
+        let b = v.fresh_var("u");
+        assert_ne!(a, b);
+        let c = v.fresh_const("k");
+        let d = v.fresh_const("k");
+        assert_ne!(c, d);
+        let n1 = v.fresh_null();
+        let n2 = v.fresh_null();
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn fresh_pred_avoids_collision() {
+        let mut v = Vocabulary::new();
+        v.pred("aux0", 1);
+        let q = v.fresh_pred("aux", 2);
+        assert_ne!(v.pred_name(q), "aux0");
+        assert_eq!(v.arity(q), 2);
+    }
+
+    #[test]
+    fn schema_ops() {
+        let mut v = Vocabulary::new();
+        let r = v.pred("R", 2);
+        let p = v.pred("P", 1);
+        let t = v.pred("T", 3);
+        let mut s = Schema::new();
+        assert!(s.insert(r));
+        assert!(!s.insert(r));
+        assert!(s.insert(p));
+        assert!(s.contains(r));
+        assert!(!s.contains(t));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_arity(&v), 2);
+        let s2 = Schema::from_preds([t]);
+        let u = s.union(&s2);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.max_arity(&v), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Terms: constants, labeled nulls, and variables.
+
+use crate::symbols::{ConstId, NullId, VarId};
+
+/// A term is a constant, a labeled null, or a variable (paper §2).
+///
+/// Databases contain only [`Term::Const`]; instances produced by the chase
+/// additionally contain [`Term::Null`]; queries and tgds contain
+/// [`Term::Var`] and [`Term::Const`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A constant from `C`.
+    Const(ConstId),
+    /// A labeled null from `N`.
+    Null(NullId),
+    /// A variable from `V`.
+    Var(VarId),
+}
+
+impl Term {
+    /// Is this a constant?
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Is this a labeled null?
+    pub fn is_null(self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// Is this a variable?
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Term::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The null inside, if any.
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Term::Null(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConstId> for Term {
+    fn from(c: ConstId) -> Self {
+        Term::Const(c)
+    }
+}
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+impl From<NullId> for Term {
+    fn from(n: NullId) -> Self {
+        Term::Null(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let c = Term::Const(ConstId(0));
+        let n = Term::Null(NullId(1));
+        let v = Term::Var(VarId(2));
+        assert!(c.is_const() && !c.is_null() && !c.is_var());
+        assert!(n.is_null() && !n.is_const());
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some(VarId(2)));
+        assert_eq!(c.as_const(), Some(ConstId(0)));
+        assert_eq!(n.as_null(), Some(NullId(1)));
+        assert_eq!(c.as_var(), None);
+    }
+}

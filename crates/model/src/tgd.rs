@@ -1,0 +1,244 @@
+//! Tuple-generating dependencies (tgds) and ontology-mediated queries (OMQs).
+
+use crate::atom::{vars_of_atoms, Atom};
+use crate::query::Ucq;
+use crate::symbols::{ConstId, Schema, VarId};
+
+/// A tuple-generating dependency `∀x̄∀ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄))` (paper §2).
+///
+/// `body` is `φ`, `head` is `ψ`; quantification is implicit: variables shared
+/// between body and head are universally quantified (the *frontier* `x̄`),
+/// head-only variables are existentially quantified (`z̄`), and body-only
+/// variables are the `ȳ`. A *fact tgd* has an empty body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tgd {
+    /// The body `φ` (empty for fact tgds).
+    pub body: Vec<Atom>,
+    /// The head `ψ` (never empty).
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Constructs a tgd.
+    ///
+    /// # Panics
+    /// Panics if the head is empty.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        assert!(!head.is_empty(), "a tgd must have a non-empty head");
+        Tgd { body, head }
+    }
+
+    /// Is this a fact tgd (`⊤ → ∃z̄ ψ`)?
+    pub fn is_fact_tgd(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Variables occurring in the body, in first-occurrence order.
+    pub fn body_vars(&self) -> Vec<VarId> {
+        vars_of_atoms(&self.body)
+    }
+
+    /// Variables occurring in the head, in first-occurrence order.
+    pub fn head_vars(&self) -> Vec<VarId> {
+        vars_of_atoms(&self.head)
+    }
+
+    /// The frontier `x̄`: variables shared by body and head.
+    pub fn frontier(&self) -> Vec<VarId> {
+        let hv = self.head_vars();
+        self.body_vars().into_iter().filter(|v| hv.contains(v)).collect()
+    }
+
+    /// The existentially quantified variables `z̄`: head-only variables.
+    pub fn existential_vars(&self) -> Vec<VarId> {
+        let bv = self.body_vars();
+        self.head_vars().into_iter().filter(|v| !bv.contains(v)).collect()
+    }
+
+    /// Is the tgd *full* (no existential variables)? Full tgds are the
+    /// Datalog fragment (class `F`, Prop. 8).
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Constants occurring in the tgd, deduplicated.
+    pub fn constants(&self) -> Vec<ConstId> {
+        let mut out = Vec::new();
+        for a in self.body.iter().chain(&self.head) {
+            for c in a.consts() {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of symbols `||τ||`: total argument positions plus atoms.
+    pub fn size(&self) -> usize {
+        self.body
+            .iter()
+            .chain(&self.head)
+            .map(|a| 1 + a.arity())
+            .sum()
+    }
+}
+
+/// The schema `sch(Σ)`: every predicate occurring in the given tgds.
+pub fn sch(sigma: &[Tgd]) -> Schema {
+    let mut s = Schema::new();
+    for t in sigma {
+        for a in t.body.iter().chain(&t.head) {
+            s.insert(a.pred);
+        }
+    }
+    s
+}
+
+/// Total size `||Σ||` of a set of tgds.
+pub fn sigma_size(sigma: &[Tgd]) -> usize {
+    sigma.iter().map(Tgd::size).sum()
+}
+
+/// Constants occurring in a set of tgds (`C(Σ)`, Prop. 17), deduplicated.
+pub fn sigma_constants(sigma: &[Tgd]) -> Vec<ConstId> {
+    let mut out = Vec::new();
+    for t in sigma {
+        for c in t.constants() {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// An ontology-mediated query `Q = (S, Σ, q)` (paper §2).
+///
+/// `data_schema` is `S` — the schema over which input databases range; the
+/// ontology `Σ` and the query `q` may mention further predicates from
+/// `sch(Σ)`. Evaluation is under certain-answer semantics:
+/// `Q(D) = cert(q, D, Σ) = q(chase(D, Σ))`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Omq {
+    /// The data schema `S`.
+    pub data_schema: Schema,
+    /// The ontology `Σ`.
+    pub sigma: Vec<Tgd>,
+    /// The (U)CQ `q` over `S ∪ sch(Σ)`.
+    pub query: Ucq,
+}
+
+impl Omq {
+    /// Constructs an OMQ.
+    pub fn new(data_schema: Schema, sigma: Vec<Tgd>, query: Ucq) -> Self {
+        Omq {
+            data_schema,
+            sigma,
+            query,
+        }
+    }
+
+    /// The full schema `S ∪ sch(Σ)` (not including query-only predicates).
+    pub fn full_schema(&self) -> Schema {
+        self.data_schema.union(&sch(&self.sigma))
+    }
+
+    /// The answer arity of the OMQ.
+    pub fn arity(&self) -> usize {
+        self.query.arity
+    }
+
+    /// Is the query a single CQ?
+    pub fn is_cq(&self) -> bool {
+        self.query.disjuncts.len() == 1
+    }
+
+    /// Total size `||Q||`: ontology size plus query size.
+    pub fn size(&self) -> usize {
+        sigma_size(&self.sigma)
+            + self
+                .query
+                .disjuncts
+                .iter()
+                .flat_map(|d| d.body.iter())
+                .map(|a| 1 + a.arity())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Cq;
+    use crate::symbols::Vocabulary;
+    use crate::term::Term;
+
+    fn example(voc: &mut Vocabulary) -> Tgd {
+        // R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)
+        let r = voc.pred("R", 2);
+        let p = voc.pred("P", 2);
+        let t = voc.pred("T", 3);
+        let (x, y, z, w) = (voc.var("X"), voc.var("Y"), voc.var("Z"), voc.var("W"));
+        Tgd::new(
+            vec![
+                Atom::new(r, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(p, vec![Term::Var(y), Term::Var(z)]),
+            ],
+            vec![Atom::new(t, vec![Term::Var(x), Term::Var(y), Term::Var(w)])],
+        )
+    }
+
+    #[test]
+    fn frontier_and_existentials() {
+        let mut voc = Vocabulary::new();
+        let t = example(&mut voc);
+        let (x, y, z, w) = (voc.var("X"), voc.var("Y"), voc.var("Z"), voc.var("W"));
+        assert_eq!(t.frontier(), vec![x, y]);
+        assert_eq!(t.existential_vars(), vec![w]);
+        assert!(t.body_vars().contains(&z));
+        assert!(!t.is_full());
+        assert!(!t.is_fact_tgd());
+    }
+
+    #[test]
+    fn fact_and_full_tgds() {
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", 1);
+        let q = voc.pred("Q", 1);
+        let x = voc.var("X");
+        let c = voc.constant("a");
+        let fact = Tgd::new(vec![], vec![Atom::new(p, vec![Term::Const(c)])]);
+        assert!(fact.is_fact_tgd() && fact.is_full());
+        let full = Tgd::new(
+            vec![Atom::new(p, vec![Term::Var(x)])],
+            vec![Atom::new(q, vec![Term::Var(x)])],
+        );
+        assert!(full.is_full() && !full.is_fact_tgd());
+        assert_eq!(fact.constants(), vec![c]);
+    }
+
+    #[test]
+    fn sch_collects_predicates() {
+        let mut voc = Vocabulary::new();
+        let t = example(&mut voc);
+        let s = sch(&[t.clone()]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(sigma_size(&[t]), (1 + 2) + (1 + 2) + (1 + 3));
+    }
+
+    #[test]
+    fn omq_schema_union() {
+        let mut voc = Vocabulary::new();
+        let t = example(&mut voc);
+        let r = voc.pred("R", 2);
+        let p = voc.pred("P", 2);
+        let x = voc.var("X");
+        let q = Cq::new(vec![x], vec![Atom::new(r, vec![Term::Var(x), Term::Var(x)])]);
+        let omq = Omq::new(Schema::from_preds([r, p]), vec![t], Ucq::from_cq(q));
+        assert_eq!(omq.full_schema().len(), 3);
+        assert_eq!(omq.arity(), 1);
+        assert!(omq.is_cq());
+        assert!(omq.size() > 0);
+    }
+}

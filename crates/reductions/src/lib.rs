@@ -1,0 +1,31 @@
+//! # omq-reductions
+//!
+//! The paper's lower-bound constructions, implemented as generators:
+//!
+//! * [`tiling`] — the Exponential Tiling Problem and the Extended Tiling
+//!   Problem of Eiter–Lukasiewicz–Predoiu \[34\], with brute-force reference
+//!   solvers for small grids;
+//! * [`nr_hardness`] — the Theorem 16 reduction: an ETP instance becomes a
+//!   pair of `(NR, CQ)` OMQs whose containment answers the tiling question;
+//!   the ontology uses the inductive `2ⁱ×2ⁱ`-from-`2ⁱ⁻¹×2ⁱ⁻¹` tiling rules
+//!   of **Figure 2**;
+//! * [`sticky_hardness`] — the Theorem 34 reduction (exponential tiling →
+//!   `Cont((FNR,CQ),(L,UCQ))`) and the Prop. 35 lossless transformation of
+//!   full 0-1 OMQs into sticky ones;
+//! * [`witness_families`] — the witness-size lower-bound families of
+//!   Prop. 15 (non-recursive) and Prop. 18 (sticky), whose minimal
+//!   counterexample databases grow as `2^{n-1}` / `2^{n-2}`.
+//!
+//! These are the only "datasets" the paper defines, so the benchmark
+//! harness uses them as workloads; the test suites use the brute-force
+//! solvers as ground truth.
+
+pub mod nr_hardness;
+pub mod sticky_hardness;
+pub mod tiling;
+pub mod witness_families;
+
+pub use nr_hardness::{etp_to_containment, EtpOmqs};
+pub use sticky_hardness::{full_to_sticky_01, tiling_to_fnr_linear, TilingOmqs};
+pub use tiling::{Etp, ExpTiling};
+pub use witness_families::{prop15_family, prop18_family};

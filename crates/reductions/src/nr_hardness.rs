@@ -1,0 +1,387 @@
+//! The Theorem 16 reduction: from the Extended Tiling Problem to
+//! `Cont((NR, CQ))`.
+//!
+//! Given an ETP instance `(k, n, m, H₁, V₁, H₂, V₂)`, we construct two
+//! non-recursive OMQs `Q₁, Q₂` over the data schema of 0-ary predicates
+//! `Cᵢʲ` ("position `i` of the initial condition carries tile `j`") such
+//! that the ETP instance is a yes-instance iff `Q₁ ⊆ Q₂`:
+//!
+//! * `Q₁` derives `Goal` when the database encodes at least one tile per
+//!   position (*existence*) and tiling system 1 solves the `2ⁿ×2ⁿ` grid
+//!   with a compatible initial condition;
+//! * `Q₂` derives `Goal` when some position carries two tiles
+//!   (*uniqueness* violated) or tiling system 2 solves the grid.
+//!
+//! The grid is built inductively: a `2ⁱ×2ⁱ` tiling object is assembled from
+//! nine overlapping `2ⁱ⁻¹×2ⁱ⁻¹` tilings arranged on a 4×4 quadrant grid —
+//! exactly **Figure 2** of the paper.
+
+use omq_model::{Atom, Cq, Omq, PredId, Schema, Term, Tgd, Ucq, Vocabulary};
+
+use crate::tiling::Etp;
+
+/// The two OMQs produced by the Theorem 16 construction, sharing one
+/// vocabulary.
+#[derive(Clone, Debug)]
+pub struct EtpOmqs {
+    /// The left-hand OMQ (existence + tiling system 1).
+    pub q1: Omq,
+    /// The right-hand OMQ (uniqueness violation + tiling system 2).
+    pub q2: Omq,
+    /// The shared vocabulary.
+    pub voc: Vocabulary,
+}
+
+struct Builder<'a> {
+    voc: &'a mut Vocabulary,
+    etp: &'a Etp,
+    suffix: &'a str,
+}
+
+impl<'a> Builder<'a> {
+    fn pred(&mut self, name: &str, arity: usize) -> PredId {
+        self.voc.pred(&format!("{name}{}", self.suffix), arity)
+    }
+
+    fn cij(&mut self, i: usize, j: u8) -> PredId {
+        // Data-schema predicates are shared (no suffix).
+        self.voc.pred(&format!("C_{i}_{j}"), 0)
+    }
+
+    fn var(&mut self, name: &str) -> Term {
+        Term::Var(self.voc.var(name))
+    }
+
+    /// The tiling rules shared by both sides (parameterized by `h`/`v`),
+    /// deriving `Tiling` from the `Cᵢʲ` facts.
+    fn tiling_rules(&mut self, h: &[(u8, u8)], v: &[(u8, u8)]) -> Vec<Tgd> {
+        let etp = self.etp;
+        let (k, n, m) = (etp.k, etp.n, etp.m);
+        assert!(k <= 1 << n, "initial condition longer than the grid row");
+        let mut rules = Vec::new();
+
+        // Generate the tiles: ⊤ → ∃x₁…x_m Tile₁(x₁), …, Tile_m(x_m).
+        let tiles: Vec<PredId> = (1..=m).map(|j| self.pred(&format!("Tile{j}"), 1)).collect();
+        let head: Vec<Atom> = (1..=m)
+            .map(|j| {
+                let x = self.var(&format!("Xt{j}"));
+                Atom::new(tiles[(j - 1) as usize], vec![x])
+            })
+            .collect();
+        rules.push(Tgd::new(vec![], head));
+
+        // Compatibility relations.
+        let hp = self.pred("H", 2);
+        let vp = self.pred("V", 2);
+        for &(rel, pairs) in &[(hp, h), (vp, v)] {
+            for &(i, j) in pairs {
+                let (x, y) = (self.var("Xc"), self.var("Yc"));
+                rules.push(Tgd::new(
+                    vec![
+                        Atom::new(tiles[(i - 1) as usize], vec![x]),
+                        Atom::new(tiles[(j - 1) as usize], vec![y]),
+                    ],
+                    vec![Atom::new(rel, vec![x, y])],
+                ));
+            }
+        }
+
+        // T₁: 2×2 tilings from compatible tile squares.
+        //   H(x1,x2), H(x3,x4), V(x1,x3), V(x2,x4) → ∃x T₁(x,x1,x2,x3,x4)
+        // (x1 = top-left, x2 = top-right, x3 = bottom-left, x4 = b-right).
+        let t: Vec<PredId> = (1..=n)
+            .map(|i| self.pred(&format!("T{i}"), 5))
+            .collect();
+        {
+            let x = self.var("Xsq");
+            let xs: Vec<Term> = (1..=4).map(|q| self.var(&format!("Xq{q}"))).collect();
+            rules.push(Tgd::new(
+                vec![
+                    Atom::new(hp, vec![xs[0], xs[1]]),
+                    Atom::new(hp, vec![xs[2], xs[3]]),
+                    Atom::new(vp, vec![xs[0], xs[2]]),
+                    Atom::new(vp, vec![xs[1], xs[3]]),
+                ],
+                vec![Atom::new(t[0], vec![x, xs[0], xs[1], xs[2], xs[3]])],
+            ));
+        }
+
+        // Figure 2: Tᵢ from nine overlapping Tᵢ₋₁ on a 4×4 quadrant grid.
+        for i in 2..=n as usize {
+            // Quadrant variables x[r][c], 4×4.
+            let mut grid = [[Term::Var(omq_model::VarId(0)); 5]; 5];
+            for (r, row) in grid.iter_mut().enumerate().skip(1) {
+                for (c, cell) in row.iter_mut().enumerate().skip(1) {
+                    *cell = self.var(&format!("Xg{r}{c}"));
+                }
+            }
+            let subs: Vec<Term> = (1..=9).map(|s| self.var(&format!("Xs{s}"))).collect();
+            let mut body = Vec::with_capacity(9);
+            for r in 1..=3usize {
+                for c in 1..=3usize {
+                    let s = (r - 1) * 3 + (c - 1);
+                    body.push(Atom::new(
+                        t[i - 2],
+                        vec![
+                            subs[s],
+                            grid[r][c],
+                            grid[r][c + 1],
+                            grid[r + 1][c],
+                            grid[r + 1][c + 1],
+                        ],
+                    ));
+                }
+            }
+            let x = self.var("Xbig");
+            rules.push(Tgd::new(
+                body,
+                vec![Atom::new(
+                    t[i - 1],
+                    vec![x, subs[0], subs[2], subs[6], subs[8]],
+                )],
+            ));
+        }
+
+        // Top-row extraction: Topʲᵢ(x, y) = "tile (j, 0) of the 2ⁱ-tiling x
+        // is y". Only positions j < k are needed.
+        let top = |b: &mut Self, j: usize, i: usize| b.pred(&format!("Top{j}_{i}"), 2);
+        {
+            // Base: T₁(x,x1,x2,_,_) → Top⁰₁(x,x1) [, Top¹₁(x,x2)].
+            let x = self.var("Xe");
+            let xs: Vec<Term> = (1..=4).map(|q| self.var(&format!("Xe{q}"))).collect();
+            let mut head = vec![];
+            for j in 0..k.min(2) {
+                let p = top(self, j, 1);
+                head.push(Atom::new(p, vec![x, xs[j]]));
+            }
+            if !head.is_empty() {
+                rules.push(Tgd::new(
+                    vec![Atom::new(t[0], vec![x, xs[0], xs[1], xs[2], xs[3]])],
+                    head,
+                ));
+            }
+        }
+        for i in 2..=n as usize {
+            let half = 1usize << (i - 1);
+            for j in 0..k.min(1 << i) {
+                let x = self.var("Xf");
+                let y = self.var("Yf");
+                let quads: Vec<Term> = (1..=4).map(|q| self.var(&format!("Xf{q}"))).collect();
+                let (src_quad, src_j) = if j < half { (0, j) } else { (1, j - half) };
+                let lower = top(self, src_j, i - 1);
+                let upper = top(self, j, i);
+                rules.push(Tgd::new(
+                    vec![
+                        Atom::new(t[i - 1], vec![x, quads[0], quads[1], quads[2], quads[3]]),
+                        Atom::new(lower, vec![quads[src_quad], y]),
+                    ],
+                    vec![Atom::new(upper, vec![x, y])],
+                ));
+            }
+        }
+
+        // Initial condition: Cᵢʲ ∧ Tileⱼ(x) → Initialᵢ(x).
+        let initial: Vec<PredId> = (0..k)
+            .map(|i| self.pred(&format!("Initial{i}"), 1))
+            .collect();
+        for i in 0..k {
+            for j in 1..=m {
+                let c = self.cij(i, j);
+                let x = self.var("Xi");
+                rules.push(Tgd::new(
+                    vec![Atom::new(c, vec![]), Atom::new(tiles[(j - 1) as usize], vec![x])],
+                    vec![Atom::new(initial[i], vec![x])],
+                ));
+            }
+        }
+
+        // Tiling: a 2ⁿ-tiling whose first k top-row tiles are compatible
+        // with the encoded initial condition.
+        let tiling = self.pred("Tiling", 0);
+        {
+            let x = self.var("Xw");
+            let mut body = Vec::new();
+            for (i, &ini) in initial.iter().enumerate() {
+                let y = self.var(&format!("Yw{i}"));
+                let p = top(self, i, n as usize);
+                body.push(Atom::new(p, vec![x, y]));
+                body.push(Atom::new(ini, vec![y]));
+            }
+            rules.push(Tgd::new(body, vec![Atom::new(tiling, vec![])]));
+        }
+        rules
+    }
+}
+
+/// Builds the Theorem 16 OMQ pair for an ETP instance.
+pub fn etp_to_containment(etp: &Etp) -> EtpOmqs {
+    let mut voc = Vocabulary::new();
+    // Data schema: the 0-ary Cᵢʲ.
+    let mut schema = Schema::new();
+    {
+        let mut b = Builder {
+            voc: &mut voc,
+            etp,
+            suffix: "_1",
+        };
+        for i in 0..etp.k {
+            for j in 1..=etp.m {
+                let c = b.cij(i, j);
+                schema.insert(c);
+            }
+        }
+    }
+
+    // ---- Q1: existence + tiling system 1.
+    let sigma1 = {
+        let mut b = Builder {
+            voc: &mut voc,
+            etp,
+            suffix: "_1",
+        };
+        let mut rules = b.tiling_rules(&etp.h1, &etp.v1);
+        let exist_i: Vec<PredId> = (0..etp.k).map(|i| b.pred(&format!("Ex{i}"), 0)).collect();
+        for i in 0..etp.k {
+            for j in 1..=etp.m {
+                let c = b.cij(i, j);
+                rules.push(Tgd::new(
+                    vec![Atom::new(c, vec![])],
+                    vec![Atom::new(exist_i[i], vec![])],
+                ));
+            }
+        }
+        let existence = b.pred("Existence", 0);
+        rules.push(Tgd::new(
+            exist_i.iter().map(|&p| Atom::new(p, vec![])).collect(),
+            vec![Atom::new(existence, vec![])],
+        ));
+        let tiling = b.pred("Tiling", 0);
+        let goal = b.pred("Goal", 0);
+        rules.push(Tgd::new(
+            vec![Atom::new(existence, vec![]), Atom::new(tiling, vec![])],
+            vec![Atom::new(goal, vec![])],
+        ));
+        rules
+    };
+    let goal1 = voc.pred("Goal_1", 0);
+    let q1 = Omq::new(
+        schema.clone(),
+        sigma1,
+        Ucq::from_cq(Cq::boolean(vec![Atom::new(goal1, vec![])])),
+    );
+
+    // ---- Q2: uniqueness violation + tiling system 2.
+    let sigma2 = {
+        let mut b = Builder {
+            voc: &mut voc,
+            etp,
+            suffix: "_2",
+        };
+        let mut rules = b.tiling_rules(&etp.h2, &etp.v2);
+        let goal = b.pred("Goal", 0);
+        for i in 0..etp.k {
+            for j in 1..=etp.m {
+                for l in (j + 1)..=etp.m {
+                    let cj = b.cij(i, j);
+                    let cl = b.cij(i, l);
+                    rules.push(Tgd::new(
+                        vec![Atom::new(cj, vec![]), Atom::new(cl, vec![])],
+                        vec![Atom::new(goal, vec![])],
+                    ));
+                }
+            }
+        }
+        let tiling = b.pred("Tiling", 0);
+        rules.push(Tgd::new(
+            vec![Atom::new(tiling, vec![])],
+            vec![Atom::new(goal, vec![])],
+        ));
+        rules
+    };
+    let goal2 = voc.pred("Goal_2", 0);
+    let q2 = Omq::new(
+        schema,
+        sigma2,
+        Ucq::from_cq(Cq::boolean(vec![Atom::new(goal2, vec![])])),
+    );
+
+    EtpOmqs { q1, q2, voc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::all_pairs;
+    use omq_chase::{certain_answers_via_chase, ChaseConfig};
+    use omq_classes::is_non_recursive;
+    use omq_model::Instance;
+
+    fn etp(h1: Vec<(u8, u8)>, v1: Vec<(u8, u8)>, h2: Vec<(u8, u8)>, v2: Vec<(u8, u8)>) -> Etp {
+        Etp {
+            k: 1,
+            n: 1,
+            m: 2,
+            h1,
+            v1,
+            h2,
+            v2,
+        }
+    }
+
+    /// Encode an initial condition as a database of Cᵢʲ facts.
+    fn initial_db(omqs: &EtpOmqs, s: &[u8]) -> Instance {
+        let mut d = Instance::new();
+        for (i, &j) in s.iter().enumerate() {
+            let p = omqs.voc.pred_id(&format!("C_{i}_{j}")).unwrap();
+            d.insert(Atom::new(p, vec![]));
+        }
+        d
+    }
+
+    #[test]
+    fn construction_is_non_recursive() {
+        let e = etp(all_pairs(2), all_pairs(2), all_pairs(2), all_pairs(2));
+        let omqs = etp_to_containment(&e);
+        assert!(is_non_recursive(&omqs.q1.sigma));
+        assert!(is_non_recursive(&omqs.q2.sigma));
+    }
+
+    /// Direct evaluation check: Q1 holds on an encoded initial condition
+    /// exactly when tiling system 1 solves the grid with it.
+    #[test]
+    fn q1_evaluation_matches_tiling_semantics() {
+        // System 1 = checkerboard: solvable from either single tile.
+        let alt = vec![(1, 2), (2, 1)];
+        let e = etp(alt.clone(), alt.clone(), vec![], vec![]);
+        let omqs = etp_to_containment(&e);
+        let mut voc = omqs.voc.clone();
+        let d = initial_db(&omqs, &[1]);
+        let ans =
+            certain_answers_via_chase(&omqs.q1, &d, &mut voc, &ChaseConfig::default()).unwrap();
+        assert!(!ans.is_empty(), "checkerboard solvable from s = [1]");
+
+        // System 1 with an empty H: nothing tiles.
+        let e2 = etp(vec![], alt.clone(), vec![], vec![]);
+        let omqs2 = etp_to_containment(&e2);
+        let mut voc2 = omqs2.voc.clone();
+        let d2 = initial_db(&omqs2, &[1]);
+        let ans2 =
+            certain_answers_via_chase(&omqs2.q1, &d2, &mut voc2, &ChaseConfig::default())
+                .unwrap();
+        assert!(ans2.is_empty(), "empty H cannot tile");
+    }
+
+    /// Q2 fires on uniqueness violations regardless of the tiling.
+    #[test]
+    fn q2_detects_uniqueness_violation() {
+        let e = etp(vec![], vec![], vec![], vec![]);
+        let omqs = etp_to_containment(&e);
+        let mut voc = omqs.voc.clone();
+        let mut d = initial_db(&omqs, &[1]);
+        let p = voc.pred_id("C_0_2").unwrap();
+        d.insert(Atom::new(p, vec![]));
+        let ans =
+            certain_answers_via_chase(&omqs.q2, &d, &mut voc, &ChaseConfig::default()).unwrap();
+        assert!(!ans.is_empty());
+    }
+}

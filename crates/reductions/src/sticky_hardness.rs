@@ -1,0 +1,599 @@
+//! The Theorem 34 reduction (exponential tiling → containment of a full
+//! non-recursive OMQ in a linear UCQ-OMQ) and the Prop. 35 transformation
+//! of full 0-1 OMQs into sticky ones — together these give the
+//! coNEXPTIME-hardness of `Cont((S,CQ))` (Thm. 19).
+
+use omq_model::{Atom, Cq, Omq, PredId, Schema, Term, Tgd, Ucq, VarId, Vocabulary};
+
+use crate::tiling::ExpTiling;
+
+/// The OMQ pair of Theorem 34, sharing one vocabulary: the tiling instance
+/// has a solution iff `q_t ⊄ q_violation`.
+#[derive(Clone, Debug)]
+pub struct TilingOmqs {
+    /// `Q_T ∈ (FNR, CQ)`: "the database fully tiles the grid".
+    pub q_t: Omq,
+    /// `Q'_T ∈ (L, UCQ)`: "the database violates some tiling constraint".
+    pub q_violation: Omq,
+    /// The shared vocabulary.
+    pub voc: Vocabulary,
+}
+
+/// Builds the Theorem 34 OMQs for an exponential tiling instance.
+///
+/// Data schema: `TiledBy_t/2n` for each tile `t` — the first `n` positions
+/// are the binary column coordinate, the last `n` the row coordinate.
+pub fn tiling_to_fnr_linear(t: &ExpTiling) -> TilingOmqs {
+    let n = t.n as usize;
+    assert!(n >= 1);
+    let m = t.m;
+    let mut voc = Vocabulary::new();
+    let zero = Term::Const(voc.constant("0"));
+    let one = Term::Const(voc.constant("1"));
+    let tiled: Vec<PredId> = (1..=m)
+        .map(|i| voc.pred(&format!("TiledBy{i}"), 2 * n))
+        .collect();
+    let schema = Schema::from_preds(tiled.iter().copied());
+
+    let vars = |voc: &mut Vocabulary, prefix: &str, count: usize| -> Vec<Term> {
+        (0..count)
+            .map(|i| Term::Var(voc.var(&format!("{prefix}{i}"))))
+            .collect()
+    };
+    let bit_atoms = |_voc: &mut Vocabulary, bitp: PredId, ts: &[Term]| -> Vec<Atom> {
+        ts.iter().map(|&t| Atom::new(bitp, vec![t])).collect()
+    };
+
+    // ---------- Q_T ----------
+    let q_t = {
+        let bit = voc.pred("BitT", 1);
+        let tac: Vec<PredId> = (1..=n)
+            .map(|i| voc.pred(&format!("TiledAboveCol{i}"), 2 * n))
+            .collect();
+        let row_tiled = voc.pred("RowTiled", n);
+        let tar: Vec<PredId> = (1..=n)
+            .map(|i| voc.pred(&format!("TiledAboveRow{i}"), n))
+            .collect();
+        let all_tiled = voc.pred("AllTiled", 0);
+        let goal = voc.pred("GoalT", 0);
+
+        let mut sigma = vec![
+            Tgd::new(vec![], vec![Atom::new(bit, vec![zero])]),
+            Tgd::new(vec![], vec![Atom::new(bit, vec![one])]),
+        ];
+
+        // Column base: both completions of the last column bit are tiled.
+        for j in 0..m as usize {
+            for k in 0..m as usize {
+                let xs = vars(&mut voc, "Xb", n - 1);
+                let ys = vars(&mut voc, "Yb", n);
+                let w = Term::Var(voc.var("Wb"));
+                let mut a1 = xs.clone();
+                a1.push(one);
+                a1.extend(&ys);
+                let mut a0 = xs.clone();
+                a0.push(zero);
+                a0.extend(&ys);
+                let mut body = vec![
+                    Atom::new(tiled[j], a1),
+                    Atom::new(tiled[k], a0),
+                ];
+                body.extend(bit_atoms(&mut voc, bit, &xs));
+                body.extend(bit_atoms(&mut voc, bit, &ys));
+                body.push(Atom::new(bit, vec![w]));
+                let mut head_args = xs.clone();
+                head_args.push(w);
+                head_args.extend(&ys);
+                sigma.push(Tgd::new(
+                    body,
+                    vec![Atom::new(tac[n - 1], head_args)],
+                ));
+            }
+        }
+        // Column induction: 2 ≤ i ≤ n (1-indexed position i).
+        for i in (2..=n).rev() {
+            let xs = vars(&mut voc, "Xi", i - 1);
+            let rest1 = vars(&mut voc, "Ri", n - i);
+            let rest0 = vars(&mut voc, "Si", n - i);
+            let ys = vars(&mut voc, "Yi", n);
+            let ws = vars(&mut voc, "Wi", n - i + 1);
+            let mk = |bit_t: Term, rest: &[Term]| {
+                let mut a = xs.clone();
+                a.push(bit_t);
+                a.extend(rest);
+                a.extend(&ys);
+                a
+            };
+            let mut body = vec![
+                Atom::new(tac[i - 1], mk(one, &rest1)),
+                Atom::new(tac[i - 1], mk(zero, &rest0)),
+            ];
+            body.extend(bit_atoms(&mut voc, bit, &ws));
+            let mut head_args = xs.clone();
+            head_args.extend(&ws);
+            head_args.extend(&ys);
+            sigma.push(Tgd::new(body, vec![Atom::new(tac[i - 2], head_args)]));
+        }
+        // Row is fully tiled.
+        {
+            let xs = vars(&mut voc, "Xr", n);
+            let ys = vars(&mut voc, "Yr", n);
+            let mut args = xs.clone();
+            args.extend(&ys);
+            sigma.push(Tgd::new(
+                vec![Atom::new(tac[0], args)],
+                vec![Atom::new(row_tiled, ys.clone())],
+            ));
+        }
+        // Row base and induction.
+        {
+            let ys = vars(&mut voc, "Yt", n - 1);
+            let w = Term::Var(voc.var("Wt"));
+            let mut a1 = ys.clone();
+            a1.push(one);
+            let mut a0 = ys.clone();
+            a0.push(zero);
+            let mut body = vec![
+                Atom::new(row_tiled, a1),
+                Atom::new(row_tiled, a0),
+                Atom::new(bit, vec![w]),
+            ];
+            body.extend(bit_atoms(&mut voc, bit, &ys));
+            let mut head_args = ys.clone();
+            head_args.push(w);
+            sigma.push(Tgd::new(body, vec![Atom::new(tar[n - 1], head_args)]));
+        }
+        for i in (2..=n).rev() {
+            let ys = vars(&mut voc, "Yu", i - 1);
+            let rest1 = vars(&mut voc, "Ru", n - i);
+            let rest0 = vars(&mut voc, "Su", n - i);
+            let ws = vars(&mut voc, "Wu", n - i + 1);
+            let mk = |bit_t: Term, rest: &[Term]| {
+                let mut a = ys.clone();
+                a.push(bit_t);
+                a.extend(rest);
+                a
+            };
+            let mut body = vec![
+                Atom::new(tar[i - 1], mk(one, &rest1)),
+                Atom::new(tar[i - 1], mk(zero, &rest0)),
+            ];
+            body.extend(bit_atoms(&mut voc, bit, &ws));
+            let mut head_args = ys.clone();
+            head_args.extend(&ws);
+            sigma.push(Tgd::new(body, vec![Atom::new(tar[i - 2], head_args)]));
+        }
+        {
+            let ys = vars(&mut voc, "Yv", n);
+            sigma.push(Tgd::new(
+                vec![Atom::new(tar[0], ys)],
+                vec![Atom::new(all_tiled, vec![])],
+            ));
+            sigma.push(Tgd::new(
+                vec![Atom::new(all_tiled, vec![])],
+                vec![Atom::new(goal, vec![])],
+            ));
+        }
+        Omq::new(
+            schema.clone(),
+            sigma,
+            Ucq::from_cq(Cq::boolean(vec![Atom::new(goal, vec![])])),
+        )
+    };
+
+    // ---------- Q'_T ----------
+    let q_violation = {
+        let bit = voc.pred("BitV", 1);
+        let succ: Vec<PredId> = (1..=n)
+            .map(|i| voc.pred(&format!("Succ{i}"), 2 * i))
+            .collect();
+        let lastfirst: Vec<PredId> = (1..=n)
+            .map(|i| voc.pred(&format!("LastFirst{i}"), 2 * i))
+            .collect();
+
+        let mut sigma = vec![
+            Tgd::new(vec![], vec![Atom::new(bit, vec![zero])]),
+            Tgd::new(vec![], vec![Atom::new(bit, vec![one])]),
+            Tgd::new(vec![], vec![Atom::new(succ[0], vec![zero, one])]),
+            Tgd::new(vec![], vec![Atom::new(lastfirst[0], vec![one, zero])]),
+        ];
+        for i in 1..n {
+            let xs = vars(&mut voc, "Xv", i);
+            let ys = vars(&mut voc, "Yv2_", i);
+            let mut sargs = xs.clone();
+            sargs.extend(&ys);
+            let with = |b1: Term, b2: Term| {
+                let mut a = vec![b1];
+                a.extend(&xs);
+                a.push(b2);
+                a.extend(&ys);
+                a
+            };
+            sigma.push(Tgd::new(
+                vec![Atom::new(succ[i - 1], sargs.clone())],
+                vec![Atom::new(succ[i], with(zero, zero))],
+            ));
+            sigma.push(Tgd::new(
+                vec![Atom::new(succ[i - 1], sargs.clone())],
+                vec![Atom::new(succ[i], with(one, one))],
+            ));
+            sigma.push(Tgd::new(
+                vec![Atom::new(lastfirst[i - 1], sargs.clone())],
+                vec![Atom::new(succ[i], with(zero, one))],
+            ));
+            sigma.push(Tgd::new(
+                vec![Atom::new(lastfirst[i - 1], sargs)],
+                vec![Atom::new(lastfirst[i], with(one, zero))],
+            ));
+        }
+
+        let mut disjuncts: Vec<Cq> = Vec::new();
+        // Tile consistency: one cell, two different tiles.
+        for i in 0..m as usize {
+            for j in (i + 1)..m as usize {
+                let xs = vars(&mut voc, "Xq", n);
+                let ys = vars(&mut voc, "Yq", n);
+                let mut cell = xs.clone();
+                cell.extend(&ys);
+                let mut body = vec![
+                    Atom::new(tiled[i], cell.clone()),
+                    Atom::new(tiled[j], cell),
+                ];
+                body.extend(bit_atoms(&mut voc, bit, &xs));
+                body.extend(bit_atoms(&mut voc, bit, &ys));
+                disjuncts.push(Cq::boolean(body));
+            }
+        }
+        // Vertical incompatibility: rows y, y+1 with tiles (i, j) ∉ V.
+        for i in 1..=m {
+            for j in 1..=m {
+                if t.v.contains(&(i, j)) {
+                    continue;
+                }
+                let xs = vars(&mut voc, "Xw2_", n);
+                let ys = vars(&mut voc, "Yw2_", n);
+                let ws = vars(&mut voc, "Ww2_", n);
+                let mut sargs = xs.clone();
+                sargs.extend(&ys);
+                let mut c1 = ws.clone();
+                c1.extend(&xs);
+                let mut c2 = ws.clone();
+                c2.extend(&ys);
+                let mut body = vec![
+                    Atom::new(succ[n - 1], sargs),
+                    Atom::new(tiled[(i - 1) as usize], c1),
+                    Atom::new(tiled[(j - 1) as usize], c2),
+                ];
+                body.extend(bit_atoms(&mut voc, bit, &ws));
+                disjuncts.push(Cq::boolean(body));
+            }
+        }
+        // Horizontal incompatibility: columns x, x+1 with tiles (i, j) ∉ H.
+        for i in 1..=m {
+            for j in 1..=m {
+                if t.h.contains(&(i, j)) {
+                    continue;
+                }
+                let xs = vars(&mut voc, "Xh", n);
+                let ys = vars(&mut voc, "Yh", n);
+                let ws = vars(&mut voc, "Wh", n);
+                let mut sargs = xs.clone();
+                sargs.extend(&ys);
+                let mut c1 = xs.clone();
+                c1.extend(&ws);
+                let mut c2 = ys.clone();
+                c2.extend(&ws);
+                let mut body = vec![
+                    Atom::new(succ[n - 1], sargs),
+                    Atom::new(tiled[(i - 1) as usize], c1),
+                    Atom::new(tiled[(j - 1) as usize], c2),
+                ];
+                body.extend(bit_atoms(&mut voc, bit, &ws));
+                disjuncts.push(Cq::boolean(body));
+            }
+        }
+        // First-row violations: position p of row 0 tiled by k ≠ s[p].
+        for (p, &want) in t.s.iter().enumerate() {
+            for k in 1..=m {
+                if k == want {
+                    continue;
+                }
+                // Column coordinate of position p in binary (most
+                // significant bit first).
+                let mut cell: Vec<Term> = Vec::with_capacity(2 * n);
+                for b in (0..n).rev() {
+                    cell.push(if (p >> b) & 1 == 1 { one } else { zero });
+                }
+                cell.extend(std::iter::repeat(zero).take(n));
+                let body = vec![
+                    Atom::new(tiled[(k - 1) as usize], cell),
+                    Atom::new(succ[0], vec![zero, one]),
+                ];
+                disjuncts.push(Cq::boolean(body));
+            }
+        }
+        Omq::new(schema, sigma, Ucq::new(0, disjuncts))
+    };
+
+    TilingOmqs {
+        q_t,
+        q_violation,
+        voc,
+    }
+}
+
+/// The Prop. 35 transformation: a 0-1 OMQ with **full** tgds becomes an
+/// equivalent OMQ with **lossless** (hence sticky) tgds, by threading every
+/// body variable through `n` padding positions that are reset to `0` by
+/// finalization rules.
+///
+/// Only meaningful for *0-1 queries* (`Q(D) = Q(D₀₁)` where `D₀₁` is the
+/// restriction of `D` to the constants `{0, 1}`) — the Theorem 34 OMQs are
+/// 0-1 by construction. Returns `None` if some tgd is not full or the query
+/// is not a CQ.
+pub fn full_to_sticky_01(omq: &Omq, voc: &mut Vocabulary) -> Option<Omq> {
+    if !omq.sigma.iter().all(|t| t.is_full()) {
+        return None;
+    }
+    let q = omq.query.as_cq()?;
+    let n = omq
+        .sigma
+        .iter()
+        .map(|t| t.body_vars().len())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let zero = Term::Const(voc.constant("0"));
+    let one = Term::Const(voc.constant("1"));
+    let bit = voc.fresh_pred("Bit01", 1);
+
+    let mut primed: std::collections::HashMap<PredId, PredId> = std::collections::HashMap::new();
+    fn prime_in(
+        primed: &mut std::collections::HashMap<PredId, PredId>,
+        p: PredId,
+        n: usize,
+        voc: &mut Vocabulary,
+    ) -> PredId {
+        if let Some(&pp) = primed.get(&p) {
+            return pp;
+        }
+        let name = format!("{}_p", voc.pred_name(p));
+        let pp = voc.fresh_pred(&name, voc.arity(p) + n);
+        primed.insert(p, pp);
+        pp
+    }
+
+    let mut sigma = vec![
+        Tgd::new(vec![], vec![Atom::new(bit, vec![zero])]),
+        Tgd::new(vec![], vec![Atom::new(bit, vec![one])]),
+    ];
+    // Initialization: R(x̄), Bit(x̄) → R'(x̄, 0ⁿ) for data-schema preds.
+    for &r in omq.data_schema.preds() {
+        let xs: Vec<Term> = (0..voc.arity(r))
+            .map(|i| Term::Var(voc.fresh_var(&format!("i{i}_"))))
+            .collect();
+        let mut body = vec![Atom::new(r, xs.clone())];
+        for &x in &xs {
+            body.push(Atom::new(bit, vec![x]));
+        }
+        let rp = prime_in(&mut primed, r, n, voc);
+        let mut head_args = xs;
+        head_args.extend(std::iter::repeat(zero).take(n));
+        sigma.push(Tgd::new(body, vec![Atom::new(rp, head_args)]));
+    }
+    // Lossless copies of the full tgds: pad heads with the body variables.
+    for t in &omq.sigma {
+        let bvars: Vec<VarId> = t.body_vars();
+        let body: Vec<Atom> = t
+            .body
+            .iter()
+            .map(|a| {
+                let mut args = a.args.clone();
+                args.extend(std::iter::repeat(zero).take(n));
+                Atom::new(prime_in(&mut primed, a.pred, n, voc), args)
+            })
+            .collect();
+        let head: Vec<Atom> = t
+            .head
+            .iter()
+            .map(|a| {
+                let mut args = a.args.clone();
+                for i in 0..n {
+                    let v = bvars.get(i).or(bvars.first());
+                    match v {
+                        Some(&v) => args.push(Term::Var(v)),
+                        None => args.push(zero), // fact tgd: no body vars
+                    }
+                }
+                Atom::new(prime_in(&mut primed, a.pred, n, voc), args)
+            })
+            .collect();
+        sigma.push(Tgd::new(body, head));
+    }
+    // Finalization: flip each padding position from a 1-value down to 0.
+    // (Padding carries database values from {0,1} thanks to the 0-1
+    // property, so resetting `1`s reaches the all-0 pad.)
+    let prim: Vec<(PredId, PredId)> = primed.iter().map(|(&a, &b)| (a, b)).collect();
+    for &(orig, rp) in &prim {
+        let k = voc.arity(orig);
+        for i in 0..n {
+            let xs: Vec<Term> = (0..k)
+                .map(|j| Term::Var(voc.fresh_var(&format!("f{j}_"))))
+                .collect();
+            let pads: Vec<Term> = (0..n)
+                .map(|j| {
+                    if j == i {
+                        one
+                    } else {
+                        Term::Var(voc.fresh_var(&format!("p{j}_")))
+                    }
+                })
+                .collect();
+            let mut body_args = xs.clone();
+            body_args.extend(&pads);
+            let mut head_args = xs;
+            head_args.extend(pads.iter().enumerate().map(|(j, &p)| if j == i { zero } else { p }));
+            sigma.push(Tgd::new(
+                vec![Atom::new(rp, body_args)],
+                vec![Atom::new(rp, head_args)],
+            ));
+        }
+    }
+    // The transformed query.
+    let body: Vec<Atom> = q
+        .body
+        .iter()
+        .map(|a| {
+            let mut args = a.args.clone();
+            args.extend(std::iter::repeat(zero).take(n));
+            Atom::new(prime_in(&mut primed, a.pred, n, voc), args)
+        })
+        .collect();
+    Some(Omq::new(
+        omq.data_schema.clone(),
+        sigma,
+        Ucq::from_cq(Cq::new(q.head.clone(), body)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::all_pairs;
+    use omq_chase::{certain_answers_via_chase, ChaseConfig};
+    use omq_classes::{classify, is_sticky};
+    use omq_model::Instance;
+
+    fn inst() -> ExpTiling {
+        ExpTiling {
+            n: 1,
+            m: 2,
+            h: vec![(1, 2), (2, 1)],
+            v: vec![(1, 2), (2, 1)],
+            s: vec![1],
+        }
+    }
+
+    /// Encode a full 2×2 tiling as TiledBy facts.
+    fn tiling_db(omqs: &TilingOmqs, grid: [[u8; 2]; 2]) -> (Instance, Vocabulary) {
+        let mut voc = omqs.voc.clone();
+        let zero = Term::Const(voc.constant("0"));
+        let one = Term::Const(voc.constant("1"));
+        let bit = |b: usize| if b == 1 { one } else { zero };
+        let mut d = Instance::new();
+        for (row, cols) in grid.iter().enumerate() {
+            for (col, &tile) in cols.iter().enumerate() {
+                let p = voc.pred_id(&format!("TiledBy{tile}")).unwrap();
+                d.insert(Atom::new(p, vec![bit(col), bit(row)]));
+            }
+        }
+        (d, voc)
+    }
+
+    #[test]
+    fn classes_are_as_stated() {
+        let omqs = tiling_to_fnr_linear(&inst());
+        let c1 = classify(&omqs.q_t.sigma);
+        assert!(c1.full && c1.non_recursive);
+        let c2 = classify(&omqs.q_violation.sigma);
+        assert!(c2.linear);
+    }
+
+    #[test]
+    fn qt_accepts_full_candidate_tilings() {
+        let omqs = tiling_to_fnr_linear(&inst());
+        let (d, mut voc) = tiling_db(&omqs, [[1, 2], [2, 1]]);
+        let ans =
+            certain_answers_via_chase(&omqs.q_t, &d, &mut voc, &ChaseConfig::default()).unwrap();
+        assert!(!ans.is_empty(), "complete candidate should satisfy Q_T");
+        // Remove one cell: no longer fully tiled.
+        let partial = Instance::from_atoms(d.atoms().iter().skip(1).cloned());
+        let ans2 =
+            certain_answers_via_chase(&omqs.q_t, &partial, &mut voc, &ChaseConfig::default())
+                .unwrap();
+        assert!(ans2.is_empty());
+    }
+
+    #[test]
+    fn violation_query_flags_bad_tilings() {
+        let omqs = tiling_to_fnr_linear(&inst());
+        // Valid checkerboard respecting s = [1]: no violation.
+        let (good, mut voc) = tiling_db(&omqs, [[1, 2], [2, 1]]);
+        let a = certain_answers_via_chase(
+            &omqs.q_violation,
+            &good,
+            &mut voc,
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert!(a.is_empty(), "valid tiling flagged: {a:?}");
+        // Horizontally incompatible (1 next to 1).
+        let (bad, mut voc2) = tiling_db(&omqs, [[1, 1], [2, 1]]);
+        let b = certain_answers_via_chase(
+            &omqs.q_violation,
+            &bad,
+            &mut voc2,
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert!(!b.is_empty());
+        // Wrong first tile (s = [1] but (0,0) carries 2).
+        let (bad2, mut voc3) = tiling_db(&omqs, [[2, 1], [1, 2]]);
+        let c = certain_answers_via_chase(
+            &omqs.q_violation,
+            &bad2,
+            &mut voc3,
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn prop35_produces_sticky_equivalent() {
+        // A small full 0-1 OMQ: transitive step over bit-guarded edges.
+        let prog = omq_model::parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z)\n\
+             q :- E(0,1)\n",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let e = voc.pred_id("E").unwrap();
+        let omq = Omq::new(
+            Schema::from_preds([e]),
+            prog.tgds.clone(),
+            prog.query("q").unwrap().clone(),
+        );
+        assert!(!is_sticky(&omq.sigma)); // transitive closure is not sticky
+        let sticky = full_to_sticky_01(&omq, &mut voc).unwrap();
+        assert!(is_sticky(&sticky.sigma), "transformed set must be sticky");
+        assert!(omq_classes::is_lossless(&sticky.sigma));
+        // Equivalence on 0-1 databases.
+        let mk_db = |voc: &mut Vocabulary, edges: &[(&str, &str)]| {
+            let mut d = Instance::new();
+            for (a, b) in edges {
+                let ca = Term::Const(voc.constant(a));
+                let cb = Term::Const(voc.constant(b));
+                d.insert(Atom::new(e, vec![ca, cb]));
+            }
+            d
+        };
+        for edges in [
+            vec![("0", "1")],
+            vec![("0", "0")],
+            vec![("0", "1"), ("1", "0")],
+            vec![("1", "0")],
+        ] {
+            let d = mk_db(&mut voc, &edges);
+            let a1 = certain_answers_via_chase(&omq, &d, &mut voc, &ChaseConfig::default())
+                .unwrap();
+            let a2 = certain_answers_via_chase(&sticky, &d, &mut voc, &ChaseConfig::default())
+                .unwrap();
+            assert_eq!(
+                a1.is_empty(),
+                a2.is_empty(),
+                "mismatch on {edges:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The Exponential Tiling Problem and the Extended Tiling Problem (ETP)
+//! of \[34\], as used by the Theorem 16 and Theorem 34 lower bounds, with
+//! brute-force reference solvers for small grids.
+
+/// An instance `(n, m, H, V, s)` of the Exponential Tiling Problem: tile
+/// the `2ⁿ × 2ⁿ` grid with tiles `1..=m`, horizontal compatibility `H`,
+/// vertical compatibility `V`, and the first `|s|` tiles of the first row
+/// fixed to `s`.
+#[derive(Clone, Debug)]
+pub struct ExpTiling {
+    /// Grid is `2ⁿ × 2ⁿ`.
+    pub n: u32,
+    /// Tiles are `1..=m`.
+    pub m: u8,
+    /// Allowed horizontal neighbor pairs `(left, right)`.
+    pub h: Vec<(u8, u8)>,
+    /// Allowed vertical neighbor pairs `(below-row, above-row)` — following
+    /// the paper, `(f(i,j), f(i,j+1)) ∈ V`.
+    pub v: Vec<(u8, u8)>,
+    /// Initial condition: the first `s.len()` tiles of row 0.
+    pub s: Vec<u8>,
+}
+
+impl ExpTiling {
+    /// Grid side `2ⁿ`.
+    pub fn side(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// Brute-force solver (backtracking in row-major order). Only sensible
+    /// for tiny `n`; used as ground truth in tests.
+    pub fn has_solution(&self) -> bool {
+        let side = self.side();
+        let cells = side * side;
+        if self.s.len() > side {
+            return false;
+        }
+        let mut grid: Vec<u8> = vec![0; cells];
+        self.backtrack(&mut grid, 0, side, cells)
+    }
+
+    fn compatible_h(&self, a: u8, b: u8) -> bool {
+        self.h.contains(&(a, b))
+    }
+
+    fn compatible_v(&self, a: u8, b: u8) -> bool {
+        self.v.contains(&(a, b))
+    }
+
+    fn backtrack(&self, grid: &mut Vec<u8>, cell: usize, side: usize, cells: usize) -> bool {
+        if cell == cells {
+            return true;
+        }
+        let (col, row) = (cell % side, cell / side);
+        for tile in 1..=self.m {
+            if row == 0 && col < self.s.len() && self.s[col] != tile {
+                continue;
+            }
+            if col > 0 && !self.compatible_h(grid[cell - 1], tile) {
+                continue;
+            }
+            if row > 0 && !self.compatible_v(grid[cell - side], tile) {
+                continue;
+            }
+            grid[cell] = tile;
+            if self.backtrack(grid, cell + 1, side, cells) {
+                return true;
+            }
+        }
+        grid[cell] = 0;
+        false
+    }
+}
+
+/// An instance `(k, n, m, H₁, V₁, H₂, V₂)` of the Extended Tiling Problem
+/// \[34\]: *for every* initial condition `s` of length `k`, does
+/// `(n, m, H₁, V₁, s)` have no solution or `(n, m, H₂, V₂, s)` have one?
+/// Deciding this is PNEXP-hard, which powers the Thm. 16 lower bound.
+#[derive(Clone, Debug)]
+pub struct Etp {
+    /// Length of the universally-quantified initial condition.
+    pub k: usize,
+    /// Grid exponent.
+    pub n: u32,
+    /// Number of tiles.
+    pub m: u8,
+    /// First tiling system.
+    pub h1: Vec<(u8, u8)>,
+    /// First tiling system (vertical).
+    pub v1: Vec<(u8, u8)>,
+    /// Second tiling system.
+    pub h2: Vec<(u8, u8)>,
+    /// Second tiling system (vertical).
+    pub v2: Vec<(u8, u8)>,
+}
+
+impl Etp {
+    /// Brute-force decision: enumerate all `mᵏ` initial conditions.
+    pub fn has_solution(&self) -> bool {
+        let mut s = vec![1u8; self.k];
+        loop {
+            let t1 = ExpTiling {
+                n: self.n,
+                m: self.m,
+                h: self.h1.clone(),
+                v: self.v1.clone(),
+                s: s.clone(),
+            };
+            let t2 = ExpTiling {
+                n: self.n,
+                m: self.m,
+                h: self.h2.clone(),
+                v: self.v2.clone(),
+                s: s.clone(),
+            };
+            if t1.has_solution() && !t2.has_solution() {
+                return false;
+            }
+            // Next initial condition.
+            let mut i = 0;
+            loop {
+                if i == self.k {
+                    return true;
+                }
+                if s[i] < self.m {
+                    s[i] += 1;
+                    break;
+                }
+                s[i] = 1;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// All pairs over `1..=m` — the fully permissive compatibility relation.
+pub fn all_pairs(m: u8) -> Vec<(u8, u8)> {
+    let mut out = Vec::new();
+    for a in 1..=m {
+        for b in 1..=m {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissive_always_tiles() {
+        let t = ExpTiling {
+            n: 1,
+            m: 2,
+            h: all_pairs(2),
+            v: all_pairs(2),
+            s: vec![1, 2],
+        };
+        assert!(t.has_solution());
+    }
+
+    #[test]
+    fn empty_relations_cannot_tile() {
+        let t = ExpTiling {
+            n: 1,
+            m: 2,
+            h: vec![],
+            v: vec![],
+            s: vec![],
+        };
+        assert!(!t.has_solution());
+    }
+
+    /// Checkerboard: only alternating tiles allowed horizontally and
+    /// vertically.
+    #[test]
+    fn checkerboard() {
+        let alt = vec![(1, 2), (2, 1)];
+        let t = ExpTiling {
+            n: 1,
+            m: 2,
+            h: alt.clone(),
+            v: alt.clone(),
+            s: vec![1],
+        };
+        assert!(t.has_solution());
+        // Forcing two equal adjacent initial tiles breaks it.
+        let t2 = ExpTiling {
+            n: 1,
+            m: 2,
+            h: alt.clone(),
+            v: alt,
+            s: vec![1, 1],
+        };
+        assert!(!t2.has_solution());
+    }
+
+    /// Initial condition longer than the row is unsatisfiable by fiat.
+    #[test]
+    fn oversized_initial_condition() {
+        let t = ExpTiling {
+            n: 1,
+            m: 2,
+            h: all_pairs(2),
+            v: all_pairs(2),
+            s: vec![1, 1, 1],
+        };
+        assert!(!t.has_solution());
+    }
+
+    #[test]
+    fn etp_trivially_true_when_t2_permissive() {
+        let etp = Etp {
+            k: 1,
+            n: 1,
+            m: 2,
+            h1: vec![],
+            v1: vec![],
+            h2: all_pairs(2),
+            v2: all_pairs(2),
+        };
+        assert!(etp.has_solution());
+    }
+
+    #[test]
+    fn etp_false_when_t1_solves_and_t2_cannot() {
+        let etp = Etp {
+            k: 1,
+            n: 1,
+            m: 2,
+            h1: all_pairs(2),
+            v1: all_pairs(2),
+            h2: vec![],
+            v2: vec![],
+        };
+        assert!(!etp.has_solution());
+    }
+
+    /// T2's checkerboard only solves alternating initial conditions, but
+    /// with k = 1 every single-tile condition extends to a checkerboard, so
+    /// the ETP holds even with a permissive T1.
+    #[test]
+    fn etp_checkerboard_t2() {
+        let alt = vec![(1, 2), (2, 1)];
+        let etp = Etp {
+            k: 1,
+            n: 1,
+            m: 2,
+            h1: all_pairs(2),
+            v1: all_pairs(2),
+            h2: alt.clone(),
+            v2: alt,
+        };
+        assert!(etp.has_solution());
+    }
+}

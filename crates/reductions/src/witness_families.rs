@@ -1,0 +1,183 @@
+//! The witness-size lower-bound families of Prop. 15 (non-recursive) and
+//! Prop. 18 (sticky).
+//!
+//! The generated ontology `Σⁿ` is a binary-counter gadget over predicates
+//! `S/(n+2)` and `Pᵢ/(n+2)`:
+//!
+//! ```text
+//! S(x₁,…,xₙ,z,o) → Pₙ(x₁,…,xₙ,z,o)
+//! Pᵢ(…, z@i, …, z, o), Pᵢ(…, o@i, …, z, o) → Pᵢ₋₁(…, z@i, …, z, o)   (1 ≤ i ≤ n)
+//! P₀(z,…,z,z,o) → Ans(z,o)
+//! ```
+//!
+//! with query `Ans(0,1)`. Deriving `Ans(0,1)` requires `Pₙ(b̄,0,1)` for
+//! **every** `b̄ ∈ {0,1}ⁿ`, i.e. any database on which the OMQ is non-empty
+//! contains all `2ⁿ` atoms `S(b̄,0,1)` — so a witness to non-containment of
+//! `Qⁿ` in anything has at least `2ⁿ` atoms, the exponential blow-up both
+//! propositions assert. The set `Σⁿ` is simultaneously non-recursive
+//! (serving Prop. 15) and sticky — in fact no variable is ever marked
+//! (serving Prop. 18); the paper's footnote 8 notes the same gadget family
+//! underlies the rewriting-size lower bound of \[40\].
+
+use omq_model::{Atom, Cq, Omq, PredId, Schema, Term, Ucq, Tgd, Vocabulary};
+
+/// Builds the family member `Qⁿ = ({S}, Σⁿ, Ans(0,1))`.
+pub fn counter_family(n: usize) -> (Omq, Vocabulary) {
+    assert!(n >= 1);
+    let mut voc = Vocabulary::new();
+    let s = voc.pred("S", n + 2);
+    let p: Vec<PredId> = (0..=n)
+        .map(|i| voc.pred(&format!("P{i}"), n + 2))
+        .collect();
+    let ans = voc.pred("Ans", 2);
+    let zero = voc.constant("0");
+    let one = voc.constant("1");
+
+    let mut sigma = Vec::new();
+    // S(x̄, z, o) → Pₙ(x̄, z, o)
+    {
+        let args: Vec<Term> = (0..n + 2)
+            .map(|i| Term::Var(voc.var(&format!("Xs{i}"))))
+            .collect();
+        sigma.push(Tgd::new(
+            vec![Atom::new(s, args.clone())],
+            vec![Atom::new(p[n], args)],
+        ));
+    }
+    // The counter rules.
+    for i in 1..=n {
+        let z = Term::Var(voc.var(&format!("Z{i}")));
+        let o = Term::Var(voc.var(&format!("O{i}")));
+        let xs: Vec<Term> = (0..n)
+            .map(|j| Term::Var(voc.var(&format!("Xc{i}_{j}"))))
+            .collect();
+        let mk = |bit: Term| {
+            let mut args: Vec<Term> = Vec::with_capacity(n + 2);
+            for (j, &x) in xs.iter().enumerate() {
+                args.push(if j + 1 == i { bit } else { x });
+            }
+            args.push(z);
+            args.push(o);
+            args
+        };
+        sigma.push(Tgd::new(
+            vec![Atom::new(p[i], mk(z)), Atom::new(p[i], mk(o))],
+            vec![Atom::new(p[i - 1], mk(z))],
+        ));
+    }
+    // P₀(z,…,z,z,o) → Ans(z,o)
+    {
+        let z = Term::Var(voc.var("Zf"));
+        let o = Term::Var(voc.var("Of"));
+        let mut args = vec![z; n];
+        args.push(z);
+        args.push(o);
+        sigma.push(Tgd::new(
+            vec![Atom::new(p[0], args)],
+            vec![Atom::new(ans, vec![z, o])],
+        ));
+    }
+
+    let q = Cq::boolean(vec![Atom::new(ans, vec![Term::Const(zero), Term::Const(one)])]);
+    (
+        Omq::new(Schema::from_preds([s]), sigma, Ucq::from_cq(q)),
+        voc,
+    )
+}
+
+/// Prop. 15 instance: the pair `(Qⁿ, Q_⊥)` of non-recursive OMQs whose
+/// non-containment witnesses need at least `2ⁿ` atoms (`Q_⊥` is an
+/// unsatisfiable OMQ over the same data schema).
+pub fn prop15_family(n: usize) -> (Omq, Omq, Vocabulary) {
+    let (q1, mut voc) = counter_family(n);
+    let z0 = voc.fresh_pred("Z0", 1);
+    let x = voc.var("Xz");
+    let q2 = Omq::new(
+        q1.data_schema.clone(),
+        vec![],
+        Ucq::from_cq(Cq::boolean(vec![Atom::new(z0, vec![Term::Var(x)])])),
+    );
+    (q1, q2, voc)
+}
+
+/// Prop. 18 instance: the same gadget, packaged as a sticky OMQ (the
+/// generated `Σⁿ` has an empty marking, hence is sticky).
+pub fn prop18_family(n: usize) -> (Omq, Vocabulary) {
+    counter_family(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::{certain_answers_via_chase, ChaseConfig};
+    use omq_classes::{is_non_recursive, is_sticky, marked_variables};
+    use omq_model::Instance;
+
+    /// The database {S(b̄,0,1) : b̄ ∈ {0,1}ⁿ}.
+    fn full_witness(n: usize, voc: &mut Vocabulary) -> Instance {
+        let s = voc.pred_id("S").unwrap();
+        let zero = Term::Const(voc.constant("0"));
+        let one = Term::Const(voc.constant("1"));
+        let mut d = Instance::new();
+        for bits in 0..(1u32 << n) {
+            let mut args: Vec<Term> = (0..n)
+                .map(|j| if bits >> j & 1 == 1 { one } else { zero })
+                .collect();
+            args.push(zero);
+            args.push(one);
+            d.insert(Atom::new(s, args));
+        }
+        d
+    }
+
+    #[test]
+    fn family_is_nr_and_sticky_with_empty_marking() {
+        for n in 1..=4 {
+            let (q, _) = counter_family(n);
+            assert!(is_non_recursive(&q.sigma));
+            assert!(is_sticky(&q.sigma));
+            assert!(marked_variables(&q.sigma).marked.is_empty());
+        }
+    }
+
+    #[test]
+    fn full_database_answers() {
+        for n in 1..=3 {
+            let (q, mut voc) = counter_family(n);
+            let d = full_witness(n, &mut voc);
+            assert_eq!(d.len(), 1 << n);
+            let ans =
+                certain_answers_via_chase(&q, &d, &mut voc, &ChaseConfig::default()).unwrap();
+            assert!(!ans.is_empty(), "n = {n}");
+        }
+    }
+
+    /// Removing any single S-atom kills the derivation: the witness is
+    /// exactly the 2ⁿ-atom database (the minimality behind Props. 15/18).
+    #[test]
+    fn every_atom_is_needed() {
+        let n = 2;
+        let (q, mut voc) = counter_family(n);
+        let d = full_witness(n, &mut voc);
+        for skip in 0..d.len() {
+            let smaller = Instance::from_atoms(
+                d.atoms()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, a)| a.clone()),
+            );
+            let ans = certain_answers_via_chase(&q, &smaller, &mut voc, &ChaseConfig::default())
+                .unwrap();
+            assert!(ans.is_empty(), "dropping atom {skip} should break it");
+        }
+    }
+
+    #[test]
+    fn prop15_pair_shapes() {
+        let (q1, q2, _) = prop15_family(2);
+        assert!(is_non_recursive(&q1.sigma));
+        assert!(q2.sigma.is_empty());
+        assert_eq!(q1.data_schema, q2.data_schema);
+    }
+}

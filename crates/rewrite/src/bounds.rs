@@ -1,0 +1,119 @@
+//! The rewriting-size bound functions `f_O` of §4 (Props. 12, 14, 17).
+//!
+//! For a UCQ-rewritable language `O`, `f_O(Q)` bounds the number of atoms in
+//! any single disjunct of a UCQ rewriting of `Q`. These bounds drive the
+//! small-witness property (Prop. 10): non-containment of `Q` in anything is
+//! witnessed by a database of size at most `f_O(Q)`.
+//!
+//! All bounds saturate at `u64::MAX` instead of overflowing.
+
+use omq_model::{tgd::sigma_constants, Omq};
+
+/// `f_(L,CQ)(Q) ≤ |q|` (Prop. 12): under linear tgds, rewriting never grows
+/// a CQ, so the maximum disjunct size over a UCQ input is the max input
+/// disjunct size.
+pub fn bound_linear(q: &Omq) -> u64 {
+    q.query.max_disjunct_size() as u64
+}
+
+/// `f_(NR,CQ)(Q) ≤ |q| · (max_τ |body(τ)|)^{|sch(Σ)|}` (Prop. 14).
+pub fn bound_nonrecursive(q: &Omq) -> u64 {
+    let max_body = q
+        .sigma
+        .iter()
+        .map(|t| t.body.len())
+        .max()
+        .unwrap_or(0)
+        .max(1) as u64;
+    let exp = omq_model::tgd::sch(&q.sigma).len() as u32;
+    let base = q.query.max_disjunct_size() as u64;
+    max_body
+        .checked_pow(exp)
+        .and_then(|p| base.checked_mul(p))
+        .unwrap_or(u64::MAX)
+}
+
+/// `f_(S,CQ)(Q) ≤ |S| · (|T(q)| + |C(Σ)| + 1)^{ar(S)}` (Prop. 17), where
+/// `S` is the data schema, `T(q)` the terms of the query, `C(Σ)` the
+/// constants of the ontology, and `ar(S)` the maximum arity.
+pub fn bound_sticky(q: &Omq, voc: &omq_model::Vocabulary) -> u64 {
+    let terms = q
+        .query
+        .disjuncts
+        .iter()
+        .map(|d| d.terms().len())
+        .max()
+        .unwrap_or(0) as u64;
+    let consts = sigma_constants(&q.sigma).len() as u64;
+    let ar = q.data_schema.max_arity(voc) as u32;
+    let s = q.data_schema.len() as u64;
+    (terms + consts + 1)
+        .checked_pow(ar)
+        .and_then(|p| s.checked_mul(p))
+        .unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_program, Schema, Ucq, Vocabulary};
+
+    fn omq(text: &str, data: &[&str]) -> (Omq, Vocabulary) {
+        let prog = parse_program(text).unwrap();
+        let voc = prog.voc.clone();
+        let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+        (
+            Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone()),
+            voc,
+        )
+    }
+
+    #[test]
+    fn linear_bound_is_query_size() {
+        let (q, _) = omq("P(X) -> exists Y . R(X,Y)\nq(X) :- R(X,Y), P(Y), P(X)\n", &["P"]);
+        assert_eq!(bound_linear(&q), 3);
+    }
+
+    #[test]
+    fn nonrecursive_bound_grows_with_schema() {
+        let (q, _) = omq(
+            "A(X), B(X) -> C(X)\n\
+             C(X), D(X) -> E(X)\n\
+             q :- E(X)\n",
+            &["A", "B", "D"],
+        );
+        // max body 2, |sch| = 5, |q| = 1 → 2^5 = 32.
+        assert_eq!(bound_nonrecursive(&q), 32);
+    }
+
+    #[test]
+    fn sticky_bound_exponential_in_arity() {
+        let (q, voc) = omq(
+            "S(X1,X2,X3) -> P(X1)\n\
+             q :- P(X)\n",
+            &["S"],
+        );
+        // |S|=1, |T(q)|=1, |C(Σ)|=0, ar=3 → 1 · 2^3 = 8.
+        assert_eq!(bound_sticky(&q, &voc), 8);
+    }
+
+    #[test]
+    fn bounds_saturate() {
+        // 3^64 overflows u64: expect saturation, not panic.
+        let mut text = String::new();
+        for i in 0..64 {
+            text.push_str(&format!("A{i}(X), B{i}(X), C{i}(X) -> D{i}(X)\n"));
+        }
+        text.push_str("q :- D0(X)\n");
+        let (q, _) = omq(&text, &["A0"]);
+        assert_eq!(bound_nonrecursive(&q), u64::MAX);
+    }
+
+    #[test]
+    fn ucq_input_uses_max_disjunct() {
+        let (mut q, _) = omq("P(X) -> T(X)\nq(X) :- P(X)\nq(X) :- T(X), P(X)\n", &["P"]);
+        assert_eq!(bound_linear(&q), 2);
+        q.query = Ucq::new(1, vec![]);
+        assert_eq!(bound_linear(&q), 0);
+    }
+}

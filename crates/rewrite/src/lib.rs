@@ -1,0 +1,26 @@
+//! # omq-rewrite
+//!
+//! UCQ rewriting for ontology-mediated queries (paper §4).
+//!
+//! The OMQ languages based on linear (`L`), non-recursive (`NR`), and sticky
+//! (`S`) sets of tgds are *UCQ rewritable* (Def. 1): every OMQ
+//! `Q = (S, Σ, q)` admits a UCQ `q'` over the data schema with
+//! `Q(D) = q'(D)` for all `S`-databases `D`. This crate implements
+//!
+//! * **XRewrite** (Algorithm 1 in the paper's appendix, from Gottlob, Orsi,
+//!   Pieris \[40\]): a resolution-based rewriting procedure with the
+//!   *applicability* (Def. 6) and *factorizability* (Def. 7) conditions,
+//! * the rewriting-size bound functions `f_O` of Props. 12, 14, 17,
+//! * the UCQ→CQ compilation of Prop. 9 (boolean-encoding construction),
+//! * rewriting-based OMQ evaluation, the complete evaluation strategy for
+//!   `L` and `S`, where the chase may not terminate.
+
+pub mod bounds;
+pub mod eval;
+pub mod ucq_to_cq;
+pub mod xrewrite;
+
+pub use bounds::{bound_linear, bound_nonrecursive, bound_sticky};
+pub use eval::certain_answers_via_rewriting;
+pub use ucq_to_cq::{ucq_omq_to_cq_omq, UcqToCqError};
+pub use xrewrite::{xrewrite, RewriteError, RewriteOutput, XRewriteConfig};

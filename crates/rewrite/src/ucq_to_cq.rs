@@ -1,0 +1,305 @@
+//! The UCQ→CQ compilation of Prop. 9: every OMQ `(S, Σ, q) ∈ (C, UCQ)` with
+//! `C ∈ {G, L, NR, S}` is equivalent to an OMQ in `(C, CQ)`.
+//!
+//! The construction encodes disjunction with a truth-table: database atoms
+//! are annotated *true* (constant `1`), one speculative copy of the query's
+//! atoms is annotated *false* (a null), the ontology propagates annotations,
+//! and the output CQ chains the disjuncts through an `Or` predicate, finally
+//! demanding that the accumulated value is *true*.
+//!
+//! We implement the construction for **Boolean** UCQs. For non-Boolean
+//! inputs the paper's construction needs constants in CQ heads once answer
+//! variables meet the speculative copy; since every use of Prop. 9 in the
+//! paper (and in this library's containment pipeline, which handles UCQs
+//! natively) is for lower bounds via Boolean queries, we surface the
+//! restriction as [`UcqToCqError::NonBoolean`] rather than silently
+//! mis-compiling.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use omq_model::{Atom, Cq, Omq, PredId, Term, Tgd, Ucq, VarId, Vocabulary};
+
+/// Why the compilation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UcqToCqError {
+    /// The input UCQ has free variables; see the module docs.
+    NonBoolean,
+    /// The input UCQ has no disjuncts (the unsatisfiable query needs no
+    /// compilation — it is already expressible as a CQ over a fresh pred).
+    EmptyUnion,
+}
+
+impl fmt::Display for UcqToCqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UcqToCqError::NonBoolean => {
+                write!(f, "UCQ→CQ compilation supports Boolean UCQs only")
+            }
+            UcqToCqError::EmptyUnion => write!(f, "cannot compile the empty union"),
+        }
+    }
+}
+
+impl std::error::Error for UcqToCqError {}
+
+/// Compiles a Boolean-UCQ OMQ into an equivalent CQ OMQ (Prop. 9).
+///
+/// The result has the same data schema and, for every `S`-database `D`,
+/// `Q(D) = Q'(D)`. Membership in `G`, `L`, `NR`, `S` is preserved.
+pub fn ucq_omq_to_cq_omq(omq: &Omq, voc: &mut Vocabulary) -> Result<Omq, UcqToCqError> {
+    if omq.query.arity != 0 {
+        return Err(UcqToCqError::NonBoolean);
+    }
+    if omq.query.is_empty() {
+        return Err(UcqToCqError::EmptyUnion);
+    }
+
+    let tt = voc.constant("1");
+    let truep = voc.fresh_pred("True", 1);
+    let falsep = voc.fresh_pred("False", 1);
+    let orp = voc.fresh_pred("Or", 3);
+
+    // Primed predicates: arity + 1 (truth annotation).
+    let mut primed: HashMap<PredId, PredId> = HashMap::new();
+    let prime = |p: PredId, voc: &mut Vocabulary, primed: &mut HashMap<PredId, PredId>| {
+        if let Some(&pp) = primed.get(&p) {
+            return pp;
+        }
+        let name = format!("{}_b", voc.pred_name(p));
+        let pp = voc.fresh_pred(&name, voc.arity(p) + 1);
+        primed.insert(p, pp);
+        pp
+    };
+    let annotate = |a: &Atom, w: Term, voc: &mut Vocabulary, primed: &mut HashMap<PredId, PredId>| {
+        let pp = prime(a.pred, voc, primed);
+        let mut args = a.args.clone();
+        args.push(w);
+        Atom::new(pp, args)
+    };
+
+    let mut sigma2: Vec<Tgd> = Vec::new();
+
+    // (1) Annotate database atoms as true.
+    for &r in omq.data_schema.preds() {
+        let vars: Vec<Term> = (0..voc.arity(r))
+            .map(|i| Term::Var(voc.fresh_var(&format!("a{i}_"))))
+            .collect();
+        let body = vec![Atom::new(r, vars.clone())];
+        let head = vec![
+            annotate(&Atom::new(r, vars), Term::Const(tt), voc, &mut primed),
+            Atom::new(truep, vec![Term::Const(tt)]),
+        ];
+        sigma2.push(Tgd::new(body, head));
+    }
+
+    // (2) The speculative "false" copy of the query plus the Or truth table.
+    {
+        let t = voc.fresh_var("t_");
+        let f = voc.fresh_var("f_");
+        let mut head: Vec<Atom> = Vec::new();
+        for d in &omq.query.disjuncts {
+            // Rename disjunct variables apart: disjuncts quantify separately.
+            let mut ren: HashMap<VarId, VarId> = HashMap::new();
+            for a in &d.body {
+                let ra = a.map_terms(|tm| match tm {
+                    Term::Var(v) => {
+                        let w = *ren.entry(v).or_insert_with(|| voc.fresh_var("s_"));
+                        Term::Var(w)
+                    }
+                    other => other,
+                });
+                head.push(annotate(&ra, Term::Var(f), voc, &mut primed));
+            }
+        }
+        let tv = Term::Var(t);
+        let fv = Term::Var(f);
+        head.push(Atom::new(orp, vec![tv, tv, tv]));
+        head.push(Atom::new(orp, vec![tv, fv, tv]));
+        head.push(Atom::new(orp, vec![fv, tv, tv]));
+        head.push(Atom::new(orp, vec![fv, fv, fv]));
+        head.push(Atom::new(falsep, vec![fv]));
+        sigma2.push(Tgd::new(vec![Atom::new(truep, vec![tv])], head));
+    }
+
+    // (3) Annotation-propagating copies of the ontology's tgds.
+    for t in &omq.sigma {
+        let w = Term::Var(voc.fresh_var("w_"));
+        let body: Vec<Atom> = t
+            .body
+            .iter()
+            .map(|a| annotate(a, w, voc, &mut primed))
+            .collect();
+        let head: Vec<Atom> = t
+            .head
+            .iter()
+            .map(|a| annotate(a, w, voc, &mut primed))
+            .collect();
+        // A fact tgd stays a fact tgd: annotate its head as true instead.
+        if body.is_empty() {
+            let head_true: Vec<Atom> = t
+                .head
+                .iter()
+                .map(|a| annotate(a, Term::Const(tt), voc, &mut primed))
+                .collect();
+            sigma2.push(Tgd::new(vec![], head_true));
+        } else {
+            sigma2.push(Tgd::new(body, head));
+        }
+    }
+
+    // The output CQ: False(y1) ∧ ⋀ᵢ (qᵢ'[xᵢ] ∧ Or(yᵢ,xᵢ,yᵢ₊₁)) ∧ True(yₙ₊₁).
+    let n = omq.query.disjuncts.len();
+    let ys: Vec<VarId> = (0..=n).map(|i| voc.fresh_var(&format!("y{i}_"))).collect();
+    let xs: Vec<VarId> = (0..n).map(|i| voc.fresh_var(&format!("x{i}_"))).collect();
+    let mut body: Vec<Atom> = vec![Atom::new(falsep, vec![Term::Var(ys[0])])];
+    for (i, d) in omq.query.disjuncts.iter().enumerate() {
+        // Disjuncts quantify their variables separately: rename them apart
+        // so distinct disjuncts do not accidentally join in the output CQ.
+        let mut ren: HashMap<VarId, VarId> = HashMap::new();
+        for a in &d.body {
+            let ra = a.map_terms(|tm| match tm {
+                Term::Var(v) => {
+                    let w = *ren.entry(v).or_insert_with(|| voc.fresh_var("u_"));
+                    Term::Var(w)
+                }
+                other => other,
+            });
+            body.push(annotate(&ra, Term::Var(xs[i]), voc, &mut primed));
+        }
+        body.push(Atom::new(
+            orp,
+            vec![Term::Var(ys[i]), Term::Var(xs[i]), Term::Var(ys[i + 1])],
+        ));
+    }
+    body.push(Atom::new(truep, vec![Term::Var(ys[n])]));
+
+    Ok(Omq::new(
+        omq.data_schema.clone(),
+        sigma2,
+        Ucq::from_cq(Cq::boolean(body)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::{certain_answers_via_chase, ChaseConfig};
+    use omq_classes::classify;
+    use omq_model::{parse_program, parse_tgd, Instance, Schema};
+
+    fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
+        let mut inst = Instance::new();
+        for f in facts {
+            let t = parse_tgd(voc, &format!("true -> {f}")).unwrap();
+            for a in t.head {
+                inst.insert(a);
+            }
+        }
+        inst
+    }
+
+    fn boolean_omq(text: &str, data: &[&str]) -> (Omq, Vocabulary) {
+        let prog = parse_program(text).unwrap();
+        let voc = prog.voc.clone();
+        let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+        (
+            Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone()),
+            voc,
+        )
+    }
+
+    #[test]
+    fn rejects_non_boolean() {
+        let (q, mut voc) = boolean_omq("P(X) -> T(X)\nq(X) :- T(X)\n", &["P"]);
+        assert_eq!(
+            ucq_omq_to_cq_omq(&q, &mut voc),
+            Err(UcqToCqError::NonBoolean)
+        );
+    }
+
+    /// Semantics check on databases where each side of the union fires
+    /// separately, both fire, and neither fires.
+    #[test]
+    fn preserves_semantics_on_nr() {
+        let (q, mut voc) = boolean_omq(
+            "A(X) -> P(X)\n\
+             B(X) -> T(X)\n\
+             q :- P(X)\n\
+             q :- T(X)\n",
+            &["A", "B"],
+        );
+        let q2 = ucq_omq_to_cq_omq(&q, &mut voc).unwrap();
+        assert!(q2.is_cq());
+        for facts in [
+            vec!["A(a)"],
+            vec!["B(b)"],
+            vec!["A(a)", "B(b)"],
+            vec![],
+        ] {
+            let d = db(&mut voc, &facts);
+            let ans1 =
+                certain_answers_via_chase(&q, &d, &mut voc, &ChaseConfig::default()).unwrap();
+            let ans2 =
+                certain_answers_via_chase(&q2, &d, &mut voc, &ChaseConfig::default()).unwrap();
+            assert_eq!(
+                ans1.is_empty(),
+                ans2.is_empty(),
+                "mismatch on {facts:?}: {ans1:?} vs {ans2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_inside_disjunct_preserved() {
+        let (q, mut voc) = boolean_omq(
+            "A(X) -> R(X,X)\n\
+             q :- R(X,Y), S(Y,Z)\n\
+             q :- U(X)\n",
+            &["A", "S", "U"],
+        );
+        let q2 = ucq_omq_to_cq_omq(&q, &mut voc).unwrap();
+        // R(a,a) via A(a) but no S-successor: q does not hold.
+        let d = db(&mut voc, &["A(a)"]);
+        let a1 = certain_answers_via_chase(&q, &d, &mut voc, &ChaseConfig::default()).unwrap();
+        let a2 = certain_answers_via_chase(&q2, &d, &mut voc, &ChaseConfig::default()).unwrap();
+        assert!(a1.is_empty() && a2.is_empty());
+        // With the S edge, the first disjunct fires.
+        let d2 = db(&mut voc, &["A(a)", "S(a,b)"]);
+        let b1 = certain_answers_via_chase(&q, &d2, &mut voc, &ChaseConfig::default()).unwrap();
+        let b2 =
+            certain_answers_via_chase(&q2, &d2, &mut voc, &ChaseConfig::default()).unwrap();
+        assert!(!b1.is_empty() && !b2.is_empty());
+    }
+
+    #[test]
+    fn preserves_classes() {
+        let (q, mut voc) = boolean_omq(
+            "P(X) -> exists Y . R(X,Y)\n\
+             q :- R(X,Y)\n\
+             q :- P(X)\n",
+            &["P"],
+        );
+        let before = classify(&q.sigma);
+        assert!(before.linear && before.sticky && before.non_recursive);
+        let q2 = ucq_omq_to_cq_omq(&q, &mut voc).unwrap();
+        let after = classify(&q2.sigma);
+        assert!(after.linear, "linearity lost");
+        assert!(after.guarded, "guardedness lost");
+        assert!(after.non_recursive, "non-recursiveness lost");
+        assert!(after.sticky, "stickiness lost");
+    }
+
+    #[test]
+    fn preserves_guarded_multibody() {
+        let (q, mut voc) = boolean_omq(
+            "G(X,Y), P(X) -> exists Z . R(Y,Z)\n\
+             q :- R(X,Y)\n\
+             q :- P(X)\n",
+            &["G", "P"],
+        );
+        assert!(classify(&q.sigma).guarded);
+        let q2 = ucq_omq_to_cq_omq(&q, &mut voc).unwrap();
+        assert!(classify(&q2.sigma).guarded);
+    }
+}

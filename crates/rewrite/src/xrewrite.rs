@@ -1,0 +1,696 @@
+//! The XRewrite algorithm (Algorithm 1 of the paper, after \[40\]).
+//!
+//! Starting from the OMQ's (U)CQ, exhaustively apply two steps until
+//! fixpoint:
+//!
+//! * **rewriting** (resolution): pick a set `S` of body atoms to which a tgd
+//!   `σ` is *applicable* (Def. 6) — `S ∪ {head(σ)}` unifies and no constant
+//!   or shared-variable position of `S` meets an existential position of the
+//!   head — and replace `S` by `body(σ)` under the MGU;
+//! * **factorization** (Def. 7): unify a set of atoms whose shared
+//!   existential-position variable blocks applicability, producing auxiliary
+//!   queries that keep the procedure complete.
+//!
+//! Queries are deduplicated modulo bijective variable renaming (`≃`,
+//! implemented by `omq_chase::cq_isomorphic`). The final rewriting keeps the
+//! explored `r`-labeled queries over the data schema only.
+//!
+//! Termination is guaranteed for linear, non-recursive and sticky inputs;
+//! for other inputs (e.g. guarded) the procedure may diverge, so a query
+//! budget is enforced and exceeding it is reported as
+//! [`RewriteError::BudgetExceeded`] — the partial rewriting is still sound
+//! and is exploited by the anytime guarded-containment algorithm.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use omq_chase::{cq_core_budgeted, cq_isomorphic};
+use omq_model::{mgu_many, Atom, Cq, Omq, Substitution, Term, Tgd, Ucq, VarId, Vocabulary};
+
+/// Budgets for the rewriting procedure.
+#[derive(Clone, Debug)]
+pub struct XRewriteConfig {
+    /// Maximum number of distinct CQs ever enqueued (safety budget for
+    /// non-UCQ-rewritable inputs).
+    pub max_queries: usize,
+    /// Maximum number of atoms allowed in an intermediate CQ (prevents
+    /// blow-ups from pathological factorizations); `None` = unbounded.
+    pub max_atoms: Option<usize>,
+    /// Maximum number of atoms resolved simultaneously against one tgd
+    /// head (the size of the set `S` in Def. 6/7). Simultaneous resolution
+    /// of `k` atoms is only needed when a single chase atom matches `k`
+    /// query atoms at once; beyond small `k` this is vanishingly rare,
+    /// while enumerating all `2^pool` subsets dominates the runtime on
+    /// queries with many same-predicate atoms.
+    pub max_subset: usize,
+    /// Canonicalize every generated CQ to its core before deduplication.
+    ///
+    /// Resolution can produce syntactically growing but semantically
+    /// equivalent queries (e.g. accumulating `P(y,z), P(y,z')` pairs under
+    /// recursive sticky sets); coring collapses them, which keeps the
+    /// procedure within the theoretical bounds of Props. 12/14/17 and is
+    /// semantics-preserving (the core is homomorphically equivalent).
+    pub canonicalize: bool,
+}
+
+impl Default for XRewriteConfig {
+    fn default() -> Self {
+        XRewriteConfig {
+            max_queries: 20_000,
+            max_atoms: None,
+            max_subset: 4,
+            canonicalize: true,
+        }
+    }
+}
+
+impl XRewriteConfig {
+    /// A config with the given query budget.
+    pub fn with_max_queries(max_queries: usize) -> Self {
+        XRewriteConfig {
+            max_queries,
+            ..Default::default()
+        }
+    }
+}
+
+/// Rewriting failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The query budget was exhausted before the fixpoint; carries the
+    /// partial output (sound: every disjunct is a correct rewriting, the
+    /// union may be incomplete).
+    BudgetExceeded(RewriteOutput),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::BudgetExceeded(out) => write!(
+                f,
+                "XRewrite budget exceeded after generating {} queries",
+                out.generated
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// The result of a (partial or complete) rewriting run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RewriteOutput {
+    /// The UCQ rewriting over the data schema.
+    pub ucq: Ucq,
+    /// Total number of distinct CQs generated (explored and auxiliary).
+    pub generated: usize,
+    /// Number of rewriting steps applied.
+    pub rewrite_steps: usize,
+    /// Number of factorization steps applied.
+    pub factorization_steps: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Label {
+    Rewriting,
+    Factorization,
+}
+
+struct Entry {
+    cq: Cq,
+    label: Label,
+    explored: bool,
+}
+
+/// A cheap isomorphism-invariant fingerprint of a CQ: head arity, and the
+/// sorted multiset of (predicate, per-position term kinds) with variable
+/// occurrence counts abstracted. Two isomorphic CQs always collide, so the
+/// expensive `cq_isomorphic` check only runs within a bucket.
+fn fingerprint(q: &Cq) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut counts: std::collections::HashMap<VarId, u32> = std::collections::HashMap::new();
+    for a in &q.body {
+        for v in a.vars() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut atoms: Vec<(u32, Vec<i64>)> = q
+        .body
+        .iter()
+        .map(|a| {
+            (
+                a.pred.0,
+                a.args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => -(c.0 as i64) - 1,
+                        Term::Var(v) => counts[v] as i64,
+                        Term::Null(_) => unreachable!(),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    atoms.sort();
+    let mut h = DefaultHasher::new();
+    q.head.len().hash(&mut h);
+    atoms.hash(&mut h);
+    h.finish()
+}
+
+/// Dedup index: fingerprint -> entry indices.
+type Buckets = std::collections::HashMap<u64, Vec<usize>>;
+
+fn is_dup(
+    entries: &[Entry],
+    buckets: &Buckets,
+    q: &Cq,
+    fp: u64,
+    rewriting_only: bool,
+) -> bool {
+    let Some(ids) = buckets.get(&fp) else {
+        return false;
+    };
+    ids.iter().any(|&i| {
+        (!rewriting_only || entries[i].label == Label::Rewriting)
+            && cq_isomorphic(&entries[i].cq, q)
+    })
+}
+
+/// Positions (0-based) of the head atom of `t` that hold an existentially
+/// quantified variable (`π∃(σ)` generalized to a set, as in \[40\]).
+fn existential_positions(t: &Tgd) -> Vec<usize> {
+    let ex = t.existential_vars();
+    let head = &t.head[0];
+    head.args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &a)| match a {
+            Term::Var(v) if ex.contains(&v) => Some(i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Renames every variable of `t` using fresh variables from `voc`
+/// (the `σⁱ` renaming of Algorithm 1).
+fn rename_apart(t: &Tgd, voc: &mut Vocabulary) -> Tgd {
+    let mut sub = Substitution::new();
+    for v in t.body_vars().into_iter().chain(t.head_vars()) {
+        if sub.get(v).is_none() {
+            sub.bind(v, Term::Var(voc.fresh_var("r")));
+        }
+    }
+    Tgd::new(sub.apply_atoms(&t.body), sub.apply_atoms(&t.head))
+}
+
+/// Is tgd `t` (with a single head atom) applicable to the atom set `s` of
+/// query `q` (Def. 6)?
+///
+/// Returns the MGU of `s ∪ {head(t)}` when applicable.
+fn applicable(q: &Cq, s: &[&Atom], t: &Tgd) -> Option<Substitution> {
+    let head = &t.head[0];
+    if s.iter().any(|a| a.pred != head.pred) {
+        return None;
+    }
+    // Condition 2: no constant or shared-variable position of s may be an
+    // existential position of the head.
+    let expos = existential_positions(t);
+    for a in s {
+        for (i, &arg) in a.args.iter().enumerate() {
+            let blocked = match arg {
+                Term::Const(_) => true,
+                Term::Var(v) => q.is_shared(v),
+                Term::Null(_) => unreachable!("CQs contain no nulls"),
+            };
+            if blocked && expos.contains(&i) {
+                return None;
+            }
+        }
+    }
+    // Condition 1: unification.
+    let mut atoms: Vec<Atom> = s.iter().map(|a| (*a).clone()).collect();
+    atoms.push(head.clone());
+    let mgu = mgu_many(&atoms)?;
+    // Guard against binding a free variable to a constant: such rewritings
+    // would need constants in query heads, which our CQ type does not model;
+    // see the module docs. (Free variables never unify with existential
+    // variables thanks to condition 2.)
+    for &v in &q.head {
+        if matches!(mgu.get(v), Some(t) if !t.is_var()) {
+            return None;
+        }
+    }
+    Some(mgu)
+}
+
+/// Is the atom set `s` of `q` factorizable w.r.t. `t` (Def. 7)?
+/// Returns the MGU of `s` if so.
+fn factorizable(q: &Cq, s: &[&Atom], s_idx: &[usize], t: &Tgd) -> Option<Substitution> {
+    if s.len() < 2 {
+        return None;
+    }
+    let head = &t.head[0];
+    if s.iter().any(|a| a.pred != head.pred) {
+        return None;
+    }
+    let expos = existential_positions(t);
+    if expos.is_empty() {
+        return None;
+    }
+    // Condition 3: a variable x outside body(q)\s occurring in every atom of
+    // s, and only at existential positions.
+    let rest_vars: HashSet<VarId> = q
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !s_idx.contains(i))
+        .flat_map(|(_, a)| a.vars())
+        .collect();
+    let candidates: HashSet<VarId> = s[0].vars().collect();
+    let ok = candidates.into_iter().any(|x| {
+        if rest_vars.contains(&x) || q.head.contains(&x) {
+            return false;
+        }
+        s.iter().all(|a| {
+            let pos = a.positions_of(Term::Var(x));
+            !pos.is_empty() && pos.iter().all(|p| expos.contains(p))
+        })
+    });
+    if !ok {
+        return None;
+    }
+    let atoms: Vec<Atom> = s.iter().map(|a| (*a).clone()).collect();
+    mgu_many(&atoms)
+}
+
+/// Enumerates the non-empty subsets of the indices in `pool`, smallest
+/// first, up to subsets of size `max`.
+fn subsets(pool: &[usize], max: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![vec![]];
+    for &i in pool {
+        let mut extended: Vec<Vec<usize>> = Vec::new();
+        for s in &out {
+            if s.len() < max {
+                let mut s2 = s.clone();
+                s2.push(i);
+                extended.push(s2);
+            }
+        }
+        out.extend(extended);
+    }
+    out.retain(|s| !s.is_empty());
+    out.sort_by_key(Vec::len);
+    out
+}
+
+/// Canonicalizes a generated CQ: duplicate-atom removal plus (optionally)
+/// core computation.
+fn canonical(q: &Cq, cfg: &XRewriteConfig) -> Cq {
+    let d = dedup_atoms(q);
+    if cfg.canonicalize && !d.body.is_empty() {
+        cq_core_budgeted(&d, 2_000)
+    } else {
+        d
+    }
+}
+
+/// Removes duplicate atoms from a CQ (keeps first occurrences).
+fn dedup_atoms(q: &Cq) -> Cq {
+    let mut seen = HashSet::new();
+    let body: Vec<Atom> = q
+        .body
+        .iter()
+        .filter(|a| seen.insert((*a).clone()))
+        .cloned()
+        .collect();
+    Cq::new(q.head.clone(), body)
+}
+
+/// Runs XRewrite on `omq`, producing a UCQ rewriting over the data schema.
+///
+/// The input query may be a UCQ; all its disjuncts seed the worklist. The
+/// ontology is used as-is when every head is a single atom; multi-atom heads
+/// are normalized first (see `omq_classes::normalize_heads`) — note the
+/// normalization's auxiliary predicates never reach the output because they
+/// are not in the data schema.
+pub fn xrewrite(
+    omq: &Omq,
+    voc: &mut Vocabulary,
+    cfg: &XRewriteConfig,
+) -> Result<RewriteOutput, RewriteError> {
+    let sigma: Vec<Tgd> = if omq.sigma.iter().all(|t| t.head.len() == 1) {
+        omq.sigma.clone()
+    } else {
+        omq_classes::normalize_heads(voc, &omq.sigma)
+    };
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut buckets: Buckets = Buckets::new();
+    let push_entry = |entries: &mut Vec<Entry>, buckets: &mut Buckets, cq: Cq, fp: u64, label: Label| {
+        buckets.entry(fp).or_default().push(entries.len());
+        entries.push(Entry {
+            cq,
+            label,
+            explored: false,
+        });
+    };
+    for d in &omq.query.disjuncts {
+        let cq = canonical(d, cfg);
+        let fp = fingerprint(&cq);
+        if !is_dup(&entries, &buckets, &cq, fp, false) {
+            push_entry(&mut entries, &mut buckets, cq, fp, Label::Rewriting);
+        }
+    }
+
+    let mut rewrite_steps = 0usize;
+    let mut factorization_steps = 0usize;
+    let mut truncated = false;
+
+    loop {
+        let Some(idx) = entries.iter().position(|e| !e.explored) else {
+            break;
+        };
+        if entries.len() > cfg.max_queries {
+            truncated = true;
+            break;
+        }
+        entries[idx].explored = true;
+        let q = entries[idx].cq.clone();
+
+        for t in &sigma {
+            let t = t.clone();
+            // Pool: atoms of q with the head predicate.
+            let pool: Vec<usize> = q
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.pred == t.head[0].pred)
+                .map(|(i, _)| i)
+                .collect();
+            if pool.is_empty() {
+                continue;
+            }
+            let renamed = rename_apart(&t, voc);
+            // Prefilter: an atom that does not unify with the head on its
+            // own can never belong to an applicable or factorizable set.
+            let pool: Vec<usize> = pool
+                .into_iter()
+                .filter(|&i| {
+                    omq_model::mgu_atoms(&q.body[i], &renamed.head[0]).is_some()
+                })
+                .collect();
+            if pool.is_empty() {
+                continue;
+            }
+            for s_idx in subsets(&pool, cfg.max_subset.max(1)) {
+                let s: Vec<&Atom> = s_idx.iter().map(|&i| &q.body[i]).collect();
+
+                // --- rewriting step ---
+                if let Some(gamma) = applicable(&q, &s, &renamed) {
+                    // q' = γ(q[S / body(σⁱ)])
+                    let mut body: Vec<Atom> = q
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !s_idx.contains(i))
+                        .map(|(_, a)| gamma.apply_atom(a))
+                        .collect();
+                    body.extend(gamma.apply_atoms(&renamed.body));
+                    let head: Vec<VarId> = q
+                        .head
+                        .iter()
+                        .map(|&v| match gamma.apply_term(Term::Var(v)) {
+                            Term::Var(w) => w,
+                            _ => unreachable!("applicability protects free variables"),
+                        })
+                        .collect();
+                    if !body.is_empty() || head.is_empty() {
+                        let q2 = canonical(&Cq::new(head, body), cfg);
+                        let within = cfg.max_atoms.map_or(true, |m| q2.body.len() <= m);
+                        let fp = fingerprint(&q2);
+                        if within && !is_dup(&entries, &buckets, &q2, fp, true) {
+                            rewrite_steps += 1;
+                            push_entry(&mut entries, &mut buckets, q2, fp, Label::Rewriting);
+                        }
+                    }
+                }
+
+                // --- factorization step ---
+                if let Some(gamma) = factorizable(&q, &s, &s_idx, &t) {
+                    let q2 = canonical(&gamma.apply_cq(&q), cfg);
+                    let within = cfg.max_atoms.map_or(true, |m| q2.body.len() <= m);
+                    let fp = fingerprint(&q2);
+                    if within && !is_dup(&entries, &buckets, &q2, fp, false) {
+                        factorization_steps += 1;
+                        push_entry(&mut entries, &mut buckets, q2, fp, Label::Factorization);
+                    }
+                }
+            }
+        }
+    }
+
+    let disjuncts: Vec<Cq> = entries
+        .iter()
+        .filter(|e| {
+            e.label == Label::Rewriting
+                && e.explored
+                && e.cq.body.iter().all(|a| omq.data_schema.contains(a.pred))
+        })
+        .map(|e| e.cq.clone())
+        .collect();
+    let out = RewriteOutput {
+        ucq: Ucq::new(omq.query.arity, disjuncts),
+        generated: entries.len(),
+        rewrite_steps,
+        factorization_steps,
+    };
+    if truncated {
+        Err(RewriteError::BudgetExceeded(out))
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_model::{parse_program, Schema};
+
+    /// Builds an OMQ from program text: all predicates named in `data` form
+    /// the data schema; the query is the one named `q`.
+    fn omq(text: &str, data: &[&str]) -> (Omq, Vocabulary) {
+        let prog = parse_program(text).unwrap();
+        let voc = prog.voc.clone();
+        let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+        (
+            Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone()),
+            voc,
+        )
+    }
+
+    /// Example 1 of the paper: the rewriting of q(x) :- R(x,y), P(y) under
+    ///   P(x) → ∃y R(x,y);  R(x,y) → P(y);  T(x) → P(x)
+    /// over S = {P, T} is `P(x) ∨ T(x)`.
+    #[test]
+    fn paper_example_1() {
+        let (q, mut voc) = omq(
+            "P(X) -> exists Y . R(X,Y)\n\
+             R(X,Y) -> P(Y)\n\
+             T(X) -> P(X)\n\
+             q(X) :- R(X,Y), P(Y)\n",
+            &["P", "T"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        let p = voc.pred_id("P").unwrap();
+        let t = voc.pred_id("T").unwrap();
+        // Expect exactly the single-atom disjuncts P(x) and T(x).
+        let mut found_p = false;
+        let mut found_t = false;
+        for d in &out.ucq.disjuncts {
+            if d.body.len() == 1 {
+                let a = &d.body[0];
+                if a.pred == p && a.args[0] == Term::Var(d.head[0]) {
+                    found_p = true;
+                }
+                if a.pred == t && a.args[0] == Term::Var(d.head[0]) {
+                    found_t = true;
+                }
+            }
+        }
+        assert!(found_p, "P(x) missing from rewriting: {:?}", out.ucq);
+        assert!(found_t, "T(x) missing from rewriting");
+    }
+
+    /// Every disjunct of the rewriting must have at most |q| atoms for
+    /// linear ontologies (Prop. 12).
+    #[test]
+    fn linear_disjuncts_never_grow() {
+        let (q, mut voc) = omq(
+            "A(X) -> exists Y . R(X,Y)\n\
+             R(X,Y) -> exists Z . R(Y,Z)\n\
+             B(X,Y) -> R(X,Y)\n\
+             q(X) :- R(X,Y), R(Y,Z)\n",
+            &["A", "B"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        assert!(out.ucq.max_disjunct_size() <= 2);
+        assert!(!out.ucq.disjuncts.is_empty());
+    }
+
+    /// The factorization example from the appendix: q = ∃x∃y∃z (R(x,y) ∧
+    /// R(x,z)) with σ = P(u,v) → ∃w R(w,u). Applicability fails on either
+    /// atom alone (x is shared and sits at the existential position), but
+    /// factorizing {R(x,y), R(x,z)} unifies y and z, after which the
+    /// rewriting step produces P(u,v).
+    #[test]
+    fn factorization_unblocks_rewriting() {
+        let (q, mut voc) = omq(
+            "P(U,V) -> exists W . R(W,U)\n\
+             q :- R(X,Y), R(X,Z)\n",
+            &["P"],
+        );
+        // Without coring, the factorization step of Def. 7 is what unifies
+        // {R(x,y), R(x,z)} so the tgd becomes applicable.
+        let cfg = XRewriteConfig {
+            canonicalize: false,
+            ..Default::default()
+        };
+        let out = xrewrite(&q, &mut voc, &cfg).unwrap();
+        assert!(out.factorization_steps >= 1);
+        let p = voc.pred_id("P").unwrap();
+        let has_p = |out: &RewriteOutput| {
+            out.ucq
+                .disjuncts
+                .iter()
+                .any(|d| d.body.len() == 1 && d.body[0].pred == p)
+        };
+        assert!(has_p(&out), "expected P(u,v) disjunct, got {:?}", out.ucq);
+        // With coring (the default) the redundant atom collapses up front
+        // and the same rewriting is reached without factorization.
+        let out2 = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        assert!(has_p(&out2));
+    }
+
+    /// Without factorization the blocked step must NOT fire: x is shared and
+    /// at an existential position, so R(x,y) alone is not applicable.
+    #[test]
+    fn applicability_blocks_shared_existential_position() {
+        let (q, mut voc) = omq(
+            "P(U,V) -> exists W . R(W,U)\n\
+             q(X) :- R(X,Y)\n",
+            &["P", "R"],
+        );
+        // X is free (hence shared) and sits at position 0 = π∃(σ).
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        // The only disjunct over {P, R} is the original query itself.
+        assert_eq!(out.ucq.disjuncts.len(), 1);
+        assert_eq!(out.ucq.disjuncts[0].body[0].pred, voc.pred_id("R").unwrap());
+    }
+
+    /// Non-shared variables at existential positions resolve fine.
+    #[test]
+    fn existential_position_with_lone_variable() {
+        let (q, mut voc) = omq(
+            "P(X) -> exists Y . R(X,Y)\n\
+             q(X) :- R(X,Y)\n",
+            &["P", "R"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        let p = voc.pred_id("P").unwrap();
+        assert!(out
+            .ucq
+            .disjuncts
+            .iter()
+            .any(|d| d.body.len() == 1 && d.body[0].pred == p));
+    }
+
+    /// Non-recursive multi-atom bodies: rewriting replaces the head atom by
+    /// the body, growing the query (Prop. 14 behaviour).
+    #[test]
+    fn nonrecursive_body_expansion() {
+        let (q, mut voc) = omq(
+            "A(X), B(X) -> C(X)\n\
+             q :- C(X)\n",
+            &["A", "B"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        assert_eq!(out.ucq.disjuncts.len(), 1);
+        assert_eq!(out.ucq.disjuncts[0].body.len(), 2);
+    }
+
+    /// UCQ input: both disjuncts are rewritten.
+    #[test]
+    fn ucq_input_seeds_all_disjuncts() {
+        let (q, mut voc) = omq(
+            "A(X) -> P(X)\n\
+             B(X) -> T(X)\n\
+             q(X) :- P(X)\n\
+             q(X) :- T(X)\n",
+            &["A", "B"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        assert_eq!(out.ucq.disjuncts.len(), 2);
+    }
+
+    /// A guarded, non-UCQ-rewritable input exhausts the budget.
+    #[test]
+    fn budget_exceeded_on_transitive_guarded() {
+        let (q, mut voc) = omq(
+            "E(X,Y) -> exists Z . E(Y,Z)\n\
+             R(X,Y), E(Y,Z) -> R(X,Z)\n\
+             q :- R(X,Y), E(Y,Z)\n",
+            &["E", "R"],
+        );
+        let r = xrewrite(&q, &mut voc, &XRewriteConfig::with_max_queries(25));
+        match r {
+            Err(RewriteError::BudgetExceeded(out)) => {
+                assert!(out.generated > 25);
+            }
+            Ok(out) => {
+                // Fine too: the fixpoint may be small. But then it must
+                // contain the original query.
+                assert!(!out.ucq.disjuncts.is_empty());
+            }
+        }
+    }
+
+    /// Fact tgds can erase atoms entirely.
+    #[test]
+    fn fact_tgd_resolves_to_smaller_query() {
+        let (q, mut voc) = omq(
+            "true -> Bit(0)\n\
+             Bit(X) -> Num(X)\n\
+             q :- Num(0), P(Z)\n",
+            &["P"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        // Num(0) resolves to Bit(0) resolves to nothing: q :- P(Z) remains.
+        assert!(out
+            .ucq
+            .disjuncts
+            .iter()
+            .any(|d| d.body.len() == 1 && d.body[0].pred == voc.pred_id("P").unwrap()));
+    }
+
+    /// Multi-atom heads are normalized internally and still rewrite fully.
+    #[test]
+    fn multi_atom_heads_normalized() {
+        let (q, mut voc) = omq(
+            "A(X) -> P(X), T(X)\n\
+             q :- P(X), T(X)\n",
+            &["A"],
+        );
+        let out = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        let a = voc.pred_id("A").unwrap();
+        assert!(
+            out.ucq
+                .disjuncts
+                .iter()
+                .any(|d| d.body.iter().all(|at| at.pred == a)),
+            "expected a disjunct over A, got {:?}",
+            out.ucq
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Quickstart: define an ontology-mediated query, evaluate it, rewrite it,
+//! and check containment — the core loop of the library.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use omq::core::{contains, ContainmentConfig, ContainmentResult, EvalConfig};
+use omq::model::display::{render_cq, render_instance, render_tgd};
+use omq::model::{parse_program, parse_tgd, Instance, Omq, Schema};
+use omq::rewrite::{xrewrite, XRewriteConfig};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. An ontology and two queries, in the textual rule syntax.
+    //    (This is Example 1 of Barceló–Berger–Pieris, PODS 2018.)
+    // ---------------------------------------------------------------
+    let prog = parse_program(
+        "# every P-node has an R-successor, whose endpoint is a P-node;
+         # T is a subclass of P
+         P(X) -> exists Y . R(X,Y)
+         R(X,Y) -> P(Y)
+         T(X) -> P(X)
+
+         q(X) :- R(X,Y), P(Y)
+         r(X) :- P(X)
+         r(X) :- T(X)",
+    )
+    .expect("parses");
+    let mut voc = prog.voc.clone();
+
+    // The data schema: databases only use P and T.
+    let schema = Schema::from_preds([
+        voc.pred_id("P").unwrap(),
+        voc.pred_id("T").unwrap(),
+    ]);
+
+    println!("Ontology Σ:");
+    for t in &prog.tgds {
+        println!("  {}", render_tgd(&voc, t));
+    }
+
+    let q = Omq::new(
+        schema.clone(),
+        prog.tgds.clone(),
+        prog.query("q").unwrap().clone(),
+    );
+    let r = Omq::new(
+        schema.clone(),
+        prog.tgds.clone(),
+        prog.query("r").unwrap().clone(),
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Evaluate Q over a small database (certain answers).
+    // ---------------------------------------------------------------
+    let mut db = Instance::new();
+    for fact in ["T(ada)", "P(bob)"] {
+        let t = parse_tgd(&mut voc, &format!("true -> {fact}")).unwrap();
+        for a in t.head {
+            db.insert(a);
+        }
+    }
+    println!("\nDatabase D:\n{}", render_instance(&voc, &db));
+
+    let out = omq::core::evaluate(&q, &db, &mut voc, &EvalConfig::default());
+    println!(
+        "\nQ(D) under {} evaluation ({:?}):",
+        out.language, out.guarantee
+    );
+    let mut answers: Vec<String> = out
+        .answers
+        .iter()
+        .map(|t| {
+            t.iter()
+                .map(|c| voc.const_name(*c).to_owned())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    answers.sort();
+    for a in &answers {
+        println!("  q({a})");
+    }
+
+    // ---------------------------------------------------------------
+    // 3. Rewrite Q into a UCQ over the data schema (XRewrite, §4).
+    // ---------------------------------------------------------------
+    let rw = xrewrite(&q, &mut voc, &XRewriteConfig::default()).expect("linear => terminates");
+    println!("\nUCQ rewriting of Q over {{P, T}}:");
+    for d in &rw.ucq.disjuncts {
+        println!("  {}", render_cq(&voc, "q", d));
+    }
+
+    // ---------------------------------------------------------------
+    // 4. Containment: Q ≡ R (the rewriting of Q is exactly R's UCQ).
+    // ---------------------------------------------------------------
+    let cfg = ContainmentConfig::default();
+    let fwd = contains(&q, &r, &mut voc, &cfg).unwrap();
+    let bwd = contains(&r, &q, &mut voc, &cfg).unwrap();
+    println!(
+        "\nQ ⊆ R: {:?}   (LHS language {}, {} witnesses checked)",
+        fwd.result.is_contained(),
+        fwd.lhs_language,
+        fwd.witnesses_checked
+    );
+    println!("R ⊆ Q: {:?}", bwd.result.is_contained());
+
+    // A query R is NOT contained in: asking for T directly.
+    let prog2 = parse_program("s(X) :- T(X)").unwrap();
+    // NOTE: parse into the same vocabulary by re-parsing the line.
+    let (_, s_cq) = omq::model::parse_query(&mut voc, "s(X) :- T(X)").unwrap();
+    drop(prog2);
+    let s = Omq::new(
+        schema,
+        prog.tgds.clone(),
+        omq::model::Ucq::from_cq(s_cq),
+    );
+    match contains(&r, &s, &mut voc, &cfg).unwrap().result {
+        ContainmentResult::NotContained(w) => {
+            println!(
+                "\nR ⊄ S, witness database:\n{}",
+                render_instance(&voc, &w.database)
+            );
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+}

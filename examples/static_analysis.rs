@@ -1,0 +1,143 @@
+//! A static-analysis tour: language detection, satisfiability, rewriting
+//! bounds, equivalence checking, and the evaluation⇄containment reductions
+//! — everything a query optimizer would ask about a set of OMQs.
+//!
+//! Run with: `cargo run --example static_analysis`
+
+use omq::classes::classify;
+use omq::core::{
+    contains, detect_language, is_unsatisfiable, ContainmentConfig, EvalConfig,
+};
+use omq::model::{parse_program, Omq, Schema, Ucq};
+use omq::rewrite::{bound_linear, bound_nonrecursive, bound_sticky};
+
+fn main() {
+    let suite: &[(&str, &str, &[&str])] = &[
+        (
+            "inclusion dependencies (linear)",
+            "Emp(X,D) -> exists M . Mgr(D,M)\n\
+             Mgr(D,M) -> Emp(M,D)\n\
+             q :- Emp(X,D), Mgr(D,M)\n",
+            &["Emp", "Mgr"],
+        ),
+        (
+            "layered ETL (non-recursive)",
+            "Raw(X) -> Clean(X)\n\
+             Clean(X), Audit(X) -> Ready(X)\n\
+             q(X) :- Ready(X)\n",
+            &["Raw", "Audit"],
+        ),
+        (
+            "join-propagating (sticky)",
+            "R(X,Y), P(Y,Z) -> exists W . T(X,Y,W)\n\
+             T(X,Y,W) -> R(Y,X)\n\
+             q :- T(X,Y,W)\n",
+            &["R", "P"],
+        ),
+        (
+            "tree-expanding (guarded, not sticky)",
+            "G(X,Y,Z), R(X,Y) -> exists W . G(Y,Z,W), R(Y,Z)\n\
+             q :- R(X,Y), R(Y,Z)\n",
+            &["G", "R"],
+        ),
+        (
+            "transitive closure (Datalog: containment undecidable)",
+            "E(X,Y) -> T(X,Y)\n\
+             E(X,Y), T(Y,Z) -> T(X,Z)\n\
+             q(X,Y) :- T(X,Y)\n",
+            &["E"],
+        ),
+    ];
+
+    println!(
+        "{:<48} {:<8} {:>9} {:>7} {:>12}",
+        "ontology", "language", "rewr.bnd", "unsat?", "classes"
+    );
+    println!("{}", "-".repeat(90));
+    for (name, text, data) in suite {
+        let prog = parse_program(text).unwrap();
+        let mut voc = prog.voc.clone();
+        let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
+        let omq = Omq::new(
+            schema,
+            prog.tgds.clone(),
+            prog.query("q").unwrap().clone(),
+        );
+        let lang = detect_language(&omq);
+        let report = classify(&omq.sigma);
+        let bound = match lang {
+            omq::core::OmqLanguage::Linear => bound_linear(&omq).to_string(),
+            omq::core::OmqLanguage::NonRecursive => bound_nonrecursive(&omq).to_string(),
+            omq::core::OmqLanguage::Sticky => bound_sticky(&omq, &voc).to_string(),
+            _ => "—".to_owned(),
+        };
+        let unsat = is_unsatisfiable(&omq, &mut voc, &EvalConfig::default());
+        let mut tags = Vec::new();
+        if report.guarded {
+            tags.push("G");
+        }
+        if report.linear {
+            tags.push("L");
+        }
+        if report.non_recursive {
+            tags.push("NR");
+        }
+        if report.sticky {
+            tags.push("S");
+        }
+        if report.full {
+            tags.push("F");
+        }
+        println!(
+            "{:<48} {:<8} {:>9} {:>7} {:>12}",
+            name,
+            lang.to_string(),
+            bound,
+            format!("{unsat:?}"),
+            tags.join(",")
+        );
+    }
+
+    // ---- equivalence-based optimization ----
+    // Two formulations of the same question; the ontology makes them
+    // equivalent, so a planner may pick the cheaper one.
+    println!("\nEquivalence check (query optimization):");
+    let prog = parse_program(
+        "Mgr(D,M) -> Emp(M,D)\n\
+         a(M) :- Mgr(D,M), Emp(M,D)\n\
+         b(M) :- Mgr(D,M)\n",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let schema = Schema::from_preds([voc.pred_id("Mgr").unwrap(), voc.pred_id("Emp").unwrap()]);
+    let qa = Omq::new(
+        schema.clone(),
+        prog.tgds.clone(),
+        prog.query("a").unwrap().clone(),
+    );
+    let qb = Omq::new(schema, prog.tgds.clone(), prog.query("b").unwrap().clone());
+    let cfg = ContainmentConfig::default();
+    let fwd = contains(&qa, &qb, &mut voc, &cfg).unwrap();
+    let bwd = contains(&qb, &qa, &mut voc, &cfg).unwrap();
+    println!(
+        "  a ⊆ b: {}   b ⊆ a: {}  => {}",
+        fwd.result.is_contained(),
+        bwd.result.is_contained(),
+        if fwd.result.is_contained() && bwd.result.is_contained() {
+            "equivalent: drop the join from `a`"
+        } else {
+            "not equivalent"
+        }
+    );
+
+    // ---- an unsatisfiable composite query is always safe to prune ----
+    let dead = Omq::new(
+        Schema::from_preds([voc.pred_id("Mgr").unwrap()]),
+        prog.tgds.clone(),
+        Ucq::new(0, vec![]),
+    );
+    println!(
+        "  empty-union query unsatisfiable: {:?}",
+        is_unsatisfiable(&dead, &mut voc, &EvalConfig::default())
+    );
+}

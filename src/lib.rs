@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole `omq` workspace API.
+pub use omq_automata as automata;
+pub use omq_chase as chase;
+pub use omq_classes as classes;
+pub use omq_core as core;
+pub use omq_guarded as guarded;
+pub use omq_model as model;
+pub use omq_reductions as reductions;
+pub use omq_rewrite as rewrite;
