@@ -234,7 +234,10 @@ mod tests {
     fn empty_connectives() {
         assert!(Bf::<u32>::And(vec![]).eval(&mut |_| false));
         assert!(!Bf::<u32>::Or(vec![]).eval(&mut |_| true));
-        assert_eq!(Bf::<u32>::And(vec![]).minimal_models(), vec![Vec::<u32>::new()]);
+        assert_eq!(
+            Bf::<u32>::And(vec![]).minimal_models(),
+            vec![Vec::<u32>::new()]
+        );
         assert!(Bf::<u32>::Or(vec![]).minimal_models().is_empty());
     }
 

@@ -47,8 +47,7 @@ impl<L: Eq + Hash + Clone> Nta<L> {
                 if &t.label != tree.label(node) || t.children.len() != kids.len() {
                     continue;
                 }
-                if t
-                    .children
+                if t.children
                     .iter()
                     .zip(kids)
                     .all(|(&q, &k)| poss[k].contains(&q))
@@ -89,12 +88,7 @@ impl<L: Eq + Hash + Clone> Nta<L> {
     fn useful(&self) -> Vec<bool> {
         let real = self.realizable();
         let mut useful = vec![false; self.num_states];
-        let mut stack: Vec<usize> = self
-            .roots
-            .iter()
-            .copied()
-            .filter(|&r| real[r])
-            .collect();
+        let mut stack: Vec<usize> = self.roots.iter().copied().filter(|&r| real[r]).collect();
         for &r in &stack {
             useful[r] = true;
         }
@@ -184,9 +178,21 @@ mod tests {
             num_states: 1,
             roots: vec![0],
             transitions: vec![
-                NtaTransition { state: 0, label: 'a', children: vec![] },
-                NtaTransition { state: 0, label: 'a', children: vec![0] },
-                NtaTransition { state: 0, label: 'a', children: vec![0, 0] },
+                NtaTransition {
+                    state: 0,
+                    label: 'a',
+                    children: vec![],
+                },
+                NtaTransition {
+                    state: 0,
+                    label: 'a',
+                    children: vec![0],
+                },
+                NtaTransition {
+                    state: 0,
+                    label: 'a',
+                    children: vec![0, 0],
+                },
             ],
         }
     }
@@ -217,7 +223,11 @@ mod tests {
         let aut = Nta {
             num_states: 1,
             roots: vec![0],
-            transitions: vec![NtaTransition { state: 0, label: 'b', children: vec![] }],
+            transitions: vec![NtaTransition {
+                state: 0,
+                label: 'b',
+                children: vec![],
+            }],
         };
         assert!(!aut.is_empty());
         assert!(!aut.is_infinite());
@@ -234,7 +244,11 @@ mod tests {
         let aut = Nta {
             num_states: 1,
             roots: vec![0],
-            transitions: vec![NtaTransition { state: 0, label: 'a', children: vec![0] }],
+            transitions: vec![NtaTransition {
+                state: 0,
+                label: 'a',
+                children: vec![0],
+            }],
         };
         assert!(aut.is_empty());
         assert!(!aut.is_infinite());
@@ -248,8 +262,16 @@ mod tests {
             num_states: 2,
             roots: vec![0],
             transitions: vec![
-                NtaTransition { state: 0, label: 'a', children: vec![1] },
-                NtaTransition { state: 1, label: 'a', children: vec![] },
+                NtaTransition {
+                    state: 0,
+                    label: 'a',
+                    children: vec![1],
+                },
+                NtaTransition {
+                    state: 1,
+                    label: 'a',
+                    children: vec![],
+                },
             ],
         };
         assert!(!aut.is_empty());
@@ -264,9 +286,21 @@ mod tests {
             num_states: 2,
             roots: vec![0],
             transitions: vec![
-                NtaTransition { state: 0, label: 'a', children: vec![] },
-                NtaTransition { state: 1, label: 'a', children: vec![1] },
-                NtaTransition { state: 1, label: 'a', children: vec![] },
+                NtaTransition {
+                    state: 0,
+                    label: 'a',
+                    children: vec![],
+                },
+                NtaTransition {
+                    state: 1,
+                    label: 'a',
+                    children: vec![1],
+                },
+                NtaTransition {
+                    state: 1,
+                    label: 'a',
+                    children: vec![],
+                },
             ],
         };
         assert!(!aut.is_empty());

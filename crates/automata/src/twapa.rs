@@ -207,10 +207,13 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
         let init = self.num_states + other.num_states;
         let mut delta: HashMap<(usize, L), Bf<Transition>> = self.delta.clone();
         for ((s, l), f) in &other.delta {
-            delta.insert((s + off, l.clone()), f.map(&mut |t| Transition {
-                state: t.state + off,
-                ..*t
-            }));
+            delta.insert(
+                (s + off, l.clone()),
+                f.map(&mut |t| Transition {
+                    state: t.state + off,
+                    ..*t
+                }),
+            );
         }
         let mut alphabet = self.alphabet.clone();
         for l in &other.alphabet {
@@ -220,12 +223,10 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
         }
         for l in &alphabet {
             let f1 = self.delta_of(self.initial, l);
-            let f2 = other
-                .delta_of(other.initial, l)
-                .map(&mut |t| Transition {
-                    state: t.state + off,
-                    ..*t
-                });
+            let f2 = other.delta_of(other.initial, l).map(&mut |t| Transition {
+                state: t.state + off,
+                ..*t
+            });
             delta.insert((init, l.clone()), f1.and(f2));
         }
         let mut priorities = self.priorities.clone();
@@ -319,16 +320,10 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
                     formula = formula.and(self.expand_downward(s, l, &mut chain)?);
                 }
                 for model in formula.minimal_models() {
-                    let universal: Vec<usize> = model
-                        .iter()
-                        .filter(|(e, _)| !e)
-                        .map(|&(_, s)| s)
-                        .collect();
-                    let existential: Vec<usize> = model
-                        .iter()
-                        .filter(|(e, _)| *e)
-                        .map(|&(_, s)| s)
-                        .collect();
+                    let universal: Vec<usize> =
+                        model.iter().filter(|(e, _)| !e).map(|&(_, s)| s).collect();
+                    let existential: Vec<usize> =
+                        model.iter().filter(|(e, _)| *e).map(|&(_, s)| s).collect();
                     for k in 0..=max_branching {
                         if k == 0 {
                             if !existential.is_empty() {
@@ -623,6 +618,9 @@ mod tests {
             alphabet: vec!['a'],
             delta: HashMap::new(),
         };
-        assert_eq!(aut.accepts(&LTree::new('a')), Err(TwapaError::MixedPriorities));
+        assert_eq!(
+            aut.accepts(&LTree::new('a')),
+            Err(TwapaError::MixedPriorities)
+        );
     }
 }

@@ -21,18 +21,8 @@ fn distribution_checks(c: &mut Criterion) {
     let mut g = c.benchmark_group("E11/distribution");
     g.sample_size(10);
     let cases = [
-        (
-            "connected",
-            "q :- E(X,Y), E(Y,Z)\n",
-            vec!["E"],
-            true,
-        ),
-        (
-            "disconnected",
-            "q :- P(X), T(Y)\n",
-            vec!["P", "T"],
-            false,
-        ),
+        ("connected", "q :- E(X,Y), E(Y,Z)\n", vec!["E"], true),
+        ("disconnected", "q :- P(X), T(Y)\n", vec!["P", "T"], false),
         (
             "rescued-by-ontology",
             "P(X) -> exists Y . T(Y)\nq :- P(X), T(Y)\n",

@@ -45,8 +45,7 @@ fn etp_containment(c: &mut Criterion) {
             b.iter(|| {
                 let mut voc = omqs.voc.clone();
                 let out =
-                    contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default())
-                        .unwrap();
+                    contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap();
                 assert_eq!(out.result.is_contained(), expected);
             })
         });

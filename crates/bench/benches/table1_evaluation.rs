@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use omq_bench::workloads::{
-    guarded_seed_db, guarded_workload, linear_workload, nr_workload, random_db,
-    sticky_workload,
+    guarded_seed_db, guarded_workload, linear_workload, nr_workload, random_db, sticky_workload,
 };
 use omq_core::{evaluate, EvalConfig, EvalGuarantee};
 

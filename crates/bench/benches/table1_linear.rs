@@ -16,8 +16,7 @@ fn containment_vs_chain(c: &mut Criterion) {
         g.bench_function(format!("chain={chain}"), |b| {
             b.iter(|| {
                 let mut voc = voc.clone();
-                let out =
-                    contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
+                let out = contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
                 assert!(out.result.is_contained());
             })
         });
@@ -33,8 +32,7 @@ fn containment_vs_query_size(c: &mut Criterion) {
         g.bench_function(format!("qlen={qlen}"), |b| {
             b.iter(|| {
                 let mut voc = voc.clone();
-                let out =
-                    contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
+                let out = contains(&q, &q, &mut voc, &ContainmentConfig::default()).unwrap();
                 assert!(out.result.is_contained());
             })
         });

@@ -14,8 +14,7 @@ fn witness_growth(c: &mut Criterion) {
         g.bench_function(format!("n={n}"), |b| {
             b.iter(|| {
                 let mut voc = voc.clone();
-                let out =
-                    contains(&q1, &q2, &mut voc, &ContainmentConfig::default()).unwrap();
+                let out = contains(&q1, &q2, &mut voc, &ContainmentConfig::default()).unwrap();
                 match out.result {
                     ContainmentResult::NotContained(w) => {
                         assert_eq!(w.database.len(), 1usize << n);

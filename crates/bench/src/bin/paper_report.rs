@@ -9,7 +9,7 @@ use omq_bench::workloads::{
     guarded_seed_db, guarded_workload, linear_workload, marking_chain, nr_workload, random_db,
     sticky_workload,
 };
-use omq_chase::{certain_answers_via_chase, ChaseConfig};
+use omq_chase::{certain_answers_via_chase, chase, ChaseConfig, ChaseVariant};
 use omq_classes::{is_sticky, marked_variables};
 use omq_core::{
     contains, distributes_over_components, evaluate, is_ucq_rewritable, ContainmentConfig,
@@ -21,9 +21,11 @@ use omq_rewrite::{
     bound_linear, bound_nonrecursive, bound_sticky, ucq_omq_to_cq_omq, xrewrite, XRewriteConfig,
 };
 
+type SectionBuilder = fn() -> Section;
+
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
-    let builders: Vec<(&str, fn() -> Section)> = vec![
+    let builders: Vec<(&str, SectionBuilder)> = vec![
         ("E1", e1_linear),
         ("E2", e2_sticky),
         ("E3", e3_nonrecursive),
@@ -35,6 +37,7 @@ fn main() {
         ("E9", e9_witnesses),
         ("E10", e10_ucq_to_cq),
         ("E11", e11_applications),
+        ("E12", e12_chase_counters),
     ];
     for (id, build) in builders {
         eprintln!("[paper_report] running {id}…");
@@ -121,7 +124,8 @@ fn e2_sticky() -> Section {
     Section {
         id: "E2",
         title: "Table 1 — sticky row (coNEXPTIME-c)",
-        expectation: "witness size and runtime blow up exponentially as the arity grows (Prop. 17/18)",
+        expectation:
+            "witness size and runtime blow up exponentially as the arity grows (Prop. 17/18)",
         rows,
     }
 }
@@ -148,7 +152,8 @@ fn e3_nonrecursive() -> Section {
     Section {
         id: "E3",
         title: "Table 1 — non-recursive row (PNEXP-hard, in EXPSPACE)",
-        expectation: "rewriting (hence witness) size doubles per stratum: |q|·(max body)^{|sch|} (Prop. 14)",
+        expectation:
+            "rewriting (hence witness) size doubles per stratum: |q|·(max body)^{|sch|} (Prop. 14)",
         rows,
     }
 }
@@ -181,7 +186,8 @@ fn e4_guarded() -> Section {
     Section {
         id: "E4",
         title: "Table 1 — guarded row (2EXPTIME-c)",
-        expectation: "stabilization depth (and cost) driven by |q|; double-exponential only in |q| and arity",
+        expectation:
+            "stabilization depth (and cost) driven by |q|; double-exponential only in |q| and arity",
         rows,
     }
 }
@@ -289,8 +295,9 @@ fn e7_tiling() -> Section {
         let expected = etp.has_solution();
         let omqs = etp_to_containment(&etp);
         let mut voc = omqs.voc.clone();
-        let (out, t) =
-            timed(|| contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap());
+        let (out, t) = timed(|| {
+            contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap()
+        });
         rows.push(row(
             "E7",
             label.into(),
@@ -389,8 +396,7 @@ fn e10_ucq_to_cq() -> Section {
         }
         let prog = parse_program(&text).unwrap();
         let mut voc = prog.voc.clone();
-        let schema =
-            Schema::from_preds((0..k).map(|i| voc.pred_id(&format!("A{i}")).unwrap()));
+        let schema = Schema::from_preds((0..k).map(|i| voc.pred_id(&format!("A{i}")).unwrap()));
         let q = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
         let (compiled, t) = timed(|| ucq_omq_to_cq_omq(&q, &mut voc).unwrap());
         // Sanity: same emptiness on a one-fact db.
@@ -398,8 +404,8 @@ fn e10_ucq_to_cq() -> Section {
         let a0 = voc.pred_id("A0").unwrap();
         let c = voc.constant("a");
         db.insert(Atom::new(a0, vec![Term::Const(c)]));
-        let ans = certain_answers_via_chase(&compiled, &db, &mut voc, &ChaseConfig::default())
-            .unwrap();
+        let ans =
+            certain_answers_via_chase(&compiled, &db, &mut voc, &ChaseConfig::default()).unwrap();
         rows.push(row(
             "E10",
             format!("disjuncts={k}"),
@@ -456,7 +462,60 @@ fn e11_applications() -> Section {
     Section {
         id: "E11",
         title: "Thm. 28 & §7.2 — distribution over components, UCQ rewritability",
-        expectation: "verdicts match the Prop. 27 characterization; decisions are fast on small OMQs",
+        expectation:
+            "verdicts match the Prop. 27 characterization; decisions are fast on small OMQs",
+        rows,
+    }
+}
+
+fn e12_chase_counters() -> Section {
+    let mut rows = Vec::new();
+    let fmt_stats = |s: &omq_chase::ChaseStats, atoms: usize| {
+        format!(
+            "rounds={}, triggers {} considered / {} fired, skips sat={} dedup={}, \
+             scanned={}, backtracks={}, atoms={atoms}",
+            s.rounds,
+            s.triggers_considered,
+            s.triggers_fired,
+            s.satisfied_skips,
+            s.dedup_hits,
+            s.candidates_scanned,
+            s.backtracks
+        )
+    };
+    for chain in [8usize, 32] {
+        let (lin, mut voc) = linear_workload(chain, 2);
+        let db = random_db(&lin, &mut voc, 12, 4, 7);
+        let (out, t) = timed(|| chase(&db, &lin.sigma, &mut voc, &ChaseConfig::with_depth(3)));
+        rows.push(row(
+            "E12",
+            format!("restricted,linear chain={chain}"),
+            ms(t),
+            fmt_stats(&out.stats, out.instance.len()),
+        ));
+    }
+    {
+        let (gu, mut voc) = guarded_workload(2);
+        let db = guarded_seed_db(&mut voc);
+        let cfg = ChaseConfig {
+            variant: ChaseVariant::Oblivious,
+            max_depth: Some(5),
+            ..Default::default()
+        };
+        let (out, t) = timed(|| chase(&db, &gu.sigma, &mut voc, &cfg));
+        rows.push(row(
+            "E12",
+            "oblivious,guarded depth≤5".into(),
+            ms(t),
+            fmt_stats(&out.stats, out.instance.len()),
+        ));
+    }
+    Section {
+        id: "E12",
+        title: "Chase engine — semi-naive work counters",
+        expectation:
+            "triggers considered stays near triggers fired (the delta restriction works); \
+             the final fixpoint round considers ~0 triggers",
         rows,
     }
 }

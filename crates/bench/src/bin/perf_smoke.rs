@@ -1,0 +1,121 @@
+//! A fixed, small benchmark sweep for regression tracking.
+//!
+//! Runs in well under a minute and writes `BENCH_chase.json` (an array of
+//! `{workload, wall_ms, triggers_fired, atoms}` records) to the current
+//! directory, or to the path given as the first argument. Timings are
+//! best-of-three; all workloads are deterministic, so the counter columns
+//! are exactly reproducible and any drift there is a semantics change, not
+//! noise.
+//!
+//! Two record families:
+//!
+//! * `chase:*` — a depth-budgeted chase of a deterministic random database
+//!   under the E1 (linear) family at chain ∈ {8, 16, 32} × query length
+//!   ∈ {2, 3}, plus the E4 (guarded) workload; `triggers_fired` and `atoms`
+//!   come from the engine's [`ChaseStats`].
+//! * `contains:*` — the E1 self-containment check at chain ∈ {8, 16, 32};
+//!   this path is rewriting-based, so the chase counters are zero. The
+//!   chain=32 row is the headline number tracked against the pre-semi-naive
+//!   baseline (≈4.5 ms on the reference machine).
+
+use std::time::Instant;
+
+use omq_bench::workloads::{guarded_seed_db, guarded_workload, linear_workload, random_db};
+use omq_chase::{chase, ChaseConfig, ChaseStats};
+use omq_core::{contains, ContainmentConfig};
+
+struct Record {
+    workload: String,
+    wall_ms: f64,
+    triggers_fired: usize,
+    atoms: usize,
+}
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (out.unwrap(), best)
+}
+
+fn chase_record(label: String, mk: impl Fn() -> (usize, ChaseStats)) -> Record {
+    let ((atoms, stats), wall_ms) = best_of(3, mk);
+    Record {
+        workload: label,
+        wall_ms,
+        triggers_fired: stats.triggers_fired,
+        atoms,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chase.json".into());
+    let mut records = Vec::new();
+
+    for chain in [8usize, 16, 32] {
+        for qlen in [2usize, 3] {
+            let (omq, voc) = linear_workload(chain, qlen);
+            records.push(chase_record(
+                format!("chase:E1 chain={chain} qlen={qlen}"),
+                || {
+                    let mut voc = voc.clone();
+                    let db = random_db(&omq, &mut voc, 12, 4, 7);
+                    let out = chase(&db, &omq.sigma, &mut voc, &ChaseConfig::with_depth(3));
+                    (out.instance.len(), out.stats)
+                },
+            ));
+        }
+    }
+    {
+        let (omq, voc) = guarded_workload(2);
+        records.push(chase_record("chase:E4 qlen=2".into(), || {
+            let mut voc = voc.clone();
+            let db = guarded_seed_db(&mut voc);
+            let out = chase(&db, &omq.sigma, &mut voc, &ChaseConfig::with_depth(6));
+            (out.instance.len(), out.stats)
+        }));
+    }
+
+    for chain in [8usize, 16, 32] {
+        let (omq, voc) = linear_workload(chain, 2);
+        let (checked, wall_ms) = best_of(3, || {
+            let mut voc = voc.clone();
+            let out = contains(&omq, &omq, &mut voc, &ContainmentConfig::default()).unwrap();
+            assert!(out.result.is_contained(), "E1 self-containment must hold");
+            out.witnesses_checked
+        });
+        let _ = checked;
+        records.push(Record {
+            workload: format!("contains:E1 chain={chain} qlen=2"),
+            wall_ms,
+            triggers_fired: 0,
+            atoms: 0,
+        });
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"triggers_fired\": {}, \"atoms\": {}}}{}\n",
+            r.workload,
+            r.wall_ms,
+            r.triggers_fired,
+            r.atoms,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<32} {:>9.3} ms  triggers={:<7} atoms={}",
+            r.workload, r.wall_ms, r.triggers_fired, r.atoms
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("writing benchmark output");
+    println!("wrote {out_path}");
+}

@@ -1,8 +1,7 @@
 //! Parameterized OMQ families for the benchmark suite.
 
+use omq_model::rng::SplitMix64;
 use omq_model::{Atom, Cq, Instance, Omq, Schema, Term, Tgd, Ucq, Vocabulary};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// E1 (Table 1, linear): a subclass chain of length `chain` feeding a
 /// role, queried by an `R`-path of length `qlen`.
@@ -114,8 +113,14 @@ pub fn guarded_workload(qlen: usize) -> (Omq, Vocabulary) {
 
 /// A random database over the data schema of `omq`: `size` facts over a
 /// domain of `domain` constants, deterministic in `seed`.
-pub fn random_db(omq: &Omq, voc: &mut Vocabulary, size: usize, domain: usize, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn random_db(
+    omq: &Omq,
+    voc: &mut Vocabulary,
+    size: usize,
+    domain: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let consts: Vec<_> = (0..domain)
         .map(|i| voc.constant(&format!("d{i}")))
         .collect();
@@ -127,9 +132,9 @@ pub fn random_db(omq: &Omq, voc: &mut Vocabulary, size: usize, domain: usize, se
     let mut attempts = 0usize;
     while db.len() < size && attempts < size.saturating_mul(64) {
         attempts += 1;
-        let p = preds[rng.random_range(0..preds.len())];
+        let p = preds[rng.below(preds.len())];
         let args = (0..voc.arity(p))
-            .map(|_| Term::Const(consts[rng.random_range(0..consts.len())]))
+            .map(|_| Term::Const(consts[rng.below(consts.len())]))
             .collect();
         db.insert(Atom::new(p, args));
     }
@@ -146,49 +151,6 @@ pub fn guarded_seed_db(voc: &mut Vocabulary) -> Instance {
         Term::Const(voc.constant("c")),
     );
     Instance::from_atoms([Atom::new(g, vec![a, b, c]), Atom::new(r, vec![a, b])])
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use omq_core::{detect_language, OmqLanguage};
-
-    #[test]
-    fn workloads_fall_in_their_languages() {
-        assert_eq!(
-            detect_language(&linear_workload(3, 2).0),
-            OmqLanguage::Linear
-        );
-        assert_eq!(detect_language(&nr_workload(3).0), OmqLanguage::NonRecursive);
-        // The counter family is both NR and sticky; detection prefers NR.
-        let (s, _) = sticky_workload(2);
-        let lang = detect_language(&s);
-        assert!(matches!(
-            lang,
-            OmqLanguage::NonRecursive | OmqLanguage::Sticky
-        ));
-        assert_eq!(detect_language(&guarded_workload(2).0), OmqLanguage::Guarded);
-    }
-
-    #[test]
-    fn random_db_is_over_schema() {
-        let (omq, mut voc) = linear_workload(2, 2);
-        let db = random_db(&omq, &mut voc, 20, 5, 7);
-        assert_eq!(db.len(), 20);
-        for a in db.atoms() {
-            assert!(omq.data_schema.contains(a.pred));
-        }
-        // Determinism.
-        let db2 = random_db(&omq, &mut voc, 20, 5, 7);
-        assert_eq!(db, db2);
-    }
-
-    #[test]
-    fn guarded_seed_matches_workload() {
-        let (omq, mut voc) = guarded_workload(2);
-        let db = guarded_seed_db(&mut voc);
-        assert!(db.atoms().iter().all(|a| omq.data_schema.contains(a.pred)));
-    }
 }
 
 /// E6 (Figure 1): a chain of `k` tgd pairs through which the marking
@@ -234,4 +196,53 @@ pub fn marking_chain(k: usize, keep_join: bool) -> (Vec<Tgd>, Vocabulary) {
         }
     }
     (sigma, voc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_core::{detect_language, OmqLanguage};
+
+    #[test]
+    fn workloads_fall_in_their_languages() {
+        assert_eq!(
+            detect_language(&linear_workload(3, 2).0),
+            OmqLanguage::Linear
+        );
+        assert_eq!(
+            detect_language(&nr_workload(3).0),
+            OmqLanguage::NonRecursive
+        );
+        // The counter family is both NR and sticky; detection prefers NR.
+        let (s, _) = sticky_workload(2);
+        let lang = detect_language(&s);
+        assert!(matches!(
+            lang,
+            OmqLanguage::NonRecursive | OmqLanguage::Sticky
+        ));
+        assert_eq!(
+            detect_language(&guarded_workload(2).0),
+            OmqLanguage::Guarded
+        );
+    }
+
+    #[test]
+    fn random_db_is_over_schema() {
+        let (omq, mut voc) = linear_workload(2, 2);
+        let db = random_db(&omq, &mut voc, 20, 5, 7);
+        assert_eq!(db.len(), 20);
+        for a in db.atoms() {
+            assert!(omq.data_schema.contains(a.pred));
+        }
+        // Determinism.
+        let db2 = random_db(&omq, &mut voc, 20, 5, 7);
+        assert_eq!(db, db2);
+    }
+
+    #[test]
+    fn guarded_seed_matches_workload() {
+        let (omq, mut voc) = guarded_workload(2);
+        let db = guarded_seed_db(&mut voc);
+        assert!(db.atoms().iter().all(|a| omq.data_schema.contains(a.pred)));
+    }
 }

@@ -1,0 +1,126 @@
+//! The parallel containment sweep must be bit-for-bit deterministic: with
+//! any thread count it returns the same verdict — and the same witness
+//! database, interned in the same order — as the sequential path.
+
+use omq_bench::workloads::{guarded_workload, linear_workload};
+use omq_core::{contains, ContainmentConfig, ContainmentResult};
+use omq_model::{Omq, Vocabulary};
+use omq_reductions::tiling::all_pairs;
+use omq_reductions::{etp_to_containment, prop15_family, Etp};
+
+fn cfg_with_threads(threads: usize) -> ContainmentConfig {
+    ContainmentConfig {
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Runs `contains(q1, q2)` sequentially and with a worker pool, asserts the
+/// outcomes are identical (including any witness), and returns the verdict.
+fn assert_deterministic(q1: &Omq, q2: &Omq, voc: &Vocabulary, label: &str) -> ContainmentResult {
+    let mut voc_seq = voc.clone();
+    let seq = contains(q1, q2, &mut voc_seq, &cfg_with_threads(1)).unwrap();
+    let mut voc_par = voc.clone();
+    let par = contains(q1, q2, &mut voc_par, &cfg_with_threads(8)).unwrap();
+    match (&seq.result, &par.result) {
+        (ContainmentResult::Contained, ContainmentResult::Contained) => {}
+        (ContainmentResult::Unknown(a), ContainmentResult::Unknown(b)) => {
+            assert_eq!(a, b, "{label}: Unknown reasons diverge");
+        }
+        (ContainmentResult::NotContained(w1), ContainmentResult::NotContained(w2)) => {
+            // The witness databases must list the same atoms in the same
+            // insertion order (the parallel replay reproduces the caller-side
+            // interning exactly); the Instance's internal hash indexes are
+            // not part of the contract.
+            assert_eq!(
+                w1.database.atoms(),
+                w2.database.atoms(),
+                "{label}: witness databases diverge"
+            );
+            assert_eq!(w1.tuple, w2.tuple, "{label}: witness tuples diverge");
+        }
+        (a, b) => panic!("{label}: verdicts diverge: sequential {a:?} vs parallel {b:?}"),
+    }
+    assert_eq!(
+        (seq.lhs_language, seq.rhs_language),
+        (par.lhs_language, par.rhs_language),
+        "{label}: detected languages diverge"
+    );
+    seq.result
+}
+
+#[test]
+fn linear_self_containment_is_deterministic() {
+    for (chain, qlen) in [(8, 2), (4, 3)] {
+        let (q, voc) = linear_workload(chain, qlen);
+        let r = assert_deterministic(&q, &q, &voc, &format!("E1 chain={chain} qlen={qlen}"));
+        assert!(r.is_contained(), "Q ⊆ Q must hold");
+    }
+}
+
+#[test]
+fn guarded_self_containment_is_deterministic() {
+    // The guarded path is anytime (sound but incomplete): the verdict may be
+    // Unknown, but it must never be a refutation — and whatever it is, the
+    // parallel sweep must reproduce it.
+    let (q, voc) = guarded_workload(2);
+    let r = assert_deterministic(&q, &q, &voc, "E4 qlen=2");
+    assert!(
+        !matches!(r, ContainmentResult::NotContained(_)),
+        "Q ⊆ Q must never be refuted, got {r:?}"
+    );
+}
+
+#[test]
+fn refutation_witness_is_deterministic() {
+    // Prop. 15 family: Q₁ ⊄ Q₂ with an exponential-size witness; the
+    // parallel sweep must reproduce the sequential witness exactly.
+    let (q1, q2, voc) = prop15_family(3);
+    let r = assert_deterministic(&q1, &q2, &voc, "prop15 n=3");
+    assert!(
+        matches!(r, ContainmentResult::NotContained(_)),
+        "expected a non-containment witness, got {r:?}"
+    );
+}
+
+#[test]
+fn propositional_enumeration_is_deterministic() {
+    let alt = vec![(1u8, 2u8), (2, 1)];
+    let cases = [
+        (
+            "yes",
+            Etp {
+                k: 1,
+                n: 1,
+                m: 2,
+                h1: all_pairs(2),
+                v1: all_pairs(2),
+                h2: alt.clone(),
+                v2: alt.clone(),
+            },
+            true,
+        ),
+        (
+            "no",
+            Etp {
+                k: 2,
+                n: 1,
+                m: 2,
+                h1: all_pairs(2),
+                v1: all_pairs(2),
+                h2: alt.clone(),
+                v2: alt,
+            },
+            false,
+        ),
+    ];
+    for (label, etp, expect_contained) in cases {
+        let omqs = etp_to_containment(&etp);
+        let r = assert_deterministic(&omqs.q1, &omqs.q2, &omqs.voc, &format!("E7 {label}"));
+        assert_eq!(
+            r.is_contained(),
+            expect_contained,
+            "E7 {label}: wrong verdict {r:?}"
+        );
+    }
+}

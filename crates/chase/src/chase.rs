@@ -17,7 +17,7 @@ use std::ops::ControlFlow;
 use omq_classes::stratify;
 use omq_model::{Instance, NullId, Term, Tgd, VarId, Vocabulary};
 
-use crate::hom::{find_hom, for_each_hom, Assignment};
+use crate::hom::{find_hom, for_each_hom_with_delta, Assignment, HomStats};
 
 /// Which chase variant to run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -82,6 +82,60 @@ pub struct ChaseOutcome {
     pub steps: usize,
     /// Depth of the deepest null created.
     pub deepest: usize,
+    /// Work counters for the run.
+    pub stats: ChaseStats,
+}
+
+/// Work counters for a chase run: how much the semi-naive engine actually
+/// did, as opposed to how long it took. Surfaced by `ChaseOutcome` and the
+/// benchmark reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Semi-naive rounds executed (including the final fixpoint round).
+    pub rounds: usize,
+    /// Triggers enumerated (delta-restricted body homomorphisms).
+    pub triggers_considered: usize,
+    /// Triggers fired (equals `ChaseOutcome::steps`).
+    pub triggers_fired: usize,
+    /// Oblivious-variant triggers skipped via the fingerprint set.
+    pub dedup_hits: usize,
+    /// Restricted-variant triggers skipped because the head was satisfied.
+    pub satisfied_skips: usize,
+    /// Candidate instance atoms inspected during homomorphism search.
+    pub candidates_scanned: u64,
+    /// Rolled-back candidate bindings during homomorphism search.
+    pub backtracks: u64,
+}
+
+impl ChaseStats {
+    /// Accumulates homomorphism-search counters.
+    fn absorb_hom(&mut self, h: HomStats) {
+        self.candidates_scanned += h.candidates_scanned;
+        self.backtracks += h.backtracks;
+    }
+}
+
+/// A 64-bit fingerprint of a trigger: the tgd index plus the body-variable
+/// image, mixed SplitMix64-style. Collisions would silently drop an
+/// oblivious-chase firing, but at 64 bits the chance is negligible for any
+/// feasible trigger count (~2⁻²⁴ even at a billion triggers).
+fn trigger_fingerprint(ti: usize, key: &[Term]) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(ti as u64 ^ 0xd6e8_feb8_6659_fd93);
+    for &t in key {
+        let enc = match t {
+            Term::Const(c) => u64::from(c.0) << 2,
+            Term::Null(n) => (u64::from(n.0) << 2) | 1,
+            Term::Var(v) => (u64::from(v.0) << 2) | 2,
+        };
+        h = mix(h ^ enc);
+    }
+    h
 }
 
 struct Runner<'a> {
@@ -90,14 +144,35 @@ struct Runner<'a> {
     cfg: &'a ChaseConfig,
     instance: Instance,
     depth: HashMap<NullId, usize>,
-    fired: HashSet<(usize, Vec<Term>)>,
+    /// Fingerprints of already-fired triggers (oblivious variant only; the
+    /// restricted variant's firing condition is the head-satisfaction check).
+    fired: HashSet<u64>,
     steps: usize,
     deepest: usize,
     /// Set when a trigger was skipped due to the depth budget.
     truncated: bool,
+    stats: ChaseStats,
+    /// Per-tgd body variables, computed once up front.
+    body_vars: Vec<Vec<VarId>>,
 }
 
 impl<'a> Runner<'a> {
+    fn new(db: &Instance, sigma: &'a [Tgd], voc: &'a mut Vocabulary, cfg: &'a ChaseConfig) -> Self {
+        Runner {
+            sigma,
+            voc,
+            cfg,
+            instance: db.clone(),
+            depth: HashMap::new(),
+            fired: HashSet::new(),
+            steps: 0,
+            deepest: 0,
+            truncated: false,
+            stats: ChaseStats::default(),
+            body_vars: sigma.iter().map(Tgd::body_vars).collect(),
+        }
+    }
+
     fn term_depth(&self, t: Term) -> usize {
         match t {
             Term::Null(n) => self.depth.get(&n).copied().unwrap_or(0),
@@ -105,16 +180,19 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Fires `tgd` on trigger `h` if the variant's condition allows; returns
-    /// whether the instance grew.
-    fn fire(&mut self, ti: usize, tgd: &Tgd, h: &Assignment, body_vars: &[VarId]) -> bool {
-        let key: Vec<Term> = body_vars
+    /// Fires tgd `ti` on trigger `h` if the variant's condition allows;
+    /// returns whether the instance grew.
+    fn fire(&mut self, ti: usize, h: &Assignment) -> bool {
+        let tgd = &self.sigma[ti];
+        let key: Vec<Term> = self.body_vars[ti]
             .iter()
             .map(|v| h.get(v).copied().unwrap_or(Term::Var(*v)))
             .collect();
+        let fp = trigger_fingerprint(ti, &key);
         match self.cfg.variant {
             ChaseVariant::Oblivious => {
-                if self.fired.contains(&(ti, key.clone())) {
+                if self.fired.contains(&fp) {
+                    self.stats.dedup_hits += 1;
                     return false;
                 }
             }
@@ -128,6 +206,7 @@ impl<'a> Runner<'a> {
                     }
                 }
                 if find_hom(&tgd.head, &self.instance, &seed).is_some() {
+                    self.stats.satisfied_skips += 1;
                     return false;
                 }
             }
@@ -160,46 +239,90 @@ impl<'a> Runner<'a> {
             });
             grew |= self.instance.insert(img);
         }
-        self.fired.insert((ti, key));
+        if self.cfg.variant == ChaseVariant::Oblivious {
+            self.fired.insert(fp);
+        }
         self.steps += 1;
+        self.stats.triggers_fired += 1;
         grew
     }
 
-    /// Runs rounds until fixpoint or budget exhaustion over the tgds whose
-    /// indices are in `active`.
+    /// Can any body atom of `tgd` map onto an atom at index `>= delta_start`?
+    /// Cheap per-predicate pre-filter for skipping whole tgds in a round.
+    fn body_touches_delta(&self, tgd: &Tgd, delta_start: usize) -> bool {
+        tgd.body.iter().any(|a| {
+            !self
+                .instance
+                .atoms_with_pred_from(a.pred, delta_start)
+                .is_empty()
+        })
+    }
+
+    /// Runs semi-naive rounds until fixpoint or budget exhaustion over the
+    /// tgds whose indices are in `active`.
+    ///
+    /// Round 0 enumerates every trigger; each later round only enumerates
+    /// triggers that touch the delta — the atoms inserted since the previous
+    /// round began. Because head satisfaction (restricted) and the fired set
+    /// (oblivious) are both monotone in the instance, a trigger skipped once
+    /// stays skippable, so old-only triggers never need revisiting.
     fn run(&mut self, active: &[usize]) -> bool {
+        let sigma = self.sigma;
+        // Atoms at or past this index are "new" for the current round.
+        let mut delta_start = 0usize;
+        let mut triggers: Vec<Assignment> = Vec::new();
         loop {
-            let mut grew = false;
+            self.stats.rounds += 1;
+            // Atoms inserted during this round carry a fresh generation; its
+            // start index is the next round's delta watermark.
+            let round_gen = self.instance.begin_generation();
+            let round_start = self.instance.generation_start(round_gen);
             for &ti in active {
-                let tgd = self.sigma[ti].clone();
-                let body_vars = tgd.body_vars();
+                let tgd = &sigma[ti];
+                if tgd.body.is_empty() {
+                    // Fact tgds have a single, empty trigger; it only exists
+                    // while the whole instance is the delta (round 0).
+                    if delta_start == 0 {
+                        if self.steps >= self.cfg.max_steps {
+                            return false;
+                        }
+                        self.stats.triggers_considered += 1;
+                        self.fire(ti, &Assignment::new());
+                    }
+                    continue;
+                }
+                if delta_start > 0 && !self.body_touches_delta(tgd, delta_start) {
+                    continue;
+                }
                 // Collect triggers against the current instance first, then
                 // fire, so the enumeration is not invalidated by inserts.
-                let mut triggers: Vec<Assignment> = Vec::new();
-                if tgd.body.is_empty() {
-                    triggers.push(Assignment::new());
-                } else {
-                    let _ = for_each_hom(
-                        &tgd.body,
-                        &self.instance,
-                        &Assignment::new(),
-                        |h| {
-                            triggers.push(h.clone());
-                            ControlFlow::<()>::Continue(())
-                        },
-                    );
-                }
-                for h in triggers {
+                triggers.clear();
+                let mut hstats = HomStats::default();
+                let _ = for_each_hom_with_delta(
+                    &tgd.body,
+                    &self.instance,
+                    &Assignment::new(),
+                    delta_start,
+                    &mut hstats,
+                    |h| {
+                        triggers.push(h.clone());
+                        ControlFlow::<()>::Continue(())
+                    },
+                );
+                self.stats.absorb_hom(hstats);
+                self.stats.triggers_considered += triggers.len();
+                for h in triggers.drain(..) {
                     if self.steps >= self.cfg.max_steps {
                         return false;
                     }
-                    grew |= self.fire(ti, &tgd, &h, &body_vars);
+                    self.fire(ti, &h);
                 }
             }
-            if !grew {
+            if self.instance.len() == round_start {
                 // Fixpoint, unless depth truncation hid some work.
                 return !self.truncated;
             }
+            delta_start = round_start;
         }
     }
 }
@@ -211,17 +334,7 @@ pub fn chase(
     voc: &mut Vocabulary,
     cfg: &ChaseConfig,
 ) -> ChaseOutcome {
-    let mut runner = Runner {
-        sigma,
-        voc,
-        cfg,
-        instance: db.clone(),
-        depth: HashMap::new(),
-        fired: HashSet::new(),
-        steps: 0,
-        deepest: 0,
-        truncated: false,
-    };
+    let mut runner = Runner::new(db, sigma, voc, cfg);
     let active: Vec<usize> = (0..sigma.len()).collect();
     let complete = runner.run(&active);
     ChaseOutcome {
@@ -229,6 +342,7 @@ pub fn chase(
         complete,
         steps: runner.steps,
         deepest: runner.deepest,
+        stats: runner.stats,
     }
 }
 
@@ -246,17 +360,7 @@ pub fn stratified_chase(
     cfg: &ChaseConfig,
 ) -> Option<ChaseOutcome> {
     let strata = stratify(sigma)?;
-    let mut runner = Runner {
-        sigma,
-        voc,
-        cfg,
-        instance: db.clone(),
-        depth: HashMap::new(),
-        fired: HashSet::new(),
-        steps: 0,
-        deepest: 0,
-        truncated: false,
-    };
+    let mut runner = Runner::new(db, sigma, voc, cfg);
     let mut complete = true;
     for stratum in &strata {
         complete &= runner.run(stratum);
@@ -266,6 +370,7 @@ pub fn stratified_chase(
         complete,
         steps: runner.steps,
         deepest: runner.deepest,
+        stats: runner.stats,
     })
 }
 
@@ -404,6 +509,45 @@ mod tests {
         let out = chase(&Instance::new(), &sigma, &mut voc, &ChaseConfig::default());
         assert!(out.complete);
         assert_eq!(out.instance.len(), 4);
+    }
+
+    #[test]
+    fn stats_count_rounds_and_triggers() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "E(X,Y) -> T(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "E(X,Y), T(Y,Z) -> T(X,Z)").unwrap(),
+        ];
+        let d = db(&mut voc, &["E(a,b)", "E(b,c)", "E(c,d)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::default());
+        assert!(out.complete);
+        assert_eq!(out.stats.triggers_fired, out.steps);
+        assert!(out.stats.rounds >= 3, "chain of 3 needs several rounds");
+        assert!(out.stats.triggers_considered >= out.stats.triggers_fired);
+        assert!(out.stats.candidates_scanned > 0);
+        // The restricted variant records its skips, not dedup hits.
+        assert_eq!(out.stats.dedup_hits, 0);
+    }
+
+    #[test]
+    fn oblivious_stats_record_dedup() {
+        let mut voc = Vocabulary::new();
+        // B(a) appears mid-round, so the trigger B(a) of the second tgd is
+        // enumerated both in the round that created it and in the next one;
+        // the second consideration must hit the fingerprint set.
+        let sigma = vec![
+            parse_tgd(&mut voc, "A(X) -> B(X)").unwrap(),
+            parse_tgd(&mut voc, "B(X) -> C(X)").unwrap(),
+        ];
+        let d = db(&mut voc, &["A(a)"]);
+        let cfg = ChaseConfig {
+            variant: ChaseVariant::Oblivious,
+            ..Default::default()
+        };
+        let out = chase(&d, &sigma, &mut voc, &cfg);
+        assert!(out.complete);
+        assert_eq!(out.stats.triggers_fired, 2);
+        assert!(out.stats.dedup_hits >= 1);
     }
 
     #[test]

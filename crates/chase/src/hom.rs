@@ -2,7 +2,7 @@
 //! instance, the workhorse behind CQ evaluation (paper §2), chase triggers,
 //! and Chandra–Merlin containment.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
 use omq_model::{Atom, Instance, Term, VarId};
@@ -10,6 +10,44 @@ use omq_model::{Atom, Instance, Term, VarId};
 /// A variable assignment: the mapping `h` restricted to variables. Constants
 /// are always mapped to themselves (homomorphisms are the identity on `C`).
 pub type Assignment = HashMap<VarId, Term>;
+
+/// Work counters for one or more homomorphism searches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HomStats {
+    /// Candidate instance atoms inspected while extending partial matches.
+    pub candidates_scanned: u64,
+    /// Candidate atoms rejected (bindings rolled back).
+    pub backtracks: u64,
+    /// Complete homomorphisms handed to the callback.
+    pub homs_found: u64,
+}
+
+impl HomStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: HomStats) {
+        self.candidates_scanned += other.candidates_scanned;
+        self.backtracks += other.backtracks;
+        self.homs_found += other.homs_found;
+    }
+}
+
+/// Sentinel for "no upper bound" in an atom's candidate index range.
+const NO_LIMIT: usize = usize::MAX;
+
+/// Restricts a sorted slice of atom indices to those in `[lo, hi)`.
+fn clamp(c: &[usize], lo: usize, hi: usize) -> &[usize] {
+    let start = if lo == 0 {
+        0
+    } else {
+        c.partition_point(|&i| i < lo)
+    };
+    let end = if hi == NO_LIMIT {
+        c.len()
+    } else {
+        c.partition_point(|&i| i < hi)
+    };
+    &c[start..end.max(start)]
+}
 
 /// Applies an assignment to a term (identity on constants and nulls;
 /// unbound variables stay put).
@@ -22,13 +60,20 @@ fn image(h: &Assignment, t: Term) -> Term {
 
 /// Orders atoms so that atoms sharing variables with already-placed atoms
 /// come early (greedy join ordering); reduces backtracking dramatically on
-/// chain/star queries.
-fn join_order(atoms: &[Atom], seed: &Assignment) -> Vec<usize> {
+/// chain/star queries. When `first` is given, that atom is pinned to the
+/// front (used to lead with the delta pivot, whose candidate set is small)
+/// and the greedy rule orders the rest.
+fn join_order(atoms: &[Atom], seed: &Assignment, first: Option<usize>) -> Vec<usize> {
     let n = atoms.len();
     let mut placed = vec![false; n];
-    let mut bound: Vec<VarId> = seed.keys().copied().collect();
+    let mut bound: HashSet<VarId> = seed.keys().copied().collect();
     let mut order = Vec::with_capacity(n);
-    for _ in 0..n {
+    if let Some(i) = first {
+        placed[i] = true;
+        order.push(i);
+        bound.extend(atoms[i].vars());
+    }
+    while order.len() < n {
         // Pick the unplaced atom with the most bound terms (constants and
         // bound variables), tie-breaking on fewer unbound variables.
         let mut best: Option<(usize, usize, usize)> = None; // (idx, bound#, unbound#)
@@ -61,11 +106,7 @@ fn join_order(atoms: &[Atom], seed: &Assignment) -> Vec<usize> {
         let (i, _, _) = best.unwrap();
         placed[i] = true;
         order.push(i);
-        for v in atoms[i].vars() {
-            if !bound.contains(&v) {
-                bound.push(v);
-            }
-        }
+        bound.extend(atoms[i].vars());
     }
     order
 }
@@ -81,70 +122,134 @@ pub fn for_each_hom<B>(
     seed: &Assignment,
     mut f: impl FnMut(&Assignment) -> ControlFlow<B>,
 ) -> ControlFlow<B> {
-    let order = join_order(atoms, seed);
-    let mut h = seed.clone();
-    fn rec<B>(
-        atoms: &[Atom],
-        order: &[usize],
-        depth: usize,
-        inst: &Instance,
-        h: &mut Assignment,
-        f: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
-    ) -> ControlFlow<B> {
-        if depth == order.len() {
-            return f(h);
+    let mut stats = HomStats::default();
+    for_each_hom_with_delta(atoms, inst, seed, 0, &mut stats, &mut f)
+}
+
+/// Like [`for_each_hom`], but restricted to homomorphisms whose image uses
+/// at least one atom with index `>= delta_start` — the "new" atoms of a
+/// semi-naive round. With `delta_start == 0` this is exactly
+/// [`for_each_hom`] (everything is new).
+///
+/// The delta constraint is enforced by pivoting: for each body-atom position
+/// `p`, one enumeration pass maps atoms before `p` into the old prefix
+/// (`< delta_start`), atom `p` into the delta (`>= delta_start`), and later
+/// atoms anywhere. Each qualifying homomorphism has exactly one first-new
+/// position, so the passes partition the delta-touching homomorphisms: no
+/// duplicates, no misses, no dedup set.
+///
+/// Work counters accumulate into `stats`.
+pub fn for_each_hom_with_delta<B>(
+    atoms: &[Atom],
+    inst: &Instance,
+    seed: &Assignment,
+    delta_start: usize,
+    stats: &mut HomStats,
+    mut f: impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    if delta_start == 0 {
+        let order = join_order(atoms, seed, None);
+        let ranges = vec![(0, NO_LIMIT); atoms.len()];
+        let mut h = seed.clone();
+        return rec(atoms, &order, &ranges, 0, inst, &mut h, stats, &mut f);
+    }
+    if delta_start >= inst.len() {
+        return ControlFlow::Continue(()); // no new atoms, hence no new homs
+    }
+    let mut ranges = vec![(0usize, NO_LIMIT); atoms.len()];
+    for pivot in 0..atoms.len() {
+        if inst
+            .atoms_with_pred_from(atoms[pivot].pred, delta_start)
+            .is_empty()
+        {
+            continue; // this pivot's delta slice is empty
         }
-        let a = &atoms[order[depth]];
-        // Candidate instance atoms: use the most selective index available.
-        let mut best: Option<&[usize]> = None;
-        for (pos, &t) in a.args.iter().enumerate() {
-            let ti = image(h, t);
-            if !ti.is_var() {
-                let c = inst.atoms_with_pred_term(a.pred, pos, ti);
-                if best.map_or(true, |b| c.len() < b.len()) {
-                    best = Some(c);
-                }
+        for (i, r) in ranges.iter_mut().enumerate() {
+            *r = match i.cmp(&pivot) {
+                std::cmp::Ordering::Less => (0, delta_start),
+                std::cmp::Ordering::Equal => (delta_start, NO_LIMIT),
+                std::cmp::Ordering::Greater => (0, NO_LIMIT),
+            };
+        }
+        let order = join_order(atoms, seed, Some(pivot));
+        let mut h = seed.clone();
+        rec(atoms, &order, &ranges, 0, inst, &mut h, stats, &mut f)?;
+    }
+    ControlFlow::Continue(())
+}
+
+/// The backtracking core: extends `h` atom by atom along `order`, drawing
+/// candidates from the most selective index restricted to the atom's
+/// `[lo, hi)` index range.
+#[allow(clippy::too_many_arguments)]
+fn rec<B>(
+    atoms: &[Atom],
+    order: &[usize],
+    ranges: &[(usize, usize)],
+    depth: usize,
+    inst: &Instance,
+    h: &mut Assignment,
+    stats: &mut HomStats,
+    f: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    if depth == order.len() {
+        stats.homs_found += 1;
+        return f(h);
+    }
+    let ai = order[depth];
+    let a = &atoms[ai];
+    let (lo, hi) = ranges[ai];
+    // Candidate instance atoms: use the most selective index available.
+    let mut best: Option<&[usize]> = None;
+    for (pos, &t) in a.args.iter().enumerate() {
+        let ti = image(h, t);
+        if !ti.is_var() {
+            let c = clamp(inst.atoms_with_pred_term(a.pred, pos, ti), lo, hi);
+            if best.is_none_or(|b| c.len() < b.len()) {
+                best = Some(c);
             }
         }
-        let candidates = best.unwrap_or_else(|| inst.atoms_with_pred(a.pred));
-        'cands: for &ci in candidates {
-            let cand = inst.atom(ci);
-            let mut newly: Vec<VarId> = Vec::new();
-            for (&pat, &val) in a.args.iter().zip(&cand.args) {
-                match pat {
-                    Term::Var(v) => match h.get(&v) {
-                        Some(&bound) => {
-                            if bound != val {
-                                for w in newly.drain(..) {
-                                    h.remove(&w);
-                                }
-                                continue 'cands;
-                            }
-                        }
-                        None => {
-                            h.insert(v, val);
-                            newly.push(v);
-                        }
-                    },
-                    t => {
-                        if t != val {
+    }
+    let candidates = best.unwrap_or_else(|| clamp(inst.atoms_with_pred(a.pred), lo, hi));
+    'cands: for &ci in candidates {
+        stats.candidates_scanned += 1;
+        let cand = inst.atom(ci);
+        let mut newly: Vec<VarId> = Vec::new();
+        for (&pat, &val) in a.args.iter().zip(&cand.args) {
+            match pat {
+                Term::Var(v) => match h.get(&v) {
+                    Some(&bound) => {
+                        if bound != val {
                             for w in newly.drain(..) {
                                 h.remove(&w);
                             }
+                            stats.backtracks += 1;
                             continue 'cands;
                         }
                     }
+                    None => {
+                        h.insert(v, val);
+                        newly.push(v);
+                    }
+                },
+                t => {
+                    if t != val {
+                        for w in newly.drain(..) {
+                            h.remove(&w);
+                        }
+                        stats.backtracks += 1;
+                        continue 'cands;
+                    }
                 }
             }
-            let res = rec(atoms, order, depth + 1, inst, h, f);
-            for w in newly.drain(..) {
-                h.remove(&w);
-            }
-            res?;
         }
-        ControlFlow::Continue(())
+        let res = rec(atoms, order, ranges, depth + 1, inst, h, stats, f);
+        for w in newly.drain(..) {
+            h.remove(&w);
+        }
+        res?;
     }
-    rec(atoms, &order, 0, inst, &mut h, &mut f)
+    ControlFlow::Continue(())
 }
 
 /// Finds one homomorphism from `atoms` into `inst` extending `seed`.
@@ -260,11 +365,100 @@ mod tests {
     }
 
     #[test]
+    fn delta_enumeration_partitions_new_homs() {
+        let mut voc = Vocabulary::new();
+        let mut d = db(&mut voc, &["R(a,b)", "R(b,c)"]);
+        let (_, q) = parse_query(&mut voc, "q(X,Z) :- R(X,Y), R(Y,Z)").unwrap();
+        // Baseline: one hom (a,b,c).
+        let delta_start = d.len();
+        // Add R(c,d): the new homs are exactly those using it.
+        let t = omq_model::parse_tgd(&mut voc, "true -> R(c,d)").unwrap();
+        for a in t.head {
+            d.insert(a);
+        }
+        let mut stats = HomStats::default();
+        let mut delta_homs = 0;
+        let _ = for_each_hom_with_delta(
+            &q.body,
+            &d,
+            &Assignment::new(),
+            delta_start,
+            &mut stats,
+            |_| {
+                delta_homs += 1;
+                ControlFlow::<()>::Continue(())
+            },
+        );
+        // Only (b,c,d) is new; (a,b,c) predates the watermark.
+        assert_eq!(delta_homs, 1);
+        assert_eq!(stats.homs_found, 1);
+        assert!(stats.candidates_scanned > 0);
+        // Full enumeration still sees both.
+        let mut all = 0;
+        let _ = for_each_hom(&q.body, &d, &Assignment::new(), |_| {
+            all += 1;
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(all, 2);
+    }
+
+    #[test]
+    fn delta_enumeration_no_duplicates_on_multi_new() {
+        // Both body atoms can map into the delta; the pivot decomposition
+        // must yield each new hom exactly once.
+        let mut voc = Vocabulary::new();
+        let mut d = db(&mut voc, &["P(z)"]);
+        let delta_start = d.len();
+        for f in ["R(a,b)", "R(b,c)", "R(c,a)"] {
+            let t = omq_model::parse_tgd(&mut voc, &format!("true -> {f}")).unwrap();
+            for a in t.head {
+                d.insert(a);
+            }
+        }
+        let (_, q) = parse_query(&mut voc, "q(X,Z) :- R(X,Y), R(Y,Z)").unwrap();
+        let mut stats = HomStats::default();
+        let mut seen = Vec::new();
+        let _ = for_each_hom_with_delta(
+            &q.body,
+            &d,
+            &Assignment::new(),
+            delta_start,
+            &mut stats,
+            |h| {
+                let mut tuple: Vec<String> =
+                    h.iter().map(|(k, v)| format!("{k:?}->{v:?}")).collect();
+                tuple.sort();
+                seen.push(tuple);
+                ControlFlow::<()>::Continue(())
+            },
+        );
+        let n = seen.len();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "pivot passes must not duplicate homs");
+        assert_eq!(n, 3, "the 3-cycle has 3 R-R paths, all new");
+    }
+
+    #[test]
+    fn delta_enumeration_empty_when_no_new_atoms() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["R(a,b)"]);
+        let (_, q) = parse_query(&mut voc, "q :- R(X,Y)").unwrap();
+        let mut stats = HomStats::default();
+        let mut count = 0;
+        let _ =
+            for_each_hom_with_delta(&q.body, &d, &Assignment::new(), d.len(), &mut stats, |_| {
+                count += 1;
+                ControlFlow::<()>::Continue(())
+            });
+        assert_eq!(count, 0);
+        assert_eq!(stats.candidates_scanned, 0);
+    }
+
+    #[test]
     fn larger_join_uses_program_parser() {
-        let prog = parse_program(
-            "q(X,Z) :- E(X,Y), E(Y,Z), Color(X, red), Color(Z, red)\n",
-        )
-        .unwrap();
+        let prog =
+            parse_program("q(X,Z) :- E(X,Y), E(Y,Z), Color(X, red), Color(Z, red)\n").unwrap();
         let mut voc = prog.voc.clone();
         let d = db(
             &mut voc,

@@ -22,10 +22,10 @@ pub mod eval;
 pub mod hom;
 pub mod omq_eval;
 
-pub use chase::{chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseVariant};
+pub use chase::{chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 pub use cq_ops::{
     cq_contained, cq_core, cq_core_budgeted, cq_equivalent, cq_isomorphic, ucq_contained,
 };
 pub use eval::{eval_cq, eval_ucq, holds_cq, holds_ucq};
-pub use hom::{find_hom, for_each_hom, Assignment};
+pub use hom::{find_hom, for_each_hom, for_each_hom_with_delta, Assignment, HomStats};
 pub use omq_eval::{certain_answers_via_chase, critical_instance, EvalError};

@@ -118,8 +118,7 @@ mod tests {
             prog.query("q").unwrap().clone(),
         );
         let d = db(&mut voc, &["Emp(alice)", "Works(bob, sales)"]);
-        let ans =
-            certain_answers_via_chase(&omq, &d, &mut voc, &ChaseConfig::default()).unwrap();
+        let ans = certain_answers_via_chase(&omq, &d, &mut voc, &ChaseConfig::default()).unwrap();
         // alice's department is a null => only bob is a certain answer...
         // but alice still matches q because Works(alice,⊥), Unit(⊥) holds
         // and X binds to alice (a constant).

@@ -81,12 +81,7 @@ fn stratum_of_preds(sigma: &[Tgd]) -> Option<HashMap<PredId, usize>> {
     // consistent µ with body-strata < head-strata, which inverted height
     // provides.
     let maxh = depth.values().copied().max().unwrap_or(0);
-    Some(
-        depth
-            .into_iter()
-            .map(|(p, h)| (p, maxh - h))
-            .collect(),
-    )
+    Some(depth.into_iter().map(|(p, h)| (p, maxh - h)).collect())
 }
 
 /// Computes a stratification `{Σ₁, …, Σₙ}` of `Σ` (Def. 3 / Lemma 32): a
@@ -97,9 +92,7 @@ fn stratum_of_preds(sigma: &[Tgd]) -> Option<HashMap<PredId, usize>> {
 /// This is the layering used by the stratified chase: processing strata in
 /// order and saturating each one visits every derivable atom exactly once.
 pub fn stratify(sigma: &[Tgd]) -> Option<Vec<Vec<usize>>> {
-    if stratum_of_preds(sigma).is_none() {
-        return None;
-    }
+    stratum_of_preds(sigma)?;
     // Tgd-dependency graph: i → j when a head predicate of i is a body
     // predicate of j. Acyclic iff the predicate graph is (each tgd edge
     // corresponds to a predicate-graph edge and vice versa).

@@ -80,8 +80,7 @@ mod tests {
     #[test]
     fn preserves_guarded() {
         let mut voc = Vocabulary::new();
-        let sigma =
-            vec![parse_tgd(&mut voc, "G(X,Y), P(X) -> exists Z . R(X,Z), S(Z,Y)").unwrap()];
+        let sigma = vec![parse_tgd(&mut voc, "G(X,Y), P(X) -> exists Z . R(X,Z), S(Z,Y)").unwrap()];
         assert!(is_guarded(&sigma));
         let n = normalize_heads(&mut voc, &sigma);
         assert!(is_guarded(&n));

@@ -173,11 +173,7 @@ mod tests {
             Trool::False
         );
         // Asking for a predicate nothing can derive: unsatisfiable.
-        let (q2, mut voc2) = omq(
-            "P(X) -> exists Y . R(X,Y)\nq :- Z0(X)\n",
-            &["P"],
-            "q",
-        );
+        let (q2, mut voc2) = omq("P(X) -> exists Y . R(X,Y)\nq :- Z0(X)\n", &["P"], "q");
         assert_eq!(
             is_unsatisfiable(&q2, &mut voc2, &EvalConfig::default()),
             Trool::True
@@ -188,8 +184,7 @@ mod tests {
     #[test]
     fn connected_query_distributes() {
         let (q, mut voc) = omq("q :- E(X,Y), E(Y,Z)\n", &["E"], "q");
-        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default())
-            .unwrap();
+        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default()).unwrap();
         assert!(matches!(r, DistributionResult::Distributes));
     }
 
@@ -199,8 +194,7 @@ mod tests {
     #[test]
     fn disconnected_conjunction_does_not_distribute() {
         let (q, mut voc) = omq("q :- P(X), T(Y)\n", &["P", "T"], "q");
-        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default())
-            .unwrap();
+        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default()).unwrap();
         assert!(matches!(r, DistributionResult::DoesNotDistribute), "{r:?}");
     }
 
@@ -214,8 +208,7 @@ mod tests {
             &["P", "T"],
             "q",
         );
-        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default())
-            .unwrap();
+        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default()).unwrap();
         assert!(matches!(r, DistributionResult::Distributes), "{r:?}");
     }
 
@@ -224,8 +217,7 @@ mod tests {
     fn unsatisfiable_distributes() {
         // Z9 is not in the data schema and no tgd derives it.
         let (q, mut voc) = omq("q :- Z0(X), Z9(Y)\n", &["Z0"], "q");
-        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default())
-            .unwrap();
+        let r = distributes_over_components(&q, &mut voc, &ContainmentConfig::default()).unwrap();
         assert!(matches!(r, DistributionResult::Distributes));
     }
 
@@ -233,8 +225,7 @@ mod tests {
     fn ucq_query_rejected_for_distribution() {
         let (q, mut voc) = omq("q :- P(X)\nq :- T(X)\n", &["P", "T"], "q");
         assert_eq!(
-            distributes_over_components(&q, &mut voc, &ContainmentConfig::default())
-                .unwrap_err(),
+            distributes_over_components(&q, &mut voc, &ContainmentConfig::default()).unwrap_err(),
             AppsError::NotACq
         );
     }

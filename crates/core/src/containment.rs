@@ -29,7 +29,10 @@
 //! with the budgets spent.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use omq_chase::eval::is_answer_ucq;
 use omq_model::{ConstId, Cq, Instance, Vocabulary};
 use omq_model::{Omq, Ucq};
 use omq_rewrite::{xrewrite, RewriteError, XRewriteConfig};
@@ -104,6 +107,12 @@ pub struct ContainmentConfig {
     /// enumerating all `2^|S|` databases — exact and usually much cheaper
     /// than rewriting. Set to 0 to disable.
     pub max_propositional_schema: usize,
+    /// Worker threads for the disjunct sweep and the propositional
+    /// enumeration. `0` means "use the machine's available parallelism";
+    /// `1` forces the sequential path. The parallel sweep is deterministic:
+    /// it reproduces the sequential verdict and witness exactly (the
+    /// lowest-index refutation wins).
+    pub threads: usize,
 }
 
 impl Default for ContainmentConfig {
@@ -113,8 +122,18 @@ impl Default for ContainmentConfig {
             eval: EvalConfig::default(),
             anytime_budgets: vec![50, 500, 2_000, 8_000],
             max_propositional_schema: 12,
+            threads: 0,
         }
     }
+}
+
+/// Resolves the worker count for `work` independent checks.
+fn effective_threads(cfg: &ContainmentConfig, work: usize) -> usize {
+    let t = match cfg.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
+    };
+    t.min(work).max(1)
 }
 
 /// Statistics and result of one containment check.
@@ -133,43 +152,202 @@ pub struct ContainmentOutcome {
     pub max_witness_size: usize,
 }
 
-/// Tests the frozen disjuncts of `rw` against `q2`. Returns a witness on
-/// refutation, `Ok(None)` when all disjuncts pass, or `Err(reason)` when an
-/// evaluation was inconclusive.
+/// How the right-hand side is evaluated on each frozen disjunct.
+///
+/// For UCQ-rewritable `Q₂` (`∅`, `L`, `S`) the rewriting is computed *once*
+/// per containment call and every disjunct check becomes a seeded UCQ
+/// membership test — previously each check re-ran the rewriting from
+/// scratch, which dominated the containment wall-clock on linear workloads.
+/// Other languages dispatch through [`is_certain_answer`] per disjunct.
+enum RhsChecker {
+    /// The (possibly partial) rewriting of `Q₂`, computed once.
+    Rewritten { ucq: Ucq, complete: bool },
+    /// Per-disjunct dispatch on `Q₂`'s language (NR, guarded, full, …).
+    Direct,
+}
+
+/// The verdict of one disjunct check.
+enum DisjunctVerdict {
+    Pass,
+    Refuted,
+    Inconclusive(String),
+}
+
+impl RhsChecker {
+    /// Builds the checker, computing `Q₂`'s rewriting up front when its
+    /// language is UCQ-rewritable. `reuse` supplies an already-computed
+    /// rewriting of `Q₂` (e.g. the left-hand side's, when `Q₁ == Q₂`).
+    fn build(
+        q2: &Omq,
+        rhs_language: OmqLanguage,
+        reuse: Option<(&Ucq, bool)>,
+        voc: &mut Vocabulary,
+        cfg: &ContainmentConfig,
+    ) -> RhsChecker {
+        match rhs_language {
+            OmqLanguage::Empty | OmqLanguage::Linear | OmqLanguage::Sticky => {
+                if let Some((ucq, complete)) = reuse {
+                    return RhsChecker::Rewritten {
+                        ucq: ucq.clone(),
+                        complete,
+                    };
+                }
+                match xrewrite(q2, voc, &cfg.eval.rewrite) {
+                    Ok(out) => RhsChecker::Rewritten {
+                        ucq: out.ucq,
+                        complete: true,
+                    },
+                    Err(RewriteError::BudgetExceeded(partial)) => RhsChecker::Rewritten {
+                        ucq: partial.ucq,
+                        complete: false,
+                    },
+                }
+            }
+            _ => RhsChecker::Direct,
+        }
+    }
+
+    /// Checks one already-frozen disjunct (canonical database plus frozen
+    /// head tuple) against `Q₂`.
+    fn check_one(
+        &self,
+        db: &Instance,
+        tuple: &[ConstId],
+        q2: &Omq,
+        voc: &mut Vocabulary,
+        cfg: &ContainmentConfig,
+    ) -> DisjunctVerdict {
+        let inconclusive = || {
+            DisjunctVerdict::Inconclusive(format!(
+                "evaluation of the right-hand side on a {}-atom witness was inconclusive",
+                db.len()
+            ))
+        };
+        match self {
+            RhsChecker::Rewritten { ucq, complete } => {
+                if is_answer_ucq(ucq, db, tuple) {
+                    DisjunctVerdict::Pass
+                } else if *complete {
+                    DisjunctVerdict::Refuted
+                } else {
+                    // A partial rewriting is sound but incomplete: a miss
+                    // proves nothing.
+                    inconclusive()
+                }
+            }
+            RhsChecker::Direct => match is_certain_answer(q2, db, tuple, voc, &cfg.eval) {
+                Trool::True => DisjunctVerdict::Pass,
+                Trool::False => DisjunctVerdict::Refuted,
+                Trool::Unknown => inconclusive(),
+            },
+        }
+    }
+}
+
+/// Tests the frozen disjuncts of the left-hand rewriting against `q2`.
+/// Returns a witness on refutation, `Ok(None)` when all disjuncts pass, or
+/// `Err(reason)` when an evaluation was inconclusive.
+///
+/// With more than one worker the sweep fans the per-disjunct checks across
+/// a scoped thread pool. The parallel path is deterministic: the verdict is
+/// decided by the *lowest-index* refutation (matching the sequential scan),
+/// an `AtomicBool` cancels workers early once a refutation exists, and the
+/// winning witness is re-frozen in the caller's vocabulary so its constants
+/// are interned exactly as a sequential run would have.
 fn check_disjuncts(
     disjuncts: &[Cq],
+    rhs: &RhsChecker,
     q2: &Omq,
     voc: &mut Vocabulary,
     cfg: &ContainmentConfig,
     stats: &mut (usize, usize),
 ) -> Result<Option<Witness>, String> {
-    let mut inconclusive: Option<String> = None;
-    for d in disjuncts {
-        stats.0 += 1;
-        stats.1 = stats.1.max(d.num_atoms());
-        let (db, tuple) = d.freeze(voc);
-        match is_certain_answer(q2, &db, &tuple, voc, &cfg.eval) {
-            Trool::True => {}
-            Trool::False => {
-                // A definite refutation wins even if earlier disjuncts were
-                // inconclusive: the witness is sound on its own.
-                return Ok(Some(Witness {
-                    database: db,
-                    tuple,
-                }));
-            }
-            Trool::Unknown => {
-                inconclusive.get_or_insert_with(|| {
-                    format!(
-                        "evaluation of the right-hand side on a {}-atom witness                          was inconclusive",
-                        d.num_atoms()
-                    )
-                });
+    let threads = effective_threads(cfg, disjuncts.len());
+    if threads <= 1 {
+        let mut inconclusive: Option<String> = None;
+        for d in disjuncts {
+            stats.0 += 1;
+            stats.1 = stats.1.max(d.num_atoms());
+            let (db, tuple) = d.freeze(voc);
+            match rhs.check_one(&db, &tuple, q2, voc, cfg) {
+                DisjunctVerdict::Pass => {}
+                DisjunctVerdict::Refuted => {
+                    // A definite refutation wins even if earlier disjuncts
+                    // were inconclusive: the witness is sound on its own.
+                    return Ok(Some(Witness {
+                        database: db,
+                        tuple,
+                    }));
+                }
+                DisjunctVerdict::Inconclusive(reason) => {
+                    inconclusive.get_or_insert(reason);
+                }
             }
         }
+        return match inconclusive {
+            Some(reason) => Err(reason),
+            None => Ok(None),
+        };
     }
-    match inconclusive {
-        Some(reason) => Err(reason),
+
+    let next = AtomicUsize::new(0);
+    let best_refuted = AtomicUsize::new(usize::MAX);
+    let cancel = AtomicBool::new(false);
+    let checked = AtomicUsize::new(0);
+    let max_size = AtomicUsize::new(0);
+    let inconclusive: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let mut wvoc = voc.clone();
+            let (next, best_refuted, cancel) = (&next, &best_refuted, &cancel);
+            let (checked, max_size, inconclusive) = (&checked, &max_size, &inconclusive);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= disjuncts.len() {
+                    break;
+                }
+                // Early cancel: once some refutation exists, only indices
+                // below it can still change the outcome.
+                if cancel.load(Ordering::Relaxed) && i > best_refuted.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let d = &disjuncts[i];
+                checked.fetch_add(1, Ordering::Relaxed);
+                max_size.fetch_max(d.num_atoms(), Ordering::Relaxed);
+                let (db, tuple) = d.freeze(&mut wvoc);
+                match rhs.check_one(&db, &tuple, q2, &mut wvoc, cfg) {
+                    DisjunctVerdict::Pass => {}
+                    DisjunctVerdict::Refuted => {
+                        best_refuted.fetch_min(i, Ordering::Relaxed);
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    DisjunctVerdict::Inconclusive(reason) => {
+                        let mut slot = inconclusive.lock().unwrap();
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, reason));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    stats.0 += checked.load(Ordering::Relaxed);
+    stats.1 = stats.1.max(max_size.load(Ordering::Relaxed));
+
+    let best = best_refuted.load(Ordering::Relaxed);
+    if best != usize::MAX {
+        // Replay the freezes up to the winner in the caller's vocabulary:
+        // constants are interned in the same order as a sequential run, so
+        // the witness is bit-for-bit identical.
+        let mut witness = None;
+        for d in &disjuncts[..=best] {
+            witness = Some(d.freeze(voc));
+        }
+        let (database, tuple) = witness.expect("non-empty prefix");
+        return Ok(Some(Witness { database, tuple }));
+    }
+    match inconclusive.into_inner().unwrap() {
+        Some((_, reason)) => Err(reason),
         None => Ok(None),
     }
 }
@@ -187,7 +365,13 @@ pub fn contains(
         return Err(ContainmentError::ArityMismatch);
     }
     let lhs_language = detect_language(q1);
-    let rhs_language = detect_language(q2);
+    // Self-containment (the equivalence check `Q ⊑ Q`) is common enough to
+    // skip re-detecting the identical right-hand side.
+    let rhs_language = if q1 == q2 {
+        lhs_language
+    } else {
+        detect_language(q2)
+    };
     let mut stats = (0usize, 0usize);
 
     if let Some(result) = propositional_enumeration(q1, q2, voc, cfg, &mut stats) {
@@ -201,26 +385,28 @@ pub fn contains(
     }
 
     let result = if lhs_language.is_ucq_rewritable() {
-        match xrewrite(q1, voc, &cfg.rewrite) {
-            Ok(out) => match check_disjuncts(&out.ucq.disjuncts, q2, voc, cfg, &mut stats) {
-                Ok(Some(w)) => ContainmentResult::NotContained(w),
-                Ok(None) => ContainmentResult::Contained,
-                Err(reason) => ContainmentResult::Unknown(reason),
-            },
-            Err(RewriteError::BudgetExceeded(partial)) => {
-                // Should not happen for genuinely rewritable classes, but
-                // budgets are budgets: fall back to sound refutation.
-                match check_disjuncts(&partial.ucq.disjuncts, q2, voc, cfg, &mut stats) {
-                    Ok(Some(w)) => ContainmentResult::NotContained(w),
-                    Ok(None) => ContainmentResult::Unknown(
-                        "rewriting budget exceeded on a UCQ-rewritable input".into(),
-                    ),
-                    Err(reason) => ContainmentResult::Unknown(reason),
-                }
-            }
+        // `complete == false` should not happen for genuinely rewritable
+        // classes, but budgets are budgets: a partial rewriting still
+        // supports sound refutation.
+        let (lhs_ucq, lhs_complete) = match xrewrite(q1, voc, &cfg.rewrite) {
+            Ok(out) => (out.ucq, true),
+            Err(RewriteError::BudgetExceeded(partial)) => (partial.ucq, false),
+        };
+        // When both sides are the same OMQ (self-containment, the inner
+        // half of every equivalence check) the left rewriting *is* the
+        // right one: reuse it instead of rewriting again.
+        let reuse = (lhs_complete && q1 == q2).then_some((&lhs_ucq, true));
+        let rhs = RhsChecker::build(q2, rhs_language, reuse, voc, cfg);
+        match check_disjuncts(&lhs_ucq.disjuncts, &rhs, q2, voc, cfg, &mut stats) {
+            Ok(Some(w)) => ContainmentResult::NotContained(w),
+            Ok(None) if lhs_complete => ContainmentResult::Contained,
+            Ok(None) => ContainmentResult::Unknown(
+                "rewriting budget exceeded on a UCQ-rewritable input".into(),
+            ),
+            Err(reason) => ContainmentResult::Unknown(reason),
         }
     } else {
-        anytime_guarded(q1, q2, voc, cfg, &mut stats)
+        anytime_guarded(q1, q2, rhs_language, voc, cfg, &mut stats)
     };
 
     Ok(ContainmentOutcome {
@@ -253,40 +439,118 @@ fn propositional_enumeration(
     {
         return None;
     }
-    for mask in 0u64..(1u64 << preds.len()) {
-        let db = Instance::from_atoms(
+
+    /// What checking one mask concluded (beyond "Q₁(D) ⊆ Q₂(D) here").
+    enum MaskEvent {
+        /// An evaluation lacked a completeness guarantee: fall back to the
+        /// general algorithms.
+        Fallback,
+        /// A tuple in `Q₁(D) \ Q₂(D)`: non-containment.
+        Counterexample(Box<Witness>),
+    }
+
+    let mask_db = |mask: u64| {
+        Instance::from_atoms(
             preds
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| mask >> i & 1 == 1)
                 .map(|(_, &p)| omq_model::Atom::new(p, vec![])),
-        );
-        stats.0 += 1;
-        stats.1 = stats.1.max(db.len());
+        )
+    };
+    // Checks one database; all-propositional schemas make the witness
+    // tuple-free of interning concerns (0-ary atoms, Boolean queries), so
+    // workers can build complete witnesses in their own vocabulary clones.
+    // `min()` (rather than an arbitrary set-iteration pick) keeps the
+    // chosen tuple deterministic.
+    let check_mask = |mask: u64, voc: &mut Vocabulary| -> Option<MaskEvent> {
+        let db = mask_db(mask);
         let a1 = crate::evaluate::evaluate(q1, &db, voc, &cfg.eval);
         let a2 = crate::evaluate::evaluate(q2, &db, voc, &cfg.eval);
         use crate::evaluate::EvalGuarantee::SoundLowerBound;
         if a1.guarantee == SoundLowerBound || a2.guarantee == SoundLowerBound {
-            return None; // cannot certify either direction: fall back
+            return Some(MaskEvent::Fallback);
         }
-        if let Some(tuple) = a1.answers.difference(&a2.answers).next() {
-            return Some(ContainmentResult::NotContained(Witness {
+        a1.answers.difference(&a2.answers).min().map(|tuple| {
+            MaskEvent::Counterexample(Box::new(Witness {
                 database: db,
                 tuple: tuple.clone(),
-            }));
+            }))
+        })
+    };
+
+    let n_masks = 1usize << preds.len();
+    let threads = effective_threads(cfg, n_masks);
+    if threads <= 1 {
+        for mask in 0..n_masks as u64 {
+            stats.0 += 1;
+            stats.1 = stats.1.max(mask.count_ones() as usize);
+            match check_mask(mask, voc) {
+                Some(MaskEvent::Fallback) => return None,
+                Some(MaskEvent::Counterexample(w)) => {
+                    return Some(ContainmentResult::NotContained(*w))
+                }
+                None => {}
+            }
         }
+        return Some(ContainmentResult::Contained);
     }
-    Some(ContainmentResult::Contained)
+
+    // Parallel sweep with sequential semantics: the event at the *lowest*
+    // mask decides, exactly as the in-order scan would; an `AtomicBool`
+    // cancels masks that can no longer matter.
+    let next = AtomicUsize::new(0);
+    let best_mask = AtomicUsize::new(usize::MAX);
+    let cancel = AtomicBool::new(false);
+    let checked = AtomicUsize::new(0);
+    let max_size = AtomicUsize::new(0);
+    let best_event: Mutex<Option<(usize, MaskEvent)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let mut wvoc = voc.clone();
+            let (next, best_mask, cancel) = (&next, &best_mask, &cancel);
+            let (checked, max_size, best_event) = (&checked, &max_size, &best_event);
+            let check_mask = &check_mask;
+            scope.spawn(move || loop {
+                let m = next.fetch_add(1, Ordering::Relaxed);
+                if m >= n_masks {
+                    break;
+                }
+                if cancel.load(Ordering::Relaxed) && m > best_mask.load(Ordering::Relaxed) {
+                    continue;
+                }
+                checked.fetch_add(1, Ordering::Relaxed);
+                max_size.fetch_max((m as u64).count_ones() as usize, Ordering::Relaxed);
+                if let Some(event) = check_mask(m as u64, &mut wvoc) {
+                    best_mask.fetch_min(m, Ordering::Relaxed);
+                    cancel.store(true, Ordering::Relaxed);
+                    let mut slot = best_event.lock().unwrap();
+                    if slot.as_ref().is_none_or(|(j, _)| m < *j) {
+                        *slot = Some((m, event));
+                    }
+                }
+            });
+        }
+    });
+    stats.0 += checked.load(Ordering::Relaxed);
+    stats.1 = stats.1.max(max_size.load(Ordering::Relaxed));
+    match best_event.into_inner().unwrap() {
+        Some((_, MaskEvent::Fallback)) => None,
+        Some((_, MaskEvent::Counterexample(w))) => Some(ContainmentResult::NotContained(*w)),
+        None => Some(ContainmentResult::Contained),
+    }
 }
 
 /// The anytime path for non-UCQ-rewritable left-hand sides.
 fn anytime_guarded(
     q1: &Omq,
     q2: &Omq,
+    rhs_language: OmqLanguage,
     voc: &mut Vocabulary,
     cfg: &ContainmentConfig,
     stats: &mut (usize, usize),
 ) -> ContainmentResult {
+    let rhs = RhsChecker::build(q2, rhs_language, None, voc, cfg);
     let mut tested = 0usize;
     for &budget in &cfg.anytime_budgets {
         let rw_cfg = XRewriteConfig {
@@ -300,7 +564,7 @@ fn anytime_guarded(
         // Only test disjuncts not covered in earlier (smaller) rounds.
         let fresh: Vec<Cq> = ucq.disjuncts.iter().skip(tested).cloned().collect();
         tested = ucq.disjuncts.len().max(tested);
-        match check_disjuncts(&fresh, q2, voc, cfg, stats) {
+        match check_disjuncts(&fresh, &rhs, q2, voc, cfg, stats) {
             Ok(Some(w)) => return ContainmentResult::NotContained(w),
             Ok(None) => {
                 if complete {
@@ -364,12 +628,7 @@ mod tests {
     #[test]
     fn plain_cq_containment() {
         // path2 ⊆ path1, not conversely.
-        let (q1, q2, mut voc) = setup(
-            "p2 :- E(X,Y), E(Y,Z)\np1 :- E(U,V)\n",
-            &["E"],
-            "p2",
-            "p1",
-        );
+        let (q1, q2, mut voc) = setup("p2 :- E(X,Y), E(Y,Z)\np1 :- E(U,V)\n", &["E"], "p2", "p1");
         let cfg = ContainmentConfig::default();
         let out = contains(&q1, &q2, &mut voc, &cfg).unwrap();
         assert!(out.result.is_contained());
@@ -397,7 +656,10 @@ mod tests {
             "qp",
         );
         let cfg = ContainmentConfig::default();
-        assert!(contains(&q1, &q2, &mut voc, &cfg).unwrap().result.is_contained());
+        assert!(contains(&q1, &q2, &mut voc, &cfg)
+            .unwrap()
+            .result
+            .is_contained());
         // Without help in the other direction: P(a) does not make T true.
         assert!(contains(&q2, &q1, &mut voc, &cfg)
             .unwrap()
@@ -514,8 +776,7 @@ mod tests {
         // Every rewriting disjunct of g keeps a G-atom, so h is never
         // refuted; but the rewriting does not saturate either.
         assert!(
-            matches!(out.result, ContainmentResult::Unknown(_))
-                || out.result.is_contained(),
+            matches!(out.result, ContainmentResult::Unknown(_)) || out.result.is_contained(),
             "{:?}",
             out.result
         );

@@ -63,8 +63,8 @@ pub fn evaluate(omq: &Omq, db: &Instance, voc: &mut Vocabulary, cfg: &EvalConfig
             language,
         },
         OmqLanguage::NonRecursive => {
-            let out = stratified_chase(db, &omq.sigma, voc, &cfg.chase)
-                .expect("detected non-recursive");
+            let out =
+                stratified_chase(db, &omq.sigma, voc, &cfg.chase).expect("detected non-recursive");
             EvalOutcome {
                 answers: eval_ucq(&omq.query, &out.instance),
                 guarantee: if out.complete {

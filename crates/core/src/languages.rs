@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use omq_classes::classify;
-use omq_model::Omq;
+use omq_classes::{is_guarded, is_linear, is_non_recursive, is_sticky};
+use omq_model::{Omq, Tgd};
 
 /// The classes of tgds giving rise to the paper's OMQ languages, ordered
 /// roughly by how much structure they give the algorithms.
@@ -72,19 +72,22 @@ impl fmt::Display for OmqLanguage {
 /// the exact containment algorithm; among them, the ones with cheaper
 /// containment come first.
 pub fn detect_language(omq: &Omq) -> OmqLanguage {
-    if omq.sigma.is_empty() {
-        return OmqLanguage::Empty;
-    }
-    let r = classify(&omq.sigma);
-    if r.linear {
+    let sigma = &omq.sigma;
+    // The recognizers are tried lazily in preference order (same order the
+    // eager `omq_classes::classify` report is consulted in): detection sits
+    // on the hot path of `contains`, and e.g. a linear set should not pay
+    // for the sticky marking fixpoint.
+    if sigma.is_empty() {
+        OmqLanguage::Empty
+    } else if is_linear(sigma) {
         OmqLanguage::Linear
-    } else if r.non_recursive {
+    } else if is_non_recursive(sigma) {
         OmqLanguage::NonRecursive
-    } else if r.sticky {
+    } else if is_sticky(sigma) {
         OmqLanguage::Sticky
-    } else if r.guarded {
+    } else if is_guarded(sigma) {
         OmqLanguage::Guarded
-    } else if r.full {
+    } else if sigma.iter().all(Tgd::is_full) {
         OmqLanguage::Full
     } else {
         OmqLanguage::General
@@ -113,7 +116,9 @@ mod tests {
     fn detection_prefers_specific_classes() {
         assert_eq!(detect_language(&omq_of("q :- P(X)\n")), OmqLanguage::Empty);
         assert_eq!(
-            detect_language(&omq_of("P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq :- P(X)\n")),
+            detect_language(&omq_of(
+                "P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq :- P(X)\n"
+            )),
             OmqLanguage::Linear
         );
         assert_eq!(

@@ -43,11 +43,7 @@ pub fn eval_as_containment(
                 .or_insert_with(|| voc.fresh_var(&format!("xc{}_", c.0)))
         })
         .collect();
-    let q1 = Omq::new(
-        schema.clone(),
-        vec![],
-        Ucq::from_cq(Cq::new(head, atoms)),
-    );
+    let q1 = Omq::new(schema.clone(), vec![], Ucq::from_cq(Cq::new(head, atoms)));
     let q2 = Omq::new(schema, omq.sigma.clone(), omq.query.clone());
     (q1, q2)
 }
@@ -81,8 +77,16 @@ pub fn eval_as_noncontainment(
     };
     let mut sigma: Vec<Tgd> = Vec::new();
     for t in &omq.sigma {
-        let body = t.body.iter().map(|a| star_atom(a, voc, &mut star)).collect();
-        let head = t.head.iter().map(|a| star_atom(a, voc, &mut star)).collect();
+        let body = t
+            .body
+            .iter()
+            .map(|a| star_atom(a, voc, &mut star))
+            .collect();
+        let head = t
+            .head
+            .iter()
+            .map(|a| star_atom(a, voc, &mut star))
+            .collect();
         sigma.push(Tgd::new(body, head));
     }
     // Fact tgds loading the starred database.
@@ -180,11 +184,7 @@ mod tests {
     /// contained.
     #[test]
     fn prop6_roundtrip() {
-        let (q, mut voc) = omq(
-            "T(X) -> P(X)\nq(X) :- P(X)\n",
-            &["T"],
-            "q",
-        );
+        let (q, mut voc) = omq("T(X) -> P(X)\nq(X) :- P(X)\n", &["T"], "q");
         let d = db(&mut voc, &["T(a)", "T(c)"]);
         let a = voc.const_id("a").unwrap();
         let other = voc.constant("zz");

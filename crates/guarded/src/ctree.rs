@@ -50,10 +50,7 @@ impl CTree {
         };
         let parent_bag = self.decomposition.tree.label(parent).clone();
         for &t in &bag {
-            let occurs_elsewhere = self
-                .instance
-                .active_domain()
-                .contains(&t);
+            let occurs_elsewhere = self.instance.active_domain().contains(&t);
             assert!(
                 !occurs_elsewhere || parent_bag.contains(&t),
                 "shared term must come from the parent bag"
@@ -103,10 +100,7 @@ mod tests {
         let r = voc.pred("R", 2);
         let (a, b) = (c(&mut voc, "a"), c(&mut voc, "b"));
         // Core: a cycle R(a,b), R(b,a).
-        let core = Instance::from_atoms([
-            Atom::new(r, vec![a, b]),
-            Atom::new(r, vec![b, a]),
-        ]);
+        let core = Instance::from_atoms([Atom::new(r, vec![a, b]), Atom::new(r, vec![b, a])]);
         let mut t = CTree::from_core(core.clone());
         // Tree part: a path hanging off b.
         let (x, y) = (c(&mut voc, "x"), c(&mut voc, "y"));

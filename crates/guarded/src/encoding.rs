@@ -73,7 +73,9 @@ pub fn encode(ctree: &CTree, l: usize, ar: usize) -> Option<LTree<NodeLabel>> {
             // Inherited elements keep their names; fresh elements get tree
             // names unused by the parent.
             let used_by_parent: HashSet<Name> = pmap.values().copied().collect();
-            let mut pool = (0..2 * ar as u8).map(Name::Tree).filter(|n| !used_by_parent.contains(n));
+            let mut pool = (0..2 * ar as u8)
+                .map(Name::Tree)
+                .filter(|n| !used_by_parent.contains(n));
             for &t in bag {
                 if let Some(&cn) = core_assignment.get(&t) {
                     map.insert(t, cn);
@@ -160,10 +162,8 @@ pub fn is_consistent(tree: &LTree<NodeLabel>, l: usize, ar: usize) -> bool {
         }
         // (5) Guardedness: some node w, b-connected to v for every
         // b ∈ names(v), has an atom covering names(v).
-        if v != 0 && !lab.names.is_empty() {
-            if !find_guard(tree, v) {
-                return false;
-            }
+        if v != 0 && !lab.names.is_empty() && !find_guard(tree, v) {
+            return false;
         }
     }
     true
@@ -205,10 +205,7 @@ pub fn decode(tree: &LTree<NodeLabel>, voc: &mut Vocabulary) -> Instance {
     // Union-find over (node, name): (v, a) ~ (parent(v), a) when both carry
     // Da.
     let mut class: HashMap<(usize, Name), (usize, Name)> = HashMap::new();
-    fn find(
-        class: &mut HashMap<(usize, Name), (usize, Name)>,
-        x: (usize, Name),
-    ) -> (usize, Name) {
+    fn find(class: &mut HashMap<(usize, Name), (usize, Name)>, x: (usize, Name)) -> (usize, Name) {
         let p = *class.get(&x).unwrap_or(&x);
         if p == x {
             return x;
@@ -231,8 +228,9 @@ pub fn decode(tree: &LTree<NodeLabel>, voc: &mut Vocabulary) -> Instance {
     }
     let mut consts: HashMap<(usize, Name), Term> = HashMap::new();
     let mut inst = Instance::new();
-    let term_of = |class_rep: (usize, Name), voc: &mut Vocabulary,
-                       consts: &mut HashMap<(usize, Name), Term>| {
+    let term_of = |class_rep: (usize, Name),
+                   voc: &mut Vocabulary,
+                   consts: &mut HashMap<(usize, Name), Term>| {
         *consts
             .entry(class_rep)
             .or_insert_with(|| Term::Const(voc.fresh_const("d")))
@@ -278,8 +276,8 @@ pub fn consistency_automaton_downward(
     let mut sets: Vec<BTreeSet<Name>> = Vec::new();
     let mut index: HashMap<BTreeSet<Name>, usize> = HashMap::new();
     let intern = |s: BTreeSet<Name>,
-                      sets: &mut Vec<BTreeSet<Name>>,
-                      index: &mut HashMap<BTreeSet<Name>, usize>| {
+                  sets: &mut Vec<BTreeSet<Name>>,
+                  index: &mut HashMap<BTreeSet<Name>, usize>| {
         *index.entry(s.clone()).or_insert_with(|| {
             sets.push(s);
             sets.len() // state ids start at 1
@@ -365,10 +363,7 @@ mod tests {
         let b = Term::Const(voc.constant("b"));
         let x = Term::Const(voc.constant("x"));
         let y = Term::Const(voc.constant("y"));
-        let core = Instance::from_atoms([
-            Atom::new(r, vec![a, b]),
-            Atom::new(r, vec![b, a]),
-        ]);
+        let core = Instance::from_atoms([Atom::new(r, vec![a, b]), Atom::new(r, vec![b, a])]);
         let mut t = CTree::from_core(core);
         let n1 = t.add_guarded_atom(0, Atom::new(r, vec![b, x]));
         let n2 = t.add_guarded_atom(n1, Atom::new(r, vec![x, y]));

@@ -205,13 +205,9 @@ mod tests {
         let d = d.restrict_to_schema(&q.data_schema);
         let r = guarded_certain_answers(&q, &d, &mut voc, &GuardedConfig::default());
         assert_ne!(r.completeness, Completeness::LowerBound);
-        let oracle = omq_rewrite::certain_answers_via_rewriting(
-            &q,
-            &d,
-            &mut voc,
-            &Default::default(),
-        )
-        .unwrap();
+        let oracle =
+            omq_rewrite::certain_answers_via_rewriting(&q, &d, &mut voc, &Default::default())
+                .unwrap();
         assert_eq!(r.answers, oracle);
         assert_eq!(r.answers.len(), 2);
     }

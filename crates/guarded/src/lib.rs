@@ -21,7 +21,9 @@ pub mod tree_decomposition;
 pub mod unravel;
 
 pub use ctree::CTree;
-pub use encoding::{consistency_automaton_downward, decode, encode, is_consistent, Name, NodeLabel};
+pub use encoding::{
+    consistency_automaton_downward, decode, encode, is_consistent, Name, NodeLabel,
+};
 pub use guarded_eval::{guarded_certain_answers, Completeness, GuardedAnswers, GuardedConfig};
 pub use tree_decomposition::TreeDecomposition;
 pub use unravel::{unravel, Unraveling};

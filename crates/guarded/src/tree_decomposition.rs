@@ -110,11 +110,12 @@ mod tests {
     fn valid_path_decomposition() {
         let mut voc = Vocabulary::new();
         let r = voc.pred("R", 2);
-        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
-        let inst = Instance::from_atoms([
-            Atom::new(r, vec![a, b]),
-            Atom::new(r, vec![b, c]),
-        ]);
+        let (a, b, c) = (
+            term(&mut voc, "a"),
+            term(&mut voc, "b"),
+            term(&mut voc, "c"),
+        );
+        let inst = Instance::from_atoms([Atom::new(r, vec![a, b]), Atom::new(r, vec![b, c])]);
         let mut td = TreeDecomposition::new(vec![a, b]);
         td.add_bag(0, vec![b, c]);
         assert!(td.is_valid_for(&inst));
@@ -126,11 +127,12 @@ mod tests {
     fn missing_atom_detected() {
         let mut voc = Vocabulary::new();
         let r = voc.pred("R", 2);
-        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
-        let inst = Instance::from_atoms([
-            Atom::new(r, vec![a, b]),
-            Atom::new(r, vec![a, c]),
-        ]);
+        let (a, b, c) = (
+            term(&mut voc, "a"),
+            term(&mut voc, "b"),
+            term(&mut voc, "c"),
+        );
+        let inst = Instance::from_atoms([Atom::new(r, vec![a, b]), Atom::new(r, vec![a, c])]);
         let td = TreeDecomposition::new(vec![a, b]);
         assert!(!td.covers_atoms(&inst));
     }
@@ -139,11 +141,12 @@ mod tests {
     fn disconnected_term_detected() {
         let mut voc = Vocabulary::new();
         let r = voc.pred("R", 2);
-        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
-        let inst = Instance::from_atoms([
-            Atom::new(r, vec![a, b]),
-            Atom::new(r, vec![b, c]),
-        ]);
+        let (a, b, c) = (
+            term(&mut voc, "a"),
+            term(&mut voc, "b"),
+            term(&mut voc, "c"),
+        );
+        let inst = Instance::from_atoms([Atom::new(r, vec![a, b]), Atom::new(r, vec![b, c])]);
         // b appears in two bags separated by a b-free bag: invalid.
         let mut td = TreeDecomposition::new(vec![a, b]);
         let mid = td.add_bag(0, vec![a, c]);
@@ -155,11 +158,12 @@ mod tests {
     fn unguarded_bag_detected() {
         let mut voc = Vocabulary::new();
         let r = voc.pred("R", 2);
-        let (a, b, c) = (term(&mut voc, "a"), term(&mut voc, "b"), term(&mut voc, "c"));
-        let inst = Instance::from_atoms([
-            Atom::new(r, vec![a, b]),
-            Atom::new(r, vec![b, c]),
-        ]);
+        let (a, b, c) = (
+            term(&mut voc, "a"),
+            term(&mut voc, "b"),
+            term(&mut voc, "c"),
+        );
+        let inst = Instance::from_atoms([Atom::new(r, vec![a, b]), Atom::new(r, vec![b, c])]);
         // Bag {a, c} is not covered by any atom.
         let mut td = TreeDecomposition::new(vec![a, b, c]);
         td.add_bag(0, vec![a, c]);

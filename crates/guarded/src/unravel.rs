@@ -49,12 +49,7 @@ fn guarded_sets(inst: &Instance) -> Vec<Vec<Term>> {
 /// Returns the C-tree (whose core is the subinstance on `x0`'s copies) and
 /// the witnessing homomorphism. Every atom of `inst` whose terms lie in a
 /// guarded set reachable within `depth` steps is represented.
-pub fn unravel(
-    inst: &Instance,
-    x0: &[Term],
-    depth: usize,
-    voc: &mut Vocabulary,
-) -> Unraveling {
+pub fn unravel(inst: &Instance, x0: &[Term], depth: usize, voc: &mut Vocabulary) -> Unraveling {
     let gsets = guarded_sets(inst);
     // Each unraveling node: (parent, local map original-term -> fresh term).
     struct Node {
@@ -72,10 +67,7 @@ pub fn unravel(
     // Root node: fresh copies of x0.
     let mut root_map = HashMap::new();
     for &t in x0 {
-        if !root_map.contains_key(&t) {
-            let f = fresh(t, voc, &mut hom);
-            root_map.insert(t, f);
-        }
+        root_map.entry(t).or_insert_with(|| fresh(t, voc, &mut hom));
     }
     let mut nodes = vec![Node {
         parent: None,

@@ -20,6 +20,12 @@ pub struct Instance {
     by_pred: HashMap<PredId, Vec<usize>>,
     /// (pred, position, term) -> atom indices having `term` at `position`.
     by_pos: HashMap<(PredId, usize, Term), Vec<usize>>,
+    /// Generation watermarks: `gen_bounds[g]` is the index of the first atom
+    /// of generation `g + 1`. Atoms before `gen_bounds[0]` are generation 0.
+    /// Since atom indices are append-only and monotone, this suffices to
+    /// recover each atom's insertion round and to expose "delta" views of
+    /// everything inserted since a given generation (semi-naive evaluation).
+    gen_bounds: Vec<usize>,
 }
 
 impl Instance {
@@ -50,7 +56,10 @@ impl Instance {
         let idx = self.atoms.len();
         self.by_pred.entry(atom.pred).or_default().push(idx);
         for (pos, &t) in atom.args.iter().enumerate() {
-            self.by_pos.entry((atom.pred, pos, t)).or_default().push(idx);
+            self.by_pos
+                .entry((atom.pred, pos, t))
+                .or_default()
+                .push(idx);
         }
         self.set.insert(atom.clone());
         self.atoms.push(atom);
@@ -95,6 +104,59 @@ impl Instance {
         &self.atoms[i]
     }
 
+    /// The current generation number. A fresh instance is generation 0;
+    /// [`Instance::begin_generation`] advances it. Inserted atoms belong to
+    /// the generation that was current at insertion time.
+    pub fn generation(&self) -> u32 {
+        self.gen_bounds.len() as u32
+    }
+
+    /// Starts a new generation and returns its number. Atoms inserted from
+    /// now on report this generation from [`Instance::atom_generation`].
+    pub fn begin_generation(&mut self) -> u32 {
+        self.gen_bounds.push(self.atoms.len());
+        self.generation()
+    }
+
+    /// The generation during which the atom at index `i` was inserted.
+    pub fn atom_generation(&self, i: usize) -> u32 {
+        self.gen_bounds.partition_point(|&b| b <= i) as u32
+    }
+
+    /// The index of the first atom of generation `g` (i.e. the watermark
+    /// separating generations `< g` from generations `>= g`). For a `g`
+    /// beyond the current generation this is the instance length.
+    pub fn generation_start(&self, g: u32) -> usize {
+        match g {
+            0 => 0,
+            g => self
+                .gen_bounds
+                .get(g as usize - 1)
+                .copied()
+                .unwrap_or(self.atoms.len()),
+        }
+    }
+
+    /// The atoms inserted in generation `g` or later, in insertion order:
+    /// the "delta" view used by semi-naive chase rounds.
+    pub fn atoms_since(&self, g: u32) -> &[Atom] {
+        &self.atoms[self.generation_start(g)..]
+    }
+
+    /// Indices of atoms with predicate `p` at index `start` or later. The
+    /// per-predicate index is sorted (insertion order), so this is a binary
+    /// search plus a subslice.
+    pub fn atoms_with_pred_from(&self, p: PredId, start: usize) -> &[usize] {
+        let idxs = self.atoms_with_pred(p);
+        &idxs[idxs.partition_point(|&i| i < start)..]
+    }
+
+    /// Indices of atoms with predicate `p` inserted in generation `g` or
+    /// later: the per-predicate delta view.
+    pub fn atoms_with_pred_since(&self, p: PredId, g: u32) -> &[usize] {
+        self.atoms_with_pred_from(p, self.generation_start(g))
+    }
+
     /// The active domain `dom(I)`: all terms occurring in the instance, in
     /// first-occurrence order.
     pub fn active_domain(&self) -> Vec<Term> {
@@ -122,12 +184,7 @@ impl Instance {
 
     /// Restricts the instance to atoms whose predicate lies in `s`.
     pub fn restrict_to_schema(&self, s: &Schema) -> Instance {
-        Instance::from_atoms(
-            self.atoms
-                .iter()
-                .filter(|a| s.contains(a.pred))
-                .cloned(),
-        )
+        Instance::from_atoms(self.atoms.iter().filter(|a| s.contains(a.pred)).cloned())
     }
 
     /// Splits the instance into its maximally connected components (§7.1).
@@ -266,6 +323,40 @@ mod tests {
         d.insert(Atom::new(g, vec![]));
         d.insert(fact(&mut v, "P", &["a"]));
         assert_eq!(d.components().len(), 1);
+    }
+
+    #[test]
+    fn generation_watermarks() {
+        let mut v = Vocabulary::new();
+        let mut d = Instance::new();
+        assert_eq!(d.generation(), 0);
+        d.insert(fact(&mut v, "R", &["a", "b"]));
+        assert_eq!(d.begin_generation(), 1);
+        d.insert(fact(&mut v, "R", &["b", "c"]));
+        d.insert(fact(&mut v, "P", &["a"]));
+        assert_eq!(d.begin_generation(), 2);
+        d.insert(fact(&mut v, "P", &["b"]));
+
+        assert_eq!(d.atom_generation(0), 0);
+        assert_eq!(d.atom_generation(1), 1);
+        assert_eq!(d.atom_generation(2), 1);
+        assert_eq!(d.atom_generation(3), 2);
+        assert_eq!(d.generation_start(0), 0);
+        assert_eq!(d.generation_start(1), 1);
+        assert_eq!(d.generation_start(2), 3);
+        assert_eq!(d.generation_start(9), d.len());
+        assert_eq!(d.atoms_since(1).len(), 3);
+        assert_eq!(d.atoms_since(2).len(), 1);
+
+        let r = v.pred("R", 2);
+        let p = v.pred("P", 1);
+        assert_eq!(d.atoms_with_pred_since(r, 1), &[1]);
+        assert_eq!(d.atoms_with_pred_since(r, 2), &[] as &[usize]);
+        assert_eq!(d.atoms_with_pred_since(p, 1), &[2, 3]);
+        assert_eq!(d.atoms_with_pred_from(p, 3), &[3]);
+        // Re-inserting an existing atom keeps its original generation.
+        d.insert(fact(&mut v, "R", &["a", "b"]));
+        assert_eq!(d.len(), 4);
     }
 
     #[test]

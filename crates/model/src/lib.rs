@@ -25,6 +25,7 @@ pub mod display;
 pub mod instance;
 pub mod parser;
 pub mod query;
+pub mod rng;
 pub mod subst;
 pub mod symbols;
 pub mod term;

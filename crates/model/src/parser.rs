@@ -66,7 +66,7 @@ enum Tok {
     RParen,
     Comma,
     Dot,
-    Arrow,   // ->
+    Arrow,     // ->
     ColonDash, // :-
 }
 
@@ -261,7 +261,9 @@ fn parse_tgd_inner(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<Tgd, ParseE
                 Some(Tok::Ident(n)) if is_variable_name(&n) => {
                     declared_exists.push(voc.var(&n));
                 }
-                got => return Err(cur.err(format!("expected variable after exists, found {got:?}"))),
+                got => {
+                    return Err(cur.err(format!("expected variable after exists, found {got:?}")))
+                }
             }
             match cur.peek() {
                 Some(Tok::Comma) => {
@@ -271,7 +273,9 @@ fn parse_tgd_inner(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<Tgd, ParseE
                     cur.next();
                     break;
                 }
-                got => return Err(cur.err(format!("expected , or . in exists clause, found {got:?}"))),
+                got => {
+                    return Err(cur.err(format!("expected , or . in exists clause, found {got:?}")))
+                }
             }
         }
     }
@@ -318,11 +322,7 @@ fn parse_query_inner(cur: &mut Cursor, voc: &mut Vocabulary) -> Result<(String, 
             loop {
                 match cur.next() {
                     Some(Tok::Ident(n)) if is_variable_name(&n) => head.push(voc.var(&n)),
-                    got => {
-                        return Err(
-                            cur.err(format!("expected head variable, found {got:?}"))
-                        )
-                    }
+                    got => return Err(cur.err(format!("expected head variable, found {got:?}"))),
                 }
                 match cur.peek() {
                     Some(Tok::Comma) => {
@@ -358,7 +358,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         if toks.is_empty() {
             continue;
         }
-        let is_query = toks.iter().any(|t| *t == Tok::ColonDash);
+        let is_query = toks.contains(&Tok::ColonDash);
         let mut cur = Cursor {
             toks: &toks,
             pos: 0,
@@ -374,9 +374,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                     if ucq.arity != cq.head.len() {
                         return Err(ParseError {
                             line: lineno,
-                            message: format!(
-                                "query {name} redeclared with different arity"
-                            ),
+                            message: format!("query {name} redeclared with different arity"),
                         });
                     }
                     ucq.disjuncts.push(cq);

@@ -314,7 +314,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let r = v.pred("R", 2);
         let (x, y) = (v.var("X"), v.var("Y"));
-        let q = Cq::new(vec![x], vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])]);
+        let q = Cq::new(
+            vec![x],
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+        );
         assert!(!q.is_shared(y));
     }
 

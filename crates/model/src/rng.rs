@@ -1,0 +1,86 @@
+//! A tiny deterministic pseudo-random generator for workload generation and
+//! randomized (differential) tests.
+//!
+//! The workspace builds in offline sandboxes without crates-io access, so
+//! benchmark databases and fuzz-style tests cannot use the `rand` crate.
+//! SplitMix64 is more than adequate for both jobs: the sequences only need
+//! to be well-mixed and reproducible across platforms and runs.
+
+/// A SplitMix64 generator: 64 bits of state, one multiply-xor-shift chain
+/// per draw. Identical seeds yield identical sequences on every platform.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is an empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform value in `range` (half-open).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below(range.end - range.start)
+    }
+
+    /// A coin flip that is `true` with probability `num / den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.range(2..7);
+            assert!((2..7).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let hits = (0..1000).filter(|_| rng.chance(1, 4)).count();
+        assert!((150..350).contains(&hits), "~250 expected, got {hits}");
+    }
+}

@@ -46,13 +46,19 @@ impl Tgd {
     /// The frontier `x̄`: variables shared by body and head.
     pub fn frontier(&self) -> Vec<VarId> {
         let hv = self.head_vars();
-        self.body_vars().into_iter().filter(|v| hv.contains(v)).collect()
+        self.body_vars()
+            .into_iter()
+            .filter(|v| hv.contains(v))
+            .collect()
     }
 
     /// The existentially quantified variables `z̄`: head-only variables.
     pub fn existential_vars(&self) -> Vec<VarId> {
         let bv = self.body_vars();
-        self.head_vars().into_iter().filter(|v| !bv.contains(v)).collect()
+        self.head_vars()
+            .into_iter()
+            .filter(|v| !bv.contains(v))
+            .collect()
     }
 
     /// Is the tgd *full* (no existential variables)? Full tgds are the
@@ -222,7 +228,7 @@ mod tests {
     fn sch_collects_predicates() {
         let mut voc = Vocabulary::new();
         let t = example(&mut voc);
-        let s = sch(&[t.clone()]);
+        let s = sch(std::slice::from_ref(&t));
         assert_eq!(s.len(), 3);
         assert_eq!(sigma_size(&[t]), (1 + 2) + (1 + 2) + (1 + 3));
     }
@@ -234,7 +240,10 @@ mod tests {
         let r = voc.pred("R", 2);
         let p = voc.pred("P", 2);
         let x = voc.var("X");
-        let q = Cq::new(vec![x], vec![Atom::new(r, vec![Term::Var(x), Term::Var(x)])]);
+        let q = Cq::new(
+            vec![x],
+            vec![Atom::new(r, vec![Term::Var(x), Term::Var(x)])],
+        );
         let omq = Omq::new(Schema::from_preds([r, p]), vec![t], Ucq::from_cq(q));
         assert_eq!(omq.full_schema().len(), 3);
         assert_eq!(omq.arity(), 1);

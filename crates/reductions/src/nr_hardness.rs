@@ -89,9 +89,7 @@ impl<'a> Builder<'a> {
         // T₁: 2×2 tilings from compatible tile squares.
         //   H(x1,x2), H(x3,x4), V(x1,x3), V(x2,x4) → ∃x T₁(x,x1,x2,x3,x4)
         // (x1 = top-left, x2 = top-right, x3 = bottom-left, x4 = b-right).
-        let t: Vec<PredId> = (1..=n)
-            .map(|i| self.pred(&format!("T{i}"), 5))
-            .collect();
+        let t: Vec<PredId> = (1..=n).map(|i| self.pred(&format!("T{i}"), 5)).collect();
         {
             let x = self.var("Xsq");
             let xs: Vec<Term> = (1..=4).map(|q| self.var(&format!("Xq{q}"))).collect();
@@ -150,9 +148,9 @@ impl<'a> Builder<'a> {
             let x = self.var("Xe");
             let xs: Vec<Term> = (1..=4).map(|q| self.var(&format!("Xe{q}"))).collect();
             let mut head = vec![];
-            for j in 0..k.min(2) {
+            for (j, &xj) in xs.iter().enumerate().take(k.min(2)) {
                 let p = top(self, j, 1);
-                head.push(Atom::new(p, vec![x, xs[j]]));
+                head.push(Atom::new(p, vec![x, xj]));
             }
             if !head.is_empty() {
                 rules.push(Tgd::new(
@@ -184,13 +182,16 @@ impl<'a> Builder<'a> {
         let initial: Vec<PredId> = (0..k)
             .map(|i| self.pred(&format!("Initial{i}"), 1))
             .collect();
-        for i in 0..k {
+        for (i, &init) in initial.iter().enumerate() {
             for j in 1..=m {
                 let c = self.cij(i, j);
                 let x = self.var("Xi");
                 rules.push(Tgd::new(
-                    vec![Atom::new(c, vec![]), Atom::new(tiles[(j - 1) as usize], vec![x])],
-                    vec![Atom::new(initial[i], vec![x])],
+                    vec![
+                        Atom::new(c, vec![]),
+                        Atom::new(tiles[(j - 1) as usize], vec![x]),
+                    ],
+                    vec![Atom::new(init, vec![x])],
                 ));
             }
         }
@@ -241,12 +242,12 @@ pub fn etp_to_containment(etp: &Etp) -> EtpOmqs {
         };
         let mut rules = b.tiling_rules(&etp.h1, &etp.v1);
         let exist_i: Vec<PredId> = (0..etp.k).map(|i| b.pred(&format!("Ex{i}"), 0)).collect();
-        for i in 0..etp.k {
+        for (i, &ex) in exist_i.iter().enumerate() {
             for j in 1..=etp.m {
                 let c = b.cij(i, j);
                 rules.push(Tgd::new(
                     vec![Atom::new(c, vec![])],
-                    vec![Atom::new(exist_i[i], vec![])],
+                    vec![Atom::new(ex, vec![])],
                 ));
             }
         }
@@ -366,8 +367,7 @@ mod tests {
         let mut voc2 = omqs2.voc.clone();
         let d2 = initial_db(&omqs2, &[1]);
         let ans2 =
-            certain_answers_via_chase(&omqs2.q1, &d2, &mut voc2, &ChaseConfig::default())
-                .unwrap();
+            certain_answers_via_chase(&omqs2.q1, &d2, &mut voc2, &ChaseConfig::default()).unwrap();
         assert!(ans2.is_empty(), "empty H cannot tile");
     }
 

@@ -74,20 +74,14 @@ pub fn tiling_to_fnr_linear(t: &ExpTiling) -> TilingOmqs {
                 let mut a0 = xs.clone();
                 a0.push(zero);
                 a0.extend(&ys);
-                let mut body = vec![
-                    Atom::new(tiled[j], a1),
-                    Atom::new(tiled[k], a0),
-                ];
+                let mut body = vec![Atom::new(tiled[j], a1), Atom::new(tiled[k], a0)];
                 body.extend(bit_atoms(&mut voc, bit, &xs));
                 body.extend(bit_atoms(&mut voc, bit, &ys));
                 body.push(Atom::new(bit, vec![w]));
                 let mut head_args = xs.clone();
                 head_args.push(w);
                 head_args.extend(&ys);
-                sigma.push(Tgd::new(
-                    body,
-                    vec![Atom::new(tac[n - 1], head_args)],
-                ));
+                sigma.push(Tgd::new(body, vec![Atom::new(tac[n - 1], head_args)]));
             }
         }
         // Column induction: 2 ≤ i ≤ n (1-indexed position i).
@@ -235,10 +229,7 @@ pub fn tiling_to_fnr_linear(t: &ExpTiling) -> TilingOmqs {
                 let ys = vars(&mut voc, "Yq", n);
                 let mut cell = xs.clone();
                 cell.extend(&ys);
-                let mut body = vec![
-                    Atom::new(tiled[i], cell.clone()),
-                    Atom::new(tiled[j], cell),
-                ];
+                let mut body = vec![Atom::new(tiled[i], cell.clone()), Atom::new(tiled[j], cell)];
                 body.extend(bit_atoms(&mut voc, bit, &xs));
                 body.extend(bit_atoms(&mut voc, bit, &ys));
                 disjuncts.push(Cq::boolean(body));
@@ -304,7 +295,7 @@ pub fn tiling_to_fnr_linear(t: &ExpTiling) -> TilingOmqs {
                 for b in (0..n).rev() {
                     cell.push(if (p >> b) & 1 == 1 { one } else { zero });
                 }
-                cell.extend(std::iter::repeat(zero).take(n));
+                cell.extend(std::iter::repeat_n(zero, n));
                 let body = vec![
                     Atom::new(tiled[(k - 1) as usize], cell),
                     Atom::new(succ[0], vec![zero, one]),
@@ -378,7 +369,7 @@ pub fn full_to_sticky_01(omq: &Omq, voc: &mut Vocabulary) -> Option<Omq> {
         }
         let rp = prime_in(&mut primed, r, n, voc);
         let mut head_args = xs;
-        head_args.extend(std::iter::repeat(zero).take(n));
+        head_args.extend(std::iter::repeat_n(zero, n));
         sigma.push(Tgd::new(body, vec![Atom::new(rp, head_args)]));
     }
     // Lossless copies of the full tgds: pad heads with the body variables.
@@ -389,7 +380,7 @@ pub fn full_to_sticky_01(omq: &Omq, voc: &mut Vocabulary) -> Option<Omq> {
             .iter()
             .map(|a| {
                 let mut args = a.args.clone();
-                args.extend(std::iter::repeat(zero).take(n));
+                args.extend(std::iter::repeat_n(zero, n));
                 Atom::new(prime_in(&mut primed, a.pred, n, voc), args)
             })
             .collect();
@@ -432,7 +423,11 @@ pub fn full_to_sticky_01(omq: &Omq, voc: &mut Vocabulary) -> Option<Omq> {
             let mut body_args = xs.clone();
             body_args.extend(&pads);
             let mut head_args = xs;
-            head_args.extend(pads.iter().enumerate().map(|(j, &p)| if j == i { zero } else { p }));
+            head_args.extend(
+                pads.iter()
+                    .enumerate()
+                    .map(|(j, &p)| if j == i { zero } else { p }),
+            );
             sigma.push(Tgd::new(
                 vec![Atom::new(rp, body_args)],
                 vec![Atom::new(rp, head_args)],
@@ -445,7 +440,7 @@ pub fn full_to_sticky_01(omq: &Omq, voc: &mut Vocabulary) -> Option<Omq> {
         .iter()
         .map(|a| {
             let mut args = a.args.clone();
-            args.extend(std::iter::repeat(zero).take(n));
+            args.extend(std::iter::repeat_n(zero, n));
             Atom::new(prime_in(&mut primed, a.pred, n, voc), args)
         })
         .collect();
@@ -459,7 +454,7 @@ pub fn full_to_sticky_01(omq: &Omq, voc: &mut Vocabulary) -> Option<Omq> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tiling::all_pairs;
+
     use omq_chase::{certain_answers_via_chase, ChaseConfig};
     use omq_classes::{classify, is_sticky};
     use omq_model::Instance;
@@ -519,33 +514,21 @@ mod tests {
         let omqs = tiling_to_fnr_linear(&inst());
         // Valid checkerboard respecting s = [1]: no violation.
         let (good, mut voc) = tiling_db(&omqs, [[1, 2], [2, 1]]);
-        let a = certain_answers_via_chase(
-            &omqs.q_violation,
-            &good,
-            &mut voc,
-            &ChaseConfig::default(),
-        )
-        .unwrap();
+        let a =
+            certain_answers_via_chase(&omqs.q_violation, &good, &mut voc, &ChaseConfig::default())
+                .unwrap();
         assert!(a.is_empty(), "valid tiling flagged: {a:?}");
         // Horizontally incompatible (1 next to 1).
         let (bad, mut voc2) = tiling_db(&omqs, [[1, 1], [2, 1]]);
-        let b = certain_answers_via_chase(
-            &omqs.q_violation,
-            &bad,
-            &mut voc2,
-            &ChaseConfig::default(),
-        )
-        .unwrap();
+        let b =
+            certain_answers_via_chase(&omqs.q_violation, &bad, &mut voc2, &ChaseConfig::default())
+                .unwrap();
         assert!(!b.is_empty());
         // Wrong first tile (s = [1] but (0,0) carries 2).
         let (bad2, mut voc3) = tiling_db(&omqs, [[2, 1], [1, 2]]);
-        let c = certain_answers_via_chase(
-            &omqs.q_violation,
-            &bad2,
-            &mut voc3,
-            &ChaseConfig::default(),
-        )
-        .unwrap();
+        let c =
+            certain_answers_via_chase(&omqs.q_violation, &bad2, &mut voc3, &ChaseConfig::default())
+                .unwrap();
         assert!(!c.is_empty());
     }
 
@@ -585,15 +568,11 @@ mod tests {
             vec![("1", "0")],
         ] {
             let d = mk_db(&mut voc, &edges);
-            let a1 = certain_answers_via_chase(&omq, &d, &mut voc, &ChaseConfig::default())
-                .unwrap();
-            let a2 = certain_answers_via_chase(&sticky, &d, &mut voc, &ChaseConfig::default())
-                .unwrap();
-            assert_eq!(
-                a1.is_empty(),
-                a2.is_empty(),
-                "mismatch on {edges:?}"
-            );
+            let a1 =
+                certain_answers_via_chase(&omq, &d, &mut voc, &ChaseConfig::default()).unwrap();
+            let a2 =
+                certain_answers_via_chase(&sticky, &d, &mut voc, &ChaseConfig::default()).unwrap();
+            assert_eq!(a1.is_empty(), a2.is_empty(), "mismatch on {edges:?}");
         }
     }
 }

@@ -19,16 +19,14 @@
 //! (serving Prop. 18); the paper's footnote 8 notes the same gadget family
 //! underlies the rewriting-size lower bound of \[40\].
 
-use omq_model::{Atom, Cq, Omq, PredId, Schema, Term, Ucq, Tgd, Vocabulary};
+use omq_model::{Atom, Cq, Omq, PredId, Schema, Term, Tgd, Ucq, Vocabulary};
 
 /// Builds the family member `Qⁿ = ({S}, Σⁿ, Ans(0,1))`.
 pub fn counter_family(n: usize) -> (Omq, Vocabulary) {
     assert!(n >= 1);
     let mut voc = Vocabulary::new();
     let s = voc.pred("S", n + 2);
-    let p: Vec<PredId> = (0..=n)
-        .map(|i| voc.pred(&format!("P{i}"), n + 2))
-        .collect();
+    let p: Vec<PredId> = (0..=n).map(|i| voc.pred(&format!("P{i}"), n + 2)).collect();
     let ans = voc.pred("Ans", 2);
     let zero = voc.constant("0");
     let one = voc.constant("1");
@@ -78,7 +76,10 @@ pub fn counter_family(n: usize) -> (Omq, Vocabulary) {
         ));
     }
 
-    let q = Cq::boolean(vec![Atom::new(ans, vec![Term::Const(zero), Term::Const(one)])]);
+    let q = Cq::boolean(vec![Atom::new(
+        ans,
+        vec![Term::Const(zero), Term::Const(one)],
+    )]);
     (
         Omq::new(Schema::from_preds([s]), sigma, Ucq::from_cq(q)),
         voc,
@@ -146,8 +147,7 @@ mod tests {
             let (q, mut voc) = counter_family(n);
             let d = full_witness(n, &mut voc);
             assert_eq!(d.len(), 1 << n);
-            let ans =
-                certain_answers_via_chase(&q, &d, &mut voc, &ChaseConfig::default()).unwrap();
+            let ans = certain_answers_via_chase(&q, &d, &mut voc, &ChaseConfig::default()).unwrap();
             assert!(!ans.is_empty(), "n = {n}");
         }
     }
@@ -167,8 +167,8 @@ mod tests {
                     .filter(|(i, _)| *i != skip)
                     .map(|(_, a)| a.clone()),
             );
-            let ans = certain_answers_via_chase(&q, &smaller, &mut voc, &ChaseConfig::default())
-                .unwrap();
+            let ans =
+                certain_answers_via_chase(&q, &smaller, &mut voc, &ChaseConfig::default()).unwrap();
             assert!(ans.is_empty(), "dropping atom {skip} should break it");
         }
     }

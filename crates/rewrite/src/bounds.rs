@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn linear_bound_is_query_size() {
-        let (q, _) = omq("P(X) -> exists Y . R(X,Y)\nq(X) :- R(X,Y), P(Y), P(X)\n", &["P"]);
+        let (q, _) = omq(
+            "P(X) -> exists Y . R(X,Y)\nq(X) :- R(X,Y), P(Y), P(X)\n",
+            &["P"],
+        );
         assert_eq!(bound_linear(&q), 3);
     }
 

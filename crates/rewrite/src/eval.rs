@@ -63,8 +63,7 @@ mod tests {
             prog.query("q").unwrap().clone(),
         );
         let d = db(&mut voc, &["T(a)", "P(b)"]);
-        let ans = certain_answers_via_rewriting(&omq, &d, &mut voc, &Default::default())
-            .unwrap();
+        let ans = certain_answers_via_rewriting(&omq, &d, &mut voc, &Default::default()).unwrap();
         // Rewriting is P(x) ∨ T(x): both a and b answer.
         assert_eq!(ans.len(), 2);
     }
@@ -81,13 +80,11 @@ mod tests {
         )
         .unwrap();
         let mut voc = prog.voc.clone();
-        let schema = Schema::from_preds(
-            ["Emp", "Mgr", "Works"].map(|n| voc.pred_id(n).unwrap()),
-        );
+        let schema = Schema::from_preds(["Emp", "Mgr", "Works"].map(|n| voc.pred_id(n).unwrap()));
         let omq = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
         let d = db(&mut voc, &["Mgr(alice)", "Works(bob, sales)", "Emp(carol)"]);
-        let via_rw = certain_answers_via_rewriting(&omq, &d, &mut voc, &Default::default())
-            .unwrap();
+        let via_rw =
+            certain_answers_via_rewriting(&omq, &d, &mut voc, &Default::default()).unwrap();
         let via_chase =
             certain_answers_via_chase(&omq, &d, &mut voc, &ChaseConfig::default()).unwrap();
         assert_eq!(via_rw, via_chase);

@@ -71,12 +71,13 @@ pub fn ucq_omq_to_cq_omq(omq: &Omq, voc: &mut Vocabulary) -> Result<Omq, UcqToCq
         primed.insert(p, pp);
         pp
     };
-    let annotate = |a: &Atom, w: Term, voc: &mut Vocabulary, primed: &mut HashMap<PredId, PredId>| {
-        let pp = prime(a.pred, voc, primed);
-        let mut args = a.args.clone();
-        args.push(w);
-        Atom::new(pp, args)
-    };
+    let annotate =
+        |a: &Atom, w: Term, voc: &mut Vocabulary, primed: &mut HashMap<PredId, PredId>| {
+            let pp = prime(a.pred, voc, primed);
+            let mut args = a.args.clone();
+            args.push(w);
+            Atom::new(pp, args)
+        };
 
     let mut sigma2: Vec<Tgd> = Vec::new();
 
@@ -231,12 +232,7 @@ mod tests {
         );
         let q2 = ucq_omq_to_cq_omq(&q, &mut voc).unwrap();
         assert!(q2.is_cq());
-        for facts in [
-            vec!["A(a)"],
-            vec!["B(b)"],
-            vec!["A(a)", "B(b)"],
-            vec![],
-        ] {
+        for facts in [vec!["A(a)"], vec!["B(b)"], vec!["A(a)", "B(b)"], vec![]] {
             let d = db(&mut voc, &facts);
             let ans1 =
                 certain_answers_via_chase(&q, &d, &mut voc, &ChaseConfig::default()).unwrap();
@@ -267,8 +263,7 @@ mod tests {
         // With the S edge, the first disjunct fires.
         let d2 = db(&mut voc, &["A(a)", "S(a,b)"]);
         let b1 = certain_answers_via_chase(&q, &d2, &mut voc, &ChaseConfig::default()).unwrap();
-        let b2 =
-            certain_answers_via_chase(&q2, &d2, &mut voc, &ChaseConfig::default()).unwrap();
+        let b2 = certain_answers_via_chase(&q2, &d2, &mut voc, &ChaseConfig::default()).unwrap();
         assert!(!b1.is_empty() && !b2.is_empty());
     }
 

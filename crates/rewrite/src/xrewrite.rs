@@ -162,13 +162,7 @@ fn fingerprint(q: &Cq) -> u64 {
 /// Dedup index: fingerprint -> entry indices.
 type Buckets = std::collections::HashMap<u64, Vec<usize>>;
 
-fn is_dup(
-    entries: &[Entry],
-    buckets: &Buckets,
-    q: &Cq,
-    fp: u64,
-    rewriting_only: bool,
-) -> bool {
+fn is_dup(entries: &[Entry], buckets: &Buckets, q: &Cq, fp: u64, rewriting_only: bool) -> bool {
     let Some(ids) = buckets.get(&fp) else {
         return false;
     };
@@ -209,14 +203,13 @@ fn rename_apart(t: &Tgd, voc: &mut Vocabulary) -> Tgd {
 /// query `q` (Def. 6)?
 ///
 /// Returns the MGU of `s ∪ {head(t)}` when applicable.
-fn applicable(q: &Cq, s: &[&Atom], t: &Tgd) -> Option<Substitution> {
+fn applicable(q: &Cq, s: &[&Atom], t: &Tgd, expos: &[usize]) -> Option<Substitution> {
     let head = &t.head[0];
     if s.iter().any(|a| a.pred != head.pred) {
         return None;
     }
     // Condition 2: no constant or shared-variable position of s may be an
     // existential position of the head.
-    let expos = existential_positions(t);
     for a in s {
         for (i, &arg) in a.args.iter().enumerate() {
             let blocked = match arg {
@@ -247,7 +240,13 @@ fn applicable(q: &Cq, s: &[&Atom], t: &Tgd) -> Option<Substitution> {
 
 /// Is the atom set `s` of `q` factorizable w.r.t. `t` (Def. 7)?
 /// Returns the MGU of `s` if so.
-fn factorizable(q: &Cq, s: &[&Atom], s_idx: &[usize], t: &Tgd) -> Option<Substitution> {
+fn factorizable(
+    q: &Cq,
+    s: &[&Atom],
+    s_idx: &[usize],
+    t: &Tgd,
+    expos: &[usize],
+) -> Option<Substitution> {
     if s.len() < 2 {
         return None;
     }
@@ -255,7 +254,6 @@ fn factorizable(q: &Cq, s: &[&Atom], s_idx: &[usize], t: &Tgd) -> Option<Substit
     if s.iter().any(|a| a.pred != head.pred) {
         return None;
     }
-    let expos = existential_positions(t);
     if expos.is_empty() {
         return None;
     }
@@ -348,14 +346,15 @@ pub fn xrewrite(
 
     let mut entries: Vec<Entry> = Vec::new();
     let mut buckets: Buckets = Buckets::new();
-    let push_entry = |entries: &mut Vec<Entry>, buckets: &mut Buckets, cq: Cq, fp: u64, label: Label| {
-        buckets.entry(fp).or_default().push(entries.len());
-        entries.push(Entry {
-            cq,
-            label,
-            explored: false,
-        });
-    };
+    let push_entry =
+        |entries: &mut Vec<Entry>, buckets: &mut Buckets, cq: Cq, fp: u64, label: Label| {
+            buckets.entry(fp).or_default().push(entries.len());
+            entries.push(Entry {
+                cq,
+                label,
+                explored: false,
+            });
+        };
     for d in &omq.query.disjuncts {
         let cq = canonical(d, cfg);
         let fp = fingerprint(&cq);
@@ -368,19 +367,23 @@ pub fn xrewrite(
     let mut factorization_steps = 0usize;
     let mut truncated = false;
 
-    loop {
-        let Some(idx) = entries.iter().position(|e| !e.explored) else {
-            break;
-        };
+    // Entries are only ever appended unexplored and explored in order, so a
+    // cursor replaces the previous O(n²) first-unexplored scan.
+    let mut cursor = 0usize;
+    while let Some(idx) = entries[cursor..]
+        .iter()
+        .position(|e| !e.explored)
+        .map(|o| cursor + o)
+    {
         if entries.len() > cfg.max_queries {
             truncated = true;
             break;
         }
         entries[idx].explored = true;
+        cursor = idx + 1;
         let q = entries[idx].cq.clone();
 
         for t in &sigma {
-            let t = t.clone();
             // Pool: atoms of q with the head predicate.
             let pool: Vec<usize> = q
                 .body
@@ -392,14 +395,16 @@ pub fn xrewrite(
             if pool.is_empty() {
                 continue;
             }
-            let renamed = rename_apart(&t, voc);
+            let renamed = rename_apart(t, voc);
+            // Existential positions are indices into the head atom, so they
+            // are invariant under the renaming; compute them once per tgd
+            // instead of once per candidate subset.
+            let expos = existential_positions(&renamed);
             // Prefilter: an atom that does not unify with the head on its
             // own can never belong to an applicable or factorizable set.
             let pool: Vec<usize> = pool
                 .into_iter()
-                .filter(|&i| {
-                    omq_model::mgu_atoms(&q.body[i], &renamed.head[0]).is_some()
-                })
+                .filter(|&i| omq_model::mgu_atoms(&q.body[i], &renamed.head[0]).is_some())
                 .collect();
             if pool.is_empty() {
                 continue;
@@ -408,7 +413,7 @@ pub fn xrewrite(
                 let s: Vec<&Atom> = s_idx.iter().map(|&i| &q.body[i]).collect();
 
                 // --- rewriting step ---
-                if let Some(gamma) = applicable(&q, &s, &renamed) {
+                if let Some(gamma) = applicable(&q, &s, &renamed, &expos) {
                     // q' = γ(q[S / body(σⁱ)])
                     let mut body: Vec<Atom> = q
                         .body
@@ -428,7 +433,7 @@ pub fn xrewrite(
                         .collect();
                     if !body.is_empty() || head.is_empty() {
                         let q2 = canonical(&Cq::new(head, body), cfg);
-                        let within = cfg.max_atoms.map_or(true, |m| q2.body.len() <= m);
+                        let within = cfg.max_atoms.is_none_or(|m| q2.body.len() <= m);
                         let fp = fingerprint(&q2);
                         if within && !is_dup(&entries, &buckets, &q2, fp, true) {
                             rewrite_steps += 1;
@@ -438,9 +443,9 @@ pub fn xrewrite(
                 }
 
                 // --- factorization step ---
-                if let Some(gamma) = factorizable(&q, &s, &s_idx, &t) {
+                if let Some(gamma) = factorizable(&q, &s, &s_idx, t, &expos) {
                     let q2 = canonical(&gamma.apply_cq(&q), cfg);
-                    let within = cfg.max_atoms.map_or(true, |m| q2.body.len() <= m);
+                    let within = cfg.max_atoms.is_none_or(|m| q2.body.len() <= m);
                     let fp = fingerprint(&q2);
                     if within && !is_dup(&entries, &buckets, &q2, fp, false) {
                         factorization_steps += 1;

@@ -1,14 +1,13 @@
 //! Distribution over components (§7.1): statically certify that an OMQ can
 //! be evaluated per-component with no coordination, then actually do it in
-//! parallel with crossbeam and check the union against the global answer.
+//! parallel with scoped threads and check the union against the global
+//! answer.
 //!
 //! Run with: `cargo run --example distributed_evaluation`
 
 use std::collections::HashSet;
 
-use omq::core::{
-    distributes_over_components, evaluate, ContainmentConfig, EvalConfig,
-};
+use omq::core::{distributes_over_components, evaluate, ContainmentConfig, EvalConfig};
 use omq::model::{parse_program, parse_tgd, ConstId, Instance, Omq, Schema, Vocabulary};
 
 fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
@@ -22,8 +21,7 @@ fn db(voc: &mut Vocabulary, facts: &[&str]) -> Instance {
     inst
 }
 
-fn eval_answers(omq: &Omq, d: &Instance, voc: &Vocabulary) -> HashSet<Vec<ConstId>>
-{
+fn eval_answers(omq: &Omq, d: &Instance, voc: &Vocabulary) -> HashSet<Vec<ConstId>> {
     let mut voc = voc.clone();
     evaluate(omq, d, &mut voc, &EvalConfig::default()).answers
 }
@@ -37,9 +35,8 @@ fn main() {
     )
     .unwrap();
     let mut voc = prog.voc.clone();
-    let schema = Schema::from_preds(
-        ["Follows", "Author", "Posts"].map(|n| voc.pred_id(n).unwrap()),
-    );
+    let schema =
+        Schema::from_preds(["Follows", "Author", "Posts"].map(|n| voc.pred_id(n).unwrap()));
     let omq = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
 
     let verdict =
@@ -65,25 +62,21 @@ fn main() {
     let voc_snapshot = voc.clone();
     let omq_ref = &omq;
     let mut distributed: HashSet<Vec<ConstId>> = HashSet::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = components
             .iter()
             .map(|comp| {
                 let voc = voc_snapshot.clone();
-                scope.spawn(move |_| eval_answers(omq_ref, comp, &voc))
+                scope.spawn(move || eval_answers(omq_ref, comp, &voc))
             })
             .collect();
         for h in handles {
             distributed.extend(h.join().unwrap());
         }
-    })
-    .unwrap();
+    });
 
     let global = eval_answers(&omq, &d, &voc);
-    println!(
-        "global answers: {:?}",
-        names(&global, &voc)
-    );
+    println!("global answers: {:?}", names(&global, &voc));
     println!(
         "union of per-component answers: {:?}",
         names(&distributed, &voc)
@@ -94,9 +87,7 @@ fn main() {
     // Contrast: a disconnected query does NOT distribute.
     let prog2 = parse_program("p :- Posts(X), Follows(Y,Z)").unwrap();
     let mut voc2 = prog2.voc.clone();
-    let schema2 = Schema::from_preds(
-        ["Posts", "Follows"].map(|n| voc2.pred_id(n).unwrap()),
-    );
+    let schema2 = Schema::from_preds(["Posts", "Follows"].map(|n| voc2.pred_id(n).unwrap()));
     let omq2 = Omq::new(schema2, vec![], prog2.query("p").unwrap().clone());
     let verdict2 =
         distributes_over_components(&omq2, &mut voc2, &ContainmentConfig::default()).unwrap();

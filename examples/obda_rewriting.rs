@@ -72,10 +72,7 @@ fn main() {
     for (i, d) in sources.iter().enumerate() {
         println!("\nSource {}:\n{}", i + 1, render_instance(&voc, d));
         let answers = eval_ucq(&rewriting, d);
-        let mut names: Vec<&str> = answers
-            .iter()
-            .map(|t| voc.const_name(t[0]))
-            .collect();
+        let mut names: Vec<&str> = answers.iter().map(|t| voc.const_name(t[0])).collect();
         names.sort();
         println!("  assigned = {names:?}");
     }

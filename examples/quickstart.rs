@@ -28,10 +28,7 @@ fn main() {
     let mut voc = prog.voc.clone();
 
     // The data schema: databases only use P and T.
-    let schema = Schema::from_preds([
-        voc.pred_id("P").unwrap(),
-        voc.pred_id("T").unwrap(),
-    ]);
+    let schema = Schema::from_preds([voc.pred_id("P").unwrap(), voc.pred_id("T").unwrap()]);
 
     println!("Ontology Σ:");
     for t in &prog.tgds {
@@ -109,11 +106,7 @@ fn main() {
     // NOTE: parse into the same vocabulary by re-parsing the line.
     let (_, s_cq) = omq::model::parse_query(&mut voc, "s(X) :- T(X)").unwrap();
     drop(prog2);
-    let s = Omq::new(
-        schema,
-        prog.tgds.clone(),
-        omq::model::Ucq::from_cq(s_cq),
-    );
+    let s = Omq::new(schema, prog.tgds.clone(), omq::model::Ucq::from_cq(s_cq));
     match contains(&r, &s, &mut voc, &cfg).unwrap().result {
         ContainmentResult::NotContained(w) => {
             println!(

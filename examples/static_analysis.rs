@@ -5,9 +5,7 @@
 //! Run with: `cargo run --example static_analysis`
 
 use omq::classes::classify;
-use omq::core::{
-    contains, detect_language, is_unsatisfiable, ContainmentConfig, EvalConfig,
-};
+use omq::core::{contains, detect_language, is_unsatisfiable, ContainmentConfig, EvalConfig};
 use omq::model::{parse_program, Omq, Schema, Ucq};
 use omq::rewrite::{bound_linear, bound_nonrecursive, bound_sticky};
 
@@ -58,11 +56,7 @@ fn main() {
         let prog = parse_program(text).unwrap();
         let mut voc = prog.voc.clone();
         let schema = Schema::from_preds(data.iter().map(|n| voc.pred_id(n).unwrap()));
-        let omq = Omq::new(
-            schema,
-            prog.tgds.clone(),
-            prog.query("q").unwrap().clone(),
-        );
+        let omq = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
         let lang = detect_language(&omq);
         let report = classify(&omq.sigma);
         let bound = match lang {

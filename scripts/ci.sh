@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 test suite, and the perf
+# smoke benchmark. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# The perf smoke step rewrites BENCH_chase.json; commit the refreshed file
+# when the counters change intentionally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release
+cargo test -q --release --workspace
+
+echo "==> perf smoke (writes BENCH_chase.json)"
+cargo run -q --release -p omq-bench --bin perf_smoke
+
+echo "CI OK"

@@ -3,8 +3,8 @@
 //! against brute-force ground truth.
 
 use omq::core::{contains, ContainmentConfig, ContainmentResult};
-use omq::reductions::{etp_to_containment, prop18_family, tiling_to_fnr_linear, Etp, ExpTiling};
 use omq::reductions::tiling::all_pairs;
+use omq::reductions::{etp_to_containment, prop18_family, tiling_to_fnr_linear, Etp, ExpTiling};
 
 /// Theorem 16, cross-checked: the ETP instance has a solution iff the
 /// constructed (NR, CQ) OMQs are contained. This exercises XRewrite on a
@@ -70,8 +70,7 @@ fn theorem16_matches_brute_force() {
         let cfg = ContainmentConfig::default();
         let out = contains(&omqs.q1, &omqs.q2, &mut voc, &cfg).expect("well-posed");
         match (&out.result, expected) {
-            (ContainmentResult::Contained, true) | (ContainmentResult::NotContained(_), false) => {
-            }
+            (ContainmentResult::Contained, true) | (ContainmentResult::NotContained(_), false) => {}
             other => panic!("{label}: expected contained={expected}, got {other:?}"),
         }
         // When not contained, the witness encodes a concrete initial
@@ -184,7 +183,10 @@ fn empty_ontology_agrees_with_chandra_merlin() {
     };
     let (p, r, tri) = (get("p"), get("r"), get("tri"));
     for (a, b) in [(&p, &r), (&r, &p), (&tri, &p), (&p, &tri), (&tri, &r)] {
-        let ours = contains(a, b, &mut voc, &cfg).unwrap().result.is_contained();
+        let ours = contains(a, b, &mut voc, &cfg)
+            .unwrap()
+            .result
+            .is_contained();
         let classical = omq::chase::ucq_contained(&a.query, &b.query);
         assert_eq!(ours, classical);
     }
@@ -202,10 +204,8 @@ fn ucq_to_cq_preserves_containment_both_ways() {
     )
     .unwrap();
     let mut voc = prog.voc.clone();
-    let schema = omq::model::Schema::from_preds([
-        voc.pred_id("A").unwrap(),
-        voc.pred_id("B").unwrap(),
-    ]);
+    let schema =
+        omq::model::Schema::from_preds([voc.pred_id("A").unwrap(), voc.pred_id("B").unwrap()]);
     let q = omq::model::Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
     let compiled = omq::rewrite::ucq_omq_to_cq_omq(&q, &mut voc).unwrap();
     let cfg = ContainmentConfig::default();
@@ -260,10 +260,8 @@ fn guarded_engine_agrees_with_rewriting_on_linear() {
     )
     .unwrap();
     let mut voc = prog.voc.clone();
-    let schema = omq::model::Schema::from_preds([
-        voc.pred_id("P").unwrap(),
-        voc.pred_id("T").unwrap(),
-    ]);
+    let schema =
+        omq::model::Schema::from_preds([voc.pred_id("P").unwrap(), voc.pred_id("T").unwrap()]);
     let q = omq::model::Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
     for facts in [
         vec!["P(a)"],

@@ -1,17 +1,18 @@
 //! Property-based tests over the core data structures and engines.
+//!
+//! Gated behind the (default-on) `proptest` feature so that
+//! `--no-default-features` gives a std-only build.
+#![cfg(feature = "proptest")]
 
 use std::collections::HashMap;
 
 use proptest::prelude::*;
 
 use omq::chase::{
-    chase, cq_contained, cq_core, cq_equivalent, cq_isomorphic, eval_cq, ChaseConfig,
-    ChaseVariant,
+    chase, cq_contained, cq_core, cq_equivalent, cq_isomorphic, eval_cq, ChaseConfig, ChaseVariant,
 };
 use omq::model::display::{render_cq, render_tgd};
-use omq::model::{
-    parse_query, parse_tgd, Atom, Cq, Instance, Term, Vocabulary,
-};
+use omq::model::{parse_query, parse_tgd, Atom, Cq, Instance, Term, Vocabulary};
 
 /// A random CQ over a fixed binary/unary schema, described by atom specs.
 #[derive(Debug, Clone)]
@@ -38,7 +39,10 @@ fn build_cq(spec: &CqSpec, voc: &mut Vocabulary) -> Cq {
         .iter()
         .map(|&(bin, a, b)| {
             if bin {
-                Atom::new(e, vec![Term::Var(vars[a as usize]), Term::Var(vars[b as usize])])
+                Atom::new(
+                    e,
+                    vec![Term::Var(vars[a as usize]), Term::Var(vars[b as usize])],
+                )
             } else {
                 Atom::new(p, vec![Term::Var(vars[a as usize])])
             }
@@ -68,7 +72,10 @@ fn build_db(spec: &[(bool, u8, u8)], voc: &mut Vocabulary) -> Instance {
         if bin {
             Atom::new(
                 e,
-                vec![Term::Const(consts[a as usize]), Term::Const(consts[b as usize])],
+                vec![
+                    Term::Const(consts[a as usize]),
+                    Term::Const(consts[b as usize]),
+                ],
             )
         } else {
             Atom::new(p, vec![Term::Const(consts[a as usize])])
