@@ -1,34 +1,53 @@
 //! A fixed, small benchmark sweep for regression tracking.
 //!
-//! Runs in well under a minute and writes `BENCH_chase.json` (an array of
-//! `{workload, wall_ms, triggers_fired, atoms}` records) to the current
-//! directory, or to the path given as the first argument. Timings are
-//! best-of-three; all workloads are deterministic, so the counter columns
-//! are exactly reproducible and any drift there is a semantics change, not
-//! noise.
+//! Runs in well under a minute and writes `BENCH_chase.json` and
+//! `BENCH_rewrite.json` (arrays of per-workload records) to the current
+//! directory, or to the paths given as the first and second argument.
+//! Timings are best-of-three; all workloads are deterministic, so the
+//! counter columns are exactly reproducible and any drift there is a
+//! semantics change, not noise.
 //!
-//! Two record families:
+//! Record families:
 //!
-//! * `chase:*` — a depth-budgeted chase of a deterministic random database
-//!   under the E1 (linear) family at chain ∈ {8, 16, 32} × query length
-//!   ∈ {2, 3}, plus the E4 (guarded) workload; `triggers_fired` and `atoms`
-//!   come from the engine's [`ChaseStats`].
-//! * `contains:*` — the E1 self-containment check at chain ∈ {8, 16, 32};
-//!   this path is rewriting-based, so the chase counters are zero. The
-//!   chain=32 row is the headline number tracked against the pre-semi-naive
-//!   baseline (≈4.5 ms on the reference machine).
+//! * `chase:*` (BENCH_chase.json) — a depth-budgeted chase of a
+//!   deterministic random database under the E1 (linear) family at chain
+//!   ∈ {8, 16, 32} × query length ∈ {2, 3}, plus the E4 (guarded)
+//!   workload; `triggers_fired` and `atoms` come from the engine's
+//!   [`ChaseStats`].
+//! * `contains:*` (BENCH_chase.json) — the E1 self-containment check at
+//!   chain ∈ {8, 16, 32}; this path is rewriting-based, so the chase
+//!   counters are zero. The chain=32 row is the headline number tracked
+//!   against the pre-semi-naive baseline (≈4.5 ms on the reference
+//!   machine).
+//! * `rewrite:*` (BENCH_rewrite.json) — XRewrite on the E3 (non-recursive)
+//!   family at strata ∈ {3, 4}, the E2/E8 sticky family at n ∈ {2, 3}, and
+//!   the E1 linear family at chain=32 — `generated`, `candidates`, and
+//!   `disjuncts` come from [`RewriteStats`]; the nr strata=4 row is the
+//!   headline number tracked against the pre-parallel-rewrite baseline
+//!   (≈1.8 s on the reference machine).
 
 use std::time::Instant;
 
-use omq_bench::workloads::{guarded_seed_db, guarded_workload, linear_workload, random_db};
+use omq_bench::workloads::{
+    guarded_seed_db, guarded_workload, linear_workload, nr_workload, random_db, sticky_workload,
+};
 use omq_chase::{chase, ChaseConfig, ChaseStats};
 use omq_core::{contains, ContainmentConfig};
+use omq_rewrite::{xrewrite, XRewriteConfig};
 
 struct Record {
     workload: String,
     wall_ms: f64,
     triggers_fired: usize,
     atoms: usize,
+}
+
+struct RewriteRecord {
+    workload: String,
+    wall_ms: f64,
+    generated: usize,
+    candidates: usize,
+    disjuncts: usize,
 }
 
 fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
@@ -57,6 +76,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_chase.json".into());
+    let rewrite_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_rewrite.json".into());
     let mut records = Vec::new();
 
     for chain in [8usize, 16, 32] {
@@ -100,6 +122,39 @@ fn main() {
         });
     }
 
+    let mut rewrites: Vec<RewriteRecord> = Vec::new();
+    let mut rewrite_record = |label: String, mk: &dyn Fn() -> omq_rewrite::RewriteOutput| {
+        let (out, wall_ms) = best_of(3, mk);
+        rewrites.push(RewriteRecord {
+            workload: label,
+            wall_ms,
+            generated: out.generated,
+            candidates: out.stats.candidates,
+            disjuncts: out.ucq.disjuncts.len(),
+        });
+    };
+    for strata in [3usize, 4] {
+        let (omq, voc) = nr_workload(strata);
+        rewrite_record(format!("rewrite:E3 nr strata={strata}"), &|| {
+            let mut voc = voc.clone();
+            xrewrite(&omq, &mut voc, &XRewriteConfig::default()).unwrap()
+        });
+    }
+    for n in [2usize, 3] {
+        let (omq, voc) = sticky_workload(n);
+        rewrite_record(format!("rewrite:E2 sticky n={n}"), &|| {
+            let mut voc = voc.clone();
+            xrewrite(&omq, &mut voc, &XRewriteConfig::default()).unwrap()
+        });
+    }
+    {
+        let (omq, voc) = linear_workload(32, 3);
+        rewrite_record("rewrite:E1 linear chain=32 qlen=3".into(), &|| {
+            let mut voc = voc.clone();
+            xrewrite(&omq, &mut voc, &XRewriteConfig::default()).unwrap()
+        });
+    }
+
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
@@ -118,4 +173,24 @@ fn main() {
     json.push_str("]\n");
     std::fs::write(&out_path, json).expect("writing benchmark output");
     println!("wrote {out_path}");
+
+    let mut json = String::from("[\n");
+    for (i, r) in rewrites.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"generated\": {}, \"candidates\": {}, \"disjuncts\": {}}}{}\n",
+            r.workload,
+            r.wall_ms,
+            r.generated,
+            r.candidates,
+            r.disjuncts,
+            if i + 1 < rewrites.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<36} {:>9.3} ms  gen={:<6} cand={:<7} disj={}",
+            r.workload, r.wall_ms, r.generated, r.candidates, r.disjuncts
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&rewrite_path, json).expect("writing rewrite benchmark output");
+    println!("wrote {rewrite_path}");
 }

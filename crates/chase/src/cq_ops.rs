@@ -1,6 +1,7 @@
 //! Classical CQ statics: Chandra–Merlin containment, cores (minimization),
-//! and isomorphism modulo variable renaming (the `≃` check XRewrite uses to
-//! deduplicate rewritings).
+//! isomorphism modulo variable renaming (the `≃` check XRewrite uses to
+//! deduplicate rewritings), canonical forms (so `≃`-dedup becomes hash-map
+//! equality), and a homomorphic subsumption sieve for UCQ minimization.
 
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
@@ -67,7 +68,15 @@ pub fn cq_core(q: &Cq) -> Cq {
 /// many endomorphisms, and an exhaustive no-fold proof is pointless when
 /// coring is used only as a canonicalization heuristic.
 pub fn cq_core_budgeted(q: &Cq, max_homs: usize) -> Cq {
+    cq_core_budgeted_report(q, max_homs).0
+}
+
+/// Like [`cq_core_budgeted`], additionally reporting whether the
+/// endomorphism budget was exhausted in any folding round (i.e. whether the
+/// result is only *potentially* non-minimal rather than a certified core).
+pub fn cq_core_budgeted_report(q: &Cq, max_homs: usize) -> (Cq, bool) {
     let mut current = q.clone();
+    let mut exhausted = false;
     loop {
         let (frozen, _) = freeze_to_nulls(&current);
         // Seed: head variables map to their own frozen images (retraction).
@@ -82,6 +91,7 @@ pub fn cq_core_budgeted(q: &Cq, max_homs: usize) -> Cq {
         let _ = for_each_hom(&current.body, &frozen, &seed, |h| {
             examined += 1;
             if examined > max_homs {
+                exhausted = true;
                 return ControlFlow::Break(());
             }
             let image: HashSet<Atom> = current
@@ -102,7 +112,7 @@ pub fn cq_core_budgeted(q: &Cq, max_homs: usize) -> Cq {
             }
         });
         match smaller {
-            None => return current,
+            None => return (current, exhausted),
             Some(h) => {
                 // Rebuild the query from the image, un-freezing nulls back
                 // to variables.
@@ -235,6 +245,353 @@ pub fn cq_isomorphic(q1: &Cq, q2: &Cq) -> bool {
     rec(q1, q2, 0, &mut used, &mut map, &mut inv)
 }
 
+/// A canonical form for a CQ under `≃` (bijective variable renaming fixing
+/// head positions pairwise): two CQs have equal canonical forms iff they are
+/// `cq_isomorphic`, so deduplication becomes hash-map equality.
+///
+/// Head variables are labeled by first occurrence in the head; existential
+/// variables by iterated color refinement (a nauty-lite 1-WL) with a
+/// backtracking tie-break that takes the minimum certificate over all
+/// within-class relabelings.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CqCanonicalForm {
+    /// Canonical labels of the head positions (first-occurrence numbering).
+    head: Vec<u32>,
+    /// Sorted atom encodings: `(pred, args)` with constants `c` encoded as
+    /// `-(c+1)` and variables as their canonical label.
+    atoms: Vec<(u32, Vec<i64>)>,
+}
+
+/// Mixes a word into a running hash (splitmix64 finalizer). Collision
+/// quality only affects pruning power, never correctness, so a fast
+/// non-cryptographic mix beats `DefaultHasher` here.
+#[inline]
+fn mix(h: u64, w: u64) -> u64 {
+    let mut z = h ^ w.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Computes the canonical form of `q`, or `None` when the symmetry of the
+/// refined coloring (the product of color-class factorials) exceeds
+/// `symmetry_budget` relabelings. The budget test is itself
+/// isomorphism-invariant, so isomorphic CQs consistently succeed or
+/// consistently fall back — a caller may mix this with a pairwise
+/// `cq_isomorphic` fallback without missing duplicates.
+pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalForm> {
+    // Dense variable indexing: vars[i] is the i-th distinct variable, head
+    // variables first (in head order), then existentials in first-body-
+    // occurrence order. The order is only an enumeration — the labeling does
+    // not depend on it.
+    let mut vars: Vec<VarId> = Vec::new();
+    let dense = |vars: &mut Vec<VarId>, v: VarId| -> usize {
+        match vars.iter().position(|&w| w == v) {
+            Some(i) => i,
+            None => {
+                vars.push(v);
+                vars.len() - 1
+            }
+        }
+    };
+    let mut head = Vec::with_capacity(q.head.len());
+    for &v in &q.head {
+        head.push(dense(&mut vars, v) as u32);
+    }
+    let n_head = vars.len();
+    // Atom args as dense indices (vars) or negative constant encodings.
+    let enc_body: Vec<(u32, Vec<i64>)> = q
+        .body
+        .iter()
+        .map(|a| {
+            (
+                a.pred.0,
+                a.args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => -(c.0 as i64) - 1,
+                        Term::Var(v) => dense(&mut vars, *v) as i64,
+                        Term::Null(_) => unreachable!("CQs contain no nulls"),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let n_ex = vars.len() - n_head;
+
+    // Color refinement on the existential variables until the number of
+    // classes stops growing (the stopping rule depends only on invariant
+    // class counts). A variable's new color folds in, order-independently,
+    // one view hash per occurrence: (pred, position, the atom's argument
+    // encodings under the current coloring).
+    let mut color: Vec<u64> = vec![0; n_ex];
+    if n_ex > 1 {
+        let mut next: Vec<u64> = vec![0; n_ex];
+        let mut arg_codes: Vec<u64> = Vec::new();
+        let mut classes = 1usize;
+        let mut distinct: Vec<u64> = Vec::with_capacity(n_ex);
+        loop {
+            next.copy_from_slice(&color);
+            for (pred, args) in &enc_body {
+                arg_codes.clear();
+                arg_codes.extend(args.iter().map(|&a| {
+                    if a < 0 {
+                        mix(1, a as u64)
+                    } else if (a as usize) < n_head {
+                        mix(2, a as u64)
+                    } else {
+                        mix(3, color[a as usize - n_head])
+                    }
+                }));
+                let mut atom_h = mix(*pred as u64, 4);
+                for &c in &arg_codes {
+                    atom_h = mix(atom_h, c);
+                }
+                for (i, &a) in args.iter().enumerate() {
+                    if a >= n_head as i64 {
+                        let view = mix(mix(atom_h, i as u64), 5);
+                        next[a as usize - n_head] = next[a as usize - n_head].wrapping_add(view);
+                    }
+                }
+            }
+            for c in next.iter_mut() {
+                *c = mix(*c, 6);
+            }
+            distinct.clear();
+            distinct.extend_from_slice(&next);
+            distinct.sort_unstable();
+            distinct.dedup();
+            let n = distinct.len();
+            std::mem::swap(&mut color, &mut next);
+            let grew = n > classes;
+            classes = n;
+            if !grew {
+                break;
+            }
+        }
+    }
+
+    // Group existentials by final color; order classes by color value
+    // (invariant). `class_of[i]` is the class index of existential i.
+    let mut order: Vec<usize> = (0..n_ex).collect();
+    order.sort_unstable_by_key(|&i| color[i]);
+    let mut class_members: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        match class_members.last() {
+            Some(m) if color[m[0]] == color[i] => class_members.last_mut().unwrap().push(i),
+            _ => class_members.push(vec![i]),
+        }
+    }
+
+    // Symmetry budget: total number of within-class relabelings.
+    let mut total: usize = 1;
+    for members in &class_members {
+        for k in 2..=members.len() {
+            total = total.saturating_mul(k);
+            if total > symmetry_budget {
+                return None;
+            }
+        }
+    }
+
+    // Base canonical ids per class.
+    let mut bases = Vec::with_capacity(class_members.len());
+    let mut next_id = n_head as u32;
+    for members in &class_members {
+        bases.push(next_id);
+        next_id += members.len() as u32;
+    }
+
+    // `label[i]` is the canonical id of dense variable i under the current
+    // relabeling; head labels are fixed.
+    let mut label: Vec<u32> = (0..vars.len() as u32).collect();
+    let encode_atoms = |label: &[u32]| -> Vec<(u32, Vec<i64>)> {
+        let mut atoms: Vec<(u32, Vec<i64>)> = enc_body
+            .iter()
+            .map(|(pred, args)| {
+                (
+                    *pred,
+                    args.iter()
+                        .map(|&a| if a < 0 { a } else { label[a as usize] as i64 })
+                        .collect(),
+                )
+            })
+            .collect();
+        atoms.sort_unstable();
+        atoms
+    };
+
+    if total == 1 {
+        // Rigid after refinement (the common case): one relabeling.
+        for (ci, members) in class_members.iter().enumerate() {
+            for (mi, &i) in members.iter().enumerate() {
+                label[n_head + i] = bases[ci] + mi as u32;
+            }
+        }
+        return Some(CqCanonicalForm {
+            head,
+            atoms: encode_atoms(&label),
+        });
+    }
+
+    // Enumerate the cartesian product of within-class permutations and keep
+    // the minimum certificate.
+    let perms_per_class: Vec<Vec<Vec<usize>>> = class_members
+        .iter()
+        .map(|members| permutations(members.len()))
+        .collect();
+    let mut odometer = vec![0usize; class_members.len()];
+    let mut best: Option<Vec<(u32, Vec<i64>)>> = None;
+    loop {
+        for (ci, members) in class_members.iter().enumerate() {
+            let perm = &perms_per_class[ci][odometer[ci]];
+            for (mi, &i) in members.iter().enumerate() {
+                label[n_head + i] = bases[ci] + perm[mi] as u32;
+            }
+        }
+        let atoms = encode_atoms(&label);
+        if best.as_ref().is_none_or(|b| atoms < *b) {
+            best = Some(atoms);
+        }
+        // Advance the odometer.
+        let mut ci = 0;
+        loop {
+            if ci == odometer.len() {
+                return Some(CqCanonicalForm {
+                    head,
+                    atoms: best.expect("at least one relabeling was tried"),
+                });
+            }
+            odometer[ci] += 1;
+            if odometer[ci] < perms_per_class[ci].len() {
+                break;
+            }
+            odometer[ci] = 0;
+            ci += 1;
+        }
+    }
+}
+
+/// All permutations of `0..n` (n is bounded by the symmetry budget).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for p in &out {
+            for k in 0..n {
+                if !p.contains(&k) {
+                    let mut p2 = p.clone();
+                    p2.push(k);
+                    next.push(p2);
+                }
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// A streaming sieve that keeps only homomorphically maximal disjuncts of a
+/// UCQ: a disjunct `d` is dropped when some kept disjunct `k` subsumes it
+/// (`d ⊆ k`), and inserting `d` evicts every kept disjunct it subsumes. On
+/// mutual containment (equivalent disjuncts) the earliest insertion wins, so
+/// the surviving list is a deterministic function of the insertion order.
+///
+/// The frozen instance of every kept disjunct is cached, and a 64-bit
+/// predicate bloom mask prefilters the Chandra–Merlin checks (a hom from `k`
+/// into `d`'s frozen body needs `preds(k) ⊆ preds(d)`).
+pub struct SubsumptionSieve {
+    kept: Vec<SieveEntry>,
+    kills: usize,
+}
+
+struct SieveEntry {
+    cq: Cq,
+    frozen: Instance,
+    head: Vec<Term>,
+    mask: u64,
+}
+
+fn pred_mask(q: &Cq) -> u64 {
+    q.body.iter().fold(0u64, |m, a| m | 1 << (a.pred.0 % 64))
+}
+
+/// `sub ⊆ sup`, with `sub` pre-frozen (cached Chandra–Merlin).
+fn contained_in_frozen(sub_frozen: &Instance, sub_head: &[Term], sup: &Cq) -> bool {
+    if sub_head.len() != sup.head.len() {
+        return false;
+    }
+    let mut seed = Assignment::new();
+    for (&v, &t) in sup.head.iter().zip(sub_head) {
+        match seed.get(&v) {
+            Some(&bound) if bound != t => return false,
+            _ => {
+                seed.insert(v, t);
+            }
+        }
+    }
+    find_hom(&sup.body, sub_frozen, &seed).is_some()
+}
+
+impl SubsumptionSieve {
+    pub fn new() -> Self {
+        SubsumptionSieve {
+            kept: Vec::new(),
+            kills: 0,
+        }
+    }
+
+    /// Offers a disjunct; returns `true` if it was kept, `false` if an
+    /// already-kept disjunct subsumes it.
+    pub fn insert(&mut self, cq: Cq) -> bool {
+        let (frozen, head) = freeze_to_nulls(&cq);
+        let mask = pred_mask(&cq);
+        if self
+            .kept
+            .iter()
+            .any(|k| k.mask & !mask == 0 && contained_in_frozen(&frozen, &head, &k.cq))
+        {
+            self.kills += 1;
+            return false;
+        }
+        let before = self.kept.len();
+        self.kept
+            .retain(|k| !(mask & !k.mask == 0 && contained_in_frozen(&k.frozen, &k.head, &cq)));
+        self.kills += before - self.kept.len();
+        self.kept.push(SieveEntry {
+            cq,
+            frozen,
+            head,
+            mask,
+        });
+        true
+    }
+
+    /// Disjuncts dropped so far (offered-and-rejected plus kept-and-evicted).
+    pub fn kills(&self) -> usize {
+        self.kills
+    }
+
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// The surviving disjuncts, in insertion order.
+    pub fn into_disjuncts(self) -> Vec<Cq> {
+        self.kept.into_iter().map(|k| k.cq).collect()
+    }
+}
+
+impl Default for SubsumptionSieve {
+    fn default() -> Self {
+        SubsumptionSieve::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +709,101 @@ mod tests {
         let qc = q(&mut voc, "q :- E(Y,Z)");
         assert!(cq_isomorphic(&qa, &qb));
         assert!(!cq_isomorphic(&qa, &qc));
+    }
+
+    /// Canonical forms agree with `cq_isomorphic` on a battery of
+    /// hand-picked pairs covering renamings, head identity, repeated
+    /// variables and constants.
+    #[test]
+    fn canonical_form_matches_isomorphism() {
+        let mut voc = Vocabulary::new();
+        let queries = [
+            "q(X) :- E(X,Y), P(Y)",
+            "q(X) :- E(X,Z), P(Z)",
+            "q(X) :- E(Y,X), P(Y)",
+            "q :- E(X,Y), E(Y,Z)",
+            "q :- E(A,B), E(B,C)",
+            "q :- E(X,Y), E(X,Z)",
+            "q :- E(X,X)",
+            "q :- E(Y,Y)",
+            "q :- E(Y,Z)",
+            "q(X) :- E(X,Y)",
+            "q(Y2) :- E(X2,Y2)",
+            "q :- E(a,Y)",
+            "q :- E(X,Y)",
+            "q(X,X) :- E(X,Y)",
+            "q(X,Z) :- E(X,Y), E(Z,Y)",
+        ];
+        let cqs: Vec<Cq> = queries.iter().map(|s| q(&mut voc, s)).collect();
+        for (i, a) in cqs.iter().enumerate() {
+            for (j, b) in cqs.iter().enumerate() {
+                let fa = cq_canonical_form(a, 5040).unwrap();
+                let fb = cq_canonical_form(b, 5040).unwrap();
+                assert_eq!(
+                    fa == fb,
+                    cq_isomorphic(a, b),
+                    "canonical form disagrees with cq_isomorphic on \
+                     {:?} vs {:?}",
+                    queries[i],
+                    queries[j],
+                );
+            }
+        }
+    }
+
+    /// A highly symmetric query (a clique of interchangeable variables)
+    /// blows past a tiny symmetry budget and falls back to `None`.
+    #[test]
+    fn canonical_form_symmetry_budget() {
+        let mut voc = Vocabulary::new();
+        let clique = q(
+            &mut voc,
+            "q :- E(A,B), E(B,A), E(B,C), E(C,B), E(A,C), E(C,A)",
+        );
+        assert!(cq_canonical_form(&clique, 2).is_none());
+        assert!(cq_canonical_form(&clique, 5040).is_some());
+    }
+
+    #[test]
+    fn core_budget_exhaustion_is_reported() {
+        let mut voc = Vocabulary::new();
+        let qq = q(&mut voc, "q :- E(X,Y), E(X,Z), E(X,W)");
+        let (unshrunk, exhausted_tight) = cq_core_budgeted_report(&qq, 0);
+        assert!(exhausted_tight);
+        assert_eq!(unshrunk.body.len(), 3);
+        let (core, exhausted) = cq_core_budgeted_report(&qq, usize::MAX);
+        assert!(!exhausted);
+        assert_eq!(core.body.len(), 1);
+    }
+
+    #[test]
+    fn sieve_drops_subsumed_and_evicts() {
+        let mut voc = Vocabulary::new();
+        // p2 ⊆ p1 (a longer path is subsumed by the shorter pattern).
+        let p1 = q(&mut voc, "q :- E(U,V)");
+        let p2 = q(&mut voc, "q :- E(X,Y), E(Y,Z)");
+        let tri = q(&mut voc, "q :- P(X)");
+
+        // Keeping the general disjunct first: the specific one is rejected.
+        let mut sieve = SubsumptionSieve::new();
+        assert!(sieve.insert(p1.clone()));
+        assert!(!sieve.insert(p2.clone()));
+        assert!(sieve.insert(tri.clone()));
+        assert_eq!(sieve.kills(), 1);
+        assert_eq!(sieve.len(), 2);
+
+        // Specific first: inserting the general disjunct evicts it.
+        let mut sieve = SubsumptionSieve::new();
+        assert!(sieve.insert(p2.clone()));
+        assert!(sieve.insert(p1.clone()));
+        assert_eq!(sieve.kills(), 1);
+        assert_eq!(sieve.into_disjuncts(), vec![p1.clone()]);
+
+        // Mutual containment (equivalent but non-identical): earliest wins.
+        let e1 = q(&mut voc, "q :- E(S,T)");
+        let mut sieve = SubsumptionSieve::new();
+        assert!(sieve.insert(p1.clone()));
+        assert!(!sieve.insert(e1));
+        assert_eq!(sieve.into_disjuncts(), vec![p1]);
     }
 }

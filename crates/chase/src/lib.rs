@@ -24,7 +24,8 @@ pub mod omq_eval;
 
 pub use chase::{chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 pub use cq_ops::{
-    cq_contained, cq_core, cq_core_budgeted, cq_equivalent, cq_isomorphic, ucq_contained,
+    cq_canonical_form, cq_contained, cq_core, cq_core_budgeted, cq_core_budgeted_report,
+    cq_equivalent, cq_isomorphic, ucq_contained, CqCanonicalForm, SubsumptionSieve,
 };
 pub use eval::{eval_cq, eval_ucq, holds_cq, holds_ucq};
 pub use hom::{find_hom, for_each_hom, for_each_hom_with_delta, Assignment, HomStats};

@@ -555,6 +555,12 @@ fn anytime_guarded(
     for &budget in &cfg.anytime_budgets {
         let rw_cfg = XRewriteConfig {
             max_queries: budget,
+            // The `skip(tested)` ladder below relies on the disjunct list of
+            // a smaller budget being a prefix of a larger budget's list,
+            // which holds for truncated raw output but not after
+            // subsumption pruning (a later disjunct can evict an earlier
+            // one). Witness search needs every sound disjunct anyway.
+            prune_subsumed: false,
             ..cfg.rewrite.clone()
         };
         let (ucq, complete) = match xrewrite(q1, voc, &rw_cfg) {

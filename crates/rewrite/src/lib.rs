@@ -23,4 +23,6 @@ pub mod xrewrite;
 pub use bounds::{bound_linear, bound_nonrecursive, bound_sticky};
 pub use eval::certain_answers_via_rewriting;
 pub use ucq_to_cq::{ucq_omq_to_cq_omq, UcqToCqError};
-pub use xrewrite::{xrewrite, RewriteError, RewriteOutput, XRewriteConfig};
+pub use xrewrite::{
+    xrewrite, DedupStrategy, RewriteError, RewriteOutput, RewriteStats, XRewriteConfig,
+};

@@ -11,27 +11,74 @@
 //!   existential-position variable blocks applicability, producing auxiliary
 //!   queries that keep the procedure complete.
 //!
-//! Queries are deduplicated modulo bijective variable renaming (`≃`,
-//! implemented by `omq_chase::cq_isomorphic`). The final rewriting keeps the
-//! explored `r`-labeled queries over the data schema only.
+//! The worklist is processed in **rounds**: every unexplored query of a
+//! round is expanded — across a scoped thread pool when
+//! [`XRewriteConfig::threads`] allows — and the candidate queries are merged
+//! back in a fixed order (parent entry, tgd, subset; rewriting before
+//! factorization), so entry numbering, deduplication, and the final disjunct
+//! list are identical at any thread count. All fresh-variable allocation
+//! (the `σⁱ` renamings) happens once per round on the caller thread, which
+//! both keeps the [`Vocabulary`] deterministic and hoists the per-entry
+//! renaming of the old per-entry loop.
+//!
+//! Queries are deduplicated modulo bijective variable renaming (`≃`): by
+//! default via canonical forms (`omq_chase::cq_canonical_form`, hash-map
+//! equality), with the PR 1 fingerprint + `cq_isomorphic` path available
+//! behind [`DedupStrategy::FingerprintIso`] and as the fallback for queries
+//! whose symmetry exceeds the canonical-labeling budget. The final rewriting
+//! keeps the explored `r`-labeled queries over the data schema only, and —
+//! unless [`XRewriteConfig::prune_subsumed`] is off — drops disjuncts
+//! homomorphically subsumed by another disjunct (the pruned UCQ is
+//! semantically equivalent; see `omq_chase::SubsumptionSieve`).
 //!
 //! Termination is guaranteed for linear, non-recursive and sticky inputs;
 //! for other inputs (e.g. guarded) the procedure may diverge, so a query
 //! budget is enforced and exceeding it is reported as
 //! [`RewriteError::BudgetExceeded`] — the partial rewriting is still sound
-//! and is exploited by the anytime guarded-containment algorithm.
+//! and is exploited by the anytime guarded-containment algorithm. The budget
+//! caps the number of entries ever created: generation stops *before* the
+//! entry that would cross `max_queries`, and the truncated run carries the
+//! same [`RewriteStats`] as a completed one.
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
-use omq_chase::{cq_core_budgeted, cq_isomorphic};
+use omq_chase::{
+    cq_canonical_form, cq_core_budgeted_report, cq_isomorphic, CqCanonicalForm, SubsumptionSieve,
+};
 use omq_model::{mgu_many, Atom, Cq, Omq, Substitution, Term, Tgd, Ucq, VarId, Vocabulary};
+
+/// Relabelings a canonical-labeling call may enumerate before giving up
+/// (product of color-class factorials, i.e. 7!): rewriting-generated queries
+/// are almost always rigid after color refinement, so the budget is only hit
+/// by pathological symmetric queries, which fall back to the pairwise path.
+const SYMMETRY_BUDGET: usize = 5_040;
+
+/// Endomorphism budget per core-folding round (see `cq_core_budgeted`).
+const CORE_BUDGET: usize = 2_000;
+
+/// How generated queries are deduplicated (the `≃` check of Algorithm 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DedupStrategy {
+    /// Canonical labeling (invariant-refined coloring + backtracking
+    /// tie-break): duplicate detection is a hash-map lookup. Queries whose
+    /// symmetry exceeds the labeling budget use the fingerprint path below;
+    /// the budget test is isomorphism-invariant, so no duplicate escapes.
+    Canonical,
+    /// Fingerprint buckets + pairwise `cq_isomorphic` (the pre-canonical
+    /// behaviour, kept as a cross-checkable reference).
+    FingerprintIso,
+}
 
 /// Budgets for the rewriting procedure.
 #[derive(Clone, Debug)]
 pub struct XRewriteConfig {
     /// Maximum number of distinct CQs ever enqueued (safety budget for
-    /// non-UCQ-rewritable inputs).
+    /// non-UCQ-rewritable inputs). Enforced as a hard cap: the run is
+    /// truncated on the first query that would cross it.
     pub max_queries: usize,
     /// Maximum number of atoms allowed in an intermediate CQ (prevents
     /// blow-ups from pathological factorizations); `None` = unbounded.
@@ -51,6 +98,24 @@ pub struct XRewriteConfig {
     /// procedure within the theoretical bounds of Props. 12/14/17 and is
     /// semantics-preserving (the core is homomorphically equivalent).
     pub canonicalize: bool,
+    /// Duplicate-detection strategy (see [`DedupStrategy`]).
+    pub dedup: DedupStrategy,
+    /// Drop output disjuncts homomorphically subsumed by another disjunct.
+    /// The pruned UCQ is semantically equivalent to the unpruned one, but
+    /// its disjunct list is no longer a *prefix* of a larger-budget run's
+    /// list — callers that ladder budgets and skip already-tested prefixes
+    /// must turn this off.
+    pub prune_subsumed: bool,
+    /// Flush cadence of the incremental subsumption sieve: finalized
+    /// disjuncts are folded into the sieve whenever at least this many new
+    /// queries have been generated since the last flush (and once more at
+    /// the end). Purely a scheduling knob — the surviving disjunct list is
+    /// independent of it.
+    pub prune_interval: usize,
+    /// Worker threads for the per-round frontier expansion. `0` means "use
+    /// the machine's available parallelism"; `1` forces the sequential
+    /// path. Any setting produces bit-identical output.
+    pub threads: usize,
 }
 
 impl Default for XRewriteConfig {
@@ -60,6 +125,10 @@ impl Default for XRewriteConfig {
             max_atoms: None,
             max_subset: 4,
             canonicalize: true,
+            dedup: DedupStrategy::Canonical,
+            prune_subsumed: true,
+            prune_interval: 256,
+            threads: 0,
         }
     }
 }
@@ -79,8 +148,8 @@ impl XRewriteConfig {
 pub enum RewriteError {
     /// The query budget was exhausted before the fixpoint; carries the
     /// partial output (sound: every disjunct is a correct rewriting, the
-    /// union may be incomplete).
-    BudgetExceeded(RewriteOutput),
+    /// union may be incomplete). Boxed to keep the `Err` variant small.
+    BudgetExceeded(Box<RewriteOutput>),
 }
 
 impl fmt::Display for RewriteError {
@@ -97,6 +166,45 @@ impl fmt::Display for RewriteError {
 
 impl std::error::Error for RewriteError {}
 
+/// Work counters of one rewriting run, carried by both the success and the
+/// budget-exceeded paths. Wall clocks are in nanoseconds (integers, so the
+/// containing types stay `Eq`); every other field is a deterministic
+/// function of the input and config, identical at any thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Worklist rounds (frontier generations) processed.
+    pub rounds: usize,
+    /// Candidate CQs produced by rewriting/factorization steps, before
+    /// deduplication.
+    pub candidates: usize,
+    /// Candidates discarded by the `max_atoms` budget.
+    pub atom_budget_skips: usize,
+    /// Duplicates detected by the raw-form fast path: the *uncored*
+    /// candidate's canonical form aliased a known entry slot, so the
+    /// candidate was rejected without ever being cored.
+    pub dedup_hits_raw: usize,
+    /// Duplicates detected by canonical-form hash equality after coring.
+    pub dedup_hits_canonical: usize,
+    /// Duplicates detected by the fingerprint + `cq_isomorphic` path.
+    pub dedup_hits_iso: usize,
+    /// Pairwise `cq_isomorphic` calls performed (bucket scans).
+    pub dedup_iso_checks: usize,
+    /// Candidates whose symmetry exceeded the canonical-labeling budget and
+    /// fell back to the fingerprint path.
+    pub canonical_fallbacks: usize,
+    /// Core computations that hit their endomorphism budget (result kept,
+    /// possibly non-minimal).
+    pub core_budget_exhaustions: usize,
+    /// Output disjuncts dropped as homomorphically subsumed.
+    pub subsumption_kills: usize,
+    /// Wall clock spent expanding frontier entries (worker side).
+    pub expand_nanos: u64,
+    /// Wall clock spent merging + deduplicating candidates (caller side).
+    pub merge_nanos: u64,
+    /// Wall clock spent in the subsumption sieve.
+    pub prune_nanos: u64,
+}
+
 /// The result of a (partial or complete) rewriting run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RewriteOutput {
@@ -108,6 +216,8 @@ pub struct RewriteOutput {
     pub rewrite_steps: usize,
     /// Number of factorization steps applied.
     pub factorization_steps: usize,
+    /// Work counters of the run.
+    pub stats: RewriteStats,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -159,17 +269,123 @@ fn fingerprint(q: &Cq) -> u64 {
     h.finish()
 }
 
-/// Dedup index: fingerprint -> entry indices.
-type Buckets = std::collections::HashMap<u64, Vec<usize>>;
+/// Which labels a dedup slot has seen: a slot's existence means "some entry
+/// with an aliased form exists"; `has_rewriting` narrows it for the
+/// rewriting-step check, which deduplicates only against `r`-labeled
+/// entries.
+#[derive(Clone, Copy, Default)]
+struct SlotFlags {
+    has_rewriting: bool,
+}
 
-fn is_dup(entries: &[Entry], buckets: &Buckets, q: &Cq, fp: u64, rewriting_only: bool) -> bool {
-    let Some(ids) = buckets.get(&fp) else {
-        return false;
-    };
-    ids.iter().any(|&i| {
-        (!rewriting_only || entries[i].label == Label::Rewriting)
-            && cq_isomorphic(&entries[i].cq, q)
-    })
+/// Dedup index for the canonical strategy.
+///
+/// Canonical forms (of cored entries *and* of uncored candidates proved
+/// equal to them) map to shared slots, so the expensive coring step runs
+/// only for queries that survive the cheap raw-form check — a duplicate
+/// candidate is usually rejected before ever being cored. Queries whose
+/// symmetry exceeds the labeling budget live in fingerprint `buckets` and
+/// are compared pairwise with `cq_isomorphic`; the fallback decision is
+/// isomorphism-invariant, so the two sides never need cross-checking. In
+/// `FingerprintIso` mode everything goes through `buckets`.
+struct DedupIndex {
+    canon: std::collections::HashMap<CqCanonicalForm, usize>,
+    slots: Vec<SlotFlags>,
+    buckets: std::collections::HashMap<u64, Vec<usize>>,
+}
+
+impl DedupIndex {
+    fn new() -> Self {
+        DedupIndex {
+            canon: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            buckets: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Looks a canonical form up; `Some(slot)` when an entry with an
+    /// aliased form exists (the caller still gates on the slot's flags).
+    fn slot_of(&self, form: &CqCanonicalForm) -> Option<usize> {
+        self.canon.get(form).copied()
+    }
+
+    /// Binds `form` to slot `slot` (aliases may bind many forms to one).
+    fn alias(&mut self, form: CqCanonicalForm, slot: usize) {
+        self.canon.insert(form, slot);
+    }
+
+    /// A fresh slot with the given flags.
+    fn new_slot(&mut self, flags: SlotFlags) -> usize {
+        self.slots.push(flags);
+        self.slots.len() - 1
+    }
+
+    /// Registers the keys of an admitted candidate for entry `idx` and
+    /// hands its CQ back to the caller.
+    fn register(&mut self, adm: Admitted, idx: usize, label: Label) -> Cq {
+        let is_rw = label == Label::Rewriting;
+        match adm.form {
+            Some(f) => {
+                // The form may already have a slot whose flags blocked the
+                // dup (a factorization entry seen by a rewriting candidate):
+                // upgrade it rather than shadowing it.
+                let s = match self.slot_of(&f) {
+                    Some(s) => {
+                        if is_rw {
+                            self.slots[s].has_rewriting = true;
+                        }
+                        s
+                    }
+                    None => {
+                        let s = self.new_slot(SlotFlags {
+                            has_rewriting: is_rw,
+                        });
+                        self.alias(f, s);
+                        s
+                    }
+                };
+                if let Some(r) = adm.raw {
+                    self.alias(r, s);
+                }
+            }
+            None => {
+                self.buckets
+                    .entry(adm.fp.expect("fallback admissions carry a fingerprint"))
+                    .or_default()
+                    .push(idx);
+                if let Some(r) = adm.raw {
+                    let s = self.new_slot(SlotFlags {
+                        has_rewriting: is_rw,
+                    });
+                    self.alias(r, s);
+                }
+            }
+        }
+        adm.cq
+    }
+
+    /// Scans the fingerprint bucket of `fp` for an entry isomorphic to `q`,
+    /// honouring the rewriting-only restriction; returns its index.
+    fn find_iso(
+        &self,
+        entries: &[Entry],
+        q: &Cq,
+        fp: u64,
+        rewriting_only: bool,
+        stats: &mut RewriteStats,
+    ) -> Option<usize> {
+        let ids = self.buckets.get(&fp)?;
+        let hit = ids.iter().copied().find(|&i| {
+            (!rewriting_only || entries[i].label == Label::Rewriting) && {
+                stats.dedup_iso_checks += 1;
+                cq_isomorphic(&entries[i].cq, q)
+            }
+        });
+        if hit.is_some() {
+            stats.dedup_hits_iso += 1;
+        }
+        hit
+    }
 }
 
 /// Positions (0-based) of the head atom of `t` that hold an existentially
@@ -199,131 +415,473 @@ fn rename_apart(t: &Tgd, voc: &mut Vocabulary) -> Tgd {
     Tgd::new(sub.apply_atoms(&t.body), sub.apply_atoms(&t.head))
 }
 
-/// Is tgd `t` (with a single head atom) applicable to the atom set `s` of
-/// query `q` (Def. 6)?
-///
-/// Returns the MGU of `s ∪ {head(t)}` when applicable.
-fn applicable(q: &Cq, s: &[&Atom], t: &Tgd, expos: &[usize]) -> Option<Substitution> {
-    let head = &t.head[0];
-    if s.iter().any(|a| a.pred != head.pred) {
-        return None;
+/// The free-variable guard on an applicability MGU: reject a unifier that
+/// binds a free variable to a constant — such rewritings would need
+/// constants in query heads, which our CQ type does not model; see the
+/// module docs. (Free variables never unify with existential variables
+/// thanks to condition 2 of Def. 6, checked via the blocked-atom flags.)
+fn head_guard_ok(q: &Cq, mgu: &Substitution) -> bool {
+    q.head
+        .iter()
+        .all(|&v| !matches!(mgu.get(v), Some(t) if !t.is_var()))
+}
+
+/// Reusable buffers for the subset enumeration.
+#[derive(Default)]
+struct SubsetScratch {
+    /// Positions into the pool of the current combination.
+    pos: Vec<usize>,
+    /// The combination mapped back to pool values.
+    vals: Vec<usize>,
+}
+
+/// Enumerates the subsets of `pool` (which is ascending) of sizes
+/// `min..=max`, smallest size first and lexicographic within a size,
+/// without allocating per subset.
+fn for_each_subset(
+    pool: &[usize],
+    min: usize,
+    max: usize,
+    scratch: &mut SubsetScratch,
+    mut f: impl FnMut(&[usize]),
+) {
+    let n = pool.len();
+    for size in min.max(1)..=max.min(n) {
+        let pos = &mut scratch.pos;
+        pos.clear();
+        pos.extend(0..size);
+        'combos: loop {
+            scratch.vals.clear();
+            scratch.vals.extend(pos.iter().map(|&p| pool[p]));
+            f(&scratch.vals);
+            // Advance to the next lexicographic combination.
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    break 'combos;
+                }
+                i -= 1;
+                if pos[i] != i + n - size {
+                    pos[i] += 1;
+                    for j in i + 1..size {
+                        pos[j] = pos[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
     }
-    // Condition 2: no constant or shared-variable position of s may be an
-    // existential position of the head.
-    for a in s {
-        for (i, &arg) in a.args.iter().enumerate() {
-            let blocked = match arg {
-                Term::Const(_) => true,
-                Term::Var(v) => q.is_shared(v),
-                Term::Null(_) => unreachable!("CQs contain no nulls"),
-            };
-            if blocked && expos.contains(&i) {
+}
+
+/// Removes duplicate atoms from a CQ (keeps first occurrences). Quadratic
+/// in the body size, which is small; beats hashing because the common case
+/// (few or no duplicates) does one cheap slice comparison per pair.
+fn dedup_atoms(q: &Cq) -> Cq {
+    let mut body: Vec<Atom> = Vec::with_capacity(q.body.len());
+    for a in &q.body {
+        if !body.contains(a) {
+            body.push(a.clone());
+        }
+    }
+    Cq::new(q.head.clone(), body)
+}
+
+/// The worker-side dedup key of a candidate.
+enum CandKey {
+    /// Canonical strategy: the canonical form of the candidate as produced
+    /// (uncored unless `Candidate::finalized`); `None` when its symmetry
+    /// exceeded the labeling budget.
+    Raw(Option<CqCanonicalForm>),
+    /// Fingerprint strategy: the fingerprint of the already-cored candidate.
+    Fp(u64),
+}
+
+/// A candidate produced by expanding one frontier entry, together with the
+/// dedup key computed worker-side. Under the canonical strategy the
+/// expensive coring step is *deferred* to the merge side and runs only for
+/// candidates that survive the cheap raw-form probe.
+struct Candidate {
+    kind: Label,
+    cq: Cq,
+    key: CandKey,
+    /// `cq` needs no further coring (fingerprint mode, coring disabled, or
+    /// the rare worker-side coring forced by the `max_atoms` budget).
+    finalized: bool,
+}
+
+/// A candidate that survived deduplication, carrying the keys to register
+/// once the caller has pushed its entry.
+struct Admitted {
+    cq: Cq,
+    /// Final canonical form; `None` means the fingerprint fallback (`fp`).
+    form: Option<CqCanonicalForm>,
+    fp: Option<u64>,
+    /// Uncored form to alias to the entry's slot (when it differs).
+    raw: Option<CqCanonicalForm>,
+}
+
+/// All candidates of one frontier entry, in deterministic order (tgd index,
+/// subset index; rewriting before factorization per subset), plus the
+/// worker-side counters.
+#[derive(Default)]
+struct Expansion {
+    candidates: Vec<Candidate>,
+    seen: usize,
+    atom_skips: usize,
+    core_exhaustions: usize,
+    canonical_fallbacks: usize,
+}
+
+impl Expansion {
+    /// Normalizes a generated CQ (duplicate-atom removal; coring only when
+    /// a budget forces it — otherwise coring is deferred to the merge side),
+    /// applies the atom budget, and records it as a candidate.
+    fn consider(&mut self, q: Cq, kind: Label, cfg: &XRewriteConfig) {
+        self.seen += 1;
+        let mut q = dedup_atoms(&q);
+        let mut finalized = !cfg.canonicalize;
+        let core_here = |q: &Cq, exh: &mut usize| {
+            let (core, exhausted) = cq_core_budgeted_report(q, CORE_BUDGET);
+            if exhausted {
+                *exh += 1;
+            }
+            core
+        };
+        if cfg.dedup == DedupStrategy::FingerprintIso {
+            // The reference path cores worker-side: its dedup key (the
+            // fingerprint) must be computed on the final query.
+            if !finalized && !q.body.is_empty() {
+                q = core_here(&q, &mut self.core_exhaustions);
+            }
+            if cfg.max_atoms.is_some_and(|m| q.body.len() > m) {
+                self.atom_skips += 1;
+                return;
+            }
+            let key = CandKey::Fp(fingerprint(&q));
+            self.candidates.push(Candidate {
+                kind,
+                cq: q,
+                key,
+                finalized: true,
+            });
+            return;
+        }
+        // Canonical strategy: the atom budget compares against the *cored*
+        // size, so an oversized candidate is cored here (rare — the budget
+        // is off by default) and re-checked; within-budget candidates stay
+        // uncored, since coring never grows a query.
+        if !finalized && !q.body.is_empty() && cfg.max_atoms.is_some_and(|m| q.body.len() > m) {
+            q = core_here(&q, &mut self.core_exhaustions);
+            finalized = true;
+        }
+        if cfg.max_atoms.is_some_and(|m| q.body.len() > m) {
+            self.atom_skips += 1;
+            return;
+        }
+        let key = CandKey::Raw(cq_canonical_form(&q, SYMMETRY_BUDGET));
+        self.candidates.push(Candidate {
+            kind,
+            cq: q,
+            key,
+            finalized,
+        });
+    }
+}
+
+/// Merge-side admission of one candidate: the cheap probe on the worker-side
+/// key first; survivors are cored (canonical strategy) and re-probed with
+/// their final form. Returns `None` for duplicates, otherwise the finalized
+/// candidate for the caller to push and [`DedupIndex::register`].
+fn admit(
+    index: &mut DedupIndex,
+    entries: &[Entry],
+    cand: Candidate,
+    rewriting_only: bool,
+    stats: &mut RewriteStats,
+) -> Option<Admitted> {
+    let raw_form = match cand.key {
+        CandKey::Fp(fp) => {
+            if index
+                .find_iso(entries, &cand.cq, fp, rewriting_only, stats)
+                .is_some()
+            {
+                return None;
+            }
+            return Some(Admitted {
+                cq: cand.cq,
+                form: None,
+                fp: Some(fp),
+                raw: None,
+            });
+        }
+        CandKey::Raw(form) => form,
+    };
+    // Fast path: the possibly-uncored form already aliases a known slot.
+    if let Some(form) = &raw_form {
+        if let Some(s) = index.slot_of(form) {
+            if !rewriting_only || index.slots[s].has_rewriting {
+                stats.dedup_hits_raw += 1;
                 return None;
             }
         }
     }
-    // Condition 1: unification.
-    let mut atoms: Vec<Atom> = s.iter().map(|a| (*a).clone()).collect();
-    atoms.push(head.clone());
-    let mgu = mgu_many(&atoms)?;
-    // Guard against binding a free variable to a constant: such rewritings
-    // would need constants in query heads, which our CQ type does not model;
-    // see the module docs. (Free variables never unify with existential
-    // variables thanks to condition 2.)
-    for &v in &q.head {
-        if matches!(mgu.get(v), Some(t) if !t.is_var()) {
-            return None;
+    // Slow path: finalize (core) and re-probe with the final form.
+    let (cq, form, raw) = if cand.finalized || cand.cq.body.is_empty() {
+        (cand.cq, raw_form, None)
+    } else {
+        let (core, exhausted) = cq_core_budgeted_report(&cand.cq, CORE_BUDGET);
+        if exhausted {
+            stats.core_budget_exhaustions += 1;
+        }
+        if core == cand.cq {
+            // Coring was a no-op, so the raw form already is the final
+            // form; no alias entry is needed either.
+            (core, raw_form, None)
+        } else {
+            let form = cq_canonical_form(&core, SYMMETRY_BUDGET);
+            (core, form, raw_form)
+        }
+    };
+    match form {
+        Some(f) => {
+            if let Some(s) = index.slot_of(&f) {
+                if !rewriting_only || index.slots[s].has_rewriting {
+                    stats.dedup_hits_canonical += 1;
+                    // Alias the raw form so the next identical candidate
+                    // takes the fast path.
+                    if let Some(r) = raw {
+                        index.alias(r, s);
+                    }
+                    return None;
+                }
+            }
+            Some(Admitted {
+                cq,
+                form: Some(f),
+                fp: None,
+                raw,
+            })
+        }
+        None => {
+            stats.canonical_fallbacks += 1;
+            let fp = fingerprint(&cq);
+            if let Some(i) = index.find_iso(entries, &cq, fp, rewriting_only, stats) {
+                if let Some(r) = raw {
+                    let flags = SlotFlags {
+                        has_rewriting: entries[i].label == Label::Rewriting,
+                    };
+                    let s = index.new_slot(flags);
+                    index.alias(r, s);
+                }
+                return None;
+            }
+            Some(Admitted {
+                cq,
+                form: None,
+                fp: Some(fp),
+                raw,
+            })
         }
     }
-    Some(mgu)
 }
 
-/// Is the atom set `s` of `q` factorizable w.r.t. `t` (Def. 7)?
-/// Returns the MGU of `s` if so.
-fn factorizable(
+/// Emits the rewriting step `q' = γ(q[S / body(σⁱ)])` for an applicable set
+/// (given by its body indices `s_idx`) with MGU `gamma`.
+fn emit_rewriting(
     q: &Cq,
-    s: &[&Atom],
     s_idx: &[usize],
+    gamma: &Substitution,
     t: &Tgd,
-    expos: &[usize],
-) -> Option<Substitution> {
-    if s.len() < 2 {
-        return None;
-    }
-    let head = &t.head[0];
-    if s.iter().any(|a| a.pred != head.pred) {
-        return None;
-    }
-    if expos.is_empty() {
-        return None;
-    }
-    // Condition 3: a variable x outside body(q)\s occurring in every atom of
-    // s, and only at existential positions.
-    let rest_vars: HashSet<VarId> = q
+    out: &mut Expansion,
+    cfg: &XRewriteConfig,
+) {
+    let mut body: Vec<Atom> = q
         .body
         .iter()
         .enumerate()
         .filter(|(i, _)| !s_idx.contains(i))
-        .flat_map(|(_, a)| a.vars())
+        .map(|(_, a)| gamma.apply_atom(a))
         .collect();
-    let candidates: HashSet<VarId> = s[0].vars().collect();
-    let ok = candidates.into_iter().any(|x| {
-        if rest_vars.contains(&x) || q.head.contains(&x) {
-            return false;
-        }
-        s.iter().all(|a| {
-            let pos = a.positions_of(Term::Var(x));
-            !pos.is_empty() && pos.iter().all(|p| expos.contains(p))
+    body.extend(gamma.apply_atoms(&t.body));
+    let head: Vec<VarId> = q
+        .head
+        .iter()
+        .map(|&v| match gamma.apply_term(Term::Var(v)) {
+            Term::Var(w) => w,
+            _ => unreachable!("applicability protects free variables"),
         })
-    });
-    if !ok {
-        return None;
+        .collect();
+    if !body.is_empty() || head.is_empty() {
+        out.consider(Cq::new(head, body), Label::Rewriting, cfg);
     }
-    let atoms: Vec<Atom> = s.iter().map(|a| (*a).clone()).collect();
-    mgu_many(&atoms)
 }
 
-/// Enumerates the non-empty subsets of the indices in `pool`, smallest
-/// first, up to subsets of size `max`.
-fn subsets(pool: &[usize], max: usize) -> Vec<Vec<usize>> {
-    let mut out: Vec<Vec<usize>> = vec![vec![]];
-    for &i in pool {
-        let mut extended: Vec<Vec<usize>> = Vec::new();
-        for s in &out {
-            if s.len() < max {
-                let mut s2 = s.clone();
-                s2.push(i);
-                extended.push(s2);
+/// Expands one query against every (pre-renamed) tgd: the pure, worker-side
+/// part of a round. Needs no vocabulary access — all fresh variables were
+/// drawn by the caller when renaming the tgds.
+///
+/// The applicability check (Def. 6) is split across the loop structure: the
+/// *pool* prefilter keeps atoms whose predicate matches and which unify
+/// with the head on their own (condition 1 for singletons, necessary for
+/// any set); *blocked* atoms — a constant or shared variable at an
+/// existential position — violate condition 2 in every set containing them,
+/// so the rewriting subset enumeration runs over the unblocked pool only,
+/// and singleton sets reuse the MGU computed by the prefilter.
+///
+/// The factorizability check (Def. 7) needs no subset enumeration at all:
+/// its conditions force `S` to be *exactly* the set of atoms containing the
+/// blocking variable `x` (x occurs in every atom of S and nowhere else), so
+/// it suffices to enumerate the candidate variables found at existential
+/// positions of pool atoms.
+fn expand_entry(
+    q: &Cq,
+    renamed: &[(Tgd, Vec<usize>)],
+    cfg: &XRewriteConfig,
+    scratch: &mut SubsetScratch,
+) -> Expansion {
+    let mut out = Expansion::default();
+    let max_subset = cfg.max_subset.max(1);
+    for (t, expos) in renamed {
+        let head = &t.head[0];
+        let mut pool: Vec<usize> = Vec::new();
+        let mut rw_pool: Vec<usize> = Vec::new();
+        let mut rw_mgu: Vec<Substitution> = Vec::new();
+        for (i, a) in q.body.iter().enumerate() {
+            if a.pred != head.pred {
+                continue;
+            }
+            let Some(mgu) = omq_model::mgu_atoms(a, head) else {
+                continue;
+            };
+            pool.push(i);
+            let blocked = a.args.iter().enumerate().any(|(p, &arg)| {
+                expos.contains(&p)
+                    && match arg {
+                        Term::Const(_) => true,
+                        Term::Var(v) => q.is_shared(v),
+                        Term::Null(_) => unreachable!("CQs contain no nulls"),
+                    }
+            });
+            if !blocked {
+                rw_pool.push(i);
+                rw_mgu.push(mgu);
             }
         }
-        out.extend(extended);
+        if pool.is_empty() {
+            continue;
+        }
+
+        // --- rewriting steps: singletons first (cached MGU)... ---
+        for (k, &i) in rw_pool.iter().enumerate() {
+            if head_guard_ok(q, &rw_mgu[k]) {
+                emit_rewriting(q, &[i], &rw_mgu[k], t, &mut out, cfg);
+            }
+        }
+        // --- ...then the multi-atom sets. ---
+        for_each_subset(&rw_pool, 2, max_subset, scratch, |s_idx| {
+            let mut atoms: Vec<Atom> = s_idx.iter().map(|&i| q.body[i].clone()).collect();
+            atoms.push(head.clone());
+            if let Some(gamma) = mgu_many(&atoms) {
+                if head_guard_ok(q, &gamma) {
+                    emit_rewriting(q, s_idx, &gamma, t, &mut out, cfg);
+                }
+            }
+        });
+
+        // --- factorization steps: one forced set per blocking variable. ---
+        if expos.is_empty() {
+            continue;
+        }
+        let mut seen_vars: Vec<VarId> = Vec::new();
+        let mut tried: Vec<Vec<usize>> = Vec::new();
+        for &i in &pool {
+            for &p in expos {
+                let Term::Var(x) = q.body[i].args[p] else {
+                    continue;
+                };
+                if seen_vars.contains(&x) {
+                    continue;
+                }
+                seen_vars.push(x);
+                if q.head.contains(&x) {
+                    continue;
+                }
+                // The forced set: every body atom containing x. Conditions:
+                // at least two atoms, all in the pool, x only at existential
+                // positions within them.
+                let occ: Vec<usize> = (0..q.body.len())
+                    .filter(|&j| q.body[j].args.contains(&Term::Var(x)))
+                    .collect();
+                if occ.len() < 2 || occ.len() > max_subset {
+                    continue;
+                }
+                let ok = occ.iter().all(|&j| {
+                    pool.contains(&j)
+                        && q.body[j]
+                            .positions_of(Term::Var(x))
+                            .iter()
+                            .all(|p2| expos.contains(p2))
+                });
+                if !ok || tried.contains(&occ) {
+                    continue;
+                }
+                let atoms: Vec<Atom> = occ.iter().map(|&j| q.body[j].clone()).collect();
+                if let Some(gamma) = mgu_many(&atoms) {
+                    out.consider(gamma.apply_cq(q), Label::Factorization, cfg);
+                }
+                tried.push(occ);
+            }
+        }
     }
-    out.retain(|s| !s.is_empty());
-    out.sort_by_key(Vec::len);
     out
 }
 
-/// Canonicalizes a generated CQ: duplicate-atom removal plus (optionally)
-/// core computation.
-fn canonical(q: &Cq, cfg: &XRewriteConfig) -> Cq {
-    let d = dedup_atoms(q);
-    if cfg.canonicalize && !d.body.is_empty() {
-        cq_core_budgeted(&d, 2_000)
-    } else {
-        d
+/// Resolves the worker count for the frontier expansion.
+fn effective_threads(cfg: &XRewriteConfig) -> usize {
+    match cfg.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
     }
 }
 
-/// Removes duplicate atoms from a CQ (keeps first occurrences).
-fn dedup_atoms(q: &Cq) -> Cq {
-    let mut seen = HashSet::new();
-    let body: Vec<Atom> = q
-        .body
-        .iter()
-        .filter(|a| seen.insert((*a).clone()))
-        .cloned()
-        .collect();
-    Cq::new(q.head.clone(), body)
+/// Expands every entry of the frontier, in parallel when the pool and the
+/// frontier are big enough. Results are slotted by frontier position, so the
+/// caller merges them in exactly the sequential order.
+fn expand_frontier(
+    frontier: &[Entry],
+    renamed: &[(Tgd, Vec<usize>)],
+    cfg: &XRewriteConfig,
+    threads: usize,
+) -> Vec<Expansion> {
+    let n = frontier.len();
+    if threads <= 1 || n < 2 {
+        let mut scratch = SubsetScratch::default();
+        return frontier
+            .iter()
+            .map(|e| expand_entry(&e.cq, renamed, cfg, &mut scratch))
+            .collect();
+    }
+    let slots: Vec<OnceLock<Expansion>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                let mut scratch = SubsetScratch::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let exp = expand_entry(&frontier[i].cq, renamed, cfg, &mut scratch);
+                    let _ = slots[i].set(exp);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot was filled"))
+        .collect()
 }
 
 /// Runs XRewrite on `omq`, producing a UCQ rewriting over the data schema.
@@ -344,135 +902,163 @@ pub fn xrewrite(
         omq_classes::normalize_heads(voc, &omq.sigma)
     };
 
+    let mut stats = RewriteStats::default();
     let mut entries: Vec<Entry> = Vec::new();
-    let mut buckets: Buckets = Buckets::new();
-    let push_entry =
-        |entries: &mut Vec<Entry>, buckets: &mut Buckets, cq: Cq, fp: u64, label: Label| {
-            buckets.entry(fp).or_default().push(entries.len());
-            entries.push(Entry {
-                cq,
-                label,
-                explored: false,
-            });
-        };
-    for d in &omq.query.disjuncts {
-        let cq = canonical(d, cfg);
-        let fp = fingerprint(&cq);
-        if !is_dup(&entries, &buckets, &cq, fp, false) {
-            push_entry(&mut entries, &mut buckets, cq, fp, Label::Rewriting);
-        }
-    }
-
-    let mut rewrite_steps = 0usize;
-    let mut factorization_steps = 0usize;
+    let mut index = DedupIndex::new();
     let mut truncated = false;
 
-    // Entries are only ever appended unexplored and explored in order, so a
-    // cursor replaces the previous O(n²) first-unexplored scan.
-    let mut cursor = 0usize;
-    while let Some(idx) = entries[cursor..]
-        .iter()
-        .position(|e| !e.explored)
-        .map(|o| cursor + o)
+    // Seed the worklist with the input disjuncts.
     {
-        if entries.len() > cfg.max_queries {
-            truncated = true;
-            break;
+        let merge_start = Instant::now();
+        let mut seed_exp = Expansion::default();
+        for d in &omq.query.disjuncts {
+            seed_exp.consider(d.clone(), Label::Rewriting, cfg);
         }
-        entries[idx].explored = true;
-        cursor = idx + 1;
-        let q = entries[idx].cq.clone();
-
-        for t in &sigma {
-            // Pool: atoms of q with the head predicate.
-            let pool: Vec<usize> = q
-                .body
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.pred == t.head[0].pred)
-                .map(|(i, _)| i)
-                .collect();
-            if pool.is_empty() {
+        // Seeds are inputs, not generated candidates.
+        seed_exp.seen = 0;
+        stats.core_budget_exhaustions += seed_exp.core_exhaustions;
+        stats.canonical_fallbacks += seed_exp.canonical_fallbacks;
+        for cand in seed_exp.candidates {
+            let Some(adm) = admit(&mut index, &entries, cand, false, &mut stats) else {
                 continue;
+            };
+            if entries.len() >= cfg.max_queries {
+                truncated = true;
+                break;
             }
-            let renamed = rename_apart(t, voc);
-            // Existential positions are indices into the head atom, so they
-            // are invariant under the renaming; compute them once per tgd
-            // instead of once per candidate subset.
-            let expos = existential_positions(&renamed);
-            // Prefilter: an atom that does not unify with the head on its
-            // own can never belong to an applicable or factorizable set.
-            let pool: Vec<usize> = pool
-                .into_iter()
-                .filter(|&i| omq_model::mgu_atoms(&q.body[i], &renamed.head[0]).is_some())
-                .collect();
-            if pool.is_empty() {
-                continue;
-            }
-            for s_idx in subsets(&pool, cfg.max_subset.max(1)) {
-                let s: Vec<&Atom> = s_idx.iter().map(|&i| &q.body[i]).collect();
+            let cq = index.register(adm, entries.len(), Label::Rewriting);
+            entries.push(Entry {
+                cq,
+                label: Label::Rewriting,
+                explored: false,
+            });
+        }
+        stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+    }
 
-                // --- rewriting step ---
-                if let Some(gamma) = applicable(&q, &s, &renamed, &expos) {
-                    // q' = γ(q[S / body(σⁱ)])
-                    let mut body: Vec<Atom> = q
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| !s_idx.contains(i))
-                        .map(|(_, a)| gamma.apply_atom(a))
-                        .collect();
-                    body.extend(gamma.apply_atoms(&renamed.body));
-                    let head: Vec<VarId> = q
-                        .head
-                        .iter()
-                        .map(|&v| match gamma.apply_term(Term::Var(v)) {
-                            Term::Var(w) => w,
-                            _ => unreachable!("applicability protects free variables"),
-                        })
-                        .collect();
-                    if !body.is_empty() || head.is_empty() {
-                        let q2 = canonical(&Cq::new(head, body), cfg);
-                        let within = cfg.max_atoms.is_none_or(|m| q2.body.len() <= m);
-                        let fp = fingerprint(&q2);
-                        if within && !is_dup(&entries, &buckets, &q2, fp, true) {
-                            rewrite_steps += 1;
-                            push_entry(&mut entries, &mut buckets, q2, fp, Label::Rewriting);
-                        }
-                    }
-                }
+    let threads = effective_threads(cfg);
+    let mut rewrite_steps = 0usize;
+    let mut factorization_steps = 0usize;
 
-                // --- factorization step ---
-                if let Some(gamma) = factorizable(&q, &s, &s_idx, t, &expos) {
-                    let q2 = canonical(&gamma.apply_cq(&q), cfg);
-                    let within = cfg.max_atoms.is_none_or(|m| q2.body.len() <= m);
-                    let fp = fingerprint(&q2);
-                    if within && !is_dup(&entries, &buckets, &q2, fp, false) {
-                        factorization_steps += 1;
-                        push_entry(&mut entries, &mut buckets, q2, fp, Label::Factorization);
-                    }
-                }
+    // The subsumption sieve receives every finalized disjunct (explored,
+    // r-labeled, data-schema-only) in entry order; `pending` buffers them
+    // between flushes. Streaming through the sieve in a fixed order makes
+    // the surviving list independent of the flush cadence.
+    let mut sieve = SubsumptionSieve::new();
+    let mut pending: Vec<Cq> = Vec::new();
+    let mut last_flush = 0usize;
+    let flush = |sieve: &mut SubsumptionSieve, pending: &mut Vec<Cq>, stats: &mut RewriteStats| {
+        let t = Instant::now();
+        for cq in pending.drain(..) {
+            sieve.insert(cq);
+        }
+        stats.prune_nanos += t.elapsed().as_nanos() as u64;
+    };
+    let is_output = |e: &Entry| {
+        e.label == Label::Rewriting
+            && e.explored
+            && e.cq.body.iter().all(|a| omq.data_schema.contains(a.pred))
+    };
+
+    // Round-based worklist: entries are appended in merge order and explored
+    // in index order, so each round's frontier is the contiguous range
+    // `[cursor, frontier_end)`.
+    let mut cursor = 0usize;
+    while cursor < entries.len() && !truncated {
+        stats.rounds += 1;
+        let frontier_end = entries.len();
+
+        // Rename each tgd once for this round, on the caller thread: fresh
+        // variables are drawn in a deterministic order regardless of thread
+        // count, and frontier entries were built from *earlier* rounds'
+        // renamings, so round-local sharing keeps the tgds apart from every
+        // query they meet. Tgds whose head predicate appears in no frontier
+        // body are skipped — their atom pool is empty for every entry — and
+        // since the frontier itself is deterministic, so is the skip set.
+        let frontier_preds: HashSet<_> = entries[cursor..frontier_end]
+            .iter()
+            .flat_map(|e| e.cq.body.iter().map(|a| a.pred))
+            .collect();
+        let renamed: Vec<(Tgd, Vec<usize>)> = sigma
+            .iter()
+            .filter(|t| frontier_preds.contains(&t.head[0].pred))
+            .map(|t| {
+                let r = rename_apart(t, voc);
+                let expos = existential_positions(&r);
+                (r, expos)
+            })
+            .collect();
+
+        let expand_start = Instant::now();
+        let expansions = expand_frontier(&entries[cursor..frontier_end], &renamed, cfg, threads);
+        stats.expand_nanos += expand_start.elapsed().as_nanos() as u64;
+
+        let merge_start = Instant::now();
+        for (off, exp) in expansions.into_iter().enumerate() {
+            let idx = cursor + off;
+            entries[idx].explored = true;
+            if cfg.prune_subsumed && is_output(&entries[idx]) {
+                pending.push(entries[idx].cq.clone());
             }
+            stats.candidates += exp.seen;
+            stats.atom_budget_skips += exp.atom_skips;
+            stats.core_budget_exhaustions += exp.core_exhaustions;
+            stats.canonical_fallbacks += exp.canonical_fallbacks;
+            for cand in exp.candidates {
+                let kind = cand.kind;
+                let rewriting_only = kind == Label::Rewriting;
+                let Some(adm) = admit(&mut index, &entries, cand, rewriting_only, &mut stats)
+                else {
+                    continue;
+                };
+                if entries.len() >= cfg.max_queries {
+                    truncated = true;
+                    break;
+                }
+                match kind {
+                    Label::Rewriting => rewrite_steps += 1,
+                    Label::Factorization => factorization_steps += 1,
+                }
+                let cq = index.register(adm, entries.len(), kind);
+                entries.push(Entry {
+                    cq,
+                    label: kind,
+                    explored: false,
+                });
+            }
+            if truncated {
+                break;
+            }
+        }
+        stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+        cursor = frontier_end;
+
+        if cfg.prune_subsumed && entries.len() - last_flush >= cfg.prune_interval {
+            last_flush = entries.len();
+            flush(&mut sieve, &mut pending, &mut stats);
         }
     }
 
-    let disjuncts: Vec<Cq> = entries
-        .iter()
-        .filter(|e| {
-            e.label == Label::Rewriting
-                && e.explored
-                && e.cq.body.iter().all(|a| omq.data_schema.contains(a.pred))
-        })
-        .map(|e| e.cq.clone())
-        .collect();
+    let disjuncts: Vec<Cq> = if cfg.prune_subsumed {
+        flush(&mut sieve, &mut pending, &mut stats);
+        stats.subsumption_kills = sieve.kills();
+        sieve.into_disjuncts()
+    } else {
+        entries
+            .iter()
+            .filter(|e| is_output(e))
+            .map(|e| e.cq.clone())
+            .collect()
+    };
     let out = RewriteOutput {
         ucq: Ucq::new(omq.query.arity, disjuncts),
         generated: entries.len(),
         rewrite_steps,
         factorization_steps,
+        stats,
     };
     if truncated {
-        Err(RewriteError::BudgetExceeded(out))
+        Err(RewriteError::BudgetExceeded(Box::new(out)))
     } else {
         Ok(out)
     }
@@ -526,6 +1112,8 @@ mod tests {
         }
         assert!(found_p, "P(x) missing from rewriting: {:?}", out.ucq);
         assert!(found_t, "T(x) missing from rewriting");
+        assert!(out.stats.rounds >= 2);
+        assert!(out.stats.candidates > 0);
     }
 
     /// Every disjunct of the rewriting must have at most |q| atoms for
@@ -639,7 +1227,9 @@ mod tests {
         assert_eq!(out.ucq.disjuncts.len(), 2);
     }
 
-    /// A guarded, non-UCQ-rewritable input exhausts the budget.
+    /// A guarded, non-UCQ-rewritable input exhausts the budget. The cap is
+    /// hard — generation stops *before* the query that would cross it — and
+    /// the partial run still carries its stats.
     #[test]
     fn budget_exceeded_on_transitive_guarded() {
         let (q, mut voc) = omq(
@@ -651,7 +1241,9 @@ mod tests {
         let r = xrewrite(&q, &mut voc, &XRewriteConfig::with_max_queries(25));
         match r {
             Err(RewriteError::BudgetExceeded(out)) => {
-                assert!(out.generated > 25);
+                assert!(out.generated <= 25, "hard cap overshot: {}", out.generated);
+                assert!(out.stats.rounds >= 1);
+                assert!(out.stats.candidates > 0);
             }
             Ok(out) => {
                 // Fine too: the fixpoint may be small. But then it must
@@ -697,5 +1289,65 @@ mod tests {
             "expected a disjunct over A, got {:?}",
             out.ucq
         );
+    }
+
+    /// Subsumption pruning drops a disjunct strictly implied by another
+    /// (here: the seed query is subsumed by the more general rewriting
+    /// P(x)), while the unpruned run keeps both; the pruned and unpruned
+    /// UCQs stay mutually contained.
+    #[test]
+    fn subsumption_prunes_redundant_disjuncts() {
+        let (q, mut voc) = omq(
+            "P(X) -> R(X)\n\
+             q(X) :- R(X), P(X)\n",
+            &["P", "R"],
+        );
+        let unpruned = xrewrite(
+            &q,
+            &mut voc,
+            &XRewriteConfig {
+                prune_subsumed: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pruned = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        assert!(pruned.ucq.disjuncts.len() < unpruned.ucq.disjuncts.len());
+        assert!(pruned.stats.subsumption_kills >= 1);
+        assert!(omq_chase::ucq_contained(&pruned.ucq, &unpruned.ucq));
+        assert!(omq_chase::ucq_contained(&unpruned.ucq, &pruned.ucq));
+    }
+
+    /// The two dedup strategies and any thread count produce identical
+    /// outputs (spot check; the differential test sweeps random OMQs).
+    #[test]
+    fn dedup_strategies_and_threads_agree() {
+        let make = || {
+            omq(
+                "P(X) -> exists Y . R(X,Y)\n\
+                 R(X,Y) -> P(Y)\n\
+                 T(X) -> P(X)\n\
+                 q(X) :- R(X,Y), P(Y)\n",
+                &["P", "T"],
+            )
+        };
+        let (q, mut voc) = make();
+        let base = xrewrite(&q, &mut voc, &XRewriteConfig::default()).unwrap();
+        for (dedup, threads) in [
+            (DedupStrategy::Canonical, 1),
+            (DedupStrategy::Canonical, 4),
+            (DedupStrategy::FingerprintIso, 1),
+            (DedupStrategy::FingerprintIso, 8),
+        ] {
+            let (q2, mut voc2) = make();
+            let cfg = XRewriteConfig {
+                dedup,
+                threads,
+                ..Default::default()
+            };
+            let out = xrewrite(&q2, &mut voc2, &cfg).unwrap();
+            assert_eq!(out.ucq.disjuncts, base.ucq.disjuncts, "{dedup:?}/{threads}");
+            assert_eq!(out.generated, base.generated);
+        }
     }
 }

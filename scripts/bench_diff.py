@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Diff the working-tree BENCH_*.json files against the committed baseline.
+
+Usage:
+    scripts/bench_diff.py [--strict] [FILE ...]
+
+With no FILE arguments, every ``BENCH_*.json`` in the repository root is
+diffed against ``git show HEAD:<file>``. Records are matched by their
+``workload`` key; for each match the wall-clock delta is reported, and any
+drift in a *counter* column (every numeric field except ``wall_ms``) is
+flagged — counters are deterministic, so a counter drift is a semantics
+change, not noise.
+
+Exit status: 0 normally; with ``--strict``, 1 if any counter drifted or any
+baseline workload disappeared (wall-clock changes never fail the diff).
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def load_baseline(path):
+    """The committed version of *path*, or None if it is not in HEAD."""
+    rel = os.path.relpath(path)
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:{rel}"],
+            capture_output=True,
+            check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        return None
+    return json.loads(out)
+
+
+def by_workload(records):
+    return {r["workload"]: r for r in records}
+
+
+def diff_file(path):
+    """Diffs one file; returns the number of hard (counter) drifts."""
+    with open(path, encoding="utf-8") as f:
+        current = by_workload(json.load(f))
+    baseline_records = load_baseline(path)
+    print(f"== {path}")
+    if baseline_records is None:
+        print("   (no committed baseline; skipping)")
+        return 0
+    baseline = by_workload(baseline_records)
+
+    drifts = 0
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None:
+            print(f"   MISSING  {name}: present in baseline, absent now")
+            drifts += 1
+            continue
+        b_ms, c_ms = base.get("wall_ms", 0.0), cur.get("wall_ms", 0.0)
+        rel = (c_ms - b_ms) / b_ms * 100 if b_ms else float("inf")
+        marker = " " if abs(rel) < 20 else ("+" if rel > 0 else "-")
+        print(f"  {marker} {name:<40} {b_ms:9.3f} -> {c_ms:9.3f} ms ({rel:+6.1f}%)")
+        for key in sorted(set(base) | set(cur)):
+            if key in ("workload", "wall_ms"):
+                continue
+            if base.get(key) != cur.get(key):
+                print(
+                    f"   COUNTER  {name}: {key} {base.get(key)} -> {cur.get(key)}"
+                )
+                drifts += 1
+    for name in current:
+        if name not in baseline:
+            print(f"   NEW      {name}: not in baseline")
+    return drifts
+
+
+def main():
+    args = sys.argv[1:]
+    strict = "--strict" in args
+    files = [a for a in args if a != "--strict"]
+    if not files:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        files = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        sys.exit(1)
+    drifts = sum(diff_file(f) for f in files)
+    if drifts:
+        print(f"{drifts} counter drift(s) — semantics changed, not noise")
+        if strict:
+            sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

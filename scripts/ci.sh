@@ -4,8 +4,9 @@
 #
 #   scripts/ci.sh
 #
-# The perf smoke step rewrites BENCH_chase.json; commit the refreshed file
-# when the counters change intentionally.
+# The perf smoke step rewrites BENCH_chase.json and BENCH_rewrite.json;
+# commit the refreshed files when the counters change intentionally.
+# scripts/bench_diff.py shows the drift against the committed baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +20,22 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q --release --workspace
 
-echo "==> perf smoke (writes BENCH_chase.json)"
+echo "==> perf smoke (writes BENCH_chase.json, BENCH_rewrite.json)"
 cargo run -q --release -p omq-bench --bin perf_smoke
+
+echo "==> rewriting bench sanity (every workload family present)"
+for family in "rewrite:E3 nr" "rewrite:E2 sticky" "rewrite:E1 linear"; do
+    if ! grep -q "$family" BENCH_rewrite.json; then
+        echo "BENCH_rewrite.json is missing the '$family' rows" >&2
+        exit 1
+    fi
+done
+[ "$(jq length BENCH_rewrite.json)" -ge 5 ] || {
+    echo "BENCH_rewrite.json has fewer rows than the committed sweep" >&2
+    exit 1
+}
+
+echo "==> bench diff vs committed baseline"
+python3 scripts/bench_diff.py || true
 
 echo "CI OK"

@@ -9,7 +9,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use omq::chase::{
-    chase, cq_contained, cq_core, cq_equivalent, cq_isomorphic, eval_cq, ChaseConfig, ChaseVariant,
+    chase, cq_canonical_form, cq_contained, cq_core, cq_equivalent, cq_isomorphic, eval_cq,
+    ChaseConfig, ChaseVariant,
 };
 use omq::model::display::{render_cq, render_tgd};
 use omq::model::{parse_query, parse_tgd, Atom, Cq, Instance, Term, Vocabulary};
@@ -160,6 +161,36 @@ proptest! {
         prop_assert_eq!(
             eval_cq(&q, &restricted.instance),
             eval_cq(&q, &oblivious.instance)
+        );
+    }
+
+    /// Canonical labeling decides `≃`: two random CQs have equal canonical
+    /// forms exactly when they are isomorphic (whenever both stay within
+    /// the symmetry budget), and the form is invariant under a full
+    /// variable renaming.
+    #[test]
+    fn canonical_form_decides_isomorphism(s1 in cq_spec(), s2 in cq_spec()) {
+        let mut voc = Vocabulary::new();
+        let q1 = build_cq(&s1, &mut voc);
+        let q2 = build_cq(&s2, &mut voc);
+        let budget = 5_040;
+        if let (Some(f1), Some(f2)) =
+            (cq_canonical_form(&q1, budget), cq_canonical_form(&q2, budget))
+        {
+            prop_assert_eq!(f1 == f2, cq_isomorphic(&q1, &q2));
+        }
+        let fresh: HashMap<_, _> = q1
+            .vars()
+            .into_iter()
+            .map(|v| (v, voc.fresh_var("w")))
+            .collect();
+        let renamed = q1.map_terms(|t| match t {
+            Term::Var(v) => Term::Var(fresh[&v]),
+            other => other,
+        });
+        prop_assert_eq!(
+            cq_canonical_form(&q1, budget),
+            cq_canonical_form(&renamed, budget)
         );
     }
 
