@@ -409,6 +409,19 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
 mod tests {
     use super::*;
 
+    /// `TwapaError` is a well-behaved `std::error::Error`: every variant
+    /// has a non-empty, non-panicking `Display` and no spurious source.
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        for e in [TwapaError::MixedPriorities, TwapaError::NotDownward] {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
+        let boxed: Box<dyn Error> = Box::new(TwapaError::MixedPriorities);
+        assert!(boxed.to_string().contains("parity"));
+    }
+
     /// ⟨∗⟩-reachability automaton: accepts trees with some 'b'-labeled node.
     fn reach_b() -> Twapa<char> {
         let mut delta = HashMap::new();

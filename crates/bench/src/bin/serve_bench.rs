@@ -1,0 +1,205 @@
+//! Replayable workload driver for the `omq-serve` layer.
+//!
+//! Writes `BENCH_serve.json` (or the path given as the first argument):
+//! cold vs. warm throughput and tail latency on a repeated-query workload,
+//! plus a parallel mixed-batch row. "Cold" runs with caching disabled, so
+//! every `contains` recomputes its rewritings; "warm" runs the identical
+//! request stream with the canonical-key caches on, so repeats are cache
+//! hits. Both phases use `threads = 1` so the counter columns
+//! (`requests`, `cache_hits`, …) are exactly reproducible; the parallel
+//! row reports wall-clock only.
+//!
+//! The headline figure is `speedup_warm_over_cold` on the contains stream
+//! (the acceptance floor is 10×; see scripts/ci.sh).
+
+use std::time::Instant;
+
+use omq_serve::{parse_request, Engine, EngineConfig, Request, Response};
+
+/// The E1-style linear family as program text (mirrors
+/// `omq_bench::workloads::linear_workload`).
+fn linear_program(chain: usize, qlen: usize) -> String {
+    let mut lines: Vec<String> = (0..chain)
+        .map(|i| format!("C{i}(X) -> C{}(X)", i + 1))
+        .collect();
+    lines.push(format!("C{chain}(X) -> exists Yx . R(X,Yx)"));
+    lines.push(format!("R(U,V) -> C{chain}(V)"));
+    let body: Vec<String> = (0..qlen).map(|i| format!("R(Q{i},Q{})", i + 1)).collect();
+    lines.push(format!("q(Q0) :- {}", body.join(", ")));
+    lines.join("\n")
+}
+
+fn register_line(name: &str, chain: usize, qlen: usize) -> String {
+    let program = linear_program(chain, qlen).replace('\n', "\\n");
+    format!(
+        r#"{{"op":"register","name":"{name}","program":"{program}","schema":["C0","R"],"query":"q"}}"#
+    )
+}
+
+/// The repeated-query request stream: `reps` passes over a small set of
+/// distinct questions — exactly the shape a warm cache exploits.
+fn contains_stream(reps: usize) -> Vec<String> {
+    let pairs = [
+        ("lin_a", "lin_a"),
+        ("lin_a", "lin_b"),
+        ("lin_b", "lin_a"),
+        ("lin_c", "lin_a"),
+    ];
+    let mut out = Vec::new();
+    for rep in 0..reps {
+        for (i, (l, r)) in pairs.iter().enumerate() {
+            let id = rep * pairs.len() + i;
+            out.push(format!(
+                r#"{{"id":{id},"op":"contains","lhs":"{l}","rhs":"{r}"}}"#
+            ));
+        }
+    }
+    out
+}
+
+fn evaluate_stream(reps: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for id in 0..reps {
+        out.push(format!(
+            r#"{{"id":{id},"op":"evaluate","name":"lin_a","facts":["C0(a{})","R(a{},b)"]}}"#,
+            id % 3,
+            id % 3
+        ));
+    }
+    out
+}
+
+fn parse_all(lines: &[String]) -> Vec<Result<Request, Box<Response>>> {
+    lines.iter().map(|l| parse_request(l)).collect()
+}
+
+struct Row {
+    workload: String,
+    wall_ms: f64,
+    p50_us: f64,
+    p95_us: f64,
+    requests: usize,
+    cache_hits: Option<usize>,
+}
+
+/// Replays `stream` one request per batch (so each request is individually
+/// timed), returning (total ms, p50 μs, p95 μs).
+fn replay(engine: &Engine, stream: &[String]) -> (f64, f64, f64) {
+    let items = parse_all(stream);
+    let mut lat_us: Vec<f64> = Vec::with_capacity(items.len());
+    let start = Instant::now();
+    for item in items {
+        let t = Instant::now();
+        let out = engine.execute_batch(std::slice::from_ref(&item));
+        assert!(
+            out[0].outcome.is_ok(),
+            "benchmark request failed: {:?}",
+            out[0].outcome
+        );
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    (wall_ms, pct(0.50), pct(0.95))
+}
+
+fn fresh_engine(cache_capacity: usize, threads: usize) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        threads,
+        cache_capacity,
+        default_deadline_ms: None,
+    });
+    let regs: Vec<String> = vec![
+        register_line("lin_a", 12, 3),
+        register_line("lin_b", 12, 2),
+        register_line("lin_c", 8, 3),
+    ];
+    for resp in engine.execute_batch(&parse_all(&regs)) {
+        assert!(
+            resp.outcome.is_ok(),
+            "registration failed: {:?}",
+            resp.outcome
+        );
+    }
+    engine
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let mut rows: Vec<Row> = Vec::new();
+
+    let contains = contains_stream(25); // 100 requests over 4 distinct pairs
+    let evals = evaluate_stream(60);
+
+    for (label, cache) in [("cold", 0usize), ("warm", 256)] {
+        let engine = fresh_engine(cache, 1);
+        let (wall_ms, p50_us, p95_us) = replay(&engine, &contains);
+        let (rw, vd) = engine.cache_stats();
+        rows.push(Row {
+            workload: format!("serve:contains {label}"),
+            wall_ms,
+            p50_us,
+            p95_us,
+            requests: contains.len(),
+            cache_hits: Some(rw.hits + vd.hits),
+        });
+        let (wall_ms, p50_us, p95_us) = replay(&engine, &evals);
+        let (rw2, vd2) = engine.cache_stats();
+        rows.push(Row {
+            workload: format!("serve:evaluate {label}"),
+            wall_ms,
+            p50_us,
+            p95_us,
+            requests: evals.len(),
+            cache_hits: Some(rw2.hits + vd2.hits - rw.hits - vd.hits),
+        });
+    }
+
+    // Parallel mixed batch: everything at once on the full pool, warm
+    // caches. Wall-clock only — scheduling is machine-dependent.
+    {
+        let engine = fresh_engine(256, 0);
+        let mixed: Vec<String> = contains.iter().chain(evals.iter()).cloned().collect();
+        let items = parse_all(&mixed);
+        let t = Instant::now();
+        let out = engine.execute_batch(&items);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(out.iter().all(|r| r.outcome.is_ok()));
+        rows.push(Row {
+            workload: "serve:mixed parallel batch".into(),
+            wall_ms,
+            p50_us: 0.0,
+            p95_us: 0.0,
+            requests: mixed.len(),
+            cache_hits: None,
+        });
+    }
+
+    let cold = rows[0].wall_ms;
+    let warm = rows[2].wall_ms.max(1e-9);
+    let speedup = cold / warm;
+
+    let mut json = String::from("[\n");
+    for r in &rows {
+        let hits = r
+            .cache_hits
+            .map_or(String::new(), |h| format!(", \"cache_hits\": {h}"));
+        json.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"requests\": {}{}}},\n",
+            r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, hits
+        ));
+        println!(
+            "{:<28} {:>9.3} ms  p50={:<9.1}us p95={:<9.1}us requests={} hits={:?}",
+            r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, r.cache_hits
+        );
+    }
+    json.push_str(&format!(
+        "  {{\"workload\": \"serve:summary\", \"wall_ms\": 0.0, \"speedup_warm_over_cold\": {speedup:.2}}}\n]\n"
+    ));
+    println!("serve:summary                speedup_warm_over_cold={speedup:.2}");
+    std::fs::write(&out_path, json).expect("writing serve benchmark output");
+    println!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@ use omq_classes::stratify;
 use omq_model::{Instance, NullId, Term, Tgd, VarId, Vocabulary};
 
 use crate::hom::{find_hom, for_each_hom_with_delta, Assignment, HomStats};
+use crate::runtime::Budget;
 
 /// Which chase variant to run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -39,6 +40,11 @@ pub struct ChaseConfig {
     /// Maximum null depth: a null created by a trigger whose body image only
     /// involves terms of depth `< d` has depth `d`. `None` = unbounded.
     pub max_depth: Option<usize>,
+    /// Wall-clock/cancellation budget, polled at trigger granularity. An
+    /// expired budget aborts the run with `complete == false` — the partial
+    /// instance is still a sound under-approximation, exactly as when the
+    /// step budget runs out.
+    pub budget: Budget,
 }
 
 impl Default for ChaseConfig {
@@ -47,6 +53,7 @@ impl Default for ChaseConfig {
             variant: ChaseVariant::Restricted,
             max_steps: 200_000,
             max_depth: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -278,6 +285,9 @@ impl<'a> Runner<'a> {
             let round_gen = self.instance.begin_generation();
             let round_start = self.instance.generation_start(round_gen);
             for &ti in active {
+                if self.cfg.budget.expired() {
+                    return false;
+                }
                 let tgd = &sigma[ti];
                 if tgd.body.is_empty() {
                     // Fact tgds have a single, empty trigger; it only exists
@@ -312,7 +322,7 @@ impl<'a> Runner<'a> {
                 self.stats.absorb_hom(hstats);
                 self.stats.triggers_considered += triggers.len();
                 for h in triggers.drain(..) {
-                    if self.steps >= self.cfg.max_steps {
+                    if self.steps >= self.cfg.max_steps || self.cfg.budget.expired() {
                         return false;
                     }
                     self.fire(ti, &h);
@@ -548,6 +558,37 @@ mod tests {
         assert!(out.complete);
         assert_eq!(out.stats.triggers_fired, 2);
         assert!(out.stats.dedup_hits >= 1);
+    }
+
+    #[test]
+    fn expired_budget_aborts_with_incomplete() {
+        let mut voc = Vocabulary::new();
+        // Non-terminating set: without the budget this would run to the step
+        // cap; the pre-expired budget must stop it almost immediately.
+        let sigma = vec![parse_tgd(&mut voc, "P(X) -> exists Y . Q(X,Y), P(Y)").unwrap()];
+        let d = db(&mut voc, &["P(a)"]);
+        let (budget, token) = crate::runtime::Budget::unlimited().cancellable();
+        token.cancel();
+        let cfg = ChaseConfig {
+            budget,
+            ..Default::default()
+        };
+        let out = chase(&d, &sigma, &mut voc, &cfg);
+        assert!(!out.complete);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn unlimited_budget_preserves_fixpoint() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "E(X,Y) -> T(X,Y)").unwrap()];
+        let d = db(&mut voc, &["E(a,b)"]);
+        let cfg = ChaseConfig {
+            budget: crate::runtime::Budget::deadline_in(std::time::Duration::from_secs(600)),
+            ..Default::default()
+        };
+        let out = chase(&d, &sigma, &mut voc, &cfg);
+        assert!(out.complete);
     }
 
     #[test]

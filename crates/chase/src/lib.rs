@@ -21,6 +21,7 @@ pub mod cq_ops;
 pub mod eval;
 pub mod hom;
 pub mod omq_eval;
+pub mod runtime;
 
 pub use chase::{chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 pub use cq_ops::{
@@ -30,3 +31,4 @@ pub use cq_ops::{
 pub use eval::{eval_cq, eval_ucq, holds_cq, holds_ucq};
 pub use hom::{find_hom, for_each_hom, for_each_hom_with_delta, Assignment, HomStats};
 pub use omq_eval::{certain_answers_via_chase, critical_instance, EvalError};
+pub use runtime::{effective_threads, parallel_indexed, Budget, CancelToken};

@@ -329,12 +329,14 @@ fn semi_naive_chase_matches_naive_reference() {
                 variant: ChaseVariant::Restricted,
                 max_steps: 50_000,
                 max_depth: None,
+                ..Default::default()
             }
         } else {
             ChaseConfig {
                 variant: ChaseVariant::Oblivious,
                 max_steps: 50_000,
                 max_depth: Some(2),
+                ..Default::default()
             }
         };
 

@@ -33,9 +33,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use omq_chase::eval::is_answer_ucq;
+use omq_chase::{runtime, Budget};
 use omq_model::{ConstId, Cq, Instance, Vocabulary};
 use omq_model::{Omq, Ucq};
-use omq_rewrite::{xrewrite, RewriteError, XRewriteConfig};
+use omq_rewrite::{DirectRewrite, RewriteSource, XRewriteConfig};
 
 use crate::evaluate::{is_certain_answer, EvalConfig, Trool};
 use crate::languages::{detect_language, OmqLanguage};
@@ -113,6 +114,12 @@ pub struct ContainmentConfig {
     /// it reproduces the sequential verdict and witness exactly (the
     /// lowest-index refutation wins).
     pub threads: usize,
+    /// Cooperative wall-clock/cancellation budget for the containment
+    /// check itself (the disjunct sweep and the propositional enumeration
+    /// poll it). Install one budget across *all* nested engines with
+    /// [`ContainmentConfig::with_budget`]. Expiry always degrades to
+    /// [`ContainmentResult::Unknown`] — never a flipped verdict.
+    pub budget: Budget,
 }
 
 impl Default for ContainmentConfig {
@@ -123,17 +130,21 @@ impl Default for ContainmentConfig {
             anytime_budgets: vec![50, 500, 2_000, 8_000],
             max_propositional_schema: 12,
             threads: 0,
+            budget: Budget::unlimited(),
         }
     }
 }
 
-/// Resolves the worker count for `work` independent checks.
-fn effective_threads(cfg: &ContainmentConfig, work: usize) -> usize {
-    let t = match cfg.threads {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        t => t,
-    };
-    t.min(work).max(1)
+impl ContainmentConfig {
+    /// Installs `budget` on this config *and* every nested engine config
+    /// (rewriting, chase, guarded evaluation), so a single deadline or
+    /// cancel token governs the entire check, however deep it recurses.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.rewrite.budget = budget.clone();
+        self.eval = self.eval.with_budget(budget.clone());
+        self.budget = budget;
+        self
+    }
 }
 
 /// Statistics and result of one containment check.
@@ -176,13 +187,16 @@ enum DisjunctVerdict {
 impl RhsChecker {
     /// Builds the checker, computing `Q₂`'s rewriting up front when its
     /// language is UCQ-rewritable. `reuse` supplies an already-computed
-    /// rewriting of `Q₂` (e.g. the left-hand side's, when `Q₁ == Q₂`).
+    /// rewriting of `Q₂` (e.g. the left-hand side's, when `Q₁ == Q₂`);
+    /// otherwise the rewriting is obtained through `src` (which may replay
+    /// a cached artifact).
     fn build(
         q2: &Omq,
         rhs_language: OmqLanguage,
         reuse: Option<(&Ucq, bool)>,
         voc: &mut Vocabulary,
         cfg: &ContainmentConfig,
+        src: &mut dyn RewriteSource,
     ) -> RhsChecker {
         match rhs_language {
             OmqLanguage::Empty | OmqLanguage::Linear | OmqLanguage::Sticky => {
@@ -192,15 +206,10 @@ impl RhsChecker {
                         complete,
                     };
                 }
-                match xrewrite(q2, voc, &cfg.eval.rewrite) {
-                    Ok(out) => RhsChecker::Rewritten {
-                        ucq: out.ucq,
-                        complete: true,
-                    },
-                    Err(RewriteError::BudgetExceeded(partial)) => RhsChecker::Rewritten {
-                        ucq: partial.ucq,
-                        complete: false,
-                    },
+                let art = src.rewrite(q2, voc, &cfg.eval.rewrite);
+                RhsChecker::Rewritten {
+                    ucq: art.ucq,
+                    complete: art.complete,
                 }
             }
             _ => RhsChecker::Direct,
@@ -262,10 +271,18 @@ fn check_disjuncts(
     cfg: &ContainmentConfig,
     stats: &mut (usize, usize),
 ) -> Result<Option<Witness>, String> {
-    let threads = effective_threads(cfg, disjuncts.len());
+    const EXPIRED: &str = "deadline expired during the disjunct sweep";
+    let threads = runtime::effective_threads(cfg.threads, disjuncts.len());
     if threads <= 1 {
         let mut inconclusive: Option<String> = None;
         for d in disjuncts {
+            // An expired budget leaves the remaining disjuncts unchecked:
+            // no `Contained` verdict is possible, only a refutation already
+            // found (below) stays definite.
+            if cfg.budget.expired() {
+                inconclusive.get_or_insert(EXPIRED.into());
+                break;
+            }
             stats.0 += 1;
             stats.1 = stats.1.max(d.num_atoms());
             let (db, tuple) = d.freeze(voc);
@@ -290,47 +307,48 @@ fn check_disjuncts(
         };
     }
 
-    let next = AtomicUsize::new(0);
     let best_refuted = AtomicUsize::new(usize::MAX);
     let cancel = AtomicBool::new(false);
     let checked = AtomicUsize::new(0);
     let max_size = AtomicUsize::new(0);
     let inconclusive: Mutex<Option<(usize, String)>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let mut wvoc = voc.clone();
-            let (next, best_refuted, cancel) = (&next, &best_refuted, &cancel);
-            let (checked, max_size, inconclusive) = (&checked, &max_size, &inconclusive);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= disjuncts.len() {
-                    break;
-                }
-                // Early cancel: once some refutation exists, only indices
-                // below it can still change the outcome.
-                if cancel.load(Ordering::Relaxed) && i > best_refuted.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let d = &disjuncts[i];
-                checked.fetch_add(1, Ordering::Relaxed);
-                max_size.fetch_max(d.num_atoms(), Ordering::Relaxed);
-                let (db, tuple) = d.freeze(&mut wvoc);
-                match rhs.check_one(&db, &tuple, q2, &mut wvoc, cfg) {
-                    DisjunctVerdict::Pass => {}
-                    DisjunctVerdict::Refuted => {
-                        best_refuted.fetch_min(i, Ordering::Relaxed);
-                        cancel.store(true, Ordering::Relaxed);
-                    }
-                    DisjunctVerdict::Inconclusive(reason) => {
-                        let mut slot = inconclusive.lock().unwrap();
-                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                            *slot = Some((i, reason));
-                        }
-                    }
-                }
-            });
+    let record_inconclusive = |i: usize, reason: String| {
+        let mut slot = inconclusive.lock().unwrap();
+        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+            *slot = Some((i, reason));
         }
-    });
+    };
+    let seed_voc: &Vocabulary = voc;
+    runtime::parallel_indexed(
+        threads,
+        disjuncts.len(),
+        || seed_voc.clone(),
+        |wvoc, i| {
+            // Early cancel: once some refutation exists, only indices
+            // below it can still change the outcome.
+            if cancel.load(Ordering::Relaxed) && i > best_refuted.load(Ordering::Relaxed) {
+                return;
+            }
+            // A skipped index must leave a trace, or the final resolution
+            // would read an all-pass sweep as `Contained`.
+            if cfg.budget.expired() {
+                record_inconclusive(i, EXPIRED.into());
+                return;
+            }
+            let d = &disjuncts[i];
+            checked.fetch_add(1, Ordering::Relaxed);
+            max_size.fetch_max(d.num_atoms(), Ordering::Relaxed);
+            let (db, tuple) = d.freeze(wvoc);
+            match rhs.check_one(&db, &tuple, q2, wvoc, cfg) {
+                DisjunctVerdict::Pass => {}
+                DisjunctVerdict::Refuted => {
+                    best_refuted.fetch_min(i, Ordering::Relaxed);
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                DisjunctVerdict::Inconclusive(reason) => record_inconclusive(i, reason),
+            }
+        },
+    );
     stats.0 += checked.load(Ordering::Relaxed);
     stats.1 = stats.1.max(max_size.load(Ordering::Relaxed));
 
@@ -361,6 +379,19 @@ pub fn contains(
     voc: &mut Vocabulary,
     cfg: &ContainmentConfig,
 ) -> Result<ContainmentOutcome, ContainmentError> {
+    contains_with(q1, q2, voc, cfg, &mut DirectRewrite)
+}
+
+/// [`contains`], with the rewritings drawn from `src` (a cache, a replay
+/// log, …) instead of computed from scratch. The source contract (see
+/// `omq_rewrite::source`) guarantees identical verdicts and witnesses.
+pub fn contains_with(
+    q1: &Omq,
+    q2: &Omq,
+    voc: &mut Vocabulary,
+    cfg: &ContainmentConfig,
+    src: &mut dyn RewriteSource,
+) -> Result<ContainmentOutcome, ContainmentError> {
     if q1.arity() != q2.arity() {
         return Err(ContainmentError::ArityMismatch);
     }
@@ -388,15 +419,13 @@ pub fn contains(
         // `complete == false` should not happen for genuinely rewritable
         // classes, but budgets are budgets: a partial rewriting still
         // supports sound refutation.
-        let (lhs_ucq, lhs_complete) = match xrewrite(q1, voc, &cfg.rewrite) {
-            Ok(out) => (out.ucq, true),
-            Err(RewriteError::BudgetExceeded(partial)) => (partial.ucq, false),
-        };
+        let lhs = src.rewrite(q1, voc, &cfg.rewrite);
+        let (lhs_ucq, lhs_complete) = (lhs.ucq, lhs.complete);
         // When both sides are the same OMQ (self-containment, the inner
         // half of every equivalence check) the left rewriting *is* the
         // right one: reuse it instead of rewriting again.
         let reuse = (lhs_complete && q1 == q2).then_some((&lhs_ucq, true));
-        let rhs = RhsChecker::build(q2, rhs_language, reuse, voc, cfg);
+        let rhs = RhsChecker::build(q2, rhs_language, reuse, voc, cfg, src);
         match check_disjuncts(&lhs_ucq.disjuncts, &rhs, q2, voc, cfg, &mut stats) {
             Ok(Some(w)) => ContainmentResult::NotContained(w),
             Ok(None) if lhs_complete => ContainmentResult::Contained,
@@ -406,7 +435,7 @@ pub fn contains(
             Err(reason) => ContainmentResult::Unknown(reason),
         }
     } else {
-        anytime_guarded(q1, q2, rhs_language, voc, cfg, &mut stats)
+        anytime_guarded(q1, q2, rhs_language, voc, cfg, src, &mut stats)
     };
 
     Ok(ContainmentOutcome {
@@ -480,9 +509,14 @@ fn propositional_enumeration(
     };
 
     let n_masks = 1usize << preds.len();
-    let threads = effective_threads(cfg, n_masks);
+    let threads = runtime::effective_threads(cfg.threads, n_masks);
     if threads <= 1 {
         for mask in 0..n_masks as u64 {
+            // Expired budget: fall through to the general algorithms, which
+            // poll the same budget and degrade to `Unknown` immediately.
+            if cfg.budget.expired() {
+                return None;
+            }
             stats.0 += 1;
             stats.1 = stats.1.max(mask.count_ones() as usize);
             match check_mask(mask, voc) {
@@ -499,39 +533,44 @@ fn propositional_enumeration(
     // Parallel sweep with sequential semantics: the event at the *lowest*
     // mask decides, exactly as the in-order scan would; an `AtomicBool`
     // cancels masks that can no longer matter.
-    let next = AtomicUsize::new(0);
     let best_mask = AtomicUsize::new(usize::MAX);
     let cancel = AtomicBool::new(false);
     let checked = AtomicUsize::new(0);
     let max_size = AtomicUsize::new(0);
     let best_event: Mutex<Option<(usize, MaskEvent)>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let mut wvoc = voc.clone();
-            let (next, best_mask, cancel) = (&next, &best_mask, &cancel);
-            let (checked, max_size, best_event) = (&checked, &max_size, &best_event);
-            let check_mask = &check_mask;
-            scope.spawn(move || loop {
-                let m = next.fetch_add(1, Ordering::Relaxed);
-                if m >= n_masks {
-                    break;
-                }
-                if cancel.load(Ordering::Relaxed) && m > best_mask.load(Ordering::Relaxed) {
-                    continue;
-                }
-                checked.fetch_add(1, Ordering::Relaxed);
-                max_size.fetch_max((m as u64).count_ones() as usize, Ordering::Relaxed);
-                if let Some(event) = check_mask(m as u64, &mut wvoc) {
-                    best_mask.fetch_min(m, Ordering::Relaxed);
-                    cancel.store(true, Ordering::Relaxed);
-                    let mut slot = best_event.lock().unwrap();
-                    if slot.as_ref().is_none_or(|(j, _)| m < *j) {
-                        *slot = Some((m, event));
-                    }
-                }
-            });
+    let record = |m: usize, event: MaskEvent| {
+        let mut slot = best_event.lock().unwrap();
+        if slot.as_ref().is_none_or(|(j, _)| m < *j) {
+            *slot = Some((m, event));
         }
-    });
+    };
+    let seed_voc: &Vocabulary = voc;
+    runtime::parallel_indexed(
+        threads,
+        n_masks,
+        || seed_voc.clone(),
+        |wvoc, m| {
+            if cancel.load(Ordering::Relaxed) && m > best_mask.load(Ordering::Relaxed) {
+                return;
+            }
+            // A skipped mask leaves the sweep undecidable here: record a
+            // fallback event so the caller routes to the budget-aware
+            // general path instead of concluding `Contained`.
+            if cfg.budget.expired() {
+                best_mask.fetch_min(m, Ordering::Relaxed);
+                cancel.store(true, Ordering::Relaxed);
+                record(m, MaskEvent::Fallback);
+                return;
+            }
+            checked.fetch_add(1, Ordering::Relaxed);
+            max_size.fetch_max((m as u64).count_ones() as usize, Ordering::Relaxed);
+            if let Some(event) = check_mask(m as u64, wvoc) {
+                best_mask.fetch_min(m, Ordering::Relaxed);
+                cancel.store(true, Ordering::Relaxed);
+                record(m, event);
+            }
+        },
+    );
     stats.0 += checked.load(Ordering::Relaxed);
     stats.1 = stats.1.max(max_size.load(Ordering::Relaxed));
     match best_event.into_inner().unwrap() {
@@ -548,11 +587,17 @@ fn anytime_guarded(
     rhs_language: OmqLanguage,
     voc: &mut Vocabulary,
     cfg: &ContainmentConfig,
+    src: &mut dyn RewriteSource,
     stats: &mut (usize, usize),
 ) -> ContainmentResult {
-    let rhs = RhsChecker::build(q2, rhs_language, None, voc, cfg);
+    let rhs = RhsChecker::build(q2, rhs_language, None, voc, cfg, src);
     let mut tested = 0usize;
     for &budget in &cfg.anytime_budgets {
+        if cfg.budget.expired() {
+            return ContainmentResult::Unknown(
+                "deadline expired during the anytime budget ladder".into(),
+            );
+        }
         let rw_cfg = XRewriteConfig {
             max_queries: budget,
             // The `skip(tested)` ladder below relies on the disjunct list of
@@ -563,10 +608,8 @@ fn anytime_guarded(
             prune_subsumed: false,
             ..cfg.rewrite.clone()
         };
-        let (ucq, complete) = match xrewrite(q1, voc, &rw_cfg) {
-            Ok(out) => (out.ucq, true),
-            Err(RewriteError::BudgetExceeded(partial)) => (partial.ucq, false),
-        };
+        let art = src.rewrite(q1, voc, &rw_cfg);
+        let (ucq, complete) = (art.ucq, art.complete);
         // Only test disjuncts not covered in earlier (smaller) rounds.
         let fresh: Vec<Cq> = ucq.disjuncts.iter().skip(tested).cloned().collect();
         tested = ucq.disjuncts.len().max(tested);
@@ -595,7 +638,22 @@ pub fn equivalent(
     voc: &mut Vocabulary,
     cfg: &ContainmentConfig,
 ) -> Result<(ContainmentOutcome, ContainmentOutcome), ContainmentError> {
-    Ok((contains(q1, q2, voc, cfg)?, contains(q2, q1, voc, cfg)?))
+    equivalent_with(q1, q2, voc, cfg, &mut DirectRewrite)
+}
+
+/// Mutual containment through a [`RewriteSource`]: the second direction
+/// reuses whatever the first one put in the source's cache.
+pub fn equivalent_with(
+    q1: &Omq,
+    q2: &Omq,
+    voc: &mut Vocabulary,
+    cfg: &ContainmentConfig,
+    src: &mut dyn RewriteSource,
+) -> Result<(ContainmentOutcome, ContainmentOutcome), ContainmentError> {
+    Ok((
+        contains_with(q1, q2, voc, cfg, src)?,
+        contains_with(q2, q1, voc, cfg, src)?,
+    ))
 }
 
 /// Convenience: containment of a plain (U)CQ in a plain (U)CQ over the same

@@ -13,9 +13,10 @@ use std::collections::HashSet;
 
 use omq_chase::chase::{chase, stratified_chase, ChaseConfig};
 use omq_chase::eval::eval_ucq;
+use omq_chase::Budget;
 use omq_guarded::{guarded_certain_answers, Completeness, GuardedConfig};
 use omq_model::{ConstId, Instance, Omq, Vocabulary};
-use omq_rewrite::{certain_answers_via_rewriting, XRewriteConfig};
+use omq_rewrite::{DirectRewrite, RewriteSource, XRewriteConfig};
 
 use crate::languages::{detect_language, OmqLanguage};
 
@@ -28,6 +29,18 @@ pub struct EvalConfig {
     pub rewrite: XRewriteConfig,
     /// Guarded-engine budgets.
     pub guarded: GuardedConfig,
+}
+
+impl EvalConfig {
+    /// Installs `budget` on every strategy config, so whichever engine the
+    /// dispatcher picks honours the same deadline/cancel token. Expiry
+    /// degrades the guarantee to [`EvalGuarantee::SoundLowerBound`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.chase.budget = budget.clone();
+        self.rewrite.budget = budget.clone();
+        self.guarded.budget = budget;
+        self
+    }
 }
 
 /// The guarantee attached to an evaluation result.
@@ -55,6 +68,18 @@ pub struct EvalOutcome {
 
 /// Evaluates `Q(D)`, dispatching on the detected language.
 pub fn evaluate(omq: &Omq, db: &Instance, voc: &mut Vocabulary, cfg: &EvalConfig) -> EvalOutcome {
+    evaluate_with(omq, db, voc, cfg, &mut DirectRewrite)
+}
+
+/// [`evaluate`], with the rewriting (when the dispatcher picks the
+/// rewriting strategy) drawn from `src` instead of computed from scratch.
+pub fn evaluate_with(
+    omq: &Omq,
+    db: &Instance,
+    voc: &mut Vocabulary,
+    cfg: &EvalConfig,
+    src: &mut dyn RewriteSource,
+) -> EvalOutcome {
     let language = detect_language(omq);
     match language {
         OmqLanguage::Empty => EvalOutcome {
@@ -76,18 +101,17 @@ pub fn evaluate(omq: &Omq, db: &Instance, voc: &mut Vocabulary, cfg: &EvalConfig
             }
         }
         OmqLanguage::Linear | OmqLanguage::Sticky => {
-            match certain_answers_via_rewriting(omq, db, voc, &cfg.rewrite) {
-                Ok(answers) => EvalOutcome {
-                    answers,
-                    guarantee: EvalGuarantee::Exact,
-                    language,
+            // Partial rewritings are sound, so a truncated artifact still
+            // yields a lower bound.
+            let art = src.rewrite(omq, voc, &cfg.rewrite);
+            EvalOutcome {
+                answers: eval_ucq(&art.ucq, db),
+                guarantee: if art.complete {
+                    EvalGuarantee::Exact
+                } else {
+                    EvalGuarantee::SoundLowerBound
                 },
-                Err(omq_rewrite::RewriteError::BudgetExceeded(partial)) => EvalOutcome {
-                    // Partial rewritings are sound.
-                    answers: eval_ucq(&partial.ucq, db),
-                    guarantee: EvalGuarantee::SoundLowerBound,
-                    language,
-                },
+                language,
             }
         }
         OmqLanguage::Guarded => {

@@ -32,8 +32,10 @@ pub use apps::{
     DistributionResult, RewritabilityResult,
 };
 pub use containment::{
-    contains, equivalent, ContainmentConfig, ContainmentError, ContainmentOutcome,
-    ContainmentResult, Witness,
+    contains, contains_with, equivalent, equivalent_with, ContainmentConfig, ContainmentError,
+    ContainmentOutcome, ContainmentResult, Witness,
 };
-pub use evaluate::{evaluate, is_certain_answer, EvalConfig, EvalGuarantee, EvalOutcome, Trool};
+pub use evaluate::{
+    evaluate, evaluate_with, is_certain_answer, EvalConfig, EvalGuarantee, EvalOutcome, Trool,
+};
 pub use languages::{detect_language, OmqLanguage};

@@ -31,6 +31,10 @@ pub struct GuardedConfig {
     /// Stabilization window; `None` = `max |qᵢ| + 1` (the default from the
     /// theory sketch above).
     pub window: Option<usize>,
+    /// Wall-clock/cancellation budget, propagated into every inner chase
+    /// run and polled between deepening rounds. Expiry degrades the result
+    /// to `Completeness::LowerBound` (sound, possibly incomplete).
+    pub budget: omq_chase::Budget,
 }
 
 impl Default for GuardedConfig {
@@ -39,6 +43,7 @@ impl Default for GuardedConfig {
             max_depth: 24,
             max_steps: 500_000,
             window: None,
+            budget: omq_chase::Budget::unlimited(),
         }
     }
 }
@@ -111,6 +116,7 @@ pub fn guarded_certain_answers(
     loop {
         let mut chase_cfg = ChaseConfig::with_depth(depth);
         chase_cfg.max_steps = cfg.max_steps;
+        chase_cfg.budget = cfg.budget.clone();
         let out = chase(db, &omq.sigma, voc, &chase_cfg);
         let answers = eval_ucq(&omq.query, &out.instance);
         if out.complete {

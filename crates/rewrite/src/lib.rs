@@ -17,11 +17,13 @@
 
 pub mod bounds;
 pub mod eval;
+pub mod source;
 pub mod ucq_to_cq;
 pub mod xrewrite;
 
 pub use bounds::{bound_linear, bound_nonrecursive, bound_sticky};
 pub use eval::certain_answers_via_rewriting;
+pub use source::{DirectRewrite, RewriteArtifact, RewriteSource};
 pub use ucq_to_cq::{ucq_omq_to_cq_omq, UcqToCqError};
 pub use xrewrite::{
     xrewrite, DedupStrategy, RewriteError, RewriteOutput, RewriteStats, XRewriteConfig,

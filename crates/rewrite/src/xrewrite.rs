@@ -42,12 +42,12 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use omq_chase::{
-    cq_canonical_form, cq_core_budgeted_report, cq_isomorphic, CqCanonicalForm, SubsumptionSieve,
+    cq_canonical_form, cq_core_budgeted_report, cq_isomorphic, runtime, Budget, CqCanonicalForm,
+    SubsumptionSieve,
 };
 use omq_model::{mgu_many, Atom, Cq, Omq, Substitution, Term, Tgd, Ucq, VarId, Vocabulary};
 
@@ -116,6 +116,12 @@ pub struct XRewriteConfig {
     /// the machine's available parallelism"; `1` forces the sequential
     /// path. Any setting produces bit-identical output.
     pub threads: usize,
+    /// Cooperative wall-clock/cancellation budget, polled at round
+    /// boundaries, per frontier entry, and per merged candidate. Expiry is
+    /// reported exactly like the query budget — the run is truncated and
+    /// returned as [`RewriteError::BudgetExceeded`] with the sound partial
+    /// rewriting — so an expired run never masquerades as complete.
+    pub budget: Budget,
 }
 
 impl Default for XRewriteConfig {
@@ -129,6 +135,7 @@ impl Default for XRewriteConfig {
             prune_subsumed: true,
             prune_interval: 256,
             threads: 0,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -530,6 +537,11 @@ struct Expansion {
     atom_skips: usize,
     core_exhaustions: usize,
     canonical_fallbacks: usize,
+    /// The worker found the budget expired and skipped this entry. The
+    /// merge side ORs this into `truncated`, so a worker-side skip always
+    /// surfaces as `BudgetExceeded` — candidates are dropped loudly, never
+    /// silently.
+    expired: bool,
 }
 
 impl Expansion {
@@ -836,17 +848,11 @@ fn expand_entry(
     out
 }
 
-/// Resolves the worker count for the frontier expansion.
-fn effective_threads(cfg: &XRewriteConfig) -> usize {
-    match cfg.threads {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        t => t,
-    }
-}
-
 /// Expands every entry of the frontier, in parallel when the pool and the
 /// frontier are big enough. Results are slotted by frontier position, so the
-/// caller merges them in exactly the sequential order.
+/// caller merges them in exactly the sequential order. Workers poll the
+/// budget before each entry; a skipped entry reports `expired` so the merge
+/// side truncates the run instead of silently losing candidates.
 fn expand_frontier(
     frontier: &[Entry],
     renamed: &[(Tgd, Vec<usize>)],
@@ -854,29 +860,25 @@ fn expand_frontier(
     threads: usize,
 ) -> Vec<Expansion> {
     let n = frontier.len();
+    let expand_one = |e: &Entry, scratch: &mut SubsetScratch| {
+        if cfg.budget.expired() {
+            return Expansion {
+                expired: true,
+                ..Default::default()
+            };
+        }
+        expand_entry(&e.cq, renamed, cfg, scratch)
+    };
     if threads <= 1 || n < 2 {
         let mut scratch = SubsetScratch::default();
         return frontier
             .iter()
-            .map(|e| expand_entry(&e.cq, renamed, cfg, &mut scratch))
+            .map(|e| expand_one(e, &mut scratch))
             .collect();
     }
     let slots: Vec<OnceLock<Expansion>> = (0..n).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| {
-                let mut scratch = SubsetScratch::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let exp = expand_entry(&frontier[i].cq, renamed, cfg, &mut scratch);
-                    let _ = slots[i].set(exp);
-                }
-            });
-        }
+    runtime::parallel_indexed(threads, n, SubsetScratch::default, |scratch, i| {
+        let _ = slots[i].set(expand_one(&frontier[i], scratch));
     });
     slots
         .into_iter()
@@ -936,7 +938,7 @@ pub fn xrewrite(
         stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
     }
 
-    let threads = effective_threads(cfg);
+    let threads = runtime::effective_threads(cfg.threads, usize::MAX);
     let mut rewrite_steps = 0usize;
     let mut factorization_steps = 0usize;
 
@@ -965,6 +967,10 @@ pub fn xrewrite(
     // `[cursor, frontier_end)`.
     let mut cursor = 0usize;
     while cursor < entries.len() && !truncated {
+        if cfg.budget.expired() {
+            truncated = true;
+            break;
+        }
         stats.rounds += 1;
         let frontier_end = entries.len();
 
@@ -1004,6 +1010,7 @@ pub fn xrewrite(
             stats.atom_budget_skips += exp.atom_skips;
             stats.core_budget_exhaustions += exp.core_exhaustions;
             stats.canonical_fallbacks += exp.canonical_fallbacks;
+            truncated |= exp.expired;
             for cand in exp.candidates {
                 let kind = cand.kind;
                 let rewriting_only = kind == Label::Rewriting;
@@ -1316,6 +1323,33 @@ mod tests {
         assert!(pruned.stats.subsumption_kills >= 1);
         assert!(omq_chase::ucq_contained(&pruned.ucq, &unpruned.ucq));
         assert!(omq_chase::ucq_contained(&unpruned.ucq, &pruned.ucq));
+    }
+
+    /// A pre-expired wall-clock budget truncates the run through the same
+    /// channel as the query budget: `BudgetExceeded` with a sound partial
+    /// output, never a silently incomplete `Ok`.
+    #[test]
+    fn expired_budget_truncates_as_budget_exceeded() {
+        let (q, mut voc) = omq(
+            "P(X) -> exists Y . R(X,Y)\n\
+             R(X,Y) -> P(Y)\n\
+             T(X) -> P(X)\n\
+             q(X) :- R(X,Y), P(Y)\n",
+            &["P", "T"],
+        );
+        let (budget, token) = Budget::unlimited().cancellable();
+        token.cancel();
+        let cfg = XRewriteConfig {
+            budget,
+            ..Default::default()
+        };
+        match xrewrite(&q, &mut voc, &cfg) {
+            Err(RewriteError::BudgetExceeded(out)) => {
+                // The seeds were admitted before the first round poll.
+                assert!(out.generated >= 1);
+            }
+            Ok(_) => panic!("expired budget must not report a complete rewriting"),
+        }
     }
 
     /// The two dedup strategies and any thread count produce identical

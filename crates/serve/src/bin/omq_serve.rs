@@ -1,0 +1,102 @@
+//! The `omq-serve` binary.
+//!
+//! Default mode reads JSON-lines requests from stdin and writes responses
+//! to stdout (a blank line flushes a batch; EOF flushes the rest). With
+//! `--listen ADDR` it serves the same protocol over TCP instead.
+
+use std::io::{self, BufReader};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use omq_serve::{serve_lines, serve_tcp, Engine, EngineConfig};
+
+const USAGE: &str = "\
+omq-serve: serve OMQ containment/evaluation requests over JSON lines
+
+USAGE:
+  omq-serve [OPTIONS]
+
+OPTIONS:
+  --listen ADDR         serve over TCP on ADDR (e.g. 127.0.0.1:7171)
+                        instead of stdin/stdout
+  --threads N           worker threads for batch fan-out
+                        (0 = available parallelism; default 0)
+  --cache-capacity N    capacity of each LRU cache (default 256)
+  --no-cache            disable both caches (same as --cache-capacity 0)
+  --deadline-ms N       default deadline for requests that carry none
+  -h, --help            print this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("omq-serve: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = EngineConfig::default();
+    let mut listen: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => match value("--listen") {
+                Ok(v) => listen = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--threads" => match value("--threads").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.threads = n,
+                _ => return fail("--threads needs an unsigned integer"),
+            },
+            "--cache-capacity" => match value("--cache-capacity").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.cache_capacity = n,
+                _ => return fail("--cache-capacity needs an unsigned integer"),
+            },
+            "--no-cache" => cfg.cache_capacity = 0,
+            "--deadline-ms" => match value("--deadline-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.default_deadline_ms = Some(n),
+                _ => return fail("--deadline-ms needs an unsigned integer"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown option {other:?}")),
+        }
+    }
+
+    let engine = Engine::new(cfg);
+    let result = match listen {
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("omq-serve: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "omq-serve: listening on {}",
+                listener.local_addr().map_or(addr, |a| a.to_string())
+            );
+            serve_tcp(Arc::new(engine), listener)
+        }
+        None => {
+            let stdin = io::stdin();
+            serve_lines(&engine, BufReader::new(stdin.lock()), io::stdout().lock())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("omq-serve: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

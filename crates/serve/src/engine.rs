@@ -1,0 +1,637 @@
+//! The request engine: schedules batches across a bounded worker pool,
+//! enforces per-request deadlines, and fronts the solver stack with two
+//! canonical-key caches.
+//!
+//! * **Rewrite-artifact cache** — keyed by `(OmqKey, RewriteCfgKey)`; stores
+//!   only *complete* rewritings (a truncated rewriting depends on the budget
+//!   that truncated it, a complete one does not). Supplied to the solvers as
+//!   a [`RewriteSource`], so a warm `contains`/`evaluate` skips XRewrite
+//!   entirely.
+//! * **Verdict cache** — keyed by `(op, OmqKey, OmqKey)`; stores the fully
+//!   rendered response fields of *definitive* containment verdicts. Never
+//!   stores `Unknown`: a later, less-constrained request must be free to do
+//!   better.
+//!
+//! Scheduling: a batch runs in input order. `register` requests are
+//! barriers (they mutate the registry); maximal runs of non-register
+//! requests between barriers are fanned out across the pool with
+//! `omq_chase::parallel_indexed`. Every solver invocation inside a worker
+//! runs with inner `threads = 1` — the pool parallelism is *across*
+//! requests, never nested — which also makes every response byte-identical
+//! to a sequential execution of the same batch.
+//!
+//! Deadlines: a request's budget is `arrival + deadline_ms` where arrival
+//! is the batch entry time. Expiry is cooperative (the chase, XRewrite, and
+//! the containment sweeps poll it) and always degrades: `contains` reports
+//! `"verdict":"unknown"` with partial stats, `evaluate` reports its sound
+//! lower bound, and the response carries `"timed_out":true`. The worker
+//! pool itself is never poisoned by an expired request.
+
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use omq_chase::{effective_threads, parallel_indexed, Budget};
+use omq_core::{
+    contains_with, equivalent_with, evaluate_with, ContainmentConfig, ContainmentOutcome,
+    ContainmentResult, EvalConfig, EvalGuarantee,
+};
+use omq_model::display::render_atom;
+use omq_model::{parse_tgd, Instance, Omq, Term, Vocabulary};
+use omq_rewrite::{DirectRewrite, RewriteArtifact, RewriteSource, XRewriteConfig};
+
+use crate::cache::{CacheStats, LruCache};
+use crate::error::ServeError;
+use crate::json::Json;
+use crate::key::{OmqKey, RewriteCfgKey};
+use crate::protocol::{Op, Request, Response};
+use crate::registry::Registry;
+
+/// Key of the rewrite-artifact cache.
+pub type RewriteKey = (OmqKey, RewriteCfgKey);
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum VerdictOp {
+    Contains,
+    Equivalent,
+}
+
+type VerdictKey = (VerdictOp, OmqKey, OmqKey);
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for batch fan-out. `0` = available parallelism,
+    /// `1` = sequential.
+    pub threads: usize,
+    /// Capacity of *each* cache (artifacts and verdicts). `0` disables
+    /// caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that carry none. `None` = unlimited.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            cache_capacity: 256,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// A [`RewriteSource`] backed by the engine's artifact cache. Complete
+/// artifacts are shared across requests (and across alias registrations,
+/// thanks to canonical keying); incomplete ones pass through uncached.
+struct CachingSource<'a> {
+    cache: &'a Mutex<LruCache<RewriteKey, RewriteArtifact>>,
+}
+
+impl RewriteSource for CachingSource<'_> {
+    fn rewrite(
+        &mut self,
+        omq: &Omq,
+        voc: &mut Vocabulary,
+        cfg: &XRewriteConfig,
+    ) -> RewriteArtifact {
+        let key = (OmqKey::of(omq, voc), RewriteCfgKey::of(cfg));
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            return hit;
+        }
+        let art = DirectRewrite.rewrite(omq, voc, cfg);
+        if art.complete {
+            self.cache.lock().unwrap().insert(key, art.clone());
+        }
+        art
+    }
+}
+
+/// The concurrent OMQ serving engine. Shared across connections; all
+/// methods take `&self`.
+pub struct Engine {
+    cfg: EngineConfig,
+    registry: RwLock<Registry>,
+    rewrites: Mutex<LruCache<RewriteKey, RewriteArtifact>>,
+    verdicts: Mutex<LruCache<VerdictKey, Vec<(String, Json)>>>,
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Engine {
+        let cap = cfg.cache_capacity;
+        Engine {
+            cfg,
+            registry: RwLock::new(Registry::new()),
+            rewrites: Mutex::new(LruCache::new(cap)),
+            verdicts: Mutex::new(LruCache::new(cap)),
+        }
+    }
+
+    /// Current cache counters `(artifact cache, verdict cache)`.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+        (
+            self.rewrites.lock().unwrap().stats(),
+            self.verdicts.lock().unwrap().stats(),
+        )
+    }
+
+    /// Executes one batch: responses come back in request order. Items that
+    /// already failed at the protocol layer pass through as-is.
+    pub fn execute_batch(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response> {
+        let arrival = Instant::now();
+        let n = items.len();
+        let mut out: Vec<Option<Response>> = vec![None; n];
+        let mut i = 0;
+        while i < n {
+            let is_barrier = |item: &Result<Request, Box<Response>>| !matches!(item, Ok(r) if !matches!(r.op, Op::Register { .. }));
+            if is_barrier(&items[i]) {
+                out[i] = Some(self.execute_one(&items[i], arrival));
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < n && !is_barrier(&items[j]) {
+                j += 1;
+            }
+            let len = j - i;
+            let threads = effective_threads(self.cfg.threads, len);
+            if threads <= 1 || len < 2 {
+                for k in i..j {
+                    out[k] = Some(self.execute_one(&items[k], arrival));
+                }
+            } else {
+                let slots: Vec<OnceLock<Response>> = (0..len).map(|_| OnceLock::new()).collect();
+                parallel_indexed(
+                    threads,
+                    len,
+                    || (),
+                    |(), idx| {
+                        let _ = slots[idx].set(self.execute_one(&items[i + idx], arrival));
+                    },
+                );
+                for (off, slot) in slots.into_iter().enumerate() {
+                    out[i + off] = slot.into_inner();
+                }
+            }
+            i = j;
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request is answered"))
+            .collect()
+    }
+
+    fn execute_one(&self, item: &Result<Request, Box<Response>>, arrival: Instant) -> Response {
+        let req = match item {
+            Ok(req) => req,
+            Err(resp) => return (**resp).clone(),
+        };
+        let budget = match req.deadline_ms.or(self.cfg.default_deadline_ms) {
+            Some(ms) => Budget::deadline_at(arrival + Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        let (outcome, timed_out) = self.run_op(&req.op, &budget);
+        Response {
+            id: req.id.clone(),
+            outcome,
+            timed_out,
+        }
+    }
+
+    /// Runs one job; the bool is the timed-out flag (expiry observed *and*
+    /// the answer degraded because of it).
+    fn run_op(&self, op: &Op, budget: &Budget) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        match op {
+            Op::Register {
+                name,
+                program,
+                schema,
+                query,
+            } => (self.op_register(name, program, schema, query), false),
+            Op::Classify { name } => (self.op_classify(name), false),
+            Op::Stats => (Ok(self.op_stats()), false),
+            Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget),
+            Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget),
+            Op::Evaluate { name, facts } => self.op_evaluate(name, facts, budget),
+        }
+    }
+
+    fn op_register(
+        &self,
+        name: &str,
+        program: &str,
+        schema: &[String],
+        query: &str,
+    ) -> Result<Vec<(String, Json)>, ServeError> {
+        let entries: Vec<&str> = schema.iter().map(String::as_str).collect();
+        let info = self
+            .registry
+            .write()
+            .unwrap()
+            .register(name, program, &entries, query)?;
+        let mut fields = vec![
+            ("registered".to_owned(), Json::str(name)),
+            ("language".to_owned(), Json::str(info.language.to_string())),
+            ("key".to_owned(), Json::str(info.digest)),
+        ];
+        if let Some(first) = info.alias_of {
+            fields.push(("alias_of".to_owned(), Json::str(first)));
+        }
+        Ok(fields)
+    }
+
+    fn op_classify(&self, name: &str) -> Result<Vec<(String, Json)>, ServeError> {
+        let reg = self.registry.read().unwrap();
+        let r = reg.get(name)?;
+        Ok(vec![
+            ("name".to_owned(), Json::str(name)),
+            ("language".to_owned(), Json::str(r.language.to_string())),
+            ("key".to_owned(), Json::str(r.key.digest())),
+            ("arity".to_owned(), Json::num(r.omq.arity())),
+            ("tgds".to_owned(), Json::num(r.omq.sigma.len())),
+            (
+                "disjuncts".to_owned(),
+                Json::num(r.omq.query.disjuncts.len()),
+            ),
+        ])
+    }
+
+    fn op_stats(&self) -> Vec<(String, Json)> {
+        let (rw, vd) = self.cache_stats();
+        let reg = self.registry.read().unwrap();
+        let cache_obj = |s: CacheStats, entries: usize| {
+            Json::obj([
+                ("hits", Json::num(s.hits)),
+                ("misses", Json::num(s.misses)),
+                ("insertions", Json::num(s.insertions)),
+                ("evictions", Json::num(s.evictions)),
+                ("entries", Json::num(entries)),
+            ])
+        };
+        vec![
+            ("registered".to_owned(), Json::num(reg.len())),
+            ("distinct_keys".to_owned(), Json::num(reg.distinct_keys())),
+            (
+                "rewrite_cache".to_owned(),
+                cache_obj(rw, self.rewrites.lock().unwrap().len()),
+            ),
+            (
+                "verdict_cache".to_owned(),
+                cache_obj(vd, self.verdicts.lock().unwrap().len()),
+            ),
+            (
+                "threads".to_owned(),
+                Json::num(effective_threads(self.cfg.threads, usize::MAX)),
+            ),
+            (
+                "cache_capacity".to_owned(),
+                Json::num(self.cfg.cache_capacity),
+            ),
+        ]
+    }
+
+    /// Clones everything a solver job needs out of the registry, holding the
+    /// read lock only for the duration of the clone.
+    fn snapshot(
+        &self,
+        names: &[&str],
+    ) -> Result<(Vec<crate::registry::Registered>, Vocabulary), ServeError> {
+        let reg = self.registry.read().unwrap();
+        let mut regs = Vec::with_capacity(names.len());
+        for name in names {
+            regs.push(reg.get(name)?.clone());
+        }
+        Ok((regs, reg.vocabulary().clone()))
+    }
+
+    fn containment_cfg(&self, budget: &Budget) -> ContainmentConfig {
+        let mut cfg = ContainmentConfig::default().with_budget(budget.clone());
+        cfg.threads = 1;
+        cfg.rewrite.threads = 1;
+        cfg.eval.rewrite.threads = 1;
+        cfg
+    }
+
+    fn eval_cfg(&self, budget: &Budget) -> EvalConfig {
+        let mut cfg = EvalConfig::default().with_budget(budget.clone());
+        cfg.rewrite.threads = 1;
+        cfg
+    }
+
+    fn op_contains(
+        &self,
+        lhs: &str,
+        rhs: &str,
+        budget: &Budget,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
+            Ok(s) => s,
+            Err(e) => return (Err(e), false),
+        };
+        let (l, r) = (&regs[0], &regs[1]);
+        let vkey = (VerdictOp::Contains, l.key.clone(), r.key.clone());
+        if let Some(fields) = self.verdicts.lock().unwrap().get(&vkey) {
+            return (Ok(fields), false);
+        }
+        let cfg = self.containment_cfg(budget);
+        let mut src = CachingSource {
+            cache: &self.rewrites,
+        };
+        let outcome = match contains_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
+            Ok(o) => o,
+            Err(e) => return (Err(e.into()), false),
+        };
+        let definitive = !matches!(outcome.result, ContainmentResult::Unknown(_));
+        let fields = contains_fields(&outcome, &voc);
+        if definitive {
+            self.verdicts.lock().unwrap().insert(vkey, fields.clone());
+        }
+        (Ok(fields), !definitive && budget.expired())
+    }
+
+    fn op_equivalent(
+        &self,
+        lhs: &str,
+        rhs: &str,
+        budget: &Budget,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
+            Ok(s) => s,
+            Err(e) => return (Err(e), false),
+        };
+        let (l, r) = (&regs[0], &regs[1]);
+        let vkey = (VerdictOp::Equivalent, l.key.clone(), r.key.clone());
+        if let Some(fields) = self.verdicts.lock().unwrap().get(&vkey) {
+            return (Ok(fields), false);
+        }
+        let cfg = self.containment_cfg(budget);
+        let mut src = CachingSource {
+            cache: &self.rewrites,
+        };
+        let (fwd, back) = match equivalent_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
+            Ok(p) => p,
+            Err(e) => return (Err(e.into()), false),
+        };
+        let definitive = !matches!(fwd.result, ContainmentResult::Unknown(_))
+            && !matches!(back.result, ContainmentResult::Unknown(_));
+        let verdict = if fwd.result.is_not_contained() || back.result.is_not_contained() {
+            "not_equivalent"
+        } else if fwd.result.is_contained() && back.result.is_contained() {
+            "equivalent"
+        } else {
+            "unknown"
+        };
+        let fields = vec![
+            ("verdict".to_owned(), Json::str(verdict)),
+            ("forward".to_owned(), Json::Obj(contains_fields(&fwd, &voc))),
+            (
+                "backward".to_owned(),
+                Json::Obj(contains_fields(&back, &voc)),
+            ),
+        ];
+        // A `not_equivalent` with one refuted and one unknown direction is
+        // sound but its sub-report could still improve; cache only when both
+        // directions are settled.
+        if definitive {
+            self.verdicts.lock().unwrap().insert(vkey, fields.clone());
+        }
+        (Ok(fields), verdict == "unknown" && budget.expired())
+    }
+
+    fn op_evaluate(
+        &self,
+        name: &str,
+        facts: &[String],
+        budget: &Budget,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        let (regs, mut voc) = match self.snapshot(&[name]) {
+            Ok(s) => s,
+            Err(e) => return (Err(e), false),
+        };
+        let mut atoms = Vec::new();
+        for fact in facts {
+            let tgd = match parse_tgd(&mut voc, &format!("true -> {fact}")) {
+                Ok(t) => t,
+                Err(e) => return (Err(e.into()), false),
+            };
+            for atom in tgd.head {
+                if atom.args.iter().any(|t| !matches!(t, Term::Const(_))) {
+                    return (
+                        Err(ServeError::BadRequest(format!(
+                            "fact {fact:?} must be ground (constants start lowercase)"
+                        ))),
+                        false,
+                    );
+                }
+                atoms.push(atom);
+            }
+        }
+        let db = Instance::from_atoms(atoms);
+        let cfg = self.eval_cfg(budget);
+        let mut src = CachingSource {
+            cache: &self.rewrites,
+        };
+        let out = evaluate_with(&regs[0].omq, &db, &mut voc, &cfg, &mut src);
+        let mut answers: Vec<Vec<String>> = out
+            .answers
+            .iter()
+            .map(|t| t.iter().map(|&c| voc.const_name(c).to_owned()).collect())
+            .collect();
+        answers.sort();
+        let fields = vec![
+            (
+                "answers".to_owned(),
+                Json::Arr(
+                    answers
+                        .iter()
+                        .map(|t| Json::Arr(t.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+            ("count".to_owned(), Json::num(answers.len())),
+            (
+                "guarantee".to_owned(),
+                Json::str(match out.guarantee {
+                    EvalGuarantee::Exact => "exact",
+                    EvalGuarantee::Stabilized => "stabilized",
+                    EvalGuarantee::SoundLowerBound => "sound_lower_bound",
+                }),
+            ),
+            ("language".to_owned(), Json::str(out.language.to_string())),
+        ];
+        let degraded = matches!(out.guarantee, EvalGuarantee::SoundLowerBound);
+        (Ok(fields), degraded && budget.expired())
+    }
+}
+
+/// Renders a containment outcome as response fields (deterministic: the
+/// witness database is in `Instance` insertion order, which the parallel
+/// sweep reproduces exactly).
+fn contains_fields(outcome: &ContainmentOutcome, voc: &Vocabulary) -> Vec<(String, Json)> {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    match &outcome.result {
+        ContainmentResult::Contained => {
+            fields.push(("verdict".to_owned(), Json::str("contained")));
+        }
+        ContainmentResult::NotContained(w) => {
+            fields.push(("verdict".to_owned(), Json::str("not_contained")));
+            fields.push((
+                "witness".to_owned(),
+                Json::Arr(
+                    w.database
+                        .atoms()
+                        .iter()
+                        .map(|a| Json::str(render_atom(voc, a)))
+                        .collect(),
+                ),
+            ));
+            if !w.tuple.is_empty() {
+                fields.push((
+                    "witness_tuple".to_owned(),
+                    Json::Arr(
+                        w.tuple
+                            .iter()
+                            .map(|&c| Json::str(voc.const_name(c)))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        ContainmentResult::Unknown(reason) => {
+            fields.push(("verdict".to_owned(), Json::str("unknown")));
+            fields.push(("reason".to_owned(), Json::str(reason.clone())));
+        }
+    }
+    fields.push((
+        "lhs_language".to_owned(),
+        Json::str(outcome.lhs_language.to_string()),
+    ));
+    fields.push((
+        "rhs_language".to_owned(),
+        Json::str(outcome.rhs_language.to_string()),
+    ));
+    fields.push((
+        "witnesses_checked".to_owned(),
+        Json::num(outcome.witnesses_checked),
+    ));
+    fields.push((
+        "max_witness_size".to_owned(),
+        Json::num(outcome.max_witness_size),
+    ));
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn req(line: &str) -> Result<Request, Box<Response>> {
+        parse_request(line)
+    }
+
+    fn register_line(name: &str) -> String {
+        format!(
+            r#"{{"op":"register","name":"{name}","program":"P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq(X) :- R(X,Y), P(Y)","schema":["P","R"],"query":"q"}}"#
+        )
+    }
+
+    #[test]
+    fn register_then_contains_hits_the_verdict_cache() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a"}"#),
+            req(r#"{"id":2,"op":"contains","lhs":"a","rhs":"a"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert!(out.iter().all(|r| r.outcome.is_ok()));
+        let fields = out[1].outcome.as_ref().unwrap();
+        assert_eq!(fields[0].1.as_str(), Some("contained"));
+        assert_eq!(out[1].outcome, out[2].outcome, "cache replays the verdict");
+        let (_, vd) = eng.cache_stats();
+        assert_eq!(vd.hits, 1);
+        assert_eq!(vd.insertions, 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let batch: Vec<_> = std::iter::once(req(&register_line("a")))
+            .chain((0..12).map(|i| {
+                req(&format!(
+                    r#"{{"id":{i},"op":"contains","lhs":"a","rhs":"a"}}"#
+                ))
+            }))
+            .collect();
+        let seq = Engine::new(EngineConfig {
+            threads: 1,
+            cache_capacity: 0,
+            default_deadline_ms: None,
+        });
+        let par = Engine::new(EngineConfig {
+            threads: 0,
+            cache_capacity: 0,
+            default_deadline_ms: None,
+        });
+        let a = seq.execute_batch(&batch);
+        let b = par.execute_batch(&batch);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                crate::protocol::response_to_json(x).to_string(),
+                crate::protocol::response_to_json(y).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_and_pool_survives() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a","deadline_ms":0}"#),
+            req(r#"{"id":2,"op":"contains","lhs":"a","rhs":"a"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert!(out[1].timed_out, "zero deadline must time out");
+        let f1 = out[1].outcome.as_ref().unwrap();
+        assert_eq!(f1[0].1.as_str(), Some("unknown"));
+        assert!(!out[2].timed_out, "next request unaffected");
+        assert_eq!(
+            out[2].outcome.as_ref().unwrap()[0].1.as_str(),
+            Some("contained")
+        );
+    }
+
+    #[test]
+    fn evaluate_returns_sorted_answers() {
+        let eng = Engine::new(EngineConfig::default());
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"evaluate","name":"a","facts":["P(c)","P(b)"]}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        let fields = out[1].outcome.as_ref().unwrap();
+        let line = Json::Obj(fields.clone()).to_string();
+        assert_eq!(
+            line,
+            r#"{"answers":[["b"],["c"]],"count":2,"guarantee":"exact","language":"(L,CQ)"}"#
+        );
+    }
+
+    #[test]
+    fn bad_facts_and_unknown_names_fail_cleanly() {
+        let eng = Engine::new(EngineConfig::default());
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"evaluate","name":"a","facts":["P(X)"]}"#),
+            req(r#"{"id":2,"op":"contains","lhs":"a","rhs":"ghost"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert!(matches!(out[1].outcome, Err(ServeError::BadRequest(_))));
+        assert!(matches!(out[2].outcome, Err(ServeError::UnknownName(_))));
+    }
+}

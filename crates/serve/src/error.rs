@@ -1,0 +1,116 @@
+//! The serve-layer error type.
+//!
+//! Every failure a request can hit maps to one variant, and every variant
+//! renders as a structured JSON error object — the server reports failures
+//! per-request and keeps serving, it never aborts on bad input.
+
+use std::fmt;
+
+use omq_core::ContainmentError;
+use omq_model::ParseError;
+
+/// A request-level failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A request line was not valid JSON.
+    Json(String),
+    /// The request object was malformed (missing/mistyped fields); carries
+    /// the field and the problem.
+    BadRequest(String),
+    /// Unknown `op` value.
+    UnknownOp(String),
+    /// A program, query, or fact failed to parse.
+    Parse(ParseError),
+    /// A referenced registration name is not in the registry.
+    UnknownName(String),
+    /// The named query does not exist in the registered program.
+    UnknownQuery(String),
+    /// A schema entry references an unknown predicate without declaring an
+    /// arity (`"P/2"` declares one).
+    UnknownPredicate(String),
+    /// The containment engine rejected the question.
+    Containment(ContainmentError),
+}
+
+impl ServeError {
+    /// Stable machine-readable kind for the JSON error object.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Json(_) => "json",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::UnknownOp(_) => "unknown_op",
+            ServeError::Parse(_) => "parse",
+            ServeError::UnknownName(_) => "unknown_name",
+            ServeError::UnknownQuery(_) => "unknown_query",
+            ServeError::UnknownPredicate(_) => "unknown_predicate",
+            ServeError::Containment(_) => "containment",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Json(msg) => write!(f, "invalid JSON: {msg}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::UnknownOp(op) => write!(f, "unknown op {op:?}"),
+            ServeError::Parse(e) => write!(f, "parse error: {e}"),
+            ServeError::UnknownName(n) => write!(f, "no registered OMQ named {n:?}"),
+            ServeError::UnknownQuery(q) => write!(f, "program declares no query named {q:?}"),
+            ServeError::UnknownPredicate(p) => write!(
+                f,
+                "schema predicate {p:?} is not declared; use \"{p}/N\" to intern it with arity N"
+            ),
+            ServeError::Containment(e) => write!(f, "containment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Parse(e) => Some(e),
+            ServeError::Containment(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<ContainmentError> for ServeError {
+    fn from(e: ContainmentError) -> Self {
+        ServeError::Containment(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_cover_all_variants() {
+        let variants: Vec<ServeError> = vec![
+            ServeError::Json("x".into()),
+            ServeError::BadRequest("y".into()),
+            ServeError::UnknownOp("z".into()),
+            ServeError::UnknownName("a".into()),
+            ServeError::UnknownQuery("b".into()),
+            ServeError::UnknownPredicate("P".into()),
+            ServeError::Containment(ContainmentError::ArityMismatch),
+        ];
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!v.kind().is_empty());
+        }
+        use std::error::Error;
+        assert!(ServeError::Containment(ContainmentError::ArityMismatch)
+            .source()
+            .is_some());
+        assert!(ServeError::Json("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! `omq-serve`: a concurrent serving layer for ontology-mediated queries.
+//!
+//! Wraps the solver stack (`omq-core` containment and evaluation,
+//! `omq-rewrite` XRewrite) in a long-lived server: ontologies and OMQs are
+//! registered once under canonical keys, requests arrive as JSON lines
+//! (stdin/stdout or TCP), batches are scheduled across a bounded worker
+//! pool, per-request deadlines cancel work cooperatively mid-round, and two
+//! LRU caches (rewrite artifacts, containment verdicts) make repeated
+//! questions cheap.
+//!
+//! Layering:
+//!
+//! * [`json`] — dependency-free JSON parsing/printing (ordered objects, so
+//!   responses are byte-deterministic);
+//! * [`key`] — canonical, alpha-invariant cache keys for OMQs and rewrite
+//!   configurations;
+//! * [`cache`] — an LRU with hit/miss/eviction accounting;
+//! * [`registry`] — named OMQs over one shared vocabulary;
+//! * [`protocol`] — request/response schema;
+//! * [`engine`] — scheduling, deadlines, caching, solver dispatch;
+//! * [`server`] — stream and TCP transports.
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod key;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, LruCache};
+pub use engine::{Engine, EngineConfig};
+pub use error::ServeError;
+pub use json::Json;
+pub use key::{OmqKey, RewriteCfgKey};
+pub use protocol::{parse_request, response_to_json, Op, Request, Response};
+pub use registry::{RegisterInfo, Registered, Registry};
+pub use server::{serve_lines, serve_tcp};

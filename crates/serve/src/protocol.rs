@@ -1,0 +1,244 @@
+//! The JSON-lines request/response protocol.
+//!
+//! One request per line, one response line per request, in request order.
+//! A blank line is a batch delimiter: everything accumulated since the last
+//! delimiter is executed as one batch (scheduled across the worker pool)
+//! and answered before the next batch starts. EOF flushes the final batch.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"op":"register","name":"a","program":"P(X) -> R(X)\nq(X) :- R(X)","schema":["P"],"query":"q"}
+//! {"id":2,"op":"contains","lhs":"a","rhs":"b","deadline_ms":250}
+//! {"id":3,"op":"equivalent","lhs":"a","rhs":"b"}
+//! {"id":4,"op":"evaluate","name":"a","facts":["P(c)","R(c)"]}
+//! {"id":5,"op":"classify","name":"a"}
+//! {"id":6,"op":"stats"}
+//! ```
+//!
+//! Responses are `{"id":...,"ok":true,...}` or
+//! `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`; a request
+//! whose deadline expired additionally carries `"timed_out":true` and a
+//! best-effort (`"unknown"` / lower-bound) payload rather than an error.
+//! Responses carry no wall-clock fields, so equal requests in equal states
+//! produce byte-identical lines (the differential suite relies on this).
+
+use crate::error::ServeError;
+use crate::json::{self, Json};
+
+/// A parsed request body.
+#[derive(Clone, Debug)]
+pub enum Op {
+    Register {
+        name: String,
+        program: String,
+        schema: Vec<String>,
+        query: String,
+    },
+    Contains {
+        lhs: String,
+        rhs: String,
+    },
+    Equivalent {
+        lhs: String,
+        rhs: String,
+    },
+    Evaluate {
+        name: String,
+        facts: Vec<String>,
+    },
+    Classify {
+        name: String,
+    },
+    Stats,
+}
+
+/// A request: optional client id (echoed back), optional per-request
+/// deadline in milliseconds (measured from batch arrival), and the job.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub id: Option<Json>,
+    pub deadline_ms: Option<u64>,
+    pub op: Op,
+}
+
+/// A response: the echoed id plus either ordered payload fields or an
+/// error. `timed_out` marks deadline expiry (degraded, not failed).
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub id: Option<Json>,
+    pub outcome: Result<Vec<(String, Json)>, ServeError>,
+    pub timed_out: bool,
+}
+
+impl Response {
+    pub fn ok(id: Option<Json>, fields: Vec<(String, Json)>) -> Response {
+        Response {
+            id,
+            outcome: Ok(fields),
+            timed_out: false,
+        }
+    }
+
+    pub fn err(id: Option<Json>, e: ServeError) -> Response {
+        Response {
+            id,
+            outcome: Err(e),
+            timed_out: false,
+        }
+    }
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing or non-string field {key:?}")))
+}
+
+fn req_str_array(obj: &Json, key: &str) -> Result<Vec<String>, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_str_array)
+        .map(|v| v.into_iter().map(str::to_owned).collect())
+        .ok_or_else(|| ServeError::BadRequest(format!("missing or non-string-array field {key:?}")))
+}
+
+/// Parses one request line. On failure the error [`Response`] already
+/// carries the client id when one could be salvaged from the line.
+pub fn parse_request(line: &str) -> Result<Request, Box<Response>> {
+    let v =
+        json::parse(line).map_err(|msg| Box::new(Response::err(None, ServeError::Json(msg))))?;
+    let id = v.get("id").cloned();
+    let fail = |e: ServeError| Box::new(Response::err(id.clone(), e));
+    let op_name = v.get("op").and_then(Json::as_str).ok_or_else(|| {
+        fail(ServeError::BadRequest(
+            "missing or non-string field \"op\"".into(),
+        ))
+    })?;
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(d.as_u64().ok_or_else(|| {
+            fail(ServeError::BadRequest(
+                "\"deadline_ms\" must be a non-negative integer".into(),
+            ))
+        })?),
+    };
+    let op = match op_name {
+        "register" => Op::Register {
+            name: req_str(&v, "name").map_err(&fail)?,
+            program: req_str(&v, "program").map_err(&fail)?,
+            schema: req_str_array(&v, "schema").map_err(&fail)?,
+            query: req_str(&v, "query").map_err(&fail)?,
+        },
+        "contains" => Op::Contains {
+            lhs: req_str(&v, "lhs").map_err(&fail)?,
+            rhs: req_str(&v, "rhs").map_err(&fail)?,
+        },
+        "equivalent" => Op::Equivalent {
+            lhs: req_str(&v, "lhs").map_err(&fail)?,
+            rhs: req_str(&v, "rhs").map_err(&fail)?,
+        },
+        "evaluate" => Op::Evaluate {
+            name: req_str(&v, "name").map_err(&fail)?,
+            facts: req_str_array(&v, "facts").map_err(&fail)?,
+        },
+        "classify" => Op::Classify {
+            name: req_str(&v, "name").map_err(&fail)?,
+        },
+        "stats" => Op::Stats,
+        other => return Err(fail(ServeError::UnknownOp(other.to_owned()))),
+    };
+    Ok(Request {
+        id,
+        deadline_ms,
+        op,
+    })
+}
+
+/// Renders a response as one JSON line (no trailing newline).
+pub fn response_to_json(resp: &Response) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &resp.id {
+        fields.push(("id".into(), id.clone()));
+    }
+    match &resp.outcome {
+        Ok(body) => {
+            fields.push(("ok".into(), Json::Bool(true)));
+            if resp.timed_out {
+                fields.push(("timed_out".into(), Json::Bool(true)));
+            }
+            fields.extend(body.iter().cloned());
+        }
+        Err(e) => {
+            fields.push(("ok".into(), Json::Bool(false)));
+            if resp.timed_out {
+                fields.push(("timed_out".into(), Json::Bool(true)));
+            }
+            fields.push((
+                "error".into(),
+                Json::obj([
+                    ("kind", Json::str(e.kind())),
+                    ("message", Json::str(e.to_string())),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_op() {
+        let r = parse_request(
+            r#"{"id":1,"op":"register","name":"a","program":"p","schema":["P"],"query":"q"}"#,
+        )
+        .unwrap();
+        assert!(matches!(r.op, Op::Register { .. }));
+        assert_eq!(r.id.as_ref().and_then(Json::as_u64), Some(1));
+        let r = parse_request(r#"{"op":"contains","lhs":"a","rhs":"b","deadline_ms":9}"#).unwrap();
+        assert!(matches!(r.op, Op::Contains { .. }));
+        assert_eq!(r.deadline_ms, Some(9));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#).unwrap().op,
+            Op::Stats
+        ));
+    }
+
+    #[test]
+    fn bad_lines_salvage_the_id() {
+        let resp = parse_request(r#"{"id":"x7","op":"frobnicate"}"#).unwrap_err();
+        assert_eq!(resp.id.as_ref().and_then(Json::as_str), Some("x7"));
+        assert!(matches!(resp.outcome, Err(ServeError::UnknownOp(_))));
+        let resp = parse_request("not json").unwrap_err();
+        assert!(matches!(resp.outcome, Err(ServeError::Json(_))));
+    }
+
+    #[test]
+    fn missing_fields_are_bad_requests() {
+        let resp = parse_request(r#"{"id":2,"op":"contains","lhs":"a"}"#).unwrap_err();
+        assert!(matches!(resp.outcome, Err(ServeError::BadRequest(_))));
+        let line = response_to_json(&resp).to_string();
+        assert!(line.starts_with(r#"{"id":2,"ok":false,"error":{"kind":"bad_request""#));
+    }
+
+    #[test]
+    fn response_rendering_is_ordered() {
+        let resp = Response::ok(
+            Some(Json::num(3)),
+            vec![("verdict".into(), Json::str("contained"))],
+        );
+        assert_eq!(
+            response_to_json(&resp).to_string(),
+            r#"{"id":3,"ok":true,"verdict":"contained"}"#
+        );
+        let mut timed = Response::ok(Some(Json::num(4)), vec![]);
+        timed.timed_out = true;
+        assert_eq!(
+            response_to_json(&timed).to_string(),
+            r#"{"id":4,"ok":true,"timed_out":true}"#
+        );
+    }
+}

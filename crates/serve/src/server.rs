@@ -1,0 +1,105 @@
+//! Transport: JSON-lines over any `BufRead`/`Write` pair (stdin/stdout
+//! batch mode) and over TCP (one connection per client, one thread per
+//! connection — compute is bounded by the engine's worker pool either way).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::engine::Engine;
+use crate::protocol::{parse_request, response_to_json, Request, Response};
+
+/// Serves one stream: lines accumulate into a batch, a blank line (or EOF)
+/// executes it and writes one response line per request, in order.
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &Engine,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    let mut batch: Vec<Result<Request, Box<Response>>> = Vec::new();
+    let flush =
+        |batch: &mut Vec<Result<Request, Box<Response>>>, writer: &mut W| -> io::Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let responses = engine.execute_batch(batch);
+            batch.clear();
+            for resp in &responses {
+                writeln!(writer, "{}", response_to_json(resp))?;
+            }
+            writer.flush()
+        };
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            flush(&mut batch, &mut writer)?;
+        } else {
+            batch.push(parse_request(&line));
+        }
+    }
+    flush(&mut batch, &mut writer)
+}
+
+/// Accept loop: serves each TCP connection on its own thread until the
+/// listener errors out. Never returns under normal operation.
+pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
+    for conn in listener.incoming() {
+        let stream: TcpStream = conn?;
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            // Connection I/O errors end that connection only.
+            let _ = serve_lines(&engine, reader, stream);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    const BATCH: &str = concat!(
+        r#"{"id":1,"op":"register","name":"a","program":"P(X) -> R(X)\nq(X) :- R(X)","schema":["P"],"query":"q"}"#,
+        "\n",
+        r#"{"id":2,"op":"contains","lhs":"a","rhs":"a"}"#,
+        "\n\n",
+        r#"{"id":3,"op":"classify","name":"a"}"#,
+        "\n",
+    );
+
+    #[test]
+    fn stdin_style_round_trip() {
+        let engine = Engine::new(EngineConfig::default());
+        let mut out = Vec::new();
+        serve_lines(&engine, BATCH.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""ok":true"#) && lines[0].contains("registered"));
+        assert!(lines[1].contains(r#""verdict":"contained""#));
+        assert!(lines[2].contains(r#""language":"#));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::clone(&engine);
+        std::thread::spawn(move || serve_tcp(server, listener));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(BATCH.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut text = String::new();
+        BufReader::new(stream).read_to_string(&mut text).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains(r#""verdict":"contained""#));
+    }
+
+    use std::io::Read;
+}

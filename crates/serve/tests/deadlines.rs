@@ -1,0 +1,131 @@
+//! Deadline behavior: tiny budgets produce prompt, structured timeouts;
+//! expired requests degrade (never lie); the worker pool survives any
+//! number of them.
+
+use std::time::Instant;
+
+use omq_serve::{parse_request, Engine, EngineConfig, Json, Response};
+
+const REGISTER: &str = r#"{"op":"register","name":"lin","program":"P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq(X) :- R(X,Y), P(Y)","schema":["P","R"],"query":"q"}"#;
+
+fn field<'a>(resp: &'a Response, key: &str) -> Option<&'a Json> {
+    resp.outcome
+        .as_ref()
+        .ok()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+#[test]
+fn zero_deadline_contains_times_out_promptly_and_structured() {
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+    });
+    let batch = vec![
+        parse_request(REGISTER),
+        parse_request(r#"{"id":1,"op":"contains","lhs":"lin","rhs":"lin","deadline_ms":0}"#),
+    ];
+    let start = Instant::now();
+    let out = engine.execute_batch(&batch);
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "an already-expired deadline must return promptly"
+    );
+    let resp = &out[1];
+    assert!(resp.timed_out, "expired request carries timed_out");
+    assert_eq!(
+        field(resp, "verdict").and_then(Json::as_str),
+        Some("unknown"),
+        "expiry degrades to Unknown, never to a fabricated verdict"
+    );
+    assert!(
+        field(resp, "reason").and_then(Json::as_str).is_some(),
+        "the unknown verdict explains itself"
+    );
+}
+
+#[test]
+fn zero_deadline_evaluate_degrades_to_sound_lower_bound() {
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+    });
+    let batch = vec![
+        parse_request(REGISTER),
+        parse_request(
+            r#"{"id":1,"op":"evaluate","name":"lin","facts":["R(a,b)","P(b)"],"deadline_ms":0}"#,
+        ),
+    ];
+    let out = engine.execute_batch(&batch);
+    let resp = &out[1];
+    assert!(
+        resp.outcome.is_ok(),
+        "a timeout is degradation, not an error"
+    );
+    assert!(resp.timed_out);
+    assert_eq!(
+        field(resp, "guarantee").and_then(Json::as_str),
+        Some("sound_lower_bound")
+    );
+}
+
+/// A burst of expired requests interleaved with normal ones: every expired
+/// request times out, every normal request still gets the exact verdict —
+/// on the parallel pool, which must not be poisoned by expiry.
+#[test]
+fn pool_survives_a_burst_of_timeouts() {
+    let engine = Engine::new(EngineConfig {
+        threads: 0,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+    });
+    let mut batch = vec![parse_request(REGISTER)];
+    for id in 0..24 {
+        let line = if id % 2 == 0 {
+            format!(r#"{{"id":{id},"op":"contains","lhs":"lin","rhs":"lin","deadline_ms":0}}"#)
+        } else {
+            format!(r#"{{"id":{id},"op":"contains","lhs":"lin","rhs":"lin"}}"#)
+        };
+        batch.push(parse_request(&line));
+    }
+    let start = Instant::now();
+    let out = engine.execute_batch(&batch);
+    assert!(start.elapsed().as_secs() < 60);
+    for (i, resp) in out.iter().skip(1).enumerate() {
+        let verdict = field(resp, "verdict").and_then(Json::as_str);
+        if i % 2 == 0 {
+            assert!(resp.timed_out, "request {i} should have timed out");
+            assert_eq!(verdict, Some("unknown"));
+        } else {
+            assert!(!resp.timed_out, "request {i} had no deadline");
+            assert_eq!(verdict, Some("contained"), "pool poisoned at request {i}");
+        }
+    }
+}
+
+/// The default engine deadline applies to requests that carry none, and a
+/// per-request deadline overrides it.
+#[test]
+fn default_deadline_applies_and_is_overridable() {
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 0,
+        default_deadline_ms: Some(0),
+    });
+    let batch = vec![
+        parse_request(REGISTER),
+        parse_request(r#"{"id":1,"op":"contains","lhs":"lin","rhs":"lin"}"#),
+        parse_request(r#"{"id":2,"op":"contains","lhs":"lin","rhs":"lin","deadline_ms":60000}"#),
+    ];
+    let out = engine.execute_batch(&batch);
+    assert!(out[1].timed_out, "engine default deadline applied");
+    assert!(!out[2].timed_out, "per-request deadline overrides default");
+    assert_eq!(
+        field(&out[2], "verdict").and_then(Json::as_str),
+        Some("contained")
+    );
+}

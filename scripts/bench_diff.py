@@ -7,9 +7,10 @@ Usage:
 With no FILE arguments, every ``BENCH_*.json`` in the repository root is
 diffed against ``git show HEAD:<file>``. Records are matched by their
 ``workload`` key; for each match the wall-clock delta is reported, and any
-drift in a *counter* column (every numeric field except ``wall_ms``) is
-flagged — counters are deterministic, so a counter drift is a semantics
-change, not noise.
+drift in a *counter* column is flagged — counters are deterministic, so a
+counter drift is a semantics change, not noise. Timing-derived fields are
+never counters: any key ending in ``_ms`` or ``_us``, or starting with
+``speedup`` (the BENCH_serve.json throughput ratios), is noise.
 
 Exit status: 0 normally; with ``--strict``, 1 if any counter drifted or any
 baseline workload disappeared (wall-clock changes never fail the diff).
@@ -34,6 +35,16 @@ def load_baseline(path):
     except subprocess.CalledProcessError:
         return None
     return json.loads(out)
+
+
+def is_noise(key):
+    """Timing-derived fields — reported but never treated as counters."""
+    return (
+        key == "workload"
+        or key.endswith("_ms")
+        or key.endswith("_us")
+        or key.startswith("speedup")
+    )
 
 
 def by_workload(records):
@@ -63,7 +74,7 @@ def diff_file(path):
         marker = " " if abs(rel) < 20 else ("+" if rel > 0 else "-")
         print(f"  {marker} {name:<40} {b_ms:9.3f} -> {c_ms:9.3f} ms ({rel:+6.1f}%)")
         for key in sorted(set(base) | set(cur)):
-            if key in ("workload", "wall_ms"):
+            if is_noise(key):
                 continue
             if base.get(key) != cur.get(key):
                 print(

@@ -4,9 +4,10 @@
 #
 #   scripts/ci.sh
 #
-# The perf smoke step rewrites BENCH_chase.json and BENCH_rewrite.json;
-# commit the refreshed files when the counters change intentionally.
-# scripts/bench_diff.py shows the drift against the committed baseline.
+# The perf smoke step rewrites BENCH_chase.json and BENCH_rewrite.json,
+# and the serve bench rewrites BENCH_serve.json; commit the refreshed files
+# when the counters change intentionally. scripts/bench_diff.py shows the
+# drift against the committed baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +33,39 @@ for family in "rewrite:E3 nr" "rewrite:E2 sticky" "rewrite:E1 linear"; do
 done
 [ "$(jq length BENCH_rewrite.json)" -ge 5 ] || {
     echo "BENCH_rewrite.json has fewer rows than the committed sweep" >&2
+    exit 1
+}
+
+echo "==> serve smoke (omq-serve JSON-lines round trip, incl. a deliberate timeout)"
+SERVE_OUT=$(printf '%s\n' \
+  '{"id":1,"op":"register","name":"s","program":"P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq(X) :- R(X,Y), P(Y)","schema":["P","R"],"query":"q"}' \
+  '{"id":2,"op":"contains","lhs":"s","rhs":"s","deadline_ms":0}' \
+  '{"id":3,"op":"contains","lhs":"s","rhs":"s"}' \
+  '{"id":4,"op":"evaluate","name":"s","facts":["P(a)"]}' \
+  '{"id":5,"op":"stats"}' \
+  | ./target/release/omq-serve)
+echo "$SERVE_OUT" | jq -s -e '
+    length == 5
+    and (.[0].ok and .[0].registered == "s")
+    and (.[1].timed_out == true and .[1].verdict == "unknown")
+    and (.[2].ok and .[2].verdict == "contained")
+    and (.[3].ok and .[3].answers == [["a"]])
+    and (.[4].ok and .[4].registered == 1)
+' >/dev/null || {
+    echo "serve smoke test failed; responses were:" >&2
+    echo "$SERVE_OUT" >&2
+    exit 1
+}
+
+echo "==> serve bench (writes BENCH_serve.json)"
+cargo run -q --release -p omq-bench --bin serve_bench
+[ "$(jq length BENCH_serve.json)" -ge 5 ] || {
+    echo "BENCH_serve.json has fewer rows than the committed sweep" >&2
+    exit 1
+}
+jq -e 'map(select(.workload == "serve:summary")) | .[0].speedup_warm_over_cold >= 10' \
+    BENCH_serve.json >/dev/null || {
+    echo "warm/cold containment speedup fell below the 10x floor" >&2
     exit 1
 }
 

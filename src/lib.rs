@@ -7,3 +7,4 @@ pub use omq_guarded as guarded;
 pub use omq_model as model;
 pub use omq_reductions as reductions;
 pub use omq_rewrite as rewrite;
+pub use omq_serve as serve;
