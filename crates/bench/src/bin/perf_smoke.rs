@@ -25,13 +25,17 @@
 //!   `disjuncts` come from [`RewriteStats`]; the nr strata=4 row is the
 //!   headline number tracked against the pre-parallel-rewrite baseline
 //!   (≈1.8 s on the reference machine).
+//! * `hom:*` (BENCH_chase.json) — homomorphism-kernel counters
+//!   (`candidates_scanned`, `plan_cache_hits`) measured as process-global
+//!   counter deltas around one chase, one rewriting, and one containment
+//!   run; single-run, since the counters are deterministic per run.
 
 use std::time::Instant;
 
 use omq_bench::workloads::{
     guarded_seed_db, guarded_workload, linear_workload, nr_workload, random_db, sticky_workload,
 };
-use omq_chase::{chase, ChaseConfig, ChaseStats};
+use omq_chase::{chase, global_hom_snapshot, ChaseConfig, ChaseStats};
 use omq_core::{contains, ContainmentConfig};
 use omq_rewrite::{xrewrite, XRewriteConfig};
 
@@ -48,6 +52,29 @@ struct RewriteRecord {
     generated: usize,
     candidates: usize,
     disjuncts: usize,
+}
+
+struct HomRecord {
+    workload: String,
+    wall_ms: f64,
+    candidates_scanned: u64,
+    plan_cache_hits: u64,
+}
+
+/// Runs `f` once and records the homomorphism-kernel work it caused as the
+/// delta of the process-global counters.
+fn hom_record(label: &str, f: impl FnOnce()) -> HomRecord {
+    let before = global_hom_snapshot();
+    let t = Instant::now();
+    f();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let after = global_hom_snapshot();
+    HomRecord {
+        workload: label.to_owned(),
+        wall_ms,
+        candidates_scanned: after.candidates_scanned - before.candidates_scanned,
+        plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
+    }
 }
 
 fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
@@ -155,22 +182,59 @@ fn main() {
         });
     }
 
-    let mut json = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"triggers_fired\": {}, \"atoms\": {}}}{}\n",
-            r.workload,
-            r.wall_ms,
-            r.triggers_fired,
-            r.atoms,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-        println!(
-            "{:<32} {:>9.3} ms  triggers={:<7} atoms={}",
-            r.workload, r.wall_ms, r.triggers_fired, r.atoms
-        );
+    // Homomorphism-kernel rows: counter deltas around one run each of the
+    // headline chase, rewriting, and containment workloads.
+    let mut hom_rows = Vec::new();
+    {
+        let (omq, voc) = linear_workload(32, 3);
+        hom_rows.push(hom_record("hom:chase E1 chain=32 qlen=3", || {
+            let mut voc = voc.clone();
+            let db = random_db(&omq, &mut voc, 12, 4, 7);
+            let out = chase(&db, &omq.sigma, &mut voc, &ChaseConfig::with_depth(3));
+            std::hint::black_box(out.instance.len());
+        }));
     }
-    json.push_str("]\n");
+    {
+        let (omq, voc) = nr_workload(4);
+        hom_rows.push(hom_record("hom:rewrite E3 nr strata=4", || {
+            let mut voc = voc.clone();
+            let out = xrewrite(&omq, &mut voc, &XRewriteConfig::default()).unwrap();
+            std::hint::black_box(out.generated);
+        }));
+    }
+    {
+        let (omq, voc) = linear_workload(32, 2);
+        hom_rows.push(hom_record("hom:contains E1 chain=32 qlen=2", || {
+            let mut voc = voc.clone();
+            let out = contains(&omq, &omq, &mut voc, &ContainmentConfig::default()).unwrap();
+            assert!(out.result.is_contained());
+        }));
+    }
+
+    let mut lines: Vec<String> = records
+        .iter()
+        .map(|r| {
+            println!(
+                "{:<32} {:>9.3} ms  triggers={:<7} atoms={}",
+                r.workload, r.wall_ms, r.triggers_fired, r.atoms
+            );
+            format!(
+                "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"triggers_fired\": {}, \"atoms\": {}}}",
+                r.workload, r.wall_ms, r.triggers_fired, r.atoms
+            )
+        })
+        .collect();
+    lines.extend(hom_rows.iter().map(|r| {
+        println!(
+            "{:<32} {:>9.3} ms  scanned={:<9} cache_hits={}",
+            r.workload, r.wall_ms, r.candidates_scanned, r.plan_cache_hits
+        );
+        format!(
+            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"candidates_scanned\": {}, \"plan_cache_hits\": {}}}",
+            r.workload, r.wall_ms, r.candidates_scanned, r.plan_cache_hits
+        )
+    }));
+    let json = format!("[\n{}\n]\n", lines.join(",\n"));
     std::fs::write(&out_path, json).expect("writing benchmark output");
     println!("wrote {out_path}");
 

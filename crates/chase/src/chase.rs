@@ -13,11 +13,12 @@
 
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use omq_classes::stratify;
-use omq_model::{Instance, NullId, Term, Tgd, VarId, Vocabulary};
+use omq_model::{Atom, Instance, NullId, PredId, Term, Tgd, Vocabulary};
 
-use crate::hom::{find_hom, for_each_hom_with_delta, Assignment, HomStats};
+use crate::hom::{HomStats, JoinPlan, PlanCache, NO_LIMIT};
 use crate::runtime::Budget;
 
 /// Which chase variant to run.
@@ -112,6 +113,12 @@ pub struct ChaseStats {
     pub candidates_scanned: u64,
     /// Rolled-back candidate bindings during homomorphism search.
     pub backtracks: u64,
+    /// Join plans compiled (per-tgd body, pivot, and head plans).
+    pub plans_compiled: u64,
+    /// Plan-cache hits for body/pivot plans across semi-naive rounds.
+    pub plan_cache_hits: u64,
+    /// Homomorphism checks rejected by the predicate-signature prefilter.
+    pub prefilter_rejects: u64,
 }
 
 impl ChaseStats {
@@ -119,6 +126,9 @@ impl ChaseStats {
     fn absorb_hom(&mut self, h: HomStats) {
         self.candidates_scanned += h.candidates_scanned;
         self.backtracks += h.backtracks;
+        self.plans_compiled += h.plans_compiled;
+        self.plan_cache_hits += h.plan_cache_hits;
+        self.prefilter_rejects += h.prefilter_rejects;
     }
 }
 
@@ -145,6 +155,88 @@ fn trigger_fingerprint(ti: usize, key: &[Term]) -> u64 {
     h
 }
 
+/// How to build one head-atom argument from a dense trigger key.
+#[derive(Copy, Clone, Debug)]
+enum HeadArg {
+    /// A constant or null written literally in the tgd head.
+    Fixed(Term),
+    /// The body slot (trigger-key position) of a frontier variable.
+    FromBody(usize),
+    /// The `i`-th fresh null of this firing (existential variable).
+    Fresh(usize),
+}
+
+/// Per-tgd compiled artifacts: the body join plan (pivot variants are pulled
+/// from the runner's [`PlanCache`] on demand), the head-satisfaction plan of
+/// the restricted variant, and a dense recipe for building head atoms from a
+/// trigger key without any `HashMap` assignment.
+struct TgdPlan {
+    /// Body plan with no pivot (round 0); its slot order defines the
+    /// trigger key, which equals `Tgd::body_vars` order.
+    body_base: Arc<JoinPlan>,
+    /// Trigger-key slot of each sorted frontier variable — the seed order of
+    /// `head_plan`.
+    frontier_slots: Vec<usize>,
+    /// Head plan seeded on the frontier (restricted variant only).
+    head_plan: Option<Arc<JoinPlan>>,
+    /// Number of existential variables (fresh nulls per firing).
+    n_exist: usize,
+    /// Head atoms as `(pred, arg recipes)`.
+    head_atoms: Vec<(PredId, Vec<HeadArg>)>,
+}
+
+impl TgdPlan {
+    fn new(t: &Tgd, variant: ChaseVariant, cache: &mut PlanCache, hstats: &mut HomStats) -> Self {
+        let body_base = cache.get_or_compile(&t.body, &[], None, hstats);
+        let mut frontier = t.frontier();
+        frontier.sort_unstable();
+        frontier.dedup();
+        let frontier_slots: Vec<usize> = frontier
+            .iter()
+            .map(|&v| {
+                body_base
+                    .slot_of(v)
+                    .expect("frontier vars occur in the body")
+            })
+            .collect();
+        let head_plan = (variant == ChaseVariant::Restricted).then(|| {
+            hstats.plans_compiled += 1;
+            Arc::new(JoinPlan::compile(&t.head, &frontier, None))
+        });
+        let existentials = t.existential_vars();
+        let head_atoms = t
+            .head
+            .iter()
+            .map(|a| {
+                let args = a
+                    .args
+                    .iter()
+                    .map(|&tm| match tm {
+                        Term::Var(v) => match body_base.slot_of(v) {
+                            Some(s) => HeadArg::FromBody(s),
+                            None => HeadArg::Fresh(
+                                existentials
+                                    .iter()
+                                    .position(|&z| z == v)
+                                    .expect("non-body head var is existential"),
+                            ),
+                        },
+                        other => HeadArg::Fixed(other),
+                    })
+                    .collect();
+                (a.pred, args)
+            })
+            .collect();
+        TgdPlan {
+            body_base,
+            frontier_slots,
+            head_plan,
+            n_exist: existentials.len(),
+            head_atoms,
+        }
+    }
+}
+
 struct Runner<'a> {
     sigma: &'a [Tgd],
     voc: &'a mut Vocabulary,
@@ -159,12 +251,22 @@ struct Runner<'a> {
     /// Set when a trigger was skipped due to the depth budget.
     truncated: bool,
     stats: ChaseStats,
-    /// Per-tgd body variables, computed once up front.
-    body_vars: Vec<Vec<VarId>>,
+    /// Per-tgd compiled plans and head recipes, built once up front.
+    tgd_plans: Vec<TgdPlan>,
+    /// Cache of pivoted body plans across semi-naive rounds.
+    plans: PlanCache,
 }
 
 impl<'a> Runner<'a> {
     fn new(db: &Instance, sigma: &'a [Tgd], voc: &'a mut Vocabulary, cfg: &'a ChaseConfig) -> Self {
+        let mut stats = ChaseStats::default();
+        let mut plans = PlanCache::new();
+        let mut hstats = HomStats::default();
+        let tgd_plans = sigma
+            .iter()
+            .map(|t| TgdPlan::new(t, cfg.variant, &mut plans, &mut hstats))
+            .collect();
+        stats.absorb_hom(hstats);
         Runner {
             sigma,
             voc,
@@ -175,8 +277,9 @@ impl<'a> Runner<'a> {
             steps: 0,
             deepest: 0,
             truncated: false,
-            stats: ChaseStats::default(),
-            body_vars: sigma.iter().map(Tgd::body_vars).collect(),
+            stats,
+            tgd_plans,
+            plans,
         }
     }
 
@@ -187,15 +290,11 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Fires tgd `ti` on trigger `h` if the variant's condition allows;
+    /// Fires tgd `ti` on the trigger with dense key `key` (the body-variable
+    /// image in body-plan slot order) if the variant's condition allows;
     /// returns whether the instance grew.
-    fn fire(&mut self, ti: usize, h: &Assignment) -> bool {
-        let tgd = &self.sigma[ti];
-        let key: Vec<Term> = self.body_vars[ti]
-            .iter()
-            .map(|v| h.get(v).copied().unwrap_or(Term::Var(*v)))
-            .collect();
-        let fp = trigger_fingerprint(ti, &key);
+    fn fire(&mut self, ti: usize, key: &[Term]) -> bool {
+        let fp = trigger_fingerprint(ti, key);
         match self.cfg.variant {
             ChaseVariant::Oblivious => {
                 if self.fired.contains(&fp) {
@@ -206,13 +305,17 @@ impl<'a> Runner<'a> {
             ChaseVariant::Restricted => {
                 // Applicable iff there is no extension of h|frontier mapping
                 // the head into the instance.
-                let mut seed = Assignment::new();
-                for v in tgd.frontier() {
-                    if let Some(&t) = h.get(&v) {
-                        seed.insert(v, t);
-                    }
-                }
-                if find_hom(&tgd.head, &self.instance, &seed).is_some() {
+                let tp = &self.tgd_plans[ti];
+                let plan = tp.head_plan.as_ref().expect("restricted head plan");
+                let seed: Vec<Term> = tp.frontier_slots.iter().map(|&s| key[s]).collect();
+                let mut hstats = HomStats::default();
+                let satisfied = plan
+                    .execute(&self.instance, &seed, None, &mut hstats, |_| {
+                        ControlFlow::Break(())
+                    })
+                    .is_break();
+                self.stats.absorb_hom(hstats);
+                if satisfied {
                     self.stats.satisfied_skips += 1;
                     return false;
                 }
@@ -222,7 +325,8 @@ impl<'a> Runner<'a> {
         // Depth of nulls this step would create.
         let base_depth = key.iter().map(|&t| self.term_depth(t)).max().unwrap_or(0);
         let new_depth = base_depth + 1;
-        if !tgd.existential_vars().is_empty() {
+        let n_exist = self.tgd_plans[ti].n_exist;
+        if n_exist > 0 {
             if let Some(max) = self.cfg.max_depth {
                 if new_depth > max {
                     self.truncated = true;
@@ -231,20 +335,24 @@ impl<'a> Runner<'a> {
             }
         }
 
-        let mut ext = h.clone();
-        for z in tgd.existential_vars() {
+        let mut fresh: Vec<Term> = Vec::with_capacity(n_exist);
+        for _ in 0..n_exist {
             let n = self.voc.fresh_null();
             self.depth.insert(n, new_depth);
             self.deepest = self.deepest.max(new_depth);
-            ext.insert(z, Term::Null(n));
+            fresh.push(Term::Null(n));
         }
         let mut grew = false;
-        for atom in &tgd.head {
-            let img = atom.map_terms(|t| match t {
-                Term::Var(v) => ext.get(&v).copied().unwrap_or(t),
-                other => other,
-            });
-            grew |= self.instance.insert(img);
+        for (pred, args) in &self.tgd_plans[ti].head_atoms {
+            let img: Vec<Term> = args
+                .iter()
+                .map(|a| match *a {
+                    HeadArg::Fixed(t) => t,
+                    HeadArg::FromBody(s) => key[s],
+                    HeadArg::Fresh(i) => fresh[i],
+                })
+                .collect();
+            grew |= self.instance.insert(Atom::new(*pred, img));
         }
         if self.cfg.variant == ChaseVariant::Oblivious {
             self.fired.insert(fp);
@@ -277,7 +385,7 @@ impl<'a> Runner<'a> {
         let sigma = self.sigma;
         // Atoms at or past this index are "new" for the current round.
         let mut delta_start = 0usize;
-        let mut triggers: Vec<Assignment> = Vec::new();
+        let mut triggers: Vec<Vec<Term>> = Vec::new();
         loop {
             self.stats.rounds += 1;
             // Atoms inserted during this round carry a fresh generation; its
@@ -297,7 +405,7 @@ impl<'a> Runner<'a> {
                             return false;
                         }
                         self.stats.triggers_considered += 1;
-                        self.fire(ti, &Assignment::new());
+                        self.fire(ti, &[]);
                     }
                     continue;
                 }
@@ -305,27 +413,61 @@ impl<'a> Runner<'a> {
                     continue;
                 }
                 // Collect triggers against the current instance first, then
-                // fire, so the enumeration is not invalidated by inserts.
+                // fire, so the enumeration is not invalidated by inserts. A
+                // complete homomorphism binds every slot, so the dense
+                // binding vector unwraps directly into the trigger key.
                 triggers.clear();
                 let mut hstats = HomStats::default();
-                let _ = for_each_hom_with_delta(
-                    &tgd.body,
-                    &self.instance,
-                    &Assignment::new(),
-                    delta_start,
-                    &mut hstats,
-                    |h| {
-                        triggers.push(h.clone());
+                let push = |triggers: &mut Vec<Vec<Term>>, h: &crate::hom::HomView| {
+                    triggers.push(
+                        h.bindings()
+                            .iter()
+                            .map(|t| t.expect("complete hom binds all slots"))
+                            .collect(),
+                    );
+                };
+                if delta_start == 0 {
+                    let plan = Arc::clone(&self.tgd_plans[ti].body_base);
+                    let _ = plan.execute(&self.instance, &[], None, &mut hstats, |h| {
+                        push(&mut triggers, h);
                         ControlFlow::<()>::Continue(())
-                    },
-                );
+                    });
+                } else if delta_start < self.instance.len() {
+                    // One pivoted plan per body atom that can touch the
+                    // delta: the pivot atom is confined to new instance
+                    // atoms, earlier atoms to old ones, later atoms roam.
+                    for p in 0..tgd.body.len() {
+                        if self
+                            .instance
+                            .atoms_with_pred_from(tgd.body[p].pred, delta_start)
+                            .is_empty()
+                        {
+                            continue;
+                        }
+                        let plan = self
+                            .plans
+                            .get_or_compile(&tgd.body, &[], Some(p), &mut hstats);
+                        let ranges: Vec<(usize, usize)> = (0..tgd.body.len())
+                            .map(|i| match i.cmp(&p) {
+                                std::cmp::Ordering::Less => (0, delta_start),
+                                std::cmp::Ordering::Equal => (delta_start, NO_LIMIT),
+                                std::cmp::Ordering::Greater => (0, NO_LIMIT),
+                            })
+                            .collect();
+                        let _ =
+                            plan.execute(&self.instance, &[], Some(&ranges), &mut hstats, |h| {
+                                push(&mut triggers, h);
+                                ControlFlow::<()>::Continue(())
+                            });
+                    }
+                }
                 self.stats.absorb_hom(hstats);
                 self.stats.triggers_considered += triggers.len();
-                for h in triggers.drain(..) {
+                for key in triggers.drain(..) {
                     if self.steps >= self.cfg.max_steps || self.cfg.budget.expired() {
                         return false;
                     }
-                    self.fire(ti, &h);
+                    self.fire(ti, &key);
                 }
             }
             if self.instance.len() == round_start {

@@ -5,10 +5,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use omq_model::{Atom, Cq, Instance, NullId, Term, Ucq, VarId};
 
-use crate::hom::{find_hom, for_each_hom, Assignment};
+use crate::hom::{
+    pred_sig, record_plan_reuse, record_prefilter_reject, sig_may_hom, HomStats, JoinPlan,
+};
 
 /// Freezes the body of `q` into an instance, mapping each variable `v` to
 /// the null `⊥v` (constants stay). Returns the instance and the head image.
@@ -26,20 +29,29 @@ fn freeze_to_nulls(q: &Cq) -> (Instance, Vec<Term>) {
 /// Chandra–Merlin: `q1 ⊆ q2` iff there is a homomorphism from `q2` to the
 /// canonical (frozen) instance of `q1` mapping head to head.
 pub fn cq_contained(q1: &Cq, q2: &Cq) -> bool {
+    cq_contained_stats(q1, q2, &mut HomStats::default())
+}
+
+/// [`cq_contained`] with work counters accumulated into `stats`. The
+/// predicate-signature prefilter rejects impossible pairs (some predicate
+/// of `q2` does not occur in `q1`) before any plan is compiled.
+pub fn cq_contained_stats(q1: &Cq, q2: &Cq, stats: &mut HomStats) -> bool {
     if q1.head.len() != q2.head.len() {
         return false;
     }
-    let (frozen, head1) = freeze_to_nulls(q1);
-    let mut seed = Assignment::new();
-    for (&v2, &t1) in q2.head.iter().zip(&head1) {
-        match seed.get(&v2) {
-            Some(&t) if t != t1 => return false,
-            _ => {
-                seed.insert(v2, t1);
-            }
-        }
+    if !sig_may_hom(pred_sig(&q2.body), pred_sig(&q1.body)) {
+        record_prefilter_reject(stats);
+        return false;
     }
-    find_hom(&q2.body, &frozen, &seed).is_some()
+    let (frozen, head1) = freeze_to_nulls(q1);
+    let plan = JoinPlan::compile(&q2.body, &q2.head, None);
+    stats.plans_compiled += 1;
+    let pairs: Vec<(VarId, Term)> = q2.head.iter().copied().zip(head1.iter().copied()).collect();
+    let Some(seed) = plan.seed_values(&pairs) else {
+        return false; // the head pattern repeats a variable inconsistently
+    };
+    plan.execute(&frozen, &seed, None, stats, |_| ControlFlow::Break(()))
+        .is_break()
 }
 
 /// UCQ containment (Sagiv–Yannakakis): `∨ᵢ pᵢ ⊆ ∨ⱼ qⱼ` iff every `pᵢ` is
@@ -74,64 +86,242 @@ pub fn cq_core_budgeted(q: &Cq, max_homs: usize) -> Cq {
 /// Like [`cq_core_budgeted`], additionally reporting whether the
 /// endomorphism budget was exhausted in any folding round (i.e. whether the
 /// result is only *potentially* non-minimal rather than a certified core).
+///
+/// Coring searches endomorphisms of a candidate into its *own* frozen body
+/// — a target of a handful of atoms — so the general kernel's instance
+/// indexes and compiled plans are pure overhead here. The search instead
+/// runs directly over the body slice: head variables pre-bound to
+/// themselves, atoms visited in the kernel's greedy [`join_order`],
+/// candidates scanned per predicate. An endomorphism shrinks the image iff
+/// some same-predicate atom pair collapses under it (pigeonhole), so the
+/// leaf test is a precompiled list of pairwise slot comparisons, and
+/// bodies without any potentially-collapsible pair are certified cores
+/// with no search at all.
 pub fn cq_core_budgeted_report(q: &Cq, max_homs: usize) -> (Cq, bool) {
-    let mut current = q.clone();
-    let mut exhausted = false;
-    loop {
-        let (frozen, _) = freeze_to_nulls(&current);
-        // Seed: head variables map to their own frozen images (retraction).
-        let mut seed = Assignment::new();
-        for &v in &current.head {
-            seed.insert(v, Term::Null(NullId(v.0)));
-        }
-        let n = current.body.len();
-        // Look for an endomorphism whose image has strictly fewer atoms.
-        let mut examined = 0usize;
-        let mut smaller: Option<Assignment> = None;
-        let _ = for_each_hom(&current.body, &frozen, &seed, |h| {
-            examined += 1;
-            if examined > max_homs {
-                exhausted = true;
-                return ControlFlow::Break(());
-            }
-            let image: HashSet<Atom> = current
-                .body
-                .iter()
-                .map(|a| {
-                    a.map_terms(|t| match t {
-                        Term::Var(v) => h.get(&v).copied().unwrap_or(t),
-                        other => other,
+    /// A body argument under the dense variable numbering.
+    #[derive(Copy, Clone)]
+    enum ArgE {
+        Ground(Term),
+        V(usize),
+    }
+    /// One runtime equality check of a mergeable same-predicate atom pair.
+    enum ArgCmp {
+        /// Both positions hold variables, with these dense indices.
+        Vars(usize, usize),
+        /// A variable against a ground term.
+        VarGround(usize, Term),
+    }
+    enum Outcome {
+        Found,
+        NotFound,
+        Budget,
+    }
+    struct Fold<'a> {
+        /// Atom visit order (indices into the body).
+        order: &'a [usize],
+        /// Argument encodings per body atom.
+        enc: &'a [Vec<ArgE>],
+        /// Frozen argument vectors per body atom (variables as nulls).
+        frozen: &'a [Vec<Term>],
+        /// Per-depth candidate target atoms (same predicate as the atom
+        /// visited at that depth), in body order.
+        targets: &'a [Vec<usize>],
+        /// Collapsible-pair checks; any pair passing all its checks means
+        /// the current endomorphism shrinks the image.
+        pairs: &'a [Vec<ArgCmp>],
+        /// Dense variable bindings (images live in the frozen term space).
+        bindings: Vec<Option<Term>>,
+        /// Undo log of bound variable indices.
+        trail: Vec<usize>,
+        examined: usize,
+        max_homs: usize,
+    }
+    impl Fold<'_> {
+        fn step(&mut self, depth: usize) -> Outcome {
+            if depth == self.order.len() {
+                self.examined += 1;
+                if self.examined > self.max_homs {
+                    return Outcome::Budget;
+                }
+                let merges = self.pairs.iter().any(|checks| {
+                    checks.iter().all(|c| match *c {
+                        ArgCmp::Vars(s, t) => self.bindings[s] == self.bindings[t],
+                        ArgCmp::VarGround(s, t) => self.bindings[s] == Some(t),
                     })
-                })
-                .collect();
-            if image.len() < n {
-                smaller = Some(h.clone());
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
+                });
+                return if merges {
+                    Outcome::Found
+                } else {
+                    Outcome::NotFound
+                };
             }
-        });
-        match smaller {
-            None => return (current, exhausted),
-            Some(h) => {
-                // Rebuild the query from the image, un-freezing nulls back
-                // to variables.
-                let mut body: Vec<Atom> = Vec::new();
-                let mut seen = HashSet::new();
-                for a in &current.body {
-                    let img = a.map_terms(|t| match t {
-                        Term::Var(v) => match h.get(&v) {
-                            Some(Term::Null(n)) => Term::Var(VarId(n.0)),
-                            Some(&other) => other,
-                            None => t,
+            let ai = self.order[depth];
+            let mark = self.trail.len();
+            'cand: for ti in 0..self.targets[depth].len() {
+                let tj = self.targets[depth][ti];
+                for (pos, &e) in self.enc[ai].iter().enumerate() {
+                    let val = self.frozen[tj][pos];
+                    let ok = match e {
+                        ArgE::Ground(g) => g == val,
+                        ArgE::V(s) => match self.bindings[s] {
+                            Some(b) => b == val,
+                            None => {
+                                self.bindings[s] = Some(val);
+                                self.trail.push(s);
+                                true
+                            }
                         },
-                        other => other,
-                    });
-                    if seen.insert(img.clone()) {
-                        body.push(img);
+                    };
+                    if !ok {
+                        self.undo(mark);
+                        continue 'cand;
                     }
                 }
-                current = Cq::new(current.head.clone(), body);
+                match self.step(depth + 1) {
+                    Outcome::NotFound => self.undo(mark),
+                    found_or_budget => return found_or_budget,
+                }
+            }
+            Outcome::NotFound
+        }
+
+        fn undo(&mut self, mark: usize) {
+            for &s in &self.trail[mark..] {
+                self.bindings[s] = None;
+            }
+            self.trail.truncate(mark);
+        }
+    }
+
+    let mut current = q.clone();
+    'rounds: loop {
+        let body = &current.body;
+        let n = body.len();
+        // Dense variable numbering over the body, in first-occurrence order.
+        let mut vars: Vec<VarId> = Vec::new();
+        let enc: Vec<Vec<ArgE>> = body
+            .iter()
+            .map(|a| {
+                a.args
+                    .iter()
+                    .map(|&t| match t {
+                        Term::Var(v) => {
+                            let i = vars.iter().position(|&w| w == v).unwrap_or_else(|| {
+                                vars.push(v);
+                                vars.len() - 1
+                            });
+                            ArgE::V(i)
+                        }
+                        ground => ArgE::Ground(ground),
+                    })
+                    .collect()
+            })
+            .collect();
+        // Precompile the checks of every potentially-collapsible pair.
+        let mut pairs: Vec<Vec<ArgCmp>> = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if body[i].pred != body[j].pred {
+                    continue;
+                }
+                let mut checks = Vec::new();
+                let mut possible = true;
+                for (&a, &b) in enc[i].iter().zip(&enc[j]) {
+                    match (a, b) {
+                        (ArgE::Ground(x), ArgE::Ground(y)) => {
+                            if x != y {
+                                possible = false;
+                                break;
+                            }
+                        }
+                        (ArgE::V(s), ArgE::V(t)) => {
+                            if s != t {
+                                checks.push(ArgCmp::Vars(s, t));
+                            }
+                        }
+                        (ArgE::V(s), ArgE::Ground(y)) | (ArgE::Ground(y), ArgE::V(s)) => {
+                            checks.push(ArgCmp::VarGround(s, y));
+                        }
+                    }
+                }
+                if possible {
+                    pairs.push(checks);
+                }
+            }
+        }
+        if pairs.is_empty() {
+            // No two atoms can ever share an image: certified core.
+            return (current, false);
+        }
+        // Frozen body: variables become their own nulls; endomorphism
+        // images live in this term space.
+        let frozen: Vec<Vec<Term>> = body
+            .iter()
+            .map(|a| {
+                a.args
+                    .iter()
+                    .map(|&t| match t {
+                        Term::Var(v) => Term::Null(NullId(v.0)),
+                        ground => ground,
+                    })
+                    .collect()
+            })
+            .collect();
+        // Head variables retract onto themselves.
+        let mut bindings: Vec<Option<Term>> = vec![None; vars.len()];
+        for &v in &current.head {
+            if let Some(i) = vars.iter().position(|&w| w == v) {
+                bindings[i] = Some(Term::Null(NullId(v.0)));
+            }
+        }
+        let mut seeded: Vec<VarId> = current.head.clone();
+        seeded.sort_unstable();
+        seeded.dedup();
+        let order = crate::hom::join_order(body, &seeded, None);
+        let targets: Vec<Vec<usize>> = order
+            .iter()
+            .map(|&ai| (0..n).filter(|&j| body[j].pred == body[ai].pred).collect())
+            .collect();
+        let mut fold = Fold {
+            order: &order,
+            enc: &enc,
+            frozen: &frozen,
+            targets: &targets,
+            pairs: &pairs,
+            bindings,
+            trail: Vec::new(),
+            examined: 0,
+            max_homs,
+        };
+        match fold.step(0) {
+            Outcome::NotFound => return (current, false),
+            Outcome::Budget => return (current, true),
+            Outcome::Found => {
+                // Rebuild the query from the image, un-freezing nulls back
+                // to variables.
+                let bindings = fold.bindings;
+                let mut new_body: Vec<Atom> = Vec::new();
+                let mut seen = HashSet::new();
+                for (ai, args) in enc.iter().enumerate() {
+                    let img = Atom::new(
+                        body[ai].pred,
+                        args.iter()
+                            .map(|&e| match e {
+                                ArgE::Ground(t) => t,
+                                ArgE::V(s) => match bindings[s] {
+                                    Some(Term::Null(nl)) => Term::Var(VarId(nl.0)),
+                                    Some(other) => other,
+                                    None => unreachable!("endomorphism binds all variables"),
+                                },
+                            })
+                            .collect(),
+                    );
+                    if seen.insert(img.clone()) {
+                        new_body.push(img);
+                    }
+                }
+                current = Cq::new(current.head.clone(), new_body);
+                continue 'rounds;
             }
         }
     }
@@ -253,13 +443,59 @@ pub fn cq_isomorphic(q1: &Cq, q2: &Cq) -> bool {
 /// variables by iterated color refinement (a nauty-lite 1-WL) with a
 /// backtracking tie-break that takes the minimum certificate over all
 /// within-class relabelings.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// The form is a single flat word stream rather than a vector of per-atom
+/// vectors: these values are computed for every rewriting candidate and
+/// then hashed and compared on every dedup-index probe, so one contiguous
+/// buffer (one allocation, one memcmp/hash pass) beats a nested encoding
+/// on both construction and lookup.
+#[derive(Clone, Debug)]
 pub struct CqCanonicalForm {
     /// Canonical labels of the head positions (first-occurrence numbering).
     head: Vec<u32>,
-    /// Sorted atom encodings: `(pred, args)` with constants `c` encoded as
-    /// `-(c+1)` and variables as their canonical label.
-    atoms: Vec<(u32, Vec<i64>)>,
+    /// Sorted flat atom encodings: each atom contributes
+    /// `pred, arity, args...`, with constants `c` encoded as `-(c+1)` and
+    /// variables as their canonical label. Predicates have fixed arities,
+    /// so the stream parses unambiguously and compares atom-lexicographically.
+    atoms: Vec<i64>,
+    /// A content hash precomputed at construction. Forms are built once and
+    /// then probed against hash maps repeatedly, so `Hash` just forwards
+    /// this word instead of re-walking the stream; `PartialEq` also rejects
+    /// on it first. Equal content always has an equal hash (the hash is a
+    /// pure function of `head` and `atoms`), so the derived field-wise
+    /// equality stays correct.
+    hash: u64,
+}
+
+impl PartialEq for CqCanonicalForm {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.head == other.head && self.atoms == other.atoms
+    }
+}
+
+impl Eq for CqCanonicalForm {}
+
+impl std::hash::Hash for CqCanonicalForm {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl CqCanonicalForm {
+    fn seal(head: Vec<u32>, atoms: Vec<i64>) -> Self {
+        let mut h = mix(head.len() as u64, atoms.len() as u64);
+        for &w in &head {
+            h = mix(h, w as u64);
+        }
+        for &w in &atoms {
+            h = mix(h, w as u64);
+        }
+        CqCanonicalForm {
+            head,
+            atoms,
+            hash: h,
+        }
+    }
 }
 
 /// Mixes a word into a running hash (splitmix64 finalizer). Collision
@@ -280,11 +516,59 @@ fn mix(h: u64, w: u64) -> u64 {
 /// consistently fall back — a caller may mix this with a pairwise
 /// `cq_isomorphic` fallback without missing duplicates.
 pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalForm> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<CanonScratch> =
+            std::cell::RefCell::new(CanonScratch::default());
+    }
+    SCRATCH.with(|s| canonical_form_with(q, symmetry_budget, &mut s.borrow_mut()))
+}
+
+/// Reusable working memory for [`cq_canonical_form`]. The function runs once
+/// per rewriting candidate (tens of thousands of times per call tree), and
+/// without this its dozen short-lived `Vec`s dominate its profile; a
+/// thread-local scratch drops that to the two output allocations.
+#[derive(Default)]
+struct CanonScratch {
+    vars: Vec<VarId>,
+    enc: Vec<i64>,
+    starts: Vec<usize>,
+    color: Vec<u64>,
+    next: Vec<u64>,
+    distinct: Vec<u64>,
+    order: Vec<usize>,
+    class_starts: Vec<usize>,
+    bases: Vec<u32>,
+    label: Vec<u32>,
+    buf: Vec<i64>,
+    bufs: Vec<usize>,
+    idx: Vec<usize>,
+}
+
+fn canonical_form_with(
+    q: &Cq,
+    symmetry_budget: usize,
+    scratch: &mut CanonScratch,
+) -> Option<CqCanonicalForm> {
+    let CanonScratch {
+        vars,
+        enc,
+        starts,
+        color,
+        next,
+        distinct,
+        order,
+        class_starts,
+        bases,
+        label,
+        buf,
+        bufs,
+        idx,
+    } = scratch;
     // Dense variable indexing: vars[i] is the i-th distinct variable, head
     // variables first (in head order), then existentials in first-body-
     // occurrence order. The order is only an enumeration — the labeling does
     // not depend on it.
-    let mut vars: Vec<VarId> = Vec::new();
+    vars.clear();
     let dense = |vars: &mut Vec<VarId>, v: VarId| -> usize {
         match vars.iter().position(|&w| w == v) {
             Some(i) => i,
@@ -296,27 +580,28 @@ pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalFo
     };
     let mut head = Vec::with_capacity(q.head.len());
     for &v in &q.head {
-        head.push(dense(&mut vars, v) as u32);
+        head.push(dense(vars, v) as u32);
     }
     let n_head = vars.len();
-    // Atom args as dense indices (vars) or negative constant encodings.
-    let enc_body: Vec<(u32, Vec<i64>)> = q
-        .body
-        .iter()
-        .map(|a| {
-            (
-                a.pred.0,
-                a.args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(c) => -(c.0 as i64) - 1,
-                        Term::Var(v) => dense(&mut vars, *v) as i64,
-                        Term::Null(_) => unreachable!("CQs contain no nulls"),
-                    })
-                    .collect(),
-            )
-        })
-        .collect();
+    // Atom args as dense indices (vars) or negative constant encodings, in
+    // one flat buffer: `enc[starts[i]..starts[i + 1]]` are atom i's args.
+    let n_atoms = q.body.len();
+    enc.clear();
+    starts.clear();
+    for a in &q.body {
+        starts.push(enc.len());
+        for t in &a.args {
+            enc.push(match t {
+                Term::Const(c) => -(c.0 as i64) - 1,
+                Term::Var(v) => dense(vars, *v) as i64,
+                Term::Null(_) => unreachable!("CQs contain no nulls"),
+            });
+        }
+    }
+    starts.push(enc.len());
+    let enc = &*enc;
+    let starts = &*starts;
+    let args_of = |i: usize| &enc[starts[i]..starts[i + 1]];
     let n_ex = vars.len() - n_head;
 
     // Color refinement on the existential variables until the number of
@@ -324,33 +609,32 @@ pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalFo
     // class counts). A variable's new color folds in, order-independently,
     // one view hash per occurrence: (pred, position, the atom's argument
     // encodings under the current coloring).
-    let mut color: Vec<u64> = vec![0; n_ex];
+    color.clear();
+    color.resize(n_ex, 0);
     if n_ex > 1 {
-        let mut next: Vec<u64> = vec![0; n_ex];
-        let mut arg_codes: Vec<u64> = Vec::new();
+        next.clear();
+        next.resize(n_ex, 0);
         let mut classes = 1usize;
-        let mut distinct: Vec<u64> = Vec::with_capacity(n_ex);
         loop {
-            next.copy_from_slice(&color);
-            for (pred, args) in &enc_body {
-                arg_codes.clear();
-                arg_codes.extend(args.iter().map(|&a| {
-                    if a < 0 {
-                        mix(1, a as u64)
-                    } else if (a as usize) < n_head {
-                        mix(2, a as u64)
+            next.copy_from_slice(color);
+            for (i, a) in q.body.iter().enumerate() {
+                let args = args_of(i);
+                let mut atom_h = mix(a.pred.0 as u64, 4);
+                for &arg in args {
+                    let code = if arg < 0 {
+                        mix(1, arg as u64)
+                    } else if (arg as usize) < n_head {
+                        mix(2, arg as u64)
                     } else {
-                        mix(3, color[a as usize - n_head])
-                    }
-                }));
-                let mut atom_h = mix(*pred as u64, 4);
-                for &c in &arg_codes {
-                    atom_h = mix(atom_h, c);
+                        mix(3, color[arg as usize - n_head])
+                    };
+                    atom_h = mix(atom_h, code);
                 }
-                for (i, &a) in args.iter().enumerate() {
-                    if a >= n_head as i64 {
-                        let view = mix(mix(atom_h, i as u64), 5);
-                        next[a as usize - n_head] = next[a as usize - n_head].wrapping_add(view);
+                for (pos, &arg) in args.iter().enumerate() {
+                    if arg >= n_head as i64 {
+                        let view = mix(mix(atom_h, pos as u64), 5);
+                        next[arg as usize - n_head] =
+                            next[arg as usize - n_head].wrapping_add(view);
                     }
                 }
             }
@@ -358,11 +642,11 @@ pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalFo
                 *c = mix(*c, 6);
             }
             distinct.clear();
-            distinct.extend_from_slice(&next);
+            distinct.extend_from_slice(next);
             distinct.sort_unstable();
             distinct.dedup();
             let n = distinct.len();
-            std::mem::swap(&mut color, &mut next);
+            std::mem::swap(color, next);
             let grew = n > classes;
             classes = n;
             if !grew {
@@ -371,22 +655,30 @@ pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalFo
         }
     }
 
-    // Group existentials by final color; order classes by color value
-    // (invariant). `class_of[i]` is the class index of existential i.
-    let mut order: Vec<usize> = (0..n_ex).collect();
+    // Group existentials by final color: `order` sorted by color, classes
+    // are the equal-color runs `order[class_starts[c]..class_starts[c+1]]`.
+    order.clear();
+    order.extend(0..n_ex);
     order.sort_unstable_by_key(|&i| color[i]);
-    let mut class_members: Vec<Vec<usize>> = Vec::new();
-    for &i in &order {
-        match class_members.last() {
-            Some(m) if color[m[0]] == color[i] => class_members.last_mut().unwrap().push(i),
-            _ => class_members.push(vec![i]),
+    class_starts.clear();
+    class_starts.push(0);
+    for k in 1..n_ex {
+        if color[order[k]] != color[order[k - 1]] {
+            class_starts.push(k);
         }
     }
+    if n_ex > 0 {
+        class_starts.push(n_ex);
+    }
+    let order = &*order;
+    let class_starts = &*class_starts;
+    let n_classes = class_starts.len() - 1;
+    let class = |c: usize| &order[class_starts[c]..class_starts[c + 1]];
 
     // Symmetry budget: total number of within-class relabelings.
     let mut total: usize = 1;
-    for members in &class_members {
-        for k in 2..=members.len() {
+    for c in 0..n_classes {
+        for k in 2..=class(c).len() {
             total = total.saturating_mul(k);
             if total > symmetry_budget {
                 return None;
@@ -394,80 +686,97 @@ pub fn cq_canonical_form(q: &Cq, symmetry_budget: usize) -> Option<CqCanonicalFo
         }
     }
 
-    // Base canonical ids per class.
-    let mut bases = Vec::with_capacity(class_members.len());
+    // Base canonical ids per class (classes ordered by color value, which
+    // is invariant).
+    bases.clear();
     let mut next_id = n_head as u32;
-    for members in &class_members {
+    for c in 0..n_classes {
         bases.push(next_id);
-        next_id += members.len() as u32;
+        next_id += class(c).len() as u32;
     }
 
     // `label[i]` is the canonical id of dense variable i under the current
     // relabeling; head labels are fixed.
-    let mut label: Vec<u32> = (0..vars.len() as u32).collect();
-    let encode_atoms = |label: &[u32]| -> Vec<(u32, Vec<i64>)> {
-        let mut atoms: Vec<(u32, Vec<i64>)> = enc_body
-            .iter()
-            .map(|(pred, args)| {
-                (
-                    *pred,
-                    args.iter()
-                        .map(|&a| if a < 0 { a } else { label[a as usize] as i64 })
-                        .collect(),
-                )
-            })
-            .collect();
-        atoms.sort_unstable();
-        atoms
+    label.clear();
+    label.extend(0..vars.len() as u32);
+    // Encodes the body under `label` into `out`: per-atom chunks
+    // `pred, arity, args...` written to `buf`, atom order sorted via `idx`
+    // by chunk comparison, then emitted contiguously.
+    let encode_atoms = |label: &[u32],
+                        buf: &mut Vec<i64>,
+                        bufs: &mut Vec<usize>,
+                        idx: &mut Vec<usize>,
+                        out: &mut Vec<i64>| {
+        buf.clear();
+        bufs.clear();
+        for (i, a) in q.body.iter().enumerate() {
+            bufs.push(buf.len());
+            buf.push(a.pred.0 as i64);
+            buf.push(a.args.len() as i64);
+            for &arg in args_of(i) {
+                buf.push(if arg < 0 {
+                    arg
+                } else {
+                    label[arg as usize] as i64
+                });
+            }
+        }
+        bufs.push(buf.len());
+        idx.clear();
+        idx.extend(0..n_atoms);
+        idx.sort_unstable_by(|&a, &b| buf[bufs[a]..bufs[a + 1]].cmp(&buf[bufs[b]..bufs[b + 1]]));
+        out.clear();
+        for &i in idx.iter() {
+            out.extend_from_slice(&buf[bufs[i]..bufs[i + 1]]);
+        }
     };
 
     if total == 1 {
         // Rigid after refinement (the common case): one relabeling.
-        for (ci, members) in class_members.iter().enumerate() {
-            for (mi, &i) in members.iter().enumerate() {
-                label[n_head + i] = bases[ci] + mi as u32;
+        for (c, &base) in bases.iter().enumerate() {
+            for (mi, &i) in class(c).iter().enumerate() {
+                label[n_head + i] = base + mi as u32;
             }
         }
-        return Some(CqCanonicalForm {
-            head,
-            atoms: encode_atoms(&label),
-        });
+        let mut atoms = Vec::with_capacity(enc.len() + 2 * n_atoms);
+        encode_atoms(label, buf, bufs, idx, &mut atoms);
+        return Some(CqCanonicalForm::seal(head, atoms));
     }
 
     // Enumerate the cartesian product of within-class permutations and keep
     // the minimum certificate.
-    let perms_per_class: Vec<Vec<Vec<usize>>> = class_members
-        .iter()
-        .map(|members| permutations(members.len()))
+    let perms_per_class: Vec<Vec<Vec<usize>>> = (0..n_classes)
+        .map(|c| permutations(class(c).len()))
         .collect();
-    let mut odometer = vec![0usize; class_members.len()];
-    let mut best: Option<Vec<(u32, Vec<i64>)>> = None;
+    let mut odometer = vec![0usize; n_classes];
+    let mut best: Option<Vec<i64>> = None;
+    let mut cand: Vec<i64> = Vec::new();
     loop {
-        for (ci, members) in class_members.iter().enumerate() {
-            let perm = &perms_per_class[ci][odometer[ci]];
-            for (mi, &i) in members.iter().enumerate() {
-                label[n_head + i] = bases[ci] + perm[mi] as u32;
+        for (c, perms) in perms_per_class.iter().enumerate() {
+            let perm = &perms[odometer[c]];
+            for (mi, &i) in class(c).iter().enumerate() {
+                label[n_head + i] = bases[c] + perm[mi] as u32;
             }
         }
-        let atoms = encode_atoms(&label);
-        if best.as_ref().is_none_or(|b| atoms < *b) {
-            best = Some(atoms);
+        encode_atoms(label, buf, bufs, idx, &mut cand);
+        if best.as_ref().is_none_or(|b| cand < *b) {
+            best = Some(std::mem::take(&mut cand));
         }
         // Advance the odometer.
-        let mut ci = 0;
+        let mut c = 0;
         loop {
-            if ci == odometer.len() {
-                return Some(CqCanonicalForm {
+            if c == odometer.len() {
+                return Some(CqCanonicalForm::seal(
                     head,
-                    atoms: best.expect("at least one relabeling was tried"),
-                });
+                    best.expect("at least one relabeling was tried"),
+                ));
             }
-            odometer[ci] += 1;
-            if odometer[ci] < perms_per_class[ci].len() {
+            odometer[c] += 1;
+            if odometer[c] < perms_per_class[c].len() {
                 break;
             }
-            odometer[ci] = 0;
-            ci += 1;
+            odometer[c] = 0;
+            c += 1;
         }
     }
 }
@@ -497,12 +806,18 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 /// mutual containment (equivalent disjuncts) the earliest insertion wins, so
 /// the surviving list is a deterministic function of the insertion order.
 ///
-/// The frozen instance of every kept disjunct is cached, and a 64-bit
-/// predicate bloom mask prefilters the Chandra–Merlin checks (a hom from `k`
-/// into `d`'s frozen body needs `preds(k) ⊆ preds(d)`).
+/// The frozen instance and compiled [`JoinPlan`] of every kept disjunct are
+/// cached, and a 64-bit predicate bloom mask prefilters the Chandra–Merlin
+/// checks (a hom from `k` into `d`'s frozen body needs
+/// `preds(k) ⊆ preds(d)`); prefilter rejections and plan reuse are counted
+/// in [`SubsumptionSieve::hom_stats`].
 pub struct SubsumptionSieve {
     kept: Vec<SieveEntry>,
     kills: usize,
+    /// Reuse each entry's stored plan across probes (`false` recompiles per
+    /// probe — same results, used to exercise the uncached path).
+    reuse_plans: bool,
+    stats: HomStats,
 }
 
 struct SieveEntry {
@@ -510,34 +825,58 @@ struct SieveEntry {
     frozen: Instance,
     head: Vec<Term>,
     mask: u64,
+    /// Plan for homs from `cq` into another disjunct's frozen body, seeded
+    /// on `cq`'s head variables.
+    plan: Arc<JoinPlan>,
 }
 
 fn pred_mask(q: &Cq) -> u64 {
-    q.body.iter().fold(0u64, |m, a| m | 1 << (a.pred.0 % 64))
+    pred_sig(&q.body)
 }
 
-/// `sub ⊆ sup`, with `sub` pre-frozen (cached Chandra–Merlin).
-fn contained_in_frozen(sub_frozen: &Instance, sub_head: &[Term], sup: &Cq) -> bool {
-    if sub_head.len() != sup.head.len() {
+fn compile_entry_plan(cq: &Cq, stats: &mut HomStats) -> Arc<JoinPlan> {
+    stats.plans_compiled += 1;
+    Arc::new(JoinPlan::compile(&cq.body, &cq.head, None))
+}
+
+/// `sub ⊆ sup`, with `sub` pre-frozen and `sup`'s plan (body seeded on
+/// `sup_head`) pre-compiled — cached Chandra–Merlin.
+fn contained_in_frozen(
+    plan: &JoinPlan,
+    sup_head: &[VarId],
+    sub_frozen: &Instance,
+    sub_head: &[Term],
+    stats: &mut HomStats,
+) -> bool {
+    if sub_head.len() != sup_head.len() {
         return false;
     }
-    let mut seed = Assignment::new();
-    for (&v, &t) in sup.head.iter().zip(sub_head) {
-        match seed.get(&v) {
-            Some(&bound) if bound != t => return false,
-            _ => {
-                seed.insert(v, t);
-            }
-        }
-    }
-    find_hom(&sup.body, sub_frozen, &seed).is_some()
+    let pairs: Vec<(VarId, Term)> = sup_head
+        .iter()
+        .copied()
+        .zip(sub_head.iter().copied())
+        .collect();
+    let Some(seed) = plan.seed_values(&pairs) else {
+        return false; // repeated head variable with conflicting images
+    };
+    plan.execute(sub_frozen, &seed, None, stats, |_| ControlFlow::Break(()))
+        .is_break()
 }
 
 impl SubsumptionSieve {
     pub fn new() -> Self {
+        SubsumptionSieve::with_plan_cache(true)
+    }
+
+    /// A sieve that reuses per-entry compiled plans when `reuse_plans` is
+    /// true, or recompiles per probe otherwise. The surviving disjuncts are
+    /// identical either way.
+    pub fn with_plan_cache(reuse_plans: bool) -> Self {
         SubsumptionSieve {
             kept: Vec::new(),
             kills: 0,
+            reuse_plans,
+            stats: HomStats::default(),
         }
     }
 
@@ -546,23 +885,52 @@ impl SubsumptionSieve {
     pub fn insert(&mut self, cq: Cq) -> bool {
         let (frozen, head) = freeze_to_nulls(&cq);
         let mask = pred_mask(&cq);
-        if self
-            .kept
-            .iter()
-            .any(|k| k.mask & !mask == 0 && contained_in_frozen(&frozen, &head, &k.cq))
-        {
+        let reuse = self.reuse_plans;
+        let mut rejected = false;
+        for k in &self.kept {
+            if k.mask & !mask != 0 {
+                // Some predicate of `k` is absent from `cq`: no hom exists.
+                record_prefilter_reject(&mut self.stats);
+                continue;
+            }
+            let plan = if reuse {
+                record_plan_reuse(&mut self.stats);
+                Arc::clone(&k.plan)
+            } else {
+                compile_entry_plan(&k.cq, &mut self.stats)
+            };
+            if contained_in_frozen(&plan, &k.cq.head, &frozen, &head, &mut self.stats) {
+                rejected = true;
+                break;
+            }
+        }
+        if rejected {
             self.kills += 1;
             return false;
         }
+        let plan = compile_entry_plan(&cq, &mut self.stats);
         let before = self.kept.len();
-        self.kept
-            .retain(|k| !(mask & !k.mask == 0 && contained_in_frozen(&k.frozen, &k.head, &cq)));
+        let stats = &mut self.stats;
+        self.kept.retain(|k| {
+            if mask & !k.mask != 0 {
+                record_prefilter_reject(stats);
+                return true;
+            }
+            let p = if reuse {
+                record_plan_reuse(stats);
+                Arc::clone(&plan)
+            } else {
+                compile_entry_plan(&cq, stats)
+            };
+            !contained_in_frozen(&p, &cq.head, &k.frozen, &k.head, stats)
+        });
         self.kills += before - self.kept.len();
         self.kept.push(SieveEntry {
             cq,
             frozen,
             head,
             mask,
+            plan,
         });
         true
     }
@@ -570,6 +938,12 @@ impl SubsumptionSieve {
     /// Disjuncts dropped so far (offered-and-rejected plus kept-and-evicted).
     pub fn kills(&self) -> usize {
         self.kills
+    }
+
+    /// Work counters accumulated across all probes: candidate scans,
+    /// prefilter rejections, plan compilations and reuses.
+    pub fn hom_stats(&self) -> HomStats {
+        self.stats
     }
 
     pub fn len(&self) -> usize {

@@ -7,26 +7,44 @@
 
 use std::collections::HashSet;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
-use omq_model::{ConstId, Cq, Instance, Term, Ucq};
+use omq_model::{ConstId, Cq, Instance, Term, Ucq, VarId};
 
-use crate::hom::{for_each_hom, Assignment};
+use crate::hom::{
+    instance_sig, record_prefilter_reject, sig_may_hom, HomStats, HomView, JoinPlan, PlanCache,
+};
 
 /// Evaluates a CQ: all constant answer tuples `h(x̄)`.
 pub fn eval_cq(q: &Cq, inst: &Instance) -> HashSet<Vec<ConstId>> {
+    let plan = JoinPlan::compile(&q.body, &[], None);
+    let head_slots: Vec<usize> = q
+        .head
+        .iter()
+        .map(|&v| plan.slot_of(v).expect("head variables occur in the body"))
+        .collect();
     let mut out = HashSet::new();
-    let _ = for_each_hom(&q.body, inst, &Assignment::new(), |h| {
-        let mut tuple = Vec::with_capacity(q.head.len());
-        for &v in &q.head {
-            match h.get(&v) {
-                Some(Term::Const(c)) => tuple.push(*c),
-                _ => return ControlFlow::<()>::Continue(()), // null answer: skip
-            }
+    let mut stats = HomStats::default();
+    let _ = plan.execute(inst, &[], None, &mut stats, |h| {
+        if let Some(tuple) = const_tuple(h, &head_slots) {
+            out.insert(tuple);
         }
-        out.insert(tuple);
-        ControlFlow::Continue(())
+        ControlFlow::<()>::Continue(())
     });
     out
+}
+
+/// The head tuple of a complete homomorphism, or `None` when some head
+/// position maps to a null (excluded per the paper's answer semantics).
+fn const_tuple(h: &HomView, head_slots: &[usize]) -> Option<Vec<ConstId>> {
+    let mut tuple = Vec::with_capacity(head_slots.len());
+    for &s in head_slots {
+        match h.slot(s) {
+            Some(Term::Const(c)) => tuple.push(c),
+            _ => return None,
+        }
+    }
+    Some(tuple)
 }
 
 /// Evaluates a UCQ: the union of its disjuncts' answers.
@@ -44,7 +62,10 @@ pub fn eval_ucq(q: &Ucq, inst: &Instance) -> HashSet<Vec<ConstId>> {
 /// the answer set would be non-empty *ignoring* the constants-only filter,
 /// i.e. whether some homomorphism exists at all.
 pub fn holds_cq(q: &Cq, inst: &Instance) -> bool {
-    crate::hom::find_hom(&q.body, inst, &Assignment::new()).is_some()
+    let plan = JoinPlan::compile(&q.body, &[], None);
+    let mut stats = HomStats::default();
+    plan.execute(inst, &[], None, &mut stats, |_| ControlFlow::Break(()))
+        .is_break()
 }
 
 /// Does some disjunct of the UCQ hold in the instance?
@@ -54,24 +75,109 @@ pub fn holds_ucq(q: &Ucq, inst: &Instance) -> bool {
 
 /// Is the fixed tuple `c̄` an answer of `q` on `inst`?
 pub fn is_answer(q: &Cq, inst: &Instance, tuple: &[ConstId]) -> bool {
-    if tuple.len() != q.head.len() {
-        return false;
-    }
-    let mut seed = Assignment::new();
-    for (&v, &c) in q.head.iter().zip(tuple) {
-        match seed.get(&v) {
-            Some(&t) if t != Term::Const(c) => return false,
-            _ => {
-                seed.insert(v, Term::Const(c));
-            }
-        }
-    }
-    crate::hom::find_hom(&q.body, inst, &seed).is_some()
+    CompiledCq::new(q).is_answer(inst, instance_sig(inst), tuple, &mut HomStats::default())
 }
 
 /// Is the fixed tuple `c̄` an answer of some disjunct of `q` on `inst`?
 pub fn is_answer_ucq(q: &Ucq, inst: &Instance, tuple: &[ConstId]) -> bool {
-    q.disjuncts.iter().any(|d| is_answer(d, inst, tuple))
+    let isig = instance_sig(inst);
+    let mut stats = HomStats::default();
+    q.disjuncts
+        .iter()
+        .any(|d| CompiledCq::new(d).is_answer(inst, isig, tuple, &mut stats))
+}
+
+/// A CQ compiled for repeated fixed-tuple membership probes: the body plan
+/// is seeded on the head variables, so `is_answer` is one plan execution,
+/// gated by the predicate-signature prefilter.
+#[derive(Clone)]
+pub struct CompiledCq {
+    plan: Arc<JoinPlan>,
+    head: Vec<VarId>,
+}
+
+impl CompiledCq {
+    /// Compiles `q` (uncached; use [`CompiledCq::from_cache`] when many
+    /// queries share bodies).
+    pub fn new(q: &Cq) -> CompiledCq {
+        CompiledCq {
+            plan: Arc::new(JoinPlan::compile(&q.body, &q.head, None)),
+            head: q.head.clone(),
+        }
+    }
+
+    /// Compiles `q` through a [`PlanCache`].
+    pub fn from_cache(q: &Cq, cache: &mut PlanCache, stats: &mut HomStats) -> CompiledCq {
+        CompiledCq {
+            plan: cache.get_or_compile(&q.body, &q.head, None, stats),
+            head: q.head.clone(),
+        }
+    }
+
+    /// The predicate signature of the body (see [`crate::hom::pred_sig`]).
+    pub fn sig(&self) -> u64 {
+        self.plan.sig()
+    }
+
+    /// Is `tuple` an answer on `inst`? `inst_sig` is the instance signature
+    /// ([`instance_sig`]), computed once by the caller across many probes.
+    pub fn is_answer(
+        &self,
+        inst: &Instance,
+        inst_sig: u64,
+        tuple: &[ConstId],
+        stats: &mut HomStats,
+    ) -> bool {
+        if tuple.len() != self.head.len() {
+            return false;
+        }
+        if !sig_may_hom(self.plan.sig(), inst_sig) {
+            record_prefilter_reject(stats);
+            return false;
+        }
+        let pairs: Vec<(VarId, Term)> = self
+            .head
+            .iter()
+            .copied()
+            .zip(tuple.iter().map(|&c| Term::Const(c)))
+            .collect();
+        let Some(seed) = self.plan.seed_values(&pairs) else {
+            return false; // repeated head variable, conflicting constants
+        };
+        self.plan
+            .execute(inst, &seed, None, stats, |_| ControlFlow::Break(()))
+            .is_break()
+    }
+}
+
+/// A UCQ with every disjunct compiled ([`CompiledCq`]): build once, probe
+/// many `(instance, tuple)` pairs.
+#[derive(Clone)]
+pub struct CompiledUcq {
+    arity: usize,
+    disjuncts: Vec<CompiledCq>,
+}
+
+impl CompiledUcq {
+    pub fn new(q: &Ucq) -> CompiledUcq {
+        CompiledUcq {
+            arity: q.arity,
+            disjuncts: q.disjuncts.iter().map(CompiledCq::new).collect(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Is `tuple` an answer of some disjunct on `inst`? The instance
+    /// signature is computed once and prefilters every disjunct.
+    pub fn is_answer(&self, inst: &Instance, tuple: &[ConstId], stats: &mut HomStats) -> bool {
+        let isig = instance_sig(inst);
+        self.disjuncts
+            .iter()
+            .any(|d| d.is_answer(inst, isig, tuple, stats))
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,39 @@
 //! Homomorphism search: mapping a set of atoms with variables into an
 //! instance, the workhorse behind CQ evaluation (paper §2), chase triggers,
 //! and Chandra–Merlin containment.
+//!
+//! The kernel is organised around a compiled, reusable [`JoinPlan`]: a CQ
+//! body is compiled **once** into (a) a fixed atom order chosen by the
+//! greedy join heuristic, (b) a dense variable-slot layout replacing the
+//! per-candidate `HashMap` bindings with a `Vec<Option<Term>>`, and (c) a
+//! per-atom probe strategy — which `(pred, pos, term)` index of
+//! [`Instance`] can be hit given which slots are bound at that point. Plans
+//! are pure functions of `(atoms, seeded vars, pivot)`, so a [`PlanCache`]
+//! lets the thousands of subsumption/containment probes above this layer
+//! reuse plans instead of re-deriving orderings.
+//!
+//! Plan execution is byte-for-byte equivalent to the historical
+//! backtracking search (kept verbatim in [`reference`]): the same atom
+//! order, the same runtime probe selection (first strictly smaller
+//! candidate list wins), the same candidate scan order, and therefore the
+//! same enumeration order and the same `candidates_scanned`/`backtracks`
+//! counters.
+//!
+//! For CQ→CQ checks a 64-bit predicate **signature prefilter** applies
+//! before any plan executes: a homomorphism from `q1` into `q2` maps every
+//! atom onto an atom of the same predicate, so it is impossible unless
+//! `sig(q1) & !sig(q2) == 0` (see [`pred_sig`]). The filter is sound — it
+//! only ever rejects pairs where no homomorphism exists — and rejections
+//! are counted as `prefilter_rejects`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use omq_model::{Atom, Instance, Term, VarId};
+use omq_model::{Atom, Instance, PredId, Term, VarId};
 
 /// A variable assignment: the mapping `h` restricted to variables. Constants
 /// are always mapped to themselves (homomorphisms are the identity on `C`).
@@ -20,6 +48,13 @@ pub struct HomStats {
     pub backtracks: u64,
     /// Complete homomorphisms handed to the callback.
     pub homs_found: u64,
+    /// Join plans compiled (cache misses plus uncached compilations).
+    pub plans_compiled: u64,
+    /// Join plans served from a [`PlanCache`] without recompiling.
+    pub plan_cache_hits: u64,
+    /// CQ→CQ checks rejected by the predicate-signature prefilter before
+    /// any plan executed.
+    pub prefilter_rejects: u64,
 }
 
 impl HomStats {
@@ -28,11 +63,51 @@ impl HomStats {
         self.candidates_scanned += other.candidates_scanned;
         self.backtracks += other.backtracks;
         self.homs_found += other.homs_found;
+        self.plans_compiled += other.plans_compiled;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.prefilter_rejects += other.prefilter_rejects;
     }
 }
 
+// Process-global kernel counters, mirrored from every top-level plan
+// execution / cache interaction (relaxed: they are monotone telemetry for
+// the serve `stats` response, never synchronisation).
+static G_CANDIDATES_SCANNED: AtomicU64 = AtomicU64::new(0);
+static G_BACKTRACKS: AtomicU64 = AtomicU64::new(0);
+static G_HOMS_FOUND: AtomicU64 = AtomicU64::new(0);
+static G_PLANS_COMPILED: AtomicU64 = AtomicU64::new(0);
+static G_PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static G_PREFILTER_REJECTS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide kernel counters (all searches since
+/// process start, across every thread). Monotone between calls.
+pub fn global_hom_snapshot() -> HomStats {
+    HomStats {
+        candidates_scanned: G_CANDIDATES_SCANNED.load(Ordering::Relaxed),
+        backtracks: G_BACKTRACKS.load(Ordering::Relaxed),
+        homs_found: G_HOMS_FOUND.load(Ordering::Relaxed),
+        plans_compiled: G_PLANS_COMPILED.load(Ordering::Relaxed),
+        plan_cache_hits: G_PLAN_CACHE_HITS.load(Ordering::Relaxed),
+        prefilter_rejects: G_PREFILTER_REJECTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one signature-prefilter rejection (local and global counters).
+pub fn record_prefilter_reject(stats: &mut HomStats) {
+    stats.prefilter_rejects += 1;
+    G_PREFILTER_REJECTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one plan reuse that bypassed compilation — for callers that
+/// store compiled plans inline (e.g. per sieve entry) instead of going
+/// through a [`PlanCache`], which counts its own hits.
+pub fn record_plan_reuse(stats: &mut HomStats) {
+    stats.plan_cache_hits += 1;
+    G_PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Sentinel for "no upper bound" in an atom's candidate index range.
-const NO_LIMIT: usize = usize::MAX;
+pub const NO_LIMIT: usize = usize::MAX;
 
 /// Restricts a sorted slice of atom indices to those in `[lo, hi)`.
 fn clamp(c: &[usize], lo: usize, hi: usize) -> &[usize] {
@@ -49,13 +124,25 @@ fn clamp(c: &[usize], lo: usize, hi: usize) -> &[usize] {
     &c[start..end.max(start)]
 }
 
-/// Applies an assignment to a term (identity on constants and nulls;
-/// unbound variables stay put).
-fn image(h: &Assignment, t: Term) -> Term {
-    match t {
-        Term::Var(v) => h.get(&v).copied().unwrap_or(t),
-        other => other,
-    }
+/// The 64-bit predicate signature of a set of atoms: bit `p mod 64` is set
+/// for every predicate `p` that occurs. A homomorphism maps each atom onto
+/// an atom of the *same* predicate, so `hom(q1 → q2)` requires
+/// `pred_sig(q1) & !pred_sig(q2) == 0` — a sound, constant-time prefilter.
+pub fn pred_sig(atoms: &[Atom]) -> u64 {
+    atoms.iter().fold(0u64, |s, a| s | 1u64 << (a.pred.0 % 64))
+}
+
+/// The predicate signature of an instance (see [`pred_sig`]).
+pub fn instance_sig(inst: &Instance) -> u64 {
+    inst.atoms()
+        .iter()
+        .fold(0u64, |s, a| s | 1u64 << (a.pred.0 % 64))
+}
+
+/// Can a homomorphism from something with signature `src` exist into
+/// something with signature `dst`? (Necessary, not sufficient.)
+pub fn sig_may_hom(src: u64, dst: u64) -> bool {
+    src & !dst == 0
 }
 
 /// Orders atoms so that atoms sharing variables with already-placed atoms
@@ -63,19 +150,35 @@ fn image(h: &Assignment, t: Term) -> Term {
 /// chain/star queries. When `first` is given, that atom is pinned to the
 /// front (used to lead with the delta pivot, whose candidate set is small)
 /// and the greedy rule orders the rest.
-fn join_order(atoms: &[Atom], seed: &Assignment, first: Option<usize>) -> Vec<usize> {
+///
+/// Fully deterministic: the bound-variable set is a sorted vector (no hash
+/// iteration anywhere), candidates are scanned in atom-index order, and a
+/// tie on (bound terms, unbound variables) keeps the earliest atom.
+pub(crate) fn join_order(atoms: &[Atom], seeded: &[VarId], first: Option<usize>) -> Vec<usize> {
     let n = atoms.len();
     let mut placed = vec![false; n];
-    let mut bound: HashSet<VarId> = seed.keys().copied().collect();
+    let mut bound: Vec<VarId> = seeded.to_vec();
+    debug_assert!(
+        bound.windows(2).all(|w| w[0] < w[1]),
+        "seeded sorted+deduped"
+    );
+    fn bind(bound: &mut Vec<VarId>, atom: &Atom) {
+        for v in atom.vars() {
+            if let Err(i) = bound.binary_search(&v) {
+                bound.insert(i, v);
+            }
+        }
+    }
     let mut order = Vec::with_capacity(n);
     if let Some(i) = first {
         placed[i] = true;
         order.push(i);
-        bound.extend(atoms[i].vars());
+        bind(&mut bound, &atoms[i]);
     }
     while order.len() < n {
         // Pick the unplaced atom with the most bound terms (constants and
-        // bound variables), tie-breaking on fewer unbound variables.
+        // bound variables), tie-breaking on fewer unbound variables; a full
+        // tie keeps the lowest atom index.
         let mut best: Option<(usize, usize, usize)> = None; // (idx, bound#, unbound#)
         for (i, a) in atoms.iter().enumerate() {
             if placed[i] {
@@ -86,7 +189,7 @@ fn join_order(atoms: &[Atom], seed: &Assignment, first: Option<usize>) -> Vec<us
             for &t in &a.args {
                 match t {
                     Term::Var(v) => {
-                        if bound.contains(&v) {
+                        if bound.binary_search(&v).is_ok() {
                             b += 1;
                         } else {
                             u += 1;
@@ -106,9 +209,410 @@ fn join_order(atoms: &[Atom], seed: &Assignment, first: Option<usize>) -> Vec<us
         let (i, _, _) = best.unwrap();
         placed[i] = true;
         order.push(i);
-        bound.extend(atoms[i].vars());
+        bind(&mut bound, &atoms[i]);
     }
     order
+}
+
+/// What to do with one argument position of a plan step when matching a
+/// candidate atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotAction {
+    /// The pattern term is ground: the candidate value must equal it.
+    Fixed(Term),
+    /// First occurrence of an unbound variable: write the candidate value
+    /// into the slot.
+    Bind(usize),
+    /// The slot is already bound (seed, earlier step, or earlier position
+    /// of this atom): the candidate value must equal the slot.
+    Eq(usize),
+}
+
+/// One atom of a compiled plan, in execution order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PlanStep {
+    /// Index of the atom in the *original* body (delta ranges are keyed by
+    /// original atom index, not execution position).
+    atom: usize,
+    pred: PredId,
+    /// Per-position actions, left to right.
+    actions: Vec<SlotAction>,
+    /// Positions whose value is known *before* the candidate scan starts
+    /// (ground terms, and variables bound by the seed or an earlier step —
+    /// not by an earlier position of the same atom). Ascending; these are
+    /// the positions eligible for `(pred, pos, term)` index probes.
+    probes: Vec<usize>,
+}
+
+/// A compiled homomorphism search: fixed atom order, dense variable slots,
+/// and a precomputed per-atom probe strategy. Compile once with
+/// [`JoinPlan::compile`] (or fetch from a [`PlanCache`]), then
+/// [`JoinPlan::execute`] any number of times against different instances,
+/// seeds, and delta ranges.
+///
+/// The slot layout is independent of the pivot: seeded variables occupy
+/// slots `0..seeded.len()` in sorted order, followed by the remaining body
+/// variables in first-occurrence order over the *original* atom list. All
+/// per-pivot plans of one body therefore share a layout, so callers can
+/// precompute slot indices once and reuse them across every pivot plan.
+#[derive(Clone, Debug)]
+pub struct JoinPlan {
+    atoms: Vec<Atom>,
+    seeded: Vec<VarId>,
+    pivot: Option<usize>,
+    order: Vec<usize>,
+    slots: Vec<VarId>,
+    steps: Vec<PlanStep>,
+    sig: u64,
+}
+
+/// The slot layout shared by every plan over `(atoms, seeded)`: seeded
+/// variables first (sorted), then body variables in first-occurrence order.
+fn slot_layout(atoms: &[Atom], seeded: &[VarId]) -> Vec<VarId> {
+    let mut slots: Vec<VarId> = seeded.to_vec();
+    for a in atoms {
+        for v in a.vars() {
+            if !slots.contains(&v) {
+                slots.push(v);
+            }
+        }
+    }
+    slots
+}
+
+impl JoinPlan {
+    /// Compiles a plan for homomorphisms from `atoms` extending a seed over
+    /// `seeded` (sorted and deduplicated internally). `pivot` pins that atom
+    /// to the front of the join order (the semi-naive delta pivot).
+    pub fn compile(atoms: &[Atom], seeded: &[VarId], pivot: Option<usize>) -> JoinPlan {
+        let mut seeded: Vec<VarId> = seeded.to_vec();
+        seeded.sort_unstable();
+        seeded.dedup();
+        let order = join_order(atoms, &seeded, pivot);
+        let slots = slot_layout(atoms, &seeded);
+        let slot_of = |v: VarId| slots.iter().position(|&w| w == v).unwrap();
+        let mut bound = vec![false; slots.len()];
+        bound[..seeded.len()].fill(true);
+        let mut steps = Vec::with_capacity(order.len());
+        for &ai in &order {
+            let a = &atoms[ai];
+            let mut actions = Vec::with_capacity(a.args.len());
+            let mut probes = Vec::new();
+            let mut bound_now = bound.clone();
+            for (pos, &t) in a.args.iter().enumerate() {
+                match t {
+                    Term::Var(v) => {
+                        let s = slot_of(v);
+                        if bound_now[s] {
+                            actions.push(SlotAction::Eq(s));
+                            if bound[s] {
+                                probes.push(pos); // known before the scan
+                            }
+                        } else {
+                            actions.push(SlotAction::Bind(s));
+                            bound_now[s] = true;
+                        }
+                    }
+                    ground => {
+                        actions.push(SlotAction::Fixed(ground));
+                        probes.push(pos);
+                    }
+                }
+            }
+            bound = bound_now;
+            steps.push(PlanStep {
+                atom: ai,
+                pred: a.pred,
+                actions,
+                probes,
+            });
+        }
+        let sig = pred_sig(atoms);
+        G_PLANS_COMPILED.fetch_add(1, Ordering::Relaxed);
+        JoinPlan {
+            atoms: atoms.to_vec(),
+            seeded,
+            pivot,
+            order,
+            slots,
+            steps,
+            sig,
+        }
+    }
+
+    /// The atoms this plan matches (original order).
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The seeded variables, sorted and deduplicated; [`JoinPlan::execute`]
+    /// seeds are parallel to this list.
+    pub fn seeded(&self) -> &[VarId] {
+        &self.seeded
+    }
+
+    /// The pinned delta pivot, if any.
+    pub fn pivot(&self) -> Option<usize> {
+        self.pivot
+    }
+
+    /// The compiled join order (original atom indices, execution order).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The slot layout: `slots()[s]` is the variable stored in slot `s`.
+    pub fn slots(&self) -> &[VarId] {
+        &self.slots
+    }
+
+    /// The slot of `v`, if `v` occurs in the plan.
+    pub fn slot_of(&self, v: VarId) -> Option<usize> {
+        self.slots.iter().position(|&w| w == v)
+    }
+
+    /// The predicate signature of the plan's atoms (see [`pred_sig`]).
+    pub fn sig(&self) -> u64 {
+        self.sig
+    }
+
+    /// Converts seed `(var, value)` pairs into the dense seed vector
+    /// expected by [`JoinPlan::execute`] (parallel to [`JoinPlan::seeded`]).
+    /// Returns `None` when duplicate pairs conflict — the caller should
+    /// treat that as "no homomorphism" (e.g. `q(x,x)` probed with tuple
+    /// `(a,b)`).
+    ///
+    /// # Panics
+    /// Panics (debug) if the pairs do not cover exactly the seeded set.
+    pub fn seed_values(&self, pairs: &[(VarId, Term)]) -> Option<Vec<Term>> {
+        let mut vals: Vec<Option<Term>> = vec![None; self.seeded.len()];
+        for &(v, t) in pairs {
+            let i = self
+                .seeded
+                .binary_search(&v)
+                .expect("seed var not in the plan's seeded set");
+            match vals[i] {
+                Some(prev) if prev != t => return None,
+                _ => vals[i] = Some(t),
+            }
+        }
+        Some(
+            vals.into_iter()
+                .map(|o| o.expect("seed pairs must cover the seeded set"))
+                .collect(),
+        )
+    }
+
+    /// Enumerates homomorphisms from the plan's atoms into `inst` extending
+    /// `seed` (parallel to [`JoinPlan::seeded`]), invoking `f` for each;
+    /// stop early by returning [`ControlFlow::Break`]. `ranges`, when given,
+    /// restricts each *original* atom index to candidate instance-atom
+    /// indices in `[lo, hi)` (`hi == NO_LIMIT` for unbounded) — the
+    /// semi-naive delta discipline.
+    ///
+    /// Work counters accumulate into `stats` (and the process-global
+    /// counters behind [`global_hom_snapshot`]).
+    pub fn execute<B>(
+        &self,
+        inst: &Instance,
+        seed: &[Term],
+        ranges: Option<&[(usize, usize)]>,
+        stats: &mut HomStats,
+        mut f: impl FnMut(&HomView) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        debug_assert_eq!(seed.len(), self.seeded.len());
+        let mut bindings: Vec<Option<Term>> = vec![None; self.slots.len()];
+        for (b, &t) in bindings.iter_mut().zip(seed) {
+            *b = Some(t);
+        }
+        let mut local = HomStats::default();
+        let res = self.step(0, inst, ranges, &mut bindings, &mut local, &mut f);
+        stats.absorb(local);
+        G_CANDIDATES_SCANNED.fetch_add(local.candidates_scanned, Ordering::Relaxed);
+        G_BACKTRACKS.fetch_add(local.backtracks, Ordering::Relaxed);
+        G_HOMS_FOUND.fetch_add(local.homs_found, Ordering::Relaxed);
+        res
+    }
+
+    /// The backtracking core over compiled steps: candidates come from the
+    /// most selective probe index (first strictly smaller candidate list in
+    /// position order — the same runtime rule as the reference kernel),
+    /// restricted to the atom's `[lo, hi)` range.
+    fn step<B>(
+        &self,
+        depth: usize,
+        inst: &Instance,
+        ranges: Option<&[(usize, usize)]>,
+        bindings: &mut Vec<Option<Term>>,
+        stats: &mut HomStats,
+        f: &mut impl FnMut(&HomView) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if depth == self.steps.len() {
+            stats.homs_found += 1;
+            return f(&HomView {
+                slots: &self.slots,
+                bindings,
+            });
+        }
+        let st = &self.steps[depth];
+        let (lo, hi) = match ranges {
+            Some(r) => r[st.atom],
+            None => (0, NO_LIMIT),
+        };
+        let mut best: Option<&[usize]> = None;
+        for &pos in &st.probes {
+            let val = match st.actions[pos] {
+                SlotAction::Fixed(t) => t,
+                SlotAction::Eq(s) => bindings[s].expect("probe slot is bound"),
+                SlotAction::Bind(_) => unreachable!("a bind position is never a probe"),
+            };
+            let c = clamp(inst.atoms_with_pred_term(st.pred, pos, val), lo, hi);
+            if best.is_none_or(|b| c.len() < b.len()) {
+                best = Some(c);
+            }
+        }
+        let candidates = best.unwrap_or_else(|| clamp(inst.atoms_with_pred(st.pred), lo, hi));
+        'cands: for &ci in candidates {
+            stats.candidates_scanned += 1;
+            let cand = inst.atom(ci);
+            for (pos, action) in st.actions.iter().enumerate() {
+                let val = cand.args[pos];
+                let ok = match *action {
+                    SlotAction::Fixed(t) => t == val,
+                    SlotAction::Eq(s) => bindings[s] == Some(val),
+                    SlotAction::Bind(s) => {
+                        bindings[s] = Some(val);
+                        true
+                    }
+                };
+                if !ok {
+                    for a in &st.actions[..pos] {
+                        if let SlotAction::Bind(s) = *a {
+                            bindings[s] = None;
+                        }
+                    }
+                    stats.backtracks += 1;
+                    continue 'cands;
+                }
+            }
+            let res = self.step(depth + 1, inst, ranges, bindings, stats, f);
+            for a in &st.actions {
+                if let SlotAction::Bind(s) = *a {
+                    bindings[s] = None;
+                }
+            }
+            res?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// A complete homomorphism as seen by a plan-execution callback: dense slot
+/// bindings plus the plan's slot layout. Borrow-only; call
+/// [`HomView::to_assignment`] to materialise a map (the legacy shape).
+pub struct HomView<'a> {
+    slots: &'a [VarId],
+    bindings: &'a [Option<Term>],
+}
+
+impl HomView<'_> {
+    /// The image of variable `v`, if bound.
+    pub fn get(&self, v: VarId) -> Option<Term> {
+        self.slots
+            .iter()
+            .position(|&w| w == v)
+            .and_then(|s| self.bindings[s])
+    }
+
+    /// The value in slot `s` (precompute slots via [`JoinPlan::slot_of`]).
+    pub fn slot(&self, s: usize) -> Option<Term> {
+        self.bindings[s]
+    }
+
+    /// The raw dense bindings, parallel to [`JoinPlan::slots`].
+    pub fn bindings(&self) -> &[Option<Term>] {
+        self.bindings
+    }
+
+    /// Materialises the bound slots as an [`Assignment`] (seed entries
+    /// included — exactly the map the pre-plan kernel handed out).
+    pub fn to_assignment(&self) -> Assignment {
+        self.slots
+            .iter()
+            .zip(self.bindings)
+            .filter_map(|(&v, &b)| b.map(|t| (v, t)))
+            .collect()
+    }
+}
+
+/// Fingerprint of a plan's identity `(atoms, seeded, pivot)` for cache
+/// bucketing; buckets resolve collisions by full structural comparison.
+fn plan_fingerprint(atoms: &[Atom], seeded: &[VarId], pivot: Option<usize>) -> u64 {
+    let mut h = DefaultHasher::new();
+    atoms.hash(&mut h);
+    seeded.hash(&mut h);
+    pivot.hash(&mut h);
+    h.finish()
+}
+
+/// A cache of compiled [`JoinPlan`]s keyed by `(atoms, seeded, pivot)`.
+/// Single-owner (`&mut` API); share plans across threads via the returned
+/// `Arc`s. Hits and misses are counted into the caller's [`HomStats`] and
+/// the process-global counters.
+#[derive(Default)]
+pub struct PlanCache {
+    map: HashMap<u64, Vec<Arc<JoinPlan>>>,
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Returns the cached plan for `(atoms, seeded, pivot)`, compiling and
+    /// inserting it on a miss.
+    pub fn get_or_compile(
+        &mut self,
+        atoms: &[Atom],
+        seeded: &[VarId],
+        pivot: Option<usize>,
+        stats: &mut HomStats,
+    ) -> Arc<JoinPlan> {
+        let mut norm: Vec<VarId> = seeded.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        let fp = plan_fingerprint(atoms, &norm, pivot);
+        let bucket = self.map.entry(fp).or_default();
+        if let Some(p) = bucket
+            .iter()
+            .find(|p| p.pivot == pivot && p.seeded == norm && p.atoms == atoms)
+        {
+            stats.plan_cache_hits += 1;
+            G_PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        let plan = Arc::new(JoinPlan::compile(atoms, &norm, pivot));
+        stats.plans_compiled += 1;
+        bucket.push(Arc::clone(&plan));
+        plan
+    }
+}
+
+/// Splits a legacy [`Assignment`] seed into the sorted var list and the
+/// parallel value vector a plan expects.
+fn split_seed(seed: &Assignment) -> (Vec<VarId>, Vec<Term>) {
+    let mut pairs: Vec<(VarId, Term)> = seed.iter().map(|(&v, &t)| (v, t)).collect();
+    pairs.sort_unstable_by_key(|&(v, _)| v);
+    pairs.into_iter().unzip()
 }
 
 /// Enumerates homomorphisms from `atoms` into `inst` extending `seed`,
@@ -116,6 +620,9 @@ fn join_order(atoms: &[Atom], seed: &Assignment, first: Option<usize>) -> Vec<us
 ///
 /// Returns `Break(x)` when `f` broke with `x`, `Continue(())` when the
 /// enumeration was exhausted.
+///
+/// Thin wrapper over uncached plan compilation; hot callers should compile
+/// (or cache) a [`JoinPlan`] and call [`JoinPlan::execute`] directly.
 pub fn for_each_hom<B>(
     atoms: &[Atom],
     inst: &Instance,
@@ -147,11 +654,10 @@ pub fn for_each_hom_with_delta<B>(
     stats: &mut HomStats,
     mut f: impl FnMut(&Assignment) -> ControlFlow<B>,
 ) -> ControlFlow<B> {
+    let (vars, vals) = split_seed(seed);
     if delta_start == 0 {
-        let order = join_order(atoms, seed, None);
-        let ranges = vec![(0, NO_LIMIT); atoms.len()];
-        let mut h = seed.clone();
-        return rec(atoms, &order, &ranges, 0, inst, &mut h, stats, &mut f);
+        let plan = JoinPlan::compile(atoms, &vars, None);
+        return plan.execute(inst, &vals, None, stats, |h| f(&h.to_assignment()));
     }
     if delta_start >= inst.len() {
         return ControlFlow::Continue(()); // no new atoms, hence no new homs
@@ -171,83 +677,8 @@ pub fn for_each_hom_with_delta<B>(
                 std::cmp::Ordering::Greater => (0, NO_LIMIT),
             };
         }
-        let order = join_order(atoms, seed, Some(pivot));
-        let mut h = seed.clone();
-        rec(atoms, &order, &ranges, 0, inst, &mut h, stats, &mut f)?;
-    }
-    ControlFlow::Continue(())
-}
-
-/// The backtracking core: extends `h` atom by atom along `order`, drawing
-/// candidates from the most selective index restricted to the atom's
-/// `[lo, hi)` index range.
-#[allow(clippy::too_many_arguments)]
-fn rec<B>(
-    atoms: &[Atom],
-    order: &[usize],
-    ranges: &[(usize, usize)],
-    depth: usize,
-    inst: &Instance,
-    h: &mut Assignment,
-    stats: &mut HomStats,
-    f: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
-) -> ControlFlow<B> {
-    if depth == order.len() {
-        stats.homs_found += 1;
-        return f(h);
-    }
-    let ai = order[depth];
-    let a = &atoms[ai];
-    let (lo, hi) = ranges[ai];
-    // Candidate instance atoms: use the most selective index available.
-    let mut best: Option<&[usize]> = None;
-    for (pos, &t) in a.args.iter().enumerate() {
-        let ti = image(h, t);
-        if !ti.is_var() {
-            let c = clamp(inst.atoms_with_pred_term(a.pred, pos, ti), lo, hi);
-            if best.is_none_or(|b| c.len() < b.len()) {
-                best = Some(c);
-            }
-        }
-    }
-    let candidates = best.unwrap_or_else(|| clamp(inst.atoms_with_pred(a.pred), lo, hi));
-    'cands: for &ci in candidates {
-        stats.candidates_scanned += 1;
-        let cand = inst.atom(ci);
-        let mut newly: Vec<VarId> = Vec::new();
-        for (&pat, &val) in a.args.iter().zip(&cand.args) {
-            match pat {
-                Term::Var(v) => match h.get(&v) {
-                    Some(&bound) => {
-                        if bound != val {
-                            for w in newly.drain(..) {
-                                h.remove(&w);
-                            }
-                            stats.backtracks += 1;
-                            continue 'cands;
-                        }
-                    }
-                    None => {
-                        h.insert(v, val);
-                        newly.push(v);
-                    }
-                },
-                t => {
-                    if t != val {
-                        for w in newly.drain(..) {
-                            h.remove(&w);
-                        }
-                        stats.backtracks += 1;
-                        continue 'cands;
-                    }
-                }
-            }
-        }
-        let res = rec(atoms, order, ranges, depth + 1, inst, h, stats, f);
-        for w in newly.drain(..) {
-            h.remove(&w);
-        }
-        res?;
+        let plan = JoinPlan::compile(atoms, &vars, Some(pivot));
+        plan.execute(inst, &vals, Some(&ranges), stats, |h| f(&h.to_assignment()))?;
     }
     ControlFlow::Continue(())
 }
@@ -257,6 +688,200 @@ pub fn find_hom(atoms: &[Atom], inst: &Instance, seed: &Assignment) -> Option<As
     match for_each_hom(atoms, inst, seed, |h| ControlFlow::Break(h.clone())) {
         ControlFlow::Break(h) => Some(h),
         ControlFlow::Continue(()) => None,
+    }
+}
+
+/// The pre-plan backtracking kernel, kept verbatim as the differential
+/// oracle for the compiled executor (see the `plan_vs_reference` property
+/// test). Not part of the supported API.
+#[doc(hidden)]
+pub mod reference {
+    use std::collections::HashSet;
+
+    use super::*;
+
+    /// Applies an assignment to a term (identity on constants and nulls;
+    /// unbound variables stay put).
+    fn image(h: &Assignment, t: Term) -> Term {
+        match t {
+            Term::Var(v) => h.get(&v).copied().unwrap_or(t),
+            other => other,
+        }
+    }
+
+    fn join_order(atoms: &[Atom], seed: &Assignment, first: Option<usize>) -> Vec<usize> {
+        let n = atoms.len();
+        let mut placed = vec![false; n];
+        let mut bound: HashSet<VarId> = seed.keys().copied().collect();
+        let mut order = Vec::with_capacity(n);
+        if let Some(i) = first {
+            placed[i] = true;
+            order.push(i);
+            bound.extend(atoms[i].vars());
+        }
+        while order.len() < n {
+            let mut best: Option<(usize, usize, usize)> = None;
+            for (i, a) in atoms.iter().enumerate() {
+                if placed[i] {
+                    continue;
+                }
+                let mut b = 0usize;
+                let mut u = 0usize;
+                for &t in &a.args {
+                    match t {
+                        Term::Var(v) => {
+                            if bound.contains(&v) {
+                                b += 1;
+                            } else {
+                                u += 1;
+                            }
+                        }
+                        _ => b += 1,
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bb, bu)) => b > bb || (b == bb && u < bu),
+                };
+                if better {
+                    best = Some((i, b, u));
+                }
+            }
+            let (i, _, _) = best.unwrap();
+            placed[i] = true;
+            order.push(i);
+            bound.extend(atoms[i].vars());
+        }
+        order
+    }
+
+    /// Reference twin of [`super::for_each_hom`].
+    pub fn for_each_hom<B>(
+        atoms: &[Atom],
+        inst: &Instance,
+        seed: &Assignment,
+        mut f: impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let mut stats = HomStats::default();
+        for_each_hom_with_delta(atoms, inst, seed, 0, &mut stats, &mut f)
+    }
+
+    /// Reference twin of [`super::for_each_hom_with_delta`].
+    pub fn for_each_hom_with_delta<B>(
+        atoms: &[Atom],
+        inst: &Instance,
+        seed: &Assignment,
+        delta_start: usize,
+        stats: &mut HomStats,
+        mut f: impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if delta_start == 0 {
+            let order = join_order(atoms, seed, None);
+            let ranges = vec![(0, NO_LIMIT); atoms.len()];
+            let mut h = seed.clone();
+            return rec(atoms, &order, &ranges, 0, inst, &mut h, stats, &mut f);
+        }
+        if delta_start >= inst.len() {
+            return ControlFlow::Continue(());
+        }
+        let mut ranges = vec![(0usize, NO_LIMIT); atoms.len()];
+        for pivot in 0..atoms.len() {
+            if inst
+                .atoms_with_pred_from(atoms[pivot].pred, delta_start)
+                .is_empty()
+            {
+                continue;
+            }
+            for (i, r) in ranges.iter_mut().enumerate() {
+                *r = match i.cmp(&pivot) {
+                    std::cmp::Ordering::Less => (0, delta_start),
+                    std::cmp::Ordering::Equal => (delta_start, NO_LIMIT),
+                    std::cmp::Ordering::Greater => (0, NO_LIMIT),
+                };
+            }
+            let order = join_order(atoms, seed, Some(pivot));
+            let mut h = seed.clone();
+            rec(atoms, &order, &ranges, 0, inst, &mut h, stats, &mut f)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec<B>(
+        atoms: &[Atom],
+        order: &[usize],
+        ranges: &[(usize, usize)],
+        depth: usize,
+        inst: &Instance,
+        h: &mut Assignment,
+        stats: &mut HomStats,
+        f: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if depth == order.len() {
+            stats.homs_found += 1;
+            return f(h);
+        }
+        let ai = order[depth];
+        let a = &atoms[ai];
+        let (lo, hi) = ranges[ai];
+        let mut best: Option<&[usize]> = None;
+        for (pos, &t) in a.args.iter().enumerate() {
+            let ti = image(h, t);
+            if !ti.is_var() {
+                let c = clamp(inst.atoms_with_pred_term(a.pred, pos, ti), lo, hi);
+                if best.is_none_or(|b| c.len() < b.len()) {
+                    best = Some(c);
+                }
+            }
+        }
+        let candidates = best.unwrap_or_else(|| clamp(inst.atoms_with_pred(a.pred), lo, hi));
+        'cands: for &ci in candidates {
+            stats.candidates_scanned += 1;
+            let cand = inst.atom(ci);
+            let mut newly: Vec<VarId> = Vec::new();
+            for (&pat, &val) in a.args.iter().zip(&cand.args) {
+                match pat {
+                    Term::Var(v) => match h.get(&v) {
+                        Some(&bound) => {
+                            if bound != val {
+                                for w in newly.drain(..) {
+                                    h.remove(&w);
+                                }
+                                stats.backtracks += 1;
+                                continue 'cands;
+                            }
+                        }
+                        None => {
+                            h.insert(v, val);
+                            newly.push(v);
+                        }
+                    },
+                    t => {
+                        if t != val {
+                            for w in newly.drain(..) {
+                                h.remove(&w);
+                            }
+                            stats.backtracks += 1;
+                            continue 'cands;
+                        }
+                    }
+                }
+            }
+            let res = rec(atoms, order, ranges, depth + 1, inst, h, stats, f);
+            for w in newly.drain(..) {
+                h.remove(&w);
+            }
+            res?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Reference twin of [`super::find_hom`].
+    pub fn find_hom(atoms: &[Atom], inst: &Instance, seed: &Assignment) -> Option<Assignment> {
+        match for_each_hom(atoms, inst, seed, |h| ControlFlow::Break(h.clone())) {
+            ControlFlow::Break(h) => Some(h),
+            ControlFlow::Continue(()) => None,
+        }
     }
 }
 
@@ -475,5 +1100,148 @@ mod tests {
         let h = find_hom(&q.body, &d, &Assignment::new()).expect("n1 -E-> n2 -E-> n3");
         let n1 = voc.const_id("n1").unwrap();
         assert_eq!(h[&q.head[0]], Term::Const(n1));
+    }
+
+    /// Satellite: the greedy join order is pinned for a chain query. All
+    /// three atoms tie initially (0 bound, 2 unbound), so the earliest atom
+    /// wins; each later pick has one bound variable.
+    #[test]
+    fn join_order_is_pinned_for_chain() {
+        let mut voc = Vocabulary::new();
+        let (_, q) = parse_query(&mut voc, "q(X,W) :- E(X,Y), E(Y,Z), E(Z,W)").unwrap();
+        let plan = JoinPlan::compile(&q.body, &[], None);
+        assert_eq!(plan.order(), &[0, 1, 2]);
+        // Seeding W flips the chain: the last atom now has a bound term.
+        let w = voc.var_id("W").unwrap();
+        let plan = JoinPlan::compile(&q.body, &[w], None);
+        assert_eq!(plan.order(), &[2, 1, 0]);
+    }
+
+    /// Satellite: the greedy join order is pinned for a star query. The
+    /// unary hub atom wins the unbound tie-break, then the spokes follow in
+    /// atom-index order (full ties keep the earliest index).
+    #[test]
+    fn join_order_is_pinned_for_star() {
+        let mut voc = Vocabulary::new();
+        let (_, q) = parse_query(&mut voc, "q(X) :- E(X,A), E(X,B), E(X,C), Hub(X)").unwrap();
+        let plan = JoinPlan::compile(&q.body, &[], None);
+        assert_eq!(plan.order(), &[3, 0, 1, 2]);
+        // Pinning a pivot keeps the greedy rule for the rest.
+        let plan = JoinPlan::compile(&q.body, &[], Some(1));
+        assert_eq!(plan.order(), &[1, 3, 0, 2]);
+    }
+
+    /// The compiled executor reproduces the reference kernel exactly:
+    /// same homs, same order, same counters.
+    #[test]
+    fn plan_matches_reference_on_join() {
+        let mut voc = Vocabulary::new();
+        let d = db(
+            &mut voc,
+            &["R(a,b)", "R(b,c)", "R(a,c)", "R(c,d)", "P(c)", "P(d)"],
+        );
+        let (_, q) = parse_query(&mut voc, "q(X,Z) :- R(X,Y), R(Y,Z), P(Z)").unwrap();
+        let mut plan_homs = Vec::new();
+        let mut plan_stats = HomStats::default();
+        let plan = JoinPlan::compile(&q.body, &[], None);
+        let _ = plan.execute(&d, &[], None, &mut plan_stats, |h| {
+            plan_homs.push(h.to_assignment());
+            ControlFlow::<()>::Continue(())
+        });
+        let mut ref_homs = Vec::new();
+        let mut ref_stats = HomStats::default();
+        let _ = reference::for_each_hom_with_delta(
+            &q.body,
+            &d,
+            &Assignment::new(),
+            0,
+            &mut ref_stats,
+            |h| {
+                ref_homs.push(h.clone());
+                ControlFlow::<()>::Continue(())
+            },
+        );
+        assert_eq!(plan_homs, ref_homs);
+        assert_eq!(plan_stats.candidates_scanned, ref_stats.candidates_scanned);
+        assert_eq!(plan_stats.backtracks, ref_stats.backtracks);
+        assert_eq!(plan_stats.homs_found, ref_stats.homs_found);
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_and_misses() {
+        let mut voc = Vocabulary::new();
+        let (_, q) = parse_query(&mut voc, "q :- R(X,Y), P(Y)").unwrap();
+        let mut cache = PlanCache::new();
+        let mut stats = HomStats::default();
+        let p1 = cache.get_or_compile(&q.body, &[], None, &mut stats);
+        let p2 = cache.get_or_compile(&q.body, &[], None, &mut stats);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(stats.plans_compiled, 1);
+        assert_eq!(stats.plan_cache_hits, 1);
+        // A different pivot is a different plan.
+        let _ = cache.get_or_compile(&q.body, &[], Some(1), &mut stats);
+        assert_eq!(stats.plans_compiled, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn seed_values_detects_conflicts() {
+        let mut voc = Vocabulary::new();
+        let (_, q) = parse_query(&mut voc, "q(X,X) :- R(X,X)").unwrap();
+        let x = voc.var_id("X").unwrap();
+        let a = Term::Const(voc.constant("a"));
+        let b = Term::Const(voc.constant("b"));
+        let plan = JoinPlan::compile(&q.body, &[x, x], None);
+        assert_eq!(plan.seeded(), &[x]);
+        assert_eq!(plan.seed_values(&[(x, a), (x, a)]), Some(vec![a]));
+        assert_eq!(plan.seed_values(&[(x, a), (x, b)]), None);
+    }
+
+    #[test]
+    fn signature_prefilter_is_sound() {
+        let mut voc = Vocabulary::new();
+        let (_, q1) = parse_query(&mut voc, "q :- R(X,Y), P(Y)").unwrap();
+        let (_, q2) = parse_query(&mut voc, "q :- R(X,Y)").unwrap();
+        // q1 mentions P, q2 does not: no hom q1 -> q2 can exist.
+        assert!(!sig_may_hom(pred_sig(&q1.body), pred_sig(&q2.body)));
+        // The other direction stays possible.
+        assert!(sig_may_hom(pred_sig(&q2.body), pred_sig(&q1.body)));
+        let d = db(&mut voc, &["R(a,b)", "P(b)"]);
+        assert!(sig_may_hom(pred_sig(&q1.body), instance_sig(&d)));
+    }
+
+    #[test]
+    fn empty_body_fires_callback_once_with_seed() {
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["P(a)"]);
+        let x = voc.var("X");
+        let a = Term::Const(voc.constant("a"));
+        let plan = JoinPlan::compile(&[], &[x], None);
+        let mut stats = HomStats::default();
+        let mut homs = Vec::new();
+        let _ = plan.execute(&d, &[a], None, &mut stats, |h| {
+            homs.push(h.to_assignment());
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&x], a);
+        assert_eq!(stats.homs_found, 1);
+        assert_eq!(stats.candidates_scanned, 0);
+    }
+
+    #[test]
+    fn global_counters_are_monotone() {
+        let before = global_hom_snapshot();
+        let mut voc = Vocabulary::new();
+        let d = db(&mut voc, &["P(a)", "P(b)"]);
+        let (_, q) = parse_query(&mut voc, "q(X) :- P(X)").unwrap();
+        let _ = find_hom(&q.body, &d, &Assignment::new());
+        let mut stats = HomStats::default();
+        record_prefilter_reject(&mut stats);
+        let after = global_hom_snapshot();
+        assert!(after.candidates_scanned > before.candidates_scanned);
+        assert!(after.plans_compiled > before.plans_compiled);
+        assert!(after.prefilter_rejects > before.prefilter_rejects);
+        assert_eq!(stats.prefilter_rejects, 1);
     }
 }

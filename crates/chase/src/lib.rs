@@ -25,10 +25,17 @@ pub mod runtime;
 
 pub use chase::{chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
 pub use cq_ops::{
-    cq_canonical_form, cq_contained, cq_core, cq_core_budgeted, cq_core_budgeted_report,
-    cq_equivalent, cq_isomorphic, ucq_contained, CqCanonicalForm, SubsumptionSieve,
+    cq_canonical_form, cq_contained, cq_contained_stats, cq_core, cq_core_budgeted,
+    cq_core_budgeted_report, cq_equivalent, cq_isomorphic, ucq_contained, CqCanonicalForm,
+    SubsumptionSieve,
 };
-pub use eval::{eval_cq, eval_ucq, holds_cq, holds_ucq};
-pub use hom::{find_hom, for_each_hom, for_each_hom_with_delta, Assignment, HomStats};
+pub use eval::{
+    eval_cq, eval_ucq, holds_cq, holds_ucq, is_answer, is_answer_ucq, CompiledCq, CompiledUcq,
+};
+pub use hom::{
+    find_hom, for_each_hom, for_each_hom_with_delta, global_hom_snapshot, instance_sig, pred_sig,
+    record_plan_reuse, record_prefilter_reject, sig_may_hom, Assignment, HomStats, HomView,
+    JoinPlan, PlanCache, NO_LIMIT,
+};
 pub use omq_eval::{certain_answers_via_chase, critical_instance, EvalError};
 pub use runtime::{effective_threads, parallel_indexed, Budget, CancelToken};

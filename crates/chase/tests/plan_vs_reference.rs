@@ -1,0 +1,152 @@
+//! Property test for the compiled homomorphism kernel: on randomized
+//! CQs/instances, plan execution (through the legacy `for_each_hom` /
+//! `for_each_hom_with_delta` wrappers, which compile a plan per call) must
+//! agree with the pre-refactor backtracking search kept verbatim in
+//! `omq_chase::hom::reference` — same existence verdict, same full
+//! enumeration, in the same order, with the same work counters.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use omq_chase::hom::reference;
+use omq_chase::{for_each_hom, for_each_hom_with_delta, Assignment, HomStats};
+use omq_model::rng::SplitMix64;
+use omq_model::{Atom, ConstId, Instance, PredId, Term, VarId};
+
+const CASES: usize = 400;
+
+/// One random schema: predicate arities, indexable by `PredId`.
+fn gen_arities(rng: &mut SplitMix64) -> Vec<usize> {
+    (0..rng.range(1..4)).map(|_| rng.range(1..4)).collect()
+}
+
+fn gen_instance(rng: &mut SplitMix64, arities: &[usize]) -> Instance {
+    let mut inst = Instance::new();
+    for _ in 0..rng.range(0..14) {
+        let p = rng.below(arities.len());
+        let args = (0..arities[p])
+            .map(|_| Term::Const(ConstId(rng.below(5) as u32)))
+            .collect();
+        inst.insert(Atom::new(PredId(p as u32), args));
+    }
+    inst
+}
+
+fn gen_body(rng: &mut SplitMix64, arities: &[usize]) -> Vec<Atom> {
+    (0..rng.range(1..6))
+        .map(|_| {
+            let p = rng.below(arities.len());
+            let args = (0..arities[p])
+                .map(|_| {
+                    if rng.chance(3, 4) {
+                        Term::Var(VarId(rng.below(4) as u32))
+                    } else {
+                        Term::Const(ConstId(rng.below(5) as u32))
+                    }
+                })
+                .collect();
+            Atom::new(PredId(p as u32), args)
+        })
+        .collect()
+}
+
+/// A random partial seed over the body's variables.
+fn gen_seed(rng: &mut SplitMix64, body: &[Atom]) -> Assignment {
+    let mut vars: Vec<VarId> = body.iter().flat_map(|a| a.vars()).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let mut seed = Assignment::new();
+    for v in vars {
+        if rng.chance(1, 4) {
+            seed.insert(v, Term::Const(ConstId(rng.below(5) as u32)));
+        }
+    }
+    seed
+}
+
+/// Materializes an assignment as a sorted pair list for comparison.
+fn canon(h: &Assignment) -> Vec<(VarId, Term)> {
+    let mut v: Vec<(VarId, Term)> = h.iter().map(|(&k, &t)| (k, t)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn compiled_plans_agree_with_reference_kernel() {
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0000_c0de_0004);
+    let mut nonempty = 0usize;
+    let mut delta_runs = 0usize;
+    for case in 0..CASES {
+        let arities = gen_arities(&mut rng);
+        let inst = gen_instance(&mut rng, &arities);
+        let body = gen_body(&mut rng, &arities);
+        let seed = gen_seed(&mut rng, &body);
+
+        // Full enumeration, in order.
+        let mut got: Vec<Vec<(VarId, Term)>> = Vec::new();
+        let _ = for_each_hom(&body, &inst, &seed, |h| {
+            got.push(canon(h));
+            ControlFlow::<()>::Continue(())
+        });
+        let mut want: Vec<Vec<(VarId, Term)>> = Vec::new();
+        let _ = reference::for_each_hom(&body, &inst, &seed, |h| {
+            want.push(canon(h));
+            ControlFlow::<()>::Continue(())
+        });
+        assert_eq!(got, want, "case {case}: enumeration diverged");
+        if !got.is_empty() {
+            nonempty += 1;
+        }
+
+        // Existence (first-hit short circuit) must agree with enumeration.
+        let found = omq_chase::find_hom(&body, &inst, &seed).is_some();
+        assert_eq!(found, !want.is_empty(), "case {case}: existence diverged");
+
+        // Delta-restricted enumeration: same homs, same order, same
+        // candidates/backtracks counters as the reference pivot loop.
+        let delta_start = rng.below(inst.len() + 2);
+        let mut got_d: Vec<Vec<(VarId, Term)>> = Vec::new();
+        let mut stats_d = HomStats::default();
+        let _ = for_each_hom_with_delta(&body, &inst, &seed, delta_start, &mut stats_d, |h| {
+            got_d.push(canon(h));
+            ControlFlow::<()>::Continue(())
+        });
+        let mut want_d: Vec<Vec<(VarId, Term)>> = Vec::new();
+        let mut stats_r = HomStats::default();
+        let _ = reference::for_each_hom_with_delta(
+            &body,
+            &inst,
+            &seed,
+            delta_start,
+            &mut stats_r,
+            |h| {
+                want_d.push(canon(h));
+                ControlFlow::<()>::Continue(())
+            },
+        );
+        assert_eq!(got_d, want_d, "case {case}: delta enumeration diverged");
+        assert_eq!(
+            (stats_d.candidates_scanned, stats_d.backtracks),
+            (stats_r.candidates_scanned, stats_r.backtracks),
+            "case {case}: delta work counters diverged"
+        );
+        if !got_d.is_empty() {
+            delta_runs += 1;
+        }
+
+        // The delta homs are exactly the full homs that touch the delta:
+        // sanity-check subset-ness against the full enumeration.
+        let full: HashMap<Vec<(VarId, Term)>, usize> =
+            want.iter().cloned().map(|h| (h, 0)).collect();
+        for h in &got_d {
+            assert!(
+                delta_start == 0 || full.contains_key(h),
+                "case {case}: delta hom not among full homs"
+            );
+        }
+    }
+    // The generator must actually exercise the kernel, not just vacuous
+    // empty matches.
+    assert!(nonempty >= CASES / 10, "only {nonempty} non-empty cases");
+    assert!(delta_runs >= CASES / 20, "only {delta_runs} delta matches");
+}

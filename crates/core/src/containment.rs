@@ -32,8 +32,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use omq_chase::eval::is_answer_ucq;
-use omq_chase::{runtime, Budget};
+use omq_chase::{runtime, Budget, CompiledUcq, HomStats};
 use omq_model::{ConstId, Cq, Instance, Vocabulary};
 use omq_model::{Omq, Ucq};
 use omq_rewrite::{DirectRewrite, RewriteSource, XRewriteConfig};
@@ -166,13 +165,14 @@ pub struct ContainmentOutcome {
 /// How the right-hand side is evaluated on each frozen disjunct.
 ///
 /// For UCQ-rewritable `Q₂` (`∅`, `L`, `S`) the rewriting is computed *once*
-/// per containment call and every disjunct check becomes a seeded UCQ
-/// membership test — previously each check re-ran the rewriting from
-/// scratch, which dominated the containment wall-clock on linear workloads.
+/// per containment call, compiled into per-disjunct join plans, and every
+/// disjunct check becomes a seeded plan execution behind the
+/// predicate-signature prefilter — previously each check re-ran the greedy
+/// join ordering (and originally the whole rewriting) from scratch.
 /// Other languages dispatch through [`is_certain_answer`] per disjunct.
 enum RhsChecker {
-    /// The (possibly partial) rewriting of `Q₂`, computed once.
-    Rewritten { ucq: Ucq, complete: bool },
+    /// The (possibly partial) rewriting of `Q₂`, computed and compiled once.
+    Rewritten { ucq: CompiledUcq, complete: bool },
     /// Per-disjunct dispatch on `Q₂`'s language (NR, guarded, full, …).
     Direct,
 }
@@ -202,13 +202,13 @@ impl RhsChecker {
             OmqLanguage::Empty | OmqLanguage::Linear | OmqLanguage::Sticky => {
                 if let Some((ucq, complete)) = reuse {
                     return RhsChecker::Rewritten {
-                        ucq: ucq.clone(),
+                        ucq: CompiledUcq::new(ucq),
                         complete,
                     };
                 }
                 let art = src.rewrite(q2, voc, &cfg.eval.rewrite);
                 RhsChecker::Rewritten {
-                    ucq: art.ucq,
+                    ucq: CompiledUcq::new(&art.ucq),
                     complete: art.complete,
                 }
             }
@@ -234,7 +234,7 @@ impl RhsChecker {
         };
         match self {
             RhsChecker::Rewritten { ucq, complete } => {
-                if is_answer_ucq(ucq, db, tuple) {
+                if ucq.is_answer(db, tuple, &mut HomStats::default()) {
                     DisjunctVerdict::Pass
                 } else if *complete {
                     DisjunctVerdict::Refuted

@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 
 use omq_chase::chase::{chase, stratified_chase, ChaseConfig};
-use omq_chase::eval::eval_ucq;
+use omq_chase::eval::{eval_ucq, is_answer_ucq};
 use omq_chase::Budget;
 use omq_guarded::{guarded_certain_answers, Completeness, GuardedConfig};
 use omq_model::{ConstId, Instance, Omq, Vocabulary};
@@ -163,6 +163,16 @@ pub fn is_certain_answer(
     voc: &mut Vocabulary,
     cfg: &EvalConfig,
 ) -> Trool {
+    // An empty ontology needs no chase and no rewriting: membership is one
+    // seeded plan execution per disjunct (exact in both directions), instead
+    // of enumerating the full answer set just to probe one tuple.
+    if detect_language(omq) == OmqLanguage::Empty {
+        return if is_answer_ucq(&omq.query, db, tuple) {
+            Trool::True
+        } else {
+            Trool::False
+        };
+    }
     let out = evaluate(omq, db, voc, cfg);
     if out.answers.contains(tuple) {
         Trool::True

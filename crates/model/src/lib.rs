@@ -35,7 +35,7 @@ pub use atom::Atom;
 pub use instance::Instance;
 pub use parser::{parse_program, parse_query, parse_tgd, ParseError, Program};
 pub use query::{Cq, Ucq};
-pub use subst::{mgu_atoms, mgu_many, Substitution};
+pub use subst::{mgu_atoms, mgu_many, mgu_refs, Substitution};
 pub use symbols::{ConstId, NullId, PredId, Schema, VarId, Vocabulary};
 pub use term::Term;
 pub use tgd::{Omq, Tgd};

@@ -4,8 +4,6 @@
 //! terms (variables and constants — no function symbols), so an MGU either
 //! exists and is computed by union-find, or fails on a constant clash.
 
-use std::collections::HashMap;
-
 use crate::atom::Atom;
 use crate::query::Cq;
 use crate::symbols::VarId;
@@ -16,10 +14,25 @@ use crate::term::Term;
 /// Application is *simultaneous* (not iterated), matching the convention for
 /// MGUs in the XRewrite algorithm; compose substitutions explicitly with
 /// [`Substitution::compose`] when sequencing is needed.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Stored as a small vector of bindings rather than a hash map: the
+/// substitutions built here (MGUs, renamings) bind a handful of variables
+/// but are *applied* once per term of every generated atom, and at that
+/// size a linear scan is faster than hashing. Binding order is insertion
+/// order; equality and hashing are insensitive to it.
+#[derive(Clone, Debug, Default)]
 pub struct Substitution {
-    map: HashMap<VarId, Term>,
+    map: Vec<(VarId, Term)>,
 }
+
+impl PartialEq for Substitution {
+    fn eq(&self, other: &Self) -> bool {
+        // Keys are unique, so mutual size plus subset is equality.
+        self.map.len() == other.map.len() && self.map.iter().all(|&(v, t)| other.get(v) == Some(t))
+    }
+}
+
+impl Eq for Substitution {}
 
 impl Substitution {
     /// The identity substitution.
@@ -29,18 +42,21 @@ impl Substitution {
 
     /// Binds `v ↦ t`, replacing any previous binding.
     pub fn bind(&mut self, v: VarId, t: Term) {
-        self.map.insert(v, t);
+        match self.map.iter_mut().find(|(w, _)| *w == v) {
+            Some(slot) => slot.1 = t,
+            None => self.map.push((v, t)),
+        }
     }
 
     /// The image of `v`, if bound.
     pub fn get(&self, v: VarId) -> Option<Term> {
-        self.map.get(&v).copied()
+        self.map.iter().find(|&&(w, _)| w == v).map(|&(_, t)| t)
     }
 
     /// Applies the substitution to a term.
     pub fn apply_term(&self, t: Term) -> Term {
         match t {
-            Term::Var(v) => self.map.get(&v).copied().unwrap_or(t),
+            Term::Var(v) => self.get(v).unwrap_or(t),
             other => other,
         }
     }
@@ -69,18 +85,20 @@ impl Substitution {
     /// Sequential composition: `(self ∘ other)(x) = self(other(x))`.
     pub fn compose(&self, other: &Substitution) -> Substitution {
         let mut out = Substitution::new();
-        for (&v, &t) in &other.map {
+        for &(v, t) in &other.map {
             out.bind(v, self.apply_term(t));
         }
-        for (&v, &t) in &self.map {
-            out.map.entry(v).or_insert(t);
+        for &(v, t) in &self.map {
+            if out.get(v).is_none() {
+                out.map.push((v, t));
+            }
         }
         out
     }
 
-    /// Iterates over the bindings.
+    /// Iterates over the bindings (in insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (VarId, Term)> + '_ {
-        self.map.iter().map(|(&v, &t)| (v, t))
+        self.map.iter().copied()
     }
 
     /// Number of bindings.
@@ -96,48 +114,66 @@ impl Substitution {
 
 impl FromIterator<(VarId, Term)> for Substitution {
     fn from_iter<T: IntoIterator<Item = (VarId, Term)>>(iter: T) -> Self {
-        Substitution {
-            map: iter.into_iter().collect(),
+        let mut out = Substitution::new();
+        for (v, t) in iter {
+            out.bind(v, t);
         }
+        out
     }
 }
 
-/// Union-find over terms used for unification.
+/// Union-find over terms used for unification, interned into a small dense
+/// vector: one MGU problem touches a handful of distinct terms, so linear
+/// scans beat hashing on both `intern` and `find`.
 struct Uf {
-    parent: HashMap<Term, Term>,
+    terms: Vec<Term>,
+    parent: Vec<usize>,
 }
 
 impl Uf {
     fn new() -> Self {
         Uf {
-            parent: HashMap::new(),
+            terms: Vec::new(),
+            parent: Vec::new(),
         }
     }
 
-    fn find(&mut self, t: Term) -> Term {
-        let p = *self.parent.get(&t).unwrap_or(&t);
-        if p == t {
-            return t;
+    fn intern(&mut self, t: Term) -> usize {
+        match self.terms.iter().position(|&u| u == t) {
+            Some(i) => i,
+            None => {
+                self.terms.push(t);
+                self.parent.push(self.terms.len() - 1);
+                self.terms.len() - 1
+            }
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let p = self.parent[i];
+        if p == i {
+            return i;
         }
         let r = self.find(p);
-        self.parent.insert(t, r);
+        self.parent[i] = r;
         r
     }
 
     /// Unifies two terms. Constants become class representatives; two
     /// distinct constants clash. Returns `false` on clash.
     fn union(&mut self, a: Term, b: Term) -> bool {
-        let (ra, rb) = (self.find(a), self.find(b));
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
         if ra == rb {
             return true;
         }
-        match (ra.is_var(), rb.is_var()) {
+        match (self.terms[ra].is_var(), self.terms[rb].is_var()) {
             (true, _) => {
-                self.parent.insert(ra, rb);
+                self.parent[ra] = rb;
                 true
             }
             (false, true) => {
-                self.parent.insert(rb, ra);
+                self.parent[rb] = ra;
                 true
             }
             (false, false) => false, // two distinct non-variables
@@ -149,7 +185,7 @@ impl Uf {
 ///
 /// Returns `None` when the predicates differ or a constant clash occurs.
 pub fn mgu_atoms(a: &Atom, b: &Atom) -> Option<Substitution> {
-    mgu_many(&[a.clone(), b.clone()])
+    mgu_refs(&[a, b])
 }
 
 /// Computes the MGU of a set of atoms (all must become equal), if one exists.
@@ -157,9 +193,17 @@ pub fn mgu_atoms(a: &Atom, b: &Atom) -> Option<Substitution> {
 /// This is the notion the paper uses for XRewrite: a unifier `γ` with
 /// `γ(α₁) = … = γ(αₙ)`, most general among all such.
 pub fn mgu_many(atoms: &[Atom]) -> Option<Substitution> {
-    let first = atoms.first()?;
+    let refs: Vec<&Atom> = atoms.iter().collect();
+    mgu_refs(&refs)
+}
+
+/// [`mgu_many`] over borrowed atoms: the rewriting engine unifies subsets of
+/// a query body against a tgd head once per enumerated subset, and this
+/// entry point lets it do so without cloning the atoms first.
+pub fn mgu_refs(atoms: &[&Atom]) -> Option<Substitution> {
+    let first = *atoms.first()?;
     let mut uf = Uf::new();
-    for a in &atoms[1..] {
+    for &a in &atoms[1..] {
         if a.pred != first.pred || a.arity() != first.arity() {
             return None;
         }
@@ -169,21 +213,14 @@ pub fn mgu_many(atoms: &[Atom]) -> Option<Substitution> {
             }
         }
     }
-    // Extract the substitution: every variable maps to its representative.
+    // Extract the substitution: every variable maps to its representative
+    // (identity bindings are left implicit).
     let mut sub = Substitution::new();
-    let mut vars: Vec<Term> = uf.parent.keys().copied().collect();
-    for a in atoms {
-        for &t in &a.args {
-            if t.is_var() && !vars.contains(&t) {
-                vars.push(t);
-            }
-        }
-    }
-    for t in vars {
-        if let Term::Var(v) = t {
-            let r = uf.find(t);
-            if r != t {
-                sub.bind(v, r);
+    for i in 0..uf.terms.len() {
+        if let Term::Var(v) = uf.terms[i] {
+            let r = uf.find(i);
+            if r != i {
+                sub.bind(v, uf.terms[r]);
             }
         }
     }

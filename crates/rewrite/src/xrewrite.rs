@@ -49,7 +49,7 @@ use omq_chase::{
     cq_canonical_form, cq_core_budgeted_report, cq_isomorphic, runtime, Budget, CqCanonicalForm,
     SubsumptionSieve,
 };
-use omq_model::{mgu_many, Atom, Cq, Omq, Substitution, Term, Tgd, Ucq, VarId, Vocabulary};
+use omq_model::{mgu_refs, Atom, Cq, Omq, Substitution, Term, Tgd, Ucq, VarId, Vocabulary};
 
 /// Relabelings a canonical-labeling call may enumerate before giving up
 /// (product of color-class factorials, i.e. 7!): rewriting-generated queries
@@ -106,6 +106,11 @@ pub struct XRewriteConfig {
     /// list — callers that ladder budgets and skip already-tested prefixes
     /// must turn this off.
     pub prune_subsumed: bool,
+    /// Reuse each sieve entry's compiled join plan across subsumption
+    /// probes instead of recompiling per check. Purely a performance knob:
+    /// the surviving disjunct list is bit-identical either way (only the
+    /// `plans_compiled`/`plan_cache_hits` counters differ).
+    pub plan_cache: bool,
     /// Flush cadence of the incremental subsumption sieve: finalized
     /// disjuncts are folded into the sieve whenever at least this many new
     /// queries have been generated since the last flush (and once more at
@@ -133,6 +138,7 @@ impl Default for XRewriteConfig {
             canonicalize: true,
             dedup: DedupStrategy::Canonical,
             prune_subsumed: true,
+            plan_cache: true,
             prune_interval: 256,
             threads: 0,
             budget: Budget::unlimited(),
@@ -204,6 +210,13 @@ pub struct RewriteStats {
     pub core_budget_exhaustions: usize,
     /// Output disjuncts dropped as homomorphically subsumed.
     pub subsumption_kills: usize,
+    /// Join plans compiled by the subsumption sieve.
+    pub plans_compiled: u64,
+    /// Sieve subsumption probes served by a cached entry plan.
+    pub plan_cache_hits: u64,
+    /// Sieve subsumption probes rejected by the predicate-signature
+    /// prefilter before any plan executed.
+    pub prefilter_rejects: u64,
     /// Wall clock spent expanding frontier entries (worker side).
     pub expand_nanos: u64,
     /// Wall clock spent merging + deduplicating candidates (caller side).
@@ -483,14 +496,16 @@ fn for_each_subset(
 /// Removes duplicate atoms from a CQ (keeps first occurrences). Quadratic
 /// in the body size, which is small; beats hashing because the common case
 /// (few or no duplicates) does one cheap slice comparison per pair.
-fn dedup_atoms(q: &Cq) -> Cq {
-    let mut body: Vec<Atom> = Vec::with_capacity(q.body.len());
-    for a in &q.body {
-        if !body.contains(a) {
-            body.push(a.clone());
+fn dedup_atoms(mut q: Cq) -> Cq {
+    let mut i = 0;
+    while i < q.body.len() {
+        if q.body[..i].contains(&q.body[i]) {
+            q.body.remove(i);
+        } else {
+            i += 1;
         }
     }
-    Cq::new(q.head.clone(), body)
+    q
 }
 
 /// The worker-side dedup key of a candidate.
@@ -550,7 +565,7 @@ impl Expansion {
     /// applies the atom budget, and records it as a candidate.
     fn consider(&mut self, q: Cq, kind: Label, cfg: &XRewriteConfig) {
         self.seen += 1;
-        let mut q = dedup_atoms(&q);
+        let mut q = dedup_atoms(q);
         let mut finalized = !cfg.canonicalize;
         let core_here = |q: &Cq, exh: &mut usize| {
             let (core, exhausted) = cq_core_budgeted_report(q, CORE_BUDGET);
@@ -791,9 +806,9 @@ fn expand_entry(
         }
         // --- ...then the multi-atom sets. ---
         for_each_subset(&rw_pool, 2, max_subset, scratch, |s_idx| {
-            let mut atoms: Vec<Atom> = s_idx.iter().map(|&i| q.body[i].clone()).collect();
-            atoms.push(head.clone());
-            if let Some(gamma) = mgu_many(&atoms) {
+            let mut atoms: Vec<&Atom> = s_idx.iter().map(|&i| &q.body[i]).collect();
+            atoms.push(head);
+            if let Some(gamma) = mgu_refs(&atoms) {
                 if head_guard_ok(q, &gamma) {
                     emit_rewriting(q, s_idx, &gamma, t, &mut out, cfg);
                 }
@@ -837,8 +852,8 @@ fn expand_entry(
                 if !ok || tried.contains(&occ) {
                     continue;
                 }
-                let atoms: Vec<Atom> = occ.iter().map(|&j| q.body[j].clone()).collect();
-                if let Some(gamma) = mgu_many(&atoms) {
+                let atoms: Vec<&Atom> = occ.iter().map(|&j| &q.body[j]).collect();
+                if let Some(gamma) = mgu_refs(&atoms) {
                     out.consider(gamma.apply_cq(q), Label::Factorization, cfg);
                 }
                 tried.push(occ);
@@ -946,7 +961,7 @@ pub fn xrewrite(
     // r-labeled, data-schema-only) in entry order; `pending` buffers them
     // between flushes. Streaming through the sieve in a fixed order makes
     // the surviving list independent of the flush cadence.
-    let mut sieve = SubsumptionSieve::new();
+    let mut sieve = SubsumptionSieve::with_plan_cache(cfg.plan_cache);
     let mut pending: Vec<Cq> = Vec::new();
     let mut last_flush = 0usize;
     let flush = |sieve: &mut SubsumptionSieve, pending: &mut Vec<Cq>, stats: &mut RewriteStats| {
@@ -1049,6 +1064,10 @@ pub fn xrewrite(
     let disjuncts: Vec<Cq> = if cfg.prune_subsumed {
         flush(&mut sieve, &mut pending, &mut stats);
         stats.subsumption_kills = sieve.kills();
+        let hs = sieve.hom_stats();
+        stats.plans_compiled = hs.plans_compiled;
+        stats.plan_cache_hits = hs.plan_cache_hits;
+        stats.prefilter_rejects = hs.prefilter_rejects;
         sieve.into_disjuncts()
     } else {
         entries

@@ -280,6 +280,32 @@ fn rewriting_differential_sweep() {
             );
         }
 
+        // (a') Plan-cache independence: disabling join-plan reuse in the
+        // subsumption sieve must not change any output byte or any
+        // deterministic counter — only the cache-hit counter collapses.
+        let nocache = run(
+            &case,
+            &XRewriteConfig {
+                plan_cache: false,
+                ..base_cfg.clone()
+            },
+        )
+        .unwrap_or_else(|_| panic!("case {case_no}: budget with plan cache off only"));
+        assert_eq!(
+            nocache.ucq.disjuncts, base.ucq.disjuncts,
+            "case {case_no}: disjuncts differ with plan cache off"
+        );
+        assert_eq!(nocache.generated, base.generated, "case {case_no}");
+        assert_eq!(nocache.rewrite_steps, base.rewrite_steps, "case {case_no}");
+        assert_eq!(
+            nocache.stats.subsumption_kills, base.stats.subsumption_kills,
+            "case {case_no}: kills differ with plan cache off"
+        );
+        assert_eq!(
+            nocache.stats.plan_cache_hits, 0,
+            "case {case_no}: cache hits counted with plan cache off"
+        );
+
         // (b) The fingerprint + pairwise-isomorphism reference strategy
         // agrees with canonical-form dedup.
         let fp = run(

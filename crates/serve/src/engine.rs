@@ -285,6 +285,23 @@ impl Engine {
                 "cache_capacity".to_owned(),
                 Json::num(self.cfg.cache_capacity),
             ),
+            // Process-global homomorphism-kernel counters: monotone across
+            // the process lifetime, so they aggregate work from every
+            // request (and every engine) seen so far.
+            ("hom_kernel".to_owned(), {
+                let h = omq_chase::global_hom_snapshot();
+                Json::obj([
+                    (
+                        "candidates_scanned",
+                        Json::num(h.candidates_scanned as usize),
+                    ),
+                    ("backtracks", Json::num(h.backtracks as usize)),
+                    ("homs_found", Json::num(h.homs_found as usize)),
+                    ("plans_compiled", Json::num(h.plans_compiled as usize)),
+                    ("plan_cache_hits", Json::num(h.plan_cache_hits as usize)),
+                    ("prefilter_rejects", Json::num(h.prefilter_rejects as usize)),
+                ])
+            }),
         ]
     }
 

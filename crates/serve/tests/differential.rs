@@ -249,6 +249,53 @@ fn serve_verdicts_match_direct_api_calls() {
     );
 }
 
+/// The `stats` response surfaces the homomorphism-kernel counters. They are
+/// process-global (monotone across engines and threads), so the assertions
+/// are presence, well-formedness, and monotonicity — never exact values.
+#[test]
+fn stats_expose_hom_kernel_counters() {
+    let read = |resp: &omq_serve::Response| -> Vec<u64> {
+        let json = omq_serve::json::parse(&response_to_json(resp).to_string()).unwrap();
+        let hk = json.get("hom_kernel").expect("hom_kernel object in stats");
+        [
+            "candidates_scanned",
+            "backtracks",
+            "homs_found",
+            "plans_compiled",
+            "plan_cache_hits",
+            "prefilter_rejects",
+        ]
+        .iter()
+        .map(|f| hk.get(f).and_then(Json::as_u64).expect("numeric counter"))
+        .collect()
+    };
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache_capacity: 64,
+        default_deadline_ms: None,
+    });
+    let mut batch: Vec<_> = PROGRAMS
+        .iter()
+        .map(|(name, prog)| parse_request(&register_line(name, prog)))
+        .collect();
+    batch.push(parse_request(r#"{"id":0,"op":"stats"}"#));
+    let before = read(engine.execute_batch(&batch).last().unwrap());
+
+    let work = vec![
+        parse_request(r#"{"id":1,"op":"contains","lhs":"path2","rhs":"strict"}"#),
+        parse_request(r#"{"id":2,"op":"stats"}"#),
+    ];
+    let responses = engine.execute_batch(&work);
+    let after = read(responses.last().unwrap());
+
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert!(a >= b, "hom_kernel counter {i} went backwards: {b} -> {a}");
+    }
+    // The containment check between the stats probes did real kernel work.
+    assert!(after[0] > before[0], "no candidates scanned by contains");
+    assert!(after[3] > before[3], "no plans compiled by contains");
+}
+
 /// Alias registrations (alpha-variant OMQs) share cache slots: the verdict
 /// for `path2 ⊑ strict` warms the cache for `path2_alpha ⊑ strict`.
 #[test]

@@ -22,6 +22,14 @@ import os
 import subprocess
 import sys
 
+# Wall-clock ceilings for headline rows, in ms. Unlike counter drifts these
+# are noise-tolerant tripwires (set well above the committed numbers); a
+# breach is still reported as a hard drift because it means a tracked
+# optimisation regressed, not that the machine was busy.
+WALL_CEILINGS = {
+    "rewrite:E3 nr strata=4": 700.0,
+}
+
 
 def load_baseline(path):
     """The committed version of *path*, or None if it is not in HEAD."""
@@ -73,6 +81,10 @@ def diff_file(path):
         rel = (c_ms - b_ms) / b_ms * 100 if b_ms else float("inf")
         marker = " " if abs(rel) < 20 else ("+" if rel > 0 else "-")
         print(f"  {marker} {name:<40} {b_ms:9.3f} -> {c_ms:9.3f} ms ({rel:+6.1f}%)")
+        ceiling = WALL_CEILINGS.get(name)
+        if ceiling is not None and c_ms > ceiling:
+            print(f"   CEILING  {name}: wall_ms {c_ms:.3f} > {ceiling:.0f}")
+            drifts += 1
         for key in sorted(set(base) | set(cur)):
             if is_noise(key):
                 continue

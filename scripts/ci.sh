@@ -36,6 +36,16 @@ done
     exit 1
 }
 
+echo "==> rewriting headline ceiling (compiled hom kernel, nr strata=4)"
+# Loose tripwire, not the headline claim: the committed number is ~0.45 s
+# (1.6x+ under the pre-kernel 745 ms); the gate only catches a real
+# regression while tolerating a loaded machine.
+jq -e 'map(select(.workload == "rewrite:E3 nr strata=4")) | .[0].wall_ms <= 700' \
+    BENCH_rewrite.json >/dev/null || {
+    echo "rewrite:E3 nr strata=4 wall_ms regressed above the 700 ms ceiling" >&2
+    exit 1
+}
+
 echo "==> serve smoke (omq-serve JSON-lines round trip, incl. a deliberate timeout)"
 SERVE_OUT=$(printf '%s\n' \
   '{"id":1,"op":"register","name":"s","program":"P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq(X) :- R(X,Y), P(Y)","schema":["P","R"],"query":"q"}' \
