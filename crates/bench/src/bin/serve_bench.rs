@@ -11,9 +11,18 @@
 //!
 //! The headline figure is `speedup_warm_over_cold` on the contains stream
 //! (the acceptance floor is 10×; see scripts/ci.sh).
+//!
+//! Phase columns follow the *time untraced, then trace once* protocol
+//! (see `omq_bench::obsjson`): wall-clock and cache-hit columns come from
+//! the untraced replay, then each stream is replayed once more under a
+//! recorder to harvest the per-phase breakdown. Cache counters are read
+//! *before* the instrumented replays, which would otherwise perturb them.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use omq_bench::obsjson::{instrumented_pass, phase_fields};
+use omq_obs::{Aggregator, Sink};
 use omq_serve::{parse_request, Engine, EngineConfig, Request, Response};
 
 /// The E1-style linear family as program text (mirrors
@@ -80,6 +89,7 @@ struct Row {
     p95_us: f64,
     requests: usize,
     cache_hits: Option<usize>,
+    phases: String,
 }
 
 /// Replays `stream` one request per batch (so each request is individually
@@ -131,30 +141,45 @@ fn main() {
         .unwrap_or_else(|| "BENCH_serve.json".into());
     let mut rows: Vec<Row> = Vec::new();
 
+    // Sweep-wide aggregator: sees every instrumented replay, feeds the
+    // summary row so every BENCH_serve row carries phase columns.
+    let sweep = Arc::new(Aggregator::new());
+    let extra: Vec<Arc<dyn Sink>> = vec![sweep.clone()];
+
     let contains = contains_stream(25); // 100 requests over 4 distinct pairs
     let evals = evaluate_stream(60);
 
     for (label, cache) in [("cold", 0usize), ("warm", 256)] {
         let engine = fresh_engine(cache, 1);
-        let (wall_ms, p50_us, p95_us) = replay(&engine, &contains);
+        let (wall_ms_c, p50_c, p95_c) = replay(&engine, &contains);
         let (rw, vd) = engine.cache_stats();
+        let (wall_ms_e, p50_e, p95_e) = replay(&engine, &evals);
+        let (rw2, vd2) = engine.cache_stats();
+        // Counter columns are settled; the traced replays below only feed
+        // the phase columns.
+        let ((), agg_c) = instrumented_pass(&extra, || {
+            replay(&engine, &contains);
+        });
+        let ((), agg_e) = instrumented_pass(&extra, || {
+            replay(&engine, &evals);
+        });
         rows.push(Row {
             workload: format!("serve:contains {label}"),
-            wall_ms,
-            p50_us,
-            p95_us,
+            wall_ms: wall_ms_c,
+            p50_us: p50_c,
+            p95_us: p95_c,
             requests: contains.len(),
             cache_hits: Some(rw.hits + vd.hits),
+            phases: phase_fields(&agg_c),
         });
-        let (wall_ms, p50_us, p95_us) = replay(&engine, &evals);
-        let (rw2, vd2) = engine.cache_stats();
         rows.push(Row {
             workload: format!("serve:evaluate {label}"),
-            wall_ms,
-            p50_us,
-            p95_us,
+            wall_ms: wall_ms_e,
+            p50_us: p50_e,
+            p95_us: p95_e,
             requests: evals.len(),
             cache_hits: Some(rw2.hits + vd2.hits - rw.hits - vd.hits),
+            phases: phase_fields(&agg_e),
         });
     }
 
@@ -168,6 +193,8 @@ fn main() {
         let out = engine.execute_batch(&items);
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         assert!(out.iter().all(|r| r.outcome.is_ok()));
+        let (out, agg) = instrumented_pass(&extra, || engine.execute_batch(&items));
+        assert!(out.iter().all(|r| r.outcome.is_ok()));
         rows.push(Row {
             workload: "serve:mixed parallel batch".into(),
             wall_ms,
@@ -175,6 +202,7 @@ fn main() {
             p95_us: 0.0,
             requests: mixed.len(),
             cache_hits: None,
+            phases: phase_fields(&agg),
         });
     }
 
@@ -188,8 +216,8 @@ fn main() {
             .cache_hits
             .map_or(String::new(), |h| format!(", \"cache_hits\": {h}"));
         json.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"requests\": {}{}}},\n",
-            r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, hits
+            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"requests\": {}{}{}}},\n",
+            r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, hits, r.phases
         ));
         println!(
             "{:<28} {:>9.3} ms  p50={:<9.1}us p95={:<9.1}us requests={} hits={:?}",
@@ -197,7 +225,8 @@ fn main() {
         );
     }
     json.push_str(&format!(
-        "  {{\"workload\": \"serve:summary\", \"wall_ms\": 0.0, \"speedup_warm_over_cold\": {speedup:.2}}}\n]\n"
+        "  {{\"workload\": \"serve:summary\", \"wall_ms\": 0.0, \"speedup_warm_over_cold\": {speedup:.2}{}}}\n]\n",
+        phase_fields(&sweep)
     ));
     println!("serve:summary                speedup_warm_over_cold={speedup:.2}");
     std::fs::write(&out_path, json).expect("writing serve benchmark output");

@@ -9,5 +9,6 @@
 //! families derived from those constructions, so every benchmark sweep
 //! exercises exactly the code path the corresponding theorem talks about.
 
+pub mod obsjson;
 pub mod report;
 pub mod workloads;

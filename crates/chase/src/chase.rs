@@ -46,6 +46,10 @@ pub struct ChaseConfig {
     /// instance is still a sound under-approximation, exactly as when the
     /// step budget runs out.
     pub budget: Budget,
+    /// Record a [`DerivationStep`] for every firing that grew the instance
+    /// (inputs = body image, outputs = head image). Off by default: the log
+    /// can be as large as the chase itself. Used by the `explain` machinery.
+    pub record_derivation: bool,
 }
 
 impl Default for ChaseConfig {
@@ -55,6 +59,7 @@ impl Default for ChaseConfig {
             max_steps: 200_000,
             max_depth: None,
             budget: Budget::unlimited(),
+            record_derivation: false,
         }
     }
 }
@@ -77,6 +82,20 @@ impl ChaseConfig {
     }
 }
 
+/// One recorded chase firing: tgd index, the body image that triggered it,
+/// and the head image it inserted. A derivation log is a replayable proof
+/// tree — every output is justified by inputs that are database atoms or
+/// outputs of earlier steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationStep {
+    /// Index of the fired tgd in the `sigma` slice passed to the chase.
+    pub tgd: usize,
+    /// The trigger's body image (atoms present before the firing).
+    pub inputs: Vec<Atom>,
+    /// The head image (atoms the firing inserted; fresh nulls included).
+    pub outputs: Vec<Atom>,
+}
+
 /// The result of a chase run.
 #[derive(Clone, Debug)]
 pub struct ChaseOutcome {
@@ -92,6 +111,9 @@ pub struct ChaseOutcome {
     pub deepest: usize,
     /// Work counters for the run.
     pub stats: ChaseStats,
+    /// Firing log, in firing order (empty unless
+    /// [`ChaseConfig::record_derivation`] was set).
+    pub derivation: Vec<DerivationStep>,
 }
 
 /// Work counters for a chase run: how much the semi-naive engine actually
@@ -129,6 +151,27 @@ impl ChaseStats {
         self.plans_compiled += h.plans_compiled;
         self.plan_cache_hits += h.plan_cache_hits;
         self.prefilter_rejects += h.prefilter_rejects;
+    }
+
+    /// Mirrors the counters into the installed omq-obs recorder, once per
+    /// run (a no-op without a recorder, and compiled out entirely without
+    /// the `obs` feature).
+    pub fn emit_obs(&self) {
+        if !omq_obs::active() {
+            return;
+        }
+        omq_obs::counters(&[
+            ("chase.rounds", self.rounds as u64),
+            ("chase.triggers_considered", self.triggers_considered as u64),
+            ("chase.triggers_fired", self.triggers_fired as u64),
+            ("chase.dedup_hits", self.dedup_hits as u64),
+            ("chase.satisfied_skips", self.satisfied_skips as u64),
+            ("hom.candidates_scanned", self.candidates_scanned),
+            ("hom.backtracks", self.backtracks),
+            ("hom.plans_compiled", self.plans_compiled),
+            ("hom.plan_cache_hits", self.plan_cache_hits),
+            ("hom.prefilter_rejects", self.prefilter_rejects),
+        ]);
     }
 }
 
@@ -251,6 +294,8 @@ struct Runner<'a> {
     /// Set when a trigger was skipped due to the depth budget.
     truncated: bool,
     stats: ChaseStats,
+    /// Firing log (only populated when `cfg.record_derivation`).
+    derivation: Vec<DerivationStep>,
     /// Per-tgd compiled plans and head recipes, built once up front.
     tgd_plans: Vec<TgdPlan>,
     /// Cache of pivoted body plans across semi-naive rounds.
@@ -278,6 +323,7 @@ impl<'a> Runner<'a> {
             deepest: 0,
             truncated: false,
             stats,
+            derivation: Vec::new(),
             tgd_plans,
             plans,
         }
@@ -343,6 +389,7 @@ impl<'a> Runner<'a> {
             fresh.push(Term::Null(n));
         }
         let mut grew = false;
+        let mut outputs: Vec<Atom> = Vec::new();
         for (pred, args) in &self.tgd_plans[ti].head_atoms {
             let img: Vec<Term> = args
                 .iter()
@@ -352,10 +399,41 @@ impl<'a> Runner<'a> {
                     HeadArg::Fresh(i) => fresh[i],
                 })
                 .collect();
-            grew |= self.instance.insert(Atom::new(*pred, img));
+            let atom = Atom::new(*pred, img);
+            if self.cfg.record_derivation {
+                outputs.push(atom.clone());
+            }
+            grew |= self.instance.insert(atom);
         }
         if self.cfg.variant == ChaseVariant::Oblivious {
             self.fired.insert(fp);
+        }
+        if self.cfg.record_derivation && grew {
+            // Reconstruct the body image by substituting the trigger key
+            // back into the tgd body (the key is in body-plan slot order).
+            let tp = &self.tgd_plans[ti];
+            let inputs: Vec<Atom> = self.sigma[ti]
+                .body
+                .iter()
+                .map(|a| {
+                    let args: Vec<Term> = a
+                        .args
+                        .iter()
+                        .map(|&tm| match tm {
+                            Term::Var(v) => {
+                                key[tp.body_base.slot_of(v).expect("body var has a slot")]
+                            }
+                            other => other,
+                        })
+                        .collect();
+                    Atom::new(a.pred, args)
+                })
+                .collect();
+            self.derivation.push(DerivationStep {
+                tgd: ti,
+                inputs,
+                outputs,
+            });
         }
         self.steps += 1;
         self.stats.triggers_fired += 1;
@@ -388,6 +466,7 @@ impl<'a> Runner<'a> {
         let mut triggers: Vec<Vec<Term>> = Vec::new();
         loop {
             self.stats.rounds += 1;
+            let _round = omq_obs::span("chase.round");
             // Atoms inserted during this round carry a fresh generation; its
             // start index is the next round's delta watermark.
             let round_gen = self.instance.begin_generation();
@@ -486,15 +565,18 @@ pub fn chase(
     voc: &mut Vocabulary,
     cfg: &ChaseConfig,
 ) -> ChaseOutcome {
+    let _span = omq_obs::span("chase");
     let mut runner = Runner::new(db, sigma, voc, cfg);
     let active: Vec<usize> = (0..sigma.len()).collect();
     let complete = runner.run(&active);
+    runner.stats.emit_obs();
     ChaseOutcome {
         instance: runner.instance,
         complete,
         steps: runner.steps,
         deepest: runner.deepest,
         stats: runner.stats,
+        derivation: runner.derivation,
     }
 }
 
@@ -512,17 +594,20 @@ pub fn stratified_chase(
     cfg: &ChaseConfig,
 ) -> Option<ChaseOutcome> {
     let strata = stratify(sigma)?;
+    let _span = omq_obs::span("chase");
     let mut runner = Runner::new(db, sigma, voc, cfg);
     let mut complete = true;
     for stratum in &strata {
         complete &= runner.run(stratum);
     }
+    runner.stats.emit_obs();
     Some(ChaseOutcome {
         instance: runner.instance,
         complete,
         steps: runner.steps,
         deepest: runner.deepest,
         stats: runner.stats,
+        derivation: runner.derivation,
     })
 }
 

@@ -173,6 +173,7 @@ impl CompiledUcq {
     /// Is `tuple` an answer of some disjunct on `inst`? The instance
     /// signature is computed once and prefilters every disjunct.
     pub fn is_answer(&self, inst: &Instance, tuple: &[ConstId], stats: &mut HomStats) -> bool {
+        let _span = omq_obs::span("hom.probe");
         let isig = instance_sig(inst);
         self.disjuncts
             .iter()

@@ -285,6 +285,7 @@ impl JoinPlan {
     /// `seeded` (sorted and deduplicated internally). `pivot` pins that atom
     /// to the front of the join order (the semi-naive delta pivot).
     pub fn compile(atoms: &[Atom], seeded: &[VarId], pivot: Option<usize>) -> JoinPlan {
+        let _span = omq_obs::span("hom.compile");
         let mut seeded: Vec<VarId> = seeded.to_vec();
         seeded.sort_unstable();
         seeded.dedup();

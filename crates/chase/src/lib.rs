@@ -23,7 +23,9 @@ pub mod hom;
 pub mod omq_eval;
 pub mod runtime;
 
-pub use chase::{chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant};
+pub use chase::{
+    chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, DerivationStep,
+};
 pub use cq_ops::{
     cq_canonical_form, cq_contained, cq_contained_stats, cq_core, cq_core_budgeted,
     cq_core_budgeted_report, cq_equivalent, cq_isomorphic, ucq_contained, CqCanonicalForm,

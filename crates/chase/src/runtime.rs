@@ -142,10 +142,16 @@ pub fn parallel_indexed<S>(
         return;
     }
     let next = AtomicUsize::new(0);
+    // The obs recorder is thread-local; propagate the caller's recorder (if
+    // any) into each worker so spans/counters from the pool attach to the
+    // same trace. A no-op without the `obs` feature.
+    let recorder = omq_obs::current();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             let (next, init, body) = (&next, &init, &body);
+            let recorder = recorder.clone();
             scope.spawn(move || {
+                let _obs = omq_obs::install(recorder);
                 let mut state = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

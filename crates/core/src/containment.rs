@@ -170,7 +170,7 @@ pub struct ContainmentOutcome {
 /// predicate-signature prefilter — previously each check re-ran the greedy
 /// join ordering (and originally the whole rewriting) from scratch.
 /// Other languages dispatch through [`is_certain_answer`] per disjunct.
-enum RhsChecker {
+pub(crate) enum RhsChecker {
     /// The (possibly partial) rewriting of `Q₂`, computed and compiled once.
     Rewritten { ucq: CompiledUcq, complete: bool },
     /// Per-disjunct dispatch on `Q₂`'s language (NR, guarded, full, …).
@@ -178,7 +178,7 @@ enum RhsChecker {
 }
 
 /// The verdict of one disjunct check.
-enum DisjunctVerdict {
+pub(crate) enum DisjunctVerdict {
     Pass,
     Refuted,
     Inconclusive(String),
@@ -190,7 +190,7 @@ impl RhsChecker {
     /// rewriting of `Q₂` (e.g. the left-hand side's, when `Q₁ == Q₂`);
     /// otherwise the rewriting is obtained through `src` (which may replay
     /// a cached artifact).
-    fn build(
+    pub(crate) fn build(
         q2: &Omq,
         rhs_language: OmqLanguage,
         reuse: Option<(&Ucq, bool)>,
@@ -218,7 +218,7 @@ impl RhsChecker {
 
     /// Checks one already-frozen disjunct (canonical database plus frozen
     /// head tuple) against `Q₂`.
-    fn check_one(
+    pub(crate) fn check_one(
         &self,
         db: &Instance,
         tuple: &[ConstId],
@@ -272,6 +272,7 @@ fn check_disjuncts(
     stats: &mut (usize, usize),
 ) -> Result<Option<Witness>, String> {
     const EXPIRED: &str = "deadline expired during the disjunct sweep";
+    let _span = omq_obs::span("contain.sweep");
     let threads = runtime::effective_threads(cfg.threads, disjuncts.len());
     if threads <= 1 {
         let mut inconclusive: Option<String> = None;
@@ -395,6 +396,7 @@ pub fn contains_with(
     if q1.arity() != q2.arity() {
         return Err(ContainmentError::ArityMismatch);
     }
+    let _span = omq_obs::span("contain");
     let lhs_language = detect_language(q1);
     // Self-containment (the equivalence check `Q ⊑ Q`) is common enough to
     // skip re-detecting the identical right-hand side.
@@ -438,6 +440,10 @@ pub fn contains_with(
         anytime_guarded(q1, q2, rhs_language, voc, cfg, src, &mut stats)
     };
 
+    omq_obs::counters(&[
+        ("contain.witnesses_checked", stats.0 as u64),
+        ("contain.checks", 1),
+    ]);
     Ok(ContainmentOutcome {
         result,
         lhs_language,

@@ -24,6 +24,7 @@
 pub mod apps;
 pub mod containment;
 pub mod evaluate;
+pub mod explain;
 pub mod languages;
 pub mod reductions;
 
@@ -37,5 +38,9 @@ pub use containment::{
 };
 pub use evaluate::{
     evaluate, evaluate_with, is_certain_answer, EvalConfig, EvalGuarantee, EvalOutcome, Trool,
+};
+pub use explain::{
+    explain, explain_with, ContainmentCoverage, DisjunctCoverage, ExplainDetail, ExplainStep,
+    Explanation, WitnessExplanation, EXPLAIN_DISJUNCT_CAP,
 };
 pub use languages::{detect_language, OmqLanguage};

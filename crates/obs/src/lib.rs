@@ -1,0 +1,606 @@
+//! # omq-obs
+//!
+//! Zero-overhead-when-disabled instrumentation core for the omq workspace:
+//! hierarchical span timers, a typed counter registry, and a pluggable sink
+//! API with two built-in sinks (an in-memory [`Aggregator`] with log-scale
+//! latency histograms, and a [`JsonlSink`] trace-event writer).
+//!
+//! ## Model
+//!
+//! A [`Recorder`] owns a list of sinks and hands out monotonically increasing
+//! span ids. Recorders are *installed* per thread ([`install`]); the engine
+//! crates call [`span`] / [`counter`] unconditionally, and when no recorder is
+//! installed those calls are a single thread-local read. With the crate's
+//! `enabled` feature off (workspace `--no-default-features`), every entry
+//! point compiles to an empty inlined body — no thread-local, no clock reads,
+//! no atomics.
+//!
+//! Span names form a fixed taxonomy (see DESIGN.md §5): `chase`,
+//! `chase.round`, `hom.compile`, `hom.probe`, `rewrite`, `rewrite.round`,
+//! `rewrite.expand`, `rewrite.merge`, `rewrite.prune`, `contain`,
+//! `contain.sweep`, `serve.<op>`. Counters carry the legacy stats-struct
+//! fields (`chase.triggers_fired`, `rewrite.generated`, …) so the manual
+//! stat-threading has a single typed sink.
+//!
+//! ## Determinism
+//!
+//! Event *contents* are deterministic for a fixed single-threaded run when
+//! the sink omits timing (see [`JsonlSink::new`] with `timing = false`):
+//! span ids are allocated in program order from a per-recorder atomic.
+//! Multi-threaded runs produce the same multiset of events up to id
+//! renaming; `tests/determinism.rs` locks both properties in.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// One trace event, as delivered to every [`Sink`] of the recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A span opened. `parent` is 0 for root spans.
+    Enter {
+        id: u64,
+        parent: u64,
+        name: &'static str,
+    },
+    /// A span closed, `dur_ns` after its `Enter`.
+    Exit {
+        id: u64,
+        name: &'static str,
+        dur_ns: u64,
+    },
+    /// A counter increment (zero deltas are filtered at the call site).
+    Count { name: &'static str, delta: u64 },
+}
+
+/// A trace-event consumer. Sinks must tolerate concurrent events from
+/// several threads (the recorder is shared across a worker pool).
+pub trait Sink: Send + Sync {
+    fn event(&self, ev: &Event);
+}
+
+/// Aggregated view of one phase (one span name) from an [`Aggregator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    /// Median, from the log-scale histogram, clamped to `[min, max]`. μs.
+    pub p50_us: u64,
+    /// 99th percentile, same estimator. μs.
+    pub p99_us: u64,
+}
+
+/// A shared growable byte buffer implementing [`Write`] — lets tests and the
+/// serve layer capture a [`JsonlSink`] stream in memory.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// The buffered bytes as UTF-8 (JSONL sinks only ever write UTF-8).
+    pub fn take_string(&self) -> String {
+        String::from_utf8(std::mem::take(&mut *self.0.lock().unwrap())).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory aggregator sink
+// ---------------------------------------------------------------------------
+
+const BUCKETS: usize = 40;
+
+#[derive(Debug, Clone)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    /// Log-scale histogram over microseconds: bucket 0 holds `0 μs`,
+    /// bucket `k ≥ 1` holds durations in `[2^(k-1), 2^k)` μs.
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for PhaseAgg {
+    fn default() -> Self {
+        PhaseAgg {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl PhaseAgg {
+    fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+        let us = dur_ns / 1_000;
+        let idx = (u64::BITS - us.leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Percentile estimate from the histogram: the upper bound of the bucket
+    /// holding the `⌈p·count⌉`-th sample, clamped to the observed range.
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let ub = if k == 0 { 0 } else { (1u64 << k) - 1 };
+                return ub.clamp(self.min_ns / 1_000, self.max_ns / 1_000);
+            }
+        }
+        self.max_ns / 1_000
+    }
+}
+
+#[derive(Default)]
+struct AggInner {
+    phases: BTreeMap<&'static str, PhaseAgg>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+/// In-memory aggregating sink: per-phase wall-clock histograms with fixed
+/// log-scale buckets, plus a counter map. Also usable directly (without a
+/// recorder) via [`Aggregator::record`] — the serve engine feeds its per-op
+/// latency histograms this way, so they exist even with `obs` compiled out.
+#[derive(Default)]
+pub struct Aggregator {
+    inner: Mutex<AggInner>,
+}
+
+impl Aggregator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration sample under `name`.
+    pub fn record(&self, name: &'static str, dur: std::time::Duration) {
+        self.record_ns(name, dur.as_nanos() as u64);
+    }
+
+    fn record_ns(&self, name: &'static str, dur_ns: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .phases
+            .entry(name)
+            .or_default()
+            .record(dur_ns);
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        *self.inner.lock().unwrap().counters.entry(name).or_default() += delta;
+    }
+
+    /// All phases, sorted by name (deterministic).
+    pub fn phases(&self) -> Vec<PhaseSnapshot> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .phases
+            .iter()
+            .map(|(name, agg)| PhaseSnapshot {
+                name: (*name).to_string(),
+                count: agg.count,
+                total_ns: agg.total_ns,
+                min_ns: if agg.count == 0 { 0 } else { agg.min_ns },
+                max_ns: agg.max_ns,
+                p50_us: agg.percentile_us(0.50),
+                p99_us: agg.percentile_us(0.99),
+            })
+            .collect()
+    }
+
+    /// All counters, sorted by name (deterministic).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .iter()
+            .map(|(name, v)| ((*name).to_string(), *v))
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.phases.is_empty() && inner.counters.is_empty()
+    }
+}
+
+impl Sink for Aggregator {
+    fn event(&self, ev: &Event) {
+        match *ev {
+            Event::Exit { name, dur_ns, .. } => self.record_ns(name, dur_ns),
+            Event::Count { name, delta } => self.add(name, delta),
+            Event::Enter { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL trace-event sink
+// ---------------------------------------------------------------------------
+
+/// Writes one JSON object per event:
+/// `{"ev":"enter","id":N,"parent":M,"name":"…"}`,
+/// `{"ev":"exit","id":N,"name":"…","dur_us":K}`,
+/// `{"ev":"count","name":"…","delta":K}`.
+///
+/// With `timing = false` the `dur_us` field is omitted, which makes the
+/// stream for a fixed single-threaded run byte-identical across repeats
+/// (span ids are allocated in program order; names are static).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    timing: bool,
+}
+
+impl JsonlSink {
+    pub fn new(out: Box<dyn Write + Send>, timing: bool) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+            timing,
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, ev: &Event) {
+        // Span/counter names are static identifiers (no quotes or
+        // backslashes), so no JSON string escaping is needed.
+        let line = match *ev {
+            Event::Enter { id, parent, name } => {
+                format!(
+                    "{{\"ev\":\"enter\",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\"}}\n"
+                )
+            }
+            Event::Exit { id, name, dur_ns } => {
+                if self.timing {
+                    format!(
+                        "{{\"ev\":\"exit\",\"id\":{id},\"name\":\"{name}\",\"dur_us\":{}}}\n",
+                        dur_ns / 1_000
+                    )
+                } else {
+                    format!("{{\"ev\":\"exit\",\"id\":{id},\"name\":\"{name}\"}}\n")
+                }
+            }
+            Event::Count { name, delta } => {
+                format!("{{\"ev\":\"count\",\"name\":\"{name}\",\"delta\":{delta}}}\n")
+            }
+        };
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder + thread-local install (real implementation)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use super::{Event, Sink};
+
+    /// Owns the sinks and the span-id counter. Shared (`Arc`) across the
+    /// threads participating in one instrumented run.
+    pub struct Recorder {
+        next_id: AtomicU64,
+        sinks: Vec<Arc<dyn Sink>>,
+    }
+
+    impl Recorder {
+        pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Arc<Recorder> {
+            Arc::new(Recorder {
+                next_id: AtomicU64::new(1),
+                sinks,
+            })
+        }
+
+        fn emit(&self, ev: &Event) {
+            for sink in &self.sinks {
+                sink.event(ev);
+            }
+        }
+    }
+
+    struct Local {
+        rec: Arc<Recorder>,
+        /// Open span ids on this thread, innermost last.
+        stack: Vec<u64>,
+    }
+
+    thread_local! {
+        static CURRENT: RefCell<Option<Local>> = const { RefCell::new(None) };
+    }
+
+    /// Restores the previously installed recorder on drop.
+    pub struct InstallGuard {
+        prev: Option<Option<Local>>,
+    }
+
+    impl Drop for InstallGuard {
+        fn drop(&mut self) {
+            if let Some(prev) = self.prev.take() {
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+    }
+
+    /// Install `rec` as this thread's recorder (or clear it with `None`)
+    /// until the returned guard drops.
+    pub fn install(rec: Option<Arc<Recorder>>) -> InstallGuard {
+        let prev = CURRENT.with(|c| {
+            c.replace(rec.map(|rec| Local {
+                rec,
+                stack: Vec::new(),
+            }))
+        });
+        InstallGuard { prev: Some(prev) }
+    }
+
+    /// The recorder installed on this thread, if any. Capture this before
+    /// spawning workers and re-`install` it inside each one.
+    pub fn current() -> Option<Arc<Recorder>> {
+        CURRENT.with(|c| c.borrow().as_ref().map(|l| l.rec.clone()))
+    }
+
+    /// True iff a recorder is installed on this thread. Use to skip
+    /// non-trivial argument computation for counters.
+    #[inline]
+    pub fn active() -> bool {
+        CURRENT.with(|c| c.borrow().is_some())
+    }
+
+    /// Closes its span on drop.
+    pub struct SpanGuard {
+        open: Option<(Arc<Recorder>, u64, &'static str, Instant)>,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some((rec, id, name, start)) = self.open.take() {
+                let dur_ns = start.elapsed().as_nanos() as u64;
+                CURRENT.with(|c| {
+                    if let Some(local) = c.borrow_mut().as_mut() {
+                        if local.stack.last() == Some(&id) {
+                            local.stack.pop();
+                        } else {
+                            // Out-of-order drop (shouldn't happen with RAII
+                            // guards, but never corrupt the stack).
+                            local.stack.retain(|&x| x != id);
+                        }
+                    }
+                });
+                rec.emit(&Event::Exit { id, name, dur_ns });
+            }
+        }
+    }
+
+    /// Open a span named `name` under the current thread's open span (if
+    /// any); a no-op returning an inert guard when no recorder is installed.
+    pub fn span(name: &'static str) -> SpanGuard {
+        let opened = CURRENT.with(|c| {
+            let mut b = c.borrow_mut();
+            let local = b.as_mut()?;
+            let id = local.rec.next_id.fetch_add(1, Ordering::Relaxed);
+            let parent = local.stack.last().copied().unwrap_or(0);
+            local.stack.push(id);
+            Some((local.rec.clone(), id, parent))
+        });
+        match opened {
+            None => SpanGuard { open: None },
+            Some((rec, id, parent)) => {
+                rec.emit(&Event::Enter { id, parent, name });
+                SpanGuard {
+                    open: Some((rec, id, name, Instant::now())),
+                }
+            }
+        }
+    }
+
+    /// Emit a counter increment (skipped when `delta == 0` or no recorder).
+    pub fn counter(name: &'static str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(rec) = current() {
+            rec.emit(&Event::Count { name, delta });
+        }
+    }
+
+    /// Emit several counters with a single thread-local lookup; zero deltas
+    /// are skipped.
+    pub fn counters(items: &[(&'static str, u64)]) {
+        let Some(rec) = current() else { return };
+        for &(name, delta) in items {
+            if delta != 0 {
+                rec.emit(&Event::Count { name, delta });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// No-op surface (feature `enabled` off)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use std::sync::Arc;
+
+    use super::Sink;
+
+    /// Inert stand-in: with `enabled` off there is no recorder state at all.
+    pub struct Recorder;
+
+    impl Recorder {
+        pub fn new(_sinks: Vec<Arc<dyn Sink>>) -> Arc<Recorder> {
+            Arc::new(Recorder)
+        }
+    }
+
+    pub struct InstallGuard;
+
+    #[inline(always)]
+    pub fn install(_rec: Option<Arc<Recorder>>) -> InstallGuard {
+        InstallGuard
+    }
+
+    #[inline(always)]
+    pub fn current() -> Option<Arc<Recorder>> {
+        None
+    }
+
+    #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+
+    pub struct SpanGuard;
+
+    // An (empty) Drop impl so call sites that close a span early with an
+    // explicit `drop(guard)` lint identically in both feature modes.
+    impl Drop for SpanGuard {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    #[inline(always)]
+    pub fn counter(_name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    pub fn counters(_items: &[(&'static str, u64)]) {}
+}
+
+pub use imp::{
+    active, counter, counters, current, install, span, InstallGuard, Recorder, SpanGuard,
+};
+
+/// `span!("name")` — open a span guard bound to the enclosing scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// `count!("name", delta)` — emit a counter increment.
+#[macro_export]
+macro_rules! count {
+    ($name:expr, $delta:expr) => {
+        $crate::counter($name, $delta as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_histogram_percentiles() {
+        let agg = Aggregator::new();
+        for us in [1u64, 2, 3, 100, 200, 5000] {
+            agg.record("p", std::time::Duration::from_micros(us));
+        }
+        agg.add("c", 3);
+        agg.add("c", 0); // filtered
+        agg.add("c", 4);
+        let phases = agg.phases();
+        assert_eq!(phases.len(), 1);
+        let p = &phases[0];
+        assert_eq!(p.name, "p");
+        assert_eq!(p.count, 6);
+        assert_eq!(p.min_ns, 1_000);
+        assert_eq!(p.max_ns, 5_000_000);
+        assert!(p.p50_us >= 1 && p.p50_us <= 200, "p50 {}", p.p50_us);
+        assert!(p.p99_us >= 200, "p99 {}", p.p99_us);
+        assert_eq!(agg.counters(), vec![("c".to_string(), 7)]);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_nest_and_reach_sinks() {
+        use std::sync::Arc;
+        let buf = SharedBuf::new();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone()), false));
+        let rec = Recorder::new(vec![sink]);
+        {
+            let _g = install(Some(rec));
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                counter("hits", 2);
+            }
+        }
+        let text = buf.take_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ev":"enter","id":1,"parent":0,"name":"outer"}"#,
+                r#"{"ev":"enter","id":2,"parent":1,"name":"inner"}"#,
+                r#"{"ev":"count","name":"hits","delta":2}"#,
+                r#"{"ev":"exit","id":2,"name":"inner"}"#,
+                r#"{"ev":"exit","id":1,"name":"outer"}"#,
+            ]
+        );
+        // Nothing recorded once the install guard dropped.
+        let _orphan = span("orphan");
+        drop(_orphan);
+        assert!(buf.take_string().is_empty());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn noop_surface_is_inert() {
+        let _g = install(None);
+        let _s = span("anything");
+        counter("c", 5);
+        counters(&[("a", 1), ("b", 2)]);
+        assert!(!active());
+        assert!(current().is_none());
+    }
+}

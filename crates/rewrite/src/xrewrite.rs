@@ -225,6 +225,41 @@ pub struct RewriteStats {
     pub prune_nanos: u64,
 }
 
+impl RewriteStats {
+    /// Mirrors the counters into the installed omq-obs recorder, once per
+    /// run (a no-op without a recorder, and compiled out entirely without
+    /// the `obs` feature).
+    pub fn emit_obs(&self) {
+        if !omq_obs::active() {
+            return;
+        }
+        omq_obs::counters(&[
+            ("rewrite.rounds", self.rounds as u64),
+            ("rewrite.candidates", self.candidates as u64),
+            ("rewrite.atom_budget_skips", self.atom_budget_skips as u64),
+            ("rewrite.dedup_hits_raw", self.dedup_hits_raw as u64),
+            (
+                "rewrite.dedup_hits_canonical",
+                self.dedup_hits_canonical as u64,
+            ),
+            ("rewrite.dedup_hits_iso", self.dedup_hits_iso as u64),
+            ("rewrite.dedup_iso_checks", self.dedup_iso_checks as u64),
+            (
+                "rewrite.canonical_fallbacks",
+                self.canonical_fallbacks as u64,
+            ),
+            (
+                "rewrite.core_budget_exhaustions",
+                self.core_budget_exhaustions as u64,
+            ),
+            ("rewrite.subsumption_kills", self.subsumption_kills as u64),
+            ("rewrite.plans_compiled", self.plans_compiled),
+            ("rewrite.plan_cache_hits", self.plan_cache_hits),
+            ("rewrite.prefilter_rejects", self.prefilter_rejects),
+        ]);
+    }
+}
+
 /// The result of a (partial or complete) rewriting run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RewriteOutput {
@@ -913,6 +948,7 @@ pub fn xrewrite(
     voc: &mut Vocabulary,
     cfg: &XRewriteConfig,
 ) -> Result<RewriteOutput, RewriteError> {
+    let _span = omq_obs::span("rewrite");
     let sigma: Vec<Tgd> = if omq.sigma.iter().all(|t| t.head.len() == 1) {
         omq.sigma.clone()
     } else {
@@ -965,6 +1001,7 @@ pub fn xrewrite(
     let mut pending: Vec<Cq> = Vec::new();
     let mut last_flush = 0usize;
     let flush = |sieve: &mut SubsumptionSieve, pending: &mut Vec<Cq>, stats: &mut RewriteStats| {
+        let _span = omq_obs::span("rewrite.prune");
         let t = Instant::now();
         for cq in pending.drain(..) {
             sieve.insert(cq);
@@ -987,6 +1024,7 @@ pub fn xrewrite(
             break;
         }
         stats.rounds += 1;
+        let _round = omq_obs::span("rewrite.round");
         let frontier_end = entries.len();
 
         // Rename each tgd once for this round, on the caller thread: fresh
@@ -1011,9 +1049,13 @@ pub fn xrewrite(
             .collect();
 
         let expand_start = Instant::now();
-        let expansions = expand_frontier(&entries[cursor..frontier_end], &renamed, cfg, threads);
+        let expansions = {
+            let _span = omq_obs::span("rewrite.expand");
+            expand_frontier(&entries[cursor..frontier_end], &renamed, cfg, threads)
+        };
         stats.expand_nanos += expand_start.elapsed().as_nanos() as u64;
 
+        let merge_span = omq_obs::span("rewrite.merge");
         let merge_start = Instant::now();
         for (off, exp) in expansions.into_iter().enumerate() {
             let idx = cursor + off;
@@ -1053,6 +1095,7 @@ pub fn xrewrite(
             }
         }
         stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+        drop(merge_span);
         cursor = frontier_end;
 
         if cfg.prune_subsumed && entries.len() - last_flush >= cfg.prune_interval {
@@ -1076,6 +1119,8 @@ pub fn xrewrite(
             .map(|e| e.cq.clone())
             .collect()
     };
+    stats.emit_obs();
+    omq_obs::counter("rewrite.generated", entries.len() as u64);
     let out = RewriteOutput {
         ucq: Ucq::new(omq.query.arity, disjuncts),
         generated: entries.len(),

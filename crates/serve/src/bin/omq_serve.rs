@@ -25,6 +25,9 @@ OPTIONS:
   --cache-capacity N    capacity of each LRU cache (default 256)
   --no-cache            disable both caches (same as --cache-capacity 0)
   --deadline-ms N       default deadline for requests that carry none
+  --trace-out PATH      append every request's span tree to PATH as JSONL
+                        trace events (enter/exit/count; needs the default
+                        `obs` feature to produce events)
   -h, --help            print this help
 ";
 
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = EngineConfig::default();
     let mut listen: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -63,6 +67,10 @@ fn main() -> ExitCode {
                 Ok(Ok(n)) => cfg.default_deadline_ms = Some(n),
                 _ => return fail("--deadline-ms needs an unsigned integer"),
             },
+            "--trace-out" => match value("--trace-out") {
+                Ok(v) => trace_out = Some(v),
+                Err(e) => return fail(&e),
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -71,7 +79,17 @@ fn main() -> ExitCode {
         }
     }
 
-    let engine = Engine::new(cfg);
+    let mut engine = Engine::new(cfg);
+    if let Some(path) = trace_out {
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("omq-serve: cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        engine.set_trace_sink(Arc::new(omq_obs::JsonlSink::new(Box::new(file), true)));
+    }
     let result = match listen {
         Some(addr) => {
             let listener = match TcpListener::bind(&addr) {

@@ -17,6 +17,12 @@ pub struct CacheStats {
     pub misses: usize,
     pub insertions: usize,
     pub evictions: usize,
+    /// Hits where the caller reached the slot through an *alias*
+    /// registration — a name other than the one that populated the slot,
+    /// sharing it via canonical keying. A subset of `hits` (every alias
+    /// hit also counts as a hit); the gap `hits - alias_hits` is the
+    /// plain same-name hit count.
+    pub alias_hits: usize,
 }
 
 /// An LRU map with fixed capacity. Capacity 0 disables storage entirely
@@ -42,11 +48,21 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&mut self, key: &K) -> Option<V> {
+        self.get_tagged(key, false)
+    }
+
+    /// [`LruCache::get`], additionally counting a hit as an *alias* hit
+    /// when `alias` is true (the caller reached this slot through a name
+    /// other than the one that populated it — see [`CacheStats::alias_hits`]).
+    pub fn get_tagged(&mut self, key: &K, alias: bool) -> Option<V> {
         self.clock += 1;
         match self.map.get_mut(key) {
             Some((v, stamp)) => {
                 *stamp = self.clock;
                 self.stats.hits += 1;
+                if alias {
+                    self.stats.alias_hits += 1;
+                }
                 Some(v.clone())
             }
             None => {
@@ -107,6 +123,18 @@ mod tests {
         assert_eq!(c.get(&1), Some("a"));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+        assert_eq!(s.alias_hits, 0);
+    }
+
+    #[test]
+    fn alias_hits_are_a_subset_of_hits() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "a");
+        assert_eq!(c.get_tagged(&1, true), Some("a"));
+        assert_eq!(c.get_tagged(&1, false), Some("a"));
+        assert_eq!(c.get_tagged(&2, true), None, "an alias miss is a miss");
+        let s = c.stats();
+        assert_eq!((s.hits, s.alias_hits, s.misses), (2, 1, 1));
     }
 
     #[test]

@@ -27,16 +27,17 @@
 //! lower bound, and the response carries `"timed_out":true`. The worker
 //! pool itself is never poisoned by an expired request.
 
-use std::sync::{Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use omq_chase::{effective_threads, parallel_indexed, Budget};
 use omq_core::{
-    contains_with, equivalent_with, evaluate_with, ContainmentConfig, ContainmentOutcome,
-    ContainmentResult, EvalConfig, EvalGuarantee,
+    contains_with, equivalent_with, evaluate_with, explain_with, ContainmentConfig,
+    ContainmentOutcome, ContainmentResult, EvalConfig, EvalGuarantee, ExplainDetail,
 };
 use omq_model::display::render_atom;
 use omq_model::{parse_tgd, Instance, Omq, Term, Vocabulary};
+use omq_obs::{Aggregator, JsonlSink, Sink};
 use omq_rewrite::{DirectRewrite, RewriteArtifact, RewriteSource, XRewriteConfig};
 
 use crate::cache::{CacheStats, LruCache};
@@ -83,8 +84,11 @@ impl Default for EngineConfig {
 /// A [`RewriteSource`] backed by the engine's artifact cache. Complete
 /// artifacts are shared across requests (and across alias registrations,
 /// thanks to canonical keying); incomplete ones pass through uncached.
+/// `alias` marks lookups made on behalf of an alias registration, so hits
+/// reached through canonical-key sharing are counted distinctly.
 struct CachingSource<'a> {
     cache: &'a Mutex<LruCache<RewriteKey, RewriteArtifact>>,
+    alias: bool,
 }
 
 impl RewriteSource for CachingSource<'_> {
@@ -95,7 +99,7 @@ impl RewriteSource for CachingSource<'_> {
         cfg: &XRewriteConfig,
     ) -> RewriteArtifact {
         let key = (OmqKey::of(omq, voc), RewriteCfgKey::of(cfg));
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap().get_tagged(&key, self.alias) {
             return hit;
         }
         let art = DirectRewrite.rewrite(omq, voc, cfg);
@@ -113,6 +117,12 @@ pub struct Engine {
     registry: RwLock<Registry>,
     rewrites: Mutex<LruCache<RewriteKey, RewriteArtifact>>,
     verdicts: Mutex<LruCache<VerdictKey, Vec<(String, Json)>>>,
+    /// Per-op wall-clock histograms, fed directly (no recorder needed, so
+    /// they survive `--no-default-features`); exposed by the `stats` op.
+    latencies: Aggregator,
+    /// When set, every request runs under a recorder that also streams its
+    /// span tree here (the binary's `--trace-out`).
+    trace_sink: Option<Arc<JsonlSink>>,
 }
 
 impl Engine {
@@ -123,7 +133,16 @@ impl Engine {
             registry: RwLock::new(Registry::new()),
             rewrites: Mutex::new(LruCache::new(cap)),
             verdicts: Mutex::new(LruCache::new(cap)),
+            latencies: Aggregator::new(),
+            trace_sink: None,
         }
+    }
+
+    /// Stream every request's span tree to `sink` (call before sharing the
+    /// engine). With the workspace `obs` feature off this is accepted but
+    /// inert — spans compile to no-ops.
+    pub fn set_trace_sink(&mut self, sink: Arc<JsonlSink>) {
+        self.trace_sink = Some(sink);
     }
 
     /// Current cache counters `(artifact cache, verdict cache)`.
@@ -188,7 +207,30 @@ impl Engine {
             Some(ms) => Budget::deadline_at(arrival + Duration::from_millis(ms)),
             None => Budget::unlimited(),
         };
-        let (outcome, timed_out) = self.run_op(&req.op, &budget);
+        // Per-request instrumentation: a recorder is installed only when
+        // someone is listening (a `"trace":true` request and/or a process
+        // trace sink) — untraced requests pay a single thread-local read
+        // per span site. Never `install(None)` here: that would tear down a
+        // recorder an embedding application installed around the engine.
+        let trace_agg: Option<Arc<Aggregator>> = req.trace.then(|| Arc::new(Aggregator::new()));
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        if let Some(agg) = &trace_agg {
+            sinks.push(agg.clone());
+        }
+        if let Some(ts) = &self.trace_sink {
+            sinks.push(ts.clone());
+        }
+        let _guard =
+            (!sinks.is_empty()).then(|| omq_obs::install(Some(omq_obs::Recorder::new(sinks))));
+        let started = Instant::now();
+        let (mut outcome, timed_out) = {
+            let _root = omq_obs::span(op_name(&req.op));
+            self.run_op(&req.op, &budget)
+        };
+        self.latencies.record(op_name(&req.op), started.elapsed());
+        if let (Some(agg), Ok(fields)) = (&trace_agg, &mut outcome) {
+            fields.push(("trace".to_owned(), trace_json(agg)));
+        }
         Response {
             id: req.id.clone(),
             outcome,
@@ -211,6 +253,7 @@ impl Engine {
             Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget),
             Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget),
             Op::Evaluate { name, facts } => self.op_evaluate(name, facts, budget),
+            Op::Explain { lhs, rhs } => self.op_explain(lhs, rhs, budget),
         }
     }
 
@@ -260,6 +303,7 @@ impl Engine {
         let cache_obj = |s: CacheStats, entries: usize| {
             Json::obj([
                 ("hits", Json::num(s.hits)),
+                ("alias_hits", Json::num(s.alias_hits)),
                 ("misses", Json::num(s.misses)),
                 ("insertions", Json::num(s.insertions)),
                 ("evictions", Json::num(s.evictions)),
@@ -269,6 +313,30 @@ impl Engine {
         vec![
             ("registered".to_owned(), Json::num(reg.len())),
             ("distinct_keys".to_owned(), Json::num(reg.distinct_keys())),
+            // Per-op latency histograms since engine start (wall-clock of
+            // the whole request, including cache hits). Present regardless
+            // of the `obs` feature: the engine feeds the aggregator
+            // directly rather than through spans.
+            (
+                "latency".to_owned(),
+                Json::Obj(
+                    self.latencies
+                        .phases()
+                        .into_iter()
+                        .map(|p| {
+                            (
+                                p.name.clone(),
+                                Json::obj([
+                                    ("count", Json::num(p.count as usize)),
+                                    ("p50_us", Json::num(p.p50_us as usize)),
+                                    ("p99_us", Json::num(p.p99_us as usize)),
+                                    ("total_us", Json::num((p.total_ns / 1_000) as usize)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "rewrite_cache".to_owned(),
                 cache_obj(rw, self.rewrites.lock().unwrap().len()),
@@ -344,13 +412,15 @@ impl Engine {
             Err(e) => return (Err(e), false),
         };
         let (l, r) = (&regs[0], &regs[1]);
+        let alias = l.alias_of.is_some() || r.alias_of.is_some();
         let vkey = (VerdictOp::Contains, l.key.clone(), r.key.clone());
-        if let Some(fields) = self.verdicts.lock().unwrap().get(&vkey) {
+        if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
         let cfg = self.containment_cfg(budget);
         let mut src = CachingSource {
             cache: &self.rewrites,
+            alias,
         };
         let outcome = match contains_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
             Ok(o) => o,
@@ -375,13 +445,15 @@ impl Engine {
             Err(e) => return (Err(e), false),
         };
         let (l, r) = (&regs[0], &regs[1]);
+        let alias = l.alias_of.is_some() || r.alias_of.is_some();
         let vkey = (VerdictOp::Equivalent, l.key.clone(), r.key.clone());
-        if let Some(fields) = self.verdicts.lock().unwrap().get(&vkey) {
+        if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
         let cfg = self.containment_cfg(budget);
         let mut src = CachingSource {
             cache: &self.rewrites,
+            alias,
         };
         let (fwd, back) = match equivalent_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
             Ok(p) => p,
@@ -445,6 +517,7 @@ impl Engine {
         let cfg = self.eval_cfg(budget);
         let mut src = CachingSource {
             cache: &self.rewrites,
+            alias: regs[0].alias_of.is_some(),
         };
         let out = evaluate_with(&regs[0].omq, &db, &mut voc, &cfg, &mut src);
         let mut answers: Vec<Vec<String>> = out
@@ -477,6 +550,155 @@ impl Engine {
         let degraded = matches!(out.guarantee, EvalGuarantee::SoundLowerBound);
         (Ok(fields), degraded && budget.expired())
     }
+
+    /// `contains` plus evidence: a replayable chase derivation for
+    /// `not_contained`, per-disjunct homomorphism coverage for `contained`.
+    /// Uncached — explanations are bulky and rare relative to verdicts, and
+    /// a verdict-cache hit on the same pair stays cheap anyway.
+    fn op_explain(
+        &self,
+        lhs: &str,
+        rhs: &str,
+        budget: &Budget,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
+            Ok(s) => s,
+            Err(e) => return (Err(e), false),
+        };
+        let (l, r) = (&regs[0], &regs[1]);
+        let cfg = self.containment_cfg(budget);
+        // Always a direct source, never the rewrite cache: explanations
+        // *render* rewriting variables, and a cached artifact's VarIds were
+        // interned in the (discarded) vocabulary clone of whichever request
+        // computed it — they have no names in this request's snapshot.
+        // Recomputing keeps every id resolvable and the response identical
+        // whatever the cache state.
+        let mut src = DirectRewrite;
+        let ex = match explain_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
+            Ok(e) => e,
+            Err(e) => return (Err(e.into()), false),
+        };
+        let mut fields = contains_fields(&ex.outcome, &voc);
+        match &ex.detail {
+            ExplainDetail::NotContained(we) => {
+                fields.push((
+                    "witness_facts".to_owned(),
+                    Json::Arr(we.witness_facts.iter().map(Json::str).collect()),
+                ));
+                fields.push((
+                    "derivation".to_owned(),
+                    Json::Arr(
+                        we.derivation
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("tgd_index", Json::num(s.tgd_index)),
+                                    ("tgd", Json::str(s.tgd.clone())),
+                                    (
+                                        "inputs",
+                                        Json::Arr(s.inputs.iter().map(Json::str).collect()),
+                                    ),
+                                    (
+                                        "outputs",
+                                        Json::Arr(s.outputs.iter().map(Json::str).collect()),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            ExplainDetail::Contained(cov) => {
+                fields.push((
+                    "coverage".to_owned(),
+                    Json::obj([
+                        ("total_disjuncts", Json::num(cov.total_disjuncts)),
+                        (
+                            "shown",
+                            Json::Arr(
+                                cov.shown
+                                    .iter()
+                                    .map(|dc| {
+                                        Json::obj([
+                                            ("disjunct", Json::num(dc.disjunct)),
+                                            ("disjunct_cq", Json::str(dc.disjunct_cq.clone())),
+                                            (
+                                                "rhs_disjunct",
+                                                dc.rhs_disjunct.map_or(Json::Null, Json::num),
+                                            ),
+                                            (
+                                                "homomorphism",
+                                                Json::Obj(
+                                                    dc.homomorphism
+                                                        .iter()
+                                                        .map(|(v, t)| (v.clone(), Json::str(t)))
+                                                        .collect(),
+                                                ),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ));
+            }
+            ExplainDetail::Unknown(reason) => {
+                fields.push(("explain_unknown".to_owned(), Json::str(reason.clone())));
+            }
+        }
+        let definitive = !matches!(ex.outcome.result, ContainmentResult::Unknown(_));
+        (Ok(fields), !definitive && budget.expired())
+    }
+}
+
+/// The span/latency name of an op (`serve.<op>`).
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Register { .. } => "serve.register",
+        Op::Contains { .. } => "serve.contains",
+        Op::Equivalent { .. } => "serve.equivalent",
+        Op::Evaluate { .. } => "serve.evaluate",
+        Op::Classify { .. } => "serve.classify",
+        Op::Explain { .. } => "serve.explain",
+        Op::Stats => "serve.stats",
+    }
+}
+
+/// The `"trace"` response field: the request's per-phase wall-clock
+/// breakdown and counters (empty when the workspace `obs` feature is off —
+/// spans are no-ops then).
+fn trace_json(agg: &Aggregator) -> Json {
+    Json::obj([
+        (
+            "phases",
+            Json::Obj(
+                agg.phases()
+                    .into_iter()
+                    .map(|p| {
+                        (
+                            p.name.clone(),
+                            Json::obj([
+                                ("count", Json::num(p.count as usize)),
+                                ("total_us", Json::num((p.total_ns / 1_000) as usize)),
+                                ("p50_us", Json::num(p.p50_us as usize)),
+                                ("p99_us", Json::num(p.p99_us as usize)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Json::Obj(
+                agg.counters()
+                    .into_iter()
+                    .map(|(name, v)| (name, Json::num(v as usize)))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Renders a containment outcome as response fields (deterministic: the
@@ -636,6 +858,178 @@ mod tests {
         assert_eq!(
             line,
             r#"{"answers":[["b"],["c"]],"count":2,"guarantee":"exact","language":"(L,CQ)"}"#
+        );
+    }
+
+    #[test]
+    fn traced_request_reports_phases_and_stats_reports_latency() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a","trace":true}"#),
+            req(r#"{"id":2,"op":"contains","lhs":"a","rhs":"a"}"#),
+            req(r#"{"id":3,"op":"stats"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        let traced = Json::Obj(out[1].outcome.as_ref().unwrap().clone());
+        let trace = traced
+            .get("trace")
+            .expect("traced request has a trace field");
+        // With `obs` compiled in, the trace carries the root span and the
+        // solver phases; without it, spans are no-ops and it is empty.
+        #[cfg(feature = "obs")]
+        {
+            let phases = trace.get("phases").unwrap();
+            assert!(phases.get("serve.contains").is_some(), "root span present");
+            assert!(phases.get("contain").is_some(), "solver phases present");
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(trace.get("phases").is_some());
+        let untraced = Json::Obj(out[2].outcome.as_ref().unwrap().clone());
+        assert!(untraced.get("trace").is_none(), "untraced stays untraced");
+        let stats = Json::Obj(out[3].outcome.as_ref().unwrap().clone());
+        let lat = stats.get("latency").expect("stats has latency histograms");
+        let contains = lat.get("serve.contains").unwrap();
+        assert_eq!(contains.get("count").and_then(Json::as_u64), Some(2));
+        assert!(contains.get("p50_us").is_some());
+        assert!(contains.get("p99_us").is_some());
+        assert_eq!(
+            lat.get("serve.register")
+                .and_then(|o| o.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn explain_not_contained_derivation_replays_to_witness_facts() {
+        use std::collections::HashSet;
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        // lhs needs a chase step (Q is not in the data schema), rhs never
+        // holds over the lhs schema — so the witness derivation is non-empty.
+        let batch = vec![
+            req(
+                r#"{"op":"register","name":"a","program":"P(X) -> Q(X)\nq(X) :- Q(X)","schema":["P"],"query":"q"}"#,
+            ),
+            req(
+                r#"{"op":"register","name":"b","program":"q(X) :- T(X)","schema":["T"],"query":"q"}"#,
+            ),
+            req(r#"{"id":1,"op":"explain","lhs":"a","rhs":"b"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        let fields = Json::Obj(out[2].outcome.as_ref().unwrap().clone());
+        assert_eq!(
+            fields.get("verdict").and_then(Json::as_str),
+            Some("not_contained")
+        );
+        let strings = |v: &Json| -> Vec<String> {
+            v.as_array()
+                .unwrap()
+                .iter()
+                .map(|s| s.as_str().unwrap().to_owned())
+                .collect()
+        };
+        // Replay: start from the witness database, fire each derivation
+        // step (inputs must already be derived), end with the witness facts.
+        let mut state: HashSet<String> = strings(fields.get("witness").unwrap())
+            .into_iter()
+            .collect();
+        let derivation = fields.get("derivation").unwrap().as_array().unwrap();
+        assert!(!derivation.is_empty(), "chase step expected");
+        for step in derivation {
+            for input in strings(step.get("inputs").unwrap()) {
+                assert!(state.contains(&input), "unjustified input {input}");
+            }
+            state.extend(strings(step.get("outputs").unwrap()));
+            assert!(step.get("tgd").and_then(Json::as_str).is_some());
+        }
+        let witness_facts = strings(fields.get("witness_facts").unwrap());
+        assert!(!witness_facts.is_empty());
+        for fact in &witness_facts {
+            assert!(state.contains(fact), "witness fact {fact} not derived");
+        }
+    }
+
+    #[test]
+    fn explain_contained_reports_coverage() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"explain","lhs":"a","rhs":"a"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        let fields = Json::Obj(out[1].outcome.as_ref().unwrap().clone());
+        assert_eq!(
+            fields.get("verdict").and_then(Json::as_str),
+            Some("contained")
+        );
+        let cov = fields
+            .get("coverage")
+            .expect("contained explain has coverage");
+        let shown = cov.get("shown").unwrap().as_array().unwrap();
+        assert!(!shown.is_empty());
+        for dc in shown {
+            assert!(dc.get("rhs_disjunct").and_then(Json::as_u64).is_some());
+            assert!(matches!(dc.get("homomorphism"), Some(Json::Obj(pairs)) if !pairs.is_empty()));
+        }
+    }
+
+    /// Regression: `explain` after a cache-warming `contains` must not read
+    /// the rewrite cache — cached artifacts carry VarIds interned in a
+    /// *previous* request's vocabulary clone, which have no names in this
+    /// request's snapshot (rendering them used to panic).
+    #[test]
+    fn explain_after_warm_contains_matches_cold_explain() {
+        let run = |warm: bool| {
+            let eng = Engine::new(EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            });
+            let mut batch = vec![req(&register_line("a"))];
+            if warm {
+                batch.push(req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a"}"#));
+            }
+            batch.push(req(r#"{"id":2,"op":"explain","lhs":"a","rhs":"a"}"#));
+            let out = eng.execute_batch(&batch);
+            Json::Obj(out.last().unwrap().outcome.as_ref().unwrap().clone()).to_string()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "cache state must not leak into explain"
+        );
+    }
+
+    #[test]
+    fn alias_hits_are_counted_distinctly() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(&register_line("b")), // identical program: alias of "a"
+            req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a"}"#),
+            req(r#"{"id":2,"op":"contains","lhs":"b","rhs":"b"}"#),
+            req(r#"{"id":3,"op":"contains","lhs":"a","rhs":"a"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert_eq!(out[2].outcome, out[3].outcome);
+        let (_, vd) = eng.cache_stats();
+        assert_eq!(vd.insertions, 1);
+        assert_eq!(vd.hits, 2, "alias and same-name hits both count as hits");
+        assert_eq!(
+            vd.alias_hits, 1,
+            "only the alias-name probe is an alias hit"
         );
     }
 

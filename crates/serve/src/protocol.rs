@@ -13,15 +13,22 @@
 //! {"id":3,"op":"equivalent","lhs":"a","rhs":"b"}
 //! {"id":4,"op":"evaluate","name":"a","facts":["P(c)","R(c)"]}
 //! {"id":5,"op":"classify","name":"a"}
-//! {"id":6,"op":"stats"}
+//! {"id":6,"op":"explain","lhs":"a","rhs":"b"}
+//! {"id":7,"op":"stats"}
 //! ```
+//!
+//! Any request may carry `"trace":true`: the engine then instruments the
+//! solver run and appends a `"trace"` object (per-phase timings + counters)
+//! to the response.
 //!
 //! Responses are `{"id":...,"ok":true,...}` or
 //! `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`; a request
 //! whose deadline expired additionally carries `"timed_out":true` and a
 //! best-effort (`"unknown"` / lower-bound) payload rather than an error.
-//! Responses carry no wall-clock fields, so equal requests in equal states
-//! produce byte-identical lines (the differential suite relies on this).
+//! Responses carry no wall-clock fields *unless traced* (`"trace":true`
+//! opts the request out of byte-determinism), so equal untraced requests in
+//! equal states produce byte-identical lines (the differential suite relies
+//! on this).
 
 use crate::error::ServeError;
 use crate::json::{self, Json};
@@ -50,15 +57,21 @@ pub enum Op {
     Classify {
         name: String,
     },
+    Explain {
+        lhs: String,
+        rhs: String,
+    },
     Stats,
 }
 
 /// A request: optional client id (echoed back), optional per-request
-/// deadline in milliseconds (measured from batch arrival), and the job.
+/// deadline in milliseconds (measured from batch arrival), whether to
+/// instrument the run (`"trace":true`), and the job.
 #[derive(Clone, Debug)]
 pub struct Request {
     pub id: Option<Json>,
     pub deadline_ms: Option<u64>,
+    pub trace: bool,
     pub op: Op,
 }
 
@@ -123,6 +136,12 @@ pub fn parse_request(line: &str) -> Result<Request, Box<Response>> {
             ))
         })?),
     };
+    let trace = match v.get("trace") {
+        None => false,
+        Some(t) => t
+            .as_bool()
+            .ok_or_else(|| fail(ServeError::BadRequest("\"trace\" must be a boolean".into())))?,
+    };
     let op = match op_name {
         "register" => Op::Register {
             name: req_str(&v, "name").map_err(&fail)?,
@@ -145,12 +164,17 @@ pub fn parse_request(line: &str) -> Result<Request, Box<Response>> {
         "classify" => Op::Classify {
             name: req_str(&v, "name").map_err(&fail)?,
         },
+        "explain" => Op::Explain {
+            lhs: req_str(&v, "lhs").map_err(&fail)?,
+            rhs: req_str(&v, "rhs").map_err(&fail)?,
+        },
         "stats" => Op::Stats,
         other => return Err(fail(ServeError::UnknownOp(other.to_owned()))),
     };
     Ok(Request {
         id,
         deadline_ms,
+        trace,
         op,
     })
 }
@@ -201,10 +225,16 @@ mod tests {
         let r = parse_request(r#"{"op":"contains","lhs":"a","rhs":"b","deadline_ms":9}"#).unwrap();
         assert!(matches!(r.op, Op::Contains { .. }));
         assert_eq!(r.deadline_ms, Some(9));
+        assert!(!r.trace);
         assert!(matches!(
             parse_request(r#"{"op":"stats"}"#).unwrap().op,
             Op::Stats
         ));
+        let r = parse_request(r#"{"op":"explain","lhs":"a","rhs":"b","trace":true}"#).unwrap();
+        assert!(matches!(r.op, Op::Explain { .. }));
+        assert!(r.trace);
+        let bad = parse_request(r#"{"op":"stats","trace":"yes"}"#).unwrap_err();
+        assert!(matches!(bad.outcome, Err(ServeError::BadRequest(_))));
     }
 
     #[test]

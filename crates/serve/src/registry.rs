@@ -27,6 +27,9 @@ pub struct Registered {
     pub key: OmqKey,
     /// Detected language, computed once at registration.
     pub language: OmqLanguage,
+    /// Name of the earlier registration this one aliases (same canonical
+    /// key), if any. Lets the engine count alias-slot cache hits distinctly.
+    pub alias_of: Option<String>,
 }
 
 /// What a registration call reports back.
@@ -135,8 +138,15 @@ impl Registry {
         self.by_key
             .entry(key.clone())
             .or_insert_with(|| name.to_owned());
-        self.omqs
-            .insert(name.to_owned(), Registered { omq, key, language });
+        self.omqs.insert(
+            name.to_owned(),
+            Registered {
+                omq,
+                key,
+                language,
+                alias_of: alias_of.clone(),
+            },
+        );
         Ok(RegisterInfo {
             digest,
             language,
@@ -224,6 +234,8 @@ mod tests {
                        q(Z) :- R(Z,W), P(W)\n";
         let info = reg.register("b", variant, &["P", "T"], "q").unwrap();
         assert_eq!(info.alias_of.as_deref(), Some("a"));
+        assert_eq!(reg.get("b").unwrap().alias_of.as_deref(), Some("a"));
+        assert_eq!(reg.get("a").unwrap().alias_of, None);
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.distinct_keys(), 1);
     }

@@ -10,15 +10,30 @@ diffed against ``git show HEAD:<file>``. Records are matched by their
 drift in a *counter* column is flagged — counters are deterministic, so a
 counter drift is a semantics change, not noise. Timing-derived fields are
 never counters: any key ending in ``_ms`` or ``_us``, or starting with
-``speedup`` (the BENCH_serve.json throughput ratios), is noise.
+``speedup`` (the BENCH_serve.json throughput ratios), is noise. That rule
+covers the per-phase columns (``phase_*_us``, ``phase_*_p50_us``,
+``phase_*_p99_us``) and the best-of-N spread (``wall_min_ms`` /
+``wall_max_ms``) without special cases.
+
+Two report-only markers refine the noise story:
+
+* ``NOISY`` — the current row's best-of-N spread is wide
+  (``wall_max_ms > 1.5 * wall_min_ms``), so its wall-clock delta should
+  not be trusted;
+* ``PHASE`` — a phase's *share* of the row's total phase time moved by
+  more than 0.15 vs the baseline. Phase totals come from a separate
+  instrumented pass (see ``omq_bench::obsjson``), so absolute phase times
+  are not comparable to ``wall_ms`` — shares are the stable signal.
 
 Exit status: 0 normally; with ``--strict``, 1 if any counter drifted or any
-baseline workload disappeared (wall-clock changes never fail the diff).
+baseline workload disappeared (wall-clock changes, NOISY and PHASE markers
+never fail the diff).
 """
 
 import glob
 import json
 import os
+import re
 import subprocess
 import sys
 
@@ -59,6 +74,24 @@ def by_workload(records):
     return {r["workload"]: r for r in records}
 
 
+# A phase *total* column: phase_<name>_us, excluding the percentile columns.
+PHASE_TOTAL = re.compile(r"^phase_.*_us$")
+PHASE_PCTL = re.compile(r"_p\d+_us$")
+
+
+def phase_shares(record):
+    """Each phase total as a share of the row's summed phase time."""
+    totals = {
+        k: v
+        for k, v in record.items()
+        if PHASE_TOTAL.match(k) and not PHASE_PCTL.search(k)
+    }
+    grand = sum(totals.values())
+    if not grand:
+        return {}
+    return {k: v / grand for k, v in totals.items()}
+
+
 def diff_file(path):
     """Diffs one file; returns the number of hard (counter) drifts."""
     with open(path, encoding="utf-8") as f:
@@ -81,6 +114,20 @@ def diff_file(path):
         rel = (c_ms - b_ms) / b_ms * 100 if b_ms else float("inf")
         marker = " " if abs(rel) < 20 else ("+" if rel > 0 else "-")
         print(f"  {marker} {name:<40} {b_ms:9.3f} -> {c_ms:9.3f} ms ({rel:+6.1f}%)")
+        lo, hi = cur.get("wall_min_ms"), cur.get("wall_max_ms")
+        if lo is not None and hi is not None and hi > 1.5 * lo:
+            print(
+                f"   NOISY    {name}: best-of spread {lo:.3f}..{hi:.3f} ms"
+                " — wall delta untrustworthy"
+            )
+        base_shares = phase_shares(base)
+        for key, share in sorted(phase_shares(cur).items()):
+            b_share = base_shares.get(key)
+            if b_share is not None and abs(share - b_share) > 0.15:
+                print(
+                    f"   PHASE    {name}: {key} share"
+                    f" {b_share:.2f} -> {share:.2f}"
+                )
         ceiling = WALL_CEILINGS.get(name)
         if ceiling is not None and c_ms > ceiling:
             print(f"   CEILING  {name}: wall_ms {c_ms:.3f} > {ceiling:.0f}")

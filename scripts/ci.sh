@@ -21,6 +21,15 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q --release --workspace
 
+echo "==> tier-1 with observability compiled out (--no-default-features)"
+# Separate target dir so the two feature configurations don't thrash each
+# other's incremental caches. Proves every omq_obs entry point compiles to
+# a no-op surface with identical call sites.
+cargo clippy --workspace --all-targets --release --no-default-features \
+    --target-dir target/noobs -- -D warnings
+cargo test -q --release --workspace --no-default-features \
+    --target-dir target/noobs
+
 echo "==> perf smoke (writes BENCH_chase.json, BENCH_rewrite.json)"
 cargo run -q --release -p omq-bench --bin perf_smoke
 
@@ -52,15 +61,23 @@ SERVE_OUT=$(printf '%s\n' \
   '{"id":2,"op":"contains","lhs":"s","rhs":"s","deadline_ms":0}' \
   '{"id":3,"op":"contains","lhs":"s","rhs":"s"}' \
   '{"id":4,"op":"evaluate","name":"s","facts":["P(a)"]}' \
-  '{"id":5,"op":"stats"}' \
+  '{"id":5,"op":"contains","lhs":"s","rhs":"s","trace":true}' \
+  '{"id":6,"op":"explain","lhs":"s","rhs":"s"}' \
+  '{"id":7,"op":"register","name":"t","program":"q(X) :- T(X)","schema":["T"],"query":"q"}' \
+  '{"id":8,"op":"explain","lhs":"s","rhs":"t"}' \
+  '{"id":9,"op":"stats"}' \
   | ./target/release/omq-serve)
 echo "$SERVE_OUT" | jq -s -e '
-    length == 5
+    length == 9
     and (.[0].ok and .[0].registered == "s")
     and (.[1].timed_out == true and .[1].verdict == "unknown")
     and (.[2].ok and .[2].verdict == "contained")
     and (.[3].ok and .[3].answers == [["a"]])
-    and (.[4].ok and .[4].registered == 1)
+    and (.[4].ok and .[4].verdict == "contained" and (.[4].trace.phases | has("serve.contains")))
+    and (.[5].ok and .[5].verdict == "contained" and (.[5].coverage.shown | length > 0))
+    and (.[6].ok and .[6].registered == "t")
+    and (.[7].ok and .[7].verdict == "not_contained" and (.[7] | has("derivation")))
+    and (.[8].ok and .[8].registered == 2 and (.[8].latency | has("serve.contains")))
 ' >/dev/null || {
     echo "serve smoke test failed; responses were:" >&2
     echo "$SERVE_OUT" >&2
@@ -78,6 +95,18 @@ jq -e 'map(select(.workload == "serve:summary")) | .[0].speedup_warm_over_cold >
     echo "warm/cold containment speedup fell below the 10x floor" >&2
     exit 1
 }
+
+echo "==> phase breakdown present in every BENCH row"
+# The default-features build records a per-phase breakdown for every bench
+# row (perf_smoke and serve_bench both run one instrumented pass per row);
+# a row without any phase_*_us key means a workload escaped instrumentation.
+for bench in BENCH_chase.json BENCH_rewrite.json BENCH_serve.json; do
+    jq -e 'all(.[]; [keys[] | select(test("^phase_.*_us$"))] | length > 0)' \
+        "$bench" >/dev/null || {
+        echo "$bench has rows without a phase_*_us breakdown" >&2
+        exit 1
+    }
+done
 
 echo "==> bench diff vs committed baseline"
 python3 scripts/bench_diff.py || true
