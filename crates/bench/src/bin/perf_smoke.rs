@@ -1,8 +1,9 @@
 //! A fixed, small benchmark sweep for regression tracking.
 //!
-//! Runs in well under a minute and writes `BENCH_chase.json` and
-//! `BENCH_rewrite.json` (arrays of per-workload records) to the current
-//! directory, or to the paths given as the first and second argument.
+//! Runs in well under a minute and writes `BENCH_chase.json`,
+//! `BENCH_rewrite.json`, and `BENCH_guarded.json` (arrays of per-workload
+//! records) to the current directory, or to the paths given as the first,
+//! second, and third argument.
 //! Timings are best-of-three — `wall_ms` is the best run, and each row also
 //! carries the `wall_min_ms`/`wall_max_ms` spread so scripts/bench_diff.py
 //! can flag noisy rows instead of trusting a lucky best. All workloads are
@@ -39,14 +40,23 @@
 //!   (`candidates_scanned`, `plan_cache_hits`) measured as process-global
 //!   counter deltas around one chase, one rewriting, and one containment
 //!   run; single-run, since the counters are deterministic per run.
+//! * `guarded:*` (BENCH_guarded.json) — the reduction workloads from
+//!   `crates/reductions`: certain answers of the Prop. 15/18 witness family
+//!   on its full-witness database, and the Thm. 16 tiling-reduction
+//!   containment check (paper-report E7 "no" case). Counters are
+//!   process-global deltas like the `hom:*` rows.
+//!
+//! Every family carries the adaptive-planner counters (`plans_reoptimized`
+//! deterministic, `sketch_build_us` timing noise).
 
 use std::time::Instant;
 
 use omq_bench::obsjson::{instrumented_pass, phase_fields};
 use omq_bench::workloads::{
     guarded_seed_db, guarded_workload, linear_workload, nr_workload, random_db, sticky_workload,
+    tiling_workload, witness_db, witness_workload,
 };
-use omq_chase::{chase, global_hom_snapshot, ChaseConfig, ChaseStats};
+use omq_chase::{certain_answers_via_chase, chase, global_hom_snapshot, ChaseConfig, ChaseStats};
 use omq_core::{contains, ContainmentConfig};
 use omq_rewrite::{xrewrite, XRewriteConfig};
 
@@ -55,6 +65,7 @@ struct Record {
     timing: Timing,
     triggers_fired: usize,
     atoms: usize,
+    plans_reoptimized: u64,
     phases: String,
 }
 
@@ -64,6 +75,8 @@ struct RewriteRecord {
     generated: usize,
     candidates: usize,
     disjuncts: usize,
+    plans_reoptimized: u64,
+    sketch_build_us: u64,
     phases: String,
 }
 
@@ -72,6 +85,8 @@ struct HomRecord {
     timing: Timing,
     candidates_scanned: u64,
     plan_cache_hits: u64,
+    plans_reoptimized: u64,
+    sketch_build_us: u64,
     phases: String,
 }
 
@@ -111,6 +126,27 @@ fn hom_record(label: &str, f: impl Fn()) -> HomRecord {
         },
         candidates_scanned: after.candidates_scanned - before.candidates_scanned,
         plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
+        plans_reoptimized: after.plans_reoptimized - before.plans_reoptimized,
+        sketch_build_us: (after.sketch_build_ns - before.sketch_build_ns) / 1_000,
+        phases: phase_fields(&agg),
+    }
+}
+
+/// Like [`hom_record`] but with best-of-3 wall timing: the guarded-path
+/// reduction rows are real workloads, not counter probes.
+fn guarded_record(label: &str, f: impl Fn()) -> HomRecord {
+    let ((), timing) = best_of(3, &f);
+    let before = global_hom_snapshot();
+    f();
+    let after = global_hom_snapshot();
+    let ((), agg) = instrumented_pass(&[], &f);
+    HomRecord {
+        workload: label.to_owned(),
+        timing,
+        candidates_scanned: after.candidates_scanned - before.candidates_scanned,
+        plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
+        plans_reoptimized: after.plans_reoptimized - before.plans_reoptimized,
+        sketch_build_us: (after.sketch_build_ns - before.sketch_build_ns) / 1_000,
         phases: phase_fields(&agg),
     }
 }
@@ -147,6 +183,7 @@ fn chase_record(label: String, mk: impl Fn() -> (usize, ChaseStats)) -> Record {
         timing,
         triggers_fired: stats.triggers_fired,
         atoms,
+        plans_reoptimized: stats.plans_reoptimized,
         phases: phase_fields(&agg),
     }
 }
@@ -158,6 +195,9 @@ fn main() {
     let rewrite_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_rewrite.json".into());
+    let guarded_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_guarded.json".into());
     let mut records = Vec::new();
 
     for chain in [8usize, 16, 32] {
@@ -200,6 +240,7 @@ fn main() {
             timing,
             triggers_fired: 0,
             atoms: 0,
+            plans_reoptimized: 0,
             phases: phase_fields(&agg),
         });
     }
@@ -214,6 +255,8 @@ fn main() {
             generated: out.generated,
             candidates: out.stats.candidates,
             disjuncts: out.ucq.disjuncts.len(),
+            plans_reoptimized: out.stats.plans_reoptimized,
+            sketch_build_us: out.stats.sketch_build_ns / 1_000,
             phases: phase_fields(&agg),
         });
     };
@@ -268,6 +311,52 @@ fn main() {
         }));
     }
 
+    // Guarded/reduction rows: the Prop. 15/18 witness family evaluated on
+    // its full-witness database, and the Thm. 16 tiling reduction's
+    // containment check.
+    let mut guarded_rows = Vec::new();
+    {
+        let n = 3;
+        let (omq, voc) = witness_workload(n);
+        guarded_rows.push(guarded_record("guarded:witness counter n=3", || {
+            let mut voc = voc.clone();
+            let db = witness_db(n, &mut voc);
+            let ans = certain_answers_via_chase(&omq, &db, &mut voc, &ChaseConfig::default())
+                .expect("witness chase terminates");
+            assert!(!ans.is_empty(), "full witness derives Ans(0,1)");
+        }));
+    }
+    {
+        let omqs = tiling_workload();
+        guarded_rows.push(guarded_record("guarded:tiling etp k=2 m=2", || {
+            let mut voc = omqs.voc.clone();
+            let out =
+                contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap();
+            std::hint::black_box(out.witnesses_checked);
+        }));
+    }
+
+    let hom_line = |r: &HomRecord| {
+        println!(
+            "{:<32} {:>9.3} ms  scanned={:<9} cache_hits={} reopt={}",
+            r.workload,
+            r.timing.wall_ms,
+            r.candidates_scanned,
+            r.plan_cache_hits,
+            r.plans_reoptimized
+        );
+        format!(
+            "  {{\"workload\": \"{}\", {}, \"candidates_scanned\": {}, \"plan_cache_hits\": {}, \"plans_reoptimized\": {}, \"sketch_build_us\": {}{}}}",
+            r.workload,
+            r.timing.fields(),
+            r.candidates_scanned,
+            r.plan_cache_hits,
+            r.plans_reoptimized,
+            r.sketch_build_us,
+            r.phases
+        )
+    };
+
     let mut lines: Vec<String> = records
         .iter()
         .map(|r| {
@@ -276,29 +365,17 @@ fn main() {
                 r.workload, r.timing.wall_ms, r.triggers_fired, r.atoms
             );
             format!(
-                "  {{\"workload\": \"{}\", {}, \"triggers_fired\": {}, \"atoms\": {}{}}}",
+                "  {{\"workload\": \"{}\", {}, \"triggers_fired\": {}, \"atoms\": {}, \"plans_reoptimized\": {}{}}}",
                 r.workload,
                 r.timing.fields(),
                 r.triggers_fired,
                 r.atoms,
+                r.plans_reoptimized,
                 r.phases
             )
         })
         .collect();
-    lines.extend(hom_rows.iter().map(|r| {
-        println!(
-            "{:<32} {:>9.3} ms  scanned={:<9} cache_hits={}",
-            r.workload, r.timing.wall_ms, r.candidates_scanned, r.plan_cache_hits
-        );
-        format!(
-            "  {{\"workload\": \"{}\", {}, \"candidates_scanned\": {}, \"plan_cache_hits\": {}{}}}",
-            r.workload,
-            r.timing.fields(),
-            r.candidates_scanned,
-            r.plan_cache_hits,
-            r.phases
-        )
-    }));
+    lines.extend(hom_rows.iter().map(hom_line));
     let json = format!("[\n{}\n]\n", lines.join(",\n"));
     std::fs::write(&out_path, json).expect("writing benchmark output");
     println!("wrote {out_path}");
@@ -306,12 +383,14 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, r) in rewrites.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"workload\": \"{}\", {}, \"generated\": {}, \"candidates\": {}, \"disjuncts\": {}{}}}{}\n",
+            "  {{\"workload\": \"{}\", {}, \"generated\": {}, \"candidates\": {}, \"disjuncts\": {}, \"plans_reoptimized\": {}, \"sketch_build_us\": {}{}}}{}\n",
             r.workload,
             r.timing.fields(),
             r.generated,
             r.candidates,
             r.disjuncts,
+            r.plans_reoptimized,
+            r.sketch_build_us,
             r.phases,
             if i + 1 < rewrites.len() { "," } else { "" }
         ));
@@ -323,4 +402,9 @@ fn main() {
     json.push_str("]\n");
     std::fs::write(&rewrite_path, json).expect("writing rewrite benchmark output");
     println!("wrote {rewrite_path}");
+
+    let guarded_lines: Vec<String> = guarded_rows.iter().map(hom_line).collect();
+    let json = format!("[\n{}\n]\n", guarded_lines.join(",\n"));
+    std::fs::write(&guarded_path, json).expect("writing guarded benchmark output");
+    println!("wrote {guarded_path}");
 }

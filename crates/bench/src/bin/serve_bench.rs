@@ -139,6 +139,7 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_serve.json".into());
+    let hom_before = omq_chase::global_hom_snapshot();
     let mut rows: Vec<Row> = Vec::new();
 
     // Sweep-wide aggregator: sees every instrumented replay, feeds the
@@ -224,8 +225,14 @@ fn main() {
             r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, r.cache_hits
         );
     }
+    // Adaptive-planner work across the whole sweep (process-global deltas;
+    // deterministic per run — replan decisions depend only on instance
+    // content and per-request call order).
+    let hom_after = omq_chase::global_hom_snapshot();
     json.push_str(&format!(
-        "  {{\"workload\": \"serve:summary\", \"wall_ms\": 0.0, \"speedup_warm_over_cold\": {speedup:.2}{}}}\n]\n",
+        "  {{\"workload\": \"serve:summary\", \"wall_ms\": 0.0, \"speedup_warm_over_cold\": {speedup:.2}, \"plans_reoptimized\": {}, \"sketch_build_us\": {}{}}}\n]\n",
+        hom_after.plans_reoptimized - hom_before.plans_reoptimized,
+        (hom_after.sketch_build_ns - hom_before.sketch_build_ns) / 1_000,
         phase_fields(&sweep)
     ));
     println!("serve:summary                speedup_warm_over_cold={speedup:.2}");

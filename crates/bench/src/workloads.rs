@@ -198,6 +198,48 @@ pub fn marking_chain(k: usize, keep_join: bool) -> (Vec<Tgd>, Vocabulary) {
     (sigma, voc)
 }
 
+/// Prop. 15/18 witness family (`crates/reductions`): the binary-counter
+/// OMQ `Qⁿ` whose non-emptiness witnesses need all `2ⁿ` atoms
+/// `S(b̄,0,1)`.
+pub fn witness_workload(n: usize) -> (Omq, Vocabulary) {
+    omq_reductions::witness_families::counter_family(n)
+}
+
+/// The full-witness database `{S(b̄,0,1) : b̄ ∈ {0,1}ⁿ}` for
+/// [`witness_workload`] — the smallest database on which `Qⁿ` is
+/// non-empty.
+pub fn witness_db(n: usize, voc: &mut Vocabulary) -> Instance {
+    let s = voc.pred_id("S").expect("witness workload declares S");
+    let zero = Term::Const(voc.constant("0"));
+    let one = Term::Const(voc.constant("1"));
+    let mut d = Instance::new();
+    for bits in 0..(1u32 << n) {
+        let mut args: Vec<Term> = (0..n)
+            .map(|j| if bits >> j & 1 == 1 { one } else { zero })
+            .collect();
+        args.push(zero);
+        args.push(one);
+        d.insert(Atom::new(s, args));
+    }
+    d
+}
+
+/// The Thm. 16 tiling reduction (`crates/reductions`): the paper-report E7
+/// "no" case (`T₁` solves `s = [1,1]`, the alternating `T₂` cannot)
+/// compiled to a containment instance `(Q₁, Q₂)`.
+pub fn tiling_workload() -> omq_reductions::EtpOmqs {
+    let alt = vec![(1u8, 2u8), (2, 1)];
+    omq_reductions::etp_to_containment(&omq_reductions::Etp {
+        k: 2,
+        n: 1,
+        m: 2,
+        h1: omq_reductions::tiling::all_pairs(2),
+        v1: omq_reductions::tiling::all_pairs(2),
+        h2: alt.clone(),
+        v2: alt,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

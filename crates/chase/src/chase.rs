@@ -141,6 +141,17 @@ pub struct ChaseStats {
     pub plan_cache_hits: u64,
     /// Homomorphism checks rejected by the predicate-signature prefilter.
     pub prefilter_rejects: u64,
+    /// Cached plans recompiled after observed probe work diverged from the
+    /// cost model's prediction (see [`crate::hom::REOPT_FACTOR`]).
+    pub plans_reoptimized: u64,
+    /// Costed-plan executions whose observed candidates were ≤ prediction.
+    pub est_ratio_le_1: u64,
+    /// Costed-plan executions within `REOPT_FACTOR`× of prediction.
+    pub est_ratio_le_4: u64,
+    /// Costed-plan executions beyond `REOPT_FACTOR`× of prediction.
+    pub est_ratio_gt_4: u64,
+    /// Nanoseconds spent building cardinality sketches for plan costing.
+    pub sketch_build_ns: u64,
 }
 
 impl ChaseStats {
@@ -151,6 +162,11 @@ impl ChaseStats {
         self.plans_compiled += h.plans_compiled;
         self.plan_cache_hits += h.plan_cache_hits;
         self.prefilter_rejects += h.prefilter_rejects;
+        self.plans_reoptimized += h.plans_reoptimized;
+        self.est_ratio_le_1 += h.est_ratio_le_1;
+        self.est_ratio_le_4 += h.est_ratio_le_4;
+        self.est_ratio_gt_4 += h.est_ratio_gt_4;
+        self.sketch_build_ns += h.sketch_build_ns;
     }
 
     /// Mirrors the counters into the installed omq-obs recorder, once per
@@ -171,6 +187,10 @@ impl ChaseStats {
             ("hom.plans_compiled", self.plans_compiled),
             ("hom.plan_cache_hits", self.plan_cache_hits),
             ("hom.prefilter_rejects", self.prefilter_rejects),
+            ("hom.plans_reoptimized", self.plans_reoptimized),
+            ("hom.est_ratio_le_1", self.est_ratio_le_1),
+            ("hom.est_ratio_le_4", self.est_ratio_le_4),
+            ("hom.est_ratio_gt_4", self.est_ratio_gt_4),
         ]);
     }
 }
@@ -229,8 +249,18 @@ struct TgdPlan {
 }
 
 impl TgdPlan {
-    fn new(t: &Tgd, variant: ChaseVariant, cache: &mut PlanCache, hstats: &mut HomStats) -> Self {
-        let body_base = cache.get_or_compile(&t.body, &[], None, hstats);
+    fn new(
+        t: &Tgd,
+        variant: ChaseVariant,
+        cache: &mut PlanCache,
+        db: &Instance,
+        hstats: &mut HomStats,
+    ) -> Self {
+        // Cost the body plan against the initial database; the runner's
+        // round-0 fetch revisits the same cache entry and re-optimizes it if
+        // observed probe work diverges. Slot layout (and thus the trigger
+        // key) depends only on the atom set, not the join order.
+        let body_base = cache.get_or_compile_costed(&t.body, &[], None, db, hstats);
         let mut frontier = t.frontier();
         frontier.sort_unstable();
         frontier.dedup();
@@ -309,7 +339,7 @@ impl<'a> Runner<'a> {
         let mut hstats = HomStats::default();
         let tgd_plans = sigma
             .iter()
-            .map(|t| TgdPlan::new(t, cfg.variant, &mut plans, &mut hstats))
+            .map(|t| TgdPlan::new(t, cfg.variant, &mut plans, db, &mut hstats))
             .collect();
         stats.absorb_hom(hstats);
         Runner {
@@ -498,19 +528,26 @@ impl<'a> Runner<'a> {
                 triggers.clear();
                 let mut hstats = HomStats::default();
                 let push = |triggers: &mut Vec<Vec<Term>>, h: &crate::hom::HomView| {
-                    triggers.push(
-                        h.bindings()
-                            .iter()
-                            .map(|t| t.expect("complete hom binds all slots"))
-                            .collect(),
-                    );
+                    triggers.push(h.codes().iter().map(|&c| Term::from_code(c)).collect());
                 };
                 if delta_start == 0 {
-                    let plan = Arc::clone(&self.tgd_plans[ti].body_base);
+                    let plan = self.plans.get_or_compile_costed(
+                        &tgd.body,
+                        &[],
+                        None,
+                        &self.instance,
+                        &mut hstats,
+                    );
+                    let before = hstats.candidates_scanned;
                     let _ = plan.execute(&self.instance, &[], None, &mut hstats, |h| {
                         push(&mut triggers, h);
                         ControlFlow::<()>::Continue(())
                     });
+                    self.plans.note_execution(
+                        &plan,
+                        hstats.candidates_scanned - before,
+                        &mut hstats,
+                    );
                 } else if delta_start < self.instance.len() {
                     // One pivoted plan per body atom that can touch the
                     // delta: the pivot atom is confined to new instance
@@ -523,9 +560,13 @@ impl<'a> Runner<'a> {
                         {
                             continue;
                         }
-                        let plan = self
-                            .plans
-                            .get_or_compile(&tgd.body, &[], Some(p), &mut hstats);
+                        let plan = self.plans.get_or_compile_costed(
+                            &tgd.body,
+                            &[],
+                            Some(p),
+                            &self.instance,
+                            &mut hstats,
+                        );
                         let ranges: Vec<(usize, usize)> = (0..tgd.body.len())
                             .map(|i| match i.cmp(&p) {
                                 std::cmp::Ordering::Less => (0, delta_start),
@@ -533,11 +574,17 @@ impl<'a> Runner<'a> {
                                 std::cmp::Ordering::Greater => (0, NO_LIMIT),
                             })
                             .collect();
+                        let before = hstats.candidates_scanned;
                         let _ =
                             plan.execute(&self.instance, &[], Some(&ranges), &mut hstats, |h| {
                                 push(&mut triggers, h);
                                 ControlFlow::<()>::Continue(())
                             });
+                        self.plans.note_execution(
+                            &plan,
+                            hstats.candidates_scanned - before,
+                            &mut hstats,
+                        );
                     }
                 }
                 self.stats.absorb_hom(hstats);

@@ -44,7 +44,7 @@ pub fn cq_contained_stats(q1: &Cq, q2: &Cq, stats: &mut HomStats) -> bool {
         return false;
     }
     let (frozen, head1) = freeze_to_nulls(q1);
-    let plan = JoinPlan::compile(&q2.body, &q2.head, None);
+    let plan = crate::hom::compile_costed_for(&q2.body, &q2.head, None, &frozen, stats);
     stats.plans_compiled += 1;
     let pairs: Vec<(VarId, Term)> = q2.head.iter().copied().zip(head1.iter().copied()).collect();
     let Some(seed) = plan.seed_values(&pairs) else {
@@ -834,9 +834,15 @@ fn pred_mask(q: &Cq) -> u64 {
     pred_sig(&q.body)
 }
 
-fn compile_entry_plan(cq: &Cq, stats: &mut HomStats) -> Arc<JoinPlan> {
+/// Compiles `cq`'s probe plan costed against `target`, the frozen instance
+/// it is about to (or will typically) probe. A stored entry plan later runs
+/// against *other* disjuncts' frozen bodies; its own frozen body is a good
+/// cardinality proxy because sieve disjuncts are structurally close.
+fn compile_entry_plan(cq: &Cq, target: &Instance, stats: &mut HomStats) -> Arc<JoinPlan> {
     stats.plans_compiled += 1;
-    Arc::new(JoinPlan::compile(&cq.body, &cq.head, None))
+    Arc::new(crate::hom::compile_costed_for(
+        &cq.body, &cq.head, None, target, stats,
+    ))
 }
 
 /// `sub ⊆ sup`, with `sub` pre-frozen and `sup`'s plan (body seeded on
@@ -859,8 +865,12 @@ fn contained_in_frozen(
     let Some(seed) = plan.seed_values(&pairs) else {
         return false; // repeated head variable with conflicting images
     };
-    plan.execute(sub_frozen, &seed, None, stats, |_| ControlFlow::Break(()))
-        .is_break()
+    let before = stats.candidates_scanned;
+    let hit = plan
+        .execute(sub_frozen, &seed, None, stats, |_| ControlFlow::Break(()))
+        .is_break();
+    crate::hom::record_estimate_quality(plan, stats.candidates_scanned - before, stats);
+    hit
 }
 
 impl SubsumptionSieve {
@@ -897,7 +907,7 @@ impl SubsumptionSieve {
                 record_plan_reuse(&mut self.stats);
                 Arc::clone(&k.plan)
             } else {
-                compile_entry_plan(&k.cq, &mut self.stats)
+                compile_entry_plan(&k.cq, &frozen, &mut self.stats)
             };
             if contained_in_frozen(&plan, &k.cq.head, &frozen, &head, &mut self.stats) {
                 rejected = true;
@@ -908,7 +918,7 @@ impl SubsumptionSieve {
             self.kills += 1;
             return false;
         }
-        let plan = compile_entry_plan(&cq, &mut self.stats);
+        let plan = compile_entry_plan(&cq, &frozen, &mut self.stats);
         let before = self.kept.len();
         let stats = &mut self.stats;
         self.kept.retain(|k| {
@@ -920,7 +930,7 @@ impl SubsumptionSieve {
                 record_plan_reuse(stats);
                 Arc::clone(&plan)
             } else {
-                compile_entry_plan(&cq, stats)
+                compile_entry_plan(&cq, &k.frozen, stats)
             };
             !contained_in_frozen(&p, &cq.head, &k.frozen, &k.head, stats)
         });

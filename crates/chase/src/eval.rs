@@ -17,14 +17,14 @@ use crate::hom::{
 
 /// Evaluates a CQ: all constant answer tuples `h(x̄)`.
 pub fn eval_cq(q: &Cq, inst: &Instance) -> HashSet<Vec<ConstId>> {
-    let plan = JoinPlan::compile(&q.body, &[], None);
+    let mut stats = HomStats::default();
+    let plan = crate::hom::compile_costed_for(&q.body, &[], None, inst, &mut stats);
     let head_slots: Vec<usize> = q
         .head
         .iter()
         .map(|&v| plan.slot_of(v).expect("head variables occur in the body"))
         .collect();
     let mut out = HashSet::new();
-    let mut stats = HomStats::default();
     let _ = plan.execute(inst, &[], None, &mut stats, |h| {
         if let Some(tuple) = const_tuple(h, &head_slots) {
             out.insert(tuple);
@@ -62,8 +62,8 @@ pub fn eval_ucq(q: &Ucq, inst: &Instance) -> HashSet<Vec<ConstId>> {
 /// the answer set would be non-empty *ignoring* the constants-only filter,
 /// i.e. whether some homomorphism exists at all.
 pub fn holds_cq(q: &Cq, inst: &Instance) -> bool {
-    let plan = JoinPlan::compile(&q.body, &[], None);
     let mut stats = HomStats::default();
+    let plan = crate::hom::compile_costed_for(&q.body, &[], None, inst, &mut stats);
     plan.execute(inst, &[], None, &mut stats, |_| ControlFlow::Break(()))
         .is_break()
 }

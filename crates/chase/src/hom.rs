@@ -32,8 +32,9 @@ use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use omq_model::{Atom, Instance, PredId, Term, VarId};
+use omq_model::{Atom, CardSketch, Instance, PredId, Term, VarId};
 
 /// A variable assignment: the mapping `h` restricted to variables. Constants
 /// are always mapped to themselves (homomorphisms are the identity on `C`).
@@ -55,6 +56,22 @@ pub struct HomStats {
     /// CQ→CQ checks rejected by the predicate-signature prefilter before
     /// any plan executed.
     pub prefilter_rejects: u64,
+    /// Cached cost-based plans recompiled because their observed probe work
+    /// diverged from the predicted cost (see [`PlanCache`]).
+    pub plans_reoptimized: u64,
+    /// Costed-plan executions whose scanned candidates were at or under the
+    /// predicted cost (estimate held).
+    pub est_ratio_le_1: u64,
+    /// Costed-plan executions whose scanned candidates exceeded the
+    /// prediction by up to the re-optimization factor.
+    pub est_ratio_le_4: u64,
+    /// Costed-plan executions whose scanned candidates exceeded the
+    /// prediction by more than the re-optimization factor.
+    pub est_ratio_gt_4: u64,
+    /// Nanoseconds spent building cardinality sketches for cost-based
+    /// planning (timing-derived: deterministic across runs only in the
+    /// sense of "some positive number"; never compare exact values).
+    pub sketch_build_ns: u64,
 }
 
 impl HomStats {
@@ -66,6 +83,11 @@ impl HomStats {
         self.plans_compiled += other.plans_compiled;
         self.plan_cache_hits += other.plan_cache_hits;
         self.prefilter_rejects += other.prefilter_rejects;
+        self.plans_reoptimized += other.plans_reoptimized;
+        self.est_ratio_le_1 += other.est_ratio_le_1;
+        self.est_ratio_le_4 += other.est_ratio_le_4;
+        self.est_ratio_gt_4 += other.est_ratio_gt_4;
+        self.sketch_build_ns += other.sketch_build_ns;
     }
 }
 
@@ -78,6 +100,11 @@ static G_HOMS_FOUND: AtomicU64 = AtomicU64::new(0);
 static G_PLANS_COMPILED: AtomicU64 = AtomicU64::new(0);
 static G_PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static G_PREFILTER_REJECTS: AtomicU64 = AtomicU64::new(0);
+static G_PLANS_REOPTIMIZED: AtomicU64 = AtomicU64::new(0);
+static G_EST_RATIO_LE_1: AtomicU64 = AtomicU64::new(0);
+static G_EST_RATIO_LE_4: AtomicU64 = AtomicU64::new(0);
+static G_EST_RATIO_GT_4: AtomicU64 = AtomicU64::new(0);
+static G_SKETCH_BUILD_NS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide kernel counters (all searches since
 /// process start, across every thread). Monotone between calls.
@@ -89,6 +116,11 @@ pub fn global_hom_snapshot() -> HomStats {
         plans_compiled: G_PLANS_COMPILED.load(Ordering::Relaxed),
         plan_cache_hits: G_PLAN_CACHE_HITS.load(Ordering::Relaxed),
         prefilter_rejects: G_PREFILTER_REJECTS.load(Ordering::Relaxed),
+        plans_reoptimized: G_PLANS_REOPTIMIZED.load(Ordering::Relaxed),
+        est_ratio_le_1: G_EST_RATIO_LE_1.load(Ordering::Relaxed),
+        est_ratio_le_4: G_EST_RATIO_LE_4.load(Ordering::Relaxed),
+        est_ratio_gt_4: G_EST_RATIO_GT_4.load(Ordering::Relaxed),
+        sketch_build_ns: G_SKETCH_BUILD_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -214,12 +246,124 @@ pub(crate) fn join_order(atoms: &[Atom], seeded: &[VarId], first: Option<usize>)
     order
 }
 
+/// A costed plan's observed probe work may exceed its prediction by this
+/// factor before a [`PlanCache`] re-optimizes it against fresh statistics.
+/// Deterministic by construction: the decision depends only on counters
+/// that are themselves deterministic per call sequence.
+pub const REOPT_FACTOR: u64 = 4;
+
+/// Predictions below this floor are never re-optimization triggers — tiny
+/// plans mispredict by large *ratios* while the absolute waste is noise.
+pub const REOPT_FLOOR: u64 = 64;
+
+/// Cost-based join ordering over a [`CardSketch`]: picks, at each step, the
+/// unplaced atom with the fewest *estimated candidates per probe* and
+/// propagates bound variables forward. Returns the order plus the predicted
+/// total candidate scans (`Σ frontier × est_candidates`, saturating).
+///
+/// Estimation: an atom over predicate `p` with `rows` matching atoms is
+/// probed through its most selective bound position (`rows / distinct`,
+/// rounded up); with no bound position the probe is a full predicate scan
+/// (`rows`). The estimated match count per partial assignment — the
+/// frontier multiplier — divides `rows` by the product of the bound
+/// positions' distinct counts (floored at 1 while the predicate is
+/// non-empty). Empty predicates cost 0 and zero the frontier, which sorts
+/// them to the front — exactly where a doomed search should start.
+///
+/// Like [`join_order`], fully deterministic: sketch lookups are keyed (no
+/// hash iteration), ties keep (fewer unbound variables, lowest atom index),
+/// and `first` pins the semi-naive pivot.
+pub(crate) fn cost_order(
+    atoms: &[Atom],
+    seeded: &[VarId],
+    first: Option<usize>,
+    sketch: &CardSketch,
+) -> (Vec<usize>, u64) {
+    let n = atoms.len();
+    let mut placed = vec![false; n];
+    let mut bound: Vec<VarId> = seeded.to_vec();
+    debug_assert!(
+        bound.windows(2).all(|w| w[0] < w[1]),
+        "seeded sorted+deduped"
+    );
+    fn bind(bound: &mut Vec<VarId>, atom: &Atom) {
+        for v in atom.vars() {
+            if let Err(i) = bound.binary_search(&v) {
+                bound.insert(i, v);
+            }
+        }
+    }
+    // Estimated candidate scans per probe and estimated matches per probe
+    // for `atom` under the current bound set; also reports the unbound
+    // variable count for tie-breaking.
+    let estimate = |atom: &Atom, bound: &[VarId]| -> (u64, u64, usize) {
+        let rows = sketch.rows(atom.pred);
+        if rows == 0 {
+            return (0, 0, 0);
+        }
+        let mut best_distinct = 1u64; // no bound position => full scan
+        let mut sel_product = 1u128;
+        let mut unbound = 0usize;
+        for (pos, &t) in atom.args.iter().enumerate() {
+            let is_bound = match t {
+                Term::Var(v) => bound.binary_search(&v).is_ok(),
+                _ => true,
+            };
+            if !is_bound {
+                unbound += 1;
+                continue;
+            }
+            let d = sketch.distinct(atom.pred, pos).max(1);
+            best_distinct = best_distinct.max(d);
+            sel_product = sel_product.saturating_mul(d as u128);
+        }
+        let cands = rows.div_ceil(best_distinct);
+        let matches = ((rows as u128) / sel_product).max(1) as u64;
+        (cands, matches, unbound)
+    };
+    let mut order = Vec::with_capacity(n);
+    let mut predicted: u64 = 0;
+    let mut frontier: u64 = 1;
+    let mut pending = first;
+    while order.len() < n {
+        let i = match pending.take() {
+            Some(i) => i, // the pinned pivot goes first, cost notwithstanding
+            None => {
+                let mut best: Option<(usize, u64, usize)> = None; // (idx, cands, unbound#)
+                for (i, a) in atoms.iter().enumerate() {
+                    if placed[i] {
+                        continue;
+                    }
+                    let (cands, _, unbound) = estimate(a, &bound);
+                    let better = match best {
+                        None => true,
+                        Some((_, bc, bu)) => cands < bc || (cands == bc && unbound < bu),
+                    };
+                    if better {
+                        best = Some((i, cands, unbound));
+                    }
+                }
+                best.unwrap().0
+            }
+        };
+        let (cands, matches, _) = estimate(&atoms[i], &bound);
+        predicted = predicted.saturating_add(frontier.saturating_mul(cands));
+        frontier = frontier.saturating_mul(matches);
+        placed[i] = true;
+        order.push(i);
+        bind(&mut bound, &atoms[i]);
+    }
+    (order, predicted)
+}
+
 /// What to do with one argument position of a plan step when matching a
 /// candidate atom.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SlotAction {
-    /// The pattern term is ground: the candidate value must equal it.
-    Fixed(Term),
+    /// The pattern term is ground: the candidate value must equal it. The
+    /// term's [`Term::code`] is precomputed so the inner scan compares
+    /// plain `i64`s against the columnar store.
+    Fixed(Term, i64),
     /// First occurrence of an unbound variable: write the candidate value
     /// into the slot.
     Bind(usize),
@@ -227,6 +371,11 @@ enum SlotAction {
     /// of this atom): the candidate value must equal the slot.
     Eq(usize),
 }
+
+/// The "unbound" sentinel in a dense binding vector. [`Term::code`] is
+/// always non-negative, so the sentinel can never collide with a real
+/// binding.
+const UNBOUND: i64 = i64::MIN;
 
 /// One atom of a compiled plan, in execution order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -264,6 +413,9 @@ pub struct JoinPlan {
     slots: Vec<VarId>,
     steps: Vec<PlanStep>,
     sig: u64,
+    /// Predicted candidate scans per execution for cost-based plans;
+    /// `u64::MAX` for greedy (uncosted) plans, which never re-optimize.
+    predicted_cost: u64,
 }
 
 /// The slot layout shared by every plan over `(atoms, seeded)`: seeded
@@ -283,13 +435,45 @@ fn slot_layout(atoms: &[Atom], seeded: &[VarId]) -> Vec<VarId> {
 impl JoinPlan {
     /// Compiles a plan for homomorphisms from `atoms` extending a seed over
     /// `seeded` (sorted and deduplicated internally). `pivot` pins that atom
-    /// to the front of the join order (the semi-naive delta pivot).
+    /// to the front of the join order (the semi-naive delta pivot). Uses the
+    /// statically pinned greedy [`join_order`]; see [`JoinPlan::compile_costed`]
+    /// for the statistics-driven variant.
     pub fn compile(atoms: &[Atom], seeded: &[VarId], pivot: Option<usize>) -> JoinPlan {
         let _span = omq_obs::span("hom.compile");
         let mut seeded: Vec<VarId> = seeded.to_vec();
         seeded.sort_unstable();
         seeded.dedup();
         let order = join_order(atoms, &seeded, pivot);
+        Self::finish(atoms, seeded, pivot, order, u64::MAX)
+    }
+
+    /// Compiles a cost-based plan: the atom order comes from [`cost_order`]
+    /// over `sketch` (per-predicate cardinalities and per-position
+    /// distinct-value counts) and the resulting predicted candidate count is
+    /// stored on the plan, enabling the [`PlanCache`] divergence check.
+    /// Deterministic for a given `(atoms, seeded, pivot, sketch)` — and the
+    /// sketch itself is a function of instance content only.
+    pub fn compile_costed(
+        atoms: &[Atom],
+        seeded: &[VarId],
+        pivot: Option<usize>,
+        sketch: &CardSketch,
+    ) -> JoinPlan {
+        let _span = omq_obs::span("hom.plan.cost");
+        let mut seeded: Vec<VarId> = seeded.to_vec();
+        seeded.sort_unstable();
+        seeded.dedup();
+        let (order, predicted) = cost_order(atoms, &seeded, pivot, sketch);
+        Self::finish(atoms, seeded, pivot, order, predicted)
+    }
+
+    fn finish(
+        atoms: &[Atom],
+        seeded: Vec<VarId>,
+        pivot: Option<usize>,
+        order: Vec<usize>,
+        predicted_cost: u64,
+    ) -> JoinPlan {
         let slots = slot_layout(atoms, &seeded);
         let slot_of = |v: VarId| slots.iter().position(|&w| w == v).unwrap();
         let mut bound = vec![false; slots.len()];
@@ -315,7 +499,7 @@ impl JoinPlan {
                         }
                     }
                     ground => {
-                        actions.push(SlotAction::Fixed(ground));
+                        actions.push(SlotAction::Fixed(ground, ground.code()));
                         probes.push(pos);
                     }
                 }
@@ -338,7 +522,13 @@ impl JoinPlan {
             slots,
             steps,
             sig,
+            predicted_cost,
         }
+    }
+
+    /// The predicted candidate scans per execution, for cost-based plans.
+    pub fn predicted_cost(&self) -> Option<u64> {
+        (self.predicted_cost != u64::MAX).then_some(self.predicted_cost)
     }
 
     /// The atoms this plan matches (original order).
@@ -422,9 +612,9 @@ impl JoinPlan {
         mut f: impl FnMut(&HomView) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
         debug_assert_eq!(seed.len(), self.seeded.len());
-        let mut bindings: Vec<Option<Term>> = vec![None; self.slots.len()];
+        let mut bindings: Vec<i64> = vec![UNBOUND; self.slots.len()];
         for (b, &t) in bindings.iter_mut().zip(seed) {
-            *b = Some(t);
+            *b = t.code();
         }
         let mut local = HomStats::default();
         let res = self.step(0, inst, ranges, &mut bindings, &mut local, &mut f);
@@ -438,13 +628,17 @@ impl JoinPlan {
     /// The backtracking core over compiled steps: candidates come from the
     /// most selective probe index (first strictly smaller candidate list in
     /// position order — the same runtime rule as the reference kernel),
-    /// restricted to the atom's `[lo, hi)` range.
+    /// restricted to the atom's `[lo, hi)` range. The per-candidate match
+    /// runs over the instance's columnar `i64` store (one flat column per
+    /// argument position) rather than the boxed `Atom` vector — same
+    /// candidate lists, same scan order, same counters, but the inner loop
+    /// is branch-light integer compares with no pointer chasing.
     fn step<B>(
         &self,
         depth: usize,
         inst: &Instance,
         ranges: Option<&[(usize, usize)]>,
-        bindings: &mut Vec<Option<Term>>,
+        bindings: &mut Vec<i64>,
         stats: &mut HomStats,
         f: &mut impl FnMut(&HomView) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
@@ -463,8 +657,11 @@ impl JoinPlan {
         let mut best: Option<&[usize]> = None;
         for &pos in &st.probes {
             let val = match st.actions[pos] {
-                SlotAction::Fixed(t) => t,
-                SlotAction::Eq(s) => bindings[s].expect("probe slot is bound"),
+                SlotAction::Fixed(t, _) => t,
+                SlotAction::Eq(s) => {
+                    debug_assert_ne!(bindings[s], UNBOUND, "probe slot is bound");
+                    Term::from_code(bindings[s])
+                }
                 SlotAction::Bind(_) => unreachable!("a bind position is never a probe"),
             };
             let c = clamp(inst.atoms_with_pred_term(st.pred, pos, val), lo, hi);
@@ -473,23 +670,24 @@ impl JoinPlan {
             }
         }
         let candidates = best.unwrap_or_else(|| clamp(inst.atoms_with_pred(st.pred), lo, hi));
+        let cols = inst.columns(st.pred);
         'cands: for &ci in candidates {
             stats.candidates_scanned += 1;
-            let cand = inst.atom(ci);
+            let row = inst.row_of(ci);
             for (pos, action) in st.actions.iter().enumerate() {
-                let val = cand.args[pos];
+                let val = cols[pos][row];
                 let ok = match *action {
-                    SlotAction::Fixed(t) => t == val,
-                    SlotAction::Eq(s) => bindings[s] == Some(val),
+                    SlotAction::Fixed(_, code) => code == val,
+                    SlotAction::Eq(s) => bindings[s] == val,
                     SlotAction::Bind(s) => {
-                        bindings[s] = Some(val);
+                        bindings[s] = val;
                         true
                     }
                 };
                 if !ok {
                     for a in &st.actions[..pos] {
                         if let SlotAction::Bind(s) = *a {
-                            bindings[s] = None;
+                            bindings[s] = UNBOUND;
                         }
                     }
                     stats.backtracks += 1;
@@ -499,7 +697,7 @@ impl JoinPlan {
             let res = self.step(depth + 1, inst, ranges, bindings, stats, f);
             for a in &st.actions {
                 if let SlotAction::Bind(s) = *a {
-                    bindings[s] = None;
+                    bindings[s] = UNBOUND;
                 }
             }
             res?;
@@ -509,11 +707,11 @@ impl JoinPlan {
 }
 
 /// A complete homomorphism as seen by a plan-execution callback: dense slot
-/// bindings plus the plan's slot layout. Borrow-only; call
-/// [`HomView::to_assignment`] to materialise a map (the legacy shape).
+/// bindings (as [`Term::code`]s) plus the plan's slot layout. Borrow-only;
+/// call [`HomView::to_assignment`] to materialise a map (the legacy shape).
 pub struct HomView<'a> {
     slots: &'a [VarId],
-    bindings: &'a [Option<Term>],
+    bindings: &'a [i64],
 }
 
 impl HomView<'_> {
@@ -522,16 +720,18 @@ impl HomView<'_> {
         self.slots
             .iter()
             .position(|&w| w == v)
-            .and_then(|s| self.bindings[s])
+            .and_then(|s| self.slot(s))
     }
 
     /// The value in slot `s` (precompute slots via [`JoinPlan::slot_of`]).
     pub fn slot(&self, s: usize) -> Option<Term> {
-        self.bindings[s]
+        let code = self.bindings[s];
+        (code != UNBOUND).then(|| Term::from_code(code))
     }
 
-    /// The raw dense bindings, parallel to [`JoinPlan::slots`].
-    pub fn bindings(&self) -> &[Option<Term>] {
+    /// The raw dense binding codes, parallel to [`JoinPlan::slots`]; every
+    /// slot of a complete homomorphism holds a [`Term::code`].
+    pub fn codes(&self) -> &[i64] {
         self.bindings
     }
 
@@ -540,8 +740,8 @@ impl HomView<'_> {
     pub fn to_assignment(&self) -> Assignment {
         self.slots
             .iter()
-            .zip(self.bindings)
-            .filter_map(|(&v, &b)| b.map(|t| (v, t)))
+            .enumerate()
+            .filter_map(|(s, &v)| self.slot(s).map(|t| (v, t)))
             .collect()
     }
 }
@@ -556,13 +756,57 @@ fn plan_fingerprint(atoms: &[Atom], seeded: &[VarId], pivot: Option<usize>) -> u
     h.finish()
 }
 
+/// One cached plan plus its running estimate-vs-observation ledger, the
+/// state behind adaptive re-optimization.
+struct CachedPlan {
+    plan: Arc<JoinPlan>,
+    /// Candidate scans reported through [`PlanCache::note_execution`] since
+    /// the plan was (re)compiled.
+    observed: u64,
+    /// Executions reported since the plan was (re)compiled.
+    execs: u64,
+}
+
+impl CachedPlan {
+    fn fresh(plan: Arc<JoinPlan>) -> CachedPlan {
+        CachedPlan {
+            plan,
+            observed: 0,
+            execs: 0,
+        }
+    }
+
+    /// Has the observed per-execution probe work diverged from the
+    /// prediction by more than [`REOPT_FACTOR`]? Only costed plans with at
+    /// least one observed execution can diverge; predictions below
+    /// [`REOPT_FLOOR`] are clamped up so tiny plans never churn.
+    fn diverged(&self) -> bool {
+        if self.plan.predicted_cost == u64::MAX || self.execs == 0 {
+            return false;
+        }
+        let allowance = REOPT_FACTOR
+            .saturating_mul(self.plan.predicted_cost.max(REOPT_FLOOR))
+            .saturating_mul(self.execs);
+        self.observed > allowance
+    }
+}
+
 /// A cache of compiled [`JoinPlan`]s keyed by `(atoms, seeded, pivot)`.
 /// Single-owner (`&mut` API); share plans across threads via the returned
 /// `Arc`s. Hits and misses are counted into the caller's [`HomStats`] and
 /// the process-global counters.
+///
+/// Plans fetched through [`PlanCache::get_or_compile_costed`] are
+/// *adaptive*: callers report each execution's candidate scans back via
+/// [`PlanCache::note_execution`], and a later fetch whose accumulated
+/// observation exceeds the plan's prediction by [`REOPT_FACTOR`] recompiles
+/// the plan against fresh instance statistics (counted as
+/// `plans_reoptimized`). Both the estimates and the observations are
+/// deterministic per call sequence, so replan decisions are reproducible at
+/// any thread count.
 #[derive(Default)]
 pub struct PlanCache {
-    map: HashMap<u64, Vec<Arc<JoinPlan>>>,
+    map: HashMap<u64, Vec<CachedPlan>>,
 }
 
 impl PlanCache {
@@ -580,7 +824,7 @@ impl PlanCache {
     }
 
     /// Returns the cached plan for `(atoms, seeded, pivot)`, compiling and
-    /// inserting it on a miss.
+    /// inserting it on a miss (greedy order; never re-optimized).
     pub fn get_or_compile(
         &mut self,
         atoms: &[Atom],
@@ -588,24 +832,131 @@ impl PlanCache {
         pivot: Option<usize>,
         stats: &mut HomStats,
     ) -> Arc<JoinPlan> {
+        self.fetch(atoms, seeded, pivot, stats, None)
+    }
+
+    /// Like [`PlanCache::get_or_compile`], but misses compile a cost-based
+    /// plan from `inst`'s cardinality sketch, and hits whose observed probe
+    /// work has diverged from the prediction (see [`REOPT_FACTOR`]) are
+    /// recompiled against the *current* sketch first.
+    pub fn get_or_compile_costed(
+        &mut self,
+        atoms: &[Atom],
+        seeded: &[VarId],
+        pivot: Option<usize>,
+        inst: &Instance,
+        stats: &mut HomStats,
+    ) -> Arc<JoinPlan> {
+        self.fetch(atoms, seeded, pivot, stats, Some(inst))
+    }
+
+    fn fetch(
+        &mut self,
+        atoms: &[Atom],
+        seeded: &[VarId],
+        pivot: Option<usize>,
+        stats: &mut HomStats,
+        inst: Option<&Instance>,
+    ) -> Arc<JoinPlan> {
         let mut norm: Vec<VarId> = seeded.to_vec();
         norm.sort_unstable();
         norm.dedup();
         let fp = plan_fingerprint(atoms, &norm, pivot);
         let bucket = self.map.entry(fp).or_default();
-        if let Some(p) = bucket
-            .iter()
-            .find(|p| p.pivot == pivot && p.seeded == norm && p.atoms == atoms)
+        if let Some(entry) = bucket
+            .iter_mut()
+            .find(|e| e.plan.pivot == pivot && e.plan.seeded == norm && e.plan.atoms == atoms)
         {
+            if let Some(inst) = inst {
+                if entry.diverged() {
+                    let sketch = timed_sketch(inst, stats);
+                    *entry = CachedPlan::fresh(Arc::new(JoinPlan::compile_costed(
+                        atoms, &norm, pivot, &sketch,
+                    )));
+                    stats.plans_reoptimized += 1;
+                    G_PLANS_REOPTIMIZED.fetch_add(1, Ordering::Relaxed);
+                    omq_obs::counter("hom.plan.reopt", 1);
+                    return Arc::clone(&entry.plan);
+                }
+            }
             stats.plan_cache_hits += 1;
             G_PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(p);
+            return Arc::clone(&entry.plan);
         }
-        let plan = Arc::new(JoinPlan::compile(atoms, &norm, pivot));
+        let plan = match inst {
+            Some(inst) => {
+                let sketch = timed_sketch(inst, stats);
+                Arc::new(JoinPlan::compile_costed(atoms, &norm, pivot, &sketch))
+            }
+            None => Arc::new(JoinPlan::compile(atoms, &norm, pivot)),
+        };
         stats.plans_compiled += 1;
-        bucket.push(Arc::clone(&plan));
+        bucket.push(CachedPlan::fresh(Arc::clone(&plan)));
         plan
     }
+
+    /// Reports one execution of `plan`: `candidates` is the execution's
+    /// `candidates_scanned` delta. Feeds the divergence ledger and the
+    /// estimate-quality buckets (`est_ratio_*`). No-op for plans this cache
+    /// does not hold (e.g. compiled inline by the caller).
+    pub fn note_execution(&mut self, plan: &Arc<JoinPlan>, candidates: u64, stats: &mut HomStats) {
+        record_estimate_quality(plan, candidates, stats);
+        let fp = plan_fingerprint(&plan.atoms, &plan.seeded, plan.pivot);
+        if let Some(entry) = self
+            .map
+            .get_mut(&fp)
+            .and_then(|b| b.iter_mut().find(|e| Arc::ptr_eq(&e.plan, plan)))
+        {
+            entry.observed = entry.observed.saturating_add(candidates);
+            entry.execs += 1;
+        }
+    }
+}
+
+/// Builds `inst`'s cardinality sketch, charging the build time to the
+/// sketch counters (local and global).
+fn timed_sketch(inst: &Instance, stats: &mut HomStats) -> CardSketch {
+    let t = Instant::now();
+    let sketch = inst.card_sketch();
+    let ns = t.elapsed().as_nanos() as u64;
+    stats.sketch_build_ns += ns;
+    G_SKETCH_BUILD_NS.fetch_add(ns, Ordering::Relaxed);
+    sketch
+}
+
+/// Buckets one costed-plan execution by observed/predicted candidate ratio
+/// (`≤1`, `≤REOPT_FACTOR`, `>REOPT_FACTOR`). Greedy plans carry no
+/// prediction and are not bucketed.
+pub(crate) fn record_estimate_quality(plan: &JoinPlan, candidates: u64, stats: &mut HomStats) {
+    let Some(predicted) = plan.predicted_cost() else {
+        return;
+    };
+    let predicted = predicted.max(1);
+    if candidates <= predicted {
+        stats.est_ratio_le_1 += 1;
+        G_EST_RATIO_LE_1.fetch_add(1, Ordering::Relaxed);
+    } else if candidates <= REOPT_FACTOR.saturating_mul(predicted) {
+        stats.est_ratio_le_4 += 1;
+        G_EST_RATIO_LE_4.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.est_ratio_gt_4 += 1;
+        G_EST_RATIO_GT_4.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Builds the instance's cardinality sketch (timed into the sketch
+/// counters) and compiles an uncached cost-based plan — the convenience
+/// path for call sites that hold plans inline rather than in a
+/// [`PlanCache`].
+pub fn compile_costed_for(
+    atoms: &[Atom],
+    seeded: &[VarId],
+    pivot: Option<usize>,
+    inst: &Instance,
+    stats: &mut HomStats,
+) -> JoinPlan {
+    let sketch = timed_sketch(inst, stats);
+    JoinPlan::compile_costed(atoms, seeded, pivot, &sketch)
 }
 
 /// Splits a legacy [`Assignment`] seed into the sorted var list and the

@@ -55,8 +55,10 @@ pub struct Witness {
 pub enum ContainmentResult {
     /// `Q₁ ⊆ Q₂`, with an exact certificate (complete rewriting checked).
     Contained,
-    /// `Q₁ ⊄ Q₂`, with a concrete witness (always sound).
-    NotContained(Witness),
+    /// `Q₁ ⊄ Q₂`, with a concrete witness (always sound). Boxed: the
+    /// witness carries a full `Instance`, which would otherwise dominate
+    /// the enum's by-value size.
+    NotContained(Box<Witness>),
     /// Budgets were exhausted before a decision; the string explains which.
     Unknown(String),
 }
@@ -429,7 +431,7 @@ pub fn contains_with(
         let reuse = (lhs_complete && q1 == q2).then_some((&lhs_ucq, true));
         let rhs = RhsChecker::build(q2, rhs_language, reuse, voc, cfg, src);
         match check_disjuncts(&lhs_ucq.disjuncts, &rhs, q2, voc, cfg, &mut stats) {
-            Ok(Some(w)) => ContainmentResult::NotContained(w),
+            Ok(Some(w)) => ContainmentResult::NotContained(Box::new(w)),
             Ok(None) if lhs_complete => ContainmentResult::Contained,
             Ok(None) => ContainmentResult::Unknown(
                 "rewriting budget exceeded on a UCQ-rewritable input".into(),
@@ -528,7 +530,7 @@ fn propositional_enumeration(
             match check_mask(mask, voc) {
                 Some(MaskEvent::Fallback) => return None,
                 Some(MaskEvent::Counterexample(w)) => {
-                    return Some(ContainmentResult::NotContained(*w))
+                    return Some(ContainmentResult::NotContained(w))
                 }
                 None => {}
             }
@@ -581,7 +583,7 @@ fn propositional_enumeration(
     stats.1 = stats.1.max(max_size.load(Ordering::Relaxed));
     match best_event.into_inner().unwrap() {
         Some((_, MaskEvent::Fallback)) => None,
-        Some((_, MaskEvent::Counterexample(w))) => Some(ContainmentResult::NotContained(*w)),
+        Some((_, MaskEvent::Counterexample(w))) => Some(ContainmentResult::NotContained(w)),
         None => Some(ContainmentResult::Contained),
     }
 }
@@ -620,7 +622,7 @@ fn anytime_guarded(
         let fresh: Vec<Cq> = ucq.disjuncts.iter().skip(tested).cloned().collect();
         tested = ucq.disjuncts.len().max(tested);
         match check_disjuncts(&fresh, &rhs, q2, voc, cfg, stats) {
-            Ok(Some(w)) => return ContainmentResult::NotContained(w),
+            Ok(Some(w)) => return ContainmentResult::NotContained(Box::new(w)),
             Ok(None) => {
                 if complete {
                     return ContainmentResult::Contained;

@@ -220,7 +220,6 @@ fn query_image(q: &Ucq, inst: &Instance, tuple: &[ConstId]) -> Option<Vec<Atom>>
         let mut image: Option<Vec<Atom>> = None;
         let mut stats = HomStats::default();
         let _ = plan.execute(inst, &seed, None, &mut stats, |h| {
-            let bindings = h.bindings();
             image = Some(
                 d.body
                     .iter()
@@ -229,7 +228,8 @@ fn query_image(q: &Ucq, inst: &Instance, tuple: &[ConstId]) -> Option<Vec<Atom>>
                             .args
                             .iter()
                             .map(|&t| match t {
-                                Term::Var(v) => bindings[plan.slot_of(v).expect("body var")]
+                                Term::Var(v) => h
+                                    .slot(plan.slot_of(v).expect("body var"))
                                     .expect("complete hom binds all slots"),
                                 other => other,
                             })
@@ -385,12 +385,11 @@ fn find_cover(
         let mut result: Option<Vec<(String, String)>> = None;
         let mut stats = HomStats::default();
         let _ = plan.execute(db, &seed, None, &mut stats, |h| {
-            let bindings = h.bindings();
             result = Some(
                 vars.iter()
                     .filter_map(|&v| {
                         plan.slot_of(v)
-                            .and_then(|s| bindings[s])
+                            .and_then(|s| h.slot(s))
                             .map(|t| (voc.var_name(v).to_owned(), render_term(voc, t)))
                     })
                     .collect(),

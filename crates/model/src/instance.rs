@@ -26,6 +26,52 @@ pub struct Instance {
     /// recover each atom's insertion round and to expose "delta" views of
     /// everything inserted since a given generation (semi-naive evaluation).
     gen_bounds: Vec<usize>,
+    /// Struct-of-arrays mirror of the atoms plus incremental statistics,
+    /// one store per predicate (see [`PredStore`]), indexed densely by
+    /// predicate id — interned ids are small, and the insert path is too
+    /// hot for a hash lookup.
+    stores: Vec<PredStore>,
+    /// Atom index -> row within its predicate's columnar store; parallel to
+    /// `atoms` and to the per-predicate index lists in `by_pred`.
+    pred_row: Vec<u32>,
+}
+
+/// Per-predicate columnar storage and statistics: one `Vec<i64>` of
+/// [`Term::code`]s per argument position (rows in per-predicate insertion
+/// order, parallel to the `by_pred` index list) and the per-position count
+/// of distinct terms, maintained incrementally on insert. Both are pure
+/// functions of the instance's atom set, so any planner decision derived
+/// from them is deterministic.
+#[derive(Clone, Debug, Default)]
+struct PredStore {
+    cols: Vec<Vec<i64>>,
+    distinct: Vec<u32>,
+}
+
+/// A snapshot of per-predicate cardinalities and per-position
+/// distinct-value counts, taken from [`Instance::card_sketch`]. The sketch
+/// is a function of instance *content* only (insertion order and thread
+/// count never affect it), which is what makes cost-based join orders
+/// reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct CardSketch {
+    stats: HashMap<PredId, (u64, Vec<u32>)>,
+}
+
+impl CardSketch {
+    /// Number of atoms with predicate `p` (0 if absent).
+    pub fn rows(&self, p: PredId) -> u64 {
+        self.stats.get(&p).map_or(0, |(r, _)| *r)
+    }
+
+    /// Number of distinct terms at position `pos` of predicate `p`
+    /// (0 if the predicate is absent).
+    pub fn distinct(&self, p: PredId, pos: usize) -> u64 {
+        self.stats
+            .get(&p)
+            .and_then(|(_, d)| d.get(pos))
+            .map_or(0, |&d| d as u64)
+    }
 }
 
 impl Instance {
@@ -54,12 +100,27 @@ impl Instance {
             return false;
         }
         let idx = self.atoms.len();
-        self.by_pred.entry(atom.pred).or_default().push(idx);
+        let rows = self.by_pred.entry(atom.pred).or_default();
+        self.pred_row.push(rows.len() as u32);
+        rows.push(idx);
+        let pi = atom.pred.0 as usize;
+        if self.stores.len() <= pi {
+            self.stores.resize_with(pi + 1, PredStore::default);
+        }
+        let store = &mut self.stores[pi];
+        if store.cols.len() < atom.args.len() {
+            store.cols.resize_with(atom.args.len(), Vec::new);
+            store.distinct.resize(atom.args.len(), 0);
+        }
         for (pos, &t) in atom.args.iter().enumerate() {
-            self.by_pos
-                .entry((atom.pred, pos, t))
-                .or_default()
-                .push(idx);
+            store.cols[pos].push(t.code());
+            match self.by_pos.entry((atom.pred, pos, t)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(idx),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![idx]);
+                    store.distinct[pos] += 1;
+                }
+            }
         }
         self.set.insert(atom.clone());
         self.atoms.push(atom);
@@ -102,6 +163,50 @@ impl Instance {
     /// The atom at index `i`.
     pub fn atom(&self, i: usize) -> &Atom {
         &self.atoms[i]
+    }
+
+    /// The columnar view of predicate `p`: one column of [`Term::code`]s
+    /// per argument position, rows in per-predicate insertion order —
+    /// row `r` of the columns is the atom `atoms_with_pred(p)[r]`. Empty
+    /// slice if the predicate is absent.
+    pub fn columns(&self, p: PredId) -> &[Vec<i64>] {
+        self.stores
+            .get(p.0 as usize)
+            .map(|s| s.cols.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The row of atom `i` within its predicate's columnar store.
+    pub fn row_of(&self, i: usize) -> usize {
+        self.pred_row[i] as usize
+    }
+
+    /// Number of distinct terms occurring at position `pos` of predicate
+    /// `p`, maintained incrementally on insert.
+    pub fn distinct_at(&self, p: PredId, pos: usize) -> usize {
+        self.stores
+            .get(p.0 as usize)
+            .and_then(|s| s.distinct.get(pos))
+            .map_or(0, |&d| d as usize)
+    }
+
+    /// Snapshots the cardinality statistics: per-predicate row counts and
+    /// per-position distinct-value counts. O(#predicates + total arity) —
+    /// cheap enough to take per plan compilation.
+    pub fn card_sketch(&self) -> CardSketch {
+        let stats = self
+            .by_pred
+            .iter()
+            .map(|(&p, rows)| {
+                let distinct = self
+                    .stores
+                    .get(p.0 as usize)
+                    .map(|s| s.distinct.clone())
+                    .unwrap_or_default();
+                (p, (rows.len() as u64, distinct))
+            })
+            .collect();
+        CardSketch { stats }
     }
 
     /// The current generation number. A fresh instance is generation 0;
@@ -357,6 +462,43 @@ mod tests {
         // Re-inserting an existing atom keeps its original generation.
         d.insert(fact(&mut v, "R", &["a", "b"]));
         assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn columnar_mirror_and_distinct_counts() {
+        let mut v = Vocabulary::new();
+        let mut d = Instance::new();
+        d.insert(fact(&mut v, "R", &["a", "b"]));
+        d.insert(fact(&mut v, "R", &["a", "c"]));
+        d.insert(fact(&mut v, "P", &["b"]));
+        d.insert(fact(&mut v, "R", &["b", "b"]));
+        let r = v.pred("R", 2);
+        let p = v.pred("P", 1);
+
+        // Columns are parallel to the per-predicate index list.
+        let cols = d.columns(r);
+        assert_eq!(cols.len(), 2);
+        for (row, &idx) in d.atoms_with_pred(r).iter().enumerate() {
+            assert_eq!(d.row_of(idx), row);
+            for (pos, col) in cols.iter().enumerate() {
+                assert_eq!(col[row], d.atom(idx).args[pos].code());
+                assert_eq!(Term::from_code(col[row]), d.atom(idx).args[pos]);
+            }
+        }
+
+        // Distinct counts match the brute-force count, incl. after dedup.
+        d.insert(fact(&mut v, "R", &["a", "b"]));
+        assert_eq!(d.distinct_at(r, 0), 2); // a, b
+        assert_eq!(d.distinct_at(r, 1), 2); // b, c
+        assert_eq!(d.distinct_at(p, 0), 1);
+        assert_eq!(d.distinct_at(p, 1), 0);
+
+        let sk = d.card_sketch();
+        assert_eq!(sk.rows(r), 3);
+        assert_eq!(sk.rows(p), 1);
+        assert_eq!(sk.distinct(r, 0), 2);
+        assert_eq!(sk.distinct(r, 1), 2);
+        assert_eq!(sk.rows(v.pred("Q", 1)), 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod term;
 pub mod tgd;
 
 pub use atom::Atom;
-pub use instance::Instance;
+pub use instance::{CardSketch, Instance};
 pub use parser::{parse_program, parse_query, parse_tgd, ParseError, Program};
 pub use query::{Cq, Ucq};
 pub use subst::{mgu_atoms, mgu_many, mgu_refs, Substitution};

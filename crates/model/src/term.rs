@@ -18,6 +18,33 @@ pub enum Term {
 }
 
 impl Term {
+    /// A dense, instance-independent integer code for this term: the id
+    /// shifted left by two bits with a 2-bit variant tag. Codes are
+    /// non-negative and injective across all three variants, so columnar
+    /// indexes can compare terms as plain `i64`s (see
+    /// [`crate::Instance::columns`]). [`Term::from_code`] inverts it.
+    pub fn code(self) -> i64 {
+        match self {
+            Term::Const(c) => (c.0 as i64) << 2,
+            Term::Null(n) => ((n.0 as i64) << 2) | 1,
+            Term::Var(v) => ((v.0 as i64) << 2) | 2,
+        }
+    }
+
+    /// Inverse of [`Term::code`].
+    ///
+    /// # Panics
+    /// Panics on a code no term produces (negative, or tag 3).
+    pub fn from_code(code: i64) -> Term {
+        let id = (code >> 2) as u32;
+        match code & 3 {
+            0 => Term::Const(ConstId(id)),
+            1 => Term::Null(NullId(id)),
+            2 => Term::Var(VarId(id)),
+            _ => panic!("invalid term code {code}"),
+        }
+    }
+
     /// Is this a constant?
     pub fn is_const(self) -> bool {
         matches!(self, Term::Const(_))

@@ -16,11 +16,14 @@
 //! no atomics.
 //!
 //! Span names form a fixed taxonomy (see DESIGN.md §5): `chase`,
-//! `chase.round`, `hom.compile`, `hom.probe`, `rewrite`, `rewrite.round`,
-//! `rewrite.expand`, `rewrite.merge`, `rewrite.prune`, `contain`,
-//! `contain.sweep`, `serve.<op>`. Counters carry the legacy stats-struct
-//! fields (`chase.triggers_fired`, `rewrite.generated`, …) so the manual
-//! stat-threading has a single typed sink.
+//! `chase.round`, `hom.compile`, `hom.plan.cost`, `hom.probe`, `rewrite`,
+//! `rewrite.round`, `rewrite.expand`, `rewrite.merge`, `rewrite.prune`,
+//! `contain`, `contain.sweep`, `serve.<op>`. Counters carry the legacy
+//! stats-struct fields (`chase.triggers_fired`, `rewrite.generated`, …) so
+//! the manual stat-threading has a single typed sink, plus the adaptive
+//! planner's events: `hom.plan.reopt` (one per cached plan recompiled after
+//! cost-model divergence) and the `hom.est_ratio_*` /
+//! `rewrite.est_ratio_*` estimate-quality buckets.
 //!
 //! ## Determinism
 //!

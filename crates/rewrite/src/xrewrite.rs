@@ -217,6 +217,17 @@ pub struct RewriteStats {
     /// Sieve subsumption probes rejected by the predicate-signature
     /// prefilter before any plan executed.
     pub prefilter_rejects: u64,
+    /// Cached plans recompiled after cost-model divergence (sieve plans are
+    /// compiled per entry, so this is 0 unless a `PlanCache` is in play).
+    pub plans_reoptimized: u64,
+    /// Costed-plan executions whose observed candidates were ≤ prediction.
+    pub est_ratio_le_1: u64,
+    /// Costed-plan executions within `REOPT_FACTOR`× of prediction.
+    pub est_ratio_le_4: u64,
+    /// Costed-plan executions beyond `REOPT_FACTOR`× of prediction.
+    pub est_ratio_gt_4: u64,
+    /// Nanoseconds spent building cardinality sketches for plan costing.
+    pub sketch_build_ns: u64,
     /// Wall clock spent expanding frontier entries (worker side).
     pub expand_nanos: u64,
     /// Wall clock spent merging + deduplicating candidates (caller side).
@@ -256,6 +267,10 @@ impl RewriteStats {
             ("rewrite.plans_compiled", self.plans_compiled),
             ("rewrite.plan_cache_hits", self.plan_cache_hits),
             ("rewrite.prefilter_rejects", self.prefilter_rejects),
+            ("rewrite.plans_reoptimized", self.plans_reoptimized),
+            ("rewrite.est_ratio_le_1", self.est_ratio_le_1),
+            ("rewrite.est_ratio_le_4", self.est_ratio_le_4),
+            ("rewrite.est_ratio_gt_4", self.est_ratio_gt_4),
         ]);
     }
 }
@@ -1111,6 +1126,11 @@ pub fn xrewrite(
         stats.plans_compiled = hs.plans_compiled;
         stats.plan_cache_hits = hs.plan_cache_hits;
         stats.prefilter_rejects = hs.prefilter_rejects;
+        stats.plans_reoptimized = hs.plans_reoptimized;
+        stats.est_ratio_le_1 = hs.est_ratio_le_1;
+        stats.est_ratio_le_4 = hs.est_ratio_le_4;
+        stats.est_ratio_gt_4 = hs.est_ratio_gt_4;
+        stats.sketch_build_ns = hs.sketch_build_ns;
         sieve.into_disjuncts()
     } else {
         entries

@@ -258,8 +258,11 @@ fn rewriting_differential_sweep() {
         }
 
         // (a) Thread-count independence: byte-identical disjunct lists and
-        // identical deterministic counters.
-        for threads in [2usize, 4, 8] {
+        // identical deterministic counters — including the adaptive
+        // planner's (replan decisions and estimate-quality buckets are
+        // functions of instance content and call order, never of the
+        // thread count). `0` resolves to the machine's parallelism.
+        for threads in [0usize, 2, 4, 8] {
             let out = run(
                 &case,
                 &XRewriteConfig {
@@ -277,6 +280,21 @@ fn rewriting_differential_sweep() {
             assert_eq!(
                 out.factorization_steps, base.factorization_steps,
                 "case {case_no}"
+            );
+            assert_eq!(
+                (
+                    out.stats.plans_reoptimized,
+                    out.stats.est_ratio_le_1,
+                    out.stats.est_ratio_le_4,
+                    out.stats.est_ratio_gt_4,
+                ),
+                (
+                    base.stats.plans_reoptimized,
+                    base.stats.est_ratio_le_1,
+                    base.stats.est_ratio_le_4,
+                    base.stats.est_ratio_gt_4,
+                ),
+                "case {case_no}: planner counters differ at {threads} threads"
             );
         }
 

@@ -368,6 +368,14 @@ impl Engine {
                     ("plans_compiled", Json::num(h.plans_compiled as usize)),
                     ("plan_cache_hits", Json::num(h.plan_cache_hits as usize)),
                     ("prefilter_rejects", Json::num(h.prefilter_rejects as usize)),
+                    ("plans_reoptimized", Json::num(h.plans_reoptimized as usize)),
+                    ("est_ratio_le_1", Json::num(h.est_ratio_le_1 as usize)),
+                    ("est_ratio_le_4", Json::num(h.est_ratio_le_4 as usize)),
+                    ("est_ratio_gt_4", Json::num(h.est_ratio_gt_4 as usize)),
+                    (
+                        "sketch_build_us",
+                        Json::num((h.sketch_build_ns / 1_000) as usize),
+                    ),
                 ])
             }),
         ]

@@ -264,6 +264,11 @@ fn stats_expose_hom_kernel_counters() {
             "plans_compiled",
             "plan_cache_hits",
             "prefilter_rejects",
+            "plans_reoptimized",
+            "est_ratio_le_1",
+            "est_ratio_le_4",
+            "est_ratio_gt_4",
+            "sketch_build_us",
         ]
         .iter()
         .map(|f| hk.get(f).and_then(Json::as_u64).expect("numeric counter"))

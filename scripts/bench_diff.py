@@ -19,7 +19,10 @@ Two report-only markers refine the noise story:
 
 * ``NOISY`` — the current row's best-of-N spread is wide
   (``wall_max_ms > 1.5 * wall_min_ms``), so its wall-clock delta should
-  not be trusted;
+  not be trusted; also emitted when ``wall_min_ms`` (the best run, the
+  most noise-resistant wall figure) regressed by more than 20% vs the
+  baseline while still under any ceiling — a slow creep the ceiling
+  tripwire would miss;
 * ``PHASE`` — a phase's *share* of the row's total phase time moved by
   more than 0.15 vs the baseline. Phase totals come from a separate
   instrumented pass (see ``omq_bench::obsjson``), so absolute phase times
@@ -42,7 +45,9 @@ import sys
 # breach is still reported as a hard drift because it means a tracked
 # optimisation regressed, not that the machine was busy.
 WALL_CEILINGS = {
-    "rewrite:E3 nr strata=4": 700.0,
+    # Committed best-of-3 is ~0.36 s with noise peaks around 0.42 s; the
+    # ceiling is the tightened post-adaptive-planner tripwire (was 700).
+    "rewrite:E3 nr strata=4": 600.0,
 }
 
 
@@ -119,6 +124,12 @@ def diff_file(path):
             print(
                 f"   NOISY    {name}: best-of spread {lo:.3f}..{hi:.3f} ms"
                 " — wall delta untrustworthy"
+            )
+        b_lo = base.get("wall_min_ms")
+        if b_lo and lo is not None and lo > 1.2 * b_lo:
+            print(
+                f"   NOISY    {name}: wall_min_ms {b_lo:.3f} -> {lo:.3f} ms"
+                " (best run regressed >20% vs baseline; report-only)"
             )
         base_shares = phase_shares(base)
         for key, share in sorted(phase_shares(cur).items()):
