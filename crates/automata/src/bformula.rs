@@ -35,8 +35,11 @@ impl<A> Bf<A> {
                 xs.push(y);
                 Bf::And(xs)
             }
+            // Conjunction is commutative, so appending (O(1) amortized)
+            // instead of prepending (O(n)) keeps right-to-left folds over
+            // large conjunctions linear instead of quadratic.
             (x, Bf::And(mut ys)) => {
-                ys.insert(0, x);
+                ys.push(x);
                 Bf::And(ys)
             }
             (x, y) => Bf::And(vec![x, y]),
@@ -56,8 +59,9 @@ impl<A> Bf<A> {
                 xs.push(y);
                 Bf::Or(xs)
             }
+            // Same appending trick as `and`: disjunction is commutative.
             (x, Bf::Or(mut ys)) => {
-                ys.insert(0, x);
+                ys.push(x);
                 Bf::Or(ys)
             }
             (x, y) => Bf::Or(vec![x, y]),
@@ -239,6 +243,24 @@ mod tests {
             vec![Vec::<u32>::new()]
         );
         assert!(Bf::<u32>::Or(vec![]).minimal_models().is_empty());
+    }
+
+    #[test]
+    fn right_to_left_folds_stay_flat() {
+        // Folding a large disjunction right-to-left hits the `(x, Or(ys))`
+        // branch on every step; with the old `insert(0, x)` prepend this
+        // was quadratic. The fold must still produce one flat connective.
+        let n = 10_000u32;
+        let f = (0..n).rev().fold(Bf::False, |acc, i| Bf::Lit(i).or(acc));
+        match &f {
+            Bf::Or(xs) => assert_eq!(xs.len(), n as usize),
+            other => panic!("expected a flat Or, got {other:?}"),
+        }
+        let g = (0..n).rev().fold(Bf::True, |acc, i| Bf::Lit(i).and(acc));
+        match &g {
+            Bf::And(xs) => assert_eq!(xs.len(), n as usize),
+            other => panic!("expected a flat And, got {other:?}"),
+        }
     }
 
     #[test]

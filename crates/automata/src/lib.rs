@@ -17,10 +17,12 @@
 
 pub mod bformula;
 pub mod nta;
+pub mod pool;
 pub mod tree;
 pub mod twapa;
 
 pub use bformula::Bf;
 pub use nta::{Nta, NtaTransition};
+pub use pool::{BfId, BfPool, EvalCache};
 pub use tree::LTree;
 pub use twapa::{Dir, PriorityKind, Transition, Twapa, TwapaError};

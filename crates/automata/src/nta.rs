@@ -3,11 +3,28 @@
 //! test used by the UCQ-rewritability decision (Prop. 31: "checking whether
 //! L(A) is infinite is feasible in exponential time in the number of states
 //! and polynomial time in the size of the alphabet").
+//!
+//! Each decision question exists twice: a plain sequential method (the
+//! reference implementation) and a `*_with(threads, budget)` variant that
+//! runs the underlying least fixpoint as chunked Jacobi rounds on the
+//! workspace's scoped worker pool. The parallel rounds race only on
+//! *monotone* atomic flags, and rounds repeat until nothing changes, so the
+//! computed set is the unique least fixpoint — bit-identical to the
+//! sequential reference at any thread count. The `_with` variants also poll
+//! a cooperative [`Budget`] between rounds (returning `None` on expiry) and
+//! stop early once a root state is decided.
 
 use std::collections::HashSet;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use omq_chase::{effective_threads, parallel_indexed, Budget};
 
 use crate::tree::LTree;
+
+/// Transitions per parallel work item: small enough to load-balance, large
+/// enough that the fetch-add handout is noise.
+const CHUNK: usize = 512;
 
 /// One transition: a node in state `state` with label `label` may have
 /// exactly `children.len()` children, carrying the listed states in order.
@@ -167,6 +184,198 @@ impl<L: Eq + Hash + Clone> Nta<L> {
     }
 }
 
+impl<L: Eq + Hash + Clone + Sync> Nta<L> {
+    /// One Jacobi-style fixpoint: chunked sweeps over the transitions until
+    /// a sweep changes nothing. `stop_at_root` breaks out as soon as some
+    /// root becomes realizable (the emptiness early exit); the returned
+    /// flag records whether that happened. Returns `None` when `budget`
+    /// expires between rounds.
+    fn realizable_rounds(
+        &self,
+        threads: usize,
+        budget: &Budget,
+        stop_at_root: bool,
+    ) -> Option<(Vec<bool>, bool)> {
+        let _span = omq_obs::span("automata.fixpoint");
+        let nt = self.transitions.len();
+        let chunks = nt.div_ceil(CHUNK);
+        let workers = effective_threads(threads, chunks.max(1));
+        let real: Vec<AtomicBool> = (0..self.num_states)
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        let mut rounds: u64 = 0;
+        let mut decided = false;
+        loop {
+            rounds += 1;
+            if budget.expired() {
+                omq_obs::counter("fixpoint_rounds", rounds);
+                return None;
+            }
+            let changed = AtomicBool::new(false);
+            let sweep = |lo: usize, hi: usize| {
+                for t in &self.transitions[lo..hi] {
+                    if !real[t.state].load(Ordering::Relaxed)
+                        && t.children.iter().all(|&c| real[c].load(Ordering::Relaxed))
+                    {
+                        real[t.state].store(true, Ordering::Relaxed);
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                }
+            };
+            if workers <= 1 {
+                sweep(0, nt);
+            } else {
+                parallel_indexed(
+                    workers,
+                    chunks,
+                    || (),
+                    |_, ci| sweep(ci * CHUNK, nt.min(ci * CHUNK + CHUNK)),
+                );
+            }
+            if stop_at_root && self.roots.iter().any(|&r| real[r].load(Ordering::Relaxed)) {
+                decided = true;
+                break;
+            }
+            if !changed.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        omq_obs::counter("fixpoint_rounds", rounds);
+        Some((
+            real.into_iter().map(AtomicBool::into_inner).collect(),
+            decided,
+        ))
+    }
+
+    /// Parallel [`realizable`](Nta::realizable): the full least fixpoint,
+    /// identical to the sequential reference at any thread count. `None`
+    /// when the budget expires first.
+    pub fn realizable_with(&self, threads: usize, budget: &Budget) -> Option<Vec<bool>> {
+        self.realizable_rounds(threads, budget, false)
+            .map(|(v, _)| v)
+    }
+
+    /// Parallel, budget-aware emptiness with early exit: stops as soon as
+    /// some root state is proven realizable (language nonempty) instead of
+    /// running the fixpoint to completion.
+    pub fn is_empty_with(&self, threads: usize, budget: &Budget) -> Option<bool> {
+        let (real, decided) = self.realizable_rounds(threads, budget, true)?;
+        if decided {
+            return Some(false);
+        }
+        Some(!self.roots.iter().any(|&r| real[r]))
+    }
+
+    /// Reachability closure over `real`-children transitions, as parallel
+    /// rounds (same monotone-flag argument as the realizability fixpoint).
+    fn useful_from(&self, real: &[bool], threads: usize, budget: &Budget) -> Option<Vec<bool>> {
+        let nt = self.transitions.len();
+        let chunks = nt.div_ceil(CHUNK);
+        let workers = effective_threads(threads, chunks.max(1));
+        let useful: Vec<AtomicBool> = (0..self.num_states)
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        for &r in &self.roots {
+            if real[r] {
+                useful[r].store(true, Ordering::Relaxed);
+            }
+        }
+        loop {
+            if budget.expired() {
+                return None;
+            }
+            let changed = AtomicBool::new(false);
+            let sweep = |lo: usize, hi: usize| {
+                for t in &self.transitions[lo..hi] {
+                    if useful[t.state].load(Ordering::Relaxed)
+                        && t.children.iter().all(|&c| real[c])
+                    {
+                        for &c in &t.children {
+                            if !useful[c].swap(true, Ordering::Relaxed) {
+                                changed.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            };
+            if workers <= 1 {
+                sweep(0, nt);
+            } else {
+                parallel_indexed(
+                    workers,
+                    chunks,
+                    || (),
+                    |_, ci| sweep(ci * CHUNK, nt.min(ci * CHUNK + CHUNK)),
+                );
+            }
+            if !changed.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+        Some(useful.into_iter().map(AtomicBool::into_inner).collect())
+    }
+
+    /// Parallel [`useful`](Nta::useful); `None` on budget expiry.
+    pub fn useful_with(&self, threads: usize, budget: &Budget) -> Option<Vec<bool>> {
+        let real = self.realizable_with(threads, budget)?;
+        self.useful_from(&real, threads, budget)
+    }
+
+    /// Parallel, budget-aware [`is_infinite`](Nta::is_infinite). The
+    /// realizability and usefulness fixpoints run on the worker pool; the
+    /// final cycle check is an iterative DFS over an adjacency index
+    /// (`O(V + E)` instead of the reference's per-node edge scans).
+    pub fn is_infinite_with(&self, threads: usize, budget: &Budget) -> Option<bool> {
+        let real = self.realizable_with(threads, budget)?;
+        if !self.roots.iter().any(|&r| real[r]) {
+            return Some(false);
+        }
+        let useful = self.useful_from(&real, threads, budget)?;
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.num_states];
+        for t in &self.transitions {
+            if useful[t.state] && t.children.iter().all(|&c| real[c]) {
+                for &c in &t.children {
+                    if useful[c] {
+                        adj[t.state].push(c);
+                    }
+                }
+            }
+        }
+        // Iterative gray/black DFS (no recursion: subset automata can have
+        // long derivation chains).
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut mark = vec![WHITE; self.num_states];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..self.num_states {
+            if !useful[start] || mark[start] != WHITE {
+                continue;
+            }
+            mark[start] = GRAY;
+            stack.push((start, 0));
+            while let Some(&mut (q, ref mut next)) = stack.last_mut() {
+                if *next < adj[q].len() {
+                    let c = adj[q][*next];
+                    *next += 1;
+                    match mark[c] {
+                        GRAY => return Some(true),
+                        WHITE => {
+                            mark[c] = GRAY;
+                            stack.push((c, 0));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    mark[q] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +485,93 @@ mod tests {
         };
         assert!(!aut.is_empty());
         assert!(!aut.is_infinite());
+    }
+
+    /// Deterministic SplitMix64 stream for the randomized differentials.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> usize {
+            (self.next() % n) as usize
+        }
+    }
+
+    /// A random NTA: mixed leaf/unary/binary transitions over a 2-letter
+    /// alphabet, some states intentionally dead or unreachable.
+    fn random_nta(seed: u64) -> Nta<char> {
+        let mut rng = Rng(seed);
+        let num_states = 2 + rng.below(14);
+        let n_trans = 1 + rng.below(4 * num_states as u64);
+        let mut transitions = Vec::with_capacity(n_trans);
+        for _ in 0..n_trans {
+            let arity = rng.below(3);
+            transitions.push(NtaTransition {
+                state: rng.below(num_states as u64),
+                label: if rng.below(2) == 0 { 'a' } else { 'b' },
+                children: (0..arity).map(|_| rng.below(num_states as u64)).collect(),
+            });
+        }
+        let n_roots = 1 + rng.below(2);
+        Nta {
+            num_states,
+            roots: (0..n_roots).map(|_| rng.below(num_states as u64)).collect(),
+            transitions,
+        }
+    }
+
+    /// The parallel fixpoints must agree with the sequential reference —
+    /// same realizable/useful vectors (bit-identical), same verdicts — at
+    /// every thread count, on a randomized automaton population.
+    #[test]
+    fn parallel_fixpoints_match_sequential_reference() {
+        let budget = Budget::unlimited();
+        for seed in 0..200u64 {
+            let aut = random_nta(seed);
+            let real_ref = aut.realizable();
+            let useful_ref = aut.useful();
+            let (empty_ref, inf_ref) = (aut.is_empty(), aut.is_infinite());
+            for threads in [0usize, 2, 4, 8] {
+                assert_eq!(
+                    aut.realizable_with(threads, &budget),
+                    Some(real_ref.clone()),
+                    "realizable diverged (seed {seed}, threads {threads})"
+                );
+                assert_eq!(
+                    aut.useful_with(threads, &budget),
+                    Some(useful_ref.clone()),
+                    "useful diverged (seed {seed}, threads {threads})"
+                );
+                assert_eq!(
+                    aut.is_empty_with(threads, &budget),
+                    Some(empty_ref),
+                    "emptiness diverged (seed {seed}, threads {threads})"
+                );
+                assert_eq!(
+                    aut.is_infinite_with(threads, &budget),
+                    Some(inf_ref),
+                    "infinity diverged (seed {seed}, threads {threads})"
+                );
+            }
+        }
+    }
+
+    /// An already-expired budget yields `None` (no verdict), never a wrong
+    /// verdict.
+    #[test]
+    fn expired_budget_returns_no_verdict() {
+        let aut = all_a();
+        let expired = Budget::deadline_in(std::time::Duration::ZERO);
+        assert_eq!(aut.realizable_with(2, &expired), None);
+        assert_eq!(aut.is_empty_with(2, &expired), None);
+        assert_eq!(aut.is_infinite_with(2, &expired), None);
     }
 
     /// A cycle unreachable from the root does not make the language

@@ -1,0 +1,482 @@
+//! Hash-consed storage for positive Boolean formulas `B⁺(X)`.
+//!
+//! [`Bf`] is the right *construction* surface — callers assemble transition
+//! conditions with `and`/`or`/`all`/`any` — but as a tree it is the wrong
+//! *evaluation* surface: the 2WAPA membership fixpoint re-walks every
+//! formula per node per round, the subset translation re-expands the same
+//! `(state, label)` condition for every state set, and `minimal_models`
+//! recomputes identical subproblems. [`BfPool`] interns formulas into a
+//! node table with structural sharing: each distinct subformula exists once
+//! and is identified by a dense [`BfId`], connectives are flattened, their
+//! children sorted and deduplicated (idempotence), constants folded, and a
+//! light absorption rule (`x ∧ (x ∨ y) = x`, dually for ∨) applied — so
+//! `and`/`or` are memoized and evaluation is `O(shared nodes)` through
+//! [`EvalCache`] instead of `O(tree size)`.
+//!
+//! The pool is an arena: ids are only meaningful against the pool that
+//! issued them, and nothing is ever freed — the automata constructions
+//! build a pool per call and drop it wholesale.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use crate::bformula::Bf;
+
+/// Identifier of an interned formula node within one [`BfPool`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BfId(u32);
+
+impl BfId {
+    /// The constant-false node (id 0 in every pool).
+    pub const FALSE: BfId = BfId(0);
+    /// The constant-true node (id 1 in every pool).
+    pub const TRUE: BfId = BfId(1);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interned node. Connective children are sorted, deduplicated, have length
+/// ≥ 2, and never repeat the connective of their parent (flattening), so
+/// structural equality of nodes coincides with the canonical form.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    False,
+    True,
+    Lit(u32),
+    And(Box<[BfId]>),
+    Or(Box<[BfId]>),
+}
+
+/// A hash-consing pool for `B⁺(X)` formulas with atoms of type `A`.
+pub struct BfPool<A> {
+    nodes: Vec<Node>,
+    intern: HashMap<Node, BfId>,
+    lits: Vec<A>,
+    lit_ids: HashMap<A, u32>,
+    memo_and: HashMap<(BfId, BfId), BfId>,
+    memo_or: HashMap<(BfId, BfId), BfId>,
+    memo_models: HashMap<BfId, Rc<Vec<Vec<u32>>>>,
+}
+
+impl<A: Clone + Eq + Hash> Default for BfPool<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Clone + Eq + Hash> BfPool<A> {
+    pub fn new() -> Self {
+        let mut pool = BfPool {
+            nodes: Vec::new(),
+            intern: HashMap::new(),
+            lits: Vec::new(),
+            lit_ids: HashMap::new(),
+            memo_and: HashMap::new(),
+            memo_or: HashMap::new(),
+            memo_models: HashMap::new(),
+        };
+        // Pin the constants to ids 0 and 1 (`BfId::FALSE` / `BfId::TRUE`).
+        pool.insert(Node::False);
+        pool.insert(Node::True);
+        pool
+    }
+
+    /// Number of distinct interned nodes (including the two constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn insert(&mut self, node: Node) -> BfId {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = BfId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.intern.insert(node, id);
+        omq_obs::counter("bf_nodes_interned", 1);
+        id
+    }
+
+    /// Interns an atom.
+    pub fn lit(&mut self, a: A) -> BfId {
+        let next = self.lits.len() as u32;
+        let li = match self.lit_ids.get(&a) {
+            Some(&li) => li,
+            None => {
+                self.lit_ids.insert(a.clone(), next);
+                self.lits.push(a);
+                next
+            }
+        };
+        self.insert(Node::Lit(li))
+    }
+
+    /// The atom behind a literal index (as produced by
+    /// [`BfPool::minimal_models`]).
+    pub fn lit_value(&self, li: u32) -> &A {
+        &self.lits[li as usize]
+    }
+
+    /// Does `id` denote an `Or` node whose children include `child`?
+    fn or_contains(&self, id: BfId, child: BfId) -> bool {
+        matches!(&self.nodes[id.index()], Node::Or(cs) if cs.binary_search(&child).is_ok())
+    }
+
+    /// Does `id` denote an `And` node whose children include `child`?
+    fn and_contains(&self, id: BfId, child: BfId) -> bool {
+        matches!(&self.nodes[id.index()], Node::And(cs) if cs.binary_search(&child).is_ok())
+    }
+
+    /// Flattens `id` into `out` if it is an `And` node, else pushes `id`.
+    fn flatten_and(&self, id: BfId, out: &mut Vec<BfId>) {
+        match &self.nodes[id.index()] {
+            Node::And(cs) => out.extend_from_slice(cs),
+            _ => out.push(id),
+        }
+    }
+
+    fn flatten_or(&self, id: BfId, out: &mut Vec<BfId>) {
+        match &self.nodes[id.index()] {
+            Node::Or(cs) => out.extend_from_slice(cs),
+            _ => out.push(id),
+        }
+    }
+
+    /// Memoized conjunction with constant folding, flattening, idempotence,
+    /// and absorption (`x ∧ (x ∨ y) = x`).
+    pub fn and(&mut self, x: BfId, y: BfId) -> BfId {
+        if x == BfId::FALSE || y == BfId::FALSE {
+            return BfId::FALSE;
+        }
+        if x == BfId::TRUE {
+            return y;
+        }
+        if y == BfId::TRUE || x == y {
+            return x;
+        }
+        let key = (x.min(y), x.max(y));
+        if let Some(&id) = self.memo_and.get(&key) {
+            return id;
+        }
+        // Binary absorption before building the n-ary node.
+        let id = if self.or_contains(x, y) {
+            y
+        } else if self.or_contains(y, x) {
+            x
+        } else {
+            let mut kids = Vec::new();
+            self.flatten_and(x, &mut kids);
+            self.flatten_and(y, &mut kids);
+            kids.sort_unstable();
+            kids.dedup();
+            // n-ary absorption: drop any ∨-child another child subsumes.
+            let keep: Vec<BfId> = kids
+                .iter()
+                .copied()
+                .filter(|&c| !kids.iter().any(|&d| d != c && self.or_contains(c, d)))
+                .collect();
+            match keep.len() {
+                0 => BfId::TRUE,
+                1 => keep[0],
+                _ => self.insert(Node::And(keep.into_boxed_slice())),
+            }
+        };
+        self.memo_and.insert(key, id);
+        id
+    }
+
+    /// Memoized disjunction, dual to [`BfPool::and`].
+    pub fn or(&mut self, x: BfId, y: BfId) -> BfId {
+        if x == BfId::TRUE || y == BfId::TRUE {
+            return BfId::TRUE;
+        }
+        if x == BfId::FALSE {
+            return y;
+        }
+        if y == BfId::FALSE || x == y {
+            return x;
+        }
+        let key = (x.min(y), x.max(y));
+        if let Some(&id) = self.memo_or.get(&key) {
+            return id;
+        }
+        let id = if self.and_contains(x, y) {
+            y
+        } else if self.and_contains(y, x) {
+            x
+        } else {
+            let mut kids = Vec::new();
+            self.flatten_or(x, &mut kids);
+            self.flatten_or(y, &mut kids);
+            kids.sort_unstable();
+            kids.dedup();
+            let keep: Vec<BfId> = kids
+                .iter()
+                .copied()
+                .filter(|&c| !kids.iter().any(|&d| d != c && self.and_contains(c, d)))
+                .collect();
+            match keep.len() {
+                0 => BfId::FALSE,
+                1 => keep[0],
+                _ => self.insert(Node::Or(keep.into_boxed_slice())),
+            }
+        };
+        self.memo_or.insert(key, id);
+        id
+    }
+
+    /// Conjunction of many formulas.
+    pub fn all(&mut self, items: impl IntoIterator<Item = BfId>) -> BfId {
+        items
+            .into_iter()
+            .fold(BfId::TRUE, |acc, x| self.and(acc, x))
+    }
+
+    /// Disjunction of many formulas.
+    pub fn any(&mut self, items: impl IntoIterator<Item = BfId>) -> BfId {
+        items
+            .into_iter()
+            .fold(BfId::FALSE, |acc, x| self.or(acc, x))
+    }
+
+    /// Interns a tree-form formula.
+    pub fn intern_bf(&mut self, f: &Bf<A>) -> BfId {
+        match f {
+            Bf::True => BfId::TRUE,
+            Bf::False => BfId::FALSE,
+            Bf::Lit(a) => self.lit(a.clone()),
+            Bf::And(xs) => {
+                let mut acc = BfId::TRUE;
+                for x in xs {
+                    let xi = self.intern_bf(x);
+                    acc = self.and(acc, xi);
+                }
+                acc
+            }
+            Bf::Or(xs) => {
+                let mut acc = BfId::FALSE;
+                for x in xs {
+                    let xi = self.intern_bf(x);
+                    acc = self.or(acc, xi);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Reconstructs the tree form (tests / debugging).
+    pub fn to_bf(&self, id: BfId) -> Bf<A> {
+        match &self.nodes[id.index()] {
+            Node::False => Bf::False,
+            Node::True => Bf::True,
+            Node::Lit(li) => Bf::Lit(self.lits[*li as usize].clone()),
+            Node::And(cs) => Bf::And(cs.iter().map(|&c| self.to_bf(c)).collect()),
+            Node::Or(cs) => Bf::Or(cs.iter().map(|&c| self.to_bf(c)).collect()),
+        }
+    }
+
+    /// The ⊆-minimal models of `id` as sorted lists of literal indices
+    /// (resolve with [`BfPool::lit_value`]). Memoized per node, so shared
+    /// subformulas are enumerated once across the whole pool lifetime.
+    pub fn minimal_models(&mut self, id: BfId) -> Rc<Vec<Vec<u32>>> {
+        if let Some(m) = self.memo_models.get(&id) {
+            return m.clone();
+        }
+        let models = match self.nodes[id.index()].clone() {
+            Node::False => Vec::new(),
+            Node::True => vec![Vec::new()],
+            Node::Lit(li) => vec![vec![li]],
+            Node::Or(cs) => {
+                let mut out = Vec::new();
+                for c in cs.iter() {
+                    out.extend(self.minimal_models(*c).iter().cloned());
+                }
+                prune_supersets(out)
+            }
+            Node::And(cs) => {
+                let mut out: Vec<Vec<u32>> = vec![Vec::new()];
+                for c in cs.iter() {
+                    let ms = self.minimal_models(*c);
+                    let mut next = Vec::with_capacity(out.len() * ms.len());
+                    for base in &out {
+                        for m in ms.iter() {
+                            let mut u = base.clone();
+                            u.extend(m.iter().copied());
+                            u.sort_unstable();
+                            u.dedup();
+                            next.push(u);
+                        }
+                    }
+                    out = prune_supersets(next);
+                }
+                out
+            }
+        };
+        let rc = Rc::new(models);
+        self.memo_models.insert(id, rc.clone());
+        rc
+    }
+}
+
+/// Keeps only ⊆-minimal sets (each set sorted).
+fn prune_supersets(mut ms: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    ms.sort();
+    ms.dedup();
+    ms.sort_by_key(Vec::len);
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    'outer: for m in ms {
+        for kept in &out {
+            if kept.iter().all(|a| m.binary_search(a).is_ok()) {
+                continue 'outer;
+            }
+        }
+        out.push(m);
+    }
+    out
+}
+
+/// Epoch-stamped evaluation cache: each call to [`EvalCache::eval`] opens a
+/// fresh valuation epoch, and every pool node is evaluated at most once per
+/// epoch regardless of how often it is shared.
+#[derive(Default)]
+pub struct EvalCache {
+    epoch: u32,
+    stamp: Vec<u32>,
+    value: Vec<bool>,
+}
+
+impl EvalCache {
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Evaluates `id` under the valuation `val`, memoizing shared nodes.
+    pub fn eval<A: Clone + Eq + Hash>(
+        &mut self,
+        pool: &BfPool<A>,
+        id: BfId,
+        val: &mut impl FnMut(&A) -> bool,
+    ) -> bool {
+        if self.stamp.len() < pool.nodes.len() {
+            self.stamp.resize(pool.nodes.len(), 0);
+            self.value.resize(pool.nodes.len(), false);
+        }
+        // Epoch 0 marks "never evaluated"; wrap by clearing stamps.
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.eval_node(pool, id, val)
+    }
+
+    fn eval_node<A: Clone + Eq + Hash>(
+        &mut self,
+        pool: &BfPool<A>,
+        id: BfId,
+        val: &mut impl FnMut(&A) -> bool,
+    ) -> bool {
+        let i = id.index();
+        if self.stamp[i] == self.epoch {
+            return self.value[i];
+        }
+        let v = match &pool.nodes[i] {
+            Node::False => false,
+            Node::True => true,
+            Node::Lit(li) => val(&pool.lits[*li as usize]),
+            Node::And(cs) => cs.iter().all(|&c| self.eval_node(pool, c, val)),
+            Node::Or(cs) => cs.iter().any(|&c| self.eval_node(pool, c, val)),
+        };
+        self.stamp[i] = self.epoch;
+        self.value[i] = v;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_simplification() {
+        let mut p: BfPool<u32> = BfPool::new();
+        let a = p.lit(1);
+        let b = p.lit(2);
+        assert_eq!(p.and(BfId::TRUE, a), a);
+        assert_eq!(p.and(BfId::FALSE, a), BfId::FALSE);
+        assert_eq!(p.or(BfId::FALSE, b), b);
+        assert_eq!(p.or(BfId::TRUE, b), BfId::TRUE);
+        assert_eq!(p.and(a, a), a, "idempotence");
+        let ab = p.or(a, b);
+        assert_eq!(p.and(a, ab), a, "absorption x ∧ (x ∨ y) = x");
+        let aab = p.and(a, b);
+        assert_eq!(p.or(a, aab), a, "absorption x ∨ (x ∧ y) = x");
+    }
+
+    #[test]
+    fn structural_sharing_is_real() {
+        let mut p: BfPool<u32> = BfPool::new();
+        let a = p.lit(1);
+        let b = p.lit(2);
+        let f1 = p.and(a, b);
+        let before = p.num_nodes();
+        let b2 = p.lit(2);
+        let f2 = p.and(b2, a);
+        assert_eq!(f1, f2, "commutative variants intern to one node");
+        assert_eq!(p.num_nodes(), before, "no new nodes for a re-build");
+    }
+
+    #[test]
+    fn intern_round_trips_evaluation() {
+        let f = Bf::Lit(1u32).and(Bf::Lit(2).or(Bf::Lit(3)));
+        let mut p: BfPool<u32> = BfPool::new();
+        let id = p.intern_bf(&f);
+        let mut cache = EvalCache::new();
+        for mask in 0u32..8 {
+            let mut val = |a: &u32| mask & (1 << (a - 1)) != 0;
+            assert_eq!(
+                cache.eval(&p, id, &mut val),
+                f.eval(&mut |a| mask & (1 << (a - 1)) != 0),
+                "valuation {mask:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_models_match_tree_form() {
+        let f = (Bf::Lit(1u32).and(Bf::Lit(2)))
+            .or(Bf::Lit(3))
+            .or(Bf::Lit(1).and(Bf::Lit(2)).and(Bf::Lit(4)));
+        let mut p: BfPool<u32> = BfPool::new();
+        let id = p.intern_bf(&f);
+        let got: Vec<Vec<u32>> = p
+            .minimal_models(id)
+            .iter()
+            .map(|m| m.iter().map(|&li| *p.lit_value(li)).collect())
+            .collect();
+        let mut want = f.minimal_models();
+        let mut got_sorted = got.clone();
+        for m in &mut got_sorted {
+            m.sort();
+        }
+        got_sorted.sort();
+        want.sort();
+        // The pooled version may simplify harder (absorption), but the set
+        // of minimal models is canonical.
+        assert_eq!(got_sorted, want);
+    }
+
+    #[test]
+    fn empty_connectives_via_fold() {
+        let mut p: BfPool<u32> = BfPool::new();
+        assert_eq!(p.all(std::iter::empty()), BfId::TRUE);
+        assert_eq!(p.any(std::iter::empty()), BfId::FALSE);
+        assert_eq!(*p.minimal_models(BfId::TRUE), vec![Vec::<u32>::new()]);
+        assert!(p.minimal_models(BfId::FALSE).is_empty());
+    }
+}

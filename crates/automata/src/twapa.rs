@@ -22,6 +22,7 @@ use std::hash::Hash;
 
 use crate::bformula::Bf;
 use crate::nta::{Nta, NtaTransition};
+use crate::pool::{BfId, BfPool, EvalCache};
 use crate::tree::LTree;
 
 /// Direction of a transition atom: `-1`, `0`, or `∗` in the paper.
@@ -155,6 +156,11 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
     ///
     /// Exact for pure-odd (least fixpoint) and pure-even (greatest
     /// fixpoint) priorities; mixed conditions yield an error.
+    ///
+    /// Transition formulas are interned into a shared [`BfPool`] up front,
+    /// so every fixpoint round evaluates hash-consed node ids (memoized per
+    /// valuation through an [`EvalCache`]) instead of re-cloning and
+    /// re-walking formula trees per node/state.
     pub fn accepts(&self, tree: &LTree<L>) -> Result<bool, TwapaError> {
         let least = match self.priority_kind() {
             PriorityKind::AllOdd => true,
@@ -162,6 +168,21 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
             PriorityKind::Mixed => return Err(TwapaError::MixedPriorities),
         };
         let n = tree.len();
+        // Dense label index over the labels that actually occur in `tree`.
+        let mut label_ids: HashMap<&L, usize> = HashMap::new();
+        let mut node_label: Vec<usize> = Vec::with_capacity(n);
+        for node in 0..n {
+            let next = label_ids.len();
+            node_label.push(*label_ids.entry(tree.label(node)).or_insert(next));
+        }
+        let mut pool: BfPool<Transition> = BfPool::new();
+        let mut compiled = vec![BfId::FALSE; label_ids.len() * self.num_states];
+        for ((s, l), f) in &self.delta {
+            if let Some(&li) = label_ids.get(l) {
+                compiled[li * self.num_states + s] = pool.intern_bf(f);
+            }
+        }
+        let mut cache = EvalCache::new();
         let mut win = vec![vec![!least; self.num_states]; n];
         loop {
             let mut changed = false;
@@ -173,7 +194,8 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
                     if cur == least {
                         continue;
                     }
-                    let val = self.delta_of(s, tree.label(node)).eval(&mut |t| {
+                    let fid = compiled[node_label[node] * self.num_states + s];
+                    let val = cache.eval(&pool, fid, &mut |t: &Transition| {
                         let targets: Vec<usize> = match t.dir {
                             Dir::Stay => vec![node],
                             Dir::Up => tree.parent(node).into_iter().collect(),
@@ -241,53 +263,50 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
         }
     }
 
-    /// Expands `Stay` moves away for state `s` and label `l`, producing a
-    /// formula over `Down` atoms only. A cyclic `Stay` chain is rejecting
-    /// under finite acceptance, hence replaced by `false`.
-    fn expand_downward(
-        &self,
-        s: usize,
-        l: &L,
-        chain: &mut Vec<usize>,
-    ) -> Result<Bf<(bool, usize)>, TwapaError> {
-        let f = self.delta_of(s, l);
-        self.expand_formula(&f, l, chain)
-    }
-
-    fn expand_formula(
-        &self,
+    /// Expands `Stay` moves away for the formula `f` under the label with
+    /// index `li`, producing a pooled formula over `Down` atoms
+    /// `(exists, state)` only. A cyclic `Stay` chain is rejecting under
+    /// finite acceptance, hence replaced by `false`.
+    fn expand_pooled(
         f: &Bf<Transition>,
-        l: &L,
+        li: usize,
+        dmap: &HashMap<(usize, usize), &Bf<Transition>>,
         chain: &mut Vec<usize>,
-    ) -> Result<Bf<(bool, usize)>, TwapaError> {
+        pool: &mut BfPool<(bool, usize)>,
+    ) -> Result<BfId, TwapaError> {
         Ok(match f {
-            Bf::True => Bf::True,
-            Bf::False => Bf::False,
+            Bf::True => BfId::TRUE,
+            Bf::False => BfId::FALSE,
             Bf::Lit(t) => match t.dir {
                 Dir::Up => return Err(TwapaError::NotDownward),
-                Dir::Down => Bf::Lit((t.exists, t.state)),
+                Dir::Down => pool.lit((t.exists, t.state)),
                 Dir::Stay => {
                     if chain.contains(&t.state) {
-                        Bf::False
+                        BfId::FALSE
                     } else {
                         chain.push(t.state);
-                        let r = self.expand_downward(t.state, l, chain)?;
+                        let r = match dmap.get(&(t.state, li)) {
+                            Some(&g) => Self::expand_pooled(g, li, dmap, chain, pool)?,
+                            None => BfId::FALSE,
+                        };
                         chain.pop();
                         r
                     }
                 }
             },
             Bf::And(xs) => {
-                let mut out = Bf::True;
+                let mut out = BfId::TRUE;
                 for x in xs {
-                    out = out.and(self.expand_formula(x, l, chain)?);
+                    let xi = Self::expand_pooled(x, li, dmap, chain, pool)?;
+                    out = pool.and(out, xi);
                 }
                 out
             }
             Bf::Or(xs) => {
-                let mut out = Bf::False;
+                let mut out = BfId::FALSE;
                 for x in xs {
-                    out = out.or(self.expand_formula(x, l, chain)?);
+                    let xi = Self::expand_pooled(x, li, dmap, chain, pool)?;
+                    out = pool.or(out, xi);
                 }
                 out
             }
@@ -299,10 +318,31 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
     /// branching degree at most `max_branching`, via the subset
     /// construction: an NTA state is the set of 2WAPA states that must
     /// accept from the current node.
+    ///
+    /// Downward expansions are hash-consed per `(state, label)` and the
+    /// per-set conjunctions / minimal-model enumerations are memoized in
+    /// the pool, so the exponential subset sweep shares all structurally
+    /// repeated work.
     pub fn to_nta(&self, max_branching: usize) -> Result<Nta<L>, TwapaError> {
         if self.priority_kind() != PriorityKind::AllOdd {
             return Err(TwapaError::MixedPriorities);
         }
+        // Label-indexed view of delta: no label clones or hashing of `L`
+        // inside the expansion recursion.
+        let lab_index: HashMap<&L, usize> = self
+            .alphabet
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l, i))
+            .collect();
+        let mut dmap: HashMap<(usize, usize), &Bf<Transition>> = HashMap::new();
+        for ((s, l), f) in &self.delta {
+            if let Some(&li) = lab_index.get(l) {
+                dmap.insert((*s, li), f);
+            }
+        }
+        let mut pool: BfPool<(bool, usize)> = BfPool::new();
+        let mut expanded: HashMap<(usize, usize), BfId> = HashMap::new();
         let mut sets: Vec<Vec<usize>> = vec![vec![self.initial]];
         let mut index: HashMap<Vec<usize>, usize> = HashMap::new();
         index.insert(vec![self.initial], 0);
@@ -312,18 +352,40 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
 
         while let Some(ti) = work.pop() {
             let set = sets[ti].clone();
-            for (li, l) in self.alphabet.iter().enumerate() {
+            for li in 0..self.alphabet.len() {
+                let l = &self.alphabet[li];
                 // Conjunction of the expanded transition formulas.
-                let mut formula: Bf<(bool, usize)> = Bf::True;
+                let mut formula = BfId::TRUE;
                 for &s in &set {
-                    let mut chain = vec![s];
-                    formula = formula.and(self.expand_downward(s, l, &mut chain)?);
+                    let fid = match expanded.get(&(s, li)) {
+                        Some(&fid) => fid,
+                        None => {
+                            let fid = match dmap.get(&(s, li)) {
+                                Some(&f) => {
+                                    Self::expand_pooled(f, li, &dmap, &mut vec![s], &mut pool)?
+                                }
+                                None => BfId::FALSE,
+                            };
+                            expanded.insert((s, li), fid);
+                            fid
+                        }
+                    };
+                    formula = pool.and(formula, fid);
                 }
-                for model in formula.minimal_models() {
-                    let universal: Vec<usize> =
-                        model.iter().filter(|(e, _)| !e).map(|&(_, s)| s).collect();
-                    let existential: Vec<usize> =
-                        model.iter().filter(|(e, _)| *e).map(|&(_, s)| s).collect();
+                let models = pool.minimal_models(formula);
+                for model in models.iter() {
+                    let universal: Vec<usize> = model
+                        .iter()
+                        .map(|&a| *pool.lit_value(a))
+                        .filter(|(e, _)| !e)
+                        .map(|(_, s)| s)
+                        .collect();
+                    let existential: Vec<usize> = model
+                        .iter()
+                        .map(|&a| *pool.lit_value(a))
+                        .filter(|(e, _)| *e)
+                        .map(|(_, s)| s)
+                        .collect();
                     for k in 0..=max_branching {
                         if k == 0 {
                             if !existential.is_empty() {
@@ -402,6 +464,33 @@ impl<L: Eq + Hash + Clone> Twapa<L> {
     /// question deciding UCQ rewritability in Prop. 31.
     pub fn is_infinite(&self, max_branching: usize) -> Result<bool, TwapaError> {
         Ok(self.to_nta(max_branching)?.is_infinite())
+    }
+}
+
+impl<L: Eq + Hash + Clone + Sync> Twapa<L> {
+    /// Budget-aware, parallel emptiness: the subset translation runs
+    /// inline, then the NTA fixpoint runs on `threads` workers with
+    /// early-exit once the initial state set is decided. `Ok(None)` means
+    /// the budget expired before a verdict.
+    pub fn is_empty_with(
+        &self,
+        max_branching: usize,
+        threads: usize,
+        budget: &omq_chase::Budget,
+    ) -> Result<Option<bool>, TwapaError> {
+        Ok(self.to_nta(max_branching)?.is_empty_with(threads, budget))
+    }
+
+    /// Budget-aware, parallel infinity test; `Ok(None)` on budget expiry.
+    pub fn is_infinite_with(
+        &self,
+        max_branching: usize,
+        threads: usize,
+        budget: &omq_chase::Budget,
+    ) -> Result<Option<bool>, TwapaError> {
+        Ok(self
+            .to_nta(max_branching)?
+            .is_infinite_with(threads, budget))
     }
 }
 

@@ -1,0 +1,78 @@
+//! Property test: formulas interned into a [`BfPool`] are semantically
+//! identical to their tree-form [`Bf`] originals — same truth value under
+//! every valuation, same set of minimal models — despite the pool's
+//! flattening, idempotence, and absorption simplifications.
+
+use proptest::prelude::*;
+
+use omq_automata::{Bf, BfPool, EvalCache};
+
+/// Number of distinct atoms the generated formulas range over (valuations
+/// are enumerated exhaustively, so keep this small).
+const ATOMS: u8 = 6;
+
+/// A formula described as a postfix op stream: each item either pushes a
+/// literal/constant or combines the top two stack entries.
+#[derive(Debug, Clone)]
+struct FormulaSpec {
+    ops: Vec<(u8, u8)>,
+}
+
+fn formula_spec() -> impl Strategy<Value = FormulaSpec> {
+    prop::collection::vec((0u8..4, 0u8..32), 1..24).prop_map(|ops| FormulaSpec { ops })
+}
+
+fn build(spec: &FormulaSpec) -> Bf<u8> {
+    let mut stack: Vec<Bf<u8>> = Vec::new();
+    for &(op, arg) in &spec.ops {
+        match op {
+            0 => stack.push(Bf::Lit(arg % ATOMS)),
+            1 => stack.push(if arg % 2 == 0 { Bf::True } else { Bf::False }),
+            2 | 3 => {
+                let a = stack.pop().unwrap_or(Bf::Lit(arg % ATOMS));
+                let b = stack.pop().unwrap_or(Bf::Lit(arg / ATOMS % ATOMS));
+                stack.push(if op == 2 { a.and(b) } else { a.or(b) });
+            }
+            _ => unreachable!(),
+        }
+    }
+    // Join any leftover stack entries so every op stream yields one formula.
+    stack.into_iter().fold(Bf::False, Bf::or)
+}
+
+proptest! {
+    /// Pool evaluation equals tree evaluation under every valuation.
+    #[test]
+    fn pooled_eval_equals_tree_eval(spec in formula_spec()) {
+        let f = build(&spec);
+        let mut pool: BfPool<u8> = BfPool::new();
+        let id = pool.intern_bf(&f);
+        let mut cache = EvalCache::new();
+        for mask in 0u32..(1 << ATOMS) {
+            let tree = f.eval(&mut |&a| mask & (1 << a) != 0);
+            let pooled = cache.eval(&pool, id, &mut |&a| mask & (1 << a) != 0);
+            prop_assert_eq!(tree, pooled);
+        }
+    }
+
+    /// Pool minimal models equal tree minimal models as sets.
+    #[test]
+    fn pooled_minimal_models_equal_tree_models(spec in formula_spec()) {
+        let f = build(&spec);
+        let mut pool: BfPool<u8> = BfPool::new();
+        let id = pool.intern_bf(&f);
+        let mut pooled: Vec<Vec<u8>> = pool
+            .minimal_models(id)
+            .iter()
+            .map(|m| {
+                let mut vals: Vec<u8> = m.iter().map(|&li| *pool.lit_value(li)).collect();
+                vals.sort_unstable();
+                vals
+            })
+            .collect();
+        pooled.sort();
+        let mut tree = f.minimal_models();
+        tree.sort();
+        prop_assert_eq!(pooled, tree);
+    }
+}

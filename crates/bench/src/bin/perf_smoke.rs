@@ -51,13 +51,14 @@
 
 use std::time::Instant;
 
-use omq_bench::obsjson::{instrumented_pass, phase_fields};
+use omq_bench::obsjson::{counter_fields, instrumented_pass, phase_fields};
 use omq_bench::workloads::{
     guarded_seed_db, guarded_workload, linear_workload, nr_workload, random_db, sticky_workload,
     tiling_workload, witness_db, witness_workload,
 };
 use omq_chase::{certain_answers_via_chase, chase, global_hom_snapshot, ChaseConfig, ChaseStats};
 use omq_core::{contains, ContainmentConfig};
+use omq_guarded::{compile_encoding, EncodingConfig};
 use omq_rewrite::{xrewrite, XRewriteConfig};
 
 struct Record {
@@ -133,7 +134,11 @@ fn hom_record(label: &str, f: impl Fn()) -> HomRecord {
 }
 
 /// Like [`hom_record`] but with best-of-3 wall timing: the guarded-path
-/// reduction rows are real workloads, not counter probes.
+/// reduction rows are real workloads, not counter probes. Guarded rows
+/// additionally carry the obs counters of the instrumented pass
+/// (`ctr_bf_nodes_interned`, `ctr_fixpoint_rounds`,
+/// `ctr_contain_masks_pruned`, …) — deterministic per workload, so any
+/// drift there is a semantics change.
 fn guarded_record(label: &str, f: impl Fn()) -> HomRecord {
     let ((), timing) = best_of(3, &f);
     let before = global_hom_snapshot();
@@ -147,7 +152,7 @@ fn guarded_record(label: &str, f: impl Fn()) -> HomRecord {
         plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
         plans_reoptimized: after.plans_reoptimized - before.plans_reoptimized,
         sketch_build_us: (after.sketch_build_ns - before.sketch_build_ns) / 1_000,
-        phases: phase_fields(&agg),
+        phases: format!("{}{}", phase_fields(&agg), counter_fields(&agg)),
     }
 }
 
@@ -311,28 +316,46 @@ fn main() {
         }));
     }
 
-    // Guarded/reduction rows: the Prop. 15/18 witness family evaluated on
-    // its full-witness database, and the Thm. 16 tiling reduction's
-    // containment check.
+    // Guarded/reduction sweep: the Prop. 15/18 witness family evaluated on
+    // its full-witness database at n ∈ {3..6}, the Thm. 16 tiling
+    // reduction's containment check at initial-condition length k ∈ {2, 3},
+    // and one C-tree/2WAPA encoding compile (the automata-pipeline row —
+    // its `ctr_bf_nodes_interned`/`ctr_fixpoint_rounds` columns track the
+    // hash-consed pool and the NTA fixpoint).
     let mut guarded_rows = Vec::new();
-    {
-        let n = 3;
+    for n in [3usize, 4, 5, 6] {
         let (omq, voc) = witness_workload(n);
-        guarded_rows.push(guarded_record("guarded:witness counter n=3", || {
-            let mut voc = voc.clone();
-            let db = witness_db(n, &mut voc);
-            let ans = certain_answers_via_chase(&omq, &db, &mut voc, &ChaseConfig::default())
-                .expect("witness chase terminates");
-            assert!(!ans.is_empty(), "full witness derives Ans(0,1)");
-        }));
+        guarded_rows.push(guarded_record(
+            &format!("guarded:witness counter n={n}"),
+            || {
+                let mut voc = voc.clone();
+                let db = witness_db(n, &mut voc);
+                let ans = certain_answers_via_chase(&omq, &db, &mut voc, &ChaseConfig::default())
+                    .expect("witness chase terminates");
+                assert!(!ans.is_empty(), "full witness derives Ans(0,1)");
+            },
+        ));
+    }
+    for k in [2usize, 3] {
+        let omqs = tiling_workload(k);
+        guarded_rows.push(guarded_record(
+            &format!("guarded:tiling etp k={k} m=2"),
+            || {
+                let mut voc = omqs.voc.clone();
+                let out =
+                    contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap();
+                std::hint::black_box(out.witnesses_checked);
+            },
+        ));
     }
     {
-        let omqs = tiling_workload();
-        guarded_rows.push(guarded_record("guarded:tiling etp k=2 m=2", || {
-            let mut voc = omqs.voc.clone();
-            let out =
-                contains(&omqs.q1, &omqs.q2, &mut voc, &ContainmentConfig::default()).unwrap();
-            std::hint::black_box(out.witnesses_checked);
+        let (omq, voc) = guarded_workload(2);
+        guarded_rows.push(guarded_record("guarded:encode E4 depth=2", || {
+            let mut voc = voc.clone();
+            let art = compile_encoding(&omq, &mut voc, &EncodingConfig::default())
+                .expect("guarded workload encodes");
+            assert_eq!(art.nonempty, Some(true), "encoding certifies nonempty");
+            std::hint::black_box(art.nta_states);
         }));
     }
 

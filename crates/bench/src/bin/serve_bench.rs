@@ -153,9 +153,9 @@ fn main() {
     for (label, cache) in [("cold", 0usize), ("warm", 256)] {
         let engine = fresh_engine(cache, 1);
         let (wall_ms_c, p50_c, p95_c) = replay(&engine, &contains);
-        let (rw, vd) = engine.cache_stats();
+        let (rw, vd, _) = engine.cache_stats();
         let (wall_ms_e, p50_e, p95_e) = replay(&engine, &evals);
-        let (rw2, vd2) = engine.cache_stats();
+        let (rw2, vd2, _) = engine.cache_stats();
         // Counter columns are settled; the traced replays below only feed
         // the phase columns.
         let ((), agg_c) = instrumented_pass(&extra, || {

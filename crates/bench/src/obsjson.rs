@@ -49,6 +49,22 @@ pub fn phase_fields(agg: &Aggregator) -> String {
         .collect()
 }
 
+/// Renders an aggregator's counters as `, "ctr_<name>": v` fields (dots in
+/// counter names become underscores). Counters are deterministic per
+/// workload, so scripts/bench_diff.py treats these columns as semantics,
+/// not noise. Empty when nothing was recorded.
+pub fn counter_fields(agg: &Aggregator) -> String {
+    let mut counters = agg.counters();
+    counters.sort();
+    counters
+        .iter()
+        .map(|(name, v)| {
+            let key = name.replace('.', "_");
+            format!(", \"ctr_{key}\": {v}")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

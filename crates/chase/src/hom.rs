@@ -671,7 +671,102 @@ impl JoinPlan {
         }
         let candidates = best.unwrap_or_else(|| clamp(inst.atoms_with_pred(st.pred), lo, hi));
         let cols = inst.columns(st.pred);
-        'cands: for &ci in candidates {
+
+        // SIMD-width unrolled probe scan. Every probe position compares the
+        // candidate against a value that is *constant for the whole scan*
+        // (a ground code, or a slot bound before this step — deeper steps
+        // never rebind it and this step's own binds are reset per row), so
+        // those compares are hoisted into an 8-candidate-at-a-time filter
+        // pass over the columnar store with compile-time lane counts. Only
+        // survivors run the per-row bind/intra-row-equality actions.
+        // Candidates are *attributed* strictly in order — a lane's counters
+        // are bumped only when its turn comes, and an early `Break` leaves
+        // later lanes uncounted — so enumeration order, `candidates_scanned`
+        // and `backtracks` are bit-identical to the scalar reference (a
+        // candidate fails iff some compare fails, wherever it runs).
+        const LANES: usize = 8;
+        let arity = st.actions.len();
+        let mut pre_vals = [0i64; 64];
+        let mut probe_mask = 0u64;
+        let unrolled = arity <= 64;
+        if unrolled {
+            for (k, &pos) in st.probes.iter().enumerate() {
+                probe_mask |= 1u64 << pos;
+                pre_vals[k] = match st.actions[pos] {
+                    SlotAction::Fixed(_, code) => code,
+                    SlotAction::Eq(s) => bindings[s],
+                    SlotAction::Bind(_) => unreachable!("a bind position is never a probe"),
+                };
+            }
+        }
+        let full = if unrolled {
+            candidates.len() / LANES * LANES
+        } else {
+            0
+        };
+        for chunk in candidates[..full].chunks_exact(LANES) {
+            let mut rows = [0usize; LANES];
+            for j in 0..LANES {
+                rows[j] = inst.row_of(chunk[j]);
+            }
+            let mut fail = [false; LANES];
+            for (k, &pos) in st.probes.iter().enumerate() {
+                let expected = pre_vals[k];
+                let col = &cols[pos];
+                for j in 0..LANES {
+                    fail[j] |= col[rows[j]] != expected;
+                }
+            }
+            for j in 0..LANES {
+                stats.candidates_scanned += 1;
+                if fail[j] {
+                    stats.backtracks += 1;
+                    continue;
+                }
+                let row = rows[j];
+                let mut failed_at = None;
+                for (pos, action) in st.actions.iter().enumerate() {
+                    if probe_mask >> pos & 1 == 1 {
+                        continue; // already filtered
+                    }
+                    let val = cols[pos][row];
+                    let ok = match *action {
+                        SlotAction::Fixed(_, code) => code == val,
+                        SlotAction::Eq(s) => bindings[s] == val,
+                        SlotAction::Bind(s) => {
+                            bindings[s] = val;
+                            true
+                        }
+                    };
+                    if !ok {
+                        failed_at = Some(pos);
+                        break;
+                    }
+                }
+                if let Some(pos) = failed_at {
+                    for (p, a) in st.actions.iter().enumerate().take(pos) {
+                        if probe_mask >> p & 1 == 0 {
+                            if let SlotAction::Bind(s) = *a {
+                                bindings[s] = UNBOUND;
+                            }
+                        }
+                    }
+                    stats.backtracks += 1;
+                    continue;
+                }
+                let res = self.step(depth + 1, inst, ranges, bindings, stats, f);
+                for a in &st.actions {
+                    if let SlotAction::Bind(s) = *a {
+                        bindings[s] = UNBOUND;
+                    }
+                }
+                res?;
+            }
+        }
+
+        // Scalar tail (and fallback for atoms wider than the 64-position
+        // probe mask): the original reference loop, byte for byte.
+        'cands: for &ci in &candidates[full..] {
             stats.candidates_scanned += 1;
             let row = inst.row_of(ci);
             for (pos, action) in st.actions.iter().enumerate() {

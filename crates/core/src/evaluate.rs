@@ -80,7 +80,20 @@ pub fn evaluate_with(
     cfg: &EvalConfig,
     src: &mut dyn RewriteSource,
 ) -> EvalOutcome {
-    let language = detect_language(omq);
+    evaluate_in_language(omq, db, voc, cfg, src, detect_language(omq))
+}
+
+/// [`evaluate_with`], with the language already detected by the caller (it
+/// is trusted, not re-checked). Hot loops evaluating one fixed OMQ over
+/// many databases hoist the per-call detection this way.
+pub fn evaluate_in_language(
+    omq: &Omq,
+    db: &Instance,
+    voc: &mut Vocabulary,
+    cfg: &EvalConfig,
+    src: &mut dyn RewriteSource,
+    language: OmqLanguage,
+) -> EvalOutcome {
     match language {
         OmqLanguage::Empty => EvalOutcome {
             answers: eval_ucq(&omq.query, db),

@@ -126,6 +126,17 @@ pub fn guarded_certain_answers(
                 depth_used: depth,
             };
         }
+        // An expired budget truncates the chase mid-level; the type set of
+        // the truncated instance can coincide with the previous level's and
+        // masquerade as stabilization, so the check must come first. The
+        // answers found so far stay sound — degrade, don't discard.
+        if cfg.budget.expired() {
+            return GuardedAnswers {
+                answers,
+                completeness: Completeness::LowerBound,
+                depth_used: depth,
+            };
+        }
         let types = type_set(&out.instance);
         match &prev_types {
             Some(p) if *p == types => stable_for += 1,
@@ -267,6 +278,26 @@ mod tests {
         };
         let r = guarded_certain_answers(&q, &d, &mut voc, &cfg);
         assert_eq!(r.completeness, Completeness::LowerBound);
+    }
+
+    /// An expired wall-clock budget must degrade to `LowerBound`, never to
+    /// a (false) `Stabilized`/`Exact` claim over a truncated chase.
+    #[test]
+    fn expired_budget_degrades_to_lower_bound() {
+        let (q, mut voc) = omq(
+            "P(X) -> exists Y . R(X,Y), P(Y)\n\
+             q :- R(X,X)\n",
+            &["P"],
+            "q",
+        );
+        let d = db(&mut voc, &["P(a)"]);
+        let cfg = GuardedConfig {
+            budget: omq_chase::Budget::deadline_in(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let r = guarded_certain_answers(&q, &d, &mut voc, &cfg);
+        assert_eq!(r.completeness, Completeness::LowerBound);
+        assert!(r.answers.is_empty(), "sound: nothing falsely derived");
     }
 
     #[test]

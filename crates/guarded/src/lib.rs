@@ -14,12 +14,14 @@
 //! create new query matches. The engine reports exactly which guarantee the
 //! returned answer carries ([`guarded_eval::Completeness`]).
 
+pub mod compile;
 pub mod ctree;
 pub mod encoding;
 pub mod guarded_eval;
 pub mod tree_decomposition;
 pub mod unravel;
 
+pub use compile::{compile_encoding, EncodingArtifact, EncodingConfig};
 pub use ctree::CTree;
 pub use encoding::{
     consistency_automaton_downward, decode, encode, is_consistent, Name, NodeLabel,

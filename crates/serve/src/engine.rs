@@ -11,6 +11,13 @@
 //!   rendered response fields of *definitive* containment verdicts. Never
 //!   stores `Unknown`: a later, less-constrained request must be free to do
 //!   better.
+//! * **Encoding cache** — keyed by the lhs `OmqKey`; stores the compiled
+//!   C-tree/2WAPA encoding artifact (`omq_guarded::compile_encoding`) of
+//!   guarded left-hand sides. The artifact depends only on the OMQ, so a
+//!   warm guarded `contains` (same lhs, any rhs) skips automaton
+//!   construction entirely; only *complete* artifacts are stored (an
+//!   incomplete one depends on the budget that truncated its emptiness
+//!   check).
 //!
 //! Scheduling: a batch runs in input order. `register` requests are
 //! barriers (they mutate the registry); maximal runs of non-register
@@ -33,8 +40,9 @@ use std::time::{Duration, Instant};
 use omq_chase::{effective_threads, parallel_indexed, Budget};
 use omq_core::{
     contains_with, equivalent_with, evaluate_with, explain_with, ContainmentConfig,
-    ContainmentOutcome, ContainmentResult, EvalConfig, EvalGuarantee, ExplainDetail,
+    ContainmentOutcome, ContainmentResult, EvalConfig, EvalGuarantee, ExplainDetail, OmqLanguage,
 };
+use omq_guarded::{compile_encoding, EncodingArtifact, EncodingConfig};
 use omq_model::display::render_atom;
 use omq_model::{parse_tgd, Instance, Omq, Term, Vocabulary};
 use omq_obs::{Aggregator, JsonlSink, Sink};
@@ -117,6 +125,7 @@ pub struct Engine {
     registry: RwLock<Registry>,
     rewrites: Mutex<LruCache<RewriteKey, RewriteArtifact>>,
     verdicts: Mutex<LruCache<VerdictKey, Vec<(String, Json)>>>,
+    encodings: Mutex<LruCache<OmqKey, EncodingArtifact>>,
     /// Per-op wall-clock histograms, fed directly (no recorder needed, so
     /// they survive `--no-default-features`); exposed by the `stats` op.
     latencies: Aggregator,
@@ -133,6 +142,7 @@ impl Engine {
             registry: RwLock::new(Registry::new()),
             rewrites: Mutex::new(LruCache::new(cap)),
             verdicts: Mutex::new(LruCache::new(cap)),
+            encodings: Mutex::new(LruCache::new(cap)),
             latencies: Aggregator::new(),
             trace_sink: None,
         }
@@ -145,11 +155,13 @@ impl Engine {
         self.trace_sink = Some(sink);
     }
 
-    /// Current cache counters `(artifact cache, verdict cache)`.
-    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+    /// Current cache counters `(artifact cache, verdict cache, encoding
+    /// cache)`.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats) {
         (
             self.rewrites.lock().unwrap().stats(),
             self.verdicts.lock().unwrap().stats(),
+            self.encodings.lock().unwrap().stats(),
         )
     }
 
@@ -298,7 +310,7 @@ impl Engine {
     }
 
     fn op_stats(&self) -> Vec<(String, Json)> {
-        let (rw, vd) = self.cache_stats();
+        let (rw, vd, enc) = self.cache_stats();
         let reg = self.registry.read().unwrap();
         let cache_obj = |s: CacheStats, entries: usize| {
             Json::obj([
@@ -345,6 +357,13 @@ impl Engine {
                 "verdict_cache".to_owned(),
                 cache_obj(vd, self.verdicts.lock().unwrap().len()),
             ),
+            (
+                "encoding_cache".to_owned(),
+                cache_obj(enc, self.encodings.lock().unwrap().len()),
+            ),
+            // Duplicated at the top level as the headline warm-path signal
+            // (dashboards and the CI gate key on this one number).
+            ("encoding_cache_hits".to_owned(), Json::num(enc.hits)),
             (
                 "threads".to_owned(),
                 Json::num(effective_threads(self.cfg.threads, usize::MAX)),
@@ -395,6 +414,39 @@ impl Engine {
         Ok((regs, reg.vocabulary().clone()))
     }
 
+    /// Fetches (or compiles and caches) the encoding artifact of a guarded
+    /// left-hand side; `None` for non-guarded OMQs and for OMQs the
+    /// name-pool bounds cannot encode. Compilation runs on a *clone* of the
+    /// request vocabulary, so cache state (compile vs. hit) can never leak
+    /// into the interning order — and therefore the rendered bytes — of the
+    /// main solver run. Only complete artifacts are stored.
+    fn guarded_encoding(
+        &self,
+        reg: &crate::registry::Registered,
+        voc: &Vocabulary,
+        budget: &Budget,
+    ) -> Option<EncodingArtifact> {
+        if reg.language != OmqLanguage::Guarded {
+            return None;
+        }
+        let alias = reg.alias_of.is_some();
+        if let Some(hit) = self.encodings.lock().unwrap().get_tagged(&reg.key, alias) {
+            return Some(hit);
+        }
+        let cfg = EncodingConfig {
+            budget: budget.clone(),
+            ..EncodingConfig::default()
+        };
+        let art = compile_encoding(&reg.omq, &mut voc.clone(), &cfg)?;
+        if art.complete {
+            self.encodings
+                .lock()
+                .unwrap()
+                .insert(reg.key.clone(), art.clone());
+        }
+        Some(art)
+    }
+
     fn containment_cfg(&self, budget: &Budget) -> ContainmentConfig {
         let mut cfg = ContainmentConfig::default().with_budget(budget.clone());
         cfg.threads = 1;
@@ -425,6 +477,7 @@ impl Engine {
         if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
+        let encoding = self.guarded_encoding(l, &voc, budget);
         let cfg = self.containment_cfg(budget);
         let mut src = CachingSource {
             cache: &self.rewrites,
@@ -435,7 +488,10 @@ impl Engine {
             Err(e) => return (Err(e.into()), false),
         };
         let definitive = !matches!(outcome.result, ContainmentResult::Unknown(_));
-        let fields = contains_fields(&outcome, &voc);
+        let mut fields = contains_fields(&outcome, &voc);
+        if let Some(art) = &encoding {
+            fields.push(("guarded_encoding".to_owned(), encoding_json(art)));
+        }
         if definitive {
             self.verdicts.lock().unwrap().insert(vkey, fields.clone());
         }
@@ -709,6 +765,21 @@ fn trace_json(agg: &Aggregator) -> Json {
     ])
 }
 
+/// The `"guarded_encoding"` response field: the lhs artifact's summary —
+/// counts and certification bits only, nothing vocabulary-dependent, so a
+/// cached artifact renders byte-identically to a freshly compiled one.
+fn encoding_json(a: &EncodingArtifact) -> Json {
+    Json::obj([
+        ("ctree_nodes", Json::num(a.ctree_nodes)),
+        ("alphabet", Json::num(a.alphabet_size)),
+        ("twapa_states", Json::num(a.twapa_states)),
+        ("nta_states", Json::num(a.nta_states)),
+        ("nta_transitions", Json::num(a.nta_transitions)),
+        ("consistent", Json::Bool(a.consistent)),
+        ("nonempty", a.nonempty.map_or(Json::Null, Json::Bool)),
+    ])
+}
+
 /// Renders a containment outcome as response fields (deterministic: the
 /// witness database is in `Instance` insertion order, which the parallel
 /// sweep reproduces exactly).
@@ -797,7 +868,7 @@ mod tests {
         let fields = out[1].outcome.as_ref().unwrap();
         assert_eq!(fields[0].1.as_str(), Some("contained"));
         assert_eq!(out[1].outcome, out[2].outcome, "cache replays the verdict");
-        let (_, vd) = eng.cache_stats();
+        let (_, vd, _) = eng.cache_stats();
         assert_eq!(vd.hits, 1);
         assert_eq!(vd.insertions, 1);
     }
@@ -1032,13 +1103,76 @@ mod tests {
         ];
         let out = eng.execute_batch(&batch);
         assert_eq!(out[2].outcome, out[3].outcome);
-        let (_, vd) = eng.cache_stats();
+        let (_, vd, _) = eng.cache_stats();
         assert_eq!(vd.insertions, 1);
         assert_eq!(vd.hits, 2, "alias and same-name hits both count as hits");
         assert_eq!(
             vd.alias_hits, 1,
             "only the alias-name probe is an alias hit"
         );
+    }
+
+    /// The encoding artifact of a guarded lhs is compiled once per
+    /// canonical key: a second `contains` with the same lhs (any rhs)
+    /// probes the encoding cache instead of rebuilding the automaton, and
+    /// the response bytes are identical either way.
+    #[test]
+    fn warm_guarded_contains_hits_the_encoding_cache() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let guarded = r#"{"op":"register","name":"g","program":"G(X,Y,Z), R(X,Y) -> exists W . G(Y,Z,W), R(Y,Z)\nq :- R(X,Y), R(Y,Z)","schema":["G","R"],"query":"q"}"#;
+        let r1 = r#"{"op":"register","name":"r1","program":"q :- R(X,Y)","schema":["G","R"],"query":"q"}"#;
+        let r2 = r#"{"op":"register","name":"r2","program":"q :- G(X,Y,Z)","schema":["G","R"],"query":"q"}"#;
+        let batch = vec![
+            req(guarded),
+            req(r1),
+            req(r2),
+            req(r#"{"id":1,"op":"contains","lhs":"g","rhs":"r1"}"#),
+            req(r#"{"id":2,"op":"contains","lhs":"g","rhs":"r2"}"#),
+            req(r#"{"id":3,"op":"stats"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert!(out.iter().all(|r| r.outcome.is_ok()));
+        let f1 = Json::Obj(out[3].outcome.as_ref().unwrap().clone());
+        let f2 = Json::Obj(out[4].outcome.as_ref().unwrap().clone());
+        let e1 = f1.get("guarded_encoding").expect("artifact on cold call");
+        let e2 = f2.get("guarded_encoding").expect("artifact on warm call");
+        assert_eq!(
+            e1.to_string(),
+            e2.to_string(),
+            "cache state must not change the rendered artifact"
+        );
+        assert_eq!(e1.get("consistent"), Some(&Json::Bool(true)));
+        assert_eq!(e1.get("nonempty"), Some(&Json::Bool(true)));
+        let (_, _, enc) = eng.cache_stats();
+        assert_eq!(enc.insertions, 1, "compiled exactly once");
+        assert_eq!(enc.hits, 1, "warm lhs probe hits");
+        let stats = Json::Obj(out[5].outcome.as_ref().unwrap().clone());
+        assert_eq!(
+            stats.get("encoding_cache_hits").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    /// Non-guarded left-hand sides never touch the encoding cache.
+    #[test]
+    fn linear_contains_skips_the_encoding_cache() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert!(out.iter().all(|r| r.outcome.is_ok()));
+        let fields = Json::Obj(out[1].outcome.as_ref().unwrap().clone());
+        assert!(fields.get("guarded_encoding").is_none());
+        let (_, _, enc) = eng.cache_stats();
+        assert_eq!(enc.hits + enc.misses + enc.insertions, 0, "untouched");
     }
 
     #[test]

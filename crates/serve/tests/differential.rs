@@ -321,7 +321,7 @@ fn alias_registrations_share_cache_slots() {
         r#"{"id":1,"op":"contains","lhs":"path2_alpha","rhs":"strict"}"#,
     ));
     let out = engine.execute_batch(&batch);
-    let (_, verdicts) = engine.cache_stats();
+    let (_, verdicts, _) = engine.cache_stats();
     assert_eq!(verdicts.insertions, 1, "one key for both name pairs");
     assert_eq!(verdicts.hits, 1, "second request was a verdict-cache hit");
     assert_eq!(

@@ -33,17 +33,45 @@ cargo test -q --release --workspace --no-default-features \
 echo "==> perf smoke (writes BENCH_chase.json, BENCH_rewrite.json, BENCH_guarded.json)"
 cargo run -q --release -p omq-bench --bin perf_smoke
 
-echo "==> guarded/reduction bench present (witness family + tiling reduction)"
+echo "==> guarded/reduction sweep present (witness n=3..6, tiling k=2/3, encode)"
 [ -f BENCH_guarded.json ] || {
     echo "BENCH_guarded.json was not written by perf_smoke" >&2
     exit 1
 }
-for family in "guarded:witness" "guarded:tiling"; do
-    if ! grep -q "$family" BENCH_guarded.json; then
-        echo "BENCH_guarded.json is missing the '$family' row" >&2
+for row in \
+    "guarded:witness counter n=3" "guarded:witness counter n=4" \
+    "guarded:witness counter n=5" "guarded:witness counter n=6" \
+    "guarded:tiling etp k=2 m=2" "guarded:tiling etp k=3 m=2" \
+    "guarded:encode E4 depth=2"; do
+    if ! grep -q "$row" BENCH_guarded.json; then
+        echo "BENCH_guarded.json is missing the '$row' row" >&2
         exit 1
     fi
 done
+
+echo "==> automata-pipeline counters on the encode row"
+# The encode row compiles one C-tree/2WAPA encoding end to end; it must
+# surface the hash-consed B+(X) pool and the NTA fixpoint counters (both
+# deterministic for a fixed workload).
+jq -e 'map(select(.workload == "guarded:encode E4 depth=2")) | .[0]
+    | .ctr_bf_nodes_interned >= 1
+      and .ctr_fixpoint_rounds >= 1
+      and .ctr_guarded_encodings_compiled == 1' \
+    BENCH_guarded.json >/dev/null || {
+    echo "guarded:encode row lost its pool/fixpoint counters" >&2
+    exit 1
+}
+
+echo "==> guarded headline ceiling (tiling containment, k=2)"
+# The committed best-of-3 is ~0.21 ms (propositional bitset fast path +
+# relaxation pruning); the pre-optimization baseline was 1.087 ms. The
+# gate trips well before the optimization is lost while tolerating a
+# loaded machine.
+jq -e 'map(select(.workload == "guarded:tiling etp k=2 m=2")) | .[0].wall_min_ms <= 0.8' \
+    BENCH_guarded.json >/dev/null || {
+    echo "guarded:tiling etp k=2 m=2 wall_min_ms regressed above the 0.8 ms ceiling" >&2
+    exit 1
+}
 
 echo "==> rewriting bench sanity (every workload family present)"
 for family in "rewrite:E3 nr" "rewrite:E2 sticky" "rewrite:E1 linear"; do
@@ -80,6 +108,11 @@ for bench in BENCH_chase.json BENCH_rewrite.json BENCH_guarded.json; do
 done
 
 echo "==> serve smoke (omq-serve JSON-lines round trip, incl. a deliberate timeout)"
+# Requests 10-14 exercise the C-tree encoding cache: a guarded lhs checked
+# against two distinct rhs queries compiles its encoding once (id 12) and
+# hits the cache on the second contains (id 13); the final stats op must
+# report that warm hit, and both responses must render the identical
+# guarded_encoding artifact regardless of cache state.
 SERVE_OUT=$(printf '%s\n' \
   '{"id":1,"op":"register","name":"s","program":"P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq(X) :- R(X,Y), P(Y)","schema":["P","R"],"query":"q"}' \
   '{"id":2,"op":"contains","lhs":"s","rhs":"s","deadline_ms":0}' \
@@ -90,9 +123,14 @@ SERVE_OUT=$(printf '%s\n' \
   '{"id":7,"op":"register","name":"t","program":"q(X) :- T(X)","schema":["T"],"query":"q"}' \
   '{"id":8,"op":"explain","lhs":"s","rhs":"t"}' \
   '{"id":9,"op":"stats"}' \
+  '{"id":10,"op":"register","name":"g","program":"G(X,Y,Z), R(X,Y) -> exists W . G(Y,Z,W), R(Y,Z)\nq :- R(X,Y), R(Y,Z)","schema":["G","R"],"query":"q"}' \
+  '{"id":11,"op":"register","name":"g2","program":"q :- R(X,Y)","schema":["G","R"],"query":"q"}' \
+  '{"id":12,"op":"contains","lhs":"g","rhs":"g2"}' \
+  '{"id":13,"op":"contains","lhs":"g","rhs":"g"}' \
+  '{"id":14,"op":"stats"}' \
   | ./target/release/omq-serve)
 echo "$SERVE_OUT" | jq -s -e '
-    length == 9
+    length == 14
     and (.[0].ok and .[0].registered == "s")
     and (.[1].timed_out == true and .[1].verdict == "unknown")
     and (.[2].ok and .[2].verdict == "contained")
@@ -102,6 +140,11 @@ echo "$SERVE_OUT" | jq -s -e '
     and (.[6].ok and .[6].registered == "t")
     and (.[7].ok and .[7].verdict == "not_contained" and (.[7] | has("derivation")))
     and (.[8].ok and .[8].registered == 2 and (.[8].latency | has("serve.contains")))
+    and (.[9].ok and .[9].registered == "g")
+    and (.[10].ok and .[10].registered == "g2")
+    and (.[11].ok and .[11].guarded_encoding.consistent == true)
+    and (.[12].ok and .[12].guarded_encoding == .[11].guarded_encoding)
+    and (.[13].ok and .[13].encoding_cache_hits > 0)
 ' >/dev/null || {
     echo "serve smoke test failed; responses were:" >&2
     echo "$SERVE_OUT" >&2
