@@ -119,6 +119,7 @@ fn fresh_engine(cache_capacity: usize, threads: usize) -> Engine {
         threads,
         cache_capacity,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let regs: Vec<String> = vec![
         register_line("lin_a", 12, 3),

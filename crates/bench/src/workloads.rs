@@ -111,6 +111,51 @@ pub fn guarded_workload(qlen: usize) -> (Omq, Vocabulary) {
     (Omq::new(schema, sigma, Ucq::from_cq(q)), voc)
 }
 
+/// E14 (incremental maintenance, `omq-store`): transitive closure of an
+/// EDB edge relation — every assert/retract visibly reshapes the derived
+/// `T` facts, and the chase terminates on any finite database.
+///
+/// ```text
+/// E(x,y) → T(x,y)
+/// E(x,y), T(y,z) → T(x,z)
+/// q(x,y) :- T(x,y)
+/// ```
+pub fn tc_workload() -> (Omq, Vocabulary) {
+    let mut voc = Vocabulary::new();
+    let e = voc.pred("E", 2);
+    let t = voc.pred("T", 2);
+    let (x, y, z) = (
+        Term::Var(voc.var("X")),
+        Term::Var(voc.var("Y")),
+        Term::Var(voc.var("Z")),
+    );
+    let sigma = vec![
+        Tgd::new(
+            vec![Atom::new(e, vec![x, y])],
+            vec![Atom::new(t, vec![x, y])],
+        ),
+        Tgd::new(
+            vec![Atom::new(e, vec![x, y]), Atom::new(t, vec![y, z])],
+            vec![Atom::new(t, vec![x, z])],
+        ),
+    ];
+    let (qx, qy) = (voc.var("Qx"), voc.var("Qy"));
+    let q = Cq::new(
+        vec![qx, qy],
+        vec![Atom::new(t, vec![Term::Var(qx), Term::Var(qy)])],
+    );
+    let schema = Schema::from_preds([e]);
+    (Omq::new(schema, sigma, Ucq::from_cq(q)), voc)
+}
+
+/// The `i`-th edge of the [`tc_workload`] chain: `E(cᵢ, cᵢ₊₁)`.
+pub fn chain_edge(i: usize, voc: &mut Vocabulary) -> Atom {
+    let e = voc.pred_id("E").expect("tc workload declares E");
+    let src = Term::Const(voc.constant(&format!("c{i}")));
+    let dst = Term::Const(voc.constant(&format!("c{}", i + 1)));
+    Atom::new(e, vec![src, dst])
+}
+
 /// A random database over the data schema of `omq`: `size` facts over a
 /// domain of `domain` constants, deterministic in `seed`.
 pub fn random_db(

@@ -334,19 +334,31 @@ struct Runner<'a> {
 
 impl<'a> Runner<'a> {
     fn new(db: &Instance, sigma: &'a [Tgd], voc: &'a mut Vocabulary, cfg: &'a ChaseConfig) -> Self {
+        Self::with_instance(db.clone(), sigma, voc, cfg)
+    }
+
+    /// Like [`Runner::new`] but takes ownership of the starting instance —
+    /// the resume path hands a prior fixpoint straight back to the engine
+    /// without cloning it.
+    fn with_instance(
+        instance: Instance,
+        sigma: &'a [Tgd],
+        voc: &'a mut Vocabulary,
+        cfg: &'a ChaseConfig,
+    ) -> Self {
         let mut stats = ChaseStats::default();
         let mut plans = PlanCache::new();
         let mut hstats = HomStats::default();
         let tgd_plans = sigma
             .iter()
-            .map(|t| TgdPlan::new(t, cfg.variant, &mut plans, db, &mut hstats))
+            .map(|t| TgdPlan::new(t, cfg.variant, &mut plans, &instance, &mut hstats))
             .collect();
         stats.absorb_hom(hstats);
         Runner {
             sigma,
             voc,
             cfg,
-            instance: db.clone(),
+            instance,
             depth: HashMap::new(),
             fired: HashSet::new(),
             steps: 0,
@@ -490,9 +502,19 @@ impl<'a> Runner<'a> {
     /// (oblivious) are both monotone in the instance, a trigger skipped once
     /// stays skippable, so old-only triggers never need revisiting.
     fn run(&mut self, active: &[usize]) -> bool {
+        self.run_from(active, 0)
+    }
+
+    /// [`Runner::run`], with the first round's delta watermark supplied by
+    /// the caller: atoms at index `>= initial_delta` are treated as new. A
+    /// resumed chase passes the prior fixpoint's length here, so the first
+    /// round only enumerates triggers touching the freshly asserted atoms —
+    /// the semi-naive invariant (skipped triggers stay skippable) makes
+    /// re-enumerating the old fixpoint unnecessary.
+    fn run_from(&mut self, active: &[usize], initial_delta: usize) -> bool {
         let sigma = self.sigma;
         // Atoms at or past this index are "new" for the current round.
-        let mut delta_start = 0usize;
+        let mut delta_start = initial_delta;
         let mut triggers: Vec<Vec<Term>> = Vec::new();
         loop {
             self.stats.rounds += 1;
@@ -617,6 +639,51 @@ pub fn chase(
     let active: Vec<usize> = (0..sigma.len()).collect();
     let complete = runner.run(&active);
     runner.stats.emit_obs();
+    ChaseOutcome {
+        instance: runner.instance,
+        complete,
+        steps: runner.steps,
+        deepest: runner.deepest,
+        stats: runner.stats,
+        derivation: runner.derivation,
+    }
+}
+
+/// Resumes a chase from a prior fixpoint instead of re-chasing from
+/// scratch: `prior` is the result of an earlier chase of some database
+/// under the same `sigma`, extended with newly asserted facts, and atoms at
+/// index `>= delta_start` are exactly those new facts (append them under a
+/// fresh [`Instance::begin_generation`] and pass that generation's start).
+///
+/// The first semi-naive round then enumerates only triggers touching the
+/// delta — the prior fixpoint is never re-enumerated, which is what makes
+/// incremental maintenance of a live store cheap. Sound for the
+/// **restricted** variant: its skip condition (head satisfaction) is
+/// monotone in the instance and carries no state across runs. The oblivious
+/// fingerprint set is *not* persisted, so an oblivious resume may re-fire
+/// old triggers; incremental callers should use `ChaseVariant::Restricted`.
+///
+/// Passing `delta_start == 0` re-enumerates every trigger (a "re-derive"
+/// pass): still cheap on a near-fixpoint instance because almost every
+/// trigger is skipped by head satisfaction. The DRed deletion algorithm in
+/// `omq-store` uses exactly this after over-deleting a support cone.
+///
+/// Null depths of the prior run are not carried over (old nulls resume at
+/// depth 0), so `cfg.max_depth` budgets are measured per-resume; callers
+/// that rely on depth budgets should re-chase from scratch instead.
+pub fn resume_chase(
+    prior: Instance,
+    delta_start: usize,
+    sigma: &[Tgd],
+    voc: &mut Vocabulary,
+    cfg: &ChaseConfig,
+) -> ChaseOutcome {
+    let _span = omq_obs::span("chase.incremental");
+    let mut runner = Runner::with_instance(prior, sigma, voc, cfg);
+    let active: Vec<usize> = (0..sigma.len()).collect();
+    let complete = runner.run_from(&active, delta_start);
+    runner.stats.emit_obs();
+    omq_obs::counter("chase.incremental", 1);
     ChaseOutcome {
         instance: runner.instance,
         complete,
@@ -863,6 +930,91 @@ mod tests {
         };
         let out = chase(&d, &sigma, &mut voc, &cfg);
         assert!(out.complete);
+    }
+
+    #[test]
+    fn resumed_chase_matches_from_scratch() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "E(X,Y) -> T(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "E(X,Y), T(Y,Z) -> T(X,Z)").unwrap(),
+        ];
+        let d = db(&mut voc, &["E(a,b)", "E(b,c)", "E(c,d)"]);
+        let cfg = ChaseConfig::default();
+        let out = chase(&d, &sigma, &mut voc, &cfg);
+        assert!(out.complete);
+
+        // Assert a new edge as a fresh delta generation and resume.
+        let mut inst = out.instance;
+        inst.begin_generation();
+        let delta_start = inst.len();
+        let extra = parse_tgd(&mut voc, "true -> E(d,e)").unwrap();
+        for a in extra.head.clone() {
+            inst.insert(a);
+        }
+        let resumed = resume_chase(inst, delta_start, &sigma, &mut voc, &cfg);
+        assert!(resumed.complete);
+
+        // From-scratch chase of the full database: same atom set (no
+        // existentials, so no null-renaming slack).
+        let mut full = d.clone();
+        for a in extra.head {
+            full.insert(a);
+        }
+        let scratch = chase(&full, &sigma, &mut voc, &cfg);
+        assert_eq!(resumed.instance, scratch.instance);
+        // The resume did strictly less work than the re-chase.
+        assert!(resumed.stats.triggers_considered < scratch.stats.triggers_considered);
+    }
+
+    #[test]
+    fn resume_with_empty_delta_is_a_fixpoint_check() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![parse_tgd(&mut voc, "E(X,Y) -> T(X,Y)").unwrap()];
+        let d = db(&mut voc, &["E(a,b)"]);
+        let out = chase(&d, &sigma, &mut voc, &ChaseConfig::default());
+        let len = out.instance.len();
+        let mut inst = out.instance;
+        inst.begin_generation();
+        let resumed = resume_chase(inst, len, &sigma, &mut voc, &ChaseConfig::default());
+        assert!(resumed.complete);
+        assert_eq!(resumed.steps, 0);
+        assert_eq!(resumed.stats.rounds, 1);
+        assert_eq!(resumed.instance.len(), len);
+    }
+
+    #[test]
+    fn resumed_chase_with_existentials_preserves_answers() {
+        let mut voc = Vocabulary::new();
+        let sigma = vec![
+            parse_tgd(&mut voc, "P(X) -> exists Y . R(X,Y)").unwrap(),
+            parse_tgd(&mut voc, "R(X,Y) -> S(X)").unwrap(),
+        ];
+        let d = db(&mut voc, &["P(a)"]);
+        let cfg = ChaseConfig::default();
+        let out = chase(&d, &sigma, &mut voc, &cfg);
+        let mut inst = out.instance;
+        inst.begin_generation();
+        let delta_start = inst.len();
+        for a in parse_tgd(&mut voc, "true -> P(b)").unwrap().head {
+            inst.insert(a);
+        }
+        let resumed = resume_chase(inst, delta_start, &sigma, &mut voc, &cfg);
+        assert!(resumed.complete);
+        let full = db(&mut voc, &["P(a)", "P(b)"]);
+        let scratch = chase(&full, &sigma, &mut voc, &cfg);
+        // Nulls differ across the two runs; the constant-only certain
+        // answers must not.
+        let (_, q) = parse_query(&mut voc, "q(X) :- S(X)").unwrap();
+        let mut a1: Vec<_> = crate::eval::eval_cq(&q, &resumed.instance)
+            .into_iter()
+            .collect();
+        let mut a2: Vec<_> = crate::eval::eval_cq(&q, &scratch.instance)
+            .into_iter()
+            .collect();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2);
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod omq_eval;
 pub mod runtime;
 
 pub use chase::{
-    chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant, DerivationStep,
+    chase, resume_chase, stratified_chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseVariant,
+    DerivationStep,
 };
 pub use cq_ops::{
     cq_canonical_form, cq_contained, cq_contained_stats, cq_core, cq_core_budgeted,

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use omq_chase::{runtime, Budget, CompiledUcq, HomStats};
+use omq_guarded::{compile_encoding, EncodingArtifact, EncodingConfig};
 use omq_model::{ConstId, Cq, Instance, Vocabulary};
 use omq_model::{Omq, Ucq};
 use omq_rewrite::{DirectRewrite, RewriteSource, XRewriteConfig};
@@ -121,6 +122,14 @@ pub struct ContainmentConfig {
     /// [`ContainmentConfig::with_budget`]. Expiry always degrades to
     /// [`ContainmentResult::Unknown`] — never a flipped verdict.
     pub budget: Budget,
+    /// A precompiled encoding artifact of the *left-hand side* OMQ (as
+    /// produced by `omq_guarded::compile_encoding`). Serving layers supply
+    /// their per-key cached artifact here so the anytime ladder reuses the
+    /// cached NTA and satisfiability verdict instead of recompiling them;
+    /// when `None` and the lhs is guarded, the ladder compiles one itself.
+    /// The verdict is identical either way — the artifact is a pure
+    /// function of the OMQ.
+    pub lhs_encoding: Option<std::sync::Arc<EncodingArtifact>>,
 }
 
 impl Default for ContainmentConfig {
@@ -132,6 +141,7 @@ impl Default for ContainmentConfig {
             max_propositional_schema: 12,
             threads: 0,
             budget: Budget::unlimited(),
+            lhs_encoding: None,
         }
     }
 }
@@ -441,7 +451,16 @@ pub fn contains_with(
             Err(reason) => ContainmentResult::Unknown(reason),
         }
     } else {
-        anytime_guarded(q1, q2, rhs_language, voc, cfg, src, &mut stats)
+        anytime_guarded(
+            q1,
+            q2,
+            lhs_language,
+            rhs_language,
+            voc,
+            cfg,
+            src,
+            &mut stats,
+        )
     };
 
     omq_obs::counters(&[
@@ -854,15 +873,46 @@ fn propositional_bitset(
 }
 
 /// The anytime path for non-UCQ-rewritable left-hand sides.
+///
+/// For a guarded lhs the ladder first consults the lhs encoding artifact —
+/// the one [`ContainmentConfig::lhs_encoding`] supplies (a serving layer's
+/// cache), or a freshly compiled one otherwise. An artifact certifying
+/// `critical_satisfiable == Some(false)` decides the question outright:
+/// an unsatisfiable `Q₁` is contained in everything (and the ladder could
+/// never refute such a containment anyway — every rewriting disjunct is a
+/// sound witness candidate *for an answer of `Q₁`*, of which there are
+/// none). The check runs on a vocabulary clone so cache state (supplied vs.
+/// compiled) can never move the interning order of the main run.
+#[allow(clippy::too_many_arguments)]
 fn anytime_guarded(
     q1: &Omq,
     q2: &Omq,
+    lhs_language: OmqLanguage,
     rhs_language: OmqLanguage,
     voc: &mut Vocabulary,
     cfg: &ContainmentConfig,
     src: &mut dyn RewriteSource,
     stats: &mut (usize, usize),
 ) -> ContainmentResult {
+    if lhs_language == OmqLanguage::Guarded {
+        let supplied = cfg.lhs_encoding.clone();
+        let compiled;
+        let art: Option<&EncodingArtifact> = match &supplied {
+            Some(a) => Some(a),
+            None => {
+                let ecfg = EncodingConfig {
+                    budget: cfg.budget.clone(),
+                    ..EncodingConfig::default()
+                };
+                compiled = compile_encoding(q1, &mut voc.clone(), &ecfg);
+                compiled.as_ref()
+            }
+        };
+        if art.is_some_and(|a| a.critical_satisfiable == Some(false)) {
+            omq_obs::counter("contain.unsat_lhs_short_circuit", 1);
+            return ContainmentResult::Contained;
+        }
+    }
     let rhs = RhsChecker::build(q2, rhs_language, None, voc, cfg, src);
     let mut tested = 0usize;
     for &budget in &cfg.anytime_budgets {
@@ -923,9 +973,15 @@ pub fn equivalent_with(
     cfg: &ContainmentConfig,
     src: &mut dyn RewriteSource,
 ) -> Result<(ContainmentOutcome, ContainmentOutcome), ContainmentError> {
+    // `lhs_encoding` describes `q1` only; the backward direction's lhs is
+    // `q2`, so it must not inherit the artifact.
+    let back_cfg = ContainmentConfig {
+        lhs_encoding: None,
+        ..cfg.clone()
+    };
     Ok((
         contains_with(q1, q2, voc, cfg, src)?,
-        contains_with(q2, q1, voc, cfg, src)?,
+        contains_with(q2, q1, voc, &back_cfg, src)?,
     ))
 }
 
@@ -1404,5 +1460,42 @@ mod tests {
                 .is_none()
         );
         assert_eq!(stats.0, 0, "no masks may be counted before compiling");
+    }
+
+    /// A guarded lhs whose critical-instance check certifies emptiness is
+    /// contained in everything — the anytime ladder short-circuits off the
+    /// encoding artifact, whether it compiles one itself or a serving layer
+    /// supplies its cached copy via [`ContainmentConfig::lhs_encoding`].
+    #[test]
+    fn unsatisfiable_guarded_lhs_short_circuits_to_contained() {
+        // `q1` asks for `U`, which is outside the data schema and no tgd
+        // head ever produces; the guarded tgd keeps the lhs in the guarded
+        // (non-UCQ-rewritable) language so the ladder rung actually runs.
+        let (q1, q2, mut voc) = setup(
+            "G(X,Y,Z), R(X,Y) -> exists W . G(Y,Z,W), R(Y,Z)\n\
+             U(X) -> U(X)\n\
+             q1 :- U(X)\n\
+             q2 :- R(X,Y)\n",
+            &["G", "R"],
+            "q1",
+            "q2",
+        );
+        assert_eq!(detect_language(&q1), OmqLanguage::Guarded);
+        let cfg = ContainmentConfig::default();
+        let out = contains(&q1, &q2, &mut voc, &cfg).unwrap();
+        assert!(out.result.is_contained(), "got {:?}", out.result);
+
+        // Same verdict when the artifact arrives pre-compiled, as the
+        // serve layer's encoding cache hands it over.
+        let ecfg = omq_guarded::EncodingConfig::default();
+        let art = omq_guarded::compile_encoding(&q1, &mut voc.clone(), &ecfg)
+            .expect("the encoding compiles");
+        assert_eq!(art.critical_satisfiable, Some(false));
+        let cached = ContainmentConfig {
+            lhs_encoding: Some(std::sync::Arc::new(art)),
+            ..ContainmentConfig::default()
+        };
+        let out = contains(&q1, &q2, &mut voc, &cached).unwrap();
+        assert!(out.result.is_contained(), "got {:?}", out.result);
     }
 }

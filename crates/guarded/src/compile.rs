@@ -15,6 +15,7 @@ use omq_chase::Budget;
 use omq_model::{Omq, Term, Vocabulary};
 
 use crate::encoding::{consistency_automaton_downward, encode, is_consistent, NodeLabel};
+use crate::guarded_eval::{guarded_certain_answers, Completeness, GuardedConfig};
 use crate::unravel::unravel;
 
 /// Budgets and shape bounds for [`compile_encoding`].
@@ -62,6 +63,14 @@ pub struct EncodingArtifact {
     /// Is the NTA's language nonempty? `None` when the budget expired
     /// before the fixpoint decided.
     pub nonempty: Option<bool>,
+    /// Is the OMQ satisfiable? Decided on the critical instance (every
+    /// `S`-database maps homomorphically into it and OMQs are closed under
+    /// homomorphisms, so `Q` is satisfiable iff `Q(D_crit) ≠ ∅`) with the
+    /// stabilizing guarded engine under the compile budget. `Some(false)`
+    /// licenses the trivial-containment short-circuit in the anytime ladder
+    /// (`Q₁ ⊑ Q₂` vacuously when `Q₁` holds on no database); `None` when the
+    /// budget expired before the guarded chase stabilized.
+    pub critical_satisfiable: Option<bool>,
     /// True iff every check ran to completion; caches store complete
     /// artifacts only (an incomplete one depends on the budget that
     /// truncated it).
@@ -116,6 +125,30 @@ pub fn compile_encoding(
     let nonempty = nta
         .is_empty_with(cfg.threads, &cfg.budget)
         .map(|empty| !empty);
+    // Critical-instance satisfiability (see `EncodingArtifact` docs): the
+    // guarded chase of `D_crit` stabilizes for guarded OMQs, so an empty
+    // answer set with an `Exact`/`Stabilized` guarantee certifies that the
+    // OMQ holds on *no* database.
+    let critical_satisfiable = if cfg.budget.expired() {
+        // The guarded engine only polls the budget at round boundaries, so a
+        // budget that is already spent could still "decide" a tiny critical
+        // instance; report undecided instead so the artifact stays uncached.
+        None
+    } else {
+        let gcfg = GuardedConfig {
+            budget: cfg.budget.clone(),
+            ..GuardedConfig::default()
+        };
+        let ans = guarded_certain_answers(omq, &crit, voc, &gcfg);
+        if !ans.answers.is_empty() {
+            Some(true)
+        } else {
+            match ans.completeness {
+                Completeness::Exact | Completeness::Stabilized => Some(false),
+                Completeness::LowerBound => None,
+            }
+        }
+    };
     omq_obs::counter("guarded.encodings_compiled", 1);
     Some(EncodingArtifact {
         ctree_nodes: unr.ctree.decomposition.tree.len(),
@@ -125,8 +158,9 @@ pub fn compile_encoding(
         nta_transitions: nta.transitions.len(),
         nta,
         consistent,
-        complete: nonempty.is_some(),
+        complete: nonempty.is_some() && critical_satisfiable.is_some(),
         nonempty,
+        critical_satisfiable,
     })
 }
 
@@ -154,6 +188,11 @@ mod tests {
             .expect("guarded OMQ encodes");
         assert!(art.consistent, "unraveling encodes consistently");
         assert_eq!(art.nonempty, Some(true), "the encoding itself is accepted");
+        assert_eq!(
+            art.critical_satisfiable,
+            Some(true),
+            "q holds on the critical instance"
+        );
         assert!(art.complete);
         assert!(art.ctree_nodes >= 1);
         assert!(art.alphabet_size >= 1);
@@ -174,6 +213,7 @@ mod tests {
                 a.nta_transitions,
                 a.consistent,
                 a.nonempty,
+                a.critical_satisfiable,
             )
         };
         assert_eq!(run(), run(), "summary is a pure function of the OMQ");
@@ -188,7 +228,29 @@ mod tests {
         };
         let art = compile_encoding(&omq, &mut voc, &cfg).expect("encoding still built");
         assert_eq!(art.nonempty, None);
+        assert_eq!(
+            art.critical_satisfiable, None,
+            "satisfiability is undecided under an expired budget"
+        );
         assert!(!art.complete, "incomplete artifacts must not be cached");
         assert!(art.consistent, "consistency check is budget-independent");
+    }
+
+    #[test]
+    fn unsatisfiable_omq_is_detected_on_the_critical_instance() {
+        // The query asks for a predicate that is neither in the data schema
+        // nor in any tgd head, so no database can ever satisfy it.
+        let prog = parse_program(
+            "G(X,Y,Z), R(X,Y) -> exists W . G(Y,Z,W), R(Y,Z)\nq :- U(X)\n\
+             U(X) -> U(X)\n",
+        )
+        .unwrap();
+        let voc = prog.voc.clone();
+        let schema = Schema::from_preds(["G", "R"].iter().map(|n| voc.pred_id(n).unwrap()));
+        let omq = Omq::new(schema, prog.tgds.clone(), prog.query("q").unwrap().clone());
+        let mut v = voc.clone();
+        let art = compile_encoding(&omq, &mut v, &EncodingConfig::default())
+            .expect("encoding still built");
+        assert_eq!(art.critical_satisfiable, Some(false));
     }
 }

@@ -53,7 +53,7 @@ struct PredStore {
 /// is a function of instance *content* only (insertion order and thread
 /// count never affect it), which is what makes cost-based join orders
 /// reproducible.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CardSketch {
     stats: HashMap<PredId, (u64, Vec<u32>)>,
 }

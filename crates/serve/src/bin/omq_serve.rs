@@ -25,6 +25,9 @@ OPTIONS:
   --cache-capacity N    capacity of each LRU cache (default 256)
   --no-cache            disable both caches (same as --cache-capacity 0)
   --deadline-ms N       default deadline for requests that carry none
+  --store-compact-threshold N
+                        novelty rows that trigger store compaction
+                        (0 = compact only on demand; default 64)
   --trace-out PATH      append every request's span tree to PATH as JSONL
                         trace events (enter/exit/count; needs the default
                         `obs` feature to produce events)
@@ -67,6 +70,12 @@ fn main() -> ExitCode {
                 Ok(Ok(n)) => cfg.default_deadline_ms = Some(n),
                 _ => return fail("--deadline-ms needs an unsigned integer"),
             },
+            "--store-compact-threshold" => {
+                match value("--store-compact-threshold").map(|v| v.parse()) {
+                    Ok(Ok(n)) => cfg.store_compact_threshold = n,
+                    _ => return fail("--store-compact-threshold needs an unsigned integer"),
+                }
+            }
             "--trace-out" => match value("--trace-out") {
                 Ok(v) => trace_out = Some(v),
                 Err(e) => return fail(&e),

@@ -20,8 +20,11 @@
 //!   check).
 //!
 //! Scheduling: a batch runs in input order. `register` requests are
-//! barriers (they mutate the registry); maximal runs of non-register
-//! requests between barriers are fanned out across the pool with
+//! barriers (they mutate the registry), as are the versioned-store ops
+//! (`assert`/`retract`/`snapshot` and store-backed `evaluate` — they
+//! advance or read a named store's version history and maintained chase
+//! fixpoint); maximal runs of parallel-safe requests between barriers are
+//! fanned out across the pool with
 //! `omq_chase::parallel_indexed`. Every solver invocation inside a worker
 //! runs with inner `threads = 1` — the pool parallelism is *across*
 //! requests, never nested — which also makes every response byte-identical
@@ -34,6 +37,7 @@
 //! lower bound, and the response carries `"timed_out":true`. The worker
 //! pool itself is never poisoned by an expired request.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
@@ -47,6 +51,7 @@ use omq_model::display::render_atom;
 use omq_model::{parse_tgd, Instance, Omq, Term, Vocabulary};
 use omq_obs::{Aggregator, JsonlSink, Sink};
 use omq_rewrite::{DirectRewrite, RewriteArtifact, RewriteSource, XRewriteConfig};
+use omq_store::{MaintainedStore, StoreConfig, StoreStats};
 
 use crate::cache::{CacheStats, LruCache};
 use crate::error::ServeError;
@@ -77,6 +82,9 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that carry none. `None` = unlimited.
     pub default_deadline_ms: Option<u64>,
+    /// Novelty rows that trigger a store compaction after a mutation
+    /// (`0` disables automatic compaction). See [`omq_store::StoreConfig`].
+    pub store_compact_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +93,7 @@ impl Default for EngineConfig {
             threads: 0,
             cache_capacity: 256,
             default_deadline_ms: None,
+            store_compact_threshold: StoreConfig::default().compact_threshold,
         }
     }
 }
@@ -118,6 +127,14 @@ impl RewriteSource for CachingSource<'_> {
     }
 }
 
+/// One registration name's versioned store plus the vocabulary its facts
+/// and maintenance chases intern into (a registry-snapshot clone taken at
+/// store creation, grown monotonically ever since).
+struct NamedStore {
+    voc: Vocabulary,
+    store: MaintainedStore,
+}
+
 /// The concurrent OMQ serving engine. Shared across connections; all
 /// methods take `&self`.
 pub struct Engine {
@@ -126,6 +143,13 @@ pub struct Engine {
     rewrites: Mutex<LruCache<RewriteKey, RewriteArtifact>>,
     verdicts: Mutex<LruCache<VerdictKey, Vec<(String, Json)>>>,
     encodings: Mutex<LruCache<OmqKey, EncodingArtifact>>,
+    /// Per-name versioned fact stores with incrementally maintained chase
+    /// fixpoints, created lazily on the first mutation or store-backed
+    /// evaluation of a name. Each store owns a vocabulary that grows
+    /// monotonically across mutations (constants from asserted facts, nulls
+    /// from maintenance chases), so resumed fixpoints never collide on
+    /// null ids the way per-request vocabulary clones would.
+    stores: Mutex<HashMap<String, NamedStore>>,
     /// Per-op wall-clock histograms, fed directly (no recorder needed, so
     /// they survive `--no-default-features`); exposed by the `stats` op.
     latencies: Aggregator,
@@ -143,6 +167,7 @@ impl Engine {
             rewrites: Mutex::new(LruCache::new(cap)),
             verdicts: Mutex::new(LruCache::new(cap)),
             encodings: Mutex::new(LruCache::new(cap)),
+            stores: Mutex::new(HashMap::new()),
             latencies: Aggregator::new(),
             trace_sink: None,
         }
@@ -173,7 +198,21 @@ impl Engine {
         let mut out: Vec<Option<Response>> = vec![None; n];
         let mut i = 0;
         while i < n {
-            let is_barrier = |item: &Result<Request, Box<Response>>| !matches!(item, Ok(r) if !matches!(r.op, Op::Register { .. }));
+            // Ops that touch shared engine state sequentially (the registry,
+            // or a named store's version history and maintained fixpoint)
+            // are barriers: they run alone, in input order, so a batch's
+            // responses are byte-identical to a sequential execution.
+            // Store-backed evaluates (no one-shot facts) are barriers too —
+            // they may advance fixpoint maintenance under their own budget.
+            let parallel_safe = |op: &Op| match op {
+                Op::Register { .. }
+                | Op::Assert { .. }
+                | Op::Retract { .. }
+                | Op::Snapshot { .. } => false,
+                Op::Evaluate { facts, .. } => !facts.is_empty(),
+                _ => true,
+            };
+            let is_barrier = |item: &Result<Request, Box<Response>>| !matches!(item, Ok(r) if parallel_safe(&r.op));
             if is_barrier(&items[i]) {
                 out[i] = Some(self.execute_one(&items[i], arrival));
                 i += 1;
@@ -264,7 +303,10 @@ impl Engine {
             Op::Stats => (Ok(self.op_stats()), false),
             Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget),
             Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget),
-            Op::Evaluate { name, facts } => self.op_evaluate(name, facts, budget),
+            Op::Evaluate { name, facts, at } => self.op_evaluate(name, facts, *at, budget),
+            Op::Assert { name, facts } => self.op_mutate(name, facts, true, budget),
+            Op::Retract { name, facts } => self.op_mutate(name, facts, false, budget),
+            Op::Snapshot { name } => (self.op_snapshot(name), false),
             Op::Explain { lhs, rhs } => self.op_explain(lhs, rhs, budget),
         }
     }
@@ -364,6 +406,28 @@ impl Engine {
             // Duplicated at the top level as the headline warm-path signal
             // (dashboards and the CI gate key on this one number).
             ("encoding_cache_hits".to_owned(), Json::num(enc.hits)),
+            // Versioned-store mutation and fixpoint-maintenance counters,
+            // summed across every named store (see `omq_store::StoreStats`).
+            ("store".to_owned(), {
+                let (s, stores) = self.store_stats();
+                Json::obj([
+                    ("stores", Json::num(stores)),
+                    ("asserts", Json::num(s.asserts as usize)),
+                    ("retracts", Json::num(s.retracts as usize)),
+                    ("facts_asserted", Json::num(s.facts_asserted as usize)),
+                    ("facts_retracted", Json::num(s.facts_retracted as usize)),
+                    ("snapshots", Json::num(s.snapshots as usize)),
+                    ("compactions", Json::num(s.compactions as usize)),
+                    ("novelty_size", Json::num(s.novelty_size as usize)),
+                    ("dred_deleted", Json::num(s.dred_deleted as usize)),
+                    ("rederived", Json::num(s.rederived as usize)),
+                    (
+                        "incremental_resumes",
+                        Json::num(s.incremental_resumes as usize),
+                    ),
+                    ("full_rechases", Json::num(s.full_rechases as usize)),
+                ])
+            }),
             (
                 "threads".to_owned(),
                 Json::num(effective_threads(self.cfg.threads, usize::MAX)),
@@ -478,7 +542,11 @@ impl Engine {
             return (Ok(fields), false);
         }
         let encoding = self.guarded_encoding(l, &voc, budget);
-        let cfg = self.containment_cfg(budget);
+        let mut cfg = self.containment_cfg(budget);
+        // Hand the cached (or freshly compiled) lhs artifact to the anytime
+        // ladder: its guarded rung reuses the NTA/satisfiability verdict
+        // instead of recompiling the encoding from scratch.
+        cfg.lhs_encoding = encoding.clone().map(Arc::new);
         let mut src = CachingSource {
             cache: &self.rewrites,
             alias,
@@ -549,34 +617,65 @@ impl Engine {
         (Ok(fields), verdict == "unknown" && budget.expired())
     }
 
+    /// Runs `f` on the named OMQ's store entry, creating it (with a fresh
+    /// registry-snapshot vocabulary) on first touch. The stores lock is held
+    /// for the duration of `f` — store ops are batch barriers, so `f` never
+    /// blocks a parallel fan-out.
+    fn with_store<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut NamedStore, &crate::registry::Registered) -> T,
+    ) -> Result<T, ServeError> {
+        let (regs, voc) = self.snapshot(&[name])?;
+        let mut stores = self.stores.lock().unwrap();
+        let entry = stores.entry(name.to_owned()).or_insert_with(|| NamedStore {
+            voc,
+            store: MaintainedStore::new(StoreConfig {
+                compact_threshold: self.cfg.store_compact_threshold,
+            }),
+        });
+        Ok(f(entry, &regs[0]))
+    }
+
+    /// Store + maintenance counters summed across every named store.
+    fn store_stats(&self) -> (StoreStats, usize) {
+        let stores = self.stores.lock().unwrap();
+        let mut total = StoreStats::default();
+        for entry in stores.values() {
+            let s = entry.store.stats();
+            total.asserts += s.asserts;
+            total.retracts += s.retracts;
+            total.facts_asserted += s.facts_asserted;
+            total.facts_retracted += s.facts_retracted;
+            total.snapshots += s.snapshots;
+            total.compactions += s.compactions;
+            total.novelty_size += s.novelty_size;
+            total.dred_deleted += s.dred_deleted;
+            total.rederived += s.rederived;
+            total.incremental_resumes += s.incremental_resumes;
+            total.full_rechases += s.full_rechases;
+        }
+        (total, stores.len())
+    }
+
     fn op_evaluate(
         &self,
         name: &str,
         facts: &[String],
+        at: Option<u64>,
         budget: &Budget,
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        if facts.is_empty() {
+            return self.op_evaluate_store(name, at, budget);
+        }
         let (regs, mut voc) = match self.snapshot(&[name]) {
             Ok(s) => s,
             Err(e) => return (Err(e), false),
         };
-        let mut atoms = Vec::new();
-        for fact in facts {
-            let tgd = match parse_tgd(&mut voc, &format!("true -> {fact}")) {
-                Ok(t) => t,
-                Err(e) => return (Err(e.into()), false),
-            };
-            for atom in tgd.head {
-                if atom.args.iter().any(|t| !matches!(t, Term::Const(_))) {
-                    return (
-                        Err(ServeError::BadRequest(format!(
-                            "fact {fact:?} must be ground (constants start lowercase)"
-                        ))),
-                        false,
-                    );
-                }
-                atoms.push(atom);
-            }
-        }
+        let atoms = match parse_ground_facts(&mut voc, facts) {
+            Ok(a) => a,
+            Err(e) => return (Err(e), false),
+        };
         let db = Instance::from_atoms(atoms);
         let cfg = self.eval_cfg(budget);
         let mut src = CachingSource {
@@ -613,6 +712,139 @@ impl Engine {
         ];
         let degraded = matches!(out.guarantee, EvalGuarantee::SoundLowerBound);
         (Ok(fields), degraded && budget.expired())
+    }
+
+    /// Store-backed evaluation: certain answers of the named OMQ over the
+    /// chase of its store at `at` (default: the head, served straight from
+    /// the maintained fixpoint). The guarantee is `exact` when the chase
+    /// reached its fixpoint and `sound_lower_bound` when a budget truncated
+    /// it — in which case the fixpoint stays marked incomplete and the next
+    /// store op resumes the maintenance, so expiry never poisons the store.
+    fn op_evaluate_store(
+        &self,
+        name: &str,
+        at: Option<u64>,
+        budget: &Budget,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        let cfg = self.eval_cfg(budget).chase;
+        let res = self.with_store(name, |entry, reg| {
+            let eval =
+                entry
+                    .store
+                    .evaluate(at, &reg.omq.query, &reg.omq.sigma, &mut entry.voc, &cfg);
+            (eval, reg.language, entry.voc.clone())
+        });
+        let (eval, language, voc) = match res {
+            Ok(t) => t,
+            Err(e) => return (Err(e), false),
+        };
+        let eval = match eval {
+            Ok(ev) => ev,
+            Err(e) => return (Err(ServeError::StaleVersion(e.to_string())), false),
+        };
+        let mut answers: Vec<Vec<String>> = eval
+            .answers
+            .iter()
+            .map(|t| t.iter().map(|&c| voc.const_name(c).to_owned()).collect())
+            .collect();
+        answers.sort();
+        let fields = vec![
+            (
+                "answers".to_owned(),
+                Json::Arr(
+                    answers
+                        .iter()
+                        .map(|t| Json::Arr(t.iter().map(Json::str).collect()))
+                        .collect(),
+                ),
+            ),
+            ("count".to_owned(), Json::num(answers.len())),
+            (
+                "guarantee".to_owned(),
+                Json::str(if eval.complete {
+                    "exact"
+                } else {
+                    "sound_lower_bound"
+                }),
+            ),
+            ("language".to_owned(), Json::str(language.to_string())),
+            ("version".to_owned(), Json::num(eval.version as usize)),
+        ];
+        (Ok(fields), !eval.complete && budget.expired())
+    }
+
+    /// `assert` / `retract`: parses the ground facts into the store's own
+    /// vocabulary, appends a new version, and maintains the chase fixpoint
+    /// incrementally (watermark resume for asserts, DRed for retracts) —
+    /// provided a fixpoint exists; before the first store evaluation the
+    /// store stays lazy and mutations are pure version appends.
+    fn op_mutate(
+        &self,
+        name: &str,
+        facts: &[String],
+        is_assert: bool,
+        budget: &Budget,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        let cfg = self.eval_cfg(budget).chase;
+        let res = self.with_store(name, |entry, reg| {
+            let atoms = parse_ground_facts(&mut entry.voc, facts)?;
+            let version = if is_assert {
+                entry
+                    .store
+                    .assert_facts(&atoms, &reg.omq.sigma, &mut entry.voc, &cfg)
+            } else {
+                entry
+                    .store
+                    .retract_facts(&atoms, &reg.omq.sigma, &mut entry.voc, &cfg)
+            }
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+            let stats = entry.store.stats();
+            Ok((version, atoms.len(), stats, entry.store.head_complete()))
+        });
+        let (version, changed, stats, head_complete) = match res.and_then(|r| r) {
+            Ok(t) => t,
+            Err(e) => return (Err(e), false),
+        };
+        let fields = vec![
+            (
+                if is_assert { "asserted" } else { "retracted" }.to_owned(),
+                Json::str(name),
+            ),
+            ("version".to_owned(), Json::num(version as usize)),
+            ("facts".to_owned(), Json::num(changed)),
+            (
+                "novelty_size".to_owned(),
+                Json::num(stats.novelty_size as usize),
+            ),
+            (
+                "compactions".to_owned(),
+                Json::num(stats.compactions as usize),
+            ),
+            (
+                "maintained".to_owned(),
+                Json::Bool(stats.incremental_resumes + stats.full_rechases > 0),
+            ),
+            ("complete".to_owned(), Json::Bool(head_complete)),
+        ];
+        // Degraded when this mutation's maintenance was truncated by the
+        // deadline; the fixpoint stays resumable either way.
+        let maintained = stats.incremental_resumes + stats.full_rechases > 0;
+        (Ok(fields), maintained && !head_complete && budget.expired())
+    }
+
+    /// `snapshot`: pins the named store's current version against
+    /// compaction and returns it; `evaluate` with `"at"` stays answerable
+    /// at that version for as long as the pin is held.
+    fn op_snapshot(&self, name: &str) -> Result<Vec<(String, Json)>, ServeError> {
+        let (version, head_complete) = self.with_store(name, |entry, _| {
+            (entry.store.snapshot(), entry.store.head_complete())
+        })?;
+        Ok(vec![
+            ("snapshot".to_owned(), Json::str(name)),
+            ("version".to_owned(), Json::num(version as usize)),
+            ("pinned".to_owned(), Json::Bool(true)),
+            ("complete".to_owned(), Json::Bool(head_complete)),
+        ])
     }
 
     /// `contains` plus evidence: a replayable chase derivation for
@@ -716,6 +948,29 @@ impl Engine {
     }
 }
 
+/// Parses `"P(a,b)"`-style fact strings (via the tgd parser, as the head
+/// of `true -> fact`) and rejects anything non-ground. Used by the one-shot
+/// `evaluate` path (request-vocabulary clone) and by store mutations (the
+/// store's own persistent vocabulary).
+fn parse_ground_facts(
+    voc: &mut Vocabulary,
+    facts: &[String],
+) -> Result<Vec<omq_model::Atom>, ServeError> {
+    let mut atoms = Vec::new();
+    for fact in facts {
+        let tgd = parse_tgd(voc, &format!("true -> {fact}"))?;
+        for atom in tgd.head {
+            if atom.args.iter().any(|t| !matches!(t, Term::Const(_))) {
+                return Err(ServeError::BadRequest(format!(
+                    "fact {fact:?} must be ground (constants start lowercase)"
+                )));
+            }
+            atoms.push(atom);
+        }
+    }
+    Ok(atoms)
+}
+
 /// The span/latency name of an op (`serve.<op>`).
 fn op_name(op: &Op) -> &'static str {
     match op {
@@ -723,6 +978,9 @@ fn op_name(op: &Op) -> &'static str {
         Op::Contains { .. } => "serve.contains",
         Op::Equivalent { .. } => "serve.equivalent",
         Op::Evaluate { .. } => "serve.evaluate",
+        Op::Assert { .. } => "serve.assert",
+        Op::Retract { .. } => "serve.retract",
+        Op::Snapshot { .. } => "serve.snapshot",
         Op::Classify { .. } => "serve.classify",
         Op::Explain { .. } => "serve.explain",
         Op::Stats => "serve.stats",
@@ -885,12 +1143,12 @@ mod tests {
         let seq = Engine::new(EngineConfig {
             threads: 1,
             cache_capacity: 0,
-            default_deadline_ms: None,
+            ..EngineConfig::default()
         });
         let par = Engine::new(EngineConfig {
             threads: 0,
             cache_capacity: 0,
-            default_deadline_ms: None,
+            ..EngineConfig::default()
         });
         let a = seq.execute_batch(&batch);
         let b = par.execute_batch(&batch);

@@ -30,6 +30,10 @@ pub enum ServeError {
     UnknownPredicate(String),
     /// The containment engine rejected the question.
     Containment(ContainmentError),
+    /// An `evaluate`-at-version request named a version the store can no
+    /// longer reconstruct: it predates the compaction floor and no snapshot
+    /// pinned it, or it does not exist yet.
+    StaleVersion(String),
 }
 
 impl ServeError {
@@ -44,6 +48,7 @@ impl ServeError {
             ServeError::UnknownQuery(_) => "unknown_query",
             ServeError::UnknownPredicate(_) => "unknown_predicate",
             ServeError::Containment(_) => "containment",
+            ServeError::StaleVersion(_) => "stale_version",
         }
     }
 }
@@ -62,6 +67,7 @@ impl fmt::Display for ServeError {
                 "schema predicate {p:?} is not declared; use \"{p}/N\" to intern it with arity N"
             ),
             ServeError::Containment(e) => write!(f, "containment error: {e}"),
+            ServeError::StaleVersion(msg) => write!(f, "stale version: {msg}"),
         }
     }
 }
@@ -102,6 +108,7 @@ mod tests {
             ServeError::UnknownQuery("b".into()),
             ServeError::UnknownPredicate("P".into()),
             ServeError::Containment(ContainmentError::ArityMismatch),
+            ServeError::StaleVersion("c".into()),
         ];
         for v in &variants {
             assert!(!v.to_string().is_empty());

@@ -15,7 +15,18 @@
 //! {"id":5,"op":"classify","name":"a"}
 //! {"id":6,"op":"explain","lhs":"a","rhs":"b"}
 //! {"id":7,"op":"stats"}
+//! {"id":8,"op":"assert","name":"a","facts":["P(c)"]}
+//! {"id":9,"op":"retract","name":"a","facts":["P(c)"]}
+//! {"id":10,"op":"snapshot","name":"a"}
+//! {"id":11,"op":"evaluate","name":"a","at":3}
 //! ```
+//!
+//! `assert`/`retract` mutate the named OMQ's versioned store (every call
+//! advances its version by one) and keep the chase fixpoint incrementally
+//! maintained; `snapshot` pins the current version against compaction and
+//! returns it. `evaluate` either carries one-shot `"facts"` (stateless, as
+//! before) or `"at"` — a store version to answer against (omitting both
+//! evaluates the store's head).
 //!
 //! Any request may carry `"trace":true`: the engine then instruments the
 //! solver run and appends a `"trace"` object (per-phase timings + counters)
@@ -52,7 +63,23 @@ pub enum Op {
     },
     Evaluate {
         name: String,
+        /// One-shot facts for a stateless evaluation (empty when the
+        /// request evaluates the named OMQ's store instead).
         facts: Vec<String>,
+        /// Store version to evaluate at; `None` = the store's head.
+        /// Mutually exclusive with non-empty `facts`.
+        at: Option<u64>,
+    },
+    Assert {
+        name: String,
+        facts: Vec<String>,
+    },
+    Retract {
+        name: String,
+        facts: Vec<String>,
+    },
+    Snapshot {
+        name: String,
     },
     Classify {
         name: String,
@@ -157,9 +184,41 @@ pub fn parse_request(line: &str) -> Result<Request, Box<Response>> {
             lhs: req_str(&v, "lhs").map_err(&fail)?,
             rhs: req_str(&v, "rhs").map_err(&fail)?,
         },
-        "evaluate" => Op::Evaluate {
+        "evaluate" => {
+            let facts = match v.get("facts") {
+                None => Vec::new(),
+                Some(_) => req_str_array(&v, "facts").map_err(&fail)?,
+            };
+            let at = match v.get("at") {
+                None => None,
+                Some(a) => Some(a.as_u64().ok_or_else(|| {
+                    fail(ServeError::BadRequest(
+                        "\"at\" must be a non-negative integer version".into(),
+                    ))
+                })?),
+            };
+            if at.is_some() && !facts.is_empty() {
+                return Err(fail(ServeError::BadRequest(
+                    "\"facts\" and \"at\" are mutually exclusive: one-shot facts have no versions"
+                        .into(),
+                )));
+            }
+            Op::Evaluate {
+                name: req_str(&v, "name").map_err(&fail)?,
+                facts,
+                at,
+            }
+        }
+        "assert" => Op::Assert {
             name: req_str(&v, "name").map_err(&fail)?,
             facts: req_str_array(&v, "facts").map_err(&fail)?,
+        },
+        "retract" => Op::Retract {
+            name: req_str(&v, "name").map_err(&fail)?,
+            facts: req_str_array(&v, "facts").map_err(&fail)?,
+        },
+        "snapshot" => Op::Snapshot {
+            name: req_str(&v, "name").map_err(&fail)?,
         },
         "classify" => Op::Classify {
             name: req_str(&v, "name").map_err(&fail)?,
@@ -234,6 +293,36 @@ mod tests {
         assert!(matches!(r.op, Op::Explain { .. }));
         assert!(r.trace);
         let bad = parse_request(r#"{"op":"stats","trace":"yes"}"#).unwrap_err();
+        assert!(matches!(bad.outcome, Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn parses_mutation_ops_and_versioned_evaluate() {
+        let r = parse_request(r#"{"op":"assert","name":"a","facts":["P(c)"]}"#).unwrap();
+        assert!(matches!(r.op, Op::Assert { .. }));
+        let r = parse_request(r#"{"op":"retract","name":"a","facts":["P(c)"]}"#).unwrap();
+        assert!(matches!(r.op, Op::Retract { .. }));
+        let r = parse_request(r#"{"op":"snapshot","name":"a"}"#).unwrap();
+        assert!(matches!(r.op, Op::Snapshot { .. }));
+        let r = parse_request(r#"{"op":"evaluate","name":"a","at":3}"#).unwrap();
+        assert!(matches!(
+            r.op,
+            Op::Evaluate {
+                at: Some(3),
+                ref facts,
+                ..
+            } if facts.is_empty()
+        ));
+        // Omitting both facts and at evaluates the store head.
+        let r = parse_request(r#"{"op":"evaluate","name":"a"}"#).unwrap();
+        assert!(matches!(r.op, Op::Evaluate { at: None, ref facts, .. } if facts.is_empty()));
+        // One-shot facts and store versions cannot mix.
+        let bad =
+            parse_request(r#"{"op":"evaluate","name":"a","facts":["P(c)"],"at":1}"#).unwrap_err();
+        assert!(matches!(bad.outcome, Err(ServeError::BadRequest(_))));
+        let bad = parse_request(r#"{"op":"evaluate","name":"a","at":-1}"#).unwrap_err();
+        assert!(matches!(bad.outcome, Err(ServeError::BadRequest(_))));
+        let bad = parse_request(r#"{"op":"assert","name":"a"}"#).unwrap_err();
         assert!(matches!(bad.outcome, Err(ServeError::BadRequest(_))));
     }
 

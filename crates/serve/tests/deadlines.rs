@@ -23,6 +23,7 @@ fn zero_deadline_contains_times_out_promptly_and_structured() {
         threads: 1,
         cache_capacity: 0,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let batch = vec![
         parse_request(REGISTER),
@@ -53,6 +54,7 @@ fn zero_deadline_evaluate_degrades_to_sound_lower_bound() {
         threads: 1,
         cache_capacity: 0,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let batch = vec![
         parse_request(REGISTER),
@@ -82,6 +84,7 @@ fn pool_survives_a_burst_of_timeouts() {
         threads: 0,
         cache_capacity: 0,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let mut batch = vec![parse_request(REGISTER)];
     for id in 0..24 {
@@ -115,6 +118,7 @@ fn default_deadline_applies_and_is_overridable() {
         threads: 1,
         cache_capacity: 0,
         default_deadline_ms: Some(0),
+        ..EngineConfig::default()
     });
     let batch = vec![
         parse_request(REGISTER),

@@ -98,6 +98,7 @@ fn run_config(threads: usize, cache: usize, shuffle_seed: Option<u64>, n: usize)
         threads,
         cache_capacity: cache,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let mut batch: Vec<_> = PROGRAMS
         .iter()
@@ -278,6 +279,7 @@ fn stats_expose_hom_kernel_counters() {
         threads: 1,
         cache_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let mut batch: Vec<_> = PROGRAMS
         .iter()
@@ -309,6 +311,7 @@ fn alias_registrations_share_cache_slots() {
         threads: 1,
         cache_capacity: 64,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     });
     let mut batch: Vec<_> = PROGRAMS
         .iter()

@@ -1,0 +1,236 @@
+//! Serve-tier store semantics: assert/retract/snapshot/evaluate-at behave
+//! identically across thread counts, pinned versions stay answerable and
+//! stable while the head moves, stale versions fail with a structured
+//! error, and a deadline that expires mid-maintenance degrades the one
+//! response without poisoning the store.
+
+use omq_serve::{parse_request, response_to_json, Engine, EngineConfig, Json, Response};
+
+/// Transitive closure over an EDB relation `E`; `q` asks for every
+/// reachable pair, so each assert/retract visibly reshapes the answers.
+const REGISTER: &str = r#"{"op":"register","name":"tc","program":"E(X,Y) -> T(X,Y)\nE(X,Y), T(Y,Z) -> T(X,Z)\nq(X,Y) :- T(X,Y)","schema":["E"],"query":"q"}"#;
+
+fn field<'a>(resp: &'a Response, key: &str) -> Option<&'a Json> {
+    resp.outcome
+        .as_ref()
+        .ok()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn run(engine: &Engine, lines: &[String]) -> Vec<Response> {
+    let batch: Vec<_> = lines.iter().map(|l| parse_request(l)).collect();
+    engine.execute_batch(&batch)
+}
+
+fn engine(threads: usize, compact_threshold: usize) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        cache_capacity: 64,
+        default_deadline_ms: None,
+        store_compact_threshold: compact_threshold,
+    })
+}
+
+/// One mutate-heavy script, run at threads=1 and threads=auto: every
+/// response line must be byte-identical. Store ops are batch barriers, so
+/// the interleaving the client wrote is the interleaving both pools see.
+#[test]
+fn mutate_sequences_agree_across_thread_counts() {
+    let mut lines = vec![REGISTER.to_owned()];
+    let mut id = 0usize;
+    let mut push = |lines: &mut Vec<String>, body: &str| {
+        lines.push(format!(r#"{{"id":{id},{body}}}"#));
+        id += 1;
+    };
+    push(
+        &mut lines,
+        r#""op":"assert","name":"tc","facts":["E(a,b)","E(b,c)"]"#,
+    );
+    push(&mut lines, r#""op":"evaluate","name":"tc""#);
+    push(&mut lines, r#""op":"snapshot","name":"tc""#);
+    push(
+        &mut lines,
+        r#""op":"assert","name":"tc","facts":["E(c,d)"]"#,
+    );
+    push(&mut lines, r#""op":"evaluate","name":"tc""#);
+    push(&mut lines, r#""op":"evaluate","name":"tc","at":1"#);
+    push(
+        &mut lines,
+        r#""op":"retract","name":"tc","facts":["E(b,c)"]"#,
+    );
+    push(&mut lines, r#""op":"evaluate","name":"tc""#);
+    // A stateless evaluate interleaved with the store ops: it fans out on
+    // the parallel pool yet must render identically.
+    push(
+        &mut lines,
+        r#""op":"evaluate","name":"tc","facts":["E(x,y)"]"#,
+    );
+
+    let base: Vec<String> = run(&engine(1, 2), &lines)
+        .iter()
+        .map(|r| response_to_json(r).to_string())
+        .collect();
+    let auto: Vec<String> = run(&engine(0, 2), &lines)
+        .iter()
+        .map(|r| response_to_json(r).to_string())
+        .collect();
+    assert_eq!(base, auto, "thread count changed a store response");
+
+    // Sanity on content, not just agreement: the final head has edges
+    // a->b, c->d, so exactly two reachable pairs remain.
+    let out = run(&engine(1, 2), &lines);
+    assert_eq!(field(&out[8], "count").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        field(&out[8], "guarantee").and_then(Json::as_str),
+        Some("exact")
+    );
+}
+
+/// A pinned version answers identically before and after later asserts
+/// and compactions; the moving head sees every mutation.
+#[test]
+fn evaluate_at_a_snapshot_is_stable_while_the_head_moves() {
+    // threshold=1: every unpinned version is compacted away immediately,
+    // so stability below can only come from the snapshot pin.
+    let eng = engine(0, 1);
+    let out = run(
+        &eng,
+        &[
+            REGISTER.to_owned(),
+            r#"{"id":0,"op":"assert","name":"tc","facts":["E(a,b)","E(b,c)"]}"#.into(),
+            r#"{"id":1,"op":"snapshot","name":"tc"}"#.into(),
+            r#"{"id":2,"op":"evaluate","name":"tc","at":1}"#.into(),
+        ],
+    );
+    let pinned = field(&out[2], "version").and_then(Json::as_u64);
+    assert_eq!(pinned, Some(1), "snapshot pins the current head version");
+    assert!(field(&out[2], "pinned").is_some());
+    let before = response_to_json(&out[3]).to_string();
+    assert_eq!(field(&out[3], "count").and_then(Json::as_u64), Some(3));
+
+    // Grow the head past the pin, forcing compactions along the way.
+    let mut lines = Vec::new();
+    for (i, f) in ["E(c,d)", "E(d,e)", "E(e,f)"].iter().enumerate() {
+        lines.push(format!(
+            r#"{{"id":{i},"op":"assert","name":"tc","facts":["{f}"]}}"#
+        ));
+    }
+    lines.push(r#"{"id":90,"op":"evaluate","name":"tc","at":1}"#.into());
+    lines.push(r#"{"id":91,"op":"evaluate","name":"tc"}"#.into());
+    let out2 = run(&eng, &lines);
+    let after = response_to_json(&out2[3]).to_string();
+    // Byte-identical except the echoed id.
+    assert_eq!(
+        before.replace(r#""id":2"#, ""),
+        after.replace(r#""id":90"#, ""),
+        "pinned version drifted under later asserts"
+    );
+    // Head: chain a..f => 5+4+3+2+1 = 15 reachable pairs.
+    assert_eq!(field(&out2[4], "count").and_then(Json::as_u64), Some(15));
+    assert_eq!(field(&out2[4], "version").and_then(Json::as_u64), Some(4));
+}
+
+/// Versions the store can no longer reconstruct — compacted-away or not
+/// yet minted — fail with the structured `stale_version` error kind, and
+/// the store keeps serving afterwards.
+#[test]
+fn unreconstructable_versions_are_structured_errors() {
+    let eng = engine(1, 1);
+    let out = run(
+        &eng,
+        &[
+            REGISTER.to_owned(),
+            r#"{"id":0,"op":"assert","name":"tc","facts":["E(a,b)"]}"#.into(),
+            r#"{"id":1,"op":"assert","name":"tc","facts":["E(b,c)"]}"#.into(),
+            // Version 1 was compacted into the base (threshold=1, no pin).
+            r#"{"id":2,"op":"evaluate","name":"tc","at":1}"#.into(),
+            // Version 99 does not exist yet.
+            r#"{"id":3,"op":"evaluate","name":"tc","at":99}"#.into(),
+            // The store is not poisoned: the head still answers exactly.
+            r#"{"id":4,"op":"evaluate","name":"tc"}"#.into(),
+        ],
+    );
+    for resp in [&out[3], &out[4]] {
+        let err = resp.outcome.as_ref().expect_err("stale version must error");
+        assert_eq!(err.kind(), "stale_version");
+        assert!(!resp.timed_out);
+    }
+    assert_eq!(field(&out[5], "count").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        field(&out[5], "guarantee").and_then(Json::as_str),
+        Some("exact")
+    );
+}
+
+/// A deadline that expires while the incremental chase is running degrades
+/// that one response to an incomplete fixpoint (`timed_out`, not an
+/// error), and the next undeadlined evaluate heals to the exact answers —
+/// identical to an engine that never saw deadline pressure.
+#[test]
+fn deadline_expiry_mid_maintenance_degrades_then_heals() {
+    let eng = engine(1, 0);
+    let out = run(
+        &eng,
+        &[
+            REGISTER.to_owned(),
+            // Build the (empty) fixpoint so the assert below maintains it.
+            r#"{"id":0,"op":"evaluate","name":"tc"}"#.into(),
+            r#"{"id":1,"op":"assert","name":"tc","facts":["E(a,b)","E(b,c)","E(c,d)"],"deadline_ms":0}"#.into(),
+            r#"{"id":2,"op":"evaluate","name":"tc"}"#.into(),
+        ],
+    );
+    let mutate = &out[2];
+    assert!(mutate.outcome.is_ok(), "expiry degrades, it does not fail");
+    assert!(mutate.timed_out, "maintenance was cut off by the deadline");
+    assert_eq!(field(mutate, "complete"), Some(&Json::Bool(false)));
+    assert_eq!(field(mutate, "version").and_then(Json::as_u64), Some(1));
+
+    // The follow-up evaluate resumes the truncated fixpoint and completes:
+    // chain a->b->c->d yields 6 reachable pairs, guaranteed exact.
+    let healed = &out[3];
+    assert!(!healed.timed_out);
+    assert_eq!(field(healed, "count").and_then(Json::as_u64), Some(6));
+    assert_eq!(
+        field(healed, "guarantee").and_then(Json::as_str),
+        Some("exact")
+    );
+
+    // And it matches, byte-for-byte, an engine that asserted the same
+    // facts with no deadline at all.
+    let calm = run(
+        &engine(1, 0),
+        &[
+            REGISTER.to_owned(),
+            r#"{"id":0,"op":"evaluate","name":"tc"}"#.into(),
+            r#"{"id":1,"op":"assert","name":"tc","facts":["E(a,b)","E(b,c)","E(c,d)"]}"#.into(),
+            r#"{"id":2,"op":"evaluate","name":"tc"}"#.into(),
+        ],
+    );
+    assert_eq!(
+        response_to_json(healed).to_string(),
+        response_to_json(&calm[3]).to_string(),
+        "deadline pressure left a trace in the healed store"
+    );
+}
+
+/// Mutating an unregistered name is a structured `unknown_name` error;
+/// non-ground facts are rejected without minting a version.
+#[test]
+fn mutation_error_paths_are_structured() {
+    let eng = engine(1, 0);
+    let out = run(
+        &eng,
+        &[
+            r#"{"id":0,"op":"assert","name":"nope","facts":["E(a,b)"]}"#.into(),
+            REGISTER.to_owned(),
+            r#"{"id":1,"op":"assert","name":"tc","facts":["E(X,b)"]}"#.into(),
+            r#"{"id":2,"op":"assert","name":"tc","facts":["E(a,b)"]}"#.into(),
+        ],
+    );
+    assert_eq!(out[0].outcome.as_ref().unwrap_err().kind(), "unknown_name");
+    assert_eq!(out[2].outcome.as_ref().unwrap_err().kind(), "bad_request");
+    // The rejected mutation minted no version: the next one is version 1.
+    assert_eq!(field(&out[3], "version").and_then(Json::as_u64), Some(1));
+}

@@ -5,8 +5,9 @@
 #   scripts/ci.sh
 #
 # The perf smoke step rewrites BENCH_chase.json, BENCH_rewrite.json, and
-# BENCH_guarded.json, and the serve bench rewrites BENCH_serve.json; commit
-# the refreshed files when the counters change intentionally.
+# BENCH_guarded.json, the serve bench rewrites BENCH_serve.json, and the
+# store bench rewrites BENCH_store.json; commit the refreshed files when
+# the counters change intentionally.
 # scripts/bench_diff.py shows the drift against the committed baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -144,10 +145,51 @@ echo "$SERVE_OUT" | jq -s -e '
     and (.[10].ok and .[10].registered == "g2")
     and (.[11].ok and .[11].guarded_encoding.consistent == true)
     and (.[12].ok and .[12].guarded_encoding == .[11].guarded_encoding)
-    and (.[13].ok and .[13].encoding_cache_hits > 0)
+    and (.[13].ok and .[13].encoding_cache_hits == 1)
 ' >/dev/null || {
     echo "serve smoke test failed; responses were:" >&2
     echo "$SERVE_OUT" >&2
+    exit 1
+}
+
+echo "==> serve store smoke (assert/retract/snapshot/evaluate-at + compaction)"
+# threshold 1 compacts after every unpinned mutation, so the smoke proves
+# (a) compaction really runs, (b) the snapshot pin keeps version 1
+# answerable and byte-stable while the head moves, (c) an unpinned
+# pre-floor version fails with the structured stale_version kind, and
+# (d) the stats op surfaces the store counter block.
+STORE_OUT=$(printf '%s\n' \
+  '{"id":1,"op":"register","name":"tc","program":"E(X,Y) -> T(X,Y)\nE(X,Y), T(Y,Z) -> T(X,Z)\nq(X,Y) :- T(X,Y)","schema":["E"],"query":"q"}' \
+  '{"id":2,"op":"assert","name":"tc","facts":["E(a,b)","E(b,c)"]}' \
+  '{"id":3,"op":"evaluate","name":"tc"}' \
+  '{"id":4,"op":"snapshot","name":"tc"}' \
+  '{"id":5,"op":"assert","name":"tc","facts":["E(c,d)"]}' \
+  '{"id":6,"op":"evaluate","name":"tc","at":1}' \
+  '{"id":7,"op":"evaluate","name":"tc"}' \
+  '{"id":8,"op":"retract","name":"tc","facts":["E(b,c)"]}' \
+  '{"id":9,"op":"evaluate","name":"tc"}' \
+  '{"id":10,"op":"evaluate","name":"tc","at":0}' \
+  '{"id":11,"op":"stats"}' \
+  | ./target/release/omq-serve --store-compact-threshold 1)
+echo "$STORE_OUT" | jq -s -e '
+    length == 11
+    and (.[0].ok and .[0].registered == "tc")
+    and (.[1].ok and .[1].asserted == "tc" and .[1].version == 1 and .[1].compactions == 1)
+    and (.[2].ok and .[2].count == 3 and .[2].guarantee == "exact" and .[2].version == 1)
+    and (.[3].ok and .[3].snapshot == "tc" and .[3].version == 1 and .[3].pinned)
+    and (.[4].ok and .[4].asserted == "tc" and .[4].version == 2 and .[4].maintained and .[4].complete)
+    and (.[5].ok and .[5].count == 3 and .[5].version == 1 and .[5].answers == .[2].answers)
+    and (.[6].ok and .[6].count == 6 and .[6].version == 2)
+    and (.[7].ok and .[7].retracted == "tc" and .[7].version == 3)
+    and (.[8].ok and .[8].count == 2 and .[8].guarantee == "exact")
+    and (.[9].ok == false and .[9].error.kind == "stale_version")
+    and (.[10].ok and .[10].store.stores == 1
+         and .[10].store.compactions >= 1 and .[10].store.dred_deleted >= 1
+         and (.[10].store | has("novelty_size")) and (.[10].store | has("rederived"))
+         and .[10].store.incremental_resumes >= 1)
+' >/dev/null || {
+    echo "serve store smoke test failed; responses were:" >&2
+    echo "$STORE_OUT" >&2
     exit 1
 }
 
@@ -168,11 +210,47 @@ jq -e '[.[] | select(has("plans_reoptimized"))] | length > 0' \
     exit 1
 }
 
+echo "==> store bench (writes BENCH_store.json)"
+cargo run -q --release -p omq-bench --bin store_bench
+for row in \
+    "store:assert chain=32 k=8 incremental" "store:assert chain=32 k=8 rechase" \
+    "store:retract chain=32 mid dred" "store:compact chain=32 threshold=8"; do
+    if ! grep -q "$row" BENCH_store.json; then
+        echo "BENCH_store.json is missing the '$row' row" >&2
+        exit 1
+    fi
+done
+jq -e 'map(select(.workload == "store:summary"))
+    | .[0].speedup_incremental_over_rechase >= 5' BENCH_store.json >/dev/null || {
+    echo "incremental maintenance fell below the 5x speedup floor over re-chasing" >&2
+    exit 1
+}
+# The maintenance counters are deterministic for the fixed workload: 8
+# single-fact asserts resume the fixpoint 8 times and leave 40 novelty
+# rows (32 base + 8 extension edges, threshold 0 = no auto-compaction).
+jq -e 'map(select(.workload == "store:assert chain=32 k=8 incremental")) | .[0]
+    | .novelty_size == 40 and .compactions == 0
+      and .incremental_resumes == 8 and .full_rechases == 1' \
+    BENCH_store.json >/dev/null || {
+    echo "store:assert incremental row lost its novelty/maintenance counters" >&2
+    exit 1
+}
+jq -e 'map(select(.workload == "store:retract chain=32 mid dred")) | .[0]
+    | .dred_deleted >= 1 and has("rederived")' BENCH_store.json >/dev/null || {
+    echo "store:retract row lost its DRed counters (dred_deleted/rederived)" >&2
+    exit 1
+}
+jq -e 'map(select(.workload == "store:compact chain=32 threshold=8")) | .[0]
+    | .compactions >= 1 and .novelty_size == 0' BENCH_store.json >/dev/null || {
+    echo "store:compact row shows no compactions (threshold 8 must trigger)" >&2
+    exit 1
+}
+
 echo "==> phase breakdown present in every BENCH row"
 # The default-features build records a per-phase breakdown for every bench
 # row (perf_smoke and serve_bench both run one instrumented pass per row);
 # a row without any phase_*_us key means a workload escaped instrumentation.
-for bench in BENCH_chase.json BENCH_rewrite.json BENCH_serve.json BENCH_guarded.json; do
+for bench in BENCH_chase.json BENCH_rewrite.json BENCH_serve.json BENCH_guarded.json BENCH_store.json; do
     jq -e 'all(.[]; [keys[] | select(test("^phase_.*_us$"))] | length > 0)' \
         "$bench" >/dev/null || {
         echo "$bench has rows without a phase_*_us breakdown" >&2
