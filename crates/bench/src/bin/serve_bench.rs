@@ -89,6 +89,9 @@ struct Row {
     p95_us: f64,
     requests: usize,
     cache_hits: Option<usize>,
+    /// Extra JSON columns (leading `, `), e.g. the open-loop rows'
+    /// `p99_us`/`shed_pct`.
+    extra_cols: String,
     phases: String,
 }
 
@@ -172,6 +175,7 @@ fn main() {
             p95_us: p95_c,
             requests: contains.len(),
             cache_hits: Some(rw.hits + vd.hits),
+            extra_cols: String::new(),
             phases: phase_fields(&agg_c),
         });
         rows.push(Row {
@@ -181,6 +185,7 @@ fn main() {
             p95_us: p95_e,
             requests: evals.len(),
             cache_hits: Some(rw2.hits + vd2.hits - rw.hits - vd.hits),
+            extra_cols: String::new(),
             phases: phase_fields(&agg_e),
         });
     }
@@ -204,8 +209,118 @@ fn main() {
             p95_us: 0.0,
             requests: mixed.len(),
             cache_hits: None,
+            extra_cols: String::new(),
             phases: phase_fields(&agg),
         });
+    }
+
+    // Open-loop arrival-rate workloads: requests arrive on a clock (1×,
+    // 2×, 4× the measured cache-off service capacity) whether or not the
+    // single worker has kept up — the queueing regime a closed-loop replay
+    // can never exhibit. Each rate runs twice: `noshed` (no admission
+    // control; under overload the backlog and therefore the tail grow
+    // without bound) and `shed` (queue-depth watermark 16; sheddable
+    // arrivals over the watermark get an immediate structured refusal, so
+    // the tail of the *answered* requests stays bounded). Columns:
+    // `p50_us`/`p99_us` over answered requests (arrival→response,
+    // queueing included) and `shed_pct`, the refused share. scripts/ci.sh
+    // gates `shed` p99 < `noshed` p99 at 4× and a nonzero 4× shed rate.
+    {
+        use omq_serve::Admission;
+        use std::sync::mpsc;
+
+        let line = r#"{"id":0,"op":"contains","lhs":"lin_a","rhs":"lin_b"}"#.to_owned();
+        let items = parse_all(std::slice::from_ref(&line));
+        // Mean cache-off service time = the capacity the rates scale from.
+        let probe = fresh_engine(0, 1);
+        let probe_n = 20u32;
+        let t = Instant::now();
+        for _ in 0..probe_n {
+            let out = probe.execute_batch(&items);
+            assert!(out[0].outcome.is_ok());
+        }
+        let service = t.elapsed() / probe_n;
+        // One instrumented pass covers every open-loop row's phase
+        // columns — the op mix is identical at every rate.
+        let ((), agg_o) = instrumented_pass(&extra, || {
+            let engine = fresh_engine(0, 1);
+            for _ in 0..4 {
+                let out = engine.execute_batch(&items);
+                assert!(out[0].outcome.is_ok());
+            }
+        });
+        let open_phases = phase_fields(&agg_o);
+
+        let n = 200usize;
+        for mult in [1u32, 2, 4] {
+            for (label, watermark) in [("noshed", 0usize), ("shed", 16)] {
+                let engine = Arc::new(fresh_engine(0, 1));
+                let admission = Arc::new(Admission::new(watermark));
+                let worker = {
+                    let engine = Arc::clone(&engine);
+                    let admission = Arc::clone(&admission);
+                    let items = parse_all(std::slice::from_ref(&line));
+                    let (tx, rx) = mpsc::channel::<Instant>();
+                    (
+                        tx,
+                        std::thread::spawn(move || {
+                            let mut lat_us: Vec<f64> = Vec::new();
+                            for arrived in rx {
+                                let out = engine.execute_batch(&items);
+                                assert!(out[0].outcome.is_ok());
+                                lat_us.push(arrived.elapsed().as_secs_f64() * 1e6);
+                                admission.exit(1);
+                            }
+                            lat_us
+                        }),
+                    )
+                };
+                let (tx, handle) = worker;
+                let interarrival = service / mult;
+                let start = Instant::now();
+                let mut shed_count = 0usize;
+                for i in 0..n {
+                    let due = start + interarrival * i as u32;
+                    while Instant::now() < due {
+                        std::hint::spin_loop();
+                    }
+                    let depth = admission.enter(1);
+                    if admission.should_shed(depth) {
+                        // An immediate structured refusal; the request
+                        // never reaches the worker queue.
+                        admission.exit(1);
+                        shed_count += 1;
+                    } else {
+                        tx.send(Instant::now()).expect("worker alive");
+                    }
+                }
+                drop(tx);
+                let mut lat_us = handle.join().expect("worker exits cleanly");
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let pct = |p: f64| {
+                    if lat_us.is_empty() {
+                        0.0
+                    } else {
+                        lat_us[((lat_us.len() - 1) as f64 * p) as usize]
+                    }
+                };
+                rows.push(Row {
+                    workload: format!("serve:open-loop contains {mult}x {label}"),
+                    wall_ms,
+                    p50_us: pct(0.50),
+                    p95_us: pct(0.95),
+                    requests: n,
+                    cache_hits: None,
+                    extra_cols: format!(
+                        ", \"p99_us\": {:.1}, \"shed_pct\": {:.1}",
+                        pct(0.99),
+                        shed_count as f64 * 100.0 / n as f64
+                    ),
+                    phases: open_phases.clone(),
+                });
+            }
+        }
     }
 
     let cold = rows[0].wall_ms;
@@ -218,8 +333,8 @@ fn main() {
             .cache_hits
             .map_or(String::new(), |h| format!(", \"cache_hits\": {h}"));
         json.push_str(&format!(
-            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"requests\": {}{}{}}},\n",
-            r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, hits, r.phases
+            "  {{\"workload\": \"{}\", \"wall_ms\": {:.3}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"requests\": {}{}{}{}}},\n",
+            r.workload, r.wall_ms, r.p50_us, r.p95_us, r.requests, hits, r.extra_cols, r.phases
         ));
         println!(
             "{:<28} {:>9.3} ms  p50={:<9.1}us p95={:<9.1}us requests={} hits={:?}",

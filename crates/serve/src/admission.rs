@@ -1,0 +1,169 @@
+//! Queue-depth admission control for the serve tier.
+//!
+//! The reactor tracks how many requests sit between "read off a socket"
+//! and "response bytes queued"; when that depth reaches the configured
+//! watermark, *sheddable* work (the solver-heavy read ops) is answered
+//! immediately with a structured [`ServeError::Shed`] instead of joining
+//! the queue. Shedding never poisons the worker pool and never touches
+//! engine state — a shed request simply got a cheap, retryable "busy"
+//! answer. Mutating and administrative ops are always admitted: dropping
+//! an `assert`/`retract` would silently fork the client's picture of a
+//! versioned store, and `stats` is exactly what an operator needs while
+//! the server is saturated.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::ServeError;
+use crate::protocol::Op;
+
+/// Shared depth counter plus the shed watermark (`0` disables shedding).
+#[derive(Debug, Default)]
+pub struct Admission {
+    depth: AtomicUsize,
+    watermark: usize,
+}
+
+impl Admission {
+    pub fn new(watermark: usize) -> Admission {
+        Admission {
+            depth: AtomicUsize::new(0),
+            watermark,
+        }
+    }
+
+    /// The configured watermark (`0` = shedding disabled).
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Requests currently admitted and not yet answered.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Admits `n` requests; returns the depth *before* this batch joined,
+    /// which is the depth shedding decisions for the batch are made at
+    /// (the batch must not shed itself into the watermark).
+    pub fn enter(&self, n: usize) -> usize {
+        self.depth.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Retires `n` requests (answered or shed).
+    pub fn exit(&self, n: usize) {
+        self.depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Whether a request that observed `depth_at_enqueue` should shed.
+    pub fn should_shed(&self, depth_at_enqueue: usize) -> bool {
+        self.watermark > 0 && depth_at_enqueue >= self.watermark
+    }
+
+    /// The structured shed response body for a request observing
+    /// `depth_at_enqueue`.
+    pub fn shed_error(&self, depth_at_enqueue: usize) -> ServeError {
+        ServeError::Shed {
+            queue_depth: depth_at_enqueue,
+            watermark: self.watermark,
+        }
+    }
+
+    /// Only solver-heavy read ops shed; registry and store mutations,
+    /// snapshots, and diagnostics always run.
+    pub fn sheddable(op: &Op) -> bool {
+        matches!(
+            op,
+            Op::Contains { .. } | Op::Equivalent { .. } | Op::Evaluate { .. } | Op::Explain { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tracks_enter_and_exit() {
+        let a = Admission::new(4);
+        assert_eq!(a.enter(3), 0);
+        assert_eq!(a.depth(), 3);
+        assert_eq!(a.enter(2), 3);
+        a.exit(4);
+        assert_eq!(a.depth(), 1);
+        a.exit(1);
+        assert_eq!(a.depth(), 0);
+    }
+
+    #[test]
+    fn sheds_at_or_over_the_watermark_only() {
+        let a = Admission::new(4);
+        assert!(!a.should_shed(0));
+        assert!(!a.should_shed(3));
+        assert!(a.should_shed(4));
+        assert!(a.should_shed(100));
+        let off = Admission::new(0);
+        assert!(!off.should_shed(usize::MAX));
+    }
+
+    #[test]
+    fn shed_error_is_structured() {
+        let a = Admission::new(4);
+        match a.shed_error(7) {
+            ServeError::Shed {
+                queue_depth,
+                watermark,
+            } => {
+                assert_eq!(queue_depth, 7);
+                assert_eq!(watermark, 4);
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_solver_reads_are_sheddable() {
+        let sheddable = [
+            Op::Contains {
+                lhs: "a".into(),
+                rhs: "b".into(),
+            },
+            Op::Equivalent {
+                lhs: "a".into(),
+                rhs: "b".into(),
+            },
+            Op::Evaluate {
+                name: "a".into(),
+                facts: vec![],
+                at: None,
+            },
+            Op::Explain {
+                lhs: "a".into(),
+                rhs: "b".into(),
+            },
+        ];
+        for op in &sheddable {
+            assert!(Admission::sheddable(op), "{op:?} should shed");
+        }
+        let admitted = [
+            Op::Register {
+                name: "a".into(),
+                program: String::new(),
+                schema: vec![],
+                query: "q".into(),
+            },
+            Op::Classify { name: "a".into() },
+            Op::Stats,
+            Op::Assert {
+                name: "a".into(),
+                facts: vec![],
+            },
+            Op::Retract {
+                name: "a".into(),
+                facts: vec![],
+            },
+            Op::Snapshot { name: "a".into() },
+        ];
+        for op in &admitted {
+            assert!(!Admission::sheddable(op), "{op:?} must always admit");
+        }
+    }
+}

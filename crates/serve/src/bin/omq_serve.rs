@@ -2,14 +2,21 @@
 //!
 //! Default mode reads JSON-lines requests from stdin and writes responses
 //! to stdout (a blank line flushes a batch; EOF flushes the rest). With
-//! `--listen ADDR` it serves the same protocol over TCP instead.
+//! `--listen ADDR` it serves the same protocol over TCP through the
+//! nonblocking, connection-multiplexed reactor (`--tcp-threaded` falls
+//! back to the thread-per-connection transport). Either way the back end
+//! is a registry shardable with `--shards`, optionally persisting
+//! rewriting artifacts under `--cache-dir` and shedding load past
+//! `--queue-watermark`.
 
 use std::io::{self, BufReader};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use omq_serve::{serve_lines, serve_tcp, Engine, EngineConfig};
+use omq_serve::{
+    serve_lines, serve_reactor, serve_tcp, EngineConfig, ReactorConfig, ShardedEngine,
+};
 
 const USAGE: &str = "\
 omq-serve: serve OMQ containment/evaluation requests over JSON lines
@@ -19,9 +26,21 @@ USAGE:
 
 OPTIONS:
   --listen ADDR         serve over TCP on ADDR (e.g. 127.0.0.1:7171)
-                        instead of stdin/stdout
+                        through the nonblocking reactor instead of
+                        stdin/stdout
+  --tcp-threaded        with --listen: thread-per-connection transport
+                        instead of the reactor (no admission control)
+  --shards N            shard the registry across N engines by canonical
+                        key hash (default 1)
+  --queue-watermark N   shed solver requests once the admitted queue
+                        depth reaches N (0 = never shed; default 0;
+                        reactor mode only)
+  --cache-dir PATH      persist complete rewriting artifacts under PATH
+                        (portable form; survives restarts)
   --threads N           worker threads for batch fan-out
                         (0 = available parallelism; default 0)
+  --workers N           reactor batch-worker threads
+                        (0 = available parallelism, capped at 8)
   --cache-capacity N    capacity of each LRU cache (default 256)
   --no-cache            disable both caches (same as --cache-capacity 0)
   --deadline-ms N       default deadline for requests that carry none
@@ -45,6 +64,10 @@ fn main() -> ExitCode {
     let mut cfg = EngineConfig::default();
     let mut listen: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut shards: usize = 1;
+    let mut watermark: usize = 0;
+    let mut workers: usize = 0;
+    let mut threaded = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -57,9 +80,26 @@ fn main() -> ExitCode {
                 Ok(v) => listen = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--tcp-threaded" => threaded = true,
+            "--shards" => match value("--shards").map(|v| v.parse()) {
+                Ok(Ok(n)) if n >= 1 => shards = n,
+                _ => return fail("--shards needs a positive integer"),
+            },
+            "--queue-watermark" => match value("--queue-watermark").map(|v| v.parse()) {
+                Ok(Ok(n)) => watermark = n,
+                _ => return fail("--queue-watermark needs an unsigned integer"),
+            },
+            "--cache-dir" => match value("--cache-dir") {
+                Ok(v) => cfg.cache_dir = Some(v.into()),
+                Err(e) => return fail(&e),
+            },
             "--threads" => match value("--threads").map(|v| v.parse()) {
                 Ok(Ok(n)) => cfg.threads = n,
                 _ => return fail("--threads needs an unsigned integer"),
+            },
+            "--workers" => match value("--workers").map(|v| v.parse()) {
+                Ok(Ok(n)) => workers = n,
+                _ => return fail("--workers needs an unsigned integer"),
             },
             "--cache-capacity" => match value("--cache-capacity").map(|v| v.parse()) {
                 Ok(Ok(n)) => cfg.cache_capacity = n,
@@ -88,7 +128,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut engine = Engine::new(cfg);
+    let mut engine = ShardedEngine::new(cfg, shards, watermark);
     if let Some(path) = trace_out {
         let file = match std::fs::File::create(&path) {
             Ok(f) => f,
@@ -109,10 +149,19 @@ fn main() -> ExitCode {
                 }
             };
             eprintln!(
-                "omq-serve: listening on {}",
-                listener.local_addr().map_or(addr, |a| a.to_string())
+                "omq-serve: listening on {} ({} shard{}, watermark {})",
+                listener.local_addr().map_or(addr, |a| a.to_string()),
+                engine.shards(),
+                if engine.shards() == 1 { "" } else { "s" },
+                watermark,
             );
-            serve_tcp(Arc::new(engine), listener)
+            let runtime = engine.runtime();
+            let engine = Arc::new(engine);
+            if threaded {
+                serve_tcp(engine, listener)
+            } else {
+                serve_reactor(engine, listener, ReactorConfig { workers }, runtime)
+            }
         }
         None => {
             let stdin = io::stdin();

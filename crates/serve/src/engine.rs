@@ -38,7 +38,9 @@
 //! pool itself is never poisoned by an expired request.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use omq_chase::{effective_threads, parallel_indexed, Budget};
@@ -58,7 +60,9 @@ use crate::error::ServeError;
 use crate::json::Json;
 use crate::key::{OmqKey, RewriteCfgKey};
 use crate::protocol::{Op, Request, Response};
+use crate::reactor::RuntimeStats;
 use crate::registry::Registry;
+use crate::tier::{DiskTier, DiskTierStats, PortableArtifact};
 
 /// Key of the rewrite-artifact cache.
 pub type RewriteKey = (OmqKey, RewriteCfgKey);
@@ -85,6 +89,10 @@ pub struct EngineConfig {
     /// Novelty rows that trigger a store compaction after a mutation
     /// (`0` disables automatic compaction). See [`omq_store::StoreConfig`].
     pub store_compact_threshold: usize,
+    /// Directory of the persisted artifact tier (`None` = in-memory tiers
+    /// only). Complete rewriting artifacts are written there in portable
+    /// form and survive restarts; see [`crate::tier`].
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -94,18 +102,35 @@ impl Default for EngineConfig {
             cache_capacity: 256,
             default_deadline_ms: None,
             store_compact_threshold: StoreConfig::default().compact_threshold,
+            cache_dir: None,
         }
     }
 }
 
-/// A [`RewriteSource`] backed by the engine's artifact cache. Complete
-/// artifacts are shared across requests (and across alias registrations,
-/// thanks to canonical keying); incomplete ones pass through uncached.
-/// `alias` marks lookups made on behalf of an alias registration, so hits
-/// reached through canonical-key sharing are counted distinctly.
+/// A [`RewriteSource`] backed by the engine's tiered artifact cache: hot
+/// in-memory LRU, then the persisted disk tier, then XRewrite. Both cache
+/// tiers store the *portable* (vocabulary-independent) form, rehydrated
+/// into the request vocabulary on every use — and a fresh computation is
+/// round-tripped through the same portable form before it is returned, so
+/// response bytes never depend on which tier (if any) served the artifact.
+/// That round trip is also what lets `explain` read the cache again: the
+/// rehydrated artifact's VarIds are interned in *this* request's
+/// vocabulary, so rendering them always resolves. Complete artifacts are
+/// shared across requests (and across alias registrations, thanks to
+/// canonical keying); incomplete ones pass through uncached, as do the
+/// rare non-portable ones (a null-carrying disjunct). `alias` marks
+/// lookups made on behalf of an alias registration, so hits reached
+/// through canonical-key sharing are counted distinctly.
 struct CachingSource<'a> {
-    cache: &'a Mutex<LruCache<RewriteKey, RewriteArtifact>>,
+    cache: &'a Mutex<LruCache<RewriteKey, PortableArtifact>>,
+    disk: Option<&'a DiskTier>,
     alias: bool,
+}
+
+/// The disk tier's file name for one cache key (stable across restarts of
+/// the same binary: both digests hash with fixed-key `DefaultHasher`s).
+fn artifact_file_key(key: &RewriteKey) -> String {
+    format!("{}-{}", key.0.digest(), key.1.digest())
 }
 
 impl RewriteSource for CachingSource<'_> {
@@ -117,14 +142,44 @@ impl RewriteSource for CachingSource<'_> {
     ) -> RewriteArtifact {
         let key = (OmqKey::of(omq, voc), RewriteCfgKey::of(cfg));
         if let Some(hit) = self.cache.lock().unwrap().get_tagged(&key, self.alias) {
-            return hit;
+            return hit.rehydrate(voc);
         }
-        let art = DirectRewrite.rewrite(omq, voc, cfg);
-        if art.complete {
-            self.cache.lock().unwrap().insert(key, art.clone());
+        if let Some(disk) = self.disk {
+            if let Some(portable) = disk.load(&artifact_file_key(&key)) {
+                let art = portable.rehydrate(voc);
+                self.cache.lock().unwrap().insert(key, portable);
+                return art;
+            }
         }
-        art
+        let raw = DirectRewrite.rewrite(omq, voc, cfg);
+        match PortableArtifact::of(&raw, voc) {
+            Some(portable) => {
+                let art = portable.rehydrate(voc);
+                if raw.complete {
+                    if let Some(disk) = self.disk {
+                        disk.store(&artifact_file_key(&key), &portable);
+                    }
+                    self.cache.lock().unwrap().insert(key, portable);
+                }
+                art
+            }
+            // Non-portable artifacts can't round-trip; return them raw and
+            // uncached (deterministic: such an artifact *never* caches, so
+            // every request recomputes it identically).
+            None => raw,
+        }
     }
+}
+
+/// A finished verdict computation as published to followers: the rendered
+/// fields (or structured error) plus the `timed_out` flag.
+type VerdictOutcome = (Result<Vec<(String, Json)>, ServeError>, bool);
+
+/// One in-flight `contains`/`equivalent` computation that concurrent
+/// requests on the same verdict key wait on instead of repeating.
+struct InflightSlot {
+    done: Mutex<Option<VerdictOutcome>>,
+    cv: Condvar,
 }
 
 /// One registration name's versioned store plus the vocabulary its facts
@@ -140,9 +195,22 @@ struct NamedStore {
 pub struct Engine {
     cfg: EngineConfig,
     registry: RwLock<Registry>,
-    rewrites: Mutex<LruCache<RewriteKey, RewriteArtifact>>,
+    rewrites: Mutex<LruCache<RewriteKey, PortableArtifact>>,
     verdicts: Mutex<LruCache<VerdictKey, Vec<(String, Json)>>>,
     encodings: Mutex<LruCache<OmqKey, EncodingArtifact>>,
+    /// Persisted artifact tier (see [`crate::tier`]); `None` without a
+    /// `cache_dir` (or when opening the directory failed at startup).
+    disk: Option<DiskTier>,
+    /// In-flight `contains`/`equivalent` computations, keyed like the
+    /// verdict cache; concurrent deadline-free requests on the same key
+    /// join the leader instead of recomputing.
+    inflight: Mutex<HashMap<VerdictKey, Arc<InflightSlot>>>,
+    /// Requests answered by joining an in-flight computation.
+    coalesced_hits: AtomicU64,
+    /// Underlying solver invocations for `contains`/`equivalent` (the
+    /// denominator the coalescing tests pin: a burst of identical requests
+    /// must show exactly one).
+    verdict_computations: AtomicU64,
     /// Per-name versioned fact stores with incrementally maintained chase
     /// fixpoints, created lazily on the first mutation or store-backed
     /// evaluation of a name. Each store owns a vocabulary that grows
@@ -156,20 +224,32 @@ pub struct Engine {
     /// When set, every request runs under a recorder that also streams its
     /// span tree here (the binary's `--trace-out`).
     trace_sink: Option<Arc<JsonlSink>>,
+    /// When set (by the reactor / sharded front end), the `stats` op
+    /// appends a `"reactor"` block with uptime, connection, queue, and
+    /// shard-occupancy counters.
+    runtime: Option<Arc<RuntimeStats>>,
 }
 
 impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
         let cap = cfg.cache_capacity;
+        // A cache dir that cannot be opened degrades to no disk tier: the
+        // server still works, `stats` simply shows no `artifact_disk`.
+        let disk = cfg.cache_dir.as_deref().and_then(|d| DiskTier::new(d).ok());
         Engine {
             cfg,
             registry: RwLock::new(Registry::new()),
             rewrites: Mutex::new(LruCache::new(cap)),
             verdicts: Mutex::new(LruCache::new(cap)),
             encodings: Mutex::new(LruCache::new(cap)),
+            disk,
+            inflight: Mutex::new(HashMap::new()),
+            coalesced_hits: AtomicU64::new(0),
+            verdict_computations: AtomicU64::new(0),
             stores: Mutex::new(HashMap::new()),
             latencies: Aggregator::new(),
             trace_sink: None,
+            runtime: None,
         }
     }
 
@@ -178,6 +258,37 @@ impl Engine {
     /// inert — spans compile to no-ops.
     pub fn set_trace_sink(&mut self, sink: Arc<JsonlSink>) {
         self.trace_sink = Some(sink);
+    }
+
+    /// Attach the serve-tier runtime counters (call before sharing the
+    /// engine); the `stats` op then reports them as a `"reactor"` block.
+    pub fn set_runtime_stats(&mut self, runtime: Arc<RuntimeStats>) {
+        self.runtime = Some(runtime);
+    }
+
+    /// `(coalesced_hits, verdict_computations)` — how many requests joined
+    /// an in-flight computation vs. how many solver runs actually happened.
+    pub fn coalescing_stats(&self) -> (u64, u64) {
+        (
+            self.coalesced_hits.load(Ordering::Relaxed),
+            self.verdict_computations.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Disk-tier counters, when a persisted tier is configured.
+    pub fn disk_stats(&self) -> Option<DiskTierStats> {
+        self.disk.as_ref().map(DiskTier::stats)
+    }
+
+    /// The canonical digest of a registered name (used by the sharded
+    /// front end to route requests by canonical key).
+    pub fn key_digest(&self, name: &str) -> Option<String> {
+        self.registry
+            .read()
+            .unwrap()
+            .get(name)
+            .ok()
+            .map(|r| r.key.digest())
     }
 
     /// Current cache counters `(artifact cache, verdict cache, encoding
@@ -214,6 +325,22 @@ impl Engine {
             };
             let is_barrier = |item: &Result<Request, Box<Response>>| !matches!(item, Ok(r) if parallel_safe(&r.op));
             if is_barrier(&items[i]) {
+                // A maximal run of untraced, deadline-free retracts on one
+                // name shares a single DRed cone pass (see
+                // [`omq_store::MaintainedStore::retract_batch`]) instead of
+                // paying per-call maintenance.
+                let run = self.retract_run_len(items, i);
+                if run >= 2 {
+                    for (off, resp) in self
+                        .execute_retract_run(&items[i..i + run])
+                        .into_iter()
+                        .enumerate()
+                    {
+                        out[i + off] = Some(resp);
+                    }
+                    i += run;
+                    continue;
+                }
                 out[i] = Some(self.execute_one(&items[i], arrival));
                 i += 1;
                 continue;
@@ -273,10 +400,16 @@ impl Engine {
         }
         let _guard =
             (!sinks.is_empty()).then(|| omq_obs::install(Some(omq_obs::Recorder::new(sinks))));
+        // Only deadline-free, untraced requests coalesce: a follower shares
+        // the leader's outcome byte-for-byte, which is only sound when that
+        // outcome cannot depend on a deadline (a leader's budget-truncated
+        // "unknown" must never masquerade as another request's answer) or
+        // carry another request's instrumentation.
+        let coalesce = req.deadline_ms.or(self.cfg.default_deadline_ms).is_none() && !req.trace;
         let started = Instant::now();
         let (mut outcome, timed_out) = {
             let _root = omq_obs::span(op_name(&req.op));
-            self.run_op(&req.op, &budget)
+            self.run_op(&req.op, &budget, coalesce)
         };
         self.latencies.record(op_name(&req.op), started.elapsed());
         if let (Some(agg), Ok(fields)) = (&trace_agg, &mut outcome) {
@@ -289,9 +422,186 @@ impl Engine {
         }
     }
 
+    /// Length of the maximal run of coalesceable retracts starting at `i`:
+    /// consecutive `Ok` retract requests on one name, untraced and
+    /// deadline-free (both per-request and by default), so the shared cone
+    /// pass runs under one unlimited budget and responses stay
+    /// deterministic. `0`/`1` means "no run — execute normally".
+    fn retract_run_len(&self, items: &[Result<Request, Box<Response>>], i: usize) -> usize {
+        if self.cfg.default_deadline_ms.is_some() {
+            return 0;
+        }
+        let run_name = |item: &Result<Request, Box<Response>>| match item {
+            Ok(req) if !req.trace && req.deadline_ms.is_none() => match &req.op {
+                Op::Retract { name, .. } => Some(name.clone()),
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some(name) = run_name(&items[i]) else {
+            return 0;
+        };
+        items[i..]
+            .iter()
+            .take_while(|item| run_name(item).as_deref() == Some(&name))
+            .count()
+    }
+
+    /// Executes a retract run (≥ 2 requests, one name) through the store's
+    /// batched-cone path: every request appends its own version, then one
+    /// DRed cone pass maintains the fixpoint for all of them. Responses
+    /// mirror the per-call shape; the maintenance counters
+    /// (`novelty_size`/`compactions`/`maintained`/`complete`) report the
+    /// post-batch state for every member, which is also each request's
+    /// observable store state once the batch lands.
+    fn execute_retract_run(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response> {
+        let started = Instant::now();
+        let budget = Budget::unlimited();
+        let cfg = self.eval_cfg(&budget).chase;
+        let reqs: Vec<&Request> = items
+            .iter()
+            .map(|item| match item {
+                Ok(req) => req,
+                Err(_) => unreachable!("retract_run_len only accepts Ok items"),
+            })
+            .collect();
+        let name = match &reqs[0].op {
+            Op::Retract { name, .. } => name.clone(),
+            _ => unreachable!("retract_run_len only accepts retracts"),
+        };
+        let res = self.with_store(&name, |entry, reg| {
+            // Parse every request's facts first (in request order, exactly
+            // as sequential execution would intern them); a group that
+            // fails to parse gets its error in place and appends no
+            // version, like a sequential parse failure.
+            let parsed: Vec<Result<Vec<omq_model::Atom>, ServeError>> = reqs
+                .iter()
+                .map(|req| match &req.op {
+                    Op::Retract { facts, .. } => parse_ground_facts(&mut entry.voc, facts),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let groups: Vec<Vec<omq_model::Atom>> = parsed
+                .iter()
+                .filter_map(|p| p.as_ref().ok().cloned())
+                .collect();
+            let mut versions = entry
+                .store
+                .retract_batch(&groups, &reg.omq.sigma, &mut entry.voc, &cfg)
+                .into_iter();
+            let outcomes: Vec<Result<(u64, usize), ServeError>> = parsed
+                .into_iter()
+                .map(|p| {
+                    let atoms = p?;
+                    versions
+                        .next()
+                        .expect("one store result per parsed group")
+                        .map(|v| (v, atoms.len()))
+                        .map_err(|e| ServeError::BadRequest(e.to_string()))
+                })
+                .collect();
+            (outcomes, entry.store.stats(), entry.store.head_complete())
+        });
+        let (outcomes, stats, head_complete) = match res {
+            Ok(t) => t,
+            Err(e) => {
+                // Unknown name: every request in the run gets the error,
+                // just as each would sequentially.
+                return reqs
+                    .iter()
+                    .map(|req| Response::err(req.id.clone(), e.clone()))
+                    .collect();
+            }
+        };
+        let elapsed = started.elapsed();
+        reqs.iter()
+            .zip(outcomes)
+            .map(|(req, outcome)| {
+                self.latencies.record("serve.retract", elapsed);
+                let outcome = outcome.map(|(version, changed)| {
+                    vec![
+                        ("retracted".to_owned(), Json::str(&name)),
+                        ("version".to_owned(), Json::num(version as usize)),
+                        ("facts".to_owned(), Json::num(changed)),
+                        (
+                            "novelty_size".to_owned(),
+                            Json::num(stats.novelty_size as usize),
+                        ),
+                        (
+                            "compactions".to_owned(),
+                            Json::num(stats.compactions as usize),
+                        ),
+                        (
+                            "maintained".to_owned(),
+                            Json::Bool(stats.incremental_resumes + stats.full_rechases > 0),
+                        ),
+                        ("complete".to_owned(), Json::Bool(head_complete)),
+                    ]
+                });
+                Response {
+                    id: req.id.clone(),
+                    outcome,
+                    timed_out: false,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `compute` for the verdict key, sharing one in-flight
+    /// computation among concurrent coalesceable requests: the first
+    /// arrival (the leader) computes, everyone else waits on the slot and
+    /// clones the outcome. Non-coalesceable requests (deadline-bearing or
+    /// traced — see `execute_one`) always compute.
+    fn coalesced(
+        &self,
+        vkey: &VerdictKey,
+        coalesce: bool,
+        compute: impl FnOnce() -> (Result<Vec<(String, Json)>, ServeError>, bool),
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+        if !coalesce {
+            self.verdict_computations.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        }
+        let (slot, leader) = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(vkey) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(InflightSlot {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    inflight.insert(vkey.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if leader {
+            self.verdict_computations.fetch_add(1, Ordering::Relaxed);
+            let out = compute();
+            *slot.done.lock().unwrap() = Some(out.clone());
+            slot.cv.notify_all();
+            self.inflight.lock().unwrap().remove(vkey);
+            out
+        } else {
+            self.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            omq_obs::counter("serve.coalesced", 1);
+            let mut done = slot.done.lock().unwrap();
+            while done.is_none() {
+                done = slot.cv.wait(done).unwrap();
+            }
+            done.clone().expect("leader published before notifying")
+        }
+    }
+
     /// Runs one job; the bool is the timed-out flag (expiry observed *and*
     /// the answer degraded because of it).
-    fn run_op(&self, op: &Op, budget: &Budget) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
+    fn run_op(
+        &self,
+        op: &Op,
+        budget: &Budget,
+        coalesce: bool,
+    ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         match op {
             Op::Register {
                 name,
@@ -301,8 +611,8 @@ impl Engine {
             } => (self.op_register(name, program, schema, query), false),
             Op::Classify { name } => (self.op_classify(name), false),
             Op::Stats => (Ok(self.op_stats()), false),
-            Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget),
-            Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget),
+            Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget, coalesce),
+            Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget, coalesce),
             Op::Evaluate { name, facts, at } => self.op_evaluate(name, facts, *at, budget),
             Op::Assert { name, facts } => self.op_mutate(name, facts, true, budget),
             Op::Retract { name, facts } => self.op_mutate(name, facts, false, budget),
@@ -364,7 +674,7 @@ impl Engine {
                 ("entries", Json::num(entries)),
             ])
         };
-        vec![
+        let mut fields = vec![
             ("registered".to_owned(), Json::num(reg.len())),
             ("distinct_keys".to_owned(), Json::num(reg.distinct_keys())),
             // Per-op latency histograms since engine start (wall-clock of
@@ -426,6 +736,8 @@ impl Engine {
                         Json::num(s.incremental_resumes as usize),
                     ),
                     ("full_rechases", Json::num(s.full_rechases as usize)),
+                    ("cone_batches", Json::num(s.cone_batches as usize)),
+                    ("cone_reuses", Json::num(s.cone_reuses as usize)),
                 ])
             }),
             (
@@ -461,7 +773,34 @@ impl Engine {
                     ),
                 ])
             }),
-        ]
+        ];
+        // In-flight request coalescing: followers answered without a solver
+        // run. The flat `coalesced_hits` is the headline number CI gates on;
+        // the object adds the computation denominator.
+        let (co_hits, co_runs) = self.coalescing_stats();
+        fields.push(("coalesced_hits".to_owned(), Json::num(co_hits as usize)));
+        fields.push((
+            "coalescing".to_owned(),
+            Json::obj([
+                ("hits", Json::num(co_hits as usize)),
+                ("computations", Json::num(co_runs as usize)),
+            ]),
+        ));
+        if let Some(d) = self.disk_stats() {
+            fields.push((
+                "artifact_disk".to_owned(),
+                Json::obj([
+                    ("hits", Json::num(d.hits as usize)),
+                    ("misses", Json::num(d.misses as usize)),
+                    ("stores", Json::num(d.stores as usize)),
+                    ("errors", Json::num(d.errors as usize)),
+                ]),
+            ));
+        }
+        if let Some(rt) = &self.runtime {
+            fields.push(("reactor".to_owned(), rt.to_json()));
+        }
+        fields
     }
 
     /// Clones everything a solver job needs out of the registry, holding the
@@ -530,6 +869,7 @@ impl Engine {
         lhs: &str,
         rhs: &str,
         budget: &Budget,
+        coalesce: bool,
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
             Ok(s) => s,
@@ -541,29 +881,33 @@ impl Engine {
         if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
-        let encoding = self.guarded_encoding(l, &voc, budget);
-        let mut cfg = self.containment_cfg(budget);
-        // Hand the cached (or freshly compiled) lhs artifact to the anytime
-        // ladder: its guarded rung reuses the NTA/satisfiability verdict
-        // instead of recompiling the encoding from scratch.
-        cfg.lhs_encoding = encoding.clone().map(Arc::new);
-        let mut src = CachingSource {
-            cache: &self.rewrites,
-            alias,
-        };
-        let outcome = match contains_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
-            Ok(o) => o,
-            Err(e) => return (Err(e.into()), false),
-        };
-        let definitive = !matches!(outcome.result, ContainmentResult::Unknown(_));
-        let mut fields = contains_fields(&outcome, &voc);
-        if let Some(art) = &encoding {
-            fields.push(("guarded_encoding".to_owned(), encoding_json(art)));
-        }
-        if definitive {
-            self.verdicts.lock().unwrap().insert(vkey, fields.clone());
-        }
-        (Ok(fields), !definitive && budget.expired())
+        self.coalesced(&vkey.clone(), coalesce, || {
+            let encoding = self.guarded_encoding(l, &voc, budget);
+            let mut cfg = self.containment_cfg(budget);
+            // Hand the cached (or freshly compiled) lhs artifact to the
+            // anytime ladder: its guarded rung reuses the
+            // NTA/satisfiability verdict instead of recompiling the
+            // encoding from scratch.
+            cfg.lhs_encoding = encoding.clone().map(Arc::new);
+            let mut src = CachingSource {
+                cache: &self.rewrites,
+                disk: self.disk.as_ref(),
+                alias,
+            };
+            let outcome = match contains_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
+                Ok(o) => o,
+                Err(e) => return (Err(e.into()), false),
+            };
+            let definitive = !matches!(outcome.result, ContainmentResult::Unknown(_));
+            let mut fields = contains_fields(&outcome, &voc);
+            if let Some(art) = &encoding {
+                fields.push(("guarded_encoding".to_owned(), encoding_json(art)));
+            }
+            if definitive {
+                self.verdicts.lock().unwrap().insert(vkey, fields.clone());
+            }
+            (Ok(fields), !definitive && budget.expired())
+        })
     }
 
     fn op_equivalent(
@@ -571,6 +915,7 @@ impl Engine {
         lhs: &str,
         rhs: &str,
         budget: &Budget,
+        coalesce: bool,
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
             Ok(s) => s,
@@ -582,39 +927,42 @@ impl Engine {
         if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
-        let cfg = self.containment_cfg(budget);
-        let mut src = CachingSource {
-            cache: &self.rewrites,
-            alias,
-        };
-        let (fwd, back) = match equivalent_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
-            Ok(p) => p,
-            Err(e) => return (Err(e.into()), false),
-        };
-        let definitive = !matches!(fwd.result, ContainmentResult::Unknown(_))
-            && !matches!(back.result, ContainmentResult::Unknown(_));
-        let verdict = if fwd.result.is_not_contained() || back.result.is_not_contained() {
-            "not_equivalent"
-        } else if fwd.result.is_contained() && back.result.is_contained() {
-            "equivalent"
-        } else {
-            "unknown"
-        };
-        let fields = vec![
-            ("verdict".to_owned(), Json::str(verdict)),
-            ("forward".to_owned(), Json::Obj(contains_fields(&fwd, &voc))),
-            (
-                "backward".to_owned(),
-                Json::Obj(contains_fields(&back, &voc)),
-            ),
-        ];
-        // A `not_equivalent` with one refuted and one unknown direction is
-        // sound but its sub-report could still improve; cache only when both
-        // directions are settled.
-        if definitive {
-            self.verdicts.lock().unwrap().insert(vkey, fields.clone());
-        }
-        (Ok(fields), verdict == "unknown" && budget.expired())
+        self.coalesced(&vkey.clone(), coalesce, || {
+            let cfg = self.containment_cfg(budget);
+            let mut src = CachingSource {
+                cache: &self.rewrites,
+                disk: self.disk.as_ref(),
+                alias,
+            };
+            let (fwd, back) = match equivalent_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
+                Ok(p) => p,
+                Err(e) => return (Err(e.into()), false),
+            };
+            let definitive = !matches!(fwd.result, ContainmentResult::Unknown(_))
+                && !matches!(back.result, ContainmentResult::Unknown(_));
+            let verdict = if fwd.result.is_not_contained() || back.result.is_not_contained() {
+                "not_equivalent"
+            } else if fwd.result.is_contained() && back.result.is_contained() {
+                "equivalent"
+            } else {
+                "unknown"
+            };
+            let fields = vec![
+                ("verdict".to_owned(), Json::str(verdict)),
+                ("forward".to_owned(), Json::Obj(contains_fields(&fwd, &voc))),
+                (
+                    "backward".to_owned(),
+                    Json::Obj(contains_fields(&back, &voc)),
+                ),
+            ];
+            // A `not_equivalent` with one refuted and one unknown direction
+            // is sound but its sub-report could still improve; cache only
+            // when both directions are settled.
+            if definitive {
+                self.verdicts.lock().unwrap().insert(vkey, fields.clone());
+            }
+            (Ok(fields), verdict == "unknown" && budget.expired())
+        })
     }
 
     /// Runs `f` on the named OMQ's store entry, creating it (with a fresh
@@ -654,6 +1002,8 @@ impl Engine {
             total.rederived += s.rederived;
             total.incremental_resumes += s.incremental_resumes;
             total.full_rechases += s.full_rechases;
+            total.cone_batches += s.cone_batches;
+            total.cone_reuses += s.cone_reuses;
         }
         (total, stores.len())
     }
@@ -680,6 +1030,7 @@ impl Engine {
         let cfg = self.eval_cfg(budget);
         let mut src = CachingSource {
             cache: &self.rewrites,
+            disk: self.disk.as_ref(),
             alias: regs[0].alias_of.is_some(),
         };
         let out = evaluate_with(&regs[0].omq, &db, &mut voc, &cfg, &mut src);
@@ -849,8 +1200,12 @@ impl Engine {
 
     /// `contains` plus evidence: a replayable chase derivation for
     /// `not_contained`, per-disjunct homomorphism coverage for `contained`.
-    /// Uncached — explanations are bulky and rare relative to verdicts, and
-    /// a verdict-cache hit on the same pair stays cheap anyway.
+    /// The explanation itself is uncached (bulky, rare relative to
+    /// verdicts), but the rewriting underneath comes from the tiered
+    /// artifact cache like every other op: cached artifacts are stored in
+    /// portable form and rehydrated into *this* request's vocabulary, so
+    /// every rendered variable resolves and the response is byte-identical
+    /// whatever the cache state (this used to require bypassing the cache).
     fn op_explain(
         &self,
         lhs: &str,
@@ -863,13 +1218,11 @@ impl Engine {
         };
         let (l, r) = (&regs[0], &regs[1]);
         let cfg = self.containment_cfg(budget);
-        // Always a direct source, never the rewrite cache: explanations
-        // *render* rewriting variables, and a cached artifact's VarIds were
-        // interned in the (discarded) vocabulary clone of whichever request
-        // computed it — they have no names in this request's snapshot.
-        // Recomputing keeps every id resolvable and the response identical
-        // whatever the cache state.
-        let mut src = DirectRewrite;
+        let mut src = CachingSource {
+            cache: &self.rewrites,
+            disk: self.disk.as_ref(),
+            alias: l.alias_of.is_some() || r.alias_of.is_some(),
+        };
         let ex = match explain_with(&l.omq, &r.omq, &mut voc, &cfg, &mut src) {
             Ok(e) => e,
             Err(e) => return (Err(e.into()), false),
@@ -1324,6 +1677,10 @@ mod tests {
     /// the rewrite cache — cached artifacts carry VarIds interned in a
     /// *previous* request's vocabulary clone, which have no names in this
     /// request's snapshot (rendering them used to panic).
+    /// The PR-5 regression, now with the cache *on*: `explain` reads the
+    /// tiered artifact cache (portable artifacts rehydrate into the
+    /// request vocabulary, so every rendered VarId resolves), and warm
+    /// bytes still match cold bytes exactly.
     #[test]
     fn explain_after_warm_contains_matches_cold_explain() {
         let run = |warm: bool| {
@@ -1337,13 +1694,219 @@ mod tests {
             }
             batch.push(req(r#"{"id":2,"op":"explain","lhs":"a","rhs":"a"}"#));
             let out = eng.execute_batch(&batch);
-            Json::Obj(out.last().unwrap().outcome.as_ref().unwrap().clone()).to_string()
+            let bytes =
+                Json::Obj(out.last().unwrap().outcome.as_ref().unwrap().clone()).to_string();
+            let (rw, _, _) = eng.cache_stats();
+            (bytes, rw)
         };
+        let (warm_bytes, warm_rw) = run(true);
+        let (cold_bytes, _) = run(false);
         assert_eq!(
-            run(true),
-            run(false),
+            warm_bytes, cold_bytes,
             "cache state must not leak into explain"
         );
+        assert!(
+            warm_rw.hits >= 1,
+            "warm explain must hit the artifact cache, not bypass it: {warm_rw:?}"
+        );
+    }
+
+    /// A burst of identical deadline-free `contains` coalesces: exactly
+    /// one solver computation, every follower answered from the leader's
+    /// (or the verdict cache's) bytes, and the responses are
+    /// byte-identical to a sequential run.
+    #[test]
+    fn identical_burst_coalesces_to_one_computation() {
+        const N: usize = 12;
+        let burst = |threads: usize| {
+            let eng = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let batch: Vec<_> = std::iter::once(req(&register_line("a")))
+                .chain((0..N).map(|i| {
+                    req(&format!(
+                        r#"{{"id":{i},"op":"contains","lhs":"a","rhs":"a"}}"#
+                    ))
+                }))
+                .collect();
+            let out = eng.execute_batch(&batch);
+            let lines: Vec<String> = out
+                .iter()
+                .map(|r| crate::protocol::response_to_json(r).to_string())
+                .collect();
+            let (hits, computations) = eng.coalescing_stats();
+            let (_, vd, _) = eng.cache_stats();
+            (lines, hits, computations, vd)
+        };
+        let (seq_lines, _, seq_runs, _) = burst(1);
+        let (par_lines, hits, runs, vd) = burst(0);
+        assert_eq!(seq_lines, par_lines, "burst responses are deterministic");
+        assert_eq!(seq_runs, 1, "sequential burst computes once");
+        assert_eq!(runs, 1, "parallel burst computes once");
+        assert_eq!(
+            hits + vd.hits as u64,
+            N as u64 - 1,
+            "every follower was answered by coalescing or the verdict cache"
+        );
+    }
+
+    /// Deadline-bearing requests never coalesce: a leader's
+    /// budget-truncated answer must not masquerade as another request's.
+    #[test]
+    fn deadline_requests_do_not_coalesce() {
+        let eng = Engine::new(EngineConfig {
+            threads: 0,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        let batch: Vec<_> = std::iter::once(req(&register_line("a")))
+            .chain((0..4).map(|i| {
+                req(&format!(
+                    r#"{{"id":{i},"op":"contains","lhs":"a","rhs":"a","deadline_ms":60000}}"#
+                ))
+            }))
+            .collect();
+        let out = eng.execute_batch(&batch);
+        assert!(out.iter().all(|r| r.outcome.is_ok()));
+        let (hits, runs) = eng.coalescing_stats();
+        assert_eq!(hits, 0, "deadline-bearing requests must not share outcomes");
+        assert_eq!(runs, 4);
+    }
+
+    /// The persisted artifact tier survives a restart: a second engine on
+    /// the same `cache_dir` answers from disk (rehydrated through its own
+    /// vocabulary) with byte-identical responses and no XRewrite run.
+    #[test]
+    fn persisted_artifacts_survive_an_engine_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "omq-engine-tier-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || EngineConfig {
+            threads: 1,
+            cache_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        let batch = || {
+            vec![
+                req(&register_line("a")),
+                req(r#"{"id":1,"op":"contains","lhs":"a","rhs":"a"}"#),
+            ]
+        };
+        let cold = Engine::new(cfg());
+        let cold_out = cold.execute_batch(&batch());
+        let stored = cold.disk_stats().expect("disk tier is configured");
+        assert!(
+            stored.stores >= 1,
+            "cold run persists artifacts: {stored:?}"
+        );
+        assert_eq!(stored.hits, 0);
+
+        let warm = Engine::new(cfg());
+        let warm_out = warm.execute_batch(&batch());
+        let loaded = warm.disk_stats().expect("disk tier is configured");
+        assert!(loaded.hits >= 1, "restart answers from disk: {loaded:?}");
+        assert_eq!(
+            crate::protocol::response_to_json(&cold_out[1]).to_string(),
+            crate::protocol::response_to_json(&warm_out[1]).to_string(),
+            "disk-served bytes match freshly computed bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Consecutive retracts on one name share a single DRed cone pass;
+    /// responses match what per-call execution produces for the final
+    /// state, and the batch counters show the reuse.
+    #[test]
+    fn consecutive_retracts_share_one_cone_pass() {
+        let eng = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let batch = vec![
+            req(&register_line("a")),
+            req(r#"{"op":"assert","name":"a","facts":["P(c1)","P(c2)","P(c3)"]}"#),
+            // A store-backed evaluate materializes the maintained
+            // fixpoint — the thing the shared cone pass maintains.
+            req(r#"{"op":"evaluate","name":"a","facts":[]}"#),
+            req(r#"{"id":1,"op":"retract","name":"a","facts":["P(c1)"]}"#),
+            req(r#"{"id":2,"op":"retract","name":"a","facts":["P(c2)"]}"#),
+            req(r#"{"id":3,"op":"stats"}"#),
+        ];
+        let out = eng.execute_batch(&batch);
+        assert!(out.iter().all(|r| r.outcome.is_ok()), "{out:?}");
+        let v1 = Json::Obj(out[3].outcome.as_ref().unwrap().clone());
+        let v2 = Json::Obj(out[4].outcome.as_ref().unwrap().clone());
+        assert_eq!(v1.get("version").and_then(Json::as_u64), Some(2));
+        assert_eq!(v2.get("version").and_then(Json::as_u64), Some(3));
+        let stats = Json::Obj(out[5].outcome.as_ref().unwrap().clone());
+        let store = stats.get("store").expect("store block");
+        assert_eq!(store.get("retracts").and_then(Json::as_u64), Some(2));
+        assert_eq!(store.get("cone_batches").and_then(Json::as_u64), Some(1));
+        assert_eq!(store.get("cone_reuses").and_then(Json::as_u64), Some(1));
+    }
+
+    /// The retract run must answer like sequential execution: same
+    /// versions, same facts counts, errors in place.
+    #[test]
+    fn retract_run_matches_sequential_semantics() {
+        let lines = [
+            r#"{"op":"assert","name":"a","facts":["P(c1)","P(c2)"]}"#,
+            r#"{"id":1,"op":"retract","name":"a","facts":["P(c1)"]}"#,
+            r#"{"id":2,"op":"retract","name":"a","facts":["P(X)"]}"#,
+            r#"{"id":3,"op":"retract","name":"a","facts":["P(c2)"]}"#,
+        ];
+        let run = |batched: bool| {
+            let eng = Engine::new(EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            });
+            let mut batch = vec![req(&register_line("a"))];
+            if batched {
+                batch.extend(lines.iter().map(|l| req(l)));
+                let out = eng.execute_batch(&batch);
+                out[2..]
+                    .iter()
+                    .map(|r| r.outcome.clone())
+                    .collect::<Vec<_>>()
+            } else {
+                // One batch per request: no run forms, the per-call path
+                // answers.
+                let mut outs = Vec::new();
+                let out = eng.execute_batch(&batch);
+                assert!(out[0].outcome.is_ok());
+                for l in &lines {
+                    outs.push(eng.execute_batch(&[req(l)])[0].outcome.clone());
+                }
+                let _ = outs.remove(0);
+                outs
+            }
+        };
+        let batched = run(true);
+        let sequential = run(false);
+        assert_eq!(batched.len(), sequential.len());
+        assert!(
+            matches!(batched[1], Err(ServeError::BadRequest(_))),
+            "non-ground retract fails in place: {:?}",
+            batched[1]
+        );
+        for (b, s) in batched.iter().zip(&sequential) {
+            match (b, s) {
+                (Ok(bf), Ok(sf)) => {
+                    let get = |fields: &Vec<(String, Json)>, k: &str| {
+                        Json::Obj(fields.clone()).get(k).map(|v| v.to_string())
+                    };
+                    for k in ["retracted", "version", "facts", "complete"] {
+                        assert_eq!(get(bf, k), get(sf, k), "field {k}");
+                    }
+                }
+                (Err(be), Err(se)) => assert_eq!(be.kind(), se.kind()),
+                other => panic!("outcome shape diverged: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub enum ServeError {
     /// longer reconstruct: it predates the compaction floor and no snapshot
     /// pinned it, or it does not exist yet.
     StaleVersion(String),
+    /// Admission control refused the request: the server is over its queue
+    /// watermark (or the request's deadline cannot survive the predicted
+    /// queue wait). Structured and retryable — shedding answers instead of
+    /// queueing, so an overload burst never poisons the worker pool.
+    Shed {
+        /// Requests queued ahead of this one when it was refused.
+        queue_depth: usize,
+        /// The admission watermark in force.
+        watermark: usize,
+    },
 }
 
 impl ServeError {
@@ -49,6 +59,7 @@ impl ServeError {
             ServeError::UnknownPredicate(_) => "unknown_predicate",
             ServeError::Containment(_) => "containment",
             ServeError::StaleVersion(_) => "stale_version",
+            ServeError::Shed { .. } => "shed",
         }
     }
 }
@@ -68,6 +79,13 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Containment(e) => write!(f, "containment error: {e}"),
             ServeError::StaleVersion(msg) => write!(f, "stale version: {msg}"),
+            ServeError::Shed {
+                queue_depth,
+                watermark,
+            } => write!(
+                f,
+                "shed: queue depth {queue_depth} at or over the admission watermark {watermark}; retry later"
+            ),
         }
     }
 }
@@ -109,6 +127,10 @@ mod tests {
             ServeError::UnknownPredicate("P".into()),
             ServeError::Containment(ContainmentError::ArityMismatch),
             ServeError::StaleVersion("c".into()),
+            ServeError::Shed {
+                queue_depth: 9,
+                watermark: 4,
+            },
         ];
         for v in &variants {
             assert!(!v.to_string().is_empty());

@@ -187,6 +187,14 @@ pub struct RewriteCfgKey {
 }
 
 impl RewriteCfgKey {
+    /// A short stable hex digest (same scheme as [`OmqKey::digest`]); used
+    /// with the OMQ digest to name persisted artifact files.
+    pub fn digest(&self) -> String {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        format!("{:016x}", h.finish())
+    }
+
     pub fn of(cfg: &XRewriteConfig) -> RewriteCfgKey {
         RewriteCfgKey {
             max_queries: cfg.max_queries,

@@ -17,23 +17,37 @@
 //! * [`cache`] — an LRU with hit/miss/eviction accounting;
 //! * [`registry`] — named OMQs over one shared vocabulary;
 //! * [`protocol`] — request/response schema;
-//! * [`engine`] — scheduling, deadlines, caching, solver dispatch;
-//! * [`server`] — stream and TCP transports.
+//! * [`tier`] — the portable (vocabulary-independent) artifact form and
+//!   the persisted disk tier behind the in-memory artifact LRU;
+//! * [`engine`] — scheduling, deadlines, caching, coalescing, solver
+//!   dispatch;
+//! * [`shard`] — canonical-key-hash sharding across N engines;
+//! * [`admission`] — queue-depth admission control (load shedding);
+//! * [`server`] — stream and (thread-per-connection) TCP transports;
+//! * [`reactor`] — the nonblocking, readiness-polled TCP front end.
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod json;
 pub mod key;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod server;
+pub mod shard;
+pub mod tier;
 
+pub use admission::Admission;
 pub use cache::{CacheStats, LruCache};
 pub use engine::{Engine, EngineConfig};
 pub use error::ServeError;
 pub use json::Json;
 pub use key::{OmqKey, RewriteCfgKey};
 pub use protocol::{parse_request, response_to_json, Op, Request, Response};
+pub use reactor::{serve_reactor, ReactorConfig, RuntimeStats};
 pub use registry::{RegisterInfo, Registered, Registry};
-pub use server::{serve_lines, serve_tcp};
+pub use server::{serve_lines, serve_tcp, BatchExecutor};
+pub use shard::ShardedEngine;
+pub use tier::{DiskTier, DiskTierStats, PortableArtifact};

@@ -257,13 +257,23 @@ pub fn response_to_json(resp: &Response) -> Json {
             if resp.timed_out {
                 fields.push(("timed_out".into(), Json::Bool(true)));
             }
-            fields.push((
-                "error".into(),
-                Json::obj([
-                    ("kind", Json::str(e.kind())),
-                    ("message", Json::str(e.to_string())),
-                ]),
-            ));
+            let mut err_fields = vec![
+                ("kind".to_owned(), Json::str(e.kind())),
+                ("message".to_owned(), Json::str(e.to_string())),
+            ];
+            // Shed responses are structured so clients can implement backoff
+            // without parsing the message: how deep the queue was, what the
+            // watermark is, and that retrying (later) is the right move.
+            if let ServeError::Shed {
+                queue_depth,
+                watermark,
+            } = e
+            {
+                err_fields.push(("queue_depth".to_owned(), Json::num(*queue_depth)));
+                err_fields.push(("watermark".to_owned(), Json::num(*watermark)));
+                err_fields.push(("retry".to_owned(), Json::Bool(true)));
+            }
+            fields.push(("error".into(), Json::Obj(err_fields)));
         }
     }
     Json::Obj(fields)

@@ -1,0 +1,560 @@
+//! The nonblocking, connection-multiplexed TCP front end.
+//!
+//! One reactor thread owns every socket: it runs a level-triggered
+//! readiness loop over [`minipoll`] (a vendored `poll(2)` shim — the
+//! workspace builds offline), accepts connections nonblockingly, and
+//! moves bytes between per-connection read/write buffers and the kernel.
+//! Complete batches (blank-line-terminated runs of JSON-lines requests,
+//! the same framing as [`crate::server::serve_lines`]) are handed to a
+//! small pool of worker threads that parse, apply admission control, and
+//! run [`crate::server::BatchExecutor::execute_batch`]; finished response
+//! bytes come back over a results queue and a self-wakeup datagram socket
+//! kicks the reactor out of `poll` to flush them.
+//!
+//! Ordering: at most one batch per connection is in flight at a time, so
+//! a connection's responses are written in request order and are
+//! byte-identical to what the thread-per-connection transport would have
+//! produced — the reactor changes *when* work is scheduled, never what it
+//! answers. Admission control is the one deliberate exception: when the
+//! queue depth at enqueue time sits at or over the watermark, sheddable
+//! requests are answered with a structured `shed` error without touching
+//! the executor (see [`crate::admission`]).
+//!
+//! The reactor itself is Unix-only (it needs `poll(2)` and raw fds);
+//! [`serve_reactor`] returns `Unsupported` elsewhere, and the portable
+//! [`RuntimeStats`] counters compile everywhere so the rest of the crate
+//! never cares.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::admission::Admission;
+use crate::json::Json;
+use crate::server::BatchExecutor;
+
+/// Reactor construction knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ReactorConfig {
+    /// Worker threads executing batches (`0` = available parallelism,
+    /// capped at 8 — the engine fans out *inside* a batch too, so a few
+    /// batch workers saturate the machine).
+    pub workers: usize,
+}
+
+impl ReactorConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+    }
+}
+
+/// Serve-tier runtime counters: uptime, connection gauges, batch/request
+/// totals, shedding, and per-shard occupancy. Shared by the reactor, the
+/// admission gate, and the sharded executor; surfaced by the `stats` op
+/// as the `"reactor"` block (obs taxonomy `serve.reactor.*`).
+#[derive(Debug)]
+pub struct RuntimeStats {
+    started: Instant,
+    connections_live: AtomicUsize,
+    connections_peak: AtomicUsize,
+    accepted: AtomicU64,
+    batches: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    /// The shared queue-depth gate (watermark `0` = shedding off).
+    pub admission: Admission,
+    shard_requests: Vec<AtomicU64>,
+}
+
+impl RuntimeStats {
+    pub fn new(shards: usize, watermark: usize) -> RuntimeStats {
+        RuntimeStats {
+            started: Instant::now(),
+            connections_live: AtomicUsize::new(0),
+            connections_peak: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            admission: Admission::new(watermark),
+            shard_requests: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn conn_opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let live = self.connections_live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.connections_peak.fetch_max(live, Ordering::Relaxed);
+        omq_obs::counter("serve.reactor.accept", 1);
+    }
+
+    pub fn conn_closed(&self) {
+        self.connections_live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One batch of `n` requests entered a worker.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(n as u64, Ordering::Relaxed);
+        omq_obs::counter("serve.reactor.batch", 1);
+    }
+
+    /// One request was answered with a structured shed error.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        omq_obs::counter("serve.reactor.shed", 1);
+    }
+
+    /// `n` requests were routed to `shard` (see [`crate::shard`]).
+    pub fn record_shard(&self, shard: usize, n: usize) {
+        if let Some(slot) = self.shard_requests.get(shard) {
+            slot.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    pub fn requests_total(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The `stats` op's `"reactor"` block.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "uptime_s",
+                Json::num(self.started.elapsed().as_secs() as usize),
+            ),
+            (
+                "connections",
+                Json::obj([
+                    (
+                        "live",
+                        Json::num(self.connections_live.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "peak",
+                        Json::num(self.connections_peak.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "accepted",
+                        Json::num(self.accepted.load(Ordering::Relaxed) as usize),
+                    ),
+                ]),
+            ),
+            (
+                "batches",
+                Json::num(self.batches.load(Ordering::Relaxed) as usize),
+            ),
+            (
+                "requests",
+                Json::num(self.requests.load(Ordering::Relaxed) as usize),
+            ),
+            (
+                "shed",
+                Json::num(self.shed.load(Ordering::Relaxed) as usize),
+            ),
+            ("queue_depth", Json::num(self.admission.depth())),
+            ("watermark", Json::num(self.admission.watermark())),
+            (
+                "shards",
+                Json::Arr(
+                    self.shard_requests
+                        .iter()
+                        .map(|s| Json::num(s.load(Ordering::Relaxed) as usize))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Extracts the first complete batch from a connection's read buffer:
+/// lines accumulate until a blank line (the [`crate::server::serve_lines`]
+/// framing); at EOF the final unterminated run flushes too. Returns the
+/// batch's lines and how many buffer bytes it consumed, or `None` when no
+/// complete batch is available yet. Leading blank lines are consumed with
+/// the batch they precede, never as a batch of their own.
+fn split_batch(buf: &[u8], eof: bool) -> Option<(Vec<String>, usize)> {
+    let mut lines = Vec::new();
+    let mut pos = 0;
+    while let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') {
+        let line = String::from_utf8_lossy(&buf[pos..pos + nl]).into_owned();
+        pos += nl + 1;
+        if line.trim().is_empty() {
+            if !lines.is_empty() {
+                return Some((lines, pos));
+            }
+        } else {
+            lines.push(line);
+        }
+    }
+    if eof {
+        let rest = String::from_utf8_lossy(&buf[pos..]);
+        if !rest.trim().is_empty() {
+            lines.push(rest.into_owned());
+        }
+        if !lines.is_empty() {
+            return Some((lines, buf.len()));
+        }
+    }
+    None
+}
+
+/// Runs the reactor until the listener fails: accepts connections,
+/// multiplexes reads/writes, dispatches batches to `cfg.workers` threads,
+/// sheds per [`RuntimeStats::admission`]. Never returns under normal
+/// operation — spawn it on a dedicated thread.
+#[cfg(unix)]
+pub fn serve_reactor<E: BatchExecutor + 'static>(
+    executor: Arc<E>,
+    listener: TcpListener,
+    cfg: ReactorConfig,
+    stats: Arc<RuntimeStats>,
+) -> io::Result<()> {
+    imp::run(executor, listener, &cfg, stats)
+}
+
+/// The reactor needs `poll(2)` and raw fds; on non-Unix targets it
+/// refuses to start (use [`crate::server::serve_tcp`] there).
+#[cfg(not(unix))]
+pub fn serve_reactor<E: BatchExecutor + 'static>(
+    _executor: Arc<E>,
+    _listener: TcpListener,
+    _cfg: ReactorConfig,
+    _stats: Arc<RuntimeStats>,
+) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the readiness-polled reactor requires a unix target",
+    ))
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::collections::{HashMap, VecDeque};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream, UdpSocket};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    use minipoll::{poll_fds, PollFd, POLLIN, POLLOUT};
+
+    use super::{split_batch, ReactorConfig, RuntimeStats};
+    use crate::admission::Admission;
+    use crate::protocol::{parse_request, response_to_json, Response};
+    use crate::server::BatchExecutor;
+
+    /// One multiplexed connection.
+    struct Conn {
+        stream: TcpStream,
+        /// Bytes read but not yet consumed into a batch.
+        rbuf: Vec<u8>,
+        /// Response bytes not yet accepted by the socket.
+        outbox: Vec<u8>,
+        /// A batch is at a worker; its responses have not landed yet. At
+        /// most one per connection — that is what keeps response order.
+        pending: bool,
+        /// The peer half-closed (or errored); flush and finish.
+        closed_read: bool,
+    }
+
+    /// One parsed-off batch travelling to the workers.
+    struct Job {
+        conn: u64,
+        lines: Vec<String>,
+        /// Queue depth observed when the batch was admitted — shedding
+        /// decisions use this (not the live depth), so a batch never
+        /// sheds because of requests that arrived after it.
+        depth_at_enqueue: usize,
+    }
+
+    struct Shared {
+        jobs: Mutex<VecDeque<Job>>,
+        jobs_cv: Condvar,
+        results: Mutex<Vec<(u64, Vec<u8>)>>,
+        /// Connected to the reactor's wake socket; one datagram per
+        /// finished batch kicks the reactor out of `poll`.
+        wake_tx: UdpSocket,
+    }
+
+    fn worker_loop<E: BatchExecutor>(executor: &E, shared: &Shared, stats: &RuntimeStats) {
+        loop {
+            let job = {
+                let mut jobs = shared.jobs.lock().unwrap();
+                loop {
+                    if let Some(job) = jobs.pop_front() {
+                        break job;
+                    }
+                    jobs = shared.jobs_cv.wait(jobs).unwrap();
+                }
+            };
+            let n = job.lines.len();
+            stats.record_batch(n);
+            let mut items: Vec<Result<_, Box<Response>>> =
+                job.lines.iter().map(|l| parse_request(l)).collect();
+            for item in &mut items {
+                if let Ok(req) = item {
+                    if stats.admission.should_shed(job.depth_at_enqueue)
+                        && Admission::sheddable(&req.op)
+                    {
+                        let resp = Response::err(
+                            req.id.clone(),
+                            stats.admission.shed_error(job.depth_at_enqueue),
+                        );
+                        *item = Err(Box::new(resp));
+                        stats.record_shed();
+                    }
+                }
+            }
+            let responses = executor.execute_batch(&items);
+            let mut bytes = Vec::new();
+            for resp in &responses {
+                bytes.extend_from_slice(response_to_json(resp).to_string().as_bytes());
+                bytes.push(b'\n');
+            }
+            stats.admission.exit(n);
+            shared.results.lock().unwrap().push((job.conn, bytes));
+            // A failed wake is not fatal: the reactor also drains results
+            // on every loop iteration.
+            let _ = shared.wake_tx.send(&[1]);
+        }
+    }
+
+    pub(super) fn run<E: BatchExecutor + 'static>(
+        executor: Arc<E>,
+        listener: TcpListener,
+        cfg: &ReactorConfig,
+        stats: Arc<RuntimeStats>,
+    ) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let wake_rx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_rx.set_nonblocking(true)?;
+        let wake_tx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_tx.connect(wake_rx.local_addr()?)?;
+        let shared = Arc::new(Shared {
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            results: Mutex::new(Vec::new()),
+            wake_tx,
+        });
+        for _ in 0..cfg.effective_workers() {
+            let executor = Arc::clone(&executor);
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || worker_loop(&*executor, &shared, &stats));
+        }
+
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id: u64 = 0;
+        let mut read_buf = [0u8; 64 * 1024];
+        loop {
+            // (Re)build the poll set: listener, wake socket, then every
+            // connection — POLLIN while the peer may still send, POLLOUT
+            // only while there are bytes to flush (level-triggered, so an
+            // always-on POLLOUT would spin).
+            let mut fds = vec![
+                PollFd::new(listener.as_raw_fd(), POLLIN),
+                PollFd::new(wake_rx.as_raw_fd(), POLLIN),
+            ];
+            let mut ids = Vec::with_capacity(conns.len());
+            for (&id, conn) in &conns {
+                let mut events = 0;
+                if !conn.closed_read {
+                    events |= POLLIN;
+                }
+                if !conn.outbox.is_empty() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                ids.push(id);
+            }
+            poll_fds(&mut fds, -1)?;
+
+            if fds[0].readable() {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            stats.conn_opened();
+                            conns.insert(
+                                next_id,
+                                Conn {
+                                    stream,
+                                    rbuf: Vec::new(),
+                                    outbox: Vec::new(),
+                                    pending: false,
+                                    closed_read: false,
+                                },
+                            );
+                            next_id += 1;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if fds[1].readable() {
+                let mut drain = [0u8; 64];
+                while wake_rx.recv(&mut drain).is_ok() {}
+            }
+
+            // Deliver finished batches into their connections' outboxes.
+            for (conn_id, bytes) in shared.results.lock().unwrap().drain(..) {
+                if let Some(conn) = conns.get_mut(&conn_id) {
+                    conn.outbox.extend_from_slice(&bytes);
+                    conn.pending = false;
+                }
+            }
+
+            // Per-connection I/O for the ready sockets.
+            for (slot, &id) in ids.iter().enumerate() {
+                let fd = &fds[slot + 2];
+                let conn = conns.get_mut(&id).expect("ids mirror conns");
+                if fd.invalid() {
+                    conn.closed_read = true;
+                    conn.outbox.clear();
+                }
+                if fd.readable() && !conn.closed_read {
+                    loop {
+                        match conn.stream.read(&mut read_buf) {
+                            Ok(0) => {
+                                conn.closed_read = true;
+                                break;
+                            }
+                            Ok(n) => conn.rbuf.extend_from_slice(&read_buf[..n]),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                conn.closed_read = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if fd.writable() && !conn.outbox.is_empty() {
+                    loop {
+                        match conn.stream.write(&conn.outbox) {
+                            Ok(0) => {
+                                conn.closed_read = true;
+                                conn.outbox.clear();
+                                break;
+                            }
+                            Ok(n) => {
+                                conn.outbox.drain(..n);
+                                if conn.outbox.is_empty() {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                conn.closed_read = true;
+                                conn.outbox.clear();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Dispatch at most one batch per idle connection (order), then
+            // retire connections that are fully drained.
+            let mut done = Vec::new();
+            for (&id, conn) in &mut conns {
+                if !conn.pending {
+                    if let Some((lines, consumed)) = split_batch(&conn.rbuf, conn.closed_read) {
+                        conn.rbuf.drain(..consumed);
+                        conn.pending = true;
+                        let depth_at_enqueue = stats.admission.enter(lines.len());
+                        shared.jobs.lock().unwrap().push_back(Job {
+                            conn: id,
+                            lines,
+                            depth_at_enqueue,
+                        });
+                        shared.jobs_cv.notify_one();
+                    }
+                }
+                if conn.closed_read
+                    && !conn.pending
+                    && conn.outbox.is_empty()
+                    && split_batch(&conn.rbuf, true).is_none()
+                {
+                    done.push(id);
+                }
+            }
+            for id in done {
+                conns.remove(&id);
+                stats.conn_closed();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_batch_waits_for_the_blank_line() {
+        assert!(split_batch(b"{\"op\":\"stats\"}\n", false).is_none());
+        let (lines, used) = split_batch(b"{\"op\":\"stats\"}\n\nrest", false).unwrap();
+        assert_eq!(lines, vec!["{\"op\":\"stats\"}".to_owned()]);
+        assert_eq!(used, b"{\"op\":\"stats\"}\n\n".len());
+    }
+
+    #[test]
+    fn split_batch_flushes_everything_at_eof() {
+        let (lines, used) = split_batch(b"a\nb", true).unwrap();
+        assert_eq!(lines, vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(used, 3);
+        assert!(split_batch(b"", true).is_none());
+        assert!(split_batch(b"\n\n \n", true).is_none());
+    }
+
+    #[test]
+    fn split_batch_consumes_leading_blank_lines_with_the_batch() {
+        let (lines, used) = split_batch(b"\n\na\n\n", false).unwrap();
+        assert_eq!(lines, vec!["a".to_owned()]);
+        assert_eq!(used, 5);
+    }
+
+    #[test]
+    fn runtime_stats_json_has_the_taxonomy_fields() {
+        let stats = RuntimeStats::new(3, 16);
+        stats.conn_opened();
+        stats.record_batch(5);
+        stats.record_shed();
+        stats.record_shard(1, 4);
+        let json = stats.to_json().to_string();
+        for field in [
+            "\"uptime_s\":",
+            "\"connections\":",
+            "\"live\":1",
+            "\"peak\":1",
+            "\"accepted\":1",
+            "\"batches\":1",
+            "\"requests\":5",
+            "\"shed\":1",
+            "\"queue_depth\":0",
+            "\"watermark\":16",
+            "\"shards\":[0,4,0]",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        stats.conn_closed();
+        assert!(stats.to_json().to_string().contains("\"live\":0"));
+    }
+}

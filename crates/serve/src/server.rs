@@ -1,6 +1,12 @@
 //! Transport: JSON-lines over any `BufRead`/`Write` pair (stdin/stdout
 //! batch mode) and over TCP (one connection per client, one thread per
 //! connection — compute is bounded by the engine's worker pool either way).
+//! For the nonblocking, connection-multiplexed TCP front end see
+//! [`crate::reactor`].
+//!
+//! Every transport talks to its back end through [`BatchExecutor`], so a
+//! single [`crate::engine::Engine`] and a [`crate::shard::ShardedEngine`]
+//! plug in interchangeably.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -9,10 +15,22 @@ use std::sync::Arc;
 use crate::engine::Engine;
 use crate::protocol::{parse_request, response_to_json, Request, Response};
 
+/// Anything that can answer one parsed batch, in order. Items that already
+/// failed at the protocol layer pass through as-is.
+pub trait BatchExecutor: Send + Sync {
+    fn execute_batch(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response>;
+}
+
+impl BatchExecutor for Engine {
+    fn execute_batch(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response> {
+        Engine::execute_batch(self, items)
+    }
+}
+
 /// Serves one stream: lines accumulate into a batch, a blank line (or EOF)
 /// executes it and writes one response line per request, in order.
-pub fn serve_lines<R: BufRead, W: Write>(
-    engine: &Engine,
+pub fn serve_lines<E: BatchExecutor + ?Sized, R: BufRead, W: Write>(
+    engine: &E,
     reader: R,
     mut writer: W,
 ) -> io::Result<()> {
@@ -42,7 +60,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
 
 /// Accept loop: serves each TCP connection on its own thread until the
 /// listener errors out. Never returns under normal operation.
-pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
+pub fn serve_tcp<E: BatchExecutor + 'static>(
+    engine: Arc<E>,
+    listener: TcpListener,
+) -> io::Result<()> {
     for conn in listener.incoming() {
         let stream: TcpStream = conn?;
         let engine = Arc::clone(&engine);
@@ -52,7 +73,7 @@ pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
                 Err(_) => return,
             });
             // Connection I/O errors end that connection only.
-            let _ = serve_lines(&engine, reader, stream);
+            let _ = serve_lines(&*engine, reader, stream);
         });
     }
     Ok(())

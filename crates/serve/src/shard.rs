@@ -1,0 +1,223 @@
+//! Canonical-key registry sharding: N independent [`Engine`]s behind one
+//! [`BatchExecutor`], each owning a slice of the name space.
+//!
+//! Routing is by the *canonical* key (the alpha-invariant [`OmqKey`]
+//! digest), not the raw name, so aliases of one OMQ land on one shard and
+//! keep sharing its caches. `register` broadcasts to every shard — the
+//! registries stay replicas of each other, which is what makes routing a
+//! pure performance decision: any shard would answer any request with
+//! byte-identical responses (the engine's caches are response-invariant
+//! by design), sharding just removes cross-request lock contention on
+//! the registry, the caches, and the named stores. Store mutations for a
+//! name consistently hit its shard, so each named store lives exactly
+//! once. `stats` is answered by shard 0, which carries the serve-tier
+//! [`RuntimeStats`] (per-shard occupancy included).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use omq_obs::JsonlSink;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::{Op, Request, Response};
+use crate::reactor::RuntimeStats;
+use crate::server::BatchExecutor;
+
+/// N engines plus the shared serve-tier counters.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    runtime: Arc<RuntimeStats>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Target {
+    /// Registry mutation: every shard applies it (shard 0 answers).
+    Broadcast,
+    Shard(usize),
+}
+
+impl ShardedEngine {
+    /// `shards` engines (at least one) sharing one runtime-stats block;
+    /// `watermark` configures the admission gate carried by those stats.
+    pub fn new(cfg: EngineConfig, shards: usize, watermark: usize) -> ShardedEngine {
+        let n = shards.max(1);
+        let runtime = Arc::new(RuntimeStats::new(n, watermark));
+        let mut engines: Vec<Engine> = (0..n).map(|_| Engine::new(cfg.clone())).collect();
+        // Shard 0 answers `stats`, so it is the one that renders the
+        // serve-tier block.
+        engines[0].set_runtime_stats(Arc::clone(&runtime));
+        ShardedEngine {
+            shards: engines,
+            runtime,
+        }
+    }
+
+    /// The shared serve-tier counters (hand these to the reactor).
+    pub fn runtime(&self) -> Arc<RuntimeStats> {
+        Arc::clone(&self.runtime)
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard(&self, i: usize) -> &Engine {
+        &self.shards[i]
+    }
+
+    /// Streams every shard's request span trees to `sink`.
+    pub fn set_trace_sink(&mut self, sink: Arc<JsonlSink>) {
+        for shard in &mut self.shards {
+            shard.set_trace_sink(Arc::clone(&sink));
+        }
+    }
+
+    /// The shard owning `name`: hash of the canonical digest when the
+    /// name is registered (aliases co-locate), hash of the raw name
+    /// otherwise (the routed shard then reports the same unknown-name
+    /// error any shard would).
+    fn shard_of(&self, name: &str) -> usize {
+        let key = self.shards[0]
+            .key_digest(name)
+            .unwrap_or_else(|| name.to_owned());
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn target(&self, item: &Result<Request, Box<Response>>) -> Target {
+        let req = match item {
+            Ok(req) => req,
+            // Protocol-layer errors pass through any shard unchanged.
+            Err(_) => return Target::Shard(0),
+        };
+        match &req.op {
+            Op::Register { .. } => Target::Broadcast,
+            Op::Stats => Target::Shard(0),
+            Op::Contains { lhs, .. } | Op::Equivalent { lhs, .. } | Op::Explain { lhs, .. } => {
+                Target::Shard(self.shard_of(lhs))
+            }
+            Op::Classify { name }
+            | Op::Evaluate { name, .. }
+            | Op::Assert { name, .. }
+            | Op::Retract { name, .. }
+            | Op::Snapshot { name } => Target::Shard(self.shard_of(name)),
+        }
+    }
+}
+
+impl BatchExecutor for ShardedEngine {
+    /// Routes the batch: maximal consecutive same-shard runs dispatch as
+    /// one sub-batch (keeping the engine's in-batch parallel fan-out and
+    /// retract-run batching), registers broadcast in order. Responses
+    /// come back in request order, byte-identical to a single engine.
+    fn execute_batch(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response> {
+        if self.shards.len() == 1 {
+            self.runtime.record_shard(0, items.len());
+            return self.shards[0].execute_batch(items);
+        }
+        let n = items.len();
+        let mut out: Vec<Option<Response>> = vec![None; n];
+        let mut i = 0;
+        while i < n {
+            match self.target(&items[i]) {
+                Target::Broadcast => {
+                    let one = std::slice::from_ref(&items[i]);
+                    let mut first = None;
+                    for (s, shard) in self.shards.iter().enumerate() {
+                        let resp = shard.execute_batch(one).into_iter().next();
+                        self.runtime.record_shard(s, 1);
+                        if s == 0 {
+                            first = resp;
+                        }
+                    }
+                    out[i] = first;
+                    i += 1;
+                }
+                Target::Shard(s) => {
+                    let mut j = i + 1;
+                    while j < n && self.target(&items[j]) == Target::Shard(s) {
+                        j += 1;
+                    }
+                    self.runtime.record_shard(s, j - i);
+                    for (off, resp) in self.shards[s]
+                        .execute_batch(&items[i..j])
+                        .into_iter()
+                        .enumerate()
+                    {
+                        out[i + off] = Some(resp);
+                    }
+                    i = j;
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request is answered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, response_to_json};
+
+    fn run(executor: &dyn BatchExecutor, lines: &[&str]) -> Vec<String> {
+        let items: Vec<_> = lines.iter().map(|l| parse_request(l)).collect();
+        executor
+            .execute_batch(&items)
+            .iter()
+            .map(|r| response_to_json(r).to_string())
+            .collect()
+    }
+
+    const LINES: &[&str] = &[
+        r#"{"id":1,"op":"register","name":"a","program":"P(X) -> R(X)\nq(X) :- R(X)","schema":["P"],"query":"q"}"#,
+        r#"{"id":2,"op":"register","name":"b","program":"q(X) :- P(X)","schema":["P"],"query":"q"}"#,
+        r#"{"id":3,"op":"contains","lhs":"a","rhs":"b"}"#,
+        r#"{"id":4,"op":"contains","lhs":"b","rhs":"a"}"#,
+        r#"{"id":5,"op":"classify","name":"b"}"#,
+        r#"{"id":6,"op":"equivalent","lhs":"a","rhs":"a"}"#,
+        r#"{"id":7,"op":"contains","lhs":"missing","rhs":"a"}"#,
+    ];
+
+    #[test]
+    fn sharded_responses_are_byte_identical_to_a_single_engine() {
+        let single = ShardedEngine::new(EngineConfig::default(), 1, 0);
+        let sharded = ShardedEngine::new(EngineConfig::default(), 3, 0);
+        assert_eq!(run(&single, LINES), run(&sharded, LINES));
+    }
+
+    #[test]
+    fn shard_occupancy_counts_every_request() {
+        let sharded = ShardedEngine::new(EngineConfig::default(), 2, 0);
+        let _ = run(&sharded, LINES);
+        let json = sharded.runtime().to_json().to_string();
+        // Both registers broadcast (2 per shard) and the five routed
+        // requests land somewhere; totals live in the stats block.
+        assert!(json.contains("\"shards\":["), "missing occupancy: {json}");
+        let stats = run(&sharded, &[r#"{"id":8,"op":"stats"}"#]);
+        assert!(
+            stats[0].contains("\"reactor\":{"),
+            "missing block: {stats:?}"
+        );
+        assert!(
+            stats[0].contains("\"shards\":["),
+            "missing occupancy: {}",
+            stats[0]
+        );
+    }
+
+    #[test]
+    fn aliases_land_on_one_shard_and_share_its_caches() {
+        let sharded = ShardedEngine::new(EngineConfig::default(), 4, 0);
+        let lines = [
+            r#"{"id":1,"op":"register","name":"orig","program":"q(X) :- P(X)","schema":["P"],"query":"q"}"#,
+            r#"{"id":2,"op":"register","name":"alias","program":"q(Y) :- P(Y)","schema":["P"],"query":"q"}"#,
+        ];
+        let out = run(&sharded, &lines);
+        assert!(out[1].contains("\"alias_of\":\"orig\""), "{}", out[1]);
+        assert_eq!(sharded.shard_of("orig"), sharded.shard_of("alias"));
+    }
+}

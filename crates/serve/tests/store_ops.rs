@@ -30,6 +30,7 @@ fn engine(threads: usize, compact_threshold: usize) -> Engine {
         cache_capacity: 64,
         default_deadline_ms: None,
         store_compact_threshold: compact_threshold,
+        cache_dir: None,
     })
 }
 

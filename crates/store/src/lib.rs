@@ -133,6 +133,12 @@ pub struct StoreStats {
     pub incremental_resumes: u64,
     /// Fixpoint constructions that had to chase from scratch.
     pub full_rechases: u64,
+    /// DRed support-cone passes actually run (one per retract *batch*, not
+    /// per retract call — see [`MaintainedStore::retract_batch`]).
+    pub cone_batches: u64,
+    /// Retract versions that shared a batch's cone pass instead of paying
+    /// their own (`versions_in_batch - 1`, summed over batches).
+    pub cone_reuses: u64,
 }
 
 fn ground_row(atom: &Atom) -> Result<Row, StoreError> {
@@ -419,6 +425,8 @@ pub struct MaintainedStore {
     rederived: u64,
     incremental_resumes: u64,
     full_rechases: u64,
+    cone_batches: u64,
+    cone_reuses: u64,
 }
 
 impl MaintainedStore {
@@ -444,6 +452,8 @@ impl MaintainedStore {
             rederived: self.rederived,
             incremental_resumes: self.incremental_resumes,
             full_rechases: self.full_rechases,
+            cone_batches: self.cone_batches,
+            cone_reuses: self.cone_reuses,
             ..self.store.stats()
         }
     }
@@ -513,6 +523,8 @@ impl MaintainedStore {
     /// Retracts `facts` as a new version and maintains the fixpoint with
     /// DRed: over-delete the support cone by a forward pass over the
     /// derivation log, then re-derive survivors with a delta-0 resume.
+    /// A single call is a batch of one; see [`MaintainedStore::retract_batch`]
+    /// for amortizing the cone pass across several retract versions.
     pub fn retract_facts(
         &mut self,
         facts: &[Atom],
@@ -520,45 +532,101 @@ impl MaintainedStore {
         voc: &mut Vocabulary,
         cfg: &ChaseConfig,
     ) -> Result<u64, StoreError> {
-        let out = self.store.retract_facts(facts)?;
-        if let Some(fp) = self.fixpoint.take() {
-            // Over-delete: anything downstream of a deleted atom dies with
-            // it. A step is dead when any input *or* output is deleted; a
-            // dead step's outputs join the cone (multi-head tgds over-delete
-            // sibling outputs too — the re-derivation pass reinstates them).
-            let mut deleted: HashSet<Atom> = out.changed.iter().cloned().collect();
-            let mut kept_steps = Vec::with_capacity(fp.derivation.len());
-            for step in fp.derivation {
-                let dead = step.inputs.iter().any(|a| deleted.contains(a))
-                    || step.outputs.iter().any(|a| deleted.contains(a));
-                if dead {
-                    deleted.extend(step.outputs.iter().cloned());
-                } else {
-                    kept_steps.push(step);
+        let results = self.retract_batch(&[facts.to_vec()], sigma, voc, cfg);
+        results.into_iter().next().expect("one group, one result")
+    }
+
+    /// Retracts each group in `groups` as its own store version (one
+    /// version per group, in input order), then maintains the fixpoint with
+    /// **one** DRed pass over the union of every group's effective
+    /// retractions — the support cone is computed once per batch instead of
+    /// once per call. Groups whose facts fail validation report their error
+    /// in place without blocking the rest of the batch.
+    ///
+    /// Joint maintenance is equivalent to sequential per-call maintenance
+    /// for certain answers (both end in a universal model of the final
+    /// head database), and strictly cheaper: intermediate cones and
+    /// re-derivations of facts a later group deletes again are skipped.
+    pub fn retract_batch(
+        &mut self,
+        groups: &[Vec<Atom>],
+        sigma: &[Tgd],
+        voc: &mut Vocabulary,
+        cfg: &ChaseConfig,
+    ) -> Vec<Result<u64, StoreError>> {
+        let mut results = Vec::with_capacity(groups.len());
+        let mut all_changed: Vec<Atom> = Vec::new();
+        let mut versions = 0u64;
+        for facts in groups {
+            match self.store.retract_facts(facts) {
+                Ok(out) => {
+                    all_changed.extend(out.changed);
+                    versions += 1;
+                    results.push(Ok(out.version));
                 }
+                Err(e) => results.push(Err(e)),
             }
-            // Survivors keep their insertion order; an over-deleted atom
-            // survives if it is still an EDB fact at the new head (it was
-            // independently asserted).
-            let mut survivor = Instance::default();
-            for atom in fp.instance.atoms() {
-                if !deleted.contains(atom) || self.store.head_contains(atom) {
-                    survivor.insert(atom.clone());
-                }
-            }
-            self.dred_deleted += (fp.instance.len() - survivor.len()) as u64;
-            let res = resume_chase(survivor, 0, sigma, voc, &Self::recording(cfg));
-            self.rederived += res.steps as u64;
-            let mut derivation = kept_steps;
-            derivation.extend(res.derivation);
-            self.fixpoint = Some(Fixpoint {
-                version: out.version,
-                instance: res.instance,
-                complete: res.complete,
-                derivation,
-            });
         }
-        Ok(out.version)
+        if versions > 0 && self.fixpoint.is_some() {
+            self.dred_maintain(&all_changed, sigma, voc, cfg);
+            self.cone_batches += 1;
+            self.cone_reuses += versions - 1;
+            omq_obs::counter("store.cone_batch", 1);
+            omq_obs::counter("store.cone_reuse", versions - 1);
+        }
+        results
+    }
+
+    /// One DRed maintenance pass: over-delete the support cone of `changed`
+    /// by a forward pass over the derivation log, then re-derive survivors
+    /// with a delta-0 resume. The rebuilt fixpoint is stamped with the
+    /// store's *current* head, so a batch of retract versions lands on the
+    /// final one.
+    fn dred_maintain(
+        &mut self,
+        changed: &[Atom],
+        sigma: &[Tgd],
+        voc: &mut Vocabulary,
+        cfg: &ChaseConfig,
+    ) {
+        let Some(fp) = self.fixpoint.take() else {
+            return;
+        };
+        // Over-delete: anything downstream of a deleted atom dies with
+        // it. A step is dead when any input *or* output is deleted; a
+        // dead step's outputs join the cone (multi-head tgds over-delete
+        // sibling outputs too — the re-derivation pass reinstates them).
+        let mut deleted: HashSet<Atom> = changed.iter().cloned().collect();
+        let mut kept_steps = Vec::with_capacity(fp.derivation.len());
+        for step in fp.derivation {
+            let dead = step.inputs.iter().any(|a| deleted.contains(a))
+                || step.outputs.iter().any(|a| deleted.contains(a));
+            if dead {
+                deleted.extend(step.outputs.iter().cloned());
+            } else {
+                kept_steps.push(step);
+            }
+        }
+        // Survivors keep their insertion order; an over-deleted atom
+        // survives if it is still an EDB fact at the new head (it was
+        // independently asserted).
+        let mut survivor = Instance::default();
+        for atom in fp.instance.atoms() {
+            if !deleted.contains(atom) || self.store.head_contains(atom) {
+                survivor.insert(atom.clone());
+            }
+        }
+        self.dred_deleted += (fp.instance.len() - survivor.len()) as u64;
+        let res = resume_chase(survivor, 0, sigma, voc, &Self::recording(cfg));
+        self.rederived += res.steps as u64;
+        let mut derivation = kept_steps;
+        derivation.extend(res.derivation);
+        self.fixpoint = Some(Fixpoint {
+            version: self.store.head(),
+            instance: res.instance,
+            complete: res.complete,
+            derivation,
+        });
     }
 
     /// Ensures the head fixpoint exists and is as complete as `cfg`'s
@@ -897,6 +965,100 @@ mod tests {
             "T(a,b) re-derived through a→c→b"
         );
         assert!(ms.stats().rederived > 0);
+    }
+
+    #[test]
+    fn batched_retracts_share_one_cone_pass_and_match_from_scratch() {
+        let (sigma, q, voc) = tc_setup();
+        let cfg = ChaseConfig::default();
+        let seed = |voc: &Vocabulary| chain(voc, &["a", "b", "c", "d", "e", "f"]);
+        let cuts = [("b", "c"), ("d", "e")];
+        // Batched: both retract versions share one DRed pass.
+        let mut voc_b = voc.clone();
+        let mut batched = MaintainedStore::new(StoreConfig::default());
+        batched
+            .assert_facts(&seed(&voc_b), &sigma, &mut voc_b, &cfg)
+            .unwrap();
+        batched
+            .evaluate(None, &q, &sigma, &mut voc_b, &cfg)
+            .unwrap();
+        let groups: Vec<Vec<Atom>> = cuts
+            .iter()
+            .map(|(x, y)| vec![edge(&voc_b, "E", x, y)])
+            .collect();
+        let versions = batched.retract_batch(&groups, &sigma, &mut voc_b, &cfg);
+        assert_eq!(versions.len(), 2);
+        assert_eq!(*versions[0].as_ref().unwrap(), 2);
+        assert_eq!(*versions[1].as_ref().unwrap(), 3);
+        let b_ans = batched
+            .evaluate(None, &q, &sigma, &mut voc_b, &cfg)
+            .unwrap();
+        let stats = batched.stats();
+        assert_eq!(stats.cone_batches, 1, "one pass for two retract versions");
+        assert_eq!(stats.cone_reuses, 1);
+        assert_eq!(stats.retracts, 2, "each group is its own store version");
+        // Sequential per-call retracts and a from-scratch chase agree.
+        let mut voc_s = voc.clone();
+        let mut seq = MaintainedStore::new(StoreConfig::default());
+        seq.assert_facts(&seed(&voc_s), &sigma, &mut voc_s, &cfg)
+            .unwrap();
+        seq.evaluate(None, &q, &sigma, &mut voc_s, &cfg).unwrap();
+        for (x, y) in cuts {
+            seq.retract_facts(&[edge(&voc_s, "E", x, y)], &sigma, &mut voc_s, &cfg)
+                .unwrap();
+        }
+        let s_ans = seq.evaluate(None, &q, &sigma, &mut voc_s, &cfg).unwrap();
+        assert_eq!(
+            sorted_answers(&b_ans.answers),
+            sorted_answers(&s_ans.answers)
+        );
+        assert_eq!(seq.stats().cone_batches, 2, "per-call = batch of one");
+        assert_eq!(seq.stats().cone_reuses, 0);
+        let scratch = {
+            let db = batched.store().materialize(batched.head()).unwrap();
+            eval_ucq(&q, &chase(&db, &sigma, &mut voc_b.clone(), &cfg).instance)
+        };
+        assert_eq!(sorted_answers(&b_ans.answers), sorted_answers(&scratch));
+    }
+
+    #[test]
+    fn batch_with_a_bad_group_reports_in_place_and_maintains_the_rest() {
+        let (sigma, q, voc) = tc_setup();
+        let mut voc = voc;
+        let cfg = ChaseConfig::default();
+        let mut ms = MaintainedStore::new(StoreConfig::default());
+        ms.assert_facts(
+            &chain(&voc.clone(), &["a", "b", "c", "d"]),
+            &sigma,
+            &mut voc,
+            &cfg,
+        )
+        .unwrap();
+        ms.evaluate(None, &q, &sigma, &mut voc, &cfg).unwrap();
+        let bad = Atom::new(
+            voc.pred_id("E").unwrap(),
+            vec![
+                Term::Var(omq_model::VarId(0)),
+                Term::Const(voc.const_id("a").unwrap()),
+            ],
+        );
+        let groups = vec![
+            vec![edge(&voc, "E", "b", "c")],
+            vec![bad],
+            vec![edge(&voc, "E", "c", "d")],
+        ];
+        let results = ms.retract_batch(&groups, &sigma, &mut voc, &cfg);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(StoreError::NotGround { .. })));
+        assert!(results[2].is_ok());
+        let ans = ms.evaluate(None, &q, &sigma, &mut voc, &cfg).unwrap();
+        let scratch = {
+            let db = ms.store().materialize(ms.head()).unwrap();
+            eval_ucq(&q, &chase(&db, &sigma, &mut voc.clone(), &cfg).instance)
+        };
+        assert_eq!(sorted_answers(&ans.answers), sorted_answers(&scratch));
+        assert_eq!(ms.stats().cone_batches, 1);
+        assert_eq!(ms.stats().cone_reuses, 1, "two good groups, one pass");
     }
 
     #[test]

@@ -9,11 +9,13 @@ diffed against ``git show HEAD:<file>``. Records are matched by their
 ``workload`` key; for each match the wall-clock delta is reported, and any
 drift in a *counter* column is flagged — counters are deterministic, so a
 counter drift is a semantics change, not noise. Timing-derived fields are
-never counters: any key ending in ``_ms`` or ``_us``, or starting with
-``speedup`` (the BENCH_serve.json throughput ratios), is noise. That rule
-covers the per-phase columns (``phase_*_us``, ``phase_*_p50_us``,
-``phase_*_p99_us``) and the best-of-N spread (``wall_min_ms`` /
-``wall_max_ms``) without special cases.
+never counters: any key ending in ``_ms``, ``_us`` or ``_pct``, or
+starting with ``speedup`` (the BENCH_serve.json throughput ratios), is
+noise. That rule covers the per-phase columns (``phase_*_us``,
+``phase_*_p50_us``, ``phase_*_p99_us``), the best-of-N spread
+(``wall_min_ms`` / ``wall_max_ms``) and the open-loop shed rates
+(``shed_pct`` — how many arrivals the admission controller refused is a
+function of timing, not semantics) without special cases.
 
 Two report-only markers refine the noise story:
 
@@ -59,6 +61,18 @@ WALL_CEILINGS = {
     "store:assert chain=32 k=8 incremental": 2.5,
 }
 
+# Tail-latency ceilings for the open-loop serve rows, in µs on ``p99_us``.
+# The whole point of admission control is that the answered-request tail
+# stays bounded under overload: with watermark 16 an admitted request waits
+# at most ~16 service times (~5 ms committed, vs ~50 ms unbounded in the
+# matching `noshed` row). The ceiling is set several times above the
+# committed figure so only a broken admission path — not a busy machine —
+# can breach it.
+P99_CEILINGS = {
+    "serve:open-loop contains 2x shed": 30000.0,
+    "serve:open-loop contains 4x shed": 30000.0,
+}
+
 
 def load_baseline(path):
     """The committed version of *path*, or None if it is not in HEAD."""
@@ -80,6 +94,7 @@ def is_noise(key):
         key == "workload"
         or key.endswith("_ms")
         or key.endswith("_us")
+        or key.endswith("_pct")
         or key.startswith("speedup")
     )
 
@@ -151,6 +166,14 @@ def diff_file(path):
         ceiling = WALL_CEILINGS.get(name)
         if ceiling is not None and c_ms > ceiling:
             print(f"   CEILING  {name}: wall_ms {c_ms:.3f} > {ceiling:.0f}")
+            drifts += 1
+        p99_ceiling = P99_CEILINGS.get(name)
+        c_p99 = cur.get("p99_us")
+        if p99_ceiling is not None and c_p99 is not None and c_p99 > p99_ceiling:
+            print(
+                f"   CEILING  {name}: p99_us {c_p99:.1f} > {p99_ceiling:.0f}"
+                " — the shed tail is no longer bounded"
+            )
             drifts += 1
         for key in sorted(set(base) | set(cur)):
             if is_noise(key):

@@ -193,6 +193,130 @@ echo "$STORE_OUT" | jq -s -e '
     exit 1
 }
 
+echo "==> serve coalescing smoke (identical in-flight burst shares one solver run)"
+# Eight identical cold `contains` in one batch fan out together; the
+# strata-4 E3 rewriting is slow enough (~0.3 s) that every follower probes
+# while the leader is still computing, so they coalesce onto its slot
+# instead of re-running the solver. Gates: exactly one computation, a
+# nonzero coalesced count, and byte-identical verdicts on every line.
+NR_REG='{"id":0,"op":"register","name":"nr","program":"L0(X,Y), L0(Y,Z) -> L1(X,Z)\nL1(X,Y), L1(Y,Z) -> L2(X,Z)\nL2(X,Y), L2(Y,Z) -> L3(X,Z)\nL3(X,Y), L3(Y,Z) -> L4(X,Z)\nq(X,Z) :- L4(X,Z)","schema":["L0"],"query":"q"}'
+COAL_OUT=$({ printf '%s\n\n' "$NR_REG"
+    for i in $(seq 1 8); do
+        printf '{"id":%d,"op":"contains","lhs":"nr","rhs":"nr"}\n' "$i"
+    done
+    printf '\n{"id":99,"op":"stats"}\n'; } | ./target/release/omq-serve --threads 8)
+echo "$COAL_OUT" | jq -s -e '
+    length == 10
+    and ([.[1:9][] | select(.ok and .verdict == "contained")] | length == 8)
+    and ([.[1:9][] | .verdict] | unique | length == 1)
+    and (.[9].coalesced_hits >= 1)
+    and (.[9].coalescing.computations == 1)
+' >/dev/null || {
+    echo "serve coalescing smoke failed; responses were:" >&2
+    echo "$COAL_OUT" >&2
+    exit 1
+}
+
+echo "==> serve overload smoke (reactor sheds with the structured shape)"
+# A single-worker reactor with watermark 4: one connection pins the worker
+# down with eight slow cold contains, so a second connection's solver
+# probe must observe the saturated queue and come back with the structured
+# `shed` error — while `stats` on the same batch is admitted and carries
+# the reactor block. The blocker batch itself is answered in full:
+# shedding refuses new work, it never poisons admitted work.
+SHED_DIR=$(mktemp -d)
+./target/release/omq-serve --listen 127.0.0.1:0 --workers 1 \
+    --queue-watermark 4 --no-cache --threads 1 2>"$SHED_DIR/err" &
+SHED_PID=$!
+SHED_ADDR=""
+for _ in $(seq 1 100); do
+    SHED_ADDR=$(sed -n 's/^omq-serve: listening on \([0-9.:]*\) .*/\1/p' "$SHED_DIR/err")
+    [ -n "$SHED_ADDR" ] && break
+    sleep 0.05
+done
+[ -n "$SHED_ADDR" ] || {
+    echo "reactor did not report its listen address" >&2
+    kill "$SHED_PID" 2>/dev/null || true
+    exit 1
+}
+SHED_PORT=${SHED_ADDR##*:}
+exec 3<>"/dev/tcp/127.0.0.1/$SHED_PORT"
+printf '%s\n\n' "$NR_REG" >&3
+read -r SHED_REG <&3
+exec 3<&- 3>&-
+exec 4<>"/dev/tcp/127.0.0.1/$SHED_PORT"
+{ for i in $(seq 1 8); do
+    printf '{"id":%d,"op":"contains","lhs":"nr","rhs":"nr"}\n' "$i"
+done
+printf '\n'; } >&4
+sleep 0.3
+exec 5<>"/dev/tcp/127.0.0.1/$SHED_PORT"
+printf '{"id":100,"op":"contains","lhs":"nr","rhs":"nr"}\n{"id":101,"op":"stats"}\n\n' >&5
+read -r SHED_LINE <&5
+read -r SHED_STATS <&5
+exec 5<&- 5>&-
+SHED_ANSWERED=0
+while read -r -t 30 _ <&4; do
+    SHED_ANSWERED=$((SHED_ANSWERED + 1))
+    [ "$SHED_ANSWERED" -ge 8 ] && break
+done
+exec 4<&- 4>&-
+kill "$SHED_PID" 2>/dev/null || true
+wait "$SHED_PID" 2>/dev/null || true
+echo "$SHED_REG" | jq -e '.ok and .registered == "nr"' >/dev/null || {
+    echo "serve overload smoke: registration failed: $SHED_REG" >&2
+    exit 1
+}
+echo "$SHED_LINE" | jq -e '
+    .ok == false and .error.kind == "shed" and .error.retry == true
+    and .error.queue_depth >= 4 and .error.watermark == 4
+' >/dev/null || {
+    echo "serve overload smoke: expected a structured shed, got: $SHED_LINE" >&2
+    exit 1
+}
+echo "$SHED_STATS" | jq -e '
+    .ok and .reactor.shed >= 1 and .reactor.watermark == 4
+    and .reactor.connections.peak >= 2 and (.reactor.shards | length == 1)
+' >/dev/null || {
+    echo "serve overload smoke: stats lost the reactor block: $SHED_STATS" >&2
+    exit 1
+}
+[ "$SHED_ANSWERED" -eq 8 ] || {
+    echo "serve overload smoke: blocker got $SHED_ANSWERED/8 answers" >&2
+    exit 1
+}
+
+echo "==> serve restart smoke (persisted artifact tier survives a cold start)"
+# Two separate omq-serve processes sharing one --cache-dir: the first
+# computes and persists the rewriting artifact, the second must answer the
+# identical contains from the disk tier (artifact_disk.hits >= 1) with
+# byte-identical output — the tier rehydrates through the fresh
+# vocabulary, so cache state can never leak into rendered bytes.
+ART_DIR=$(mktemp -d)
+LIN_REG='{"id":0,"op":"register","name":"lin","program":"P(X) -> exists Y . R(X,Y)\nR(X,Y) -> P(Y)\nq(X) :- R(X,Y), P(Y)","schema":["P","R"],"query":"q"}'
+ART_RUN1=$(printf '%s\n' "$LIN_REG" \
+    '{"id":1,"op":"contains","lhs":"lin","rhs":"lin"}' '{"id":2,"op":"stats"}' \
+    | ./target/release/omq-serve --cache-dir "$ART_DIR" --threads 1)
+ART_RUN2=$(printf '%s\n' "$LIN_REG" \
+    '{"id":1,"op":"contains","lhs":"lin","rhs":"lin"}' '{"id":2,"op":"stats"}' \
+    | ./target/release/omq-serve --cache-dir "$ART_DIR" --threads 1)
+echo "$ART_RUN1" | sed -n 3p | jq -e '.artifact_disk.stores >= 1' >/dev/null || {
+    echo "serve restart smoke: first run persisted nothing: $ART_RUN1" >&2
+    exit 1
+}
+echo "$ART_RUN2" | sed -n 3p | jq -e '
+    .artifact_disk.hits >= 1 and .artifact_disk.stores == 0
+' >/dev/null || {
+    echo "serve restart smoke: second run missed the disk tier: $ART_RUN2" >&2
+    exit 1
+}
+[ "$(echo "$ART_RUN1" | sed -n 2p)" = "$(echo "$ART_RUN2" | sed -n 2p)" ] || {
+    echo "serve restart smoke: rehydrated answer differs from the cold one" >&2
+    echo "$ART_RUN1" | sed -n 2p >&2
+    echo "$ART_RUN2" | sed -n 2p >&2
+    exit 1
+}
+
 echo "==> serve bench (writes BENCH_serve.json)"
 cargo run -q --release -p omq-bench --bin serve_bench
 [ "$(jq length BENCH_serve.json)" -ge 5 ] || {
@@ -207,6 +331,27 @@ jq -e 'map(select(.workload == "serve:summary")) | .[0].speedup_warm_over_cold >
 jq -e '[.[] | select(has("plans_reoptimized"))] | length > 0' \
     BENCH_serve.json >/dev/null || {
     echo "BENCH_serve.json has no rows with the planner counters (plans_reoptimized)" >&2
+    exit 1
+}
+for row in \
+    "serve:open-loop contains 1x shed" "serve:open-loop contains 1x noshed" \
+    "serve:open-loop contains 2x shed" "serve:open-loop contains 2x noshed" \
+    "serve:open-loop contains 4x shed" "serve:open-loop contains 4x noshed"; do
+    if ! grep -q "$row" BENCH_serve.json; then
+        echo "BENCH_serve.json is missing the '$row' open-loop row" >&2
+        exit 1
+    fi
+done
+# The point of admission control, stated as a gate: under 4x overload the
+# answered-request tail with shedding stays below the unbounded noshed
+# tail, and the shed row actually shed something (otherwise the comparison
+# is vacuous).
+jq -e '
+    (map(select(.workload == "serve:open-loop contains 4x shed")) | .[0]) as $s
+    | (map(select(.workload == "serve:open-loop contains 4x noshed")) | .[0]) as $n
+    | $s.p99_us < $n.p99_us and $s.shed_pct > 0 and $n.shed_pct == 0
+' BENCH_serve.json >/dev/null || {
+    echo "open-loop 4x overload: shedding no longer bounds the p99 tail" >&2
     exit 1
 }
 

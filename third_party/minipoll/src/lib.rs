@@ -1,0 +1,148 @@
+//! A minimal readiness-polling shim over the platform's `poll(2)`.
+//!
+//! The workspace builds offline, so instead of depending on `mio`/`libc`
+//! this crate declares the one libc symbol the serve reactor needs and
+//! wraps it in a safe, slice-based API. Only level-triggered readiness is
+//! exposed — exactly what a hand-rolled reactor over `std` nonblocking
+//! sockets requires.
+//!
+//! On non-Unix targets [`poll`] degrades to an error so the workspace
+//! still compiles; the reactor refuses to start there.
+
+use std::io;
+
+/// Readable readiness (data or EOF pending).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (the socket send buffer has room).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set, layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are skipped by the
+    /// kernel, which is how callers tombstone a slot without reshuffling).
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT` bitmask).
+    pub events: i16,
+    /// Returned events, filled in by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR) != 0
+    }
+
+    pub fn invalid(&self) -> bool {
+        self.revents & POLLNVAL != 0
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn poll(
+        fds: *mut PollFd,
+        nfds: std::os::raw::c_ulong,
+        timeout: std::os::raw::c_int,
+    ) -> std::os::raw::c_int;
+}
+
+/// Blocks until at least one fd in `fds` is ready, the timeout elapses
+/// (`Ok(0)`), or a signal interrupts the wait (retried internally).
+/// `timeout_ms < 0` waits forever.
+#[cfg(unix)]
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub fn poll_fds(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "minipoll: poll(2) is only available on unix targets",
+    ))
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn pending_connection_reports_listener_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn data_reports_stream_readable_and_idle_stream_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable(), "one byte is pending");
+        assert!(fds[0].writable(), "send buffer is empty");
+    }
+
+    #[test]
+    fn negative_fd_entries_are_skipped() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        let n = poll_fds(&mut fds, 0).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+}
