@@ -49,6 +49,7 @@
 //! Every family carries the adaptive-planner counters (`plans_reoptimized`
 //! deterministic, `sketch_build_us` timing noise).
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use omq_bench::obsjson::{counter_fields, instrumented_pass, phase_fields};
@@ -59,6 +60,8 @@ use omq_bench::workloads::{
 use omq_chase::{certain_answers_via_chase, chase, global_hom_snapshot, ChaseConfig, ChaseStats};
 use omq_core::{contains, ContainmentConfig};
 use omq_guarded::{compile_encoding, EncodingConfig};
+use omq_obs::flight::{FlightRecorder, SpanTree};
+use omq_obs::metrics::MetricsRegistry;
 use omq_rewrite::{xrewrite, XRewriteConfig};
 
 struct Record {
@@ -156,9 +159,22 @@ fn guarded_record(label: &str, f: impl Fn()) -> HomRecord {
     }
 }
 
+/// The telemetry plane armed for the whole sweep: a live
+/// [`MetricsRegistry`] and [`FlightRecorder`] charged once per timed
+/// pass, mirroring the per-request bookkeeping the serve tier does
+/// (rolling-window observation + span-tree offer). The registry compiles
+/// unconditionally, so the obs-vs-no-obs A/B in EXPERIMENTS.md measures
+/// span instrumentation with the metrics plane active on both sides.
+fn telemetry() -> &'static (MetricsRegistry, FlightRecorder) {
+    static T: OnceLock<(MetricsRegistry, FlightRecorder)> = OnceLock::new();
+    T.get_or_init(|| (MetricsRegistry::new(), FlightRecorder::new(250_000)))
+}
+
 /// Best-of-`runs` timing with no recorder installed (passive overhead
-/// only); reports best, min and max.
+/// only); reports best, min and max. Each pass is charged to the armed
+/// telemetry plane exactly as the serve tier charges a request.
 fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Timing) {
+    let (registry, flight) = telemetry();
     let mut min = f64::MAX;
     let mut max = 0.0f64;
     let mut out = None;
@@ -166,6 +182,9 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Timing) {
         let t = Instant::now();
         let r = f();
         let ms = t.elapsed().as_secs_f64() * 1e3;
+        let us = (ms * 1e3) as u64;
+        registry.observe_op("bench.pass", us, false);
+        flight.offer(0, "bench.pass", us, SpanTree::root("bench.pass", us), None);
         min = min.min(ms);
         max = max.max(ms);
         out = Some(r);

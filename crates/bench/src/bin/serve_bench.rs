@@ -287,7 +287,10 @@ fn main() {
                     let depth = admission.enter(1);
                     if admission.should_shed(depth) {
                         // An immediate structured refusal; the request
-                        // never reaches the worker queue.
+                        // never reaches the worker queue. Charge the
+                        // engine's SLO-burn window like the reactor does,
+                        // so the scrape-derived burn column is real.
+                        engine.metrics().mark_shed();
                         admission.exit(1);
                         shed_count += 1;
                     } else {
@@ -313,9 +316,10 @@ fn main() {
                     requests: n,
                     cache_hits: None,
                     extra_cols: format!(
-                        ", \"p99_us\": {:.1}, \"shed_pct\": {:.1}",
+                        ", \"p99_us\": {:.1}, \"shed_pct\": {:.1}, \"shed_slo_burn_ratio\": {:.4}",
                         pct(0.99),
-                        shed_count as f64 * 100.0 / n as f64
+                        shed_count as f64 * 100.0 / n as f64,
+                        engine.metrics().shed_burn_ratio()
                     ),
                     phases: open_phases.clone(),
                 });

@@ -35,9 +35,29 @@
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod flight;
+pub mod metrics;
+
+/// Log-scale histogram width shared by [`Aggregator`] and
+/// [`metrics::Histogram`]: bucket 0 holds `0 μs`, bucket `k ≥ 1` holds
+/// `[2^(k-1), 2^k)` μs.
+pub const BUCKETS: usize = 40;
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique trace id (never 0 — 0 means "untraced" on
+/// events). Unconditional: ids exist even with `enabled` off, so the
+/// flight recorder and serve protocol can use them in every build.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// One trace event, as delivered to every [`Sink`] of the recorder.
+/// `trace` is the trace id of the request the event belongs to, or 0
+/// when the recorder was built without one ([`Recorder::new`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// A span opened. `parent` is 0 for root spans.
@@ -45,15 +65,21 @@ pub enum Event {
         id: u64,
         parent: u64,
         name: &'static str,
+        trace: u64,
     },
     /// A span closed, `dur_ns` after its `Enter`.
     Exit {
         id: u64,
         name: &'static str,
         dur_ns: u64,
+        trace: u64,
     },
     /// A counter increment (zero deltas are filtered at the call site).
-    Count { name: &'static str, delta: u64 },
+    Count {
+        name: &'static str,
+        delta: u64,
+        trace: u64,
+    },
 }
 
 /// A trace-event consumer. Sinks must tolerate concurrent events from
@@ -111,8 +137,6 @@ impl Write for SharedBuf {
 // In-memory aggregator sink
 // ---------------------------------------------------------------------------
 
-const BUCKETS: usize = 40;
-
 #[derive(Debug, Clone)]
 struct PhaseAgg {
     count: u64,
@@ -147,23 +171,26 @@ impl PhaseAgg {
         self.buckets[idx.min(BUCKETS - 1)] += 1;
     }
 
-    /// Percentile estimate from the histogram: the upper bound of the bucket
-    /// holding the `⌈p·count⌉`-th sample, clamped to the observed range.
+    /// Percentile estimate from the histogram, using log-linear
+    /// interpolation inside the matched bucket (see
+    /// [`metrics::histogram_quantile_us`]), clamped to the observed range.
     fn percentile_us(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (k, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                let ub = if k == 0 { 0 } else { (1u64 << k) - 1 };
-                return ub.clamp(self.min_ns / 1_000, self.max_ns / 1_000);
-            }
-        }
-        self.max_ns / 1_000
+        metrics::histogram_quantile_us(&self.buckets, self.count, p)
+            .clamp(self.min_ns / 1_000, self.max_ns / 1_000)
     }
+}
+
+/// Raw histogram view of one phase, for Prometheus-style exposition
+/// (`_bucket`/`_sum`/`_count` series need the buckets, not quantiles).
+#[derive(Debug, Clone)]
+pub struct PhaseBuckets {
+    pub name: String,
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub total_ns: u64,
 }
 
 #[derive(Default)]
@@ -227,6 +254,21 @@ impl Aggregator {
             .collect()
     }
 
+    /// All phases with their raw log-scale buckets, sorted by name.
+    pub fn raw_phases(&self) -> Vec<PhaseBuckets> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .phases
+            .iter()
+            .map(|(name, agg)| PhaseBuckets {
+                name: (*name).to_string(),
+                buckets: agg.buckets,
+                count: agg.count,
+                total_ns: agg.total_ns,
+            })
+            .collect()
+    }
+
     /// All counters, sorted by name (deterministic).
     pub fn counters(&self) -> Vec<(String, u64)> {
         let inner = self.inner.lock().unwrap();
@@ -247,7 +289,7 @@ impl Sink for Aggregator {
     fn event(&self, ev: &Event) {
         match *ev {
             Event::Exit { name, dur_ns, .. } => self.record_ns(name, dur_ns),
-            Event::Count { name, delta } => self.add(name, delta),
+            Event::Count { name, delta, .. } => self.add(name, delta),
             Event::Enter { .. } => {}
         }
     }
@@ -265,6 +307,10 @@ impl Sink for Aggregator {
 /// With `timing = false` the `dur_us` field is omitted, which makes the
 /// stream for a fixed single-threaded run byte-identical across repeats
 /// (span ids are allocated in program order; names are static).
+///
+/// Events from a recorder carrying a trace id ([`Recorder::with_trace`])
+/// gain a trailing `"trace":N` field; id-0 (untraced) events render
+/// exactly as before, so existing capture formats are unchanged.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
     timing: bool,
@@ -283,24 +329,38 @@ impl Sink for JsonlSink {
     fn event(&self, ev: &Event) {
         // Span/counter names are static identifiers (no quotes or
         // backslashes), so no JSON string escaping is needed.
+        let trace = match *ev {
+            Event::Enter { trace, .. } | Event::Exit { trace, .. } | Event::Count { trace, .. } => {
+                trace
+            }
+        };
+        let tr = if trace == 0 {
+            String::new()
+        } else {
+            format!(",\"trace\":{trace}")
+        };
         let line = match *ev {
-            Event::Enter { id, parent, name } => {
+            Event::Enter {
+                id, parent, name, ..
+            } => {
                 format!(
-                    "{{\"ev\":\"enter\",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\"}}\n"
+                    "{{\"ev\":\"enter\",\"id\":{id},\"parent\":{parent},\"name\":\"{name}\"{tr}}}\n"
                 )
             }
-            Event::Exit { id, name, dur_ns } => {
+            Event::Exit {
+                id, name, dur_ns, ..
+            } => {
                 if self.timing {
                     format!(
-                        "{{\"ev\":\"exit\",\"id\":{id},\"name\":\"{name}\",\"dur_us\":{}}}\n",
+                        "{{\"ev\":\"exit\",\"id\":{id},\"name\":\"{name}\",\"dur_us\":{}{tr}}}\n",
                         dur_ns / 1_000
                     )
                 } else {
-                    format!("{{\"ev\":\"exit\",\"id\":{id},\"name\":\"{name}\"}}\n")
+                    format!("{{\"ev\":\"exit\",\"id\":{id},\"name\":\"{name}\"{tr}}}\n")
                 }
             }
-            Event::Count { name, delta } => {
-                format!("{{\"ev\":\"count\",\"name\":\"{name}\",\"delta\":{delta}}}\n")
+            Event::Count { name, delta, .. } => {
+                format!("{{\"ev\":\"count\",\"name\":\"{name}\",\"delta\":{delta}{tr}}}\n")
             }
         };
         let mut out = self.out.lock().unwrap();
@@ -326,13 +386,22 @@ mod imp {
     /// threads participating in one instrumented run.
     pub struct Recorder {
         next_id: AtomicU64,
+        trace: u64,
         sinks: Vec<Arc<dyn Sink>>,
     }
 
     impl Recorder {
         pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Arc<Recorder> {
+            Recorder::with_trace(sinks, 0)
+        }
+
+        /// A recorder whose every event carries `trace` as its trace id
+        /// (the serve tier allocates one per request via
+        /// [`crate::next_trace_id`]).
+        pub fn with_trace(sinks: Vec<Arc<dyn Sink>>, trace: u64) -> Arc<Recorder> {
             Arc::new(Recorder {
                 next_id: AtomicU64::new(1),
+                trace,
                 sinks,
             })
         }
@@ -412,7 +481,12 @@ mod imp {
                         }
                     }
                 });
-                rec.emit(&Event::Exit { id, name, dur_ns });
+                rec.emit(&Event::Exit {
+                    id,
+                    name,
+                    dur_ns,
+                    trace: rec.trace,
+                });
             }
         }
     }
@@ -431,7 +505,12 @@ mod imp {
         match opened {
             None => SpanGuard { open: None },
             Some((rec, id, parent)) => {
-                rec.emit(&Event::Enter { id, parent, name });
+                rec.emit(&Event::Enter {
+                    id,
+                    parent,
+                    name,
+                    trace: rec.trace,
+                });
                 SpanGuard {
                     open: Some((rec, id, name, Instant::now())),
                 }
@@ -445,7 +524,11 @@ mod imp {
             return;
         }
         if let Some(rec) = current() {
-            rec.emit(&Event::Count { name, delta });
+            rec.emit(&Event::Count {
+                name,
+                delta,
+                trace: rec.trace,
+            });
         }
     }
 
@@ -455,7 +538,11 @@ mod imp {
         let Some(rec) = current() else { return };
         for &(name, delta) in items {
             if delta != 0 {
-                rec.emit(&Event::Count { name, delta });
+                rec.emit(&Event::Count {
+                    name,
+                    delta,
+                    trace: rec.trace,
+                });
             }
         }
     }
@@ -476,6 +563,10 @@ mod imp {
 
     impl Recorder {
         pub fn new(_sinks: Vec<Arc<dyn Sink>>) -> Arc<Recorder> {
+            Arc::new(Recorder)
+        }
+
+        pub fn with_trace(_sinks: Vec<Arc<dyn Sink>>, _trace: u64) -> Arc<Recorder> {
             Arc::new(Recorder)
         }
     }
@@ -563,6 +654,44 @@ mod tests {
         assert_eq!(agg.counters(), vec![("c".to_string(), 7)]);
     }
 
+    #[test]
+    fn percentile_empty_phase_is_zero() {
+        let agg = PhaseAgg::default();
+        assert_eq!(agg.percentile_us(0.5), 0);
+        assert_eq!(agg.percentile_us(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact() {
+        // Interpolation lands mid-bucket, but the [min, max] clamp pins a
+        // lone sample to its exact value.
+        let mut agg = PhaseAgg::default();
+        agg.record(100_000); // 100 us
+        assert_eq!(agg.percentile_us(0.5), 100);
+        assert_eq!(agg.percentile_us(0.99), 100);
+    }
+
+    #[test]
+    fn percentile_two_bucket_spread_interpolates() {
+        let mut agg = PhaseAgg::default();
+        agg.record(2_000); // 2 us -> bucket 2
+        agg.record(1_000_000); // 1000 us -> bucket 10
+        let p50 = agg.percentile_us(0.5);
+        let p99 = agg.percentile_us(0.99);
+        // p50 interpolates inside [2, 4) instead of snapping to the bucket
+        // upper bound; p99 sits in the upper bucket, clamped to max.
+        assert!((2..4).contains(&p50), "p50 {p50}");
+        assert!((512..=1000).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(a != 0 && b != 0 && a != b);
+    }
+
     #[cfg(feature = "enabled")]
     #[test]
     fn spans_nest_and_reach_sinks() {
@@ -594,6 +723,30 @@ mod tests {
         let _orphan = span("orphan");
         drop(_orphan);
         assert!(buf.take_string().is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn trace_ids_stamp_sink_events() {
+        use std::sync::Arc;
+        let buf = SharedBuf::new();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone()), false));
+        let rec = Recorder::with_trace(vec![sink], 42);
+        {
+            let _g = install(Some(rec));
+            let _s = span("outer");
+            counter("hits", 1);
+        }
+        let text = buf.take_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ev":"enter","id":1,"parent":0,"name":"outer","trace":42}"#,
+                r#"{"ev":"count","name":"hits","delta":1,"trace":42}"#,
+                r#"{"ev":"exit","id":1,"name":"outer","trace":42}"#,
+            ]
+        );
     }
 
     #[cfg(not(feature = "enabled"))]

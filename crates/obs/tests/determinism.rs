@@ -68,7 +68,7 @@ impl Sink for NormalizingSink {
         let row = match *ev {
             Event::Enter { name, .. } => ("enter", name, 0),
             Event::Exit { name, .. } => ("exit", name, 0),
-            Event::Count { name, delta } => ("count", name, delta),
+            Event::Count { name, delta, .. } => ("count", name, delta),
         };
         self.0.lock().unwrap().push(row);
     }

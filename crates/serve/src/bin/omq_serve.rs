@@ -15,7 +15,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use omq_serve::{
-    serve_lines, serve_reactor, serve_tcp, EngineConfig, ReactorConfig, ShardedEngine,
+    serve_lines, serve_reactor, serve_tcp, spawn_metrics_exporter, EngineConfig, ReactorConfig,
+    ShardedEngine,
 };
 
 const USAGE: &str = "\
@@ -50,6 +51,13 @@ OPTIONS:
   --trace-out PATH      append every request's span tree to PATH as JSONL
                         trace events (enter/exit/count; needs the default
                         `obs` feature to produce events)
+  --trace-sample RATE   fraction of requests captured to --trace-out by a
+                        deterministic hash of the trace id (0.0-1.0;
+                        default 1.0; \"trace\":true requests are always
+                        captured)
+  --metrics-listen ADDR serve a Prometheus text exposition over HTTP on
+                        ADDR (e.g. 127.0.0.1:9100); same content as the
+                        `metrics` op
   -h, --help            print this help
 ";
 
@@ -63,6 +71,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = EngineConfig::default();
     let mut listen: Option<String> = None;
+    let mut metrics_listen: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut shards: usize = 1;
     let mut watermark: usize = 0;
@@ -120,6 +129,14 @@ fn main() -> ExitCode {
                 Ok(v) => trace_out = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--trace-sample" => match value("--trace-sample").map(|v| v.parse::<f64>()) {
+                Ok(Ok(r)) if (0.0..=1.0).contains(&r) => cfg.trace_sample = r,
+                _ => return fail("--trace-sample needs a rate between 0.0 and 1.0"),
+            },
+            "--metrics-listen" => match value("--metrics-listen") {
+                Ok(v) => metrics_listen = Some(v),
+                Err(e) => return fail(&e),
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -139,6 +156,23 @@ fn main() -> ExitCode {
         };
         engine.set_trace_sink(Arc::new(omq_obs::JsonlSink::new(Box::new(file), true)));
     }
+    let engine = Arc::new(engine);
+    if let Some(addr) = metrics_listen {
+        let metrics_listener = match TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("omq-serve: cannot bind metrics listener {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "omq-serve: metrics on {}",
+            metrics_listener
+                .local_addr()
+                .map_or(addr, |a| a.to_string())
+        );
+        let _ = spawn_metrics_exporter(Arc::clone(&engine), metrics_listener);
+    }
     let result = match listen {
         Some(addr) => {
             let listener = match TcpListener::bind(&addr) {
@@ -156,7 +190,6 @@ fn main() -> ExitCode {
                 watermark,
             );
             let runtime = engine.runtime();
-            let engine = Arc::new(engine);
             if threaded {
                 serve_tcp(engine, listener)
             } else {
@@ -165,7 +198,7 @@ fn main() -> ExitCode {
         }
         None => {
             let stdin = io::stdin();
-            serve_lines(&engine, BufReader::new(stdin.lock()), io::stdout().lock())
+            serve_lines(&*engine, BufReader::new(stdin.lock()), io::stdout().lock())
         }
     };
     match result {

@@ -51,6 +51,8 @@ use omq_core::{
 use omq_guarded::{compile_encoding, EncodingArtifact, EncodingConfig};
 use omq_model::display::render_atom;
 use omq_model::{parse_tgd, Instance, Omq, Term, Vocabulary};
+use omq_obs::flight::{FlightRecorder, SpanTree, TreeSink};
+use omq_obs::metrics::{MetricsRegistry, Sample, Value};
 use omq_obs::{Aggregator, JsonlSink, Sink};
 use omq_rewrite::{DirectRewrite, RewriteArtifact, RewriteSource, XRewriteConfig};
 use omq_store::{MaintainedStore, StoreConfig, StoreStats};
@@ -93,6 +95,15 @@ pub struct EngineConfig {
     /// only). Complete rewriting artifacts are written there in portable
     /// form and survive restarts; see [`crate::tier`].
     pub cache_dir: Option<PathBuf>,
+    /// Fraction of requests whose span tree is streamed to the process
+    /// trace sink (`--trace-out`). Sampling is a deterministic hash of the
+    /// request's trace id, so one request's spans are never split across
+    /// the sample boundary; `"trace":true` requests are always captured.
+    pub trace_sample: f64,
+    /// Flight-recorder slow threshold in milliseconds: requests slower
+    /// than this are tail-retained even when they neither shed nor timed
+    /// out.
+    pub flight_slow_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -103,8 +114,170 @@ impl Default for EngineConfig {
             default_deadline_ms: None,
             store_compact_threshold: StoreConfig::default().compact_threshold,
             cache_dir: None,
+            trace_sample: 1.0,
+            flight_slow_ms: 250,
         }
     }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn cfg_flight_slow_us(cfg: &EngineConfig) -> u64 {
+    cfg.flight_slow_ms.saturating_mul(1_000)
+}
+
+/// Deterministic per-request sampling decision: a request is in the
+/// sample iff the hash of its trace id falls under `rate`. The decision
+/// depends only on the id, so every span of a request lands on the same
+/// side of the boundary.
+fn sample_trace(trace_id: u64, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    (splitmix64(trace_id) as f64) < rate * (u64::MAX as f64)
+}
+
+pub(crate) fn counter_sample(
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    v: u64,
+) -> Sample {
+    Sample {
+        name,
+        help,
+        labels,
+        value: Value::Counter(v),
+    }
+}
+
+pub(crate) fn gauge_sample(
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    v: f64,
+) -> Sample {
+    Sample {
+        name,
+        help,
+        labels,
+        value: Value::Gauge(v),
+    }
+}
+
+/// Process-global scrape samples: flight-recorder occupancy and the hom
+/// kernel's global counters. These must be folded into a scrape exactly
+/// once per process — per-engine (`local_samples`) placement would
+/// multiply them by the shard count.
+pub(crate) fn global_samples(flight: &FlightRecorder) -> Vec<Sample> {
+    let (offered, retained_total, recent_len, retained_len) = flight.counts();
+    let h = omq_chase::global_hom_snapshot();
+    let mut out = vec![
+        counter_sample(
+            "omq_flight_offered_total",
+            "Request trees offered to the flight recorder.",
+            Vec::new(),
+            offered,
+        ),
+        counter_sample(
+            "omq_flight_retained_total",
+            "Request trees retained by tail-based sampling (shed/timeout/slow).",
+            Vec::new(),
+            retained_total,
+        ),
+        gauge_sample(
+            "omq_flight_ring_entries",
+            "Current flight-recorder ring occupancy.",
+            vec![("ring", "recent".to_owned())],
+            recent_len as f64,
+        ),
+        gauge_sample(
+            "omq_flight_ring_entries",
+            "Current flight-recorder ring occupancy.",
+            vec![("ring", "retained".to_owned())],
+            retained_len as f64,
+        ),
+    ];
+    for (kind, v) in [
+        ("candidates_scanned", h.candidates_scanned),
+        ("backtracks", h.backtracks),
+        ("homs_found", h.homs_found),
+        ("plans_compiled", h.plans_compiled),
+        ("plan_cache_hits", h.plan_cache_hits),
+        ("prefilter_rejects", h.prefilter_rejects),
+        ("plans_reoptimized", h.plans_reoptimized),
+    ] {
+        out.push(counter_sample(
+            "omq_hom_events_total",
+            "Homomorphism-kernel events (process-global), by kind.",
+            vec![("kind", kind.to_owned())],
+            v,
+        ));
+    }
+    out
+}
+
+/// Shared body of the `trace_dump` op (the sharded front end answers it
+/// from shard 0, whose recorder is the process-shared one).
+pub(crate) fn trace_dump_fields(flight: &FlightRecorder) -> Vec<(String, Json)> {
+    let (retained, recent) = flight.snapshot();
+    let arr = |entries: Vec<omq_obs::flight::FlightEntry>| {
+        Json::Arr(entries.iter().map(flight_entry_json).collect())
+    };
+    vec![
+        (
+            "slow_threshold_us".to_owned(),
+            Json::num(flight.slow_threshold_us() as usize),
+        ),
+        ("retained".to_owned(), arr(retained)),
+        ("recent".to_owned(), arr(recent)),
+    ]
+}
+
+fn flight_entry_json(e: &omq_obs::flight::FlightEntry) -> Json {
+    let mut fields: Vec<(&'static str, Json)> = vec![
+        ("trace_id", Json::num(e.trace_id as usize)),
+        ("op", Json::str(e.op)),
+        ("reason", Json::str(e.reason)),
+        ("wall_us", Json::num(e.wall_us as usize)),
+    ];
+    if e.truncated {
+        fields.push(("truncated", Json::Bool(true)));
+    }
+    fields.push((
+        "spans",
+        Json::Arr(
+            e.spans
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("id", Json::num(s.id as usize)),
+                        ("parent", Json::num(s.parent as usize)),
+                        ("name", Json::str(s.name)),
+                        ("dur_us", Json::num(s.dur_us as usize)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "counts",
+        Json::Obj(
+            e.counts
+                .iter()
+                .map(|&(name, delta)| (name.to_owned(), Json::num(delta as usize)))
+                .collect(),
+        ),
+    ));
+    Json::obj(fields)
 }
 
 /// A [`RewriteSource`] backed by the engine's tiered artifact cache: hot
@@ -180,6 +353,9 @@ type VerdictOutcome = (Result<Vec<(String, Json)>, ServeError>, bool);
 struct InflightSlot {
     done: Mutex<Option<VerdictOutcome>>,
     cv: Condvar,
+    /// Trace id of the leader request, so followers can link their own
+    /// trace to the computation that actually answered them.
+    leader_trace: u64,
 }
 
 /// One registration name's versioned store plus the vocabulary its facts
@@ -221,9 +397,16 @@ pub struct Engine {
     /// Per-op wall-clock histograms, fed directly (no recorder needed, so
     /// they survive `--no-default-features`); exposed by the `stats` op.
     latencies: Aggregator,
-    /// When set, every request runs under a recorder that also streams its
-    /// span tree here (the binary's `--trace-out`).
+    /// When set, every sampled request runs under a recorder that also
+    /// streams its span tree here (the binary's `--trace-out`, thinned by
+    /// `trace_sample`).
     trace_sink: Option<Arc<JsonlSink>>,
+    /// Live metrics registry fed on every request completion; per-engine
+    /// by default, shared across shards by [`Engine::set_telemetry`].
+    metrics: Arc<MetricsRegistry>,
+    /// Always-on flight recorder with tail retention (shed / timed-out /
+    /// slow requests); shared across shards like `metrics`.
+    flight: Arc<FlightRecorder>,
     /// When set (by the reactor / sharded front end), the `stats` op
     /// appends a `"reactor"` block with uptime, connection, queue, and
     /// shard-occupancy counters.
@@ -237,7 +420,6 @@ impl Engine {
         // server still works, `stats` simply shows no `artifact_disk`.
         let disk = cfg.cache_dir.as_deref().and_then(|d| DiskTier::new(d).ok());
         Engine {
-            cfg,
             registry: RwLock::new(Registry::new()),
             rewrites: Mutex::new(LruCache::new(cap)),
             verdicts: Mutex::new(LruCache::new(cap)),
@@ -249,6 +431,9 @@ impl Engine {
             stores: Mutex::new(HashMap::new()),
             latencies: Aggregator::new(),
             trace_sink: None,
+            metrics: Arc::new(MetricsRegistry::new()),
+            flight: Arc::new(FlightRecorder::new(cfg_flight_slow_us(&cfg))),
+            cfg,
             runtime: None,
         }
     }
@@ -264,6 +449,24 @@ impl Engine {
     /// engine); the `stats` op then reports them as a `"reactor"` block.
     pub fn set_runtime_stats(&mut self, runtime: Arc<RuntimeStats>) {
         self.runtime = Some(runtime);
+    }
+
+    /// Replace this engine's metrics registry and flight recorder with
+    /// shared ones (the sharded front end installs one pair across every
+    /// shard, so per-op counters and the flight rings are process-wide).
+    pub fn set_telemetry(&mut self, metrics: Arc<MetricsRegistry>, flight: Arc<FlightRecorder>) {
+        self.metrics = metrics;
+        self.flight = flight;
+    }
+
+    /// The live metrics registry this engine reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The flight recorder this engine offers span trees to.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// `(coalesced_hits, verdict_computations)` — how many requests joined
@@ -396,10 +599,26 @@ impl Engine {
             sinks.push(agg.clone());
         }
         if let Some(ts) = &self.trace_sink {
-            sinks.push(ts.clone());
+            // JSONL capture is sampled (deterministically, by trace id);
+            // explicit `"trace":true` requests are always captured.
+            if req.trace || sample_trace(req.trace_id, self.cfg.trace_sample) {
+                sinks.push(ts.clone());
+            }
         }
-        let _guard =
-            (!sinks.is_empty()).then(|| omq_obs::install(Some(omq_obs::Recorder::new(sinks))));
+        // Flight capture: rebuild this request's span tree in memory so the
+        // recorder can tail-retain it. Skipped when an ambient recorder is
+        // already installed (an embedder such as the bench harness owns
+        // instrumentation then — shadowing it would drop its events); a
+        // synthetic root-only tree is offered instead, below.
+        let flight_sink: Option<Arc<TreeSink>> = if omq_obs::active() {
+            None
+        } else {
+            let fs = Arc::new(TreeSink::new());
+            sinks.push(fs.clone());
+            Some(fs)
+        };
+        let _guard = (!sinks.is_empty())
+            .then(|| omq_obs::install(Some(omq_obs::Recorder::with_trace(sinks, req.trace_id))));
         // Only deadline-free, untraced requests coalesce: a follower shares
         // the leader's outcome byte-for-byte, which is only sound when that
         // outcome cannot depend on a deadline (a leader's budget-truncated
@@ -409,11 +628,32 @@ impl Engine {
         let started = Instant::now();
         let (mut outcome, timed_out) = {
             let _root = omq_obs::span(op_name(&req.op));
-            self.run_op(&req.op, &budget, coalesce)
+            self.run_op(&req.op, &budget, coalesce, req.trace_id)
         };
-        self.latencies.record(op_name(&req.op), started.elapsed());
+        let elapsed = started.elapsed();
+        self.latencies.record(op_name(&req.op), elapsed);
+        let wall_us = elapsed.as_micros() as u64;
+        self.metrics
+            .observe_op(op_name(&req.op), wall_us, timed_out);
+        let mut tree = match &flight_sink {
+            Some(fs) => fs.take(),
+            None => SpanTree::default(),
+        };
+        if tree.spans.is_empty() {
+            // No captured spans (obs compiled out, or an ambient recorder
+            // owned the events): offer a root-only tree so the flight
+            // recorder still explains shed/slow/timed-out requests.
+            tree.spans = SpanTree::root(op_name(&req.op), wall_us).spans;
+        }
+        self.flight.offer(
+            req.trace_id,
+            op_name(&req.op),
+            wall_us,
+            tree,
+            timed_out.then_some("timeout"),
+        );
         if let (Some(agg), Ok(fields)) = (&trace_agg, &mut outcome) {
-            fields.push(("trace".to_owned(), trace_json(agg)));
+            fields.push(("trace".to_owned(), trace_json(agg, req.trace_id)));
         }
         Response {
             id: req.id.clone(),
@@ -556,6 +796,7 @@ impl Engine {
         &self,
         vkey: &VerdictKey,
         coalesce: bool,
+        trace_id: u64,
         compute: impl FnOnce() -> (Result<Vec<(String, Json)>, ServeError>, bool),
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         if !coalesce {
@@ -570,6 +811,7 @@ impl Engine {
                     let slot = Arc::new(InflightSlot {
                         done: Mutex::new(None),
                         cv: Condvar::new(),
+                        leader_trace: trace_id,
                     });
                     inflight.insert(vkey.clone(), Arc::clone(&slot));
                     (slot, true)
@@ -586,6 +828,11 @@ impl Engine {
         } else {
             self.coalesced_hits.fetch_add(1, Ordering::Relaxed);
             omq_obs::counter("serve.coalesced", 1);
+            // Link this follower's trace to the leader's computation: the
+            // counter value is the leader's trace id, so a flight-recorder
+            // or JSONL capture of the follower names the span tree that
+            // actually did the work.
+            omq_obs::counter("serve.coalesced.leader_trace", slot.leader_trace);
             let mut done = slot.done.lock().unwrap();
             while done.is_none() {
                 done = slot.cv.wait(done).unwrap();
@@ -601,6 +848,7 @@ impl Engine {
         op: &Op,
         budget: &Budget,
         coalesce: bool,
+        trace_id: u64,
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         match op {
             Op::Register {
@@ -611,8 +859,10 @@ impl Engine {
             } => (self.op_register(name, program, schema, query), false),
             Op::Classify { name } => (self.op_classify(name), false),
             Op::Stats => (Ok(self.op_stats()), false),
-            Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget, coalesce),
-            Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget, coalesce),
+            Op::Metrics => (Ok(self.op_metrics()), false),
+            Op::TraceDump => (Ok(self.op_trace_dump()), false),
+            Op::Contains { lhs, rhs } => self.op_contains(lhs, rhs, budget, coalesce, trace_id),
+            Op::Equivalent { lhs, rhs } => self.op_equivalent(lhs, rhs, budget, coalesce, trace_id),
             Op::Evaluate { name, facts, at } => self.op_evaluate(name, facts, *at, budget),
             Op::Assert { name, facts } => self.op_mutate(name, facts, true, budget),
             Op::Retract { name, facts } => self.op_mutate(name, facts, false, budget),
@@ -803,6 +1053,195 @@ impl Engine {
         fields
     }
 
+    /// Scrape samples for engine-local state: cache tiers, coalescing,
+    /// the disk tier, store maintenance, the registry size, and the
+    /// per-op latency histograms (from [`Aggregator`], so present even
+    /// with `obs` compiled out). Excludes process-global series — the
+    /// flight recorder, the hom kernel, and the metrics registry itself —
+    /// which the front end adds exactly once (a sharded engine folds one
+    /// `local_samples` per shard into a single scrape; duplicated global
+    /// series would multiply by the shard count).
+    pub fn local_samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        let (rw, vd, enc) = self.cache_stats();
+        let caches = [
+            ("rewrite", rw, self.rewrites.lock().unwrap().len()),
+            ("verdict", vd, self.verdicts.lock().unwrap().len()),
+            ("encoding", enc, self.encodings.lock().unwrap().len()),
+        ];
+        for (cache, s, entries) in caches {
+            let lbl = || vec![("cache", cache.to_owned())];
+            out.push(counter_sample(
+                "omq_cache_hits_total",
+                "Cache hits, by cache tier.",
+                lbl(),
+                s.hits as u64,
+            ));
+            out.push(counter_sample(
+                "omq_cache_misses_total",
+                "Cache misses, by cache tier.",
+                lbl(),
+                s.misses as u64,
+            ));
+            out.push(counter_sample(
+                "omq_cache_insertions_total",
+                "Cache insertions, by cache tier.",
+                lbl(),
+                s.insertions as u64,
+            ));
+            out.push(counter_sample(
+                "omq_cache_evictions_total",
+                "Cache evictions, by cache tier.",
+                lbl(),
+                s.evictions as u64,
+            ));
+            out.push(gauge_sample(
+                "omq_cache_entries",
+                "Live cache entries, by cache tier.",
+                lbl(),
+                entries as f64,
+            ));
+        }
+        let (co_hits, co_runs) = self.coalescing_stats();
+        out.push(counter_sample(
+            "omq_coalesced_total",
+            "Requests answered by joining an in-flight computation.",
+            Vec::new(),
+            co_hits,
+        ));
+        out.push(counter_sample(
+            "omq_verdict_computations_total",
+            "Underlying solver invocations for contains/equivalent.",
+            Vec::new(),
+            co_runs,
+        ));
+        if let Some(d) = self.disk_stats() {
+            for (event, v) in [
+                ("hit", d.hits),
+                ("miss", d.misses),
+                ("store", d.stores),
+                ("error", d.errors),
+            ] {
+                out.push(counter_sample(
+                    "omq_artifact_disk_total",
+                    "Persisted artifact tier events.",
+                    vec![("event", event.to_owned())],
+                    v,
+                ));
+            }
+        }
+        let (s, stores) = self.store_stats();
+        for (op, v) in [
+            ("assert", s.asserts),
+            ("retract", s.retracts),
+            ("snapshot", s.snapshots),
+            ("compact", s.compactions),
+        ] {
+            out.push(counter_sample(
+                "omq_store_ops_total",
+                "Versioned-store operations, by kind.",
+                vec![("op", op.to_owned())],
+                v,
+            ));
+        }
+        for (dir, v) in [
+            ("asserted", s.facts_asserted),
+            ("retracted", s.facts_retracted),
+        ] {
+            out.push(counter_sample(
+                "omq_store_facts_total",
+                "Base facts asserted/retracted across stores.",
+                vec![("dir", dir.to_owned())],
+                v,
+            ));
+        }
+        for (kind, v) in [
+            ("incremental_resume", s.incremental_resumes),
+            ("full_rechase", s.full_rechases),
+            ("dred_deleted", s.dred_deleted),
+            ("rederived", s.rederived),
+            ("cone_batch", s.cone_batches),
+            ("cone_reuse", s.cone_reuses),
+        ] {
+            out.push(counter_sample(
+                "omq_store_maintenance_total",
+                "Incremental chase-maintenance events, by kind.",
+                vec![("kind", kind.to_owned())],
+                v,
+            ));
+        }
+        out.push(gauge_sample(
+            "omq_store_novelty_rows",
+            "Uncompacted novelty-overlay rows across stores.",
+            Vec::new(),
+            s.novelty_size as f64,
+        ));
+        out.push(gauge_sample(
+            "omq_stores",
+            "Named versioned stores.",
+            Vec::new(),
+            stores as f64,
+        ));
+        let reg = self.registry.read().unwrap();
+        out.push(gauge_sample(
+            "omq_registered",
+            "Registered OMQ names.",
+            Vec::new(),
+            reg.len() as f64,
+        ));
+        out.push(gauge_sample(
+            "omq_registry_distinct_keys",
+            "Distinct canonical OMQ keys.",
+            Vec::new(),
+            reg.distinct_keys() as f64,
+        ));
+        drop(reg);
+        // Engine-start latency histograms (full history, not windowed).
+        for p in self.latencies.raw_phases() {
+            out.push(Sample {
+                name: "omq_op_latency_us",
+                help: "Per-op wall time since engine start (us, log-bucketed).",
+                labels: vec![("op", p.name)],
+                value: Value::Histogram {
+                    buckets: p.buckets.to_vec(),
+                    count: p.count,
+                    sum_us: p.total_ns / 1_000,
+                },
+            });
+        }
+        // The runtime block is attached to exactly one engine (shard 0),
+        // so reactor gauges appear once per process.
+        if let Some(rt) = &self.runtime {
+            out.extend(rt.samples());
+        }
+        out
+    }
+
+    /// Render the full Prometheus text exposition for this engine:
+    /// registry samples + process-global samples + engine-local samples.
+    /// (The sharded front end assembles its own scrape from the shared
+    /// registry plus every shard's `local_samples`.)
+    pub fn metrics_text(&self) -> String {
+        let mut samples = self.metrics.samples();
+        samples.extend(global_samples(&self.flight));
+        samples.extend(self.local_samples());
+        omq_obs::metrics::render_prometheus(&samples)
+    }
+
+    fn op_metrics(&self) -> Vec<(String, Json)> {
+        vec![
+            (
+                "content_type".to_owned(),
+                Json::str(omq_obs::metrics::PROMETHEUS_CONTENT_TYPE),
+            ),
+            ("exposition".to_owned(), Json::str(self.metrics_text())),
+        ]
+    }
+
+    fn op_trace_dump(&self) -> Vec<(String, Json)> {
+        trace_dump_fields(&self.flight)
+    }
+
     /// Clones everything a solver job needs out of the registry, holding the
     /// read lock only for the duration of the clone.
     fn snapshot(
@@ -870,6 +1309,7 @@ impl Engine {
         rhs: &str,
         budget: &Budget,
         coalesce: bool,
+        trace_id: u64,
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
             Ok(s) => s,
@@ -881,7 +1321,7 @@ impl Engine {
         if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
-        self.coalesced(&vkey.clone(), coalesce, || {
+        self.coalesced(&vkey.clone(), coalesce, trace_id, || {
             let encoding = self.guarded_encoding(l, &voc, budget);
             let mut cfg = self.containment_cfg(budget);
             // Hand the cached (or freshly compiled) lhs artifact to the
@@ -916,6 +1356,7 @@ impl Engine {
         rhs: &str,
         budget: &Budget,
         coalesce: bool,
+        trace_id: u64,
     ) -> (Result<Vec<(String, Json)>, ServeError>, bool) {
         let (regs, mut voc) = match self.snapshot(&[lhs, rhs]) {
             Ok(s) => s,
@@ -927,7 +1368,7 @@ impl Engine {
         if let Some(fields) = self.verdicts.lock().unwrap().get_tagged(&vkey, alias) {
             return (Ok(fields), false);
         }
-        self.coalesced(&vkey.clone(), coalesce, || {
+        self.coalesced(&vkey.clone(), coalesce, trace_id, || {
             let cfg = self.containment_cfg(budget);
             let mut src = CachingSource {
                 cache: &self.rewrites,
@@ -1326,25 +1767,17 @@ fn parse_ground_facts(
 
 /// The span/latency name of an op (`serve.<op>`).
 fn op_name(op: &Op) -> &'static str {
-    match op {
-        Op::Register { .. } => "serve.register",
-        Op::Contains { .. } => "serve.contains",
-        Op::Equivalent { .. } => "serve.equivalent",
-        Op::Evaluate { .. } => "serve.evaluate",
-        Op::Assert { .. } => "serve.assert",
-        Op::Retract { .. } => "serve.retract",
-        Op::Snapshot { .. } => "serve.snapshot",
-        Op::Classify { .. } => "serve.classify",
-        Op::Explain { .. } => "serve.explain",
-        Op::Stats => "serve.stats",
-    }
+    op.label()
 }
 
-/// The `"trace"` response field: the request's per-phase wall-clock
-/// breakdown and counters (empty when the workspace `obs` feature is off —
-/// spans are no-ops then).
-fn trace_json(agg: &Aggregator) -> Json {
+/// The `"trace"` response field: the request's trace id (the one stamped
+/// on its sink events) plus the per-phase wall-clock breakdown and
+/// counters (empty when the workspace `obs` feature is off — spans are
+/// no-ops then). Only `"trace":true` responses carry this, so the id
+/// never reaches a byte-determinism-pinned default response.
+fn trace_json(agg: &Aggregator, trace_id: u64) -> Json {
     Json::obj([
+        ("trace_id", Json::num(trace_id as usize)),
         (
             "phases",
             Json::Obj(

@@ -46,7 +46,7 @@ pub use error::ServeError;
 pub use json::Json;
 pub use key::{OmqKey, RewriteCfgKey};
 pub use protocol::{parse_request, response_to_json, Op, Request, Response};
-pub use reactor::{serve_reactor, ReactorConfig, RuntimeStats};
+pub use reactor::{serve_reactor, spawn_metrics_exporter, ReactorConfig, RuntimeStats, StallWatch};
 pub use registry::{RegisterInfo, Registered, Registry};
 pub use server::{serve_lines, serve_tcp, BatchExecutor};
 pub use shard::ShardedEngine;

@@ -89,16 +89,49 @@ pub enum Op {
         rhs: String,
     },
     Stats,
+    /// Prometheus text exposition of the telemetry plane (also served
+    /// over HTTP by `--metrics-listen`).
+    Metrics,
+    /// Dump the flight recorder: span trees of recent and tail-retained
+    /// (shed / timed-out / slow) requests.
+    TraceDump,
+}
+
+impl Op {
+    /// The op's family label in the span/metric taxonomy (`serve.<op>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Register { .. } => "serve.register",
+            Op::Contains { .. } => "serve.contains",
+            Op::Equivalent { .. } => "serve.equivalent",
+            Op::Evaluate { .. } => "serve.evaluate",
+            Op::Assert { .. } => "serve.assert",
+            Op::Retract { .. } => "serve.retract",
+            Op::Snapshot { .. } => "serve.snapshot",
+            Op::Classify { .. } => "serve.classify",
+            Op::Explain { .. } => "serve.explain",
+            Op::Stats => "serve.stats",
+            Op::Metrics => "serve.metrics",
+            Op::TraceDump => "serve.trace_dump",
+        }
+    }
 }
 
 /// A request: optional client id (echoed back), optional per-request
 /// deadline in milliseconds (measured from batch arrival), whether to
 /// instrument the run (`"trace":true`), and the job.
+///
+/// Every parsed request is assigned a process-unique `trace_id` at the
+/// protocol layer; it follows the request through shard sub-batches,
+/// coalescing, shedding, and the flight recorder, but never appears in a
+/// default-mode response (only under `"trace":true` and on sink events),
+/// preserving byte-determinism.
 #[derive(Clone, Debug)]
 pub struct Request {
     pub id: Option<Json>,
     pub deadline_ms: Option<u64>,
     pub trace: bool,
+    pub trace_id: u64,
     pub op: Op,
 }
 
@@ -228,12 +261,15 @@ pub fn parse_request(line: &str) -> Result<Request, Box<Response>> {
             rhs: req_str(&v, "rhs").map_err(&fail)?,
         },
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
+        "trace_dump" => Op::TraceDump,
         other => return Err(fail(ServeError::UnknownOp(other.to_owned()))),
     };
     Ok(Request {
         id,
         deadline_ms,
         trace,
+        trace_id: omq_obs::next_trace_id(),
         op,
     })
 }
@@ -304,6 +340,19 @@ mod tests {
         assert!(r.trace);
         let bad = parse_request(r#"{"op":"stats","trace":"yes"}"#).unwrap_err();
         assert!(matches!(bad.outcome, Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn parses_telemetry_ops_and_assigns_trace_ids() {
+        let m = parse_request(r#"{"op":"metrics"}"#).unwrap();
+        assert!(matches!(m.op, Op::Metrics));
+        assert_eq!(m.op.label(), "serve.metrics");
+        let d = parse_request(r#"{"op":"trace_dump"}"#).unwrap();
+        assert!(matches!(d.op, Op::TraceDump));
+        assert_eq!(d.op.label(), "serve.trace_dump");
+        // Every parsed request gets a distinct nonzero trace id.
+        assert!(m.trace_id != 0 && d.trace_id != 0);
+        assert_ne!(m.trace_id, d.trace_id);
     }
 
     #[test]

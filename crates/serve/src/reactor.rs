@@ -28,10 +28,14 @@
 use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use omq_obs::flight::{FlightRecorder, SpanTree};
+use omq_obs::metrics::{MetricsRegistry, Sample, PROMETHEUS_CONTENT_TYPE};
+
 use crate::admission::Admission;
+use crate::engine::{counter_sample, gauge_sample};
 use crate::json::Json;
 use crate::server::BatchExecutor;
 
@@ -71,6 +75,11 @@ pub struct RuntimeStats {
     /// The shared queue-depth gate (watermark `0` = shedding off).
     pub admission: Admission,
     shard_requests: Vec<AtomicU64>,
+    /// Telemetry plane, when the owning front end has one: the metrics
+    /// registry (SLO-burn accounting for sheds) and the flight recorder
+    /// (shed requests leave a retained entry even though they never
+    /// reach the engine).
+    telemetry: OnceLock<(Arc<MetricsRegistry>, Arc<FlightRecorder>)>,
 }
 
 impl RuntimeStats {
@@ -85,7 +94,17 @@ impl RuntimeStats {
             shed: AtomicU64::new(0),
             admission: Admission::new(watermark),
             shard_requests: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attach the process-wide telemetry plane (first call wins).
+    pub fn set_telemetry(&self, metrics: Arc<MetricsRegistry>, flight: Arc<FlightRecorder>) {
+        let _ = self.telemetry.set((metrics, flight));
+    }
+
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.telemetry.get().map(|(_, f)| f)
     }
 
     pub fn conn_opened(&self) {
@@ -110,6 +129,88 @@ impl RuntimeStats {
     pub fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
         omq_obs::counter("serve.reactor.shed", 1);
+    }
+
+    /// A shed with its request identity: updates the counters, charges
+    /// the SLO-burn window, and leaves a retained flight-recorder entry
+    /// (reason `"shed"`) so `trace_dump` can show requests that were
+    /// turned away before reaching the engine.
+    pub fn record_shed_request(&self, trace_id: u64, op: &'static str) {
+        self.record_shed();
+        if let Some((metrics, flight)) = self.telemetry.get() {
+            metrics.mark_shed();
+            flight.offer(
+                trace_id,
+                op,
+                0,
+                SpanTree::root("serve.shed", 0),
+                Some("shed"),
+            );
+        }
+    }
+
+    /// Reactor/admission scrape samples. Folded into a scrape once by
+    /// whichever engine holds the runtime handle (shard 0).
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = vec![
+            gauge_sample(
+                "omq_connections_live",
+                "Currently open client connections.",
+                Vec::new(),
+                self.connections_live.load(Ordering::Relaxed) as f64,
+            ),
+            gauge_sample(
+                "omq_connections_peak",
+                "High-water mark of concurrently open connections.",
+                Vec::new(),
+                self.connections_peak.load(Ordering::Relaxed) as f64,
+            ),
+            counter_sample(
+                "omq_connections_accepted_total",
+                "Accepted client connections.",
+                Vec::new(),
+                self.accepted.load(Ordering::Relaxed),
+            ),
+            counter_sample(
+                "omq_batches_total",
+                "Request batches entering workers.",
+                Vec::new(),
+                self.batches.load(Ordering::Relaxed),
+            ),
+            counter_sample(
+                "omq_reactor_requests_total",
+                "Requests entering workers (pre-admission).",
+                Vec::new(),
+                self.requests.load(Ordering::Relaxed),
+            ),
+            counter_sample(
+                "omq_reactor_shed_total",
+                "Requests answered with a structured shed error.",
+                Vec::new(),
+                self.shed.load(Ordering::Relaxed),
+            ),
+            gauge_sample(
+                "omq_admission_queue_depth",
+                "Requests admitted but not yet finished.",
+                Vec::new(),
+                self.admission.depth() as f64,
+            ),
+            gauge_sample(
+                "omq_admission_watermark",
+                "Queue-depth shedding watermark (0 = shedding off).",
+                Vec::new(),
+                self.admission.watermark() as f64,
+            ),
+        ];
+        for (i, slot) in self.shard_requests.iter().enumerate() {
+            out.push(counter_sample(
+                "omq_shard_requests_total",
+                "Requests routed to each shard.",
+                vec![("shard", i.to_string())],
+                slot.load(Ordering::Relaxed),
+            ));
+        }
+        out
     }
 
     /// `n` requests were routed to `shard` (see [`crate::shard`]).
@@ -210,6 +311,131 @@ fn split_batch(buf: &[u8], eof: bool) -> Option<(Vec<String>, usize)> {
     None
 }
 
+/// Pure stall detector driven by periodic ticks: trips when the queue
+/// has been non-empty and the request total unchanged for `trip_after`
+/// consecutive ticks — work is waiting but nothing is finishing. Re-arms
+/// after tripping so a persistent stall reports once per window instead
+/// of every tick.
+pub struct StallWatch {
+    trip_after: u32,
+    last_requests: u64,
+    stuck_ticks: u32,
+}
+
+impl StallWatch {
+    pub fn new(trip_after: u32) -> StallWatch {
+        StallWatch {
+            trip_after: trip_after.max(1),
+            last_requests: 0,
+            stuck_ticks: 0,
+        }
+    }
+
+    /// Feed one observation; `true` means "stalled: dump forensics now".
+    pub fn tick(&mut self, queue_depth: usize, requests_total: u64) -> bool {
+        if queue_depth == 0 || requests_total != self.last_requests {
+            self.last_requests = requests_total;
+            self.stuck_ticks = 0;
+            return false;
+        }
+        self.stuck_ticks += 1;
+        if self.stuck_ticks >= self.trip_after {
+            self.stuck_ticks = 0;
+            return true;
+        }
+        false
+    }
+}
+
+/// How often the watchdog samples the queue, and how many unchanged
+/// samples trip it (≈10 s of stalled queue).
+const WATCHDOG_TICK: std::time::Duration = std::time::Duration::from_secs(2);
+const WATCHDOG_TRIP_TICKS: u32 = 5;
+
+/// Background stall watchdog: on a trip, dump the flight recorder's
+/// retained ring to stderr — the shed/timeout/slow trees are exactly the
+/// forensics wanted when the serve loop wedges.
+fn spawn_stall_watchdog(stats: Arc<RuntimeStats>) {
+    std::thread::spawn(move || {
+        let mut watch = StallWatch::new(WATCHDOG_TRIP_TICKS);
+        loop {
+            std::thread::sleep(WATCHDOG_TICK);
+            if !watch.tick(stats.admission.depth(), stats.requests_total()) {
+                continue;
+            }
+            eprintln!(
+                "omq-serve: stall watchdog tripped (queue_depth={}, requests_total={})",
+                stats.admission.depth(),
+                stats.requests_total()
+            );
+            if let Some(flight) = stats.flight() {
+                let (retained, _) = flight.snapshot();
+                for e in retained.iter().rev().take(16) {
+                    eprintln!(
+                        "omq-serve:   flight trace_id={} op={} reason={} wall_us={} spans={}",
+                        e.trace_id,
+                        e.op,
+                        e.reason,
+                        e.wall_us,
+                        e.spans.len()
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Answers Prometheus scrapes on a dedicated listener: a minimal
+/// blocking HTTP/1.0 responder (one short-lived connection per scrape,
+/// which is exactly a scraper's access pattern) that serves the
+/// executor's [`BatchExecutor::render_metrics`] exposition on any GET.
+/// Returns the spawned thread's handle; the thread runs until the
+/// listener fails.
+pub fn spawn_metrics_exporter<E: BatchExecutor + 'static>(
+    executor: Arc<E>,
+    listener: TcpListener,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+            // Drain the request line + headers, best-effort: scrapers
+            // send a small GET; stop at the header terminator.
+            let mut req = Vec::new();
+            let mut buf = [0u8; 1024];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        req.extend_from_slice(&buf[..n]);
+                        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let response = match executor.render_metrics() {
+                Some(body) => format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: {PROMETHEUS_CONTENT_TYPE}\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                ),
+                None => {
+                    let body = "metrics unavailable\n";
+                    format!(
+                        "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                }
+            };
+            let _ = stream.write_all(response.as_bytes());
+        }
+    })
+}
+
 /// Runs the reactor until the listener fails: accepts connections,
 /// multiplexes reads/writes, dispatches batches to `cfg.workers` threads,
 /// sheds per [`RuntimeStats::admission`]. Never returns under normal
@@ -221,6 +447,7 @@ pub fn serve_reactor<E: BatchExecutor + 'static>(
     cfg: ReactorConfig,
     stats: Arc<RuntimeStats>,
 ) -> io::Result<()> {
+    spawn_stall_watchdog(Arc::clone(&stats));
     imp::run(executor, listener, &cfg, stats)
 }
 
@@ -311,8 +538,8 @@ mod imp {
                             req.id.clone(),
                             stats.admission.shed_error(job.depth_at_enqueue),
                         );
+                        stats.record_shed_request(req.trace_id, req.op.label());
                         *item = Err(Box::new(resp));
-                        stats.record_shed();
                     }
                 }
             }
@@ -556,5 +783,80 @@ mod tests {
         }
         stats.conn_closed();
         assert!(stats.to_json().to_string().contains("\"live\":0"));
+    }
+
+    #[test]
+    fn stall_watch_trips_only_on_a_stuck_nonempty_queue() {
+        let mut w = StallWatch::new(3);
+        // Empty queue never trips, no matter how long.
+        for _ in 0..10 {
+            assert!(!w.tick(0, 5));
+        }
+        // Progress resets the stall count.
+        assert!(!w.tick(4, 6));
+        assert!(!w.tick(4, 7));
+        // Stuck: same total, non-empty queue, three ticks in a row.
+        assert!(!w.tick(4, 7));
+        assert!(!w.tick(4, 7));
+        assert!(w.tick(4, 7));
+        // Re-armed: needs another full window before tripping again.
+        assert!(!w.tick(4, 7));
+        assert!(!w.tick(4, 7));
+        assert!(w.tick(4, 7));
+    }
+
+    #[test]
+    fn runtime_samples_cover_the_reactor_taxonomy() {
+        let stats = RuntimeStats::new(2, 16);
+        stats.conn_opened();
+        stats.record_batch(5);
+        stats.record_shed_request(7, "serve.contains");
+        stats.record_shard(1, 4);
+        let samples = stats.samples();
+        let find = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+        };
+        for name in [
+            "omq_connections_live",
+            "omq_connections_peak",
+            "omq_connections_accepted_total",
+            "omq_batches_total",
+            "omq_reactor_requests_total",
+            "omq_reactor_shed_total",
+            "omq_admission_queue_depth",
+            "omq_admission_watermark",
+            "omq_shard_requests_total",
+        ] {
+            find(name);
+        }
+        assert_eq!(
+            samples
+                .iter()
+                .filter(|s| s.name == "omq_shard_requests_total")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn shed_requests_leave_a_retained_flight_entry() {
+        use omq_obs::flight::FlightRecorder;
+        use omq_obs::metrics::MetricsRegistry;
+
+        let stats = RuntimeStats::new(1, 4);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let flight = Arc::new(FlightRecorder::new(250_000));
+        stats.set_telemetry(Arc::clone(&metrics), Arc::clone(&flight));
+        stats.record_shed_request(42, "serve.contains");
+        assert_eq!(stats.shed_total(), 1);
+        assert_eq!(metrics.shed_total(), 1);
+        let (retained, _) = flight.snapshot();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].trace_id, 42);
+        assert_eq!(retained[0].reason, "shed");
+        assert_eq!(retained[0].op, "serve.contains");
     }
 }

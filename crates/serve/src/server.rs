@@ -19,11 +19,23 @@ use crate::protocol::{parse_request, response_to_json, Request, Response};
 /// failed at the protocol layer pass through as-is.
 pub trait BatchExecutor: Send + Sync {
     fn execute_batch(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response>;
+
+    /// Prometheus text exposition for this executor, if it has a metrics
+    /// plane (see [`crate::reactor::spawn_metrics_exporter`]). The default
+    /// is `None`: the exporter answers 404 rather than inventing an empty
+    /// scrape.
+    fn render_metrics(&self) -> Option<String> {
+        None
+    }
 }
 
 impl BatchExecutor for Engine {
     fn execute_batch(&self, items: &[Result<Request, Box<Response>>]) -> Vec<Response> {
         Engine::execute_batch(self, items)
+    }
+
+    fn render_metrics(&self) -> Option<String> {
+        Some(self.metrics_text())
     }
 }
 

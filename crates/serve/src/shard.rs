@@ -17,9 +17,11 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use omq_obs::metrics::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
 use omq_obs::JsonlSink;
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{global_samples, Engine, EngineConfig};
+use crate::json::Json;
 use crate::protocol::{Op, Request, Response};
 use crate::reactor::RuntimeStats;
 use crate::server::BatchExecutor;
@@ -35,6 +37,9 @@ enum Target {
     /// Registry mutation: every shard applies it (shard 0 answers).
     Broadcast,
     Shard(usize),
+    /// Answered by the front end itself: `metrics` needs every shard's
+    /// local samples in one scrape, which no single engine can render.
+    Front,
 }
 
 impl ShardedEngine {
@@ -47,10 +52,37 @@ impl ShardedEngine {
         // Shard 0 answers `stats`, so it is the one that renders the
         // serve-tier block.
         engines[0].set_runtime_stats(Arc::clone(&runtime));
+        // One metrics registry and one flight recorder across every shard
+        // (shard 0's become the shared pair): per-op latency windows and
+        // the flight rings are process-wide, and the runtime stats can
+        // charge sheds against the same SLO-burn accounting.
+        let metrics = Arc::clone(engines[0].metrics());
+        let flight = Arc::clone(engines[0].flight());
+        for engine in engines.iter_mut().skip(1) {
+            engine.set_telemetry(Arc::clone(&metrics), Arc::clone(&flight));
+        }
+        runtime.set_telemetry(metrics, flight);
         ShardedEngine {
             shards: engines,
             runtime,
         }
+    }
+
+    /// The full Prometheus exposition for the sharded front end: the
+    /// shared registry and process-global samples once, plus every
+    /// shard's local samples. `render_prometheus` merges same-name,
+    /// same-label series, so per-shard cache/store counters fold into
+    /// process totals. Registry-size gauges come from shard 0 only — the
+    /// registries are replicas, and summing replicas would overcount.
+    pub fn metrics_text(&self) -> String {
+        let mut samples = self.shards[0].metrics().samples();
+        samples.extend(global_samples(self.shards[0].flight()));
+        for (i, shard) in self.shards.iter().enumerate() {
+            samples.extend(shard.local_samples().into_iter().filter(|s| {
+                i == 0 || !matches!(s.name, "omq_registered" | "omq_registry_distinct_keys")
+            }));
+        }
+        render_prometheus(&samples)
     }
 
     /// The shared serve-tier counters (hand these to the reactor).
@@ -94,7 +126,10 @@ impl ShardedEngine {
         };
         match &req.op {
             Op::Register { .. } => Target::Broadcast,
-            Op::Stats => Target::Shard(0),
+            Op::Metrics => Target::Front,
+            // Shard 0's flight recorder is the shared one, so it can
+            // answer `trace_dump` for the whole process.
+            Op::Stats | Op::TraceDump => Target::Shard(0),
             Op::Contains { lhs, .. } | Op::Equivalent { lhs, .. } | Op::Explain { lhs, .. } => {
                 Target::Shard(self.shard_of(lhs))
             }
@@ -135,6 +170,24 @@ impl BatchExecutor for ShardedEngine {
                     out[i] = first;
                     i += 1;
                 }
+                Target::Front => {
+                    let id = match &items[i] {
+                        Ok(req) => req.id.clone(),
+                        Err(_) => None,
+                    };
+                    self.runtime.record_shard(0, 1);
+                    out[i] = Some(Response::ok(
+                        id,
+                        vec![
+                            (
+                                "content_type".to_owned(),
+                                Json::str(PROMETHEUS_CONTENT_TYPE),
+                            ),
+                            ("exposition".to_owned(), Json::str(self.metrics_text())),
+                        ],
+                    ));
+                    i += 1;
+                }
                 Target::Shard(s) => {
                     let mut j = i + 1;
                     while j < n && self.target(&items[j]) == Target::Shard(s) {
@@ -155,6 +208,10 @@ impl BatchExecutor for ShardedEngine {
         out.into_iter()
             .map(|r| r.expect("every request is answered"))
             .collect()
+    }
+
+    fn render_metrics(&self) -> Option<String> {
+        Some(self.metrics_text())
     }
 }
 

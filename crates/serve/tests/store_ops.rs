@@ -31,6 +31,7 @@ fn engine(threads: usize, compact_threshold: usize) -> Engine {
         default_deadline_ms: None,
         store_compact_threshold: compact_threshold,
         cache_dir: None,
+        ..EngineConfig::default()
     })
 }
 

@@ -506,6 +506,7 @@ impl MaintainedStore {
             // enumeration from 0 — head-satisfaction skips everything the
             // truncated run already justified.
             let delta_start = if fp.complete { watermark } else { 0 };
+            let _span = omq_obs::span("store.maintain.assert");
             let res = resume_chase(inst, delta_start, sigma, voc, &Self::recording(cfg));
             self.incremental_resumes += 1;
             let mut derivation = fp.derivation;
@@ -592,6 +593,7 @@ impl MaintainedStore {
         let Some(fp) = self.fixpoint.take() else {
             return;
         };
+        let _span = omq_obs::span("store.maintain.dred");
         // Over-delete: anything downstream of a deleted atom dies with
         // it. A step is dead when any input *or* output is deleted; a
         // dead step's outputs join the cone (multi-head tgds over-delete
@@ -644,6 +646,7 @@ impl MaintainedStore {
                 self.fixpoint = Some(fp);
             }
             Some(fp) if fp.version == head => {
+                let _span = omq_obs::span("store.maintain.rechase");
                 let res = resume_chase(fp.instance, 0, sigma, voc, &Self::recording(cfg));
                 self.incremental_resumes += 1;
                 let mut derivation = fp.derivation;
@@ -656,6 +659,7 @@ impl MaintainedStore {
                 });
             }
             _ => {
+                let _span = omq_obs::span("store.maintain.rechase");
                 let db = self.store.materialize(head)?;
                 let res = chase(&db, sigma, voc, &Self::recording(cfg));
                 self.full_rechases += 1;

@@ -95,6 +95,7 @@ def is_noise(key):
         or key.endswith("_ms")
         or key.endswith("_us")
         or key.endswith("_pct")
+        or key.endswith("_ratio")
         or key.startswith("speedup")
     )
 

@@ -25,7 +25,9 @@ cargo test -q --release --workspace
 echo "==> tier-1 with observability compiled out (--no-default-features)"
 # Separate target dir so the two feature configurations don't thrash each
 # other's incremental caches. Proves every omq_obs entry point compiles to
-# a no-op surface with identical call sites.
+# a no-op surface with identical call sites, and (via the serve telemetry
+# suite it runs) that the metrics registry, Prometheus exposition, and
+# flight recorder still answer with the span/sink recorder compiled out.
 cargo clippy --workspace --all-targets --release --no-default-features \
     --target-dir target/noobs -- -D warnings
 cargo test -q --release --workspace --no-default-features \
@@ -285,6 +287,163 @@ echo "$SHED_STATS" | jq -e '
     echo "serve overload smoke: blocker got $SHED_ANSWERED/8 answers" >&2
     exit 1
 }
+
+echo "==> serve metrics smoke (live Prometheus scrape + tail-sampled trace_dump)"
+# Both planes of one reactor: the protocol port answers requests, the
+# --metrics-listen port answers raw-HTTP scrapes. Two scrapes bracket a
+# mixed workload (contains, a zero-deadline timeout, store assert/retract,
+# a forced shed behind a blocker), gating (a) that the request / shed /
+# coalescing / store families are present on a cold scrape and (b) that
+# the counters the workload must have moved increased monotonically.
+# trace_dump must retain the timed-out and the shed request with reasons.
+MET_DIR=$(mktemp -d)
+./target/release/omq-serve --listen 127.0.0.1:0 --metrics-listen 127.0.0.1:0 \
+    --workers 1 --queue-watermark 4 --no-cache --threads 1 2>"$MET_DIR/err" &
+MET_PID=$!
+MET_ADDR=""
+MET_SCRAPE=""
+for _ in $(seq 1 100); do
+    MET_ADDR=$(sed -n 's/^omq-serve: listening on \([0-9.:]*\) .*/\1/p' "$MET_DIR/err")
+    MET_SCRAPE=$(sed -n 's/^omq-serve: metrics on \([0-9.:]*\)$/\1/p' "$MET_DIR/err")
+    [ -n "$MET_ADDR" ] && [ -n "$MET_SCRAPE" ] && break
+    sleep 0.05
+done
+{ [ -n "$MET_ADDR" ] && [ -n "$MET_SCRAPE" ]; } || {
+    echo "reactor did not report both listen addresses" >&2
+    kill "$MET_PID" 2>/dev/null || true
+    exit 1
+}
+MET_PORT=${MET_ADDR##*:}
+SCRAPE_PORT=${MET_SCRAPE##*:}
+scrape() {
+    exec 9<>"/dev/tcp/127.0.0.1/$SCRAPE_PORT"
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+metric() { echo "$1" | awk -v k="$2" '$1 == k { print $2; exit }'; }
+# Warm-up batch before scrape 1: a store mutation, a deliberate timeout,
+# and one full contains.
+exec 3<>"/dev/tcp/127.0.0.1/$MET_PORT"
+printf '%s\n' "$NR_REG" \
+    '{"id":1,"op":"assert","name":"nr","facts":["L0(a,b)","L0(b,c)"]}' \
+    '{"id":2,"op":"contains","lhs":"nr","rhs":"nr","deadline_ms":0}' \
+    '{"id":3,"op":"contains","lhs":"nr","rhs":"nr"}' >&3
+printf '\n' >&3
+for _ in $(seq 1 4); do read -r -t 60 _ <&3; done
+exec 3<&- 3>&-
+# Presence gate: every family the workload exercised must appear. A
+# couple of retries tolerate a scrape racing the tail of the batch.
+MET_SERIES=(
+    'omq_requests_total{op="serve.contains"}'
+    'omq_request_timeouts_total{op="serve.contains"}'
+    'omq_requests_shed_total'
+    'omq_shed_slo_burn_ratio'
+    'omq_coalesced_total'
+    'omq_verdict_computations_total'
+    'omq_store_ops_total{op="assert"}'
+    'omq_store_maintenance_total{kind="incremental_resume"}'
+    'omq_op_latency_us_bucket'
+    'omq_reactor_requests_total'
+    'omq_flight_offered_total'
+)
+SCRAPE1=""
+MET_MISSING=""
+for _ in $(seq 1 5); do
+    SCRAPE1=$(scrape)
+    MET_MISSING=""
+    echo "$SCRAPE1" | grep -q '^HTTP/1.0 200 OK' || MET_MISSING="an HTTP 200"
+    if [ -z "$MET_MISSING" ]; then
+        for series in "${MET_SERIES[@]}"; do
+            echo "$SCRAPE1" | grep -qF "$series" || {
+                MET_MISSING="$series"
+                break
+            }
+        done
+    fi
+    [ -z "$MET_MISSING" ] && break
+    sleep 0.2
+done
+[ -z "$MET_MISSING" ] || {
+    echo "cold scrape is missing $MET_MISSING; last scrape was:" >&2
+    echo "$SCRAPE1" >&2
+    kill "$MET_PID" 2>/dev/null || true
+    exit 1
+}
+# Blocker pins the single worker; the probe on a saturated queue sheds.
+exec 4<>"/dev/tcp/127.0.0.1/$MET_PORT"
+{ for i in $(seq 1 8); do
+    printf '{"id":%d,"op":"contains","lhs":"nr","rhs":"nr"}\n' "$i"
+done
+printf '\n'; } >&4
+sleep 0.3
+exec 5<>"/dev/tcp/127.0.0.1/$MET_PORT"
+printf '{"id":100,"op":"contains","lhs":"nr","rhs":"nr"}\n\n' >&5
+read -r MET_SHED <&5
+exec 5<&- 5>&-
+MET_ANSWERED=0
+while read -r -t 30 _ <&4; do
+    MET_ANSWERED=$((MET_ANSWERED + 1))
+    [ "$MET_ANSWERED" -ge 8 ] && break
+done
+exec 4<&- 4>&-
+echo "$MET_SHED" | jq -e '.ok == false and .error.kind == "shed"' >/dev/null || {
+    echo "metrics smoke: expected a shed probe, got: $MET_SHED" >&2
+    kill "$MET_PID" 2>/dev/null || true
+    exit 1
+}
+# A store retract after the blocker drains, then the flight dump.
+exec 6<>"/dev/tcp/127.0.0.1/$MET_PORT"
+printf '%s\n' \
+    '{"id":200,"op":"retract","name":"nr","facts":["L0(a,b)"]}' \
+    '{"id":201,"op":"trace_dump"}' >&6
+printf '\n' >&6
+read -r -t 60 MET_RETRACT <&6
+read -r -t 60 MET_DUMP <&6
+exec 6<&- 6>&-
+SCRAPE2=$(scrape)
+kill "$MET_PID" 2>/dev/null || true
+wait "$MET_PID" 2>/dev/null || true
+echo "$MET_RETRACT" | jq -e '.ok and .retracted == "nr"' >/dev/null || {
+    echo "metrics smoke: retract failed: $MET_RETRACT" >&2
+    exit 1
+}
+echo "$MET_DUMP" | jq -e '
+    .ok and has("slow_threshold_us")
+    and ([.retained[].reason] | index("timeout") != null)
+    and ([.retained[].reason] | index("shed") != null)
+    and ([.retained[] | select(.reason == "timeout") | .spans[0].name]
+         | index("serve.contains") != null)
+' >/dev/null || {
+    echo "metrics smoke: trace_dump lost the timeout/shed tail: $MET_DUMP" >&2
+    exit 1
+}
+for pair in \
+    'omq_requests_total{op="serve.contains"}:gt' \
+    'omq_requests_shed_total:gt' \
+    'omq_store_ops_total{op="retract"}:gt' \
+    'omq_flight_offered_total:gt' \
+    'omq_store_ops_total{op="assert"}:ge'; do
+    series=${pair%:*}
+    mode=${pair##*:}
+    V1=$(metric "$SCRAPE1" "$series")
+    V2=$(metric "$SCRAPE2" "$series")
+    { [ -n "$V1" ] && [ -n "$V2" ]; } || {
+        echo "series $series missing from a scrape (v1='$V1' v2='$V2')" >&2
+        exit 1
+    }
+    if [ "$mode" = gt ]; then
+        [ "$V2" -gt "$V1" ] || {
+            echo "$series did not increase across the workload ($V1 -> $V2)" >&2
+            exit 1
+        }
+    else
+        [ "$V2" -ge "$V1" ] || {
+            echo "$series went backwards across the workload ($V1 -> $V2)" >&2
+            exit 1
+        }
+    fi
+done
 
 echo "==> serve restart smoke (persisted artifact tier survives a cold start)"
 # Two separate omq-serve processes sharing one --cache-dir: the first
